@@ -1,0 +1,66 @@
+//! Algebra-layer errors.
+
+use fj_expr::ExprError;
+use fj_storage::StorageError;
+use std::fmt;
+
+/// Errors raised while constructing, validating, or rewriting logical
+/// plans.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlgebraError {
+    /// A relation name was not found in the catalog.
+    UnknownRelation(String),
+    /// A relation alias appeared twice in one query.
+    DuplicateAlias(String),
+    /// Schema-level failure (propagated from storage).
+    Schema(StorageError),
+    /// Expression binding failure (propagated from fj-expr).
+    Expr(ExprError),
+    /// A magic rewriting was requested that the rewriter cannot express,
+    /// e.g. filtering an aggregate view on a non-group-by attribute.
+    UnsupportedRewrite(String),
+    /// A plan node was used in a context that does not support it.
+    InvalidPlan(String),
+}
+
+impl fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgebraError::UnknownRelation(n) => write!(f, "unknown relation '{n}'"),
+            AlgebraError::DuplicateAlias(a) => write!(f, "duplicate alias '{a}'"),
+            AlgebraError::Schema(e) => write!(f, "schema error: {e}"),
+            AlgebraError::Expr(e) => write!(f, "expression error: {e}"),
+            AlgebraError::UnsupportedRewrite(d) => write!(f, "unsupported magic rewrite: {d}"),
+            AlgebraError::InvalidPlan(d) => write!(f, "invalid plan: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for AlgebraError {}
+
+impl From<StorageError> for AlgebraError {
+    fn from(e: StorageError) -> Self {
+        AlgebraError::Schema(e)
+    }
+}
+
+impl From<ExprError> for AlgebraError {
+    fn from(e: ExprError) -> Self {
+        AlgebraError::Expr(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(AlgebraError::UnknownRelation("X".into())
+            .to_string()
+            .contains('X'));
+        assert!(AlgebraError::UnsupportedRewrite("agg".into())
+            .to_string()
+            .contains("magic"));
+    }
+}

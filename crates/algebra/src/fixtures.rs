@@ -1,0 +1,117 @@
+//! Shared fixtures: the paper's motivating schema, view and query
+//! (Figure 1), used by tests, examples and benchmarks across the
+//! workspace.
+//!
+//! The instance here is deliberately tiny and hand-checkable; the bench
+//! crate has parameterized generators for scaled instances.
+
+use crate::catalog::{Catalog, ViewDef};
+use crate::plan::LogicalPlan;
+use crate::query::{FromItem, JoinQuery};
+use fj_expr::{col, lit, AggCall, AggFunc};
+use fj_storage::{DataType, Schema, TableBuilder};
+
+/// Registers the `DepAvgSal` view of Figure 1 on a catalog that already
+/// contains an `Emp(eid, did, sal, age)` table.
+pub fn add_dep_avg_sal_view(cat: &mut Catalog) {
+    let plan = LogicalPlan::scan("Emp", "E")
+        .aggregate(
+            vec!["E.did".into()],
+            vec![AggCall::new(AggFunc::Avg, "E.sal", "avgsal")],
+        )
+        .project(vec![
+            (col("E.did"), "did".into()),
+            (col("avgsal"), "avgsal".into()),
+        ]);
+    let schema = Schema::from_pairs(&[("did", DataType::Int), ("avgsal", DataType::Double)]);
+    cat.add_view(ViewDef {
+        name: "DepAvgSal".into(),
+        plan: plan.into_ref(),
+        schema: schema.into_ref(),
+    });
+}
+
+/// A small hand-checkable instance of the paper's schema:
+///
+/// * `Emp(eid, did, sal, age)` — five employees across three departments;
+/// * `Dept(did, budget)` — departments 10 (big), 20 (small), 30 (big);
+/// * view `DepAvgSal(did, avgsal)`.
+///
+/// Expected answer of [`paper_query`]: exactly the young, above-average
+/// employees of big departments — employee 1 (did 10, sal 9000 >
+/// avg 5000) and employee 5 (did 30, sal 4000 > avg 3000).
+pub fn paper_catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.add_table(
+        TableBuilder::new("Emp")
+            .column("eid", DataType::Int)
+            .column("did", DataType::Int)
+            .column("sal", DataType::Double)
+            .column("age", DataType::Int)
+            .row(vec![1.into(), 10.into(), 9000.0.into(), 25.into()])
+            .row(vec![2.into(), 10.into(), 1000.0.into(), 45.into()])
+            .row(vec![3.into(), 20.into(), 5000.0.into(), 28.into()])
+            .row(vec![4.into(), 30.into(), 2000.0.into(), 29.into()])
+            .row(vec![5.into(), 30.into(), 4000.0.into(), 26.into()])
+            .build()
+            .expect("static fixture")
+            .into_ref(),
+    );
+    cat.add_table(
+        TableBuilder::new("Dept")
+            .column("did", DataType::Int)
+            .column("budget", DataType::Double)
+            .row(vec![10.into(), 500_000.0.into()])
+            .row(vec![20.into(), 50_000.0.into()])
+            .row(vec![30.into(), 200_000.0.into()])
+            .build()
+            .expect("static fixture")
+            .into_ref(),
+    );
+    add_dep_avg_sal_view(&mut cat);
+    cat
+}
+
+/// The paper's Figure 1 query:
+///
+/// ```sql
+/// SELECT E.did, E.sal, V.avgsal
+/// FROM   Emp E, Dept D, DepAvgSal V
+/// WHERE  E.did = D.did AND E.did = V.did AND E.sal > V.avgsal
+///   AND  E.age < 30 AND D.budget > 100000
+/// ```
+pub fn paper_query() -> JoinQuery {
+    JoinQuery::new(vec![
+        FromItem::new("Emp", "E"),
+        FromItem::new("Dept", "D"),
+        FromItem::new("DepAvgSal", "V"),
+    ])
+    .with_predicate(
+        col("E.did")
+            .eq(col("D.did"))
+            .and(col("E.did").eq(col("V.did")))
+            .and(col("E.sal").gt(col("V.avgsal")))
+            .and(col("E.age").lt(lit(30)))
+            .and(col("D.budget").gt(lit(100_000))),
+    )
+    .with_projection(vec![
+        (col("E.did"), "did".into()),
+        (col("E.sal"), "sal".into()),
+        (col("V.avgsal"), "avgsal".into()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_is_consistent() {
+        let cat = paper_catalog();
+        let q = paper_query();
+        q.validate(&cat).unwrap();
+        assert!(cat.view("DepAvgSal").is_ok());
+        assert_eq!(cat.table("Emp").unwrap().row_count(), 5);
+        assert_eq!(cat.table("Dept").unwrap().row_count(), 3);
+    }
+}

@@ -1,0 +1,635 @@
+//! The magic-sets rewriting, driven by a cost-chosen SIPS.
+//!
+//! Figure 2 of the paper rewrites the motivating query into four views:
+//! `PartialResult` (the production set), `Filter` (the distinct
+//! projection of the join attributes), `RestrictedDepAvgSal` (the view
+//! with the filter joined *below* its aggregate), and a final join. This
+//! module performs that transformation generically over
+//! [`crate::JoinQuery`] given a [`Sips`]:
+//!
+//! * the **production set** is a prefix of the join order (Limitation 1/2
+//!   of §3.3) given as a list of aliases;
+//! * the **filter attributes** are equi-join keys between the production
+//!   set and the inner virtual relation (any subset — Limitation 3 allows
+//!   attribute subsets as lossy filter sets);
+//! * the restricted inner is built by pushing a *semi-join* with the
+//!   filter set through the view definition: below selections and (when
+//!   the filter attributes are grouping columns) below aggregates.
+//!
+//! The output is an ordinary [`LogicalPlan`] using `With`/`CteRef`, so
+//! the rewritten query can be executed, explained, and compared against
+//! the original by any downstream component.
+
+use crate::catalog::{Catalog, RelationKind};
+use crate::error::AlgebraError;
+use crate::plan::{JoinKind, LogicalPlan, PlanRef};
+use crate::query::JoinQuery;
+use fj_expr::{col, conjoin, split_conjuncts, EquiJoinKey, Expr};
+use fj_storage::Schema;
+use std::sync::Arc;
+
+/// CTE name of the materialized production set.
+pub const PARTIAL_CTE: &str = "__partial";
+/// CTE name of the filter (magic) set.
+pub const FILTER_CTE: &str = "__filter";
+/// Alias under which the filter set is semi-joined inside the inner.
+pub const FILTER_ALIAS: &str = "__F";
+
+/// A sideways information passing strategy: which prefix of the join
+/// order produces the filter set, which virtual relation consumes it,
+/// and along which join attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sips {
+    /// Aliases of the production-set relations, in join order. Must be
+    /// non-empty and disjoint from `inner`.
+    pub production: Vec<String>,
+    /// Alias of the (virtual) inner relation to restrict.
+    pub inner: String,
+    /// Filter attributes: `left` is a production-side column (e.g.
+    /// `"E.did"`), `right` the corresponding inner column (`"V.did"`).
+    pub filter_keys: Vec<EquiJoinKey>,
+}
+
+impl Sips {
+    /// Builds a SIPS; see field docs for requirements (checked by
+    /// [`rewrite`]).
+    pub fn new(
+        production: Vec<impl Into<String>>,
+        inner: impl Into<String>,
+        filter_keys: Vec<EquiJoinKey>,
+    ) -> Sips {
+        Sips {
+            production: production.into_iter().map(Into::into).collect(),
+            inner: inner.into(),
+            filter_keys,
+        }
+    }
+
+    /// Derives the *most restrictive* SIPS for `inner` given a production
+    /// prefix: every equi-join key in the query predicate linking the
+    /// production set to the inner becomes a filter attribute. Returns
+    /// `None` when no such key exists (no sideways information to pass).
+    pub fn derive(
+        catalog: &Catalog,
+        query: &JoinQuery,
+        production: &[String],
+        inner: &str,
+    ) -> Option<Sips> {
+        let pred = query.predicate.as_ref()?;
+        let prod_schemas: Vec<Schema> = production
+            .iter()
+            .filter_map(|a| query.alias_schema(catalog, a).ok())
+            .collect();
+        let inner_schema = query.alias_schema(catalog, inner).ok()?;
+        let keys = fj_expr::equi_join_keys(
+            pred,
+            &|c| prod_schemas.iter().any(|s| s.contains(c)),
+            &|c| inner_schema.contains(c),
+        );
+        if keys.is_empty() {
+            None
+        } else {
+            Some(Sips {
+                production: production.to_vec(),
+                inner: inner.to_string(),
+                filter_keys: keys,
+            })
+        }
+    }
+}
+
+/// The structured pieces of a magic rewriting — the four blocks of
+/// Figure 2, exposed so callers (e.g. the SQL renderer) can present
+/// them the way the paper does.
+#[derive(Debug, Clone)]
+pub struct MagicParts {
+    /// Figure 2's `PartialResult`: the production-set join with its
+    /// local predicate conjuncts.
+    pub partial: LogicalPlan,
+    /// Figure 2's `Filter`: the distinct projection of the join
+    /// attributes (references the partial CTE).
+    pub filter: LogicalPlan,
+    /// Figure 2's restricted view, with the relation's own (unqualified)
+    /// output names; references the filter CTE.
+    pub restricted: LogicalPlan,
+    /// Predicate conjuncts that were *not* absorbed into the partial.
+    pub remaining: Vec<Expr>,
+    /// FROM items that are neither in the production set nor the inner.
+    pub others: Vec<crate::query::FromItem>,
+    /// The inner relation's alias.
+    pub inner_alias: String,
+    /// The inner relation's (unqualified) output schema.
+    pub inner_schema: fj_storage::SchemaRef,
+}
+
+/// Applies the magic-sets rewriting of `query` under `sips`, producing a
+/// plan equivalent to `query.to_plan()` (identical result multiset).
+pub fn rewrite(
+    catalog: &Catalog,
+    query: &JoinQuery,
+    sips: &Sips,
+) -> Result<LogicalPlan, AlgebraError> {
+    let parts = rewrite_parts(catalog, query, sips)?;
+    assemble(catalog, query, sips, parts)
+}
+
+/// Computes the structured rewriting pieces; see [`MagicParts`].
+pub fn rewrite_parts(
+    catalog: &Catalog,
+    query: &JoinQuery,
+    sips: &Sips,
+) -> Result<MagicParts, AlgebraError> {
+    validate_sips(catalog, query, sips)?;
+
+    // ---- 1. PartialResult: join of the production prefix with every
+    // predicate conjunct local to it (Figure 2's PartialResult view).
+    let prod_aliases: Vec<&str> = sips.production.iter().map(String::as_str).collect();
+    let mut partial = {
+        let mut iter = sips.production.iter();
+        let first = query
+            .item(iter.next().expect("validated non-empty production"))
+            .expect("validated alias");
+        let mut plan = LogicalPlan::scan(first.relation.clone(), first.alias.clone());
+        for alias in iter {
+            let item = query.item(alias).expect("validated alias");
+            plan = plan.join(
+                LogicalPlan::scan(item.relation.clone(), item.alias.clone()),
+                None,
+            );
+        }
+        plan
+    };
+    let partial_conjuncts = query.conjuncts_within(catalog, &prod_aliases);
+    if let Some(p) = conjoin(partial_conjuncts.iter().cloned()) {
+        partial = partial.select(p);
+    }
+    let partial_schema = partial.schema(catalog)?.into_ref();
+
+    // ---- 2. FilterSet: DISTINCT projection of the production-side join
+    // attributes (Figure 2's Filter view). Columns are named k0, k1, ...
+    let filter_plan = LogicalPlan::CteRef {
+        name: PARTIAL_CTE.into(),
+        alias: String::new(),
+        schema: Arc::clone(&partial_schema),
+    }
+    .project(
+        sips.filter_keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (col(k.left.clone()), format!("k{i}")))
+            .collect(),
+    )
+    .distinct();
+    let filter_schema = filter_plan.schema(catalog)?.into_ref();
+
+    // ---- 3. Restricted inner: push a semi-join with the filter set into
+    // the inner relation (Figure 2's RestrictedDepAvgSal).
+    let inner_item = query.item(&sips.inner).expect("validated alias");
+    let inner_kind = catalog.resolve(&inner_item.relation)?;
+    // Inner-side attribute names *inside* the relation's own plan use
+    // unqualified names: "V.did" → "did".
+    let inner_attrs: Vec<String> = sips
+        .filter_keys
+        .iter()
+        .map(|k| {
+            k.right
+                .strip_prefix(&format!("{}.", sips.inner))
+                .unwrap_or(&k.right)
+                .to_string()
+        })
+        .collect();
+    let restricted = restricted_inner(
+        catalog,
+        &inner_item.relation,
+        &inner_attrs,
+        FILTER_CTE,
+        &filter_schema,
+    )?;
+    let inner_schema = inner_kind.schema();
+
+    let remaining: Vec<Expr> = query
+        .predicate
+        .as_ref()
+        .map(|pred| {
+            split_conjuncts(pred)
+                .into_iter()
+                .filter(|c| !partial_conjuncts.contains(c))
+                .collect()
+        })
+        .unwrap_or_default();
+    let others: Vec<crate::query::FromItem> = query
+        .from
+        .iter()
+        .filter(|item| item.alias != sips.inner && !sips.production.contains(&item.alias))
+        .cloned()
+        .collect();
+
+    Ok(MagicParts {
+        partial,
+        filter: filter_plan,
+        restricted,
+        remaining,
+        others,
+        inner_alias: sips.inner.clone(),
+        inner_schema,
+    })
+}
+
+/// Assembles [`MagicParts`] into the executable `With` plan.
+fn assemble(
+    catalog: &Catalog,
+    query: &JoinQuery,
+    sips: &Sips,
+    parts: MagicParts,
+) -> Result<LogicalPlan, AlgebraError> {
+    let partial_schema = parts.partial.schema(catalog)?.into_ref();
+
+    // Requalify the restricted inner's columns under the original alias
+    // so the rest of the query binds unchanged.
+    let restricted_qualified = parts.restricted.project(
+        parts
+            .inner_schema
+            .columns()
+            .iter()
+            .map(|c| {
+                (
+                    col(c.name.clone()),
+                    format!("{}.{}", sips.inner, c.base_name()),
+                )
+            })
+            .collect(),
+    );
+
+    // Body: PartialResult ⋈ restricted inner ⋈ remaining relations,
+    // remaining predicate, original projection.
+    let mut body = LogicalPlan::CteRef {
+        name: PARTIAL_CTE.into(),
+        alias: String::new(),
+        schema: partial_schema,
+    }
+    .join(restricted_qualified, None);
+    for item in &parts.others {
+        body = body.join(
+            LogicalPlan::scan(item.relation.clone(), item.alias.clone()),
+            None,
+        );
+    }
+    if let Some(p) = conjoin(parts.remaining.clone()) {
+        body = body.select(p);
+    }
+    if let Some(sel) = &query.projection {
+        body = body.project(sel.clone());
+    }
+
+    Ok(LogicalPlan::With {
+        ctes: vec![
+            (PARTIAL_CTE.into(), parts.partial.into_ref()),
+            (FILTER_CTE.into(), parts.filter.into_ref()),
+        ],
+        body: body.into_ref(),
+    })
+}
+
+/// Builds the *restricted inner* for any relation kind: pushes a
+/// semi-join with the filter-set CTE `filter_cte` into a view's
+/// definition, or attaches it directly to a base/remote/UDF scan. The
+/// filter CTE's columns must be named `k0, k1, ...` matching
+/// `inner_attrs` in order (as produced by [`rewrite`] and by the
+/// optimizer's Filter Join lowering). Output columns keep the relation's
+/// own (unqualified) names.
+pub fn restricted_inner(
+    catalog: &Catalog,
+    relation: &str,
+    inner_attrs: &[String],
+    filter_cte: &str,
+    filter_schema: &fj_storage::SchemaRef,
+) -> Result<LogicalPlan, AlgebraError> {
+    match catalog.resolve(relation)? {
+        RelationKind::View(view) => {
+            push_filter_semi_join(&view.plan, inner_attrs, filter_cte, filter_schema)
+        }
+        // Base, remote and UDF relations: semi-join the scan directly.
+        _ => Ok(semi_join_with_filter(
+            LogicalPlan::Scan {
+                relation: relation.to_string(),
+                alias: String::new(),
+            },
+            inner_attrs,
+            filter_cte,
+            filter_schema,
+        )),
+    }
+}
+
+/// Semi-joins `plan` with the filter-set CTE on `plan.attrs[i] = __F.ki`.
+fn semi_join_with_filter(
+    plan: LogicalPlan,
+    attrs: &[String],
+    filter_cte: &str,
+    filter_schema: &fj_storage::SchemaRef,
+) -> LogicalPlan {
+    let filter_ref = LogicalPlan::CteRef {
+        name: filter_cte.into(),
+        alias: FILTER_ALIAS.into(),
+        schema: Arc::clone(filter_schema),
+    };
+    let pred = conjoin(
+        attrs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| col(a.clone()).eq(col(format!("{FILTER_ALIAS}.k{i}")))),
+    )
+    .expect("filter keys are non-empty");
+    LogicalPlan::Join {
+        left: plan.into_ref(),
+        right: filter_ref.into_ref(),
+        predicate: Some(pred),
+        kind: JoinKind::Semi,
+    }
+}
+
+/// Pushes the filter semi-join through a view definition: through
+/// `Project` (when the filter attributes project plain columns), through
+/// `Select` and `Distinct`, and through `Aggregate` when every filter
+/// attribute is a grouping column — the transformation that turns
+/// `DepAvgSal` into `RestrictedDepAvgSal`.
+fn push_filter_semi_join(
+    plan: &PlanRef,
+    attrs: &[String],
+    filter_cte: &str,
+    filter_schema: &fj_storage::SchemaRef,
+) -> Result<LogicalPlan, AlgebraError> {
+    match plan.as_ref() {
+        LogicalPlan::Project { input, exprs } => {
+            // Map each attr through the projection: it must be a bare
+            // column reference to push below.
+            let mut mapped = Vec::with_capacity(attrs.len());
+            for a in attrs {
+                let target = exprs.iter().find(|(_, name)| name == a).ok_or_else(|| {
+                    AlgebraError::UnsupportedRewrite(format!(
+                        "filter attribute '{a}' not produced by view projection"
+                    ))
+                })?;
+                match &target.0 {
+                    Expr::Column(c) => mapped.push(c.clone()),
+                    other => {
+                        return Err(AlgebraError::UnsupportedRewrite(format!(
+                            "filter attribute '{a}' is computed ({other}), cannot push"
+                        )))
+                    }
+                }
+            }
+            let pushed = push_filter_semi_join(input, &mapped, filter_cte, filter_schema)?;
+            Ok(LogicalPlan::Project {
+                input: pushed.into_ref(),
+                exprs: exprs.clone(),
+            })
+        }
+        LogicalPlan::Select { input, predicate } => {
+            let pushed = push_filter_semi_join(input, attrs, filter_cte, filter_schema)?;
+            Ok(LogicalPlan::Select {
+                input: pushed.into_ref(),
+                predicate: predicate.clone(),
+            })
+        }
+        LogicalPlan::Distinct { input } => {
+            let pushed = push_filter_semi_join(input, attrs, filter_cte, filter_schema)?;
+            Ok(LogicalPlan::Distinct {
+                input: pushed.into_ref(),
+            })
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            // Legal only when every filter attribute is a grouping
+            // column: restricting groups before aggregation then
+            // preserves each surviving group's aggregate exactly.
+            if attrs.iter().all(|a| group_by.contains(a)) {
+                let pushed = push_filter_semi_join(input, attrs, filter_cte, filter_schema)?;
+                Ok(LogicalPlan::Aggregate {
+                    input: pushed.into_ref(),
+                    group_by: group_by.clone(),
+                    aggs: aggs.clone(),
+                })
+            } else {
+                // Cannot push below: semi-join above the aggregate (still
+                // correct, restricts the view output).
+                Ok(semi_join_with_filter(
+                    (**plan).clone(),
+                    attrs,
+                    filter_cte,
+                    filter_schema,
+                ))
+            }
+        }
+        // Frontier: scans, joins, anything else — attach the semi-join
+        // here.
+        _ => Ok(semi_join_with_filter(
+            (**plan).clone(),
+            attrs,
+            filter_cte,
+            filter_schema,
+        )),
+    }
+}
+
+fn validate_sips(
+    catalog: &Catalog,
+    query: &JoinQuery,
+    sips: &Sips,
+) -> Result<(), AlgebraError> {
+    if sips.production.is_empty() {
+        return Err(AlgebraError::UnsupportedRewrite(
+            "empty production set".into(),
+        ));
+    }
+    if sips.filter_keys.is_empty() {
+        return Err(AlgebraError::UnsupportedRewrite("empty filter set".into()));
+    }
+    for a in &sips.production {
+        if query.item(a).is_none() {
+            return Err(AlgebraError::UnknownRelation(a.clone()));
+        }
+        if *a == sips.inner {
+            return Err(AlgebraError::UnsupportedRewrite(format!(
+                "inner '{a}' appears in production set"
+            )));
+        }
+    }
+    if query.item(&sips.inner).is_none() {
+        return Err(AlgebraError::UnknownRelation(sips.inner.clone()));
+    }
+    // Filter keys must bind: left in some production schema, right in the
+    // inner schema.
+    let inner_schema = query.alias_schema(catalog, &sips.inner)?;
+    for k in &sips.filter_keys {
+        let left_ok = sips
+            .production
+            .iter()
+            .any(|a| query.alias_schema(catalog, a).is_ok_and(|s| s.contains(&k.left)));
+        if !left_ok {
+            return Err(AlgebraError::UnsupportedRewrite(format!(
+                "filter key left column '{}' not in production set",
+                k.left
+            )));
+        }
+        if !inner_schema.contains(&k.right) {
+            return Err(AlgebraError::UnsupportedRewrite(format!(
+                "filter key right column '{}' not in inner relation",
+                k.right
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{paper_catalog, paper_query};
+
+    fn paper_sips() -> Sips {
+        Sips::new(
+            vec!["E", "D"],
+            "V",
+            vec![EquiJoinKey {
+                left: "E.did".into(),
+                right: "V.did".into(),
+            }],
+        )
+    }
+
+    #[test]
+    fn derive_finds_did_key() {
+        let cat = paper_catalog();
+        let q = paper_query();
+        let sips = Sips::derive(&cat, &q, &["E".into(), "D".into()], "V").unwrap();
+        assert_eq!(sips.filter_keys.len(), 1);
+        assert_eq!(sips.filter_keys[0].left, "E.did");
+        assert_eq!(sips.filter_keys[0].right, "V.did");
+    }
+
+    #[test]
+    fn derive_none_without_key() {
+        let cat = paper_catalog();
+        // D alone has no equi-join with V in the predicate... actually it
+        // doesn't: only E.did = V.did links to V.
+        let q = paper_query();
+        assert!(Sips::derive(&cat, &q, &["D".into()], "V").is_none());
+    }
+
+    #[test]
+    fn rewrite_produces_with_ctes() {
+        let cat = paper_catalog();
+        let q = paper_query();
+        let plan = rewrite(&cat, &q, &paper_sips()).unwrap();
+        match &plan {
+            LogicalPlan::With { ctes, .. } => {
+                assert_eq!(ctes.len(), 2);
+                assert_eq!(ctes[0].0, PARTIAL_CTE);
+                assert_eq!(ctes[1].0, FILTER_CTE);
+            }
+            other => panic!("expected With, got: {}", other.display()),
+        }
+        // Rewritten plan must still typecheck with the same output schema
+        // as the original.
+        let orig_schema = q.to_plan().schema(&cat).unwrap();
+        let new_schema = plan.schema(&cat).unwrap();
+        assert_eq!(orig_schema.arity(), new_schema.arity());
+        for (a, b) in orig_schema.columns().iter().zip(new_schema.columns()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.data_type, b.data_type);
+        }
+    }
+
+    #[test]
+    fn rewrite_pushes_semi_join_below_aggregate() {
+        let cat = paper_catalog();
+        let q = paper_query();
+        let plan = rewrite(&cat, &q, &paper_sips()).unwrap();
+        let display = plan.display();
+        // The semi-join with the filter set must appear *below* the
+        // aggregate in the restricted view (the whole point of magic).
+        let agg_pos = display.find("Aggregate").expect("aggregate present");
+        let semi_pos = display.find("SemiJoin").expect("semi join present");
+        assert!(
+            semi_pos > agg_pos,
+            "semi-join should be beneath the aggregate:\n{display}"
+        );
+    }
+
+    #[test]
+    fn rewrite_with_single_relation_production() {
+        let cat = paper_catalog();
+        let q = paper_query();
+        // Join order 4 of Figure 3: production = {E} only.
+        let sips = Sips::derive(&cat, &q, &["E".into()], "V").unwrap();
+        let plan = rewrite(&cat, &q, &sips).unwrap();
+        assert!(plan.schema(&cat).is_ok());
+        // Dept must appear in the body (it is not in the production set).
+        assert!(plan.display().contains("Scan Dept AS D"));
+    }
+
+    #[test]
+    fn rewrite_base_table_inner_is_semi_join_on_scan() {
+        let cat = paper_catalog();
+        // Query joining Emp with Dept, filtering Dept via filter join.
+        let q = JoinQuery::new(vec![
+            crate::query::FromItem::new("Emp", "E"),
+            crate::query::FromItem::new("Dept", "D"),
+        ])
+        .with_predicate(col("E.did").eq(col("D.did")));
+        let sips = Sips::derive(&cat, &q, &["E".into()], "D").unwrap();
+        let plan = rewrite(&cat, &q, &sips).unwrap();
+        assert!(plan.display().contains("SemiJoin"));
+        assert!(plan.schema(&cat).is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_sips() {
+        let cat = paper_catalog();
+        let q = paper_query();
+        // Inner inside production.
+        let bad = Sips::new(vec!["V"], "V", paper_sips().filter_keys);
+        assert!(rewrite(&cat, &q, &bad).is_err());
+        // Empty production.
+        let bad = Sips::new(Vec::<String>::new(), "V", paper_sips().filter_keys);
+        assert!(rewrite(&cat, &q, &bad).is_err());
+        // Empty keys.
+        let bad = Sips::new(vec!["E"], "V", vec![]);
+        assert!(rewrite(&cat, &q, &bad).is_err());
+        // Key not in production.
+        let bad = Sips::new(
+            vec!["D"],
+            "V",
+            vec![EquiJoinKey {
+                left: "E.did".into(),
+                right: "V.did".into(),
+            }],
+        );
+        assert!(rewrite(&cat, &q, &bad).is_err());
+        // Unknown alias.
+        let bad = Sips::new(vec!["Z"], "V", paper_sips().filter_keys);
+        assert!(matches!(
+            rewrite(&cat, &q, &bad),
+            Err(AlgebraError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn partial_cte_contains_production_conjuncts() {
+        let cat = paper_catalog();
+        let q = paper_query();
+        let plan = rewrite(&cat, &q, &paper_sips()).unwrap();
+        if let LogicalPlan::With { ctes, .. } = &plan {
+            let partial = ctes[0].1.display();
+            assert!(partial.contains("E.age"), "age<30 pushed into partial");
+            assert!(partial.contains("D.budget"), "budget pushed into partial");
+            assert!(!partial.contains("avgsal"), "view conjuncts stay out");
+        } else {
+            panic!("expected With");
+        }
+    }
+}

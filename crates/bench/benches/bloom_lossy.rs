@@ -1,0 +1,16 @@
+//! Criterion bench for B1: exact vs Bloom filter sets on a WAN.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fj_bench::repro::bloom;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bloom_lossy");
+    group.sample_size(10);
+    group.bench_function("exact_plus_two_blooms_500x5000", |b| {
+        b.iter(|| bloom::sweep(500, 5000, 20, &[256, 4096]).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Criterion bench for the C2 crossover experiment (one selective and
+//! one unselective point of the policy sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fj_bench::repro::fig1_magic;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crossover_heuristics");
+    group.sample_size(10);
+    group.bench_function("sweep_two_points_3000x300", |b| {
+        b.iter(|| fig1_magic::sweep(3000, 300, &[0.05, 1.0]).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

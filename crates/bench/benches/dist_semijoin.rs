@@ -1,0 +1,30 @@
+//! Criterion bench for D1 (§5.1): the four distributed strategies on a
+//! LAN-weighted two-site join.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fj_bench::workloads::orders_customers;
+use fj_core::distsim::{run_strategy, DistStrategy, TwoSiteScenario};
+use fj_core::NetworkModel;
+
+fn bench(c: &mut Criterion) {
+    let (orders, mut customers) = orders_customers(500, 5000, 25, 23);
+    customers.create_hash_index(0).unwrap();
+    let scenario = TwoSiteScenario::new(
+        orders.into_ref(),
+        customers.into_ref(),
+        "cust",
+        "cust",
+        NetworkModel::lan(),
+    );
+    let mut group = c.benchmark_group("dist_semijoin");
+    group.sample_size(10);
+    for s in DistStrategy::ALL {
+        group.bench_function(s.name().replace(' ', "_"), |b| {
+            b.iter(|| run_strategy(&scenario, s).unwrap().rows.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench for the Figures 1–2 experiment: executes the
+//! motivating query under the three policies at a selective and an
+//! unselective instance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fj_bench::workloads::{emp_dept, paper_query, EmpDeptConfig};
+use fj_core::{Database, Sips};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_magic_example");
+    group.sample_size(10);
+    for frac in [0.02, 1.0] {
+        let cat = emp_dept(EmpDeptConfig {
+            n_emps: 4000,
+            n_depts: 400,
+            frac_big: frac,
+            ..Default::default()
+        });
+        let db = Database::with_catalog(cat);
+        let q = paper_query();
+        let sips =
+            Sips::derive(db.catalog(), &q, &["E".to_string(), "D".to_string()], "V").unwrap();
+        group.bench_function(format!("naive_frac{frac}"), |b| {
+            b.iter(|| db.run_logical(&q.to_plan()).unwrap().rows.len())
+        });
+        group.bench_function(format!("always_magic_frac{frac}"), |b| {
+            b.iter(|| db.run_magic(&q, &sips).unwrap().rows.len())
+        });
+        group.bench_function(format!("cost_based_frac{frac}"), |b| {
+            b.iter(|| db.execute(&q).unwrap().rows.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

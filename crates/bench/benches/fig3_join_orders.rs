@@ -1,0 +1,17 @@
+//! Criterion bench for Figure 3: pricing all six join orders of the
+//! motivating query (optimize + execute each).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fj_bench::repro::fig3_orders;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_join_orders");
+    group.sample_size(10);
+    group.bench_function("all_six_orders_2000x200", |b| {
+        b.iter(|| fig3_orders::all_orders(2000, 200, 0.1).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench for Figure 4: fitting the parametric cardinality
+//! line and probing it, versus executing the restricted view.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fj_bench::workloads::{emp_dept, EmpDeptConfig};
+use fj_core::optimizer::parametric::ParametricFit;
+use fj_core::CostParams;
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let catalog = Arc::new(emp_dept(EmpDeptConfig {
+        n_emps: 5000,
+        n_depts: 500,
+        ..Default::default()
+    }));
+    let mut group = c.benchmark_group("fig4_parametric_cardinality");
+    group.sample_size(10);
+    group.bench_function("fit_4_classes", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            ParametricFit::fit(
+                &catalog,
+                CostParams::default(),
+                "DepAvgSal",
+                &["did".to_string()],
+                4,
+                &mut n,
+            )
+            .unwrap()
+            .card_slope
+        })
+    });
+    let mut n = 0;
+    let fit = ParametricFit::fit(
+        &catalog,
+        CostParams::default(),
+        "DepAvgSal",
+        &["did".to_string()],
+        4,
+        &mut n,
+    )
+    .unwrap();
+    group.bench_function("probe_fitted_line", |b| {
+        b.iter(|| (0..100).map(|i| fit.cardinality(i as f64 / 100.0)).sum::<f64>())
+    });
+    group.bench_function("execute_restricted_view_s0_5", |b| {
+        b.iter(|| fj_bench::repro::fig4_cardinality::actual_cardinality(&catalog, 500, 0.5))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench for Figure 5: the equivalence-class knob (fit effort
+//! at 2 vs 16 classes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fj_bench::workloads::{emp_dept, EmpDeptConfig};
+use fj_core::optimizer::parametric::ParametricFit;
+use fj_core::CostParams;
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let catalog = Arc::new(emp_dept(EmpDeptConfig {
+        n_emps: 4000,
+        n_depts: 400,
+        ..Default::default()
+    }));
+    let mut group = c.benchmark_group("fig5_equivalence_classes");
+    group.sample_size(10);
+    for classes in [2usize, 4, 16] {
+        group.bench_function(format!("fit_{classes}_classes"), |b| {
+            b.iter(|| {
+                let mut n = 0;
+                ParametricFit::fit(
+                    &catalog,
+                    CostParams::default(),
+                    "DepAvgSal",
+                    &["did".to_string()],
+                    classes,
+                    &mut n,
+                )
+                .unwrap()
+                .points
+                .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Criterion bench for Figure 6: the full technique × relation-kind
+//! matrix.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fj_bench::repro::fig6_taxonomy;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_taxonomy");
+    group.sample_size(10);
+    group.bench_function("full_matrix", |b| {
+        b.iter(|| fig6_taxonomy::matrix().2.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

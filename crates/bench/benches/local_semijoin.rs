@@ -1,0 +1,17 @@
+//! Criterion bench for L1 (§5.3): the local semi-join against the
+//! classic join methods under memory pressure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fj_bench::repro::local_semijoin;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_semijoin");
+    group.sample_size(10);
+    group.bench_function("four_methods_2000x10000", |b| {
+        b.iter(|| local_semijoin::methods(2000, 10_000, 20, 8).0.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

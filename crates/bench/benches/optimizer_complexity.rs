@@ -1,0 +1,28 @@
+//! Criterion bench for the §3.3 complexity claim: optimization time
+//! with and without the Filter Join as N grows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fj_bench::workloads::chain;
+use fj_core::{Optimizer, OptimizerConfig};
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer_complexity");
+    group.sample_size(10);
+    for n in [4usize, 6, 8] {
+        let (cat, q) = chain(n, 100, 5);
+        let cat = Arc::new(cat);
+        let off = Optimizer::new(Arc::clone(&cat), OptimizerConfig::without_filter_join());
+        let on = Optimizer::new(Arc::clone(&cat), OptimizerConfig::default());
+        group.bench_function(format!("n{n}_fj_off"), |b| {
+            b.iter(|| off.optimize(&q).unwrap().plans_considered)
+        });
+        group.bench_function(format!("n{n}_fj_on"), |b| {
+            b.iter(|| on.optimize(&q).unwrap().plans_considered)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

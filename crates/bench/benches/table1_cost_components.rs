@@ -1,0 +1,17 @@
+//! Criterion bench for Table 1: the staged Filter Join (all seven
+//! phases, predicted + measured).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fj_bench::repro::table1_components;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_cost_components");
+    group.sample_size(10);
+    group.bench_function("staged_filter_join_4000x400", |b| {
+        b.iter(|| table1_components::staged(4000, 400, 0.1).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

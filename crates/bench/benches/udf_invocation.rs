@@ -1,0 +1,16 @@
+//! Criterion bench for U1 (§5.2): UDF join strategies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fj_bench::repro::udf;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("udf_invocation");
+    group.sample_size(10);
+    group.bench_function("three_strategies_2000x50", |b| {
+        b.iter(|| udf::strategies(2000, 50).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Prints every reproduced figure/table as a paper-style text table.
+//!
+//! ```text
+//! reproduce [all|fig1|fig3|table1|fig4|fig5|fig6|complexity|crossover|dist|udf|local|bloom]
+//!           [--small]
+//! ```
+//!
+//! `--small` runs reduced instance sizes (used in CI); the default
+//! sizes match `EXPERIMENTS.md`.
+
+use fj_bench::repro;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let small = args.iter().any(|a| a == "--small");
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let which = if which.is_empty() || which.contains(&"all") {
+        vec![
+            "fig1", "fig3", "table1", "fig4", "fig5", "fig6", "complexity", "crossover",
+            "dist", "udf", "local", "bloom",
+        ]
+    } else {
+        which
+    };
+
+    // (emps, depts) for the Emp/Dept experiments.
+    let (e, d) = if small { (3_000, 300) } else { (20_000, 1_000) };
+
+    for w in which {
+        let report = match w {
+            "fig1" => repro::fig1_magic::run(e, d),
+            "fig3" => repro::fig3_orders::run(e, d),
+            "table1" => repro::table1_components::run(e, d),
+            "fig4" => repro::fig4_cardinality::run(e, d),
+            "fig5" => repro::fig5_classes::run(e, d),
+            "fig6" => repro::fig6_taxonomy::run(),
+            "complexity" => repro::complexity::run(if small { 7 } else { 10 }),
+            "crossover" => repro::crossover::run(e, d),
+            "dist" => {
+                if small {
+                    repro::dist::run(500, 5_000, 25)
+                } else {
+                    repro::dist::run(2_000, 50_000, 100)
+                }
+            }
+            "udf" => {
+                if small {
+                    repro::udf::run(2_000, 50)
+                } else {
+                    repro::udf::run(20_000, 200)
+                }
+            }
+            "local" => {
+                if small {
+                    repro::local_semijoin::run(2_000, 10_000, 20)
+                } else {
+                    repro::local_semijoin::run(10_000, 100_000, 50)
+                }
+            }
+            "bloom" => {
+                if small {
+                    repro::bloom::run(500, 5_000, 20)
+                } else {
+                    repro::bloom::run(5_000, 50_000, 100)
+                }
+            }
+            other => {
+                eprintln!("unknown experiment '{other}'");
+                std::process::exit(2);
+            }
+        };
+        println!("{report}");
+    }
+}

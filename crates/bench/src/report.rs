@@ -1,0 +1,123 @@
+//! Minimal fixed-width table rendering for experiment reports.
+
+use std::fmt;
+
+/// A printable experiment report: a title, column headers, and rows of
+/// stringified cells.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Report title (e.g. `"Figure 4: restricted-view cardinality"`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (each row must match `headers.len()`).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Starts a report.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Report {
+        Report {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row (panics on arity mismatch — reports are
+    /// programmer-constructed).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "report row arity mismatch"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// A cell from anything displayable.
+    pub fn cell(v: impl fmt::Display) -> String {
+        v.to_string()
+    }
+
+    /// A numeric cell with fixed precision.
+    pub fn num(v: f64) -> String {
+        if v.abs() >= 1000.0 {
+            format!("{v:.0}")
+        } else {
+            format!("{v:.2}")
+        }
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let header: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{h:>w$}", w = widths[i]))
+            .collect();
+        writeln!(f, "{}", header.join("  "))?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+                .collect();
+            writeln!(f, "{}", line.join("  "))?;
+        }
+        for n in &self.notes {
+            writeln!(f, "  note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut r = Report::new("T", &["a", "bbbb"]);
+        r.row(vec!["1".into(), "2".into()]);
+        r.row(vec!["100".into(), "2000000".into()]);
+        r.note("shape holds");
+        let s = r.to_string();
+        assert!(s.contains("== T =="));
+        assert!(s.contains("note: shape holds"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[1].len(), lines[3].len(), "aligned columns");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked() {
+        let mut r = Report::new("T", &["a"]);
+        r.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn num_formatting() {
+        assert_eq!(Report::num(3.14159), "3.14");
+        assert_eq!(Report::num(123456.7), "123457");
+    }
+}

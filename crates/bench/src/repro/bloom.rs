@@ -1,0 +1,294 @@
+//! B1 — lossy filter sets (§3.2, Appendix A): Bloom filter size vs
+//! false-positive rate vs shipped bytes vs total cost, against the
+//! exact filter set, in the distributed setting where the trade-off
+//! bites (a Bloom filter ships at a *fixed* size; the exact set scales
+//! with its cardinality but admits no false positives).
+
+use crate::report::Report;
+use crate::workloads::orders_customers;
+use fj_core::storage::CPU_WEIGHT_DEFAULT;
+use fj_core::{col, ExecCtx, NetworkModel, PhysPlan, SiteId};
+use std::sync::Arc;
+
+/// One filter-implementation outcome.
+#[derive(Debug, Clone)]
+pub struct BloomOutcome {
+    /// Label ("exact" or "bloom Nb").
+    pub label: String,
+    /// Bytes shipped in total (filter out + survivors back).
+    pub bytes_shipped: u64,
+    /// Inner tuples surviving the filter (false positives inflate
+    /// this).
+    pub survivors: usize,
+    /// Total weighted cost.
+    pub cost: f64,
+}
+
+/// Runs the exact filter and Bloom filters of several sizes.
+pub fn sweep(
+    n_orders: usize,
+    n_customers: usize,
+    referenced: usize,
+    bloom_bits: &[u64],
+) -> Vec<BloomOutcome> {
+    let network = NetworkModel::wan();
+    let mut out = Vec::new();
+
+    // Exact filter set first.
+    out.push(run_one(
+        n_orders,
+        n_customers,
+        referenced,
+        None,
+        network,
+        "exact".into(),
+    ));
+    for &bits in bloom_bits {
+        out.push(run_one(
+            n_orders,
+            n_customers,
+            referenced,
+            Some(bits),
+            network,
+            format!("bloom {bits}b"),
+        ));
+    }
+    out
+}
+
+fn run_one(
+    n_orders: usize,
+    n_customers: usize,
+    referenced: usize,
+    bloom_bits: Option<u64>,
+    network: NetworkModel,
+    label: String,
+) -> BloomOutcome {
+    let (orders, customers) = orders_customers(n_orders, n_customers, referenced, 13);
+    let scenario = fj_core::distsim::TwoSiteScenario::new(
+        orders.into_ref(),
+        customers.into_ref(),
+        "cust",
+        "cust",
+        network,
+    );
+    let ctx = ExecCtx::new(Arc::clone(&scenario.catalog));
+    let before = ctx.ledger.snapshot();
+    let outer = PhysPlan::SeqScan {
+        table: "Orders".into(),
+        alias: "O".into(),
+    };
+    let inner = PhysPlan::SeqScan {
+        table: "Customers".into(),
+        alias: "C".into(),
+    };
+    let filter_proj = PhysPlan::Project {
+        input: outer.clone().boxed(),
+        exprs: vec![(col("O.cust"), "k0".into())],
+    };
+
+    let (steps, restricted) = match bloom_bits {
+        Some(bits) => (
+            vec![fj_core::exec::TempStep::BuildBloom {
+                name: "__b".into(),
+                plan: filter_proj,
+                key_cols: vec!["k0".into()],
+                bits,
+                hashes: 4,
+                ship: Some((SiteId::LOCAL, scenario.remote_site)),
+            }],
+            PhysPlan::BloomProbe {
+                input: inner.boxed(),
+                bloom: "__b".into(),
+                key_cols: vec!["C.cust".into()],
+            },
+        ),
+        None => (
+            vec![fj_core::exec::TempStep::Materialize {
+                name: "__f".into(),
+                plan: PhysPlan::Ship {
+                    input: PhysPlan::Distinct {
+                        input: filter_proj.boxed(),
+                    }
+                    .boxed(),
+                    from: SiteId::LOCAL,
+                    to: scenario.remote_site,
+                },
+            }],
+            PhysPlan::HashJoin {
+                outer: inner.boxed(),
+                inner: PhysPlan::TempScan {
+                    name: "__f".into(),
+                    alias: "F".into(),
+                }
+                .boxed(),
+                keys: vec![("C.cust".into(), "F.k0".into())],
+                residual: None,
+                kind: fj_core::algebra::JoinKind::Semi,
+            },
+        ),
+    };
+    // Measure the survivors (restricted inner cardinality) via a
+    // sub-execution inside the plan: ship them home and join.
+    let plan = PhysPlan::WithTemp {
+        steps,
+        body: PhysPlan::WithTemp {
+            steps: vec![fj_core::exec::TempStep::Materialize {
+                name: "__rk".into(),
+                plan: PhysPlan::Ship {
+                    input: restricted.boxed(),
+                    from: scenario.remote_site,
+                    to: SiteId::LOCAL,
+                },
+            }],
+            body: PhysPlan::HashJoin {
+                outer: outer.boxed(),
+                inner: PhysPlan::TempScan {
+                    name: "__rk".into(),
+                    alias: String::new(),
+                }
+                .boxed(),
+                keys: vec![("O.cust".into(), "C.cust".into())],
+                residual: None,
+                kind: fj_core::algebra::JoinKind::Inner,
+            }
+            .boxed(),
+        }
+        .boxed(),
+    };
+    // Count survivors with a separate probe-only execution of the same
+    // steps (cheap) before running the full plan would double charge;
+    // instead, derive survivors from the join: rerun restricted alone.
+    let rel = plan.execute(&ctx).expect("bloom variant runs");
+    assert_eq!(rel.rows.len(), n_orders, "join answer preserved");
+    let d = ctx.ledger.snapshot().delta(&before);
+
+    // Survivors: reconstruct by running the restriction standalone on a
+    // throwaway context (not charged to the measured ledger).
+    let survivors = {
+        let ctx2 = ExecCtx::new(Arc::clone(&scenario.catalog));
+        let probe = match bloom_bits {
+            Some(bits) => PhysPlan::WithTemp {
+                steps: vec![fj_core::exec::TempStep::BuildBloom {
+                    name: "__b2".into(),
+                    plan: PhysPlan::Project {
+                        input: PhysPlan::SeqScan {
+                            table: "Orders".into(),
+                            alias: "O".into(),
+                        }
+                        .boxed(),
+                        exprs: vec![(col("O.cust"), "k0".into())],
+                    },
+                    key_cols: vec!["k0".into()],
+                    bits,
+                    hashes: 4,
+                    ship: None,
+                }],
+                body: PhysPlan::BloomProbe {
+                    input: PhysPlan::SeqScan {
+                        table: "Customers".into(),
+                        alias: "C".into(),
+                    }
+                    .boxed(),
+                    bloom: "__b2".into(),
+                    key_cols: vec!["C.cust".into()],
+                }
+                .boxed(),
+            },
+            None => PhysPlan::WithTemp {
+                steps: vec![fj_core::exec::TempStep::Materialize {
+                    name: "__f2".into(),
+                    plan: PhysPlan::Distinct {
+                        input: PhysPlan::Project {
+                            input: PhysPlan::SeqScan {
+                                table: "Orders".into(),
+                                alias: "O".into(),
+                            }
+                            .boxed(),
+                            exprs: vec![(col("O.cust"), "k0".into())],
+                        }
+                        .boxed(),
+                    },
+                }],
+                body: PhysPlan::HashJoin {
+                    outer: PhysPlan::SeqScan {
+                        table: "Customers".into(),
+                        alias: "C".into(),
+                    }
+                    .boxed(),
+                    inner: PhysPlan::TempScan {
+                        name: "__f2".into(),
+                        alias: "F".into(),
+                    }
+                    .boxed(),
+                    keys: vec![("C.cust".into(), "F.k0".into())],
+                    residual: None,
+                    kind: fj_core::algebra::JoinKind::Semi,
+                }
+                .boxed(),
+            },
+        };
+        probe.execute(&ctx2).expect("probe runs").rows.len()
+    };
+
+    BloomOutcome {
+        label,
+        bytes_shipped: d.bytes_shipped,
+        survivors,
+        cost: d.weighted(CPU_WEIGHT_DEFAULT, network.per_byte, network.per_message),
+    }
+}
+
+/// The printable report.
+pub fn run(n_orders: usize, n_customers: usize, referenced: usize) -> Report {
+    let outcomes = sweep(
+        n_orders,
+        n_customers,
+        referenced,
+        &[256, 1024, 4096, 65_536],
+    );
+    let mut r = Report::new(
+        format!(
+            "B1: exact vs lossy (Bloom) filter sets on a WAN ({n_orders} orders, {n_customers} customers, {referenced} referenced)"
+        ),
+        &["filter", "bytes shipped", "survivors", "fp tuples", "cost"],
+    );
+    for o in &outcomes {
+        r.row(vec![
+            o.label.clone(),
+            o.bytes_shipped.to_string(),
+            o.survivors.to_string(),
+            (o.survivors.saturating_sub(referenced)).to_string(),
+            Report::num(o.cost),
+        ]);
+    }
+    r.note("small Bloom filters ship less but let false positives through; saturation makes them useless");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigger_blooms_fewer_false_positives() {
+        let out = sweep(500, 5000, 20, &[128, 16_384]);
+        let small = &out[1];
+        let big = &out[2];
+        assert!(
+            big.survivors <= small.survivors,
+            "16k-bit bloom {} survivors vs 128-bit {}",
+            big.survivors,
+            small.survivors
+        );
+        // The exact filter admits exactly the referenced keys.
+        assert_eq!(out[0].survivors, 20);
+    }
+
+    #[test]
+    fn saturated_bloom_passes_everything() {
+        let out = sweep(500, 5000, 400, &[64]);
+        // 400 keys into 64 bits: saturated, nearly everything survives.
+        assert!(out[1].survivors > 4000, "got {}", out[1].survivors);
+    }
+}

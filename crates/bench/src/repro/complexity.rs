@@ -1,0 +1,198 @@
+//! C1 — §3.3's central claim: adding the Filter Join to the System-R
+//! enumerator does not change the asymptotic complexity of
+//! optimization.
+//!
+//! We optimize chain queries of N = 2..max relations with the Filter
+//! Join disabled and enabled, recording the number of join alternatives
+//! costed and the wall time. The claim holds if the ratio between the
+//! two stays bounded by a constant as N grows (each join considers a
+//! constant number of extra methods; parametric fits are memoized).
+//!
+//! The Limitation-2 ablation column re-enables prefix production sets.
+//! Its blow-up depends on how many prefixes can reach the inner: on
+//! chains only the adjacent relation links (mild growth), on *star*
+//! queries every prefix containing the fact links — there the measured
+//! ratio grows with N, the O(N) factor §3.3 warns about (see
+//! [`star_prefix_sweep`]).
+
+use crate::report::Report;
+use crate::workloads::{chain, star};
+use fj_core::{Optimizer, OptimizerConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One N's measurements.
+#[derive(Debug, Clone, Copy)]
+pub struct ComplexityPoint {
+    /// Relations in the chain.
+    pub n: usize,
+    /// Join alternatives costed, Filter Join off.
+    pub plans_off: u64,
+    /// Join alternatives costed, Filter Join on.
+    pub plans_on: u64,
+    /// Join alternatives costed with the Limitation-2 ablation (prefix
+    /// production sets).
+    pub plans_prefix: u64,
+    /// Optimization wall time (µs), off.
+    pub micros_off: u128,
+    /// Optimization wall time (µs), on.
+    pub micros_on: u128,
+}
+
+/// Optimizes chains of 2..=`max_n` relations both ways.
+pub fn sweep(max_n: usize, rows: usize) -> Vec<ComplexityPoint> {
+    (2..=max_n)
+        .map(|n| {
+            let (cat, q) = chain(n, rows, 5);
+            let cat = Arc::new(cat);
+
+            let off = Optimizer::new(Arc::clone(&cat), OptimizerConfig::without_filter_join());
+            let t0 = Instant::now();
+            let p_off = off.optimize(&q).expect("chain optimizes (FJ off)");
+            let micros_off = t0.elapsed().as_micros();
+
+            let on = Optimizer::new(Arc::clone(&cat), OptimizerConfig::default());
+            let t1 = Instant::now();
+            let p_on = on.optimize(&q).expect("chain optimizes (FJ on)");
+            let micros_on = t1.elapsed().as_micros();
+
+            let cfg = OptimizerConfig {
+                allow_prefix_production: true,
+                ..OptimizerConfig::default()
+            };
+            let prefix = Optimizer::new(Arc::clone(&cat), cfg);
+            let p_prefix = prefix.optimize(&q).expect("chain optimizes (prefix ablation)");
+
+            ComplexityPoint {
+                n,
+                plans_off: p_off.plans_considered,
+                plans_on: p_on.plans_considered,
+                plans_prefix: p_prefix.plans_considered,
+                micros_off,
+                micros_on,
+            }
+        })
+        .collect()
+}
+
+/// Prefix-ablation ratios on star queries of 3..=`max_n` relations,
+/// where every outer prefix containing the fact can filter the next
+/// dimension: `(n, plans_limited, plans_prefix)`.
+pub fn star_prefix_sweep(max_n: usize, fact_rows: usize) -> Vec<(usize, u64, u64)> {
+    (3..=max_n)
+        .map(|n| {
+            let (cat, q) = star(n, fact_rows, 50, 5);
+            let cat = Arc::new(cat);
+            let limited = Optimizer::new(Arc::clone(&cat), OptimizerConfig::default())
+                .optimize(&q)
+                .expect("star optimizes");
+            let cfg = OptimizerConfig {
+                allow_prefix_production: true,
+                ..OptimizerConfig::default()
+            };
+            let prefix = Optimizer::new(Arc::clone(&cat), cfg)
+                .optimize(&q)
+                .expect("star optimizes (prefix)");
+            (n, limited.plans_considered, prefix.plans_considered)
+        })
+        .collect()
+}
+
+/// The printable report.
+pub fn run(max_n: usize) -> Report {
+    let pts = sweep(max_n, 200);
+    let mut r = Report::new(
+        "C1 (§3.3): optimizer complexity with/without the Filter Join (chain queries)",
+        &[
+            "N",
+            "plans (FJ off)",
+            "plans (FJ on)",
+            "ratio",
+            "plans (prefix abl.)",
+            "prefix ratio",
+            "time off (us)",
+            "time on (us)",
+        ],
+    );
+    for p in &pts {
+        r.row(vec![
+            p.n.to_string(),
+            p.plans_off.to_string(),
+            p.plans_on.to_string(),
+            format!("{:.2}", p.plans_on as f64 / p.plans_off as f64),
+            p.plans_prefix.to_string(),
+            format!("{:.2}", p.plans_prefix as f64 / p.plans_off as f64),
+            p.micros_off.to_string(),
+            p.micros_on.to_string(),
+        ]);
+    }
+    r.note("bounded FJ-on ratio = same asymptotic complexity (the paper's claim)");
+    for (n, limited, prefix) in star_prefix_sweep(max_n.min(8), 200) {
+        r.note(format!(
+            "star N={n}: prefix ablation costs {prefix} vs {limited} candidates (x{:.2}) — the O(N) growth Limitation 2 prevents",
+            prefix as f64 / limited as f64
+        ));
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_stays_bounded() {
+        let pts = sweep(7, 100);
+        for p in &pts {
+            let ratio = p.plans_on as f64 / p.plans_off as f64;
+            assert!(
+                ratio <= 4.0,
+                "N={}: ratio {ratio} exceeds the constant bound",
+                p.n
+            );
+        }
+        // And the ratio does not grow with N (compare first vs last).
+        let first = pts.first().unwrap();
+        let last = pts.last().unwrap();
+        let r0 = first.plans_on as f64 / first.plans_off as f64;
+        let r1 = last.plans_on as f64 / last.plans_off as f64;
+        assert!(
+            r1 <= r0 * 1.5 + 0.5,
+            "ratio grew from {r0} (N={}) to {r1} (N={})",
+            first.n,
+            last.n
+        );
+    }
+
+    #[test]
+    fn prefix_ablation_ratio_grows_with_n_on_stars() {
+        let pts = star_prefix_sweep(7, 60);
+        let (n0, l0, p0) = pts[0];
+        let (n1, l1, p1) = *pts.last().unwrap();
+        let r0 = p0 as f64 / l0 as f64;
+        let r1 = p1 as f64 / l1 as f64;
+        assert!(
+            r1 > r0 * 1.25,
+            "prefix ratio should grow with N on stars: {r0:.2} (N={n0}) -> {r1:.2} (N={n1})"
+        );
+    }
+
+    #[test]
+    fn prefix_ablation_mild_on_chains() {
+        // On chains only adjacent relations link, so Limitation 1 alone
+        // already keeps the blow-up small — the worst case needs stars.
+        let pts = sweep(6, 50);
+        for p in &pts {
+            assert!(p.plans_prefix >= p.plans_on);
+        }
+    }
+
+    #[test]
+    fn plan_counts_grow_exponentially_in_n() {
+        let pts = sweep(6, 50);
+        // The System-R DP costs more alternatives each step.
+        for w in pts.windows(2) {
+            assert!(w[1].plans_off > w[0].plans_off);
+        }
+    }
+}

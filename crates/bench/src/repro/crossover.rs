@@ -1,0 +1,68 @@
+//! C2 — the case for *cost-based* magic: a fine-grained selectivity
+//! sweep locating the crossover between "never rewrite" and "always
+//! rewrite", and checking the cost-based optimizer lands on the right
+//! side of it everywhere.
+
+use crate::report::Report;
+use crate::repro::fig1_magic::{sweep, Point};
+
+/// Finds the crossover fraction: the first sweep point where
+/// always-magic stops beating naive.
+pub fn find_crossover(points: &[Point]) -> Option<f64> {
+    points
+        .iter()
+        .find(|p| p.magic >= p.naive)
+        .map(|p| p.frac_big)
+}
+
+/// The printable report.
+pub fn run(n_emps: usize, n_depts: usize) -> Report {
+    let fracs: Vec<f64> = (1..=10).map(|i| i as f64 / 10.0).collect();
+    let points = sweep(n_emps, n_depts, &fracs);
+    let mut r = Report::new(
+        format!("C2: never/always/cost-based policies, crossover sweep ({n_emps} emps / {n_depts} depts)"),
+        &["frac_big", "never-magic", "always-magic", "cost-based", "regret vs best"],
+    );
+    let mut total_regret = 0.0;
+    for p in &points {
+        let best = p.naive.min(p.magic);
+        let regret = (p.cost_based - best).max(0.0);
+        total_regret += regret;
+        r.row(vec![
+            format!("{:.1}", p.frac_big),
+            Report::num(p.naive),
+            Report::num(p.magic),
+            Report::num(p.cost_based),
+            Report::num(regret),
+        ]);
+    }
+    match find_crossover(&points) {
+        Some(f) => r.note(format!("crossover at frac_big ≈ {f:.1}")),
+        None => r.note("always-magic wins across the whole sweep at this scale"),
+    }
+    r.note(format!(
+        "total cost-based regret across the sweep: {total_regret:.1} page units"
+    ));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_based_has_bounded_regret() {
+        let points = sweep(3000, 300, &[0.05, 0.5, 1.0]);
+        for p in &points {
+            let best = p.naive.min(p.magic);
+            let worst = p.naive.max(p.magic);
+            // Cost-based must be much closer to best than to worst.
+            assert!(
+                p.cost_based - best <= (worst - best) * 0.6 + 50.0,
+                "at frac {}: cost-based {} best {best} worst {worst}",
+                p.frac_big,
+                p.cost_based
+            );
+        }
+    }
+}

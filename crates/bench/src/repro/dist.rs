@@ -1,0 +1,141 @@
+//! D1 — §5.1: semi-join vs fetch strategies in a distributed DBMS, as
+//! the communication/local cost ratio sweeps.
+//!
+//! SDD-1's assumption (communication dominates) makes the semi-join the
+//! only method; System R*'s critique (local processing matters) made it
+//! drop semi-joins entirely. The paper's position is that a cost model
+//! should arbitrate. This experiment reproduces both regimes and shows
+//! the cost-based optimizer switching strategies at the right network
+//! weight.
+
+use crate::report::Report;
+use crate::workloads::orders_customers;
+use fj_core::distsim::{run_strategy, DistStrategy, TwoSiteScenario};
+use fj_core::{col, Database, FromItem, JoinQuery, NetworkModel};
+
+/// One network-weight point: strategy costs plus the optimizer's pick.
+#[derive(Debug, Clone)]
+pub struct DistPoint {
+    /// Multiplier over the LAN per-byte cost.
+    pub net_scale: f64,
+    /// Measured cost per strategy, in [`DistStrategy::ALL`] order.
+    pub costs: [f64; 4],
+    /// What the cost-based optimizer chose ("filter join" or
+    /// "fetch inner").
+    pub optimizer_choice: &'static str,
+}
+
+/// Sweeps the network weight.
+pub fn sweep(n_orders: usize, n_customers: usize, referenced: usize) -> Vec<DistPoint> {
+    [0.0, 0.1, 1.0, 10.0, 100.0]
+        .iter()
+        .map(|&net_scale| {
+            let (orders, mut customers) =
+                orders_customers(n_orders, n_customers, referenced, 23);
+            customers.create_hash_index(0).expect("index on cust");
+            let network = NetworkModel {
+                per_message: 1.0 * net_scale,
+                per_byte: (2.0 / 4096.0) * net_scale,
+            };
+            let scenario = TwoSiteScenario::new(
+                orders.into_ref(),
+                customers.into_ref(),
+                "cust",
+                "cust",
+                network,
+            );
+            let mut costs = [0.0; 4];
+            for (i, s) in DistStrategy::ALL.iter().enumerate() {
+                costs[i] = run_strategy(&scenario, *s)
+                    .expect("strategy runs")
+                    .cost;
+            }
+
+            // The optimizer's verdict on the same join.
+            let mut db = Database::with_catalog((*scenario.catalog).clone());
+            db.set_network(network);
+            let q = JoinQuery::new(vec![
+                FromItem::new("Orders", "O"),
+                FromItem::new("Customers", "C"),
+            ])
+            .with_predicate(col("O.cust").eq(col("C.cust")));
+            let plan = db.optimize(&q).expect("optimizes");
+            let optimizer_choice = if plan.sips.is_empty() {
+                "fetch inner"
+            } else {
+                "filter join"
+            };
+            DistPoint {
+                net_scale,
+                costs,
+                optimizer_choice,
+            }
+        })
+        .collect()
+}
+
+/// The printable report.
+pub fn run(n_orders: usize, n_customers: usize, referenced: usize) -> Report {
+    let pts = sweep(n_orders, n_customers, referenced);
+    let mut r = Report::new(
+        format!(
+            "D1 (§5.1): distributed strategies vs network weight ({n_orders} orders, {n_customers} customers, {referenced} referenced)"
+        ),
+        &[
+            "net scale",
+            "fetch-inner",
+            "fetch-matches",
+            "semi-join",
+            "bloom semi-join",
+            "optimizer picks",
+        ],
+    );
+    for p in &pts {
+        r.row(vec![
+            format!("{}", p.net_scale),
+            Report::num(p.costs[0]),
+            Report::num(p.costs[1]),
+            Report::num(p.costs[2]),
+            Report::num(p.costs[3]),
+            p.optimizer_choice.into(),
+        ]);
+    }
+    r.note("cheap network: fetch-inner competitive (R* regime); expensive network: semi-join wins (SDD-1 regime)");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regimes_reproduce() {
+        let pts = sweep(500, 5000, 25);
+        let free = &pts[0];
+        let wan = pts.last().unwrap();
+        // Free network: fetch-inner is at least as cheap as semi-join.
+        assert!(
+            free.costs[0] <= free.costs[2] * 1.05,
+            "free network: fetch {} vs semi {}",
+            free.costs[0],
+            free.costs[2]
+        );
+        // Expensive network: semi-join decisively cheaper.
+        assert!(
+            wan.costs[2] < wan.costs[0] * 0.5,
+            "wan: semi {} vs fetch {}",
+            wan.costs[2],
+            wan.costs[0]
+        );
+    }
+
+    #[test]
+    fn optimizer_switches_with_network() {
+        let pts = sweep(500, 5000, 25);
+        assert_eq!(
+            pts.last().unwrap().optimizer_choice,
+            "filter join",
+            "expensive network should push the optimizer to the semi-join"
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Figure 3: the six left-deep join orders of the motivating query,
+//! and the SIPS (filter set) each order induces.
+//!
+//! Orders 1/2 pass `{E ⋈ D}` sideways into the view, orders 3/4 pass a
+//! single relation, and orders 5/6 (view outermost) admit no filter
+//! join — the original query. The optimizer prices each order with its
+//! best join methods; the globally chosen plan must match the cheapest
+//! row.
+
+use crate::report::Report;
+use crate::workloads::{emp_dept, paper_query, EmpDeptConfig};
+use fj_core::{Database, Optimizer, OptimizerConfig};
+use std::sync::Arc;
+
+/// One join order's outcome.
+#[derive(Debug, Clone)]
+pub struct OrderOutcome {
+    /// The order, outermost first.
+    pub order: Vec<String>,
+    /// Optimizer's estimated cost for the best plan under this order.
+    pub estimated: f64,
+    /// Measured cost of executing that plan.
+    pub measured: f64,
+    /// Description of the induced filter set (production → inner), or
+    /// "none".
+    pub filter_set: String,
+}
+
+/// Prices and executes all six orders.
+pub fn all_orders(n_emps: usize, n_depts: usize, frac_big: f64) -> Vec<OrderOutcome> {
+    let cat = Arc::new(emp_dept(EmpDeptConfig {
+        n_emps,
+        n_depts,
+        frac_big,
+        ..Default::default()
+    }));
+    let db = Database::with_catalog((*cat).clone());
+    let opt = Optimizer::new(Arc::clone(&cat), OptimizerConfig::default());
+    let q = paper_query();
+    let orders: [[&str; 3]; 6] = [
+        ["E", "D", "V"],
+        ["D", "E", "V"],
+        ["D", "V", "E"],
+        ["E", "V", "D"],
+        ["V", "E", "D"],
+        ["V", "D", "E"],
+    ];
+    orders
+        .iter()
+        .map(|o| {
+            let order: Vec<String> = o.iter().map(|s| s.to_string()).collect();
+            let plan = opt
+                .optimize_with_order(&q, &order)
+                .expect("every order is plannable");
+            let ctx = fj_core::ExecCtx::new(Arc::clone(&cat));
+            let rel = plan.phys.execute(&ctx).expect("plan runs");
+            assert_eq!(rel.schema.arity(), 3);
+            let net = db.catalog().network();
+            let measured = ctx.ledger.snapshot().weighted(
+                fj_core::storage::CPU_WEIGHT_DEFAULT,
+                net.per_byte,
+                net.per_message,
+            );
+            let filter_set = plan
+                .sips
+                .iter()
+                .map(|s| format!("{{{}}} -> {}", s.production.join(","), s.inner))
+                .collect::<Vec<_>>()
+                .join("; ");
+            OrderOutcome {
+                order,
+                estimated: plan.cost,
+                measured,
+                filter_set: if filter_set.is_empty() {
+                    "none".into()
+                } else {
+                    filter_set
+                },
+            }
+        })
+        .collect()
+}
+
+/// The printable report.
+pub fn run(n_emps: usize, n_depts: usize) -> Report {
+    let outcomes = all_orders(n_emps, n_depts, 0.1);
+    let cat = emp_dept(EmpDeptConfig {
+        n_emps,
+        n_depts,
+        frac_big: 0.1,
+        ..Default::default()
+    });
+    let db = Database::with_catalog(cat);
+    let global = db.optimize(&paper_query()).expect("optimizes");
+
+    let mut r = Report::new(
+        format!("Figure 3: the six join orders ({n_emps} emps / {n_depts} depts, frac_big=0.1)"),
+        &["#", "join order", "filter set (SIPS)", "est. cost", "measured"],
+    );
+    for (i, o) in outcomes.iter().enumerate() {
+        r.row(vec![
+            format!("{}", i + 1),
+            o.order.join(" -> "),
+            o.filter_set.clone(),
+            Report::num(o.estimated),
+            Report::num(o.measured),
+        ]);
+    }
+    r.note(format!(
+        "globally chosen order: {} (est. {:.1})",
+        global.order.join(" -> "),
+        global.cost
+    ));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_orders_with_expected_sips_shapes() {
+        let out = all_orders(2000, 200, 0.1);
+        assert_eq!(out.len(), 6);
+        // Orders starting with E or D and ending with V induce a filter
+        // set into V.
+        assert!(out[0].filter_set.contains("-> V"), "{:?}", out[0]);
+        assert!(out[1].filter_set.contains("-> V"), "{:?}", out[1]);
+        // Orders with V outermost cannot filter V.
+        assert!(!out[4].filter_set.contains("-> V"));
+        assert!(!out[5].filter_set.contains("-> V"));
+    }
+
+    #[test]
+    fn global_plan_at_least_as_cheap_as_every_forced_order() {
+        let cat = emp_dept(EmpDeptConfig {
+            n_emps: 2000,
+            n_depts: 200,
+            frac_big: 0.1,
+            ..Default::default()
+        });
+        let db = Database::with_catalog(cat);
+        let global = db.optimize(&paper_query()).unwrap();
+        for o in all_orders(2000, 200, 0.1) {
+            assert!(
+                global.cost <= o.estimated + 1e-6,
+                "global {} vs forced {:?} {}",
+                global.cost,
+                o.order,
+                o.estimated
+            );
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! L1 — §5.3: the Filter Join on plain stored relations.
+//!
+//! "Assume that the filter set is small enough to fit in memory. It can
+//! be created in a single scan of the outer relation. ... So in certain
+//! situations, the join can be performed with two scans of the outer
+//! and one scan of the inner, which may be much cheaper than any of the
+//! other join methods."
+//!
+//! We run the four join methods with a tiny buffer pool (so full
+//! computation spills) and verify both the ranking and the exact page
+//! pattern of the local semi-join.
+
+use crate::report::Report;
+use crate::workloads::orders_customers;
+use fj_core::storage::CPU_WEIGHT_DEFAULT;
+use fj_core::{col, Catalog, ExecCtx, LedgerSnapshot, PhysPlan};
+use std::sync::Arc;
+
+/// One method's measurements.
+#[derive(Debug, Clone)]
+pub struct MethodOutcome {
+    /// Method name.
+    pub method: &'static str,
+    /// Page reads.
+    pub reads: u64,
+    /// Page writes.
+    pub writes: u64,
+    /// Weighted cost.
+    pub cost: f64,
+}
+
+fn catalog(n_orders: usize, n_customers: usize, referenced: usize) -> (Catalog, u64, u64) {
+    let (orders, customers) = orders_customers(n_orders, n_customers, referenced, 31);
+    let op = orders.page_count();
+    let ip = customers.page_count();
+    let mut cat = Catalog::new();
+    cat.add_table(orders.into_ref());
+    cat.add_table(customers.into_ref());
+    (cat, op, ip)
+}
+
+fn plans() -> Vec<(&'static str, PhysPlan)> {
+    let outer = PhysPlan::SeqScan {
+        table: "Orders".into(),
+        alias: "O".into(),
+    };
+    let inner = PhysPlan::SeqScan {
+        table: "Customers".into(),
+        alias: "C".into(),
+    };
+    let keys = vec![("O.cust".to_string(), "C.cust".to_string())];
+    let semi = PhysPlan::WithTemp {
+        steps: vec![fj_core::exec::TempStep::Materialize {
+            name: "__f".into(),
+            plan: PhysPlan::Distinct {
+                input: PhysPlan::Project {
+                    input: outer.clone().boxed(),
+                    exprs: vec![(col("O.cust"), "k0".into())],
+                }
+                .boxed(),
+            },
+        }],
+        body: PhysPlan::HashJoin {
+            outer: outer.clone().boxed(),
+            inner: PhysPlan::HashJoin {
+                outer: inner.clone().boxed(),
+                inner: PhysPlan::TempScan {
+                    name: "__f".into(),
+                    alias: "F".into(),
+                }
+                .boxed(),
+                keys: vec![("C.cust".into(), "F.k0".into())],
+                residual: None,
+                kind: fj_core::algebra::JoinKind::Semi,
+            }
+            .boxed(),
+            keys: keys.clone(),
+            residual: None,
+            kind: fj_core::algebra::JoinKind::Inner,
+        }
+        .boxed(),
+    };
+    vec![
+        (
+            "block nested loops",
+            PhysPlan::NestedLoops {
+                outer: outer.clone().boxed(),
+                inner: inner.clone().boxed(),
+                predicate: Some(col("O.cust").eq(col("C.cust"))),
+                kind: fj_core::algebra::JoinKind::Inner,
+            },
+        ),
+        (
+            "hash join",
+            PhysPlan::HashJoin {
+                outer: outer.clone().boxed(),
+                inner: inner.clone().boxed(),
+                keys: keys.clone(),
+                residual: None,
+                kind: fj_core::algebra::JoinKind::Inner,
+            },
+        ),
+        (
+            "sort-merge join",
+            PhysPlan::MergeJoin {
+                outer: outer.boxed(),
+                inner: inner.boxed(),
+                keys,
+                residual: None,
+            },
+        ),
+        ("local semi-join (filter join)", semi),
+    ]
+}
+
+/// Runs all methods under a `memory_pages`-page buffer pool.
+pub fn methods(
+    n_orders: usize,
+    n_customers: usize,
+    referenced: usize,
+    memory_pages: u64,
+) -> (Vec<MethodOutcome>, u64, u64) {
+    let (cat, op, ip) = catalog(n_orders, n_customers, referenced);
+    let cat = Arc::new(cat);
+    let mut out = Vec::new();
+    let mut expected_rows: Option<usize> = None;
+    for (name, plan) in plans() {
+        let ctx = ExecCtx::new(Arc::clone(&cat)).with_memory_pages(memory_pages);
+        let before = ctx.ledger.snapshot();
+        let rel = plan.execute(&ctx).expect("join method runs");
+        match expected_rows {
+            None => expected_rows = Some(rel.rows.len()),
+            Some(n) => assert_eq!(n, rel.rows.len(), "{name} changed the answer"),
+        }
+        let d: LedgerSnapshot = ctx.ledger.snapshot().delta(&before);
+        out.push(MethodOutcome {
+            method: name,
+            reads: d.page_reads,
+            writes: d.page_writes,
+            cost: d.weighted(CPU_WEIGHT_DEFAULT, 0.0, 0.0),
+        });
+    }
+    (out, op, ip)
+}
+
+/// The printable report.
+pub fn run(n_orders: usize, n_customers: usize, referenced: usize) -> Report {
+    let mem = 8;
+    let (out, op, ip) = methods(n_orders, n_customers, referenced, mem);
+    let mut r = Report::new(
+        format!(
+            "L1 (§5.3): local semi-join vs classic methods ({n_orders} orders [{op} pages], {n_customers} customers [{ip} pages], {referenced} referenced keys, M={mem})"
+        ),
+        &["method", "page reads", "page writes", "cost"],
+    );
+    for o in &out {
+        r.row(vec![
+            o.method.into(),
+            o.reads.to_string(),
+            o.writes.to_string(),
+            Report::num(o.cost),
+        ]);
+    }
+    r.note(format!(
+        "semi-join page pattern: two scans of the outer ({op}+{op}) + one of the inner ({ip}) + small filter temp"
+    ));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_scans_of_outer_one_of_inner() {
+        let (out, op, ip) = methods(4000, 20000, 20, 8);
+        let semi = out.last().unwrap();
+        // Reads: outer scan (filter build) + outer scan (final join) +
+        // inner scan + filter temp read; the filter set is tiny (1 page).
+        let expected = 2 * op + ip;
+        assert!(
+            semi.reads >= expected && semi.reads <= expected + 4,
+            "semi-join reads {} vs expected ~{expected}",
+            semi.reads
+        );
+        assert!(semi.writes <= 2, "filter temp is small");
+    }
+
+    #[test]
+    fn semi_join_beats_spilling_methods_with_tiny_memory() {
+        let (out, _, _) = methods(4000, 20000, 20, 4);
+        let hash = out.iter().find(|o| o.method == "hash join").unwrap();
+        let semi = out.last().unwrap();
+        assert!(
+            semi.cost < hash.cost,
+            "semi {} should beat spilling hash {}",
+            semi.cost,
+            hash.cost
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! One module per reproduced figure/table. Each exposes a `run`
+//! function taking a scale parameter and returning a
+//! [`crate::report::Report`] that prints like the paper's artifact.
+
+pub mod bloom;
+pub mod complexity;
+pub mod crossover;
+pub mod dist;
+pub mod fig1_magic;
+pub mod fig3_orders;
+pub mod fig4_cardinality;
+pub mod fig5_classes;
+pub mod fig6_taxonomy;
+pub mod local_semijoin;
+pub mod table1_components;
+pub mod udf;

@@ -1,0 +1,220 @@
+//! U1 — §5.2: joining a user-defined relation.
+//!
+//! An expensive function joined to a skewed outer (many duplicate
+//! argument values). Strategies:
+//!
+//! * **repeated probe** — invoke once per outer tuple;
+//! * **memoized probe** — function caching \[HS93\];
+//! * **filter join** — "consecutive procedure calls": invoke once per
+//!   *distinct* argument ("there will be no duplicate function
+//!   invocations, because of the elimination of duplicates in the
+//!   filter set").
+
+use crate::report::Report;
+use fj_core::storage::CPU_WEIGHT_DEFAULT;
+use fj_core::{
+    col, Catalog, CountingUdf, DataType, ExecCtx, MemoUdf, PhysPlan, Schema, TableBuilder,
+    TableFunction, Value,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// One strategy's measurements.
+#[derive(Debug, Clone)]
+pub struct UdfOutcome {
+    /// Strategy name.
+    pub strategy: &'static str,
+    /// Actual function invocations performed.
+    pub invocations: u64,
+    /// Measured weighted cost.
+    pub cost: f64,
+    /// Join output rows.
+    pub rows: usize,
+}
+
+fn credit_fn() -> TableFunction {
+    let schema = Schema::from_pairs(&[
+        ("cust", DataType::Int),
+        ("credit", DataType::Int),
+    ])
+    .into_ref();
+    // 3 page-units per call: an expensive lookup.
+    TableFunction::new("credit", schema, 1, 3.0, |args| {
+        let c = args[0].as_int().unwrap_or(0);
+        vec![vec![Value::Int((c * 7919) % 850)]]
+    })
+}
+
+fn outer_catalog(n_outer: usize, distinct_args: usize, seed: u64) -> Catalog {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cat = Catalog::new();
+    cat.add_table(
+        TableBuilder::new("Txn")
+            .column("cust", DataType::Int)
+            .column("amount", DataType::Double)
+            .rows((0..n_outer).map(|_| {
+                vec![
+                    Value::Int(rng.gen_range(0..distinct_args) as i64),
+                    Value::Double(rng.gen_range(1.0..500.0)),
+                ]
+            }))
+            .build()
+            .expect("generated Txn conforms")
+            .into_ref(),
+    );
+    cat
+}
+
+/// Runs the three strategies.
+pub fn strategies(n_outer: usize, distinct_args: usize) -> Vec<UdfOutcome> {
+    let mut out = Vec::new();
+    for strategy in ["repeated probe", "memoized probe", "filter join"] {
+        let mut cat = outer_catalog(n_outer, distinct_args, 77);
+        let counter = Arc::new(CountingUdf::new(credit_fn()));
+        match strategy {
+            "memoized probe" => {
+                // Count *underlying* invocations beneath the memo.
+                let memo = MemoUdf::new(CountingUdfShared(Arc::clone(&counter)));
+                cat.add_udf("credit", Arc::new(memo));
+            }
+            _ => {
+                cat.add_udf("credit", Arc::new(CountingUdfShared(Arc::clone(&counter))));
+            }
+        }
+
+        let outer = PhysPlan::SeqScan {
+            table: "Txn".into(),
+            alias: "T".into(),
+        };
+        let plan = match strategy {
+            "filter join" => PhysPlan::WithTemp {
+                steps: vec![fj_core::exec::TempStep::Materialize {
+                    name: "__f".into(),
+                    plan: PhysPlan::Distinct {
+                        input: PhysPlan::Project {
+                            input: outer.clone().boxed(),
+                            exprs: vec![(col("T.cust"), "k0".into())],
+                        }
+                        .boxed(),
+                    },
+                }],
+                body: PhysPlan::HashJoin {
+                    outer: outer.boxed(),
+                    inner: PhysPlan::UdfProbe {
+                        outer: PhysPlan::TempScan {
+                            name: "__f".into(),
+                            alias: "F".into(),
+                        }
+                        .boxed(),
+                        udf: "credit".into(),
+                        alias: "C".into(),
+                        arg_cols: vec!["F.k0".into()],
+                    }
+                    .boxed(),
+                    keys: vec![("T.cust".into(), "C.cust".into())],
+                    residual: None,
+                    kind: fj_core::algebra::JoinKind::Inner,
+                }
+                .boxed(),
+            },
+            _ => PhysPlan::UdfProbe {
+                outer: outer.boxed(),
+                udf: "credit".into(),
+                alias: "C".into(),
+                arg_cols: vec!["T.cust".into()],
+            },
+        };
+        let ctx = ExecCtx::new(Arc::new(cat));
+        let before = ctx.ledger.snapshot();
+        let rel = plan.execute(&ctx).expect("udf strategy runs");
+        let cost = ctx
+            .ledger
+            .snapshot()
+            .delta(&before)
+            .weighted(CPU_WEIGHT_DEFAULT, 0.0, 0.0);
+        out.push(UdfOutcome {
+            strategy,
+            invocations: counter.calls(),
+            cost,
+            rows: rel.rows.len(),
+        });
+    }
+    out
+}
+
+/// Shares a [`CountingUdf`] behind an `Arc` so the experiment can read
+/// the counter after the catalog takes ownership.
+#[derive(Debug)]
+struct CountingUdfShared(Arc<CountingUdf<TableFunction>>);
+
+impl fj_core::UdfRelation for CountingUdfShared {
+    fn schema(&self) -> fj_core::storage::SchemaRef {
+        self.0.schema()
+    }
+    fn arg_count(&self) -> usize {
+        self.0.arg_count()
+    }
+    fn invoke(&self, args: &[Value], ledger: &fj_core::CostLedger) -> Vec<fj_core::Tuple> {
+        self.0.invoke(args, ledger)
+    }
+    fn invocation_cost(&self) -> f64 {
+        self.0.invocation_cost()
+    }
+    fn rows_per_call(&self) -> f64 {
+        self.0.rows_per_call()
+    }
+    fn domain(&self) -> Option<Vec<Vec<Value>>> {
+        self.0.domain()
+    }
+}
+
+/// The printable report.
+pub fn run(n_outer: usize, distinct_args: usize) -> Report {
+    let outcomes = strategies(n_outer, distinct_args);
+    let mut r = Report::new(
+        format!("U1 (§5.2): UDF join strategies ({n_outer} outer tuples, {distinct_args} distinct args)"),
+        &["strategy", "invocations", "cost", "rows"],
+    );
+    for o in &outcomes {
+        r.row(vec![
+            o.strategy.into(),
+            o.invocations.to_string(),
+            Report::num(o.cost),
+            o.rows.to_string(),
+        ]);
+    }
+    r.note("filter join and memoized probe both invoke once per distinct argument");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invocation_counts_match_the_paper_claims() {
+        let out = strategies(2000, 50);
+        let probe = &out[0];
+        let memo = &out[1];
+        let fj = &out[2];
+        assert_eq!(probe.invocations, 2000, "one call per outer tuple");
+        assert_eq!(memo.invocations, 50, "one real call per distinct arg");
+        assert_eq!(fj.invocations, 50, "no duplicate invocations (§5.2)");
+        // All strategies produce the identical join.
+        assert_eq!(probe.rows, 2000);
+        assert_eq!(memo.rows, 2000);
+        assert_eq!(fj.rows, 2000);
+    }
+
+    #[test]
+    fn filter_join_much_cheaper_than_raw_probe() {
+        let out = strategies(2000, 50);
+        assert!(
+            out[2].cost < out[0].cost / 5.0,
+            "filter join {} vs probe {}",
+            out[2].cost,
+            out[0].cost
+        );
+    }
+}

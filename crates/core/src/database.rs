@@ -1,0 +1,323 @@
+//! The `Database` facade.
+
+use fj_algebra::{Catalog, JoinQuery, LogicalPlan, NetworkModel, Sips, UdfRelation, ViewDef};
+use fj_exec::{lower, ExecCtx, PhysPlan};
+use fj_optimizer::{
+    FilterJoinCost, OptError, Optimizer, OptimizerConfig,
+};
+use fj_storage::{LedgerSnapshot, SchemaRef, Table, Tuple};
+use std::sync::Arc;
+
+/// A fully evaluated query with its plan and measured charges.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Result schema.
+    pub schema: SchemaRef,
+    /// Result rows.
+    pub rows: Vec<Tuple>,
+    /// Measured ledger charges of the execution.
+    pub charges: LedgerSnapshot,
+    /// Measured scalar cost in page units (ledger charges weighted with
+    /// the database's cost parameters).
+    pub measured_cost: f64,
+    /// Optimizer's estimated cost (page units); `None` when the query
+    /// was run through the heuristic lowering instead of the optimizer.
+    pub estimated_cost: Option<f64>,
+    /// The executed physical plan.
+    pub plan: PhysPlan,
+    /// Chosen join order (aliases), when optimized.
+    pub order: Vec<String>,
+    /// SIPS of the Filter Joins in the plan (empty = no magic).
+    pub sips: Vec<Sips>,
+    /// Table 1 breakdowns for each Filter Join used.
+    pub filter_join_costs: Vec<FilterJoinCost>,
+}
+
+/// The engine facade: catalog + optimizer + executor.
+#[derive(Debug, Clone)]
+pub struct Database {
+    catalog: Catalog,
+    config: OptimizerConfig,
+    memory_pages: u64,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
+}
+
+impl Database {
+    /// An empty database with default configuration.
+    pub fn new() -> Database {
+        Database {
+            catalog: Catalog::new(),
+            config: OptimizerConfig::default(),
+            memory_pages: fj_exec::context::DEFAULT_MEMORY_PAGES,
+        }
+    }
+
+    /// A database over an existing catalog.
+    pub fn with_catalog(catalog: Catalog) -> Database {
+        Database {
+            catalog,
+            ..Database::new()
+        }
+    }
+
+    /// Read access to the catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable access to the catalog (register tables, views, UDFs,
+    /// sites, network model).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Registers a local table.
+    pub fn create_table(&mut self, table: Table) -> &mut Self {
+        self.catalog.add_table(table.into_ref());
+        self
+    }
+
+    /// Registers a view.
+    pub fn create_view(&mut self, view: ViewDef) -> &mut Self {
+        self.catalog.add_view(view);
+        self
+    }
+
+    /// Registers a user-defined relation.
+    pub fn create_udf(&mut self, name: impl Into<String>, udf: Arc<dyn UdfRelation>) -> &mut Self {
+        self.catalog.add_udf(name, udf);
+        self
+    }
+
+    /// Sets the network model (also propagated into the cost model).
+    pub fn set_network(&mut self, network: NetworkModel) -> &mut Self {
+        self.catalog.set_network(network);
+        self.config.params.network = network;
+        self
+    }
+
+    /// The optimizer configuration.
+    pub fn config(&self) -> &OptimizerConfig {
+        &self.config
+    }
+
+    /// Mutable optimizer configuration (enable/disable filter joins,
+    /// Bloom filters, equivalence-class count, cost weights).
+    pub fn config_mut(&mut self) -> &mut OptimizerConfig {
+        &mut self.config
+    }
+
+    /// Sets the executor's buffer memory (pages), kept consistent with
+    /// the cost model's `M`.
+    pub fn set_memory_pages(&mut self, pages: u64) -> &mut Self {
+        self.memory_pages = pages.max(3);
+        self.config.params.memory_pages = self.memory_pages;
+        self
+    }
+
+    fn exec_ctx(&self) -> ExecCtx {
+        ExecCtx::new(Arc::new(self.catalog.clone())).with_memory_pages(self.memory_pages)
+    }
+
+    fn weighted(&self, charges: &LedgerSnapshot) -> f64 {
+        charges.weighted(
+            self.config.params.cpu_weight,
+            self.config.params.network.per_byte,
+            self.config.params.network.per_message,
+        )
+    }
+
+    /// Optimizes and executes a join query.
+    pub fn execute(&self, query: &JoinQuery) -> Result<QueryResult, OptError> {
+        self.execute_with_config(query, self.config)
+    }
+
+    /// Optimizes and executes under an overridden configuration (used
+    /// by the benchmarks to compare never-magic / always-magic /
+    /// cost-based policies).
+    pub fn execute_with_config(
+        &self,
+        query: &JoinQuery,
+        config: OptimizerConfig,
+    ) -> Result<QueryResult, OptError> {
+        let optimizer = Optimizer::new(Arc::new(self.catalog.clone()), config);
+        let plan = optimizer.optimize(query)?;
+        let ctx = self.exec_ctx();
+        let before = ctx.ledger.snapshot();
+        let rel = plan.phys.execute(&ctx)?;
+        let charges = ctx.ledger.snapshot().delta(&before);
+        Ok(QueryResult {
+            schema: rel.schema,
+            rows: rel.rows,
+            measured_cost: self.weighted(&charges),
+            charges,
+            estimated_cost: Some(plan.cost),
+            plan: plan.phys,
+            order: plan.order,
+            sips: plan.sips,
+            filter_join_costs: plan.filter_join_costs,
+        })
+    }
+
+    /// Optimizes without executing.
+    pub fn optimize(&self, query: &JoinQuery) -> Result<fj_optimizer::OptimizedPlan, OptError> {
+        Optimizer::new(Arc::new(self.catalog.clone()), self.config).optimize(query)
+    }
+
+    /// Executes a logical plan through the heuristic (rule-based)
+    /// lowering, bypassing the cost-based optimizer — e.g. to run a
+    /// magic-rewritten plan verbatim.
+    pub fn run_logical(&self, plan: &LogicalPlan) -> Result<QueryResult, OptError> {
+        let phys = lower::lower(plan, &self.catalog)?;
+        let ctx = self.exec_ctx();
+        let before = ctx.ledger.snapshot();
+        let rel = phys.execute(&ctx)?;
+        let charges = ctx.ledger.snapshot().delta(&before);
+        Ok(QueryResult {
+            schema: rel.schema,
+            rows: rel.rows,
+            measured_cost: self.weighted(&charges),
+            charges,
+            estimated_cost: None,
+            plan: phys,
+            order: Vec::new(),
+            sips: Vec::new(),
+            filter_join_costs: Vec::new(),
+        })
+    }
+
+    /// Applies the magic-sets rewriting under `sips` and executes the
+    /// rewritten query (the "query transformation" road, for comparison
+    /// with the optimizer's integrated Filter Join road).
+    pub fn run_magic(&self, query: &JoinQuery, sips: &Sips) -> Result<QueryResult, OptError> {
+        let rewritten = fj_algebra::magic::rewrite(&self.catalog, query, sips)?;
+        self.run_logical(&rewritten)
+    }
+
+    /// Renders the Figure 2 SQL text of the magic rewriting `sips`
+    /// induces on `query` (CREATE VIEW PartialResult / Filter /
+    /// `Restricted<View>` + the final query).
+    pub fn render_magic_sql(&self, query: &JoinQuery, sips: &Sips) -> Result<String, OptError> {
+        Ok(fj_algebra::sql::render_figure2(&self.catalog, query, sips)?)
+    }
+
+    /// EXPLAIN: the chosen physical plan with costs, order and SIPS.
+    pub fn explain(&self, query: &JoinQuery) -> Result<String, OptError> {
+        let plan = self.optimize(query)?;
+        Ok(crate::explain::render(&plan))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj_algebra::fixtures::{paper_catalog, paper_query};
+    use fj_algebra::Sips;
+    use fj_storage::tuple;
+
+    fn db() -> Database {
+        Database::with_catalog(paper_catalog())
+    }
+
+    fn sorted(mut rows: Vec<Tuple>) -> Vec<Tuple> {
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn execute_paper_query() {
+        let r = db().execute(&paper_query()).unwrap();
+        assert_eq!(
+            sorted(r.rows),
+            vec![tuple![10, 9000.0, 5000.0], tuple![30, 4000.0, 3000.0]]
+        );
+        assert!(r.measured_cost > 0.0);
+        assert!(r.estimated_cost.unwrap() > 0.0);
+        assert_eq!(r.order.len(), 3);
+    }
+
+    #[test]
+    fn three_roads_agree() {
+        let d = db();
+        let q = paper_query();
+        let optimized = d.execute(&q).unwrap();
+        let naive = d.run_logical(&q.to_plan()).unwrap();
+        let sips = Sips::derive(
+            d.catalog(),
+            &q,
+            &["E".to_string(), "D".to_string()],
+            "V",
+        )
+        .unwrap();
+        let magic = d.run_magic(&q, &sips).unwrap();
+        assert_eq!(sorted(optimized.rows), sorted(naive.rows.clone()));
+        assert_eq!(sorted(magic.rows), sorted(naive.rows));
+    }
+
+    #[test]
+    fn magic_sql_renders_figure2() {
+        let d = db();
+        let q = paper_query();
+        let sips = Sips::derive(
+            d.catalog(),
+            &q,
+            &["E".to_string(), "D".to_string()],
+            "V",
+        )
+        .unwrap();
+        let sql = d.render_magic_sql(&q, &sips).unwrap();
+        assert!(sql.contains("CREATE VIEW PartialResult AS"));
+        assert!(sql.contains("RestrictedDepAvgSal"));
+    }
+
+    #[test]
+    fn explain_mentions_plan_and_cost() {
+        let s = db().explain(&paper_query()).unwrap();
+        assert!(s.contains("estimated cost"));
+        assert!(s.contains("join order"));
+    }
+
+    #[test]
+    fn config_override_disables_filter_join() {
+        let d = db();
+        let r = d
+            .execute_with_config(&paper_query(), OptimizerConfig::without_filter_join())
+            .unwrap();
+        assert!(r.sips.is_empty());
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn memory_setting_propagates() {
+        let mut d = db();
+        d.set_memory_pages(0);
+        assert_eq!(d.config().params.memory_pages, 3);
+    }
+
+    #[test]
+    fn network_setting_propagates() {
+        let mut d = db();
+        d.set_network(NetworkModel::wan());
+        assert!(d.config().params.network.per_byte > 0.0);
+        assert!(d.catalog().network().per_message > 0.0);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let mut d = Database::new();
+        d.create_table(
+            fj_storage::TableBuilder::new("t")
+                .column("a", fj_storage::DataType::Int)
+                .row(vec![1.into()])
+                .build()
+                .unwrap(),
+        );
+        let q = JoinQuery::new(vec![fj_algebra::FromItem::new("t", "T")]);
+        assert_eq!(d.execute(&q).unwrap().rows.len(), 1);
+    }
+}

@@ -1,0 +1,75 @@
+//! EXPLAIN rendering: physical plan, cost estimate, join order, SIPS
+//! and Table 1 breakdowns.
+
+use fj_optimizer::OptimizedPlan;
+use std::fmt::Write as _;
+
+/// Renders an optimized plan as a human-readable EXPLAIN block.
+pub fn render(plan: &OptimizedPlan) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "estimated cost: {:.2} page-units", plan.cost);
+    let _ = writeln!(out, "estimated rows: {:.1}", plan.est_rows);
+    let _ = writeln!(out, "join order:     {}", plan.order.join(" -> "));
+    let _ = writeln!(
+        out,
+        "plans costed:   {} (nested estimator invocations: {})",
+        plan.plans_considered, plan.nested_invocations
+    );
+    if plan.sips.is_empty() {
+        let _ = writeln!(out, "filter joins:   none (magic rewriting not chosen)");
+    } else {
+        for (i, s) in plan.sips.iter().enumerate() {
+            let keys = s
+                .filter_keys
+                .iter()
+                .map(|k| format!("{} = {}", k.left, k.right))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(
+                out,
+                "filter join #{i}: production [{}] -> inner {} on ({keys})",
+                s.production.join(", "),
+                s.inner
+            );
+            if let Some(c) = plan.filter_join_costs.get(i) {
+                for (name, v) in c.components() {
+                    let _ = writeln!(out, "    {name:>18}: {v:>12.2}");
+                }
+            }
+        }
+    }
+    let _ = writeln!(out, "physical plan:");
+    for line in plan.phys.display().lines() {
+        let _ = writeln!(out, "  {line}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use fj_algebra::fixtures::{paper_catalog, paper_query};
+    use fj_optimizer::{Optimizer, OptimizerConfig};
+    use std::sync::Arc;
+
+    #[test]
+    fn render_contains_sections() {
+        let cat = Arc::new(paper_catalog());
+        let plan = Optimizer::new(cat, OptimizerConfig::default())
+            .optimize(&paper_query())
+            .unwrap();
+        let s = super::render(&plan);
+        assert!(s.contains("estimated cost"));
+        assert!(s.contains("join order"));
+        assert!(s.contains("physical plan"));
+    }
+
+    #[test]
+    fn render_without_filter_join_says_none() {
+        let cat = Arc::new(paper_catalog());
+        let plan = Optimizer::new(cat, OptimizerConfig::without_filter_join())
+            .optimize(&paper_query())
+            .unwrap();
+        let s = super::render(&plan);
+        assert!(s.contains("none"));
+    }
+}

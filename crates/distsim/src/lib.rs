@@ -1,0 +1,31 @@
+//! # fj-distsim
+//!
+//! The distributed-database simulation substrate (§5.1): sites, a
+//! network cost model, and the classical distributed join strategies
+//! the paper situates the Filter Join among —
+//!
+//! * **Fetch inner** (System R*): ship the whole remote relation to the
+//!   query site and join locally;
+//! * **Fetch matches** (System R*): probe the remote relation across
+//!   the network once per outer tuple;
+//! * **Semi-join** (SDD-1): ship a distinct filter set to the remote
+//!   site, restrict there, ship the survivors back — precisely a Filter
+//!   Join with a remote inner;
+//! * **Bloom semi-join**: the lossy variant with a fixed-size bit
+//!   vector.
+//!
+//! > "In SDD-1, semi-joins were the only join method ... in the System
+//! > R* optimizer, semi-joins were not considered ... In reality, both
+//! > local and communication costs can be important, and their relative
+//! > importance should be captured by appropriate cost metrics." (§5.1)
+//!
+//! [`strategies::run_strategy`] executes each strategy with full ledger
+//! accounting so the D1 experiment can reproduce both regimes (and show
+//! the cost-based optimizer picking the right one as the network weight
+//! sweeps).
+
+pub mod scenario;
+pub mod strategies;
+
+pub use scenario::TwoSiteScenario;
+pub use strategies::{reference_join, run_strategy, DistStrategy, StrategyOutcome};

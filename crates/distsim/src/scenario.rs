@@ -1,0 +1,85 @@
+//! Two-site join scenarios.
+
+use fj_algebra::{Catalog, NetworkModel, SiteId};
+use fj_storage::TableRef;
+use std::sync::Arc;
+
+/// A join between a local outer relation and a remote inner relation —
+/// the canonical §5.1 setting (relation A at `Site_A`, B at `Site_B`,
+/// join answered at A's site).
+#[derive(Debug, Clone)]
+pub struct TwoSiteScenario {
+    /// Catalog with both tables registered (outer local, inner remote).
+    pub catalog: Arc<Catalog>,
+    /// Outer (local) table name.
+    pub outer: String,
+    /// Inner (remote) table name.
+    pub inner: String,
+    /// The remote site.
+    pub remote_site: SiteId,
+    /// Join key column name in the outer table (unqualified).
+    pub outer_key: String,
+    /// Join key column name in the inner table (unqualified).
+    pub inner_key: String,
+}
+
+impl TwoSiteScenario {
+    /// Builds the scenario: `outer` stays at the local site, `inner` is
+    /// placed at site 1, and the catalog carries `network`.
+    pub fn new(
+        outer: TableRef,
+        inner: TableRef,
+        outer_key: impl Into<String>,
+        inner_key: impl Into<String>,
+        network: NetworkModel,
+    ) -> TwoSiteScenario {
+        let remote_site = SiteId(1);
+        let mut catalog = Catalog::new();
+        let outer_name = outer.name().to_string();
+        let inner_name = inner.name().to_string();
+        catalog.add_table(outer);
+        catalog.add_remote_table(inner, remote_site);
+        catalog.set_network(network);
+        TwoSiteScenario {
+            catalog: Arc::new(catalog),
+            outer: outer_name,
+            inner: inner_name,
+            remote_site,
+            outer_key: outer_key.into(),
+            inner_key: inner_key.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj_algebra::RelationKind;
+    use fj_storage::{DataType, TableBuilder};
+
+    #[test]
+    fn scenario_places_tables() {
+        let a = TableBuilder::new("A")
+            .column("k", DataType::Int)
+            .row(vec![1.into()])
+            .build()
+            .unwrap()
+            .into_ref();
+        let b = TableBuilder::new("B")
+            .column("k", DataType::Int)
+            .row(vec![1.into()])
+            .build()
+            .unwrap()
+            .into_ref();
+        let s = TwoSiteScenario::new(a, b, "k", "k", NetworkModel::lan());
+        assert!(matches!(
+            s.catalog.resolve("A").unwrap(),
+            RelationKind::Base(_)
+        ));
+        assert!(matches!(
+            s.catalog.resolve("B").unwrap(),
+            RelationKind::Remote(_, site) if site == s.remote_site
+        ));
+        assert!(s.catalog.network().ship_cost(4096) > 0.0);
+    }
+}

@@ -1,0 +1,391 @@
+//! The distributed join strategies of §5.1, executable with full ledger
+//! accounting.
+
+use crate::scenario::TwoSiteScenario;
+use fj_algebra::{JoinKind, SiteId};
+use fj_exec::physical::Rel;
+use fj_exec::{ExecCtx, ExecError, PhysPlan, TempStep};
+use fj_expr::col;
+use fj_storage::{Index, LedgerSnapshot, Value};
+
+/// The strategy menu for a local-outer / remote-inner join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DistStrategy {
+    /// System R*: ship the whole inner to the local site, join there.
+    FetchInner,
+    /// System R*: probe the remote inner once per outer tuple (requires
+    /// an index on the inner key; each probe is one round trip).
+    FetchMatches,
+    /// SDD-1: ship the distinct outer keys to the inner's site, semi-join
+    /// there, ship the survivors back — the Filter Join with a remote
+    /// inner.
+    SemiJoin,
+    /// The lossy variant: ship a fixed-size Bloom filter instead of the
+    /// exact filter set.
+    BloomSemiJoin,
+}
+
+impl DistStrategy {
+    /// All strategies.
+    pub const ALL: [DistStrategy; 4] = [
+        DistStrategy::FetchInner,
+        DistStrategy::FetchMatches,
+        DistStrategy::SemiJoin,
+        DistStrategy::BloomSemiJoin,
+    ];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DistStrategy::FetchInner => "fetch-inner (R*)",
+            DistStrategy::FetchMatches => "fetch-matches (R*)",
+            DistStrategy::SemiJoin => "semi-join (SDD-1)",
+            DistStrategy::BloomSemiJoin => "bloom semi-join",
+        }
+    }
+}
+
+/// Result of running one strategy.
+#[derive(Debug, Clone)]
+pub struct StrategyOutcome {
+    /// The join result.
+    pub rows: Vec<fj_storage::Tuple>,
+    /// Ledger charges attributable to this run.
+    pub charges: LedgerSnapshot,
+    /// Scalar cost under the scenario's network weights (page units).
+    pub cost: f64,
+}
+
+/// Runs `strategy` on the scenario, returning the join result and its
+/// measured charges. Every strategy computes the identical result
+/// multiset (asserted by the equivalence tests); only the cost differs.
+pub fn run_strategy(
+    scenario: &TwoSiteScenario,
+    strategy: DistStrategy,
+) -> Result<StrategyOutcome, ExecError> {
+    let ctx = ExecCtx::new(scenario.catalog.clone());
+    let before = ctx.ledger.snapshot();
+    let ok = format!("O.{}", scenario.outer_key);
+    let ik = format!("I.{}", scenario.inner_key);
+    let outer_scan = PhysPlan::SeqScan {
+        table: scenario.outer.clone(),
+        alias: "O".into(),
+    };
+    let inner_scan = PhysPlan::SeqScan {
+        table: scenario.inner.clone(),
+        alias: "I".into(),
+    };
+
+    let mut rows = match strategy {
+        DistStrategy::FetchInner => {
+            let plan = PhysPlan::HashJoin {
+                outer: outer_scan.boxed(),
+                inner: PhysPlan::Ship {
+                    input: inner_scan.boxed(),
+                    from: scenario.remote_site,
+                    to: SiteId::LOCAL,
+                }
+                .boxed(),
+                keys: vec![(ok.clone(), ik.clone())],
+                residual: None,
+                kind: JoinKind::Inner,
+            };
+            plan.execute(&ctx)?.rows
+        }
+        DistStrategy::FetchMatches => fetch_matches(scenario, &ctx)?.rows,
+        DistStrategy::SemiJoin => {
+            let filter = PhysPlan::Ship {
+                input: PhysPlan::Distinct {
+                    input: PhysPlan::Project {
+                        input: outer_scan.clone().boxed(),
+                        exprs: vec![(col(ok.clone()), "k0".into())],
+                    }
+                    .boxed(),
+                }
+                .boxed(),
+                from: SiteId::LOCAL,
+                to: scenario.remote_site,
+            };
+            let restricted = PhysPlan::Ship {
+                input: PhysPlan::HashJoin {
+                    outer: inner_scan.boxed(),
+                    inner: PhysPlan::TempScan {
+                        name: "__f".into(),
+                        alias: "__F".into(),
+                    }
+                    .boxed(),
+                    keys: vec![(ik.clone(), "__F.k0".into())],
+                    residual: None,
+                    kind: JoinKind::Semi,
+                }
+                .boxed(),
+                from: scenario.remote_site,
+                to: SiteId::LOCAL,
+            };
+            let plan = PhysPlan::WithTemp {
+                steps: vec![TempStep::Materialize {
+                    name: "__f".into(),
+                    plan: filter,
+                }],
+                body: PhysPlan::HashJoin {
+                    outer: outer_scan.boxed(),
+                    inner: restricted.boxed(),
+                    keys: vec![(ok.clone(), ik.clone())],
+                    residual: None,
+                    kind: JoinKind::Inner,
+                }
+                .boxed(),
+            };
+            plan.execute(&ctx)?.rows
+        }
+        DistStrategy::BloomSemiJoin => {
+            let expected = scenario
+                .catalog
+                .table(&scenario.outer)?
+                .row_count()
+                .max(1);
+            let bloom = fj_storage::BloomFilter::with_capacity(expected, 0.02);
+            let plan = PhysPlan::WithTemp {
+                steps: vec![TempStep::BuildBloom {
+                    name: "__b".into(),
+                    plan: PhysPlan::Project {
+                        input: outer_scan.clone().boxed(),
+                        exprs: vec![(col(ok.clone()), "k0".into())],
+                    },
+                    key_cols: vec!["k0".into()],
+                    bits: bloom.n_bits(),
+                    hashes: 4,
+                    ship: Some((SiteId::LOCAL, scenario.remote_site)),
+                }],
+                body: PhysPlan::HashJoin {
+                    outer: outer_scan.boxed(),
+                    inner: PhysPlan::Ship {
+                        input: PhysPlan::BloomProbe {
+                            input: inner_scan.boxed(),
+                            bloom: "__b".into(),
+                            key_cols: vec![ik.clone()],
+                        }
+                        .boxed(),
+                        from: scenario.remote_site,
+                        to: SiteId::LOCAL,
+                    }
+                    .boxed(),
+                    keys: vec![(ok, ik)],
+                    residual: None,
+                    kind: JoinKind::Inner,
+                }
+                .boxed(),
+            };
+            plan.execute(&ctx)?.rows
+        }
+    };
+    rows.sort();
+    let charges = ctx.ledger.snapshot().delta(&before);
+    let net = scenario.catalog.network();
+    let cost = charges.weighted(
+        fj_storage::CPU_WEIGHT_DEFAULT,
+        net.per_byte,
+        net.per_message,
+    );
+    Ok(StrategyOutcome {
+        rows,
+        charges,
+        cost,
+    })
+}
+
+/// Fetch-matches: one network round trip per outer tuple, probing an
+/// index on the remote inner's key. Each probe ships the key out (a
+/// small message) and the matching tuples back.
+fn fetch_matches(scenario: &TwoSiteScenario, ctx: &ExecCtx) -> Result<Rel, ExecError> {
+    let outer_table = scenario.catalog.table(&scenario.outer)?;
+    let inner_table = scenario.catalog.table(&scenario.inner)?;
+    let okey = outer_table
+        .schema()
+        .resolve(&scenario.outer_key)
+        .map_err(ExecError::Storage)?;
+    let ikey = inner_table
+        .schema()
+        .resolve(&scenario.inner_key)
+        .map_err(ExecError::Storage)?;
+    if !inner_table.has_index(ikey) {
+        return Err(ExecError::InvalidPhysicalPlan(format!(
+            "fetch-matches needs an index on {}.{}",
+            scenario.inner, scenario.inner_key
+        )));
+    }
+    let out_schema = outer_table
+        .schema()
+        .with_qualifier("O")
+        .join(&inner_table.schema().with_qualifier("I"))
+        .map_err(ExecError::Storage)?
+        .into_ref();
+
+    let mut rows = Vec::new();
+    for o in outer_table.scan(&ctx.ledger) {
+        let key = o.value(okey);
+        if key.is_null() {
+            continue;
+        }
+        // Probe request: key value out.
+        ctx.ledger.ship(key.wire_width() as u64 + 4);
+        let ids: Vec<usize> = if let Some(h) = inner_table.hash_index(ikey) {
+            h.probe(key, &ctx.ledger).to_vec()
+        } else if let Some(b) = inner_table.btree_index(ikey) {
+            b.probe(key, &ctx.ledger).to_vec()
+        } else {
+            unreachable!("checked above")
+        };
+        // Matches back: one response message with the matching tuples.
+        let mut bytes = 4u64;
+        let mut matched = Vec::with_capacity(ids.len());
+        for rid in ids {
+            let t = inner_table.fetch(rid, &ctx.ledger);
+            bytes += t.wire_width() as u64;
+            matched.push(t.clone());
+        }
+        ctx.ledger.ship(bytes);
+        for t in matched {
+            rows.push(o.concat(&t));
+        }
+    }
+    Ok(Rel::new(out_schema, rows))
+}
+
+/// Convenience: expected join rows computed by a trusted local hash
+/// join (used by tests and the D1 harness to validate every strategy).
+pub fn reference_join(scenario: &TwoSiteScenario) -> Result<Vec<fj_storage::Tuple>, ExecError> {
+    let outer = scenario.catalog.table(&scenario.outer)?;
+    let inner = scenario.catalog.table(&scenario.inner)?;
+    let ok = outer
+        .schema()
+        .resolve(&scenario.outer_key)
+        .map_err(ExecError::Storage)?;
+    let ik = inner
+        .schema()
+        .resolve(&scenario.inner_key)
+        .map_err(ExecError::Storage)?;
+    let mut map: std::collections::HashMap<&Value, Vec<&fj_storage::Tuple>> =
+        std::collections::HashMap::new();
+    for t in inner.rows() {
+        let v = t.value(ik);
+        if !v.is_null() {
+            map.entry(v).or_default().push(t);
+        }
+    }
+    let mut rows = Vec::new();
+    for o in outer.rows() {
+        let v = o.value(ok);
+        if v.is_null() {
+            continue;
+        }
+        if let Some(ms) = map.get(v) {
+            for m in ms {
+                rows.push(o.concat(m));
+            }
+        }
+    }
+    rows.sort();
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj_algebra::NetworkModel;
+    use fj_storage::{DataType, TableBuilder};
+
+    fn scenario(network: NetworkModel) -> TwoSiteScenario {
+        let outer = TableBuilder::new("Orders")
+            .column("cust", DataType::Int)
+            .column("amount", DataType::Int)
+            .rows((0..200i64).map(|i| vec![(i % 20).into(), i.into()]))
+            .build()
+            .unwrap()
+            .into_ref();
+        let mut inner = TableBuilder::new("Customers")
+            .column("cust", DataType::Int)
+            .column("region", DataType::Int)
+            .rows((0..1000i64).map(|i| vec![i.into(), (i % 7).into()]))
+            .build()
+            .unwrap();
+        inner.create_hash_index(0).unwrap();
+        TwoSiteScenario::new(outer, inner.into_ref(), "cust", "cust", network)
+    }
+
+    #[test]
+    fn all_strategies_agree_on_result() {
+        let s = scenario(NetworkModel::lan());
+        let expected = reference_join(&s).unwrap();
+        assert_eq!(expected.len(), 200);
+        for strat in DistStrategy::ALL {
+            let out = run_strategy(&s, strat).unwrap();
+            assert_eq!(out.rows, expected, "strategy {}", strat.name());
+        }
+    }
+
+    #[test]
+    fn semi_join_ships_less_than_fetch_inner_when_selective() {
+        // Only 20 of 1000 customers are referenced: the filter set is
+        // tiny and the semi-join ships far fewer bytes.
+        let s = scenario(NetworkModel::wan());
+        let fetch = run_strategy(&s, DistStrategy::FetchInner).unwrap();
+        let semi = run_strategy(&s, DistStrategy::SemiJoin).unwrap();
+        assert!(
+            semi.charges.bytes_shipped * 5 < fetch.charges.bytes_shipped,
+            "semi {} vs fetch {}",
+            semi.charges.bytes_shipped,
+            fetch.charges.bytes_shipped
+        );
+        assert!(semi.cost < fetch.cost, "semi-join wins on a WAN");
+    }
+
+    #[test]
+    fn fetch_inner_wins_on_free_network() {
+        // With free communication, the semi-join's extra local work
+        // (second outer scan, distinct projection) makes it lose — the
+        // R* critique of SDD-1.
+        let s = scenario(NetworkModel::free());
+        let fetch = run_strategy(&s, DistStrategy::FetchInner).unwrap();
+        let semi = run_strategy(&s, DistStrategy::SemiJoin).unwrap();
+        assert!(fetch.cost <= semi.cost);
+    }
+
+    #[test]
+    fn fetch_matches_message_count_scales_with_outer() {
+        let s = scenario(NetworkModel::lan());
+        let out = run_strategy(&s, DistStrategy::FetchMatches).unwrap();
+        // 200 probes × 2 messages each (request + response).
+        assert_eq!(out.charges.messages, 400);
+    }
+
+    #[test]
+    fn bloom_ships_fixed_size_filter() {
+        let s = scenario(NetworkModel::wan());
+        let bloom = run_strategy(&s, DistStrategy::BloomSemiJoin).unwrap();
+        let semi = run_strategy(&s, DistStrategy::SemiJoin).unwrap();
+        // Both beat fetch-inner; the bloom's outbound filter is fixed
+        // size. (With only 20 distinct keys the exact set is small too,
+        // so just sanity-check both completed with 3 messages or fewer.)
+        assert!(bloom.charges.messages <= 3);
+        assert!(semi.charges.messages <= 3);
+    }
+
+    #[test]
+    fn fetch_matches_requires_index() {
+        let outer = TableBuilder::new("A")
+            .column("k", DataType::Int)
+            .row(vec![1.into()])
+            .build()
+            .unwrap()
+            .into_ref();
+        let inner = TableBuilder::new("B")
+            .column("k", DataType::Int)
+            .row(vec![1.into()])
+            .build()
+            .unwrap()
+            .into_ref();
+        let s = TwoSiteScenario::new(outer, inner, "k", "k", NetworkModel::lan());
+        assert!(run_strategy(&s, DistStrategy::FetchMatches).is_err());
+    }
+}

@@ -1,0 +1,161 @@
+//! Execution context: catalog, ledger, buffer memory, and the runtime
+//! registries for temp tables and Bloom filters.
+
+use crate::error::ExecError;
+use fj_algebra::Catalog;
+use fj_storage::{BloomFilter, CostLedger, PageLayout, SchemaRef, Tuple};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Default buffer memory, in pages (the `M` of the join formulas).
+pub const DEFAULT_MEMORY_PAGES: u64 = 128;
+
+/// A materialized temporary relation (a CTE result: production set,
+/// filter set, spooled inner, ...).
+#[derive(Debug, Clone)]
+pub struct TempTable {
+    /// Output schema.
+    pub schema: SchemaRef,
+    /// The rows.
+    pub rows: Arc<Vec<Tuple>>,
+    /// Page layout used for I/O charging.
+    pub layout: PageLayout,
+}
+
+impl TempTable {
+    /// Builds a temp table from rows.
+    pub fn new(schema: SchemaRef, rows: Vec<Tuple>) -> TempTable {
+        let layout = PageLayout::for_schema(&schema);
+        TempTable {
+            schema,
+            rows: Arc::new(rows),
+            layout,
+        }
+    }
+
+    /// Pages occupied.
+    pub fn page_count(&self) -> u64 {
+        self.layout.pages(self.rows.len() as u64)
+    }
+}
+
+/// Everything a physical plan needs at runtime.
+#[derive(Debug, Clone)]
+pub struct ExecCtx {
+    /// The catalog (tables, views, UDFs, network model).
+    pub catalog: Arc<Catalog>,
+    /// The shared cost ledger.
+    pub ledger: Arc<CostLedger>,
+    /// Buffer memory in pages — `M` in the BNLJ/hash/sort formulas.
+    pub memory_pages: u64,
+    temps: Arc<RwLock<HashMap<String, TempTable>>>,
+    blooms: Arc<RwLock<HashMap<String, Arc<BloomFilter>>>>,
+}
+
+impl ExecCtx {
+    /// A context over `catalog` with a fresh ledger and default memory.
+    pub fn new(catalog: Arc<Catalog>) -> ExecCtx {
+        ExecCtx {
+            catalog,
+            ledger: CostLedger::new(),
+            memory_pages: DEFAULT_MEMORY_PAGES,
+            temps: Arc::new(RwLock::new(HashMap::new())),
+            blooms: Arc::new(RwLock::new(HashMap::new())),
+        }
+    }
+
+    /// Overrides the buffer memory size.
+    pub fn with_memory_pages(mut self, pages: u64) -> ExecCtx {
+        self.memory_pages = pages.max(3); // joins need ≥3 buffer pages
+        self
+    }
+
+    /// Registers (or replaces) a temp table. Charges the page writes of
+    /// materialization to the ledger.
+    pub fn register_temp(&self, name: impl Into<String>, table: TempTable) {
+        self.ledger.write_pages(table.page_count());
+        self.temps.write().insert(name.into(), table);
+    }
+
+    /// Looks up a temp table.
+    pub fn temp(&self, name: &str) -> Result<TempTable, ExecError> {
+        self.temps
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ExecError::MissingRuntimeObject(format!("temp table '{name}'")))
+    }
+
+    /// Removes a temp table (end of a `With` scope).
+    pub fn drop_temp(&self, name: &str) {
+        self.temps.write().remove(name);
+    }
+
+    /// Registers a Bloom filter under `name`.
+    pub fn register_bloom(&self, name: impl Into<String>, bloom: BloomFilter) {
+        self.blooms.write().insert(name.into(), Arc::new(bloom));
+    }
+
+    /// Looks up a Bloom filter.
+    pub fn bloom(&self, name: &str) -> Result<Arc<BloomFilter>, ExecError> {
+        self.blooms
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ExecError::MissingRuntimeObject(format!("bloom filter '{name}'")))
+    }
+
+    /// Removes a Bloom filter.
+    pub fn drop_bloom(&self, name: &str) {
+        self.blooms.write().remove(name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj_storage::{tuple, DataType, Schema};
+
+    fn ctx() -> ExecCtx {
+        ExecCtx::new(Arc::new(Catalog::new()))
+    }
+
+    #[test]
+    fn temp_registry_roundtrip_and_write_charge() {
+        let c = ctx();
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]).into_ref();
+        let t = TempTable::new(schema, vec![tuple![1], tuple![2]]);
+        let pages = t.page_count();
+        assert_eq!(pages, 1);
+        c.register_temp("p", t);
+        assert_eq!(c.ledger.snapshot().page_writes, pages);
+        assert_eq!(c.temp("p").unwrap().rows.len(), 2);
+        c.drop_temp("p");
+        assert!(c.temp("p").is_err());
+    }
+
+    #[test]
+    fn bloom_registry_roundtrip() {
+        let c = ctx();
+        let mut b = BloomFilter::new(128, 2);
+        b.insert(&fj_storage::Value::Int(5));
+        c.register_bloom("f", b);
+        assert!(c.bloom("f").unwrap().contains(&fj_storage::Value::Int(5)));
+        c.drop_bloom("f");
+        assert!(c.bloom("f").is_err());
+    }
+
+    #[test]
+    fn memory_clamped_to_minimum() {
+        let c = ctx().with_memory_pages(0);
+        assert_eq!(c.memory_pages, 3);
+    }
+
+    #[test]
+    fn empty_temp_zero_pages() {
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]).into_ref();
+        let t = TempTable::new(schema, vec![]);
+        assert_eq!(t.page_count(), 0);
+    }
+}

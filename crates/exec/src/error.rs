@@ -1,0 +1,74 @@
+//! Execution errors.
+
+use fj_algebra::AlgebraError;
+use fj_expr::ExprError;
+use fj_storage::StorageError;
+use std::fmt;
+
+/// Errors raised while building or running physical plans.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// Plan references something missing at runtime (temp table, bloom
+    /// filter, index).
+    MissingRuntimeObject(String),
+    /// Propagated algebra error (schema/catalog problems).
+    Algebra(AlgebraError),
+    /// Propagated expression error.
+    Expr(ExprError),
+    /// Propagated storage error.
+    Storage(StorageError),
+    /// A plan shape the executor cannot run (e.g. merge join over
+    /// unsorted input without a sort).
+    InvalidPhysicalPlan(String),
+    /// A UDF relation was asked for full enumeration without a finite
+    /// domain.
+    UdfNotEnumerable(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::MissingRuntimeObject(n) => write!(f, "missing runtime object '{n}'"),
+            ExecError::Algebra(e) => write!(f, "{e}"),
+            ExecError::Expr(e) => write!(f, "{e}"),
+            ExecError::Storage(e) => write!(f, "{e}"),
+            ExecError::InvalidPhysicalPlan(d) => write!(f, "invalid physical plan: {d}"),
+            ExecError::UdfNotEnumerable(n) => {
+                write!(f, "user-defined relation '{n}' has no finite domain")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<AlgebraError> for ExecError {
+    fn from(e: AlgebraError) -> Self {
+        ExecError::Algebra(e)
+    }
+}
+impl From<ExprError> for ExecError {
+    fn from(e: ExprError) -> Self {
+        ExecError::Expr(e)
+    }
+}
+impl From<StorageError> for ExecError {
+    fn from(e: StorageError) -> Self {
+        ExecError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(ExecError::MissingRuntimeObject("__filter".into())
+            .to_string()
+            .contains("__filter"));
+        assert!(ExecError::UdfNotEnumerable("dist".into())
+            .to_string()
+            .contains("finite domain"));
+    }
+}

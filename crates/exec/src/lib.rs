@@ -1,0 +1,36 @@
+//! # fj-exec
+//!
+//! The execution engine: Volcano-style physical operators over the
+//! paged storage layer, with deterministic cost accounting.
+//!
+//! The crate provides:
+//!
+//! * [`context::ExecCtx`] — catalog + cost ledger + temp-table registry
+//!   (the runtime home of materialized production sets and filter sets)
+//!   + the buffer-memory parameter that drives join/sort I/O formulas;
+//! * [`physical::PhysPlan`] — the physical algebra, including every join
+//!   method of Figure 6's rows: **repeated probe** (index nested loops,
+//!   UDF probing with and without caching), **full computation** (block
+//!   nested loops, hash join, sort-merge), the **filter join** (semi-join
+//!   restriction by a distinct filter set), and the **lossy filter**
+//!   (Bloom); plus `Ship` for crossing sites in a distributed plan;
+//! * [`lower`] — a heuristic (rule-based) lowering of logical plans with
+//!   predicate pushdown and hash-join detection, used to execute view
+//!   bodies and magic-rewritten plans directly; the cost-based System-R
+//!   planner in `fj-optimizer` emits `PhysPlan`s itself.
+//!
+//! The engine executes in memory but charges the
+//! [`fj_storage::CostLedger`] exactly the page I/Os the System-R cost
+//! formulas prescribe (e.g. a block-nested-loops join really charges
+//! `P_outer + ⌈P_outer/(M−2)⌉·P_inner`), so measured ledger costs are
+//! directly comparable with the optimizer's predictions.
+
+pub mod context;
+pub mod error;
+pub mod lower;
+pub mod ops;
+pub mod physical;
+
+pub use context::{ExecCtx, TempTable};
+pub use error::ExecError;
+pub use physical::{PhysPlan, TempStep};

@@ -1,0 +1,240 @@
+//! Hash-based duplicate elimination and aggregation.
+
+use crate::context::ExecCtx;
+use crate::error::ExecError;
+use crate::ops::sort::charge_external_sort;
+use crate::physical::Rel;
+use fj_expr::{Accumulator, AggCall};
+use fj_storage::{Column, Schema, Tuple, Value};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Hash-based DISTINCT — the paper's `ProjCost_F` workhorse (the filter
+/// set is a *distinct* projection of the production set).
+///
+/// Charges one tuple op per input row, plus external partitioning I/O
+/// when the *output* (the hash table of distinct values) exceeds
+/// memory — a streaming hash distinct only spills when its table does.
+pub fn distinct(ctx: &ExecCtx, input: Rel) -> Result<Rel, ExecError> {
+    ctx.ledger.tuple_ops(input.rows.len() as u64);
+    let mut seen = HashSet::with_capacity(input.rows.len());
+    let mut rows = Vec::new();
+    for t in input.rows {
+        if seen.insert(t.clone()) {
+            rows.push(t);
+        }
+    }
+    let out = Rel::new(input.schema, rows);
+    charge_external_sort(ctx, out.page_count());
+    Ok(out)
+}
+
+/// Hash aggregation over `group_by` columns.
+///
+/// Output schema: the grouping columns (names preserved) followed by one
+/// column per aggregate call. A query with no grouping columns produces
+/// exactly one row (SQL scalar-aggregate semantics, even on empty
+/// input).
+///
+/// Charges `1 + #aggregates` tuple ops per input row (group-key hash
+/// plus accumulator updates), plus external partitioning I/O when the
+/// *output* (the group hash table) exceeds memory.
+pub fn hash_aggregate(
+    ctx: &ExecCtx,
+    input: Rel,
+    group_by: &[String],
+    aggs: &[AggCall],
+) -> Result<Rel, ExecError> {
+    let group_idx: Vec<usize> = group_by
+        .iter()
+        .map(|g| input.schema.resolve(g))
+        .collect::<Result<_, _>>()?;
+    let agg_idx: Vec<Option<usize>> = aggs
+        .iter()
+        .map(|a| match &a.input {
+            Some(c) => input.schema.resolve(c).map(Some),
+            None => Ok(None),
+        })
+        .collect::<Result<_, _>>()?;
+
+    // Output schema.
+    let mut cols = Vec::with_capacity(group_idx.len() + aggs.len());
+    for &g in &group_idx {
+        cols.push(input.schema.column(g).clone());
+    }
+    for (a, idx) in aggs.iter().zip(&agg_idx) {
+        let input_ty = idx
+            .map(|i| input.schema.column(i).data_type)
+            .unwrap_or(fj_storage::DataType::Int);
+        cols.push(Column::nullable(a.output.clone(), a.func.result_type(input_ty)));
+    }
+    let schema = Arc::new(Schema::new(cols)?);
+
+    ctx.ledger
+        .tuple_ops(input.rows.len() as u64 * (1 + aggs.len()) as u64);
+
+    let mut groups: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
+    let mut order: Vec<Vec<Value>> = Vec::new(); // deterministic output order
+    for t in &input.rows {
+        let key = t.key(&group_idx);
+        let accs = match groups.entry(key.clone()) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => {
+                order.push(key);
+                e.insert(aggs.iter().map(|a| Accumulator::new(a.func)).collect())
+            }
+        };
+        for (acc, idx) in accs.iter_mut().zip(&agg_idx) {
+            let v = match idx {
+                Some(i) => t.value(*i).clone(),
+                None => Value::Bool(true), // COUNT(*)
+            };
+            acc.update(&v)?;
+        }
+    }
+
+    // Scalar aggregate over empty input: one row of empty-group values.
+    if group_idx.is_empty() && groups.is_empty() {
+        let vals: Vec<Value> = aggs
+            .iter()
+            .map(|a| Accumulator::new(a.func).finish())
+            .collect();
+        return Ok(Rel::new(schema, vec![Tuple::new(vals)]));
+    }
+
+    let mut rows = Vec::with_capacity(groups.len());
+    for key in order {
+        let accs = &groups[&key];
+        let mut vals = key;
+        vals.extend(accs.iter().map(Accumulator::finish));
+        rows.push(Tuple::new(vals));
+    }
+    let out = Rel::new(schema, rows);
+    charge_external_sort(ctx, out.page_count());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj_algebra::Catalog;
+    use fj_expr::AggFunc;
+    use fj_storage::{tuple, DataType};
+
+    fn ctx() -> ExecCtx {
+        ExecCtx::new(Arc::new(Catalog::new()))
+    }
+
+    fn emp() -> Rel {
+        Rel::new(
+            Schema::from_pairs(&[("did", DataType::Int), ("sal", DataType::Double)]).into_ref(),
+            vec![
+                tuple![10, 1000.0],
+                tuple![10, 3000.0],
+                tuple![20, 5000.0],
+            ],
+        )
+    }
+
+    #[test]
+    fn distinct_removes_duplicates_keeps_order() {
+        let rel = Rel::new(
+            Schema::from_pairs(&[("a", DataType::Int)]).into_ref(),
+            vec![tuple![2], tuple![1], tuple![2], tuple![3], tuple![1]],
+        );
+        let r = distinct(&ctx(), rel).unwrap();
+        assert_eq!(r.rows, vec![tuple![2], tuple![1], tuple![3]]);
+    }
+
+    #[test]
+    fn group_by_avg_matches_paper_view() {
+        let r = hash_aggregate(
+            &ctx(),
+            emp(),
+            &["did".into()],
+            &[AggCall::new(AggFunc::Avg, "sal", "avgsal")],
+        )
+        .unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0], tuple![10, 2000.0]);
+        assert_eq!(r.rows[1], tuple![20, 5000.0]);
+        assert_eq!(r.schema.column(1).name, "avgsal");
+    }
+
+    #[test]
+    fn multiple_aggregates_one_pass() {
+        let r = hash_aggregate(
+            &ctx(),
+            emp(),
+            &["did".into()],
+            &[
+                AggCall::count_star("n"),
+                AggCall::new(AggFunc::Max, "sal", "top"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(r.rows[0], tuple![10, 2, 3000.0]);
+    }
+
+    #[test]
+    fn scalar_aggregate_empty_input() {
+        let empty = Rel::new(emp().schema, vec![]);
+        let r = hash_aggregate(
+            &ctx(),
+            empty,
+            &[],
+            &[
+                AggCall::count_star("n"),
+                AggCall::new(AggFunc::Sum, "sal", "s"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0].value(0), &Value::Int(0));
+        assert!(r.rows[0].value(1).is_null());
+    }
+
+    #[test]
+    fn grouped_aggregate_empty_input_yields_no_rows() {
+        let empty = Rel::new(emp().schema, vec![]);
+        let r = hash_aggregate(
+            &ctx(),
+            empty,
+            &["did".into()],
+            &[AggCall::count_star("n")],
+        )
+        .unwrap();
+        assert!(r.rows.is_empty());
+    }
+
+    #[test]
+    fn unknown_group_column_errors() {
+        assert!(hash_aggregate(&ctx(), emp(), &["zzz".into()], &[]).is_err());
+    }
+
+    #[test]
+    fn null_group_keys_form_one_group() {
+        let rel = Rel::new(
+            Schema::new(vec![
+                Column::nullable("k", DataType::Int),
+                Column::nullable("v", DataType::Int),
+            ])
+            .unwrap()
+            .into_ref(),
+            vec![
+                Tuple::new(vec![Value::Null, Value::Int(1)]),
+                Tuple::new(vec![Value::Null, Value::Int(2)]),
+            ],
+        );
+        let r = hash_aggregate(
+            &ctx(),
+            rel,
+            &["k".into()],
+            &[AggCall::new(AggFunc::Sum, "v", "s")],
+        )
+        .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0].value(1), &Value::Int(3));
+    }
+}

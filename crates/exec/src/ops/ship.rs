@@ -1,0 +1,49 @@
+//! Shipping results between sites in the distributed simulation.
+
+use crate::context::ExecCtx;
+use crate::error::ExecError;
+use crate::physical::Rel;
+use fj_algebra::SiteId;
+
+/// Ships `input`'s rows from `from` to `to`: charges one message plus
+/// the wire width of every tuple to the ledger. Shipping within one site
+/// is free (no charge, no message).
+pub fn ship(ctx: &ExecCtx, input: Rel, from: SiteId, to: SiteId) -> Result<Rel, ExecError> {
+    if from != to {
+        let bytes: u64 = input.rows.iter().map(|t| t.wire_width() as u64).sum();
+        ctx.ledger.ship(bytes);
+    }
+    Ok(input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj_algebra::Catalog;
+    use fj_storage::{tuple, DataType, Schema};
+    use std::sync::Arc;
+
+    fn rel() -> Rel {
+        Rel::new(
+            Schema::from_pairs(&[("a", DataType::Int)]).into_ref(),
+            vec![tuple![1], tuple![2]],
+        )
+    }
+
+    #[test]
+    fn cross_site_charges_bytes_and_message() {
+        let ctx = ExecCtx::new(Arc::new(Catalog::new()));
+        ship(&ctx, rel(), SiteId(1), SiteId::LOCAL).unwrap();
+        let s = ctx.ledger.snapshot();
+        assert_eq!(s.messages, 1);
+        assert_eq!(s.bytes_shipped, 2 * (4 + 8));
+    }
+
+    #[test]
+    fn same_site_is_free() {
+        let ctx = ExecCtx::new(Arc::new(Catalog::new()));
+        ship(&ctx, rel(), SiteId(1), SiteId(1)).unwrap();
+        assert_eq!(ctx.ledger.snapshot().messages, 0);
+        assert_eq!(ctx.ledger.snapshot().bytes_shipped, 0);
+    }
+}

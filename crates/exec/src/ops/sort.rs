@@ -1,0 +1,138 @@
+//! Sorting with external-sort cost accounting.
+
+use crate::context::ExecCtx;
+use crate::error::ExecError;
+use crate::physical::Rel;
+
+/// Sorts ascending by `keys` (NULLs first, per [`fj_storage::Value`]'s
+/// total order).
+///
+/// Charges `n·⌈log₂ n⌉` tuple ops, plus external merge-sort I/O when the
+/// input exceeds buffer memory: with `P` input pages and `M` buffer
+/// pages, initial runs take one read+write pass and each of the
+/// `⌈log_{M−1}(⌈P/M⌉)⌉` merge passes another — `2P·(1+passes)` page I/Os
+/// total, the standard formula.
+pub fn sort(ctx: &ExecCtx, input: Rel, keys: &[String]) -> Result<Rel, ExecError> {
+    let key_idx: Vec<usize> = keys
+        .iter()
+        .map(|k| input.schema.resolve(k))
+        .collect::<Result<_, _>>()?;
+    let n = input.rows.len() as u64;
+    if n > 1 {
+        ctx.ledger.tuple_ops(n * (64 - (n - 1).leading_zeros() as u64));
+    }
+    charge_external_sort(ctx, input.page_count());
+    let mut rows = input.rows;
+    rows.sort_by_key(|a| a.key(&key_idx));
+    Ok(Rel::new(input.schema, rows))
+}
+
+/// Charges the external-sort page I/O for sorting `pages` pages under the
+/// context's buffer memory (no charge when the input fits in memory).
+pub fn charge_external_sort(ctx: &ExecCtx, pages: u64) {
+    let m = ctx.memory_pages;
+    if pages <= m {
+        return;
+    }
+    let passes = merge_passes(pages, m);
+    // Run formation: read + write every page; each merge pass: the same.
+    ctx.ledger.read_pages(pages * (1 + passes));
+    ctx.ledger.write_pages(pages * (1 + passes));
+}
+
+/// Number of merge passes to sort `pages` with `m` buffers:
+/// `⌈log_{m−1}(⌈pages/m⌉)⌉`.
+pub fn merge_passes(pages: u64, m: u64) -> u64 {
+    let mut runs = pages.div_ceil(m);
+    let fan_in = (m - 1).max(2);
+    let mut passes = 0;
+    while runs > 1 {
+        runs = runs.div_ceil(fan_in);
+        passes += 1;
+    }
+    passes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj_algebra::Catalog;
+    use fj_storage::{tuple, DataType, Schema, Tuple, Value};
+    use std::sync::Arc;
+
+    fn ctx() -> ExecCtx {
+        ExecCtx::new(Arc::new(Catalog::new()))
+    }
+
+    #[test]
+    fn sorts_by_multiple_keys() {
+        let rel = Rel::new(
+            Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int)]).into_ref(),
+            vec![tuple![2, 1], tuple![1, 9], tuple![2, 0], tuple![1, 3]],
+        );
+        let r = sort(&ctx(), rel, &["a".into(), "b".into()]).unwrap();
+        assert_eq!(
+            r.rows,
+            vec![tuple![1, 3], tuple![1, 9], tuple![2, 0], tuple![2, 1]]
+        );
+    }
+
+    #[test]
+    fn nulls_sort_first() {
+        let rel = Rel::new(
+            Schema::new(vec![fj_storage::Column::nullable("a", DataType::Int)])
+                .unwrap()
+                .into_ref(),
+            vec![tuple![5], Tuple::new(vec![Value::Null]), tuple![1]],
+        );
+        let r = sort(&ctx(), rel, &["a".into()]).unwrap();
+        assert!(r.rows[0].value(0).is_null());
+        assert_eq!(r.rows[1], tuple![1]);
+    }
+
+    #[test]
+    fn unknown_key_errors() {
+        let rel = Rel::new(
+            Schema::from_pairs(&[("a", DataType::Int)]).into_ref(),
+            vec![],
+        );
+        assert!(sort(&ctx(), rel, &["zzz".into()]).is_err());
+    }
+
+    #[test]
+    fn in_memory_sort_charges_no_io() {
+        let c = ctx();
+        let rel = Rel::new(
+            Schema::from_pairs(&[("a", DataType::Int)]).into_ref(),
+            (0..100).map(|i| tuple![100 - i]).collect(),
+        );
+        sort(&c, rel, &["a".into()]).unwrap();
+        let s = c.ledger.snapshot();
+        assert_eq!(s.page_ios(), 0);
+        assert!(s.tuple_ops > 0);
+    }
+
+    #[test]
+    fn external_sort_charges_passes() {
+        let c = ctx().with_memory_pages(4);
+        // A relation of ~40 pages (row width 17 → 240/page).
+        let rel = Rel::new(
+            Schema::from_pairs(&[("a", DataType::Int)]).into_ref(),
+            (0..9600).map(|i| tuple![9600 - i]).collect(),
+        );
+        let pages = rel.page_count();
+        assert!(pages > 4);
+        sort(&c, rel, &["a".into()]).unwrap();
+        let expected_passes = merge_passes(pages, 4);
+        let s = c.ledger.snapshot();
+        assert_eq!(s.page_reads, pages * (1 + expected_passes));
+        assert_eq!(s.page_writes, pages * (1 + expected_passes));
+    }
+
+    #[test]
+    fn merge_pass_counts() {
+        assert_eq!(merge_passes(10, 100), 0); // fits after run formation
+        assert_eq!(merge_passes(100, 10), 2); // 10 runs, fan-in 9 → 2 passes
+        assert_eq!(merge_passes(1000, 10), 3);
+    }
+}

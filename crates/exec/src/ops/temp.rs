@@ -1,0 +1,188 @@
+//! `WithTemp`: materialization steps (CTEs) and Bloom builds, then a
+//! body — the runtime shape of a magic-rewritten query and of the Filter
+//! Join itself (materialize production set, build filter set, run
+//! restricted inner + final join).
+
+use crate::context::{ExecCtx, TempTable};
+use crate::error::ExecError;
+use crate::ops::bloom::build_bloom;
+use crate::physical::{PhysPlan, Rel, TempStep};
+
+/// Runs each step in order (registering temps/Blooms), executes the
+/// body, then drops everything registered — even if the body errors.
+pub fn with_temp(
+    ctx: &ExecCtx,
+    steps: &[TempStep],
+    body: &PhysPlan,
+) -> Result<Rel, ExecError> {
+    let mut temp_names = Vec::new();
+    let mut bloom_names = Vec::new();
+    let run = || -> Result<Rel, ExecError> { body.execute(ctx) };
+
+    let mut setup = || -> Result<(), ExecError> {
+        for step in steps {
+            match step {
+                TempStep::Materialize { name, plan } => {
+                    let rel = plan.execute(ctx)?;
+                    // `register_temp` charges the materialization writes.
+                    ctx.register_temp(name.clone(), TempTable::new(rel.schema, rel.rows));
+                    temp_names.push(name.clone());
+                }
+                TempStep::BuildBloom {
+                    name,
+                    plan,
+                    key_cols,
+                    bits,
+                    hashes,
+                    ship,
+                } => {
+                    let rel = plan.execute(ctx)?;
+                    let bloom = build_bloom(ctx, &rel, key_cols, *bits, *hashes)?;
+                    if let Some((from, to)) = ship {
+                        if from != to {
+                            ctx.ledger.ship(bloom.byte_size());
+                        }
+                    }
+                    ctx.register_bloom(name.clone(), bloom);
+                    bloom_names.push(name.clone());
+                }
+            }
+        }
+        Ok(())
+    };
+
+    let result = setup().and_then(|_| run());
+    for n in temp_names {
+        ctx.drop_temp(&n);
+    }
+    for n in bloom_names {
+        ctx.drop_bloom(&n);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj_algebra::Catalog;
+    use fj_expr::{col, lit};
+    use fj_storage::{tuple, DataType, Schema};
+    use std::sync::Arc;
+
+    fn ctx() -> ExecCtx {
+        ExecCtx::new(Arc::new(Catalog::new()))
+    }
+
+    fn values_plan(vals: &[i64]) -> PhysPlan {
+        PhysPlan::Values {
+            schema: Schema::from_pairs(&[("k", DataType::Int)]).into_ref(),
+            rows: vals.iter().map(|&v| vec![v.into()]).collect(),
+        }
+    }
+
+    #[test]
+    fn materialize_then_scan_twice() {
+        let c = ctx();
+        let plan = PhysPlan::WithTemp {
+            steps: vec![TempStep::Materialize {
+                name: "p".into(),
+                plan: values_plan(&[1, 2, 3]),
+            }],
+            body: PhysPlan::NestedLoops {
+                outer: PhysPlan::TempScan {
+                    name: "p".into(),
+                    alias: "A".into(),
+                }
+                .boxed(),
+                inner: PhysPlan::TempScan {
+                    name: "p".into(),
+                    alias: "B".into(),
+                }
+                .boxed(),
+                predicate: Some(col("A.k").eq(col("B.k"))),
+                kind: fj_algebra::JoinKind::Inner,
+            }
+            .boxed(),
+        };
+        let r = plan.execute(&c).unwrap();
+        assert_eq!(r.rows.len(), 3);
+        let s = c.ledger.snapshot();
+        assert_eq!(s.page_writes, 1, "one materialization write");
+        assert_eq!(s.page_reads, 2, "two temp scans");
+        // Temp dropped after the body.
+        assert!(c.temp("p").is_err());
+    }
+
+    #[test]
+    fn bloom_step_registers_and_cleans_up() {
+        let c = ctx();
+        let plan = PhysPlan::WithTemp {
+            steps: vec![TempStep::BuildBloom {
+                name: "b".into(),
+                plan: values_plan(&[1, 2]),
+                key_cols: vec!["k".into()],
+                bits: 256,
+                hashes: 3,
+                ship: None,
+            }],
+            body: PhysPlan::BloomProbe {
+                input: values_plan(&[1, 2, 50, 60]).boxed(),
+                bloom: "b".into(),
+                key_cols: vec!["k".into()],
+            }
+            .boxed(),
+        };
+        let r = plan.execute(&c).unwrap();
+        assert!(r.rows.len() >= 2 && r.rows.len() <= 4);
+        assert!(r.rows.contains(&tuple![1]));
+        assert!(c.bloom("b").is_err(), "bloom dropped after body");
+    }
+
+    #[test]
+    fn temps_dropped_on_body_error() {
+        let c = ctx();
+        let plan = PhysPlan::WithTemp {
+            steps: vec![TempStep::Materialize {
+                name: "p".into(),
+                plan: values_plan(&[1]),
+            }],
+            body: PhysPlan::Filter {
+                input: values_plan(&[1]).boxed(),
+                predicate: col("does_not_exist").eq(lit(1)),
+            }
+            .boxed(),
+        };
+        assert!(plan.execute(&c).is_err());
+        assert!(c.temp("p").is_err(), "temp cleaned up despite error");
+    }
+
+    #[test]
+    fn later_steps_see_earlier_temps() {
+        let c = ctx();
+        let plan = PhysPlan::WithTemp {
+            steps: vec![
+                TempStep::Materialize {
+                    name: "a".into(),
+                    plan: values_plan(&[1, 2, 2, 3]),
+                },
+                TempStep::Materialize {
+                    name: "b".into(),
+                    plan: PhysPlan::Distinct {
+                        input: PhysPlan::TempScan {
+                            name: "a".into(),
+                            alias: String::new(),
+                        }
+                        .boxed(),
+                    },
+                },
+            ],
+            body: PhysPlan::TempScan {
+                name: "b".into(),
+                alias: String::new(),
+            }
+            .boxed(),
+        };
+        let r = plan.execute(&c).unwrap();
+        assert_eq!(r.rows.len(), 3);
+    }
+}

@@ -1,0 +1,564 @@
+//! The physical plan algebra and its interpreter.
+//!
+//! Every node's `execute` returns a fully evaluated [`Rel`] (schema +
+//! rows). Rows flowing between operators model *pipelining* and are not
+//! charged as I/O; only scans, explicit materializations
+//! ([`TempStep::Materialize`]), and the formula-mandated rescan/partition
+//! traffic of the join algorithms charge pages. This makes measured
+//! ledger charges match the System-R cost formulas the optimizer uses.
+
+use crate::context::ExecCtx;
+use crate::error::ExecError;
+use crate::ops;
+use fj_algebra::{JoinKind, SiteId};
+use fj_expr::{AggCall, Expr};
+use fj_storage::{Schema, SchemaRef, Tuple, Value};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// An evaluated relation: runtime schema plus rows.
+#[derive(Debug, Clone)]
+pub struct Rel {
+    /// Runtime schema of the rows.
+    pub schema: SchemaRef,
+    /// The tuples.
+    pub rows: Vec<Tuple>,
+}
+
+impl Rel {
+    /// Builds a relation.
+    pub fn new(schema: SchemaRef, rows: Vec<Tuple>) -> Rel {
+        Rel { schema, rows }
+    }
+
+    /// Pages this relation would occupy if materialized.
+    pub fn page_count(&self) -> u64 {
+        fj_storage::PageLayout::for_schema(&self.schema).pages(self.rows.len() as u64)
+    }
+}
+
+/// A preparatory step of a [`PhysPlan::WithTemp`] node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TempStep {
+    /// Evaluate `plan` and register its result as temp table `name`
+    /// (charging materialization page writes).
+    Materialize {
+        /// Temp table name.
+        name: String,
+        /// Producing plan.
+        plan: PhysPlan,
+    },
+    /// Evaluate `plan` and build a Bloom filter over `key_cols`,
+    /// registered under `name` — the *lossy filter set*.
+    BuildBloom {
+        /// Bloom filter name.
+        name: String,
+        /// Producing plan.
+        plan: PhysPlan,
+        /// Key columns (resolved against the plan's output schema).
+        key_cols: Vec<String>,
+        /// Filter size in bits.
+        bits: u64,
+        /// Hash function count.
+        hashes: u32,
+        /// When the filter will be consumed at another site, the
+        /// (from, to) pair — building then charges one message of the
+        /// filter's byte size (the fixed-size shipment that motivates
+        /// Bloom filters in SDD-1-style semi-joins, §5.1).
+        ship: Option<(SiteId, SiteId)>,
+    },
+}
+
+/// A physical plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysPlan {
+    /// Scan a base table (local or remote; shipping is explicit via
+    /// [`PhysPlan::Ship`]).
+    SeqScan {
+        /// Catalog table name.
+        table: String,
+        /// Alias qualifying output columns (empty keeps base names).
+        alias: String,
+    },
+    /// Ordered full scan of a base table via its B-tree index on `col`;
+    /// output is sorted by that column — the interesting-orders access
+    /// path.
+    IndexOrderedScan {
+        /// Catalog table name.
+        table: String,
+        /// Alias.
+        alias: String,
+        /// Indexed column (unqualified name).
+        col: String,
+    },
+    /// Scan a registered temp table.
+    TempScan {
+        /// Temp table name.
+        name: String,
+        /// Alias (empty keeps the temp's column names).
+        alias: String,
+    },
+    /// Literal rows.
+    Values {
+        /// Schema of the rows.
+        schema: SchemaRef,
+        /// Row values.
+        rows: Vec<Vec<Value>>,
+    },
+    /// Enumerate a user-defined relation's full extension (requires a
+    /// finite domain) — the *full computation* strategy for UDFs.
+    UdfFullScan {
+        /// Catalog UDF name.
+        udf: String,
+        /// Alias.
+        alias: String,
+    },
+    /// Repeated-probe join against a user-defined relation: invoke the
+    /// function once per outer row with arguments taken from
+    /// `arg_cols`. Output schema = outer ⊕ udf (qualified by `alias`).
+    UdfProbe {
+        /// Outer input.
+        outer: Box<PhysPlan>,
+        /// Catalog UDF name.
+        udf: String,
+        /// Alias for the UDF columns.
+        alias: String,
+        /// Outer columns supplying the UDF arguments, in order.
+        arg_cols: Vec<String>,
+    },
+    /// Filter by predicate.
+    Filter {
+        /// Input.
+        input: Box<PhysPlan>,
+        /// Predicate.
+        predicate: Expr,
+    },
+    /// Compute expressions.
+    Project {
+        /// Input.
+        input: Box<PhysPlan>,
+        /// (expression, output name) pairs.
+        exprs: Vec<(Expr, String)>,
+    },
+    /// Sort ascending by key columns (charges external-sort I/O when the
+    /// input exceeds buffer memory).
+    Sort {
+        /// Input.
+        input: Box<PhysPlan>,
+        /// Key column names.
+        keys: Vec<String>,
+    },
+    /// Hash-based duplicate elimination.
+    Distinct {
+        /// Input.
+        input: Box<PhysPlan>,
+    },
+    /// Hash aggregation.
+    HashAggregate {
+        /// Input.
+        input: Box<PhysPlan>,
+        /// Grouping columns.
+        group_by: Vec<String>,
+        /// Aggregate calls.
+        aggs: Vec<AggCall>,
+    },
+    /// Block nested-loops join; charges
+    /// `⌈P_outer/(M−2)⌉·P_inner` rescan I/O beyond the children's own
+    /// production cost.
+    NestedLoops {
+        /// Outer input.
+        outer: Box<PhysPlan>,
+        /// Inner input.
+        inner: Box<PhysPlan>,
+        /// Join predicate (`None` = cross product).
+        predicate: Option<Expr>,
+        /// Inner or semi.
+        kind: JoinKind,
+    },
+    /// Index nested-loops join: probe `table`'s index on `inner_col`
+    /// with each outer row's `outer_key` value — the *repeated probe*
+    /// strategy for stored relations.
+    IndexNestedLoops {
+        /// Outer input.
+        outer: Box<PhysPlan>,
+        /// Inner base table (must have an index on `inner_col`).
+        table: String,
+        /// Alias for inner columns.
+        alias: String,
+        /// Outer key column name.
+        outer_key: String,
+        /// Inner indexed column (unqualified name).
+        inner_col: String,
+        /// Residual predicate applied to joined rows.
+        residual: Option<Expr>,
+    },
+    /// Hash join: build on `inner`, probe with `outer`. Charges Grace
+    /// partition I/O when the build side exceeds memory.
+    HashJoin {
+        /// Probe side.
+        outer: Box<PhysPlan>,
+        /// Build side.
+        inner: Box<PhysPlan>,
+        /// Equi-join keys: (outer column, inner column).
+        keys: Vec<(String, String)>,
+        /// Residual predicate applied to joined rows.
+        residual: Option<Expr>,
+        /// Inner or semi.
+        kind: JoinKind,
+    },
+    /// Sort-merge join (sorts both inputs internally, charging sort
+    /// I/O).
+    MergeJoin {
+        /// Left input.
+        outer: Box<PhysPlan>,
+        /// Right input.
+        inner: Box<PhysPlan>,
+        /// Equi-join keys: (outer column, inner column).
+        keys: Vec<(String, String)>,
+        /// Residual predicate.
+        residual: Option<Expr>,
+    },
+    /// Drop input rows whose key is definitely absent from a registered
+    /// Bloom filter — the lossy filter set (§3.2, Figure 6 bottom row).
+    BloomProbe {
+        /// Input.
+        input: Box<PhysPlan>,
+        /// Registered Bloom filter name.
+        bloom: String,
+        /// Key columns checked against the filter (hashed per-column in
+        /// order; multi-column keys fold).
+        key_cols: Vec<String>,
+    },
+    /// Ship the input's rows from one site to another, charging network
+    /// bytes + one message (free when `from == to`).
+    Ship {
+        /// Input.
+        input: Box<PhysPlan>,
+        /// Producing site.
+        from: SiteId,
+        /// Consuming site.
+        to: SiteId,
+    },
+    /// Run preparatory steps (materializations / Bloom builds), then the
+    /// body; temps are dropped afterwards.
+    WithTemp {
+        /// Steps, in order.
+        steps: Vec<TempStep>,
+        /// Main plan.
+        body: Box<PhysPlan>,
+    },
+}
+
+impl PhysPlan {
+    /// Boxes the plan.
+    pub fn boxed(self) -> Box<PhysPlan> {
+        Box::new(self)
+    }
+
+    /// Executes the plan, charging the context's ledger.
+    pub fn execute(&self, ctx: &ExecCtx) -> Result<Rel, ExecError> {
+        match self {
+            PhysPlan::SeqScan { table, alias } => ops::scan::seq_scan(ctx, table, alias),
+            PhysPlan::IndexOrderedScan { table, alias, col } => {
+                ops::scan::index_ordered_scan(ctx, table, alias, col)
+            }
+            PhysPlan::TempScan { name, alias } => ops::scan::temp_scan(ctx, name, alias),
+            PhysPlan::Values { schema, rows } => ops::scan::values(schema, rows),
+            PhysPlan::UdfFullScan { udf, alias } => ops::scan::udf_full_scan(ctx, udf, alias),
+            PhysPlan::UdfProbe {
+                outer,
+                udf,
+                alias,
+                arg_cols,
+            } => {
+                let o = outer.execute(ctx)?;
+                ops::joins::udf_probe(ctx, o, udf, alias, arg_cols)
+            }
+            PhysPlan::Filter { input, predicate } => {
+                let r = input.execute(ctx)?;
+                ops::filter::filter(ctx, r, predicate)
+            }
+            PhysPlan::Project { input, exprs } => {
+                let r = input.execute(ctx)?;
+                ops::filter::project(ctx, r, exprs)
+            }
+            PhysPlan::Sort { input, keys } => {
+                let r = input.execute(ctx)?;
+                ops::sort::sort(ctx, r, keys)
+            }
+            PhysPlan::Distinct { input } => {
+                let r = input.execute(ctx)?;
+                ops::agg::distinct(ctx, r)
+            }
+            PhysPlan::HashAggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let r = input.execute(ctx)?;
+                ops::agg::hash_aggregate(ctx, r, group_by, aggs)
+            }
+            PhysPlan::NestedLoops {
+                outer,
+                inner,
+                predicate,
+                kind,
+            } => {
+                let o = outer.execute(ctx)?;
+                let i = inner.execute(ctx)?;
+                ops::joins::block_nested_loops(ctx, o, i, predicate.as_ref(), *kind)
+            }
+            PhysPlan::IndexNestedLoops {
+                outer,
+                table,
+                alias,
+                outer_key,
+                inner_col,
+                residual,
+            } => {
+                let o = outer.execute(ctx)?;
+                ops::joins::index_nested_loops(
+                    ctx,
+                    o,
+                    table,
+                    alias,
+                    outer_key,
+                    inner_col,
+                    residual.as_ref(),
+                )
+            }
+            PhysPlan::HashJoin {
+                outer,
+                inner,
+                keys,
+                residual,
+                kind,
+            } => {
+                let o = outer.execute(ctx)?;
+                let i = inner.execute(ctx)?;
+                ops::joins::hash_join(ctx, o, i, keys, residual.as_ref(), *kind)
+            }
+            PhysPlan::MergeJoin {
+                outer,
+                inner,
+                keys,
+                residual,
+            } => {
+                let o = outer.execute(ctx)?;
+                let i = inner.execute(ctx)?;
+                ops::joins::merge_join(ctx, o, i, keys, residual.as_ref())
+            }
+            PhysPlan::BloomProbe {
+                input,
+                bloom,
+                key_cols,
+            } => {
+                let r = input.execute(ctx)?;
+                ops::bloom::bloom_probe(ctx, r, bloom, key_cols)
+            }
+            PhysPlan::Ship { input, from, to } => {
+                let r = input.execute(ctx)?;
+                ops::ship::ship(ctx, r, *from, *to)
+            }
+            PhysPlan::WithTemp { steps, body } => ops::temp::with_temp(ctx, steps, body),
+        }
+    }
+
+    /// Pretty-prints the physical plan as an indented tree.
+    pub fn display(&self) -> String {
+        let mut out = String::new();
+        self.fmt_tree(&mut out, 0);
+        out
+    }
+
+    fn fmt_tree(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            PhysPlan::SeqScan { table, alias } => {
+                let _ = writeln!(out, "{pad}SeqScan {table} AS {alias}");
+            }
+            PhysPlan::IndexOrderedScan { table, alias, col } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}IndexOrderedScan {table} AS {alias} (sorted by {col})"
+                );
+            }
+            PhysPlan::TempScan { name, alias } => {
+                let _ = writeln!(out, "{pad}TempScan {name} AS {alias}");
+            }
+            PhysPlan::Values { rows, .. } => {
+                let _ = writeln!(out, "{pad}Values ({} rows)", rows.len());
+            }
+            PhysPlan::UdfFullScan { udf, alias } => {
+                let _ = writeln!(out, "{pad}UdfFullScan {udf} AS {alias}");
+            }
+            PhysPlan::UdfProbe {
+                outer,
+                udf,
+                alias,
+                arg_cols,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}UdfProbe {udf} AS {alias} args=({})",
+                    arg_cols.join(", ")
+                );
+                outer.fmt_tree(out, depth + 1);
+            }
+            PhysPlan::Filter { input, predicate } => {
+                let _ = writeln!(out, "{pad}Filter {predicate}");
+                input.fmt_tree(out, depth + 1);
+            }
+            PhysPlan::Project { input, exprs } => {
+                let list = exprs
+                    .iter()
+                    .map(|(e, n)| format!("{e} AS {n}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let _ = writeln!(out, "{pad}Project {list}");
+                input.fmt_tree(out, depth + 1);
+            }
+            PhysPlan::Sort { input, keys } => {
+                let _ = writeln!(out, "{pad}Sort by [{}]", keys.join(", "));
+                input.fmt_tree(out, depth + 1);
+            }
+            PhysPlan::Distinct { input } => {
+                let _ = writeln!(out, "{pad}Distinct");
+                input.fmt_tree(out, depth + 1);
+            }
+            PhysPlan::HashAggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let aggs_s = aggs
+                    .iter()
+                    .map(|a| a.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let _ = writeln!(
+                    out,
+                    "{pad}HashAggregate group by [{}] compute [{aggs_s}]",
+                    group_by.join(", ")
+                );
+                input.fmt_tree(out, depth + 1);
+            }
+            PhysPlan::NestedLoops {
+                outer,
+                inner,
+                predicate,
+                kind,
+            } => {
+                let k = if *kind == JoinKind::Semi { "Semi" } else { "" };
+                match predicate {
+                    Some(p) => {
+                        let _ = writeln!(out, "{pad}{k}NestedLoopsJoin on {p}");
+                    }
+                    None => {
+                        let _ = writeln!(out, "{pad}{k}NestedLoopsJoin (cross)");
+                    }
+                }
+                outer.fmt_tree(out, depth + 1);
+                inner.fmt_tree(out, depth + 1);
+            }
+            PhysPlan::IndexNestedLoops {
+                outer,
+                table,
+                alias,
+                outer_key,
+                inner_col,
+                ..
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}IndexNestedLoopsJoin {table} AS {alias} on {outer_key} = {alias}.{inner_col}"
+                );
+                outer.fmt_tree(out, depth + 1);
+            }
+            PhysPlan::HashJoin {
+                outer,
+                inner,
+                keys,
+                kind,
+                ..
+            } => {
+                let k = if *kind == JoinKind::Semi { "Semi" } else { "" };
+                let keys_s = keys
+                    .iter()
+                    .map(|(a, b)| format!("{a} = {b}"))
+                    .collect::<Vec<_>>()
+                    .join(" AND ");
+                let _ = writeln!(out, "{pad}{k}HashJoin on {keys_s}");
+                outer.fmt_tree(out, depth + 1);
+                inner.fmt_tree(out, depth + 1);
+            }
+            PhysPlan::MergeJoin {
+                outer,
+                inner,
+                keys,
+                ..
+            } => {
+                let keys_s = keys
+                    .iter()
+                    .map(|(a, b)| format!("{a} = {b}"))
+                    .collect::<Vec<_>>()
+                    .join(" AND ");
+                let _ = writeln!(out, "{pad}MergeJoin on {keys_s}");
+                outer.fmt_tree(out, depth + 1);
+                inner.fmt_tree(out, depth + 1);
+            }
+            PhysPlan::BloomProbe {
+                input,
+                bloom,
+                key_cols,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}BloomProbe {bloom} on [{}]",
+                    key_cols.join(", ")
+                );
+                input.fmt_tree(out, depth + 1);
+            }
+            PhysPlan::Ship { input, from, to } => {
+                let _ = writeln!(out, "{pad}Ship {from} -> {to}");
+                input.fmt_tree(out, depth + 1);
+            }
+            PhysPlan::WithTemp { steps, body } => {
+                let _ = writeln!(out, "{pad}WithTemp");
+                for s in steps {
+                    match s {
+                        TempStep::Materialize { name, plan } => {
+                            let _ = writeln!(out, "{pad}  Materialize {name}:");
+                            plan.fmt_tree(out, depth + 2);
+                        }
+                        TempStep::BuildBloom {
+                            name,
+                            plan,
+                            key_cols,
+                            bits,
+                            ..
+                        } => {
+                            let _ = writeln!(
+                                out,
+                                "{pad}  BuildBloom {name} ({bits} bits) on [{}]:",
+                                key_cols.join(", ")
+                            );
+                            plan.fmt_tree(out, depth + 2);
+                        }
+                    }
+                }
+                let _ = writeln!(out, "{pad}  Body:");
+                body.fmt_tree(out, depth + 2);
+            }
+        }
+    }
+}
+
+/// Requalifies `schema` under `alias` when the alias is non-empty.
+pub(crate) fn maybe_qualify(schema: &Schema, alias: &str) -> SchemaRef {
+    if alias.is_empty() {
+        Arc::new(schema.clone())
+    } else {
+        Arc::new(schema.with_qualifier(alias))
+    }
+}

@@ -1,0 +1,195 @@
+//! Property-based tests of the executor's operator algebra: all join
+//! methods compute the same relation, semi-joins and Bloom probes obey
+//! their containment laws, and sort/distinct/aggregate behave like
+//! their set-theoretic definitions — on arbitrary data, including
+//! duplicates, NULLs and empty inputs.
+
+use fj_algebra::{Catalog, JoinKind};
+use fj_exec::physical::Rel;
+use fj_exec::{ops, ExecCtx};
+use fj_expr::{col, AggCall, AggFunc};
+use fj_storage::{Column, DataType, Schema, Tuple, Value};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn ctx() -> ExecCtx {
+    ExecCtx::new(Arc::new(Catalog::new()))
+}
+
+/// Optional ints become nullable key columns.
+fn rel(prefix: &str, rows: &[(Option<i64>, i64)]) -> Rel {
+    let schema = Schema::new(vec![
+        Column::nullable(format!("{prefix}.k"), DataType::Int),
+        Column::new(format!("{prefix}.v"), DataType::Int),
+    ])
+    .expect("distinct names")
+    .into_ref();
+    Rel::new(
+        schema,
+        rows.iter()
+            .map(|(k, v)| {
+                Tuple::new(vec![
+                    k.map(Value::Int).unwrap_or(Value::Null),
+                    Value::Int(*v),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn sorted(mut rows: Vec<Tuple>) -> Vec<Tuple> {
+    rows.sort();
+    rows
+}
+
+/// Reference nested-loops join on the key column, SQL NULL semantics.
+fn reference_join(l: &[(Option<i64>, i64)], r: &[(Option<i64>, i64)]) -> usize {
+    l.iter()
+        .map(|(lk, _)| match lk {
+            None => 0,
+            Some(lk) => r.iter().filter(|(rk, _)| *rk == Some(*lk)).count(),
+        })
+        .sum()
+}
+
+type Row = (Option<i64>, i64);
+fn rows_strategy() -> impl Strategy<Value = Vec<Row>> {
+    prop::collection::vec((prop::option::of(0i64..8), 0i64..100), 0..30)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_join_methods_agree(l in rows_strategy(), r in rows_strategy()) {
+        let keys = vec![("L.k".to_string(), "R.k".to_string())];
+        let pred = col("L.k").eq(col("R.k"));
+        let nlj = ops::joins::block_nested_loops(
+            &ctx(), rel("L", &l), rel("R", &r), Some(&pred), JoinKind::Inner).unwrap();
+        let hj = ops::joins::hash_join(
+            &ctx(), rel("L", &l), rel("R", &r), &keys, None, JoinKind::Inner).unwrap();
+        let mj = ops::joins::merge_join(
+            &ctx(), rel("L", &l), rel("R", &r), &keys, None).unwrap();
+        let expected = reference_join(&l, &r);
+        prop_assert_eq!(nlj.rows.len(), expected);
+        prop_assert_eq!(sorted(hj.rows), sorted(nlj.rows.clone()));
+        prop_assert_eq!(sorted(mj.rows), sorted(nlj.rows));
+    }
+
+    #[test]
+    fn semi_join_variants_agree_and_contain(l in rows_strategy(), r in rows_strategy()) {
+        let keys = vec![("L.k".to_string(), "R.k".to_string())];
+        let pred = col("L.k").eq(col("R.k"));
+        let nlj = ops::joins::block_nested_loops(
+            &ctx(), rel("L", &l), rel("R", &r), Some(&pred), JoinKind::Semi).unwrap();
+        let hj = ops::joins::hash_join(
+            &ctx(), rel("L", &l), rel("R", &r), &keys, None, JoinKind::Semi).unwrap();
+        prop_assert_eq!(sorted(hj.rows.clone()), sorted(nlj.rows));
+        // Semi output ⊆ outer, no duplicates beyond the outer's own.
+        prop_assert!(hj.rows.len() <= l.len());
+        // Every semi row's key appears in R.
+        let r_keys: std::collections::HashSet<i64> =
+            r.iter().filter_map(|(k, _)| *k).collect();
+        for t in &hj.rows {
+            let k = t.value(0).as_int().expect("nulls never match");
+            prop_assert!(r_keys.contains(&k));
+        }
+    }
+
+    #[test]
+    fn bloom_probe_is_a_superset_of_the_semi_join(
+        l in rows_strategy(), r in rows_strategy()
+    ) {
+        let c = ctx();
+        let left = rel("L", &l);
+        let bloom = ops::bloom::build_bloom(&c, &left, &["L.k".into()], 512, 4).unwrap();
+        c.register_bloom("b", bloom);
+        let probed = ops::bloom::bloom_probe(
+            &c, rel("R", &r), "b", &["R.k".into()]).unwrap();
+        // Exact semi-join of R against L's keys.
+        let keys = vec![("R.k".to_string(), "L.k".to_string())];
+        let exact = ops::joins::hash_join(
+            &ctx(), rel("R", &r), rel("L", &l), &keys, None, JoinKind::Semi).unwrap();
+        // No false negatives: every exact survivor also passes the Bloom.
+        let probed_set: std::collections::HashSet<Tuple> =
+            probed.rows.into_iter().collect();
+        for t in &exact.rows {
+            prop_assert!(probed_set.contains(t), "bloom dropped a true match {t}");
+        }
+    }
+
+    #[test]
+    fn sort_is_an_ordered_permutation(l in rows_strategy()) {
+        let input = rel("L", &l);
+        let before = sorted(input.rows.clone());
+        let out = ops::sort::sort(&ctx(), input, &["L.k".into(), "L.v".into()]).unwrap();
+        for w in out.rows.windows(2) {
+            prop_assert!(w[0].key(&[0, 1]) <= w[1].key(&[0, 1]));
+        }
+        prop_assert_eq!(sorted(out.rows), before);
+    }
+
+    #[test]
+    fn distinct_is_idempotent_and_minimal(l in rows_strategy()) {
+        let once = ops::agg::distinct(&ctx(), rel("L", &l)).unwrap();
+        let twice = ops::agg::distinct(&ctx(), Rel::new(once.schema.clone(), once.rows.clone()))
+            .unwrap();
+        prop_assert_eq!(&once.rows, &twice.rows);
+        let unique: std::collections::HashSet<&Tuple> = once.rows.iter().collect();
+        prop_assert_eq!(unique.len(), once.rows.len());
+    }
+
+    #[test]
+    fn aggregate_groups_match_distinct_keys(l in rows_strategy()) {
+        let agg = ops::agg::hash_aggregate(
+            &ctx(),
+            rel("L", &l),
+            &["L.k".into()],
+            &[AggCall::new(AggFunc::Sum, "L.v", "s"), AggCall::count_star("n")],
+        )
+        .unwrap();
+        let distinct_keys: std::collections::HashSet<Option<i64>> =
+            l.iter().map(|(k, _)| *k).collect();
+        prop_assert_eq!(agg.rows.len(), distinct_keys.len());
+        // COUNT(*) sums back to the input cardinality.
+        let total: i64 = agg
+            .rows
+            .iter()
+            .map(|t| t.value(2).as_int().expect("count is int"))
+            .sum();
+        prop_assert_eq!(total as usize, l.len());
+    }
+
+    #[test]
+    fn filter_join_composition_equals_plain_join(
+        l in rows_strategy(), r in rows_strategy()
+    ) {
+        // Local semi-join composition: distinct(π_k L) ⋉ R, then L ⋈ R'
+        // must equal L ⋈ R.
+        let c = ctx();
+        let filter = ops::agg::distinct(
+            &c,
+            ops::filter::project(&c, rel("L", &l), &[(col("L.k"), "k0".into())]).unwrap(),
+        )
+        .unwrap();
+        let restricted = ops::joins::hash_join(
+            &c,
+            rel("R", &r),
+            filter,
+            &[("R.k".to_string(), "k0".to_string())],
+            None,
+            JoinKind::Semi,
+        )
+        .unwrap();
+        let via_filter = ops::joins::hash_join(
+            &c,
+            rel("L", &l),
+            restricted,
+            &[("L.k".to_string(), "R.k".to_string())],
+            None,
+            JoinKind::Inner,
+        )
+        .unwrap();
+        prop_assert_eq!(via_filter.rows.len(), reference_join(&l, &r));
+    }
+}

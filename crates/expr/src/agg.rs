@@ -1,0 +1,267 @@
+//! Aggregate functions: COUNT, SUM, AVG, MIN, MAX.
+//!
+//! The paper's motivating view (`DepAvgSal`) is a grouped AVG; aggregate
+//! evaluation must survive the magic rewriting unchanged, so semantics
+//! here follow SQL: NULLs are ignored by every function, `COUNT(*)`
+//! counts rows, and aggregates over empty groups yield NULL (COUNT yields
+//! 0).
+
+use crate::error::ExprError;
+use fj_storage::{DataType, Value};
+
+/// The aggregate functions supported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `COUNT(expr)` / `COUNT(*)`.
+    Count,
+    /// `SUM(expr)`.
+    Sum,
+    /// `AVG(expr)`.
+    Avg,
+    /// `MIN(expr)`.
+    Min,
+    /// `MAX(expr)`.
+    Max,
+}
+
+impl AggFunc {
+    /// SQL name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+
+    /// Result type given the input type.
+    pub fn result_type(self, input: DataType) -> DataType {
+        match self {
+            AggFunc::Count => DataType::Int,
+            AggFunc::Avg => DataType::Double,
+            AggFunc::Sum => match input {
+                DataType::Int => DataType::Int,
+                _ => DataType::Double,
+            },
+            AggFunc::Min | AggFunc::Max => input,
+        }
+    }
+}
+
+/// An aggregate call: function, input expression (as a *name* resolved by
+/// the plan layer), and output column name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AggCall {
+    /// The function.
+    pub func: AggFunc,
+    /// Input column name; `None` means `COUNT(*)`.
+    pub input: Option<String>,
+    /// Name of the output column (e.g. `"avgsal"`).
+    pub output: String,
+}
+
+impl AggCall {
+    /// `func(input) AS output`.
+    pub fn new(func: AggFunc, input: impl Into<String>, output: impl Into<String>) -> AggCall {
+        AggCall {
+            func,
+            input: Some(input.into()),
+            output: output.into(),
+        }
+    }
+
+    /// `COUNT(*) AS output`.
+    pub fn count_star(output: impl Into<String>) -> AggCall {
+        AggCall {
+            func: AggFunc::Count,
+            input: None,
+            output: output.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for AggCall {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.input {
+            Some(c) => write!(f, "{}({c}) AS {}", self.func.name(), self.output),
+            None => write!(f, "{}(*) AS {}", self.func.name(), self.output),
+        }
+    }
+}
+
+/// Running state for one aggregate over one group.
+#[derive(Debug, Clone)]
+pub struct Accumulator {
+    func: AggFunc,
+    count: u64,
+    sum: f64,
+    int_sum: i64,
+    all_int: bool,
+    min: Option<Value>,
+    max: Option<Value>,
+}
+
+impl Accumulator {
+    /// Fresh accumulator for `func`.
+    pub fn new(func: AggFunc) -> Accumulator {
+        Accumulator {
+            func,
+            count: 0,
+            sum: 0.0,
+            int_sum: 0,
+            all_int: true,
+            min: None,
+            max: None,
+        }
+    }
+
+    /// Feeds one input value. For `COUNT(*)` feed any non-null marker
+    /// (the executor feeds `Value::Bool(true)`).
+    pub fn update(&mut self, v: &Value) -> Result<(), ExprError> {
+        if v.is_null() {
+            return Ok(()); // SQL aggregates ignore NULLs
+        }
+        self.count += 1;
+        match self.func {
+            AggFunc::Count => {}
+            AggFunc::Sum | AggFunc::Avg => match v {
+                Value::Int(i) => {
+                    self.int_sum = self.int_sum.wrapping_add(*i);
+                    self.sum += *i as f64;
+                }
+                Value::Double(d) => {
+                    self.all_int = false;
+                    self.sum += d;
+                }
+                other => {
+                    return Err(ExprError::TypeMismatch {
+                        op: self.func.name().into(),
+                        detail: format!("non-numeric input {other}"),
+                    })
+                }
+            },
+            AggFunc::Min => {
+                if self.min.as_ref().is_none_or(|m| v < m) {
+                    self.min = Some(v.clone());
+                }
+            }
+            AggFunc::Max => {
+                if self.max.as_ref().is_none_or(|m| v > m) {
+                    self.max = Some(v.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Final result for the group.
+    pub fn finish(&self) -> Value {
+        match self.func {
+            AggFunc::Count => Value::Int(self.count as i64),
+            AggFunc::Sum => {
+                if self.count == 0 {
+                    Value::Null
+                } else if self.all_int {
+                    Value::Int(self.int_sum)
+                } else {
+                    Value::Double(self.sum)
+                }
+            }
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Double(self.sum / self.count as f64)
+                }
+            }
+            AggFunc::Min => self.min.clone().unwrap_or(Value::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(func: AggFunc, vals: &[Value]) -> Value {
+        let mut acc = Accumulator::new(func);
+        for v in vals {
+            acc.update(v).unwrap();
+        }
+        acc.finish()
+    }
+
+    #[test]
+    fn avg_of_salaries() {
+        let vals = [Value::Double(1000.0), Value::Double(3000.0)];
+        assert_eq!(run(AggFunc::Avg, &vals), Value::Double(2000.0));
+    }
+
+    #[test]
+    fn avg_mixes_ints_and_doubles() {
+        let vals = [Value::Int(1), Value::Double(2.0)];
+        assert_eq!(run(AggFunc::Avg, &vals), Value::Double(1.5));
+    }
+
+    #[test]
+    fn sum_stays_integer_for_integers() {
+        let vals = [Value::Int(2), Value::Int(3)];
+        assert_eq!(run(AggFunc::Sum, &vals), Value::Int(5));
+        let vals = [Value::Int(2), Value::Double(3.0)];
+        assert_eq!(run(AggFunc::Sum, &vals), Value::Double(5.0));
+    }
+
+    #[test]
+    fn nulls_ignored() {
+        let vals = [Value::Null, Value::Int(4), Value::Null];
+        assert_eq!(run(AggFunc::Count, &vals), Value::Int(1));
+        assert_eq!(run(AggFunc::Sum, &vals), Value::Int(4));
+        assert_eq!(run(AggFunc::Avg, &vals), Value::Double(4.0));
+    }
+
+    #[test]
+    fn empty_group_semantics() {
+        assert_eq!(run(AggFunc::Count, &[]), Value::Int(0));
+        assert_eq!(run(AggFunc::Sum, &[]), Value::Null);
+        assert_eq!(run(AggFunc::Avg, &[]), Value::Null);
+        assert_eq!(run(AggFunc::Min, &[]), Value::Null);
+    }
+
+    #[test]
+    fn min_max_on_strings() {
+        let vals = [
+            Value::Str("pear".into()),
+            Value::Str("apple".into()),
+            Value::Str("fig".into()),
+        ];
+        assert_eq!(run(AggFunc::Min, &vals), Value::Str("apple".into()));
+        assert_eq!(run(AggFunc::Max, &vals), Value::Str("pear".into()));
+    }
+
+    #[test]
+    fn sum_rejects_strings() {
+        let mut acc = Accumulator::new(AggFunc::Sum);
+        assert!(acc.update(&Value::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn result_types() {
+        assert_eq!(AggFunc::Count.result_type(DataType::Str), DataType::Int);
+        assert_eq!(AggFunc::Avg.result_type(DataType::Int), DataType::Double);
+        assert_eq!(AggFunc::Sum.result_type(DataType::Int), DataType::Int);
+        assert_eq!(AggFunc::Sum.result_type(DataType::Double), DataType::Double);
+        assert_eq!(AggFunc::Min.result_type(DataType::Str), DataType::Str);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            AggCall::new(AggFunc::Avg, "E.sal", "avgsal").to_string(),
+            "AVG(E.sal) AS avgsal"
+        );
+        assert_eq!(AggCall::count_star("n").to_string(), "COUNT(*) AS n");
+    }
+}

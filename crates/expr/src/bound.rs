@@ -1,0 +1,346 @@
+//! Bound (index-resolved) expressions and their evaluation.
+//!
+//! Evaluation follows SQL three-valued logic: comparisons involving NULL
+//! yield NULL; `AND`/`OR` propagate unknowns Kleene-style; a predicate
+//! accepts a tuple only when it evaluates to `TRUE` (not NULL).
+
+use crate::error::ExprError;
+use crate::expr::{BinOp, Expr};
+use fj_storage::{DataType, Schema, Tuple, Value};
+use std::sync::Arc;
+
+/// An expression with column references resolved to positions in a
+/// specific schema. Produced by [`BoundExpr::bind`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundExpr {
+    /// Column at a tuple position.
+    Column(usize),
+    /// Literal.
+    Literal(Value),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Arc<BoundExpr>,
+        /// Right operand.
+        right: Arc<BoundExpr>,
+    },
+    /// Logical NOT.
+    Not(Arc<BoundExpr>),
+    /// IS NULL.
+    IsNull(Arc<BoundExpr>),
+}
+
+impl BoundExpr {
+    /// Resolves `expr`'s column names against `schema`.
+    pub fn bind(expr: &Expr, schema: &Schema) -> Result<BoundExpr, ExprError> {
+        Ok(match expr {
+            Expr::Column(name) => BoundExpr::Column(schema.resolve(name)?),
+            Expr::Literal(v) => BoundExpr::Literal(v.clone()),
+            Expr::Binary { op, left, right } => BoundExpr::Binary {
+                op: *op,
+                left: Arc::new(BoundExpr::bind(left, schema)?),
+                right: Arc::new(BoundExpr::bind(right, schema)?),
+            },
+            Expr::Not(e) => BoundExpr::Not(Arc::new(BoundExpr::bind(e, schema)?)),
+            Expr::IsNull(e) => BoundExpr::IsNull(Arc::new(BoundExpr::bind(e, schema)?)),
+        })
+    }
+
+    /// Evaluates against a tuple.
+    pub fn eval(&self, tuple: &Tuple) -> Result<Value, ExprError> {
+        match self {
+            BoundExpr::Column(i) => Ok(tuple.value(*i).clone()),
+            BoundExpr::Literal(v) => Ok(v.clone()),
+            BoundExpr::Binary { op, left, right } => {
+                // Short-circuit AND/OR must see three-valued semantics.
+                if matches!(op, BinOp::And | BinOp::Or) {
+                    return eval_logic(*op, left, right, tuple);
+                }
+                let l = left.eval(tuple)?;
+                let r = right.eval(tuple)?;
+                eval_binary(*op, &l, &r)
+            }
+            BoundExpr::Not(e) => match e.eval(tuple)? {
+                Value::Null => Ok(Value::Null),
+                Value::Bool(b) => Ok(Value::Bool(!b)),
+                other => Err(ExprError::TypeMismatch {
+                    op: "NOT".into(),
+                    detail: format!("operand {other}"),
+                }),
+            },
+            BoundExpr::IsNull(e) => Ok(Value::Bool(e.eval(tuple)?.is_null())),
+        }
+    }
+
+    /// Evaluates as a predicate: `Ok(true)` iff the result is `TRUE`
+    /// (NULL counts as not-satisfied, per SQL `WHERE`).
+    pub fn eval_predicate(&self, tuple: &Tuple) -> Result<bool, ExprError> {
+        Ok(matches!(self.eval(tuple)?, Value::Bool(true)))
+    }
+
+    /// Static result type, when inferable without data: comparisons and
+    /// logic yield `Bool`; arithmetic yields `Double` if either side can
+    /// be `Double`, else `Int`. Used to type projection outputs.
+    pub fn result_type(&self, schema: &Schema) -> DataType {
+        match self {
+            BoundExpr::Column(i) => schema.column(*i).data_type,
+            BoundExpr::Literal(v) => v.data_type().unwrap_or(DataType::Int),
+            BoundExpr::Binary { op, left, right } => {
+                if op.is_comparison() || matches!(op, BinOp::And | BinOp::Or) {
+                    DataType::Bool
+                } else if *op == BinOp::Div {
+                    DataType::Double
+                } else {
+                    match (left.result_type(schema), right.result_type(schema)) {
+                        (DataType::Int, DataType::Int) => DataType::Int,
+                        _ => DataType::Double,
+                    }
+                }
+            }
+            BoundExpr::Not(_) | BoundExpr::IsNull(_) => DataType::Bool,
+        }
+    }
+}
+
+fn eval_logic(
+    op: BinOp,
+    left: &BoundExpr,
+    right: &BoundExpr,
+    tuple: &Tuple,
+) -> Result<Value, ExprError> {
+    let l = left.eval(tuple)?;
+    let as_tv = |v: &Value| -> Result<Option<bool>, ExprError> {
+        match v {
+            Value::Null => Ok(None),
+            Value::Bool(b) => Ok(Some(*b)),
+            other => Err(ExprError::TypeMismatch {
+                op: op.symbol().into(),
+                detail: format!("logical operand {other}"),
+            }),
+        }
+    };
+    let lv = as_tv(&l)?;
+    // Kleene short-circuit: FALSE AND _ = FALSE; TRUE OR _ = TRUE.
+    match (op, lv) {
+        (BinOp::And, Some(false)) => return Ok(Value::Bool(false)),
+        (BinOp::Or, Some(true)) => return Ok(Value::Bool(true)),
+        _ => {}
+    }
+    let rv = as_tv(&right.eval(tuple)?)?;
+    let out = match op {
+        BinOp::And => match (lv, rv) {
+            (Some(false), _) | (_, Some(false)) => Some(false),
+            (Some(true), Some(true)) => Some(true),
+            _ => None,
+        },
+        BinOp::Or => match (lv, rv) {
+            (Some(true), _) | (_, Some(true)) => Some(true),
+            (Some(false), Some(false)) => Some(false),
+            _ => None,
+        },
+        _ => unreachable!("eval_logic only handles AND/OR"),
+    };
+    Ok(out.map(Value::Bool).unwrap_or(Value::Null))
+}
+
+fn eval_binary(op: BinOp, l: &Value, r: &Value) -> Result<Value, ExprError> {
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    if op.is_comparison() {
+        let ord = l.cmp(r);
+        let b = match op {
+            BinOp::Eq => ord == std::cmp::Ordering::Equal,
+            BinOp::Ne => ord != std::cmp::Ordering::Equal,
+            BinOp::Lt => ord == std::cmp::Ordering::Less,
+            BinOp::Le => ord != std::cmp::Ordering::Greater,
+            BinOp::Gt => ord == std::cmp::Ordering::Greater,
+            BinOp::Ge => ord != std::cmp::Ordering::Less,
+            _ => unreachable!(),
+        };
+        return Ok(Value::Bool(b));
+    }
+    // Arithmetic.
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => {
+            let v = match op {
+                BinOp::Add => a.wrapping_add(*b),
+                BinOp::Sub => a.wrapping_sub(*b),
+                BinOp::Mul => a.wrapping_mul(*b),
+                BinOp::Div => {
+                    if *b == 0 {
+                        return Err(ExprError::DivisionByZero);
+                    }
+                    return Ok(Value::Double(*a as f64 / *b as f64));
+                }
+                BinOp::Mod => {
+                    if *b == 0 {
+                        return Err(ExprError::DivisionByZero);
+                    }
+                    a.rem_euclid(*b)
+                }
+                _ => unreachable!(),
+            };
+            Ok(Value::Int(v))
+        }
+        _ => {
+            let (a, b) = match (l.as_double(), r.as_double()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => {
+                    return Err(ExprError::TypeMismatch {
+                        op: op.symbol().into(),
+                        detail: format!("{l} {} {r}", op.symbol()),
+                    })
+                }
+            };
+            let v = match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => {
+                    if b == 0.0 {
+                        return Err(ExprError::DivisionByZero);
+                    }
+                    a / b
+                }
+                BinOp::Mod => {
+                    return Err(ExprError::TypeMismatch {
+                        op: "%".into(),
+                        detail: "modulo requires integers".into(),
+                    })
+                }
+                _ => unreachable!(),
+            };
+            Ok(Value::Double(v))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use fj_storage::tuple;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("E.age", DataType::Int),
+            ("E.sal", DataType::Double),
+            ("E.name", DataType::Str),
+        ])
+    }
+
+    fn eval(e: &Expr, t: &Tuple) -> Value {
+        BoundExpr::bind(e, &schema()).unwrap().eval(t).unwrap()
+    }
+
+    #[test]
+    fn comparisons() {
+        let t = tuple![25, 5000.0, "ann"];
+        assert_eq!(eval(&col("E.age").lt(lit(30)), &t), Value::Bool(true));
+        assert_eq!(eval(&col("E.age").ge(lit(30)), &t), Value::Bool(false));
+        assert_eq!(eval(&col("E.name").eq(lit("ann")), &t), Value::Bool(true));
+        assert_eq!(eval(&col("E.sal").gt(col("E.age")), &t), Value::Bool(true));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = tuple![7, 2.5, "x"];
+        assert_eq!(eval(&col("E.age").add(lit(3)), &t), Value::Int(10));
+        assert_eq!(eval(&col("E.age").mul(lit(2)), &t), Value::Int(14));
+        assert_eq!(eval(&col("E.age").rem(lit(4)), &t), Value::Int(3));
+        assert_eq!(eval(&col("E.sal").add(lit(1)), &t), Value::Double(3.5));
+        // Integer division yields a double (SQL-92 engines differ; the
+        // paper's AVG comparisons need exact ratios).
+        assert_eq!(eval(&col("E.age").div(lit(2)), &t), Value::Double(3.5));
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        let t = tuple![7, 2.5, "x"];
+        let b = BoundExpr::bind(&col("E.age").div(lit(0)), &schema()).unwrap();
+        assert_eq!(b.eval(&t).unwrap_err(), ExprError::DivisionByZero);
+        let b = BoundExpr::bind(&col("E.age").rem(lit(0)), &schema()).unwrap();
+        assert_eq!(b.eval(&t).unwrap_err(), ExprError::DivisionByZero);
+    }
+
+    #[test]
+    fn null_propagation_in_comparisons() {
+        let t = Tuple::new(vec![Value::Null, Value::Double(1.0), Value::Str("x".into())]);
+        assert_eq!(eval(&col("E.age").lt(lit(30)), &t), Value::Null);
+        assert_eq!(eval(&col("E.age").eq(col("E.age")), &t), Value::Null);
+        assert_eq!(eval(&col("E.age").is_null(), &t), Value::Bool(true));
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        let t = Tuple::new(vec![Value::Null, Value::Double(1.0), Value::Str("x".into())]);
+        let null_cmp = col("E.age").lt(lit(30)); // NULL
+        let true_cmp = col("E.sal").gt(lit(0)); // TRUE
+        let false_cmp = col("E.sal").lt(lit(0)); // FALSE
+        assert_eq!(eval(&null_cmp.clone().and(true_cmp.clone()), &t), Value::Null);
+        assert_eq!(
+            eval(&null_cmp.clone().and(false_cmp.clone()), &t),
+            Value::Bool(false)
+        );
+        assert_eq!(eval(&null_cmp.clone().or(true_cmp), &t), Value::Bool(true));
+        assert_eq!(eval(&null_cmp.clone().or(false_cmp), &t), Value::Null);
+        assert_eq!(eval(&null_cmp.not(), &t), Value::Null);
+    }
+
+    #[test]
+    fn short_circuit_skips_rhs_errors() {
+        // FALSE AND (1/0 = 1) must not error.
+        let t = tuple![1, 1.0, "x"];
+        let e = col("E.age")
+            .lt(lit(0))
+            .and(col("E.age").div(lit(0)).eq(lit(1)));
+        assert_eq!(eval(&e, &t), Value::Bool(false));
+    }
+
+    #[test]
+    fn predicate_rejects_null() {
+        let t = Tuple::new(vec![Value::Null, Value::Double(1.0), Value::Str("x".into())]);
+        let b = BoundExpr::bind(&col("E.age").lt(lit(30)), &schema()).unwrap();
+        assert!(!b.eval_predicate(&t).unwrap());
+    }
+
+    #[test]
+    fn bind_unknown_column_fails() {
+        assert!(BoundExpr::bind(&col("nope"), &schema()).is_err());
+    }
+
+    #[test]
+    fn type_mismatch_arithmetic() {
+        let t = tuple![1, 1.0, "x"];
+        let b = BoundExpr::bind(&col("E.name").add(lit(1)), &schema()).unwrap();
+        assert!(matches!(
+            b.eval(&t).unwrap_err(),
+            ExprError::TypeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn result_types() {
+        let s = schema();
+        let b = |e: &Expr| BoundExpr::bind(e, &s).unwrap().result_type(&s);
+        assert_eq!(b(&col("E.age")), DataType::Int);
+        assert_eq!(b(&col("E.age").add(lit(1))), DataType::Int);
+        assert_eq!(b(&col("E.age").add(col("E.sal"))), DataType::Double);
+        assert_eq!(b(&col("E.age").div(lit(2))), DataType::Double);
+        assert_eq!(b(&col("E.age").lt(lit(1))), DataType::Bool);
+        assert_eq!(b(&col("E.age").is_null()), DataType::Bool);
+    }
+
+    #[test]
+    fn not_requires_boolean() {
+        let t = tuple![1, 1.0, "x"];
+        let b = BoundExpr::bind(&col("E.age").not(), &schema()).unwrap();
+        assert!(matches!(
+            b.eval(&t).unwrap_err(),
+            ExprError::TypeMismatch { .. }
+        ));
+    }
+}

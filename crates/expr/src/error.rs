@@ -1,0 +1,62 @@
+//! Expression errors.
+
+use fj_storage::StorageError;
+use std::fmt;
+
+/// Errors raised while binding or evaluating expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprError {
+    /// A column reference failed to resolve (wraps the storage error).
+    Unresolved(StorageError),
+    /// Operand types don't support the requested operation.
+    TypeMismatch {
+        /// The operation attempted, e.g. `"+"`.
+        op: String,
+        /// Description of the offending operands.
+        detail: String,
+    },
+    /// Division (or modulo) by zero at evaluation time.
+    DivisionByZero,
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::Unresolved(e) => write!(f, "unresolved column: {e}"),
+            ExprError::TypeMismatch { op, detail } => {
+                write!(f, "type mismatch for '{op}': {detail}")
+            }
+            ExprError::DivisionByZero => f.write_str("division by zero"),
+        }
+    }
+}
+
+impl std::error::Error for ExprError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExprError::Unresolved(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for ExprError {
+    fn from(e: StorageError) -> Self {
+        ExprError::Unresolved(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(ExprError::DivisionByZero.to_string().contains("zero"));
+        let e = ExprError::TypeMismatch {
+            op: "+".into(),
+            detail: "str + int".into(),
+        };
+        assert!(e.to_string().contains('+'));
+    }
+}

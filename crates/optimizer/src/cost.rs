@@ -1,0 +1,226 @@
+//! Cost parameters and the elementary cost formulas.
+//!
+//! All costs are in **page-I/O-equivalent units**. The formulas here are
+//! kept deliberately identical to the charges the executor makes (see
+//! `fj-exec::ops`), so predicted costs and measured ledger costs can be
+//! compared one-to-one — the property the Table 1 reproduction checks.
+
+use fj_algebra::NetworkModel;
+use fj_storage::{PageLayout, CPU_WEIGHT_DEFAULT};
+
+/// Cost-model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostParams {
+    /// Page-unit cost of one tuple operation.
+    pub cpu_weight: f64,
+    /// Buffer memory in pages (`M`).
+    pub memory_pages: u64,
+    /// Network model (per-message + per-byte page-unit costs).
+    pub network: NetworkModel,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            cpu_weight: CPU_WEIGHT_DEFAULT,
+            memory_pages: fj_exec::context::DEFAULT_MEMORY_PAGES,
+            network: NetworkModel::free(),
+        }
+    }
+}
+
+impl CostParams {
+    /// Pages occupied by `rows` rows of `width` bytes.
+    pub fn pages(&self, rows: f64, width: usize) -> f64 {
+        if rows <= 0.0 {
+            return 0.0;
+        }
+        let per_page = PageLayout::for_row_width(width).tuples_per_page as f64;
+        (rows / per_page).ceil().max(1.0)
+    }
+
+    /// CPU cost of `n` tuple operations.
+    pub fn cpu(&self, n: f64) -> f64 {
+        self.cpu_weight * n.max(0.0)
+    }
+
+    /// External-sort / hash-partition page I/O for `pages` pages (zero
+    /// when the input fits in memory) — mirrors
+    /// `fj_exec::ops::sort::charge_external_sort`.
+    pub fn external_sort_io(&self, pages: f64) -> f64 {
+        let m = self.memory_pages as f64;
+        if pages <= m {
+            return 0.0;
+        }
+        let passes = fj_exec::ops::sort::merge_passes(pages.ceil() as u64, self.memory_pages);
+        2.0 * pages * (1 + passes) as f64
+    }
+
+    /// Sort cost: `n·⌈log₂n⌉` CPU plus external I/O.
+    pub fn sort_cost(&self, rows: f64, pages: f64) -> f64 {
+        let cmp = if rows > 1.0 {
+            rows * rows.log2().ceil()
+        } else {
+            0.0
+        };
+        self.cpu(cmp) + self.external_sort_io(pages)
+    }
+
+    /// Block-nested-loops join cost *beyond* producing the inputs:
+    /// `(⌈P_outer/(M−2)⌉−1)·P_inner` rescan I/O + one CPU op per pair.
+    pub fn bnl_cost(&self, outer_rows: f64, outer_pages: f64, inner_rows: f64, inner_pages: f64) -> f64 {
+        let m = (self.memory_pages.saturating_sub(2)).max(1) as f64;
+        let blocks = (outer_pages / m).ceil().max(1.0);
+        (blocks - 1.0) * inner_pages + self.cpu(outer_rows * inner_rows.max(1.0))
+    }
+
+    /// Hash join cost beyond producing the inputs: build+probe+output
+    /// CPU, plus a Grace partition pass when the build side spills.
+    pub fn hash_join_cost(
+        &self,
+        outer_rows: f64,
+        outer_pages: f64,
+        inner_rows: f64,
+        inner_pages: f64,
+        out_rows: f64,
+    ) -> f64 {
+        let grace = if inner_pages > self.memory_pages as f64 {
+            2.0 * (outer_pages + inner_pages)
+        } else {
+            0.0
+        };
+        grace + self.cpu(outer_rows + inner_rows + out_rows)
+    }
+
+    /// Sort-merge join cost beyond producing the inputs.
+    pub fn merge_join_cost(
+        &self,
+        outer_rows: f64,
+        outer_pages: f64,
+        inner_rows: f64,
+        inner_pages: f64,
+        out_rows: f64,
+    ) -> f64 {
+        self.merge_join_cost_with_orders(
+            outer_rows,
+            outer_pages,
+            inner_rows,
+            inner_pages,
+            out_rows,
+            false,
+            false,
+        )
+    }
+
+    /// Sort-merge join cost with *interesting orders* (§3.1): a side
+    /// that already arrives sorted by its join keys skips its sort
+    /// (paying only the linear sortedness check the executor performs).
+    #[allow(clippy::too_many_arguments)]
+    pub fn merge_join_cost_with_orders(
+        &self,
+        outer_rows: f64,
+        outer_pages: f64,
+        inner_rows: f64,
+        inner_pages: f64,
+        out_rows: f64,
+        outer_sorted: bool,
+        inner_sorted: bool,
+    ) -> f64 {
+        let outer_sort = if outer_sorted {
+            self.cpu(outer_rows)
+        } else {
+            self.cpu(outer_rows) + self.sort_cost(outer_rows, outer_pages)
+        };
+        let inner_sort = if inner_sorted {
+            self.cpu(inner_rows)
+        } else {
+            self.cpu(inner_rows) + self.sort_cost(inner_rows, inner_pages)
+        };
+        outer_sort + inner_sort + self.cpu(outer_rows + inner_rows + out_rows)
+    }
+
+    /// Index-nested-loops cost: per outer row, one CPU op plus
+    /// `probe_pages` index I/O plus one heap page per matching row.
+    pub fn inl_cost(&self, outer_rows: f64, probe_pages: f64, matches_per_probe: f64) -> f64 {
+        outer_rows * (probe_pages + matches_per_probe) + self.cpu(outer_rows)
+    }
+
+    /// Cost of shipping `rows` rows of `wire_width` bytes each in one
+    /// message.
+    pub fn ship_cost(&self, rows: f64, wire_width: f64) -> f64 {
+        if rows <= 0.0 {
+            return self.network.per_message;
+        }
+        self.network.per_message + self.network.per_byte * rows * wire_width
+    }
+
+    /// Cost of materializing `pages` pages (the writes; readers pay
+    /// reads separately).
+    pub fn materialize_cost(&self, pages: f64) -> f64 {
+        pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> CostParams {
+        CostParams::default()
+    }
+
+    #[test]
+    fn pages_round_up_and_clamp() {
+        let c = p();
+        assert_eq!(c.pages(0.0, 100), 0.0);
+        assert_eq!(c.pages(1.0, 100), 1.0);
+        // 40 rows of 100B per 4096B page.
+        assert_eq!(c.pages(41.0, 100), 2.0);
+    }
+
+    #[test]
+    fn cpu_weight_applies() {
+        assert!((p().cpu(100.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn external_sort_zero_in_memory() {
+        assert_eq!(p().external_sort_io(10.0), 0.0);
+        let mut c = p();
+        c.memory_pages = 4;
+        assert!(c.external_sort_io(100.0) > 0.0);
+    }
+
+    #[test]
+    fn bnl_single_block_costs_no_rescan_io() {
+        let c = p();
+        let cost = c.bnl_cost(100.0, 1.0, 100.0, 1.0);
+        assert!((cost - c.cpu(100.0 * 100.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bnl_rescans_with_tiny_memory() {
+        let mut c = p();
+        c.memory_pages = 3;
+        // 10 outer pages, 1 buffer page for outer → 10 blocks → 9 rescans.
+        let cost = c.bnl_cost(0.0, 10.0, 0.0, 5.0);
+        assert!((cost - (9.0 * 5.0 + c.cpu(0.0))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hash_join_grace_kicks_in() {
+        let mut c = p();
+        c.memory_pages = 4;
+        let no_spill = c.hash_join_cost(10.0, 1.0, 10.0, 2.0, 5.0);
+        let spill = c.hash_join_cost(10.0, 1.0, 10.0, 100.0, 5.0);
+        assert!(spill > no_spill + 100.0);
+    }
+
+    #[test]
+    fn ship_cost_has_message_floor() {
+        let mut c = p();
+        c.network = NetworkModel::lan();
+        assert!(c.ship_cost(0.0, 12.0) >= 1.0);
+        assert!(c.ship_cost(1000.0, 12.0) > c.ship_cost(10.0, 12.0));
+    }
+}

@@ -1,0 +1,1479 @@
+//! The System-R bottom-up dynamic-programming enumerator (§3.1),
+//! extended with the Filter Join as a join method (§3.2–3.3).
+//!
+//! The enumerator explores left-deep join orders: `best[S]` holds the
+//! cheapest plan joining the alias subset `S`, built by extending
+//! `best[S∖{j}]` with leaf `j` under every applicable join method —
+//! block nested loops, hash join, sort-merge, index nested loops, UDF
+//! probing, and the Filter Join (exact and Bloom variants; that is
+//! Limitation 3's "small constant number of filter sets"). Because each
+//! join considers O(1) methods and Filter Join costing is O(1) after the
+//! parametric fits (Assumption 1), enabling the Filter Join multiplies
+//! the per-join work by a constant and leaves the `O(N·2^(N−1))`
+//! asymptotic complexity of optimization unchanged — the property the
+//! complexity benchmark measures.
+
+use crate::cost::CostParams;
+use crate::error::OptError;
+use crate::estimate::{EstStats, PlanEstimator};
+use crate::filter_join::{
+    build_filter_join_plan, cost_filter_join, FilterJoinArgs, FilterJoinCost,
+};
+use crate::parametric::ParametricEstimator;
+use fj_algebra::{Catalog, JoinKind, JoinQuery, LogicalPlan, RelationKind, Sips};
+use fj_exec::{lower, PhysPlan};
+use fj_storage::Index as _;
+use fj_expr::{columns_of, conjoin, split_conjuncts, EquiJoinKey, Expr};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Optimizer knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimizerConfig {
+    /// Consider the Filter Join method (the paper's contribution).
+    pub enable_filter_join: bool,
+    /// Consider the lossy (Bloom) filter variant for table inners.
+    pub enable_bloom: bool,
+    /// Consider index nested loops for indexed local tables.
+    pub enable_index_nl: bool,
+    /// Consider sort-merge joins.
+    pub enable_merge_join: bool,
+    /// Consider Filter Joins whose inner is a *local base table* (§5.3's
+    /// local semi-join).
+    pub filter_join_on_base: bool,
+    /// Ablation of Limitation 2 (§3.3): also consider production sets
+    /// that are strict *prefixes* of the outer (Limitation 1 alone).
+    /// The paper predicts — and the complexity bench confirms — an
+    /// extra O(N) factor in enumeration work.
+    pub allow_prefix_production: bool,
+    /// Equivalence classes per parametric fit (Figure 5's knob).
+    pub eq_classes: usize,
+    /// Cost parameters.
+    pub params: CostParams,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            enable_filter_join: true,
+            enable_bloom: true,
+            enable_index_nl: true,
+            enable_merge_join: true,
+            filter_join_on_base: true,
+            allow_prefix_production: false,
+            eq_classes: 4,
+            params: CostParams::default(),
+        }
+    }
+}
+
+impl OptimizerConfig {
+    /// A configuration with the Filter Join disabled — the "traditional
+    /// optimizer" baseline.
+    pub fn without_filter_join() -> OptimizerConfig {
+        OptimizerConfig {
+            enable_filter_join: false,
+            enable_bloom: false,
+            filter_join_on_base: false,
+            ..OptimizerConfig::default()
+        }
+    }
+}
+
+/// The optimizer's output.
+#[derive(Debug, Clone)]
+pub struct OptimizedPlan {
+    /// The chosen physical plan.
+    pub phys: PhysPlan,
+    /// Estimated total cost (page units).
+    pub cost: f64,
+    /// Estimated result cardinality.
+    pub est_rows: f64,
+    /// Chosen left-deep join order (aliases, outermost first).
+    pub order: Vec<String>,
+    /// SIPS of every Filter Join in the plan (empty = no magic).
+    pub sips: Vec<Sips>,
+    /// Table 1 breakdowns for each Filter Join used.
+    pub filter_join_costs: Vec<FilterJoinCost>,
+    /// Join alternatives costed during enumeration (the complexity
+    /// metric of the C1 experiment).
+    pub plans_considered: u64,
+    /// Nested estimator invocations spent on parametric fits.
+    pub nested_invocations: u64,
+}
+
+/// One dynamic-programming table entry.
+#[derive(Debug, Clone)]
+struct Entry {
+    cost: f64,
+    stats: EstStats,
+    phys: PhysPlan,
+    order: Vec<usize>,
+    /// Output sort order (column names, major first); empty = none.
+    /// This is the *interesting orders* property of §3.1: entries with
+    /// a useful order are not pruned by cheaper unordered entries.
+    order_by: Vec<String>,
+    sips: Vec<Sips>,
+    fj_costs: Vec<FilterJoinCost>,
+}
+
+/// `have` provides ordering `want` iff `want` is a prefix of `have`.
+fn order_satisfies(have: &[String], want: &[String]) -> bool {
+    want.len() <= have.len() && &have[..want.len()] == want
+}
+
+/// Max entries retained per subset (the System-R "interesting orders"
+/// frontier, bounded to keep enumeration linear in practice).
+const MAX_ENTRIES_PER_SUBSET: usize = 4;
+
+/// Inserts `e` into a Pareto frontier over (cost, sort order): an entry
+/// is dominated when another is no more expensive and provides at least
+/// its ordering.
+fn insert_pruned(entries: &mut Vec<Entry>, e: Entry) {
+    if entries
+        .iter()
+        .any(|k| k.cost <= e.cost + 1e-12 && order_satisfies(&k.order_by, &e.order_by))
+    {
+        return;
+    }
+    entries.retain(|k| {
+        !(e.cost <= k.cost + 1e-12 && order_satisfies(&e.order_by, &k.order_by))
+    });
+    entries.push(e);
+    if entries.len() > MAX_ENTRIES_PER_SUBSET {
+        // Never drop the cheapest; drop the most expensive of the rest.
+        let min_cost = entries
+            .iter()
+            .map(|k| k.cost)
+            .fold(f64::INFINITY, f64::min);
+        if let Some((idx, _)) = entries
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| k.cost > min_cost)
+            .max_by(|a, b| a.1.cost.total_cmp(&b.1.cost))
+        {
+            entries.remove(idx);
+        }
+    }
+}
+
+/// The cost-based optimizer.
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    catalog: Arc<Catalog>,
+    /// The active configuration.
+    pub config: OptimizerConfig,
+}
+
+impl Optimizer {
+    /// An optimizer over `catalog` with `config`.
+    pub fn new(catalog: Arc<Catalog>, config: OptimizerConfig) -> Optimizer {
+        Optimizer { catalog, config }
+    }
+
+    /// Optimizes a join query into a physical plan.
+    pub fn optimize(&self, query: &JoinQuery) -> Result<OptimizedPlan, OptError> {
+        query.validate(&self.catalog)?;
+        let n = query.from.len();
+        if n > 20 {
+            return Err(OptError::NoPlan(format!(
+                "{n} relations exceed the enumerator's subset limit"
+            )));
+        }
+        let mut memo = ParametricEstimator::new(self.config.eq_classes);
+        let mut plans_considered: u64 = 0;
+        let estimator = PlanEstimator::new(&self.catalog, self.config.params);
+
+        // Conjuncts with their referenced alias bitmasks, then the
+        // per-alias access paths.
+        let conjuncts = self.conjunct_masks(query);
+        let classes = equality_classes(&conjuncts);
+        let leaves = self.build_leaves(query, &estimator, &conjuncts)?;
+
+        // ---- DP over subsets, keeping a small Pareto frontier of
+        // entries per subset (cheapest + interesting sort orders).
+        let mut best: HashMap<u64, Vec<Entry>> = HashMap::new();
+        for (i, leaf) in leaves.iter().enumerate() {
+            let mut seeds = vec![leaf.clone()];
+            for alt in self.ordered_leaf_alternatives(query, &estimator, &conjuncts, i)? {
+                insert_pruned(&mut seeds, alt);
+            }
+            best.insert(1u64 << i, seeds);
+        }
+        let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        for mask in 1..=full {
+            if mask.count_ones() < 2 {
+                continue;
+            }
+            let mut frontier: Vec<Entry> = Vec::new();
+            for j in 0..n {
+                let bit = 1u64 << j;
+                if mask & bit == 0 {
+                    continue;
+                }
+                let outer_mask = mask & !bit;
+                let Some(outers) = best.get(&outer_mask) else {
+                    continue;
+                };
+                let leaf_alts = best
+                    .get(&bit)
+                    .cloned()
+                    .unwrap_or_else(|| vec![leaves[j].clone()]);
+                // Conjuncts first fully bound at this join.
+                let applicable: Vec<Expr> = conjuncts
+                    .iter()
+                    .filter(|(_, m)| {
+                        *m & !mask == 0 && *m & bit != 0 && *m != bit
+                    })
+                    .map(|(c, _)| c.clone())
+                    .collect();
+                for outer in outers {
+                    if !outer.cost.is_finite() {
+                        continue;
+                    }
+                    // Prefix productions for the Limitation-2 ablation:
+                    // the DP table still holds every prefix of the
+                    // outer's own join order (cheapest entry each).
+                    let prefixes: Vec<(usize, &Entry)> =
+                        if self.config.allow_prefix_production {
+                            (1..outer.order.len())
+                                .filter_map(|k| {
+                                    let m = outer.order[..k]
+                                        .iter()
+                                        .fold(0u64, |acc, &i| acc | (1 << i));
+                                    best.get(&m)
+                                        .and_then(|v| {
+                                            v.iter().min_by(|a, b| {
+                                                a.cost.total_cmp(&b.cost)
+                                            })
+                                        })
+                                        .map(|e| (k, e))
+                                })
+                                .collect()
+                        } else {
+                            Vec::new()
+                        };
+                    for leaf_alt in &leaf_alts {
+                        let candidates = self.join_candidates(
+                            query,
+                            &estimator,
+                            &mut memo,
+                            &mut plans_considered,
+                            outer,
+                            j,
+                            leaf_alt,
+                            mask,
+                            &applicable,
+                            &classes,
+                            &prefixes,
+                        )?;
+                        for c in candidates {
+                            insert_pruned(&mut frontier, c);
+                        }
+                    }
+                }
+            }
+            if !frontier.is_empty() {
+                best.insert(mask, frontier);
+            }
+        }
+
+        // Pick the winner by *total* cost including the final
+        // projection: cardinality estimates are path-dependent, so two
+        // entries tied on entry cost can differ once the projection's
+        // per-row CPU is added.
+        let proj_cpu = |e: &Entry| e.cost + self.config.params.cpu(e.stats.rows);
+        let final_entry = best
+            .remove(&full)
+            .unwrap_or_default()
+            .into_iter()
+            .min_by(|a, b| proj_cpu(a).total_cmp(&proj_cpu(b)))
+            .ok_or_else(|| OptError::NoPlan("dynamic program found no plan".into()))?;
+        if !final_entry.cost.is_finite() {
+            return Err(OptError::NoPlan(
+                "no finite-cost plan (non-enumerable UDF without probe keys?)".into(),
+            ));
+        }
+
+        // ---- Final projection (explicit, or SELECT * in FROM order).
+        let mut phys = final_entry.phys;
+        let mut cost = final_entry.cost;
+        let est_rows = final_entry.stats.rows;
+        phys = PhysPlan::Project {
+            input: phys.boxed(),
+            exprs: self.final_projection(query)?,
+        };
+        cost += self.config.params.cpu(est_rows);
+
+        Ok(OptimizedPlan {
+            phys,
+            cost,
+            est_rows,
+            order: final_entry
+                .order
+                .iter()
+                .map(|&i| query.from[i].alias.clone())
+                .collect(),
+            sips: final_entry.sips,
+            filter_join_costs: final_entry.fj_costs,
+            plans_considered,
+            nested_invocations: memo.nested_invocations,
+        })
+    }
+
+    /// Optimizes a query under a *forced* left-deep join order (the
+    /// aliases, outermost first) — still choosing the cheapest join
+    /// method (including the Filter Join) at every position. This is
+    /// how the Figure 3 experiment prices each of the six orders of the
+    /// motivating query.
+    pub fn optimize_with_order(
+        &self,
+        query: &JoinQuery,
+        order: &[String],
+    ) -> Result<OptimizedPlan, OptError> {
+        query.validate(&self.catalog)?;
+        let n = query.from.len();
+        if order.len() != n {
+            return Err(OptError::NoPlan(format!(
+                "order lists {} aliases, query has {n}",
+                order.len()
+            )));
+        }
+        let perm: Vec<usize> = order
+            .iter()
+            .map(|a| {
+                query
+                    .from
+                    .iter()
+                    .position(|i| &i.alias == a)
+                    .ok_or_else(|| OptError::NoPlan(format!("unknown alias '{a}' in order")))
+            })
+            .collect::<Result<_, _>>()?;
+
+        let mut memo = ParametricEstimator::new(self.config.eq_classes);
+        let mut plans_considered: u64 = 0;
+        let estimator = PlanEstimator::new(&self.catalog, self.config.params);
+        let conjuncts = self.conjunct_masks(query);
+        let classes = equality_classes(&conjuncts);
+        let leaves = self.build_leaves(query, &estimator, &conjuncts)?;
+
+        let mut frontier: Vec<Entry> = vec![leaves[perm[0]].clone()];
+        let mut chain: Vec<Entry> = vec![leaves[perm[0]].clone()];
+        let mut mask = 1u64 << perm[0];
+        for &j in &perm[1..] {
+            let bit = 1u64 << j;
+            mask |= bit;
+            let applicable: Vec<Expr> = conjuncts
+                .iter()
+                .filter(|(_, m)| *m & !mask == 0 && *m & bit != 0 && *m != bit)
+                .map(|(c, _)| c.clone())
+                .collect();
+            let mut next: Vec<Entry> = Vec::new();
+            for outer in &frontier {
+                let prefixes: Vec<(usize, &Entry)> = if self.config.allow_prefix_production {
+                    chain
+                        .iter()
+                        .enumerate()
+                        .map(|(i, e)| (i + 1, e))
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                let candidates = self.join_candidates(
+                    query,
+                    &estimator,
+                    &mut memo,
+                    &mut plans_considered,
+                    outer,
+                    j,
+                    &leaves[j],
+                    mask,
+                    &applicable,
+                    &classes,
+                    &prefixes,
+                )?;
+                for c in candidates {
+                    insert_pruned(&mut next, c);
+                }
+            }
+            if next.is_empty() {
+                return Err(OptError::NoPlan("no join method applicable".into()));
+            }
+            frontier = next;
+            let step_best = frontier
+                .iter()
+                .min_by(|a, b| a.cost.total_cmp(&b.cost))
+                .expect("non-empty frontier")
+                .clone();
+            chain.push(step_best);
+        }
+        let proj_cpu = |e: &Entry| e.cost + self.config.params.cpu(e.stats.rows);
+        let entry = frontier
+            .into_iter()
+            .min_by(|a, b| proj_cpu(a).total_cmp(&proj_cpu(b)))
+            .expect("non-empty frontier");
+        if !entry.cost.is_finite() {
+            return Err(OptError::NoPlan("forced order has no finite plan".into()));
+        }
+
+        let mut phys = entry.phys;
+        let mut cost = entry.cost;
+        phys = PhysPlan::Project {
+            input: phys.boxed(),
+            exprs: self.final_projection(query)?,
+        };
+        cost += self.config.params.cpu(entry.stats.rows);
+        Ok(OptimizedPlan {
+            phys,
+            cost,
+            est_rows: entry.stats.rows,
+            order: order.to_vec(),
+            sips: entry.sips,
+            filter_join_costs: entry.fj_costs,
+            plans_considered,
+            nested_invocations: memo.nested_invocations,
+        })
+    }
+
+
+    /// The SELECT list to apply on top of the final join: the user's
+    /// projection, or — `SELECT *` semantics — every column of every
+    /// FROM item in declaration order (the chosen join order must not
+    /// leak into the output schema).
+    fn final_projection(&self, query: &JoinQuery) -> Result<Vec<(Expr, String)>, OptError> {
+        if let Some(p) = &query.projection {
+            return Ok(p.clone());
+        }
+        let mut out = Vec::new();
+        for item in &query.from {
+            let schema = query.alias_schema(&self.catalog, &item.alias)?;
+            for c in schema.columns() {
+                out.push((fj_expr::col(c.name.clone()), c.name.clone()));
+            }
+        }
+        Ok(out)
+    }
+    /// Conjuncts of the query predicate, each with the bitmask of
+    /// aliases it references.
+    fn conjunct_masks(&self, query: &JoinQuery) -> Vec<(Expr, u64)> {
+        let alias_of = |col: &str| -> Option<usize> {
+            query.from.iter().position(|item| {
+                query
+                    .alias_schema(&self.catalog, &item.alias)
+                    .is_ok_and(|s| s.contains(col))
+            })
+        };
+        query
+            .predicate
+            .as_ref()
+            .map(|p| {
+                split_conjuncts(p)
+                    .into_iter()
+                    .map(|c| {
+                        let mask = columns_of(&c)
+                            .iter()
+                            .filter_map(|col| alias_of(col))
+                            .fold(0u64, |m, i| m | (1 << i));
+                        (c, mask)
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Builds the per-alias leaf entries (access paths with local
+    /// conjuncts applied).
+    fn build_leaves(
+        &self,
+        query: &JoinQuery,
+        estimator: &PlanEstimator<'_>,
+        conjuncts: &[(Expr, u64)],
+    ) -> Result<Vec<Entry>, OptError> {
+        let mut leaves = Vec::with_capacity(query.from.len());
+        for (i, item) in query.from.iter().enumerate() {
+            let local: Vec<Expr> = conjuncts
+                .iter()
+                .filter(|(_, m)| *m == (1u64 << i))
+                .map(|(c, _)| c.clone())
+                .collect();
+            let mut logical = LogicalPlan::scan(item.relation.clone(), item.alias.clone());
+            if let Some(p) = conjoin(local.clone()) {
+                logical = logical.select(p);
+            }
+            let kind = query.alias_kind(&self.catalog, &item.alias)?;
+            let (cost, stats, phys) = match &kind {
+                RelationKind::Udf(u) if u.domain().is_none() => {
+                    let schema = u.schema().with_qualifier(&item.alias);
+                    let stats = EstStats {
+                        rows: 1000.0,
+                        width: schema.row_width(),
+                        cols: schema
+                            .columns()
+                            .iter()
+                            .map(|c| {
+                                (
+                                    c.name.clone(),
+                                    crate::estimate::ColEst {
+                                        distinct: 1000.0,
+                                        ..Default::default()
+                                    },
+                                )
+                            })
+                            .collect(),
+                    };
+                    let phys = PhysPlan::UdfFullScan {
+                        udf: item.relation.clone(),
+                        alias: item.alias.clone(),
+                    };
+                    (f64::INFINITY, stats, phys)
+                }
+                _ => {
+                    let (cost, stats) = estimator.cost(&logical)?;
+                    let phys = lower::lower(&logical, &self.catalog)?;
+                    (cost, stats, phys)
+                }
+            };
+            leaves.push(Entry {
+                cost,
+                stats,
+                phys,
+                order: vec![i],
+                order_by: Vec::new(),
+                sips: Vec::new(),
+                fj_costs: Vec::new(),
+            });
+        }
+        Ok(leaves)
+    }
+
+    /// Alternative *ordered* access paths for a leaf: one per B-tree
+    /// index on a local base table — the classic interesting-orders
+    /// source (§3.1). The ordered scan costs the index's leaf pages on
+    /// top of the heap scan, in exchange for a sort order later merge
+    /// joins can exploit.
+    fn ordered_leaf_alternatives(
+        &self,
+        query: &JoinQuery,
+        estimator: &PlanEstimator<'_>,
+        conjuncts: &[(Expr, u64)],
+        i: usize,
+    ) -> Result<Vec<Entry>, OptError> {
+        let item = &query.from[i];
+        let Ok(RelationKind::Base(t)) = query.alias_kind(&self.catalog, &item.alias) else {
+            return Ok(Vec::new());
+        };
+        let mut out = Vec::new();
+        for (ci, column) in t.schema().columns().iter().enumerate() {
+            if t.btree_index(ci).is_none() {
+                continue;
+            }
+            let local: Vec<Expr> = conjuncts
+                .iter()
+                .filter(|(_, m)| *m == (1u64 << i))
+                .map(|(c, _)| c.clone())
+                .collect();
+            let mut logical = LogicalPlan::scan(item.relation.clone(), item.alias.clone());
+            if let Some(p) = conjoin(local.clone()) {
+                logical = logical.select(p.clone());
+            }
+            let (seq_cost, stats) = estimator.cost(&logical)?;
+            let index_pages = t
+                .btree_index(ci)
+                .map(|b| b.page_count() as f64)
+                .unwrap_or(0.0);
+            let mut phys = PhysPlan::IndexOrderedScan {
+                table: item.relation.clone(),
+                alias: item.alias.clone(),
+                col: column.base_name().to_string(),
+            };
+            if let Some(p) = conjoin(local) {
+                phys = PhysPlan::Filter {
+                    input: phys.boxed(),
+                    predicate: p,
+                };
+            }
+            out.push(Entry {
+                cost: seq_cost + index_pages + self.config.params.cpu(t.row_count() as f64),
+                stats: stats.clone(),
+                phys,
+                order: vec![i],
+                order_by: vec![format!("{}.{}", item.alias, column.base_name())],
+                sips: Vec::new(),
+                fj_costs: Vec::new(),
+            });
+        }
+        Ok(out)
+    }
+
+    /// All join-method candidates for extending `outer` with leaf `j`.
+    #[allow(clippy::too_many_arguments)]
+    fn join_candidates(
+        &self,
+        query: &JoinQuery,
+        estimator: &PlanEstimator<'_>,
+        memo: &mut ParametricEstimator,
+        plans_considered: &mut u64,
+        outer: &Entry,
+        j: usize,
+        leaf: &Entry,
+        mask: u64,
+        applicable: &[Expr],
+        classes: &[std::collections::BTreeSet<String>],
+        prefixes: &[(usize, &Entry)],
+    ) -> Result<Vec<Entry>, OptError> {
+        let params = self.config.params;
+        let item = &query.from[j];
+        let kind = query.alias_kind(&self.catalog, &item.alias)?;
+        let pred = conjoin(applicable.to_vec());
+        let mut keys: Vec<(String, String)> = pred
+            .as_ref()
+            .map(|p| {
+                fj_expr::equi_join_keys(
+                    p,
+                    &|c| outer.stats.cols.contains_key(c),
+                    &|c| leaf.stats.cols.contains_key(c),
+                )
+                .into_iter()
+                .map(|k| (k.left, k.right))
+                .collect()
+            })
+            .unwrap_or_default();
+        // Transitive closure: when the predicate only links this pair of
+        // inputs through a third relation (Figure 3's order 3), derive a
+        // join key from the equality class. Enforcing it early is sound:
+        // the full predicate implies it.
+        let mut derived: Vec<Expr> = Vec::new();
+        if keys.is_empty() {
+            for class in classes {
+                let o = class.iter().find(|c| outer.stats.cols.contains_key(*c));
+                let i = class.iter().find(|c| leaf.stats.cols.contains_key(*c));
+                if let (Some(o), Some(i)) = (o, i) {
+                    derived.push(fj_expr::col(o.clone()).eq(fj_expr::col(i.clone())));
+                    keys.push((o.clone(), i.clone()));
+                }
+            }
+        }
+        let residual = pred.as_ref().map(|p| {
+            conjoin(
+                split_conjuncts(p)
+                    .into_iter()
+                    .filter(|c| !is_key_conjunct(c, &keys)),
+            )
+        });
+        let residual = residual.flatten();
+        // Estimate with derived equalities included (they restrict the
+        // output just like written ones).
+        let pred_est = conjoin(applicable.iter().cloned().chain(derived.iter().cloned()));
+        let out_stats =
+            estimator.join_stats(&outer.stats, &leaf.stats, pred_est.as_ref(), JoinKind::Inner);
+
+        let op = outer.stats.pages(&params);
+        let ip = leaf.stats.pages(&params);
+        let mut out = Vec::new();
+        // Every join implementation here iterates the outer side in
+        // arrival order, so the outer's sort order is preserved unless
+        // the candidate sets its own (merge join).
+        let push = |cost_delta: f64,
+                        phys: PhysPlan,
+                        sips: Option<Sips>,
+                        fj: Option<FilterJoinCost>,
+                        stats: EstStats,
+                        out: &mut Vec<Entry>,
+                        base_cost: f64,
+                        order_by: Vec<String>| {
+            let mut order = outer.order.clone();
+            order.push(j);
+            let mut all_sips = outer.sips.clone();
+            let mut all_fj = outer.fj_costs.clone();
+            if let Some(s) = sips {
+                all_sips.push(s);
+            }
+            if let Some(f) = fj {
+                all_fj.push(f);
+            }
+            out.push(Entry {
+                cost: base_cost + cost_delta,
+                stats,
+                phys,
+                order,
+                order_by,
+                sips: all_sips,
+                fj_costs: all_fj,
+            });
+        };
+
+        let both = outer.cost + leaf.cost;
+
+        // 1. Block nested loops (always applicable when the leaf is
+        // enumerable).
+        if leaf.cost.is_finite() {
+            *plans_considered += 1;
+            push(
+                params.bnl_cost(outer.stats.rows, op, leaf.stats.rows, ip),
+                PhysPlan::NestedLoops {
+                    outer: outer.phys.clone().boxed(),
+                    inner: leaf.phys.clone().boxed(),
+                    predicate: pred.clone(),
+                    kind: JoinKind::Inner,
+                },
+                None,
+                None,
+                out_stats.clone(),
+                &mut out,
+                both,
+                outer.order_by.clone(),
+            );
+        }
+
+        if !keys.is_empty() && leaf.cost.is_finite() {
+            // 2. Hash join.
+            *plans_considered += 1;
+            push(
+                params.hash_join_cost(
+                    outer.stats.rows,
+                    op,
+                    leaf.stats.rows,
+                    ip,
+                    out_stats.rows,
+                ),
+                PhysPlan::HashJoin {
+                    outer: outer.phys.clone().boxed(),
+                    inner: leaf.phys.clone().boxed(),
+                    keys: keys.clone(),
+                    residual: residual.clone(),
+                    kind: JoinKind::Inner,
+                },
+                None,
+                None,
+                out_stats.clone(),
+                &mut out,
+                both,
+                outer.order_by.clone(),
+            );
+            // 3. Sort-merge join — an *interesting order* producer: the
+            // output is sorted by the outer key columns, and an outer
+            // that already provides that order skips its sort (§3.1).
+            if self.config.enable_merge_join {
+                *plans_considered += 1;
+                let okey_cols: Vec<String> =
+                    keys.iter().map(|(o, _)| o.clone()).collect();
+                let ikey_cols: Vec<String> =
+                    keys.iter().map(|(_, i)| i.clone()).collect();
+                let outer_sorted = order_satisfies(&outer.order_by, &okey_cols);
+                let inner_sorted = order_satisfies(&leaf.order_by, &ikey_cols);
+                push(
+                    params.merge_join_cost_with_orders(
+                        outer.stats.rows,
+                        op,
+                        leaf.stats.rows,
+                        ip,
+                        out_stats.rows,
+                        outer_sorted,
+                        inner_sorted,
+                    ),
+                    PhysPlan::MergeJoin {
+                        outer: outer.phys.clone().boxed(),
+                        inner: leaf.phys.clone().boxed(),
+                        keys: keys.clone(),
+                        residual: residual.clone(),
+                    },
+                    None,
+                    None,
+                    out_stats.clone(),
+                    &mut out,
+                    both,
+                    okey_cols,
+                );
+            }
+        }
+
+        // 4. Index nested loops: local base table with an index on the
+        // join column.
+        if self.config.enable_index_nl && keys.len() == 1 {
+            if let RelationKind::Base(t) = &kind {
+                let inner_col = keys[0]
+                    .1
+                    .strip_prefix(&format!("{}.", item.alias))
+                    .unwrap_or(&keys[0].1)
+                    .to_string();
+                if let Ok(ci) = t.schema().resolve(&inner_col) {
+                    if t.has_index(ci) {
+                        *plans_considered += 1;
+                        let probe_pages = if t.hash_index(ci).is_some() {
+                            1.0
+                        } else {
+                            t.btree_index(ci)
+                                .map(|b| b.height() as f64)
+                                .unwrap_or(1.0)
+                        };
+                        let base_rows = t.row_count() as f64;
+                        let d = t
+                            .stats()
+                            .column(ci)
+                            .map(|s| s.distinct as f64)
+                            .unwrap_or(1.0)
+                            .max(1.0);
+                        // Local leaf conjuncts become residuals (the
+                        // probe sees unfiltered heap rows).
+                        let local: Vec<Expr> = query.conjuncts_within(
+                            &self.catalog,
+                            &[item.alias.as_str()],
+                        );
+                        let full_residual =
+                            conjoin(local.into_iter().chain(residual.clone()));
+                        push(
+                            params.inl_cost(outer.stats.rows, probe_pages, base_rows / d)
+                                - leaf.cost, // leaf scan not performed
+                            PhysPlan::IndexNestedLoops {
+                                outer: outer.phys.clone().boxed(),
+                                table: item.relation.clone(),
+                                alias: item.alias.clone(),
+                                outer_key: keys[0].0.clone(),
+                                inner_col,
+                                residual: full_residual,
+                            },
+                            None,
+                            None,
+                            out_stats.clone(),
+                            &mut out,
+                            both,
+                            outer.order_by.clone(),
+                        );
+                    }
+                }
+            }
+        }
+
+        // 5. UDF probe: keys cover the UDF's argument columns.
+        if let RelationKind::Udf(u) = &kind {
+            let schema = u.schema();
+            let arg_names: Vec<String> = (0..u.arg_count())
+                .map(|i| format!("{}.{}", item.alias, schema.column(i).base_name()))
+                .collect();
+            let covered: Vec<Option<String>> = arg_names
+                .iter()
+                .map(|a| {
+                    keys.iter()
+                        .find(|(_, ik)| ik == a)
+                        .map(|(ok, _)| ok.clone())
+                })
+                .collect();
+            if covered.iter().all(Option::is_some) {
+                *plans_considered += 1;
+                let arg_cols: Vec<String> =
+                    covered.into_iter().map(Option::unwrap).collect();
+                let cost_delta = outer.stats.rows * u.invocation_cost();
+                let mut stats = out_stats.clone();
+                stats.rows = outer.stats.rows * u.rows_per_call();
+                push(
+                    cost_delta,
+                    PhysPlan::UdfProbe {
+                        outer: outer.phys.clone().boxed(),
+                        udf: item.relation.clone(),
+                        alias: item.alias.clone(),
+                        arg_cols,
+                    },
+                    None,
+                    None,
+                    stats,
+                    &mut out,
+                    outer.cost, // leaf never enumerated
+                    outer.order_by.clone(),
+                );
+            }
+        }
+
+        // 6. The Filter Join (exact, and Bloom for table inners).
+        let fj_applicable = self.config.enable_filter_join
+            && !keys.is_empty()
+            && (kind.is_virtual() || self.config.filter_join_on_base);
+        if fj_applicable {
+            let variants: &[bool] = if self.config.enable_bloom {
+                &[false, true]
+            } else {
+                &[false]
+            };
+            for &use_bloom in variants {
+                *plans_considered += 1;
+                let decision = cost_filter_join(FilterJoinArgs {
+                    catalog: &self.catalog,
+                    params,
+                    memo,
+                    outer_cost: outer.cost,
+                    outer: &outer.stats,
+                    keys: &keys,
+                    inner_alias: &item.alias,
+                    inner_relation: &item.relation,
+                    use_bloom,
+                    prefix_production: None,
+                })?;
+                let Some(d) = decision else { continue };
+                let suffix = format!("_{mask:x}_{j}{}", if use_bloom { "b" } else { "" });
+                let mut phys =
+                    build_filter_join_plan(&self.catalog, &outer.phys, &d, &suffix)?;
+                // Residual + the inner's local conjuncts apply on top.
+                let local: Vec<Expr> =
+                    query.conjuncts_within(&self.catalog, &[item.alias.as_str()]);
+                let extra = conjoin(local.iter().cloned().chain(residual.clone()));
+                let mut stats = d.output.clone();
+                let mut cost_delta =
+                    d.cost.total() - outer.cost; // JoinCost_P already in base
+                if let Some(p) = extra {
+                    let sel = estimator.selectivity(&p, &stats);
+                    cost_delta += params.cpu(stats.rows);
+                    stats.rows *= sel;
+                    phys = PhysPlan::Filter {
+                        input: phys.boxed(),
+                        predicate: p,
+                    };
+                }
+                let sips = Sips {
+                    production: outer
+                        .order
+                        .iter()
+                        .map(|&i| query.from[i].alias.clone())
+                        .collect(),
+                    inner: item.alias.clone(),
+                    filter_keys: keys
+                        .iter()
+                        .map(|(l, r)| EquiJoinKey {
+                            left: l.clone(),
+                            right: r.clone(),
+                        })
+                        .collect(),
+                };
+                push(
+                    cost_delta,
+                    phys,
+                    Some(sips),
+                    Some(d.cost),
+                    stats,
+                    &mut out,
+                    outer.cost, // leaf's own access cost replaced by FilterCost_Rk
+                    outer.order_by.clone(),
+                );
+            }
+
+            // 6a. Attribute-subset filter sets (Limitation 3): with
+            // multiple join attributes, "the filter set could contain
+            // any subset of them" — a lossy filter by attribute
+            // omission. We try each single attribute (a small constant
+            // number of variants, as the limitation requires).
+            if keys.len() > 1 {
+                for drop_idx in 0..keys.len() {
+                    let subset: Vec<(String, String)> = keys
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != drop_idx)
+                        .map(|(_, k)| k.clone())
+                        .collect();
+                    *plans_considered += 1;
+                    let decision = cost_filter_join(FilterJoinArgs {
+                        catalog: &self.catalog,
+                        params,
+                        memo,
+                        outer_cost: outer.cost,
+                        outer: &outer.stats,
+                        keys: &keys,
+                        inner_alias: &item.alias,
+                        inner_relation: &item.relation,
+                        use_bloom: false,
+                        prefix_production: Some(crate::filter_join::PrefixProduction {
+                            stats: &outer.stats,
+                            cost: outer.cost,
+                            len: outer.order.len(),
+                            filter_keys: &subset,
+                            production_is_outer: true,
+                        }),
+                    })?;
+                    let Some(d) = decision else { continue };
+                    let suffix = format!("_{mask:x}_{j}s{drop_idx}");
+                    let mut phys =
+                        build_filter_join_plan(&self.catalog, &outer.phys, &d, &suffix)?;
+                    let local: Vec<Expr> =
+                        query.conjuncts_within(&self.catalog, &[item.alias.as_str()]);
+                    let extra = conjoin(local.iter().cloned().chain(residual.clone()));
+                    let mut stats = d.output.clone();
+                    let mut cost_delta = d.cost.total() - outer.cost;
+                    if let Some(p) = extra {
+                        let sel = estimator.selectivity(&p, &stats);
+                        cost_delta += params.cpu(stats.rows);
+                        stats.rows *= sel;
+                        phys = PhysPlan::Filter {
+                            input: phys.boxed(),
+                            predicate: p,
+                        };
+                    }
+                    let sips = Sips {
+                        production: outer
+                            .order
+                            .iter()
+                            .map(|&i| query.from[i].alias.clone())
+                            .collect(),
+                        inner: item.alias.clone(),
+                        filter_keys: subset
+                            .iter()
+                            .map(|(l, r)| EquiJoinKey {
+                                left: l.clone(),
+                                right: r.clone(),
+                            })
+                            .collect(),
+                    };
+                    push(
+                        cost_delta,
+                        phys,
+                        Some(sips),
+                        Some(d.cost),
+                        stats,
+                        &mut out,
+                        outer.cost,
+                        outer.order_by.clone(),
+                    );
+                }
+            }
+
+            // 6b. Prefix production sets (Limitation-2 ablation): the
+            // filter set comes from a strict prefix of the outer; the
+            // final join still consumes the full outer. One exact
+            // variant per prefix — this is the O(N) factor §3.3 warns
+            // about.
+            for &(k, prefix) in prefixes {
+                // Keys linking the *prefix* to the inner (direct or via
+                // equality classes).
+                let mut fkeys: Vec<(String, String)> = pred_est
+                    .as_ref()
+                    .map(|p| {
+                        fj_expr::equi_join_keys(
+                            p,
+                            &|c| prefix.stats.cols.contains_key(c),
+                            &|c| leaf.stats.cols.contains_key(c),
+                        )
+                        .into_iter()
+                        .map(|key| (key.left, key.right))
+                        .collect()
+                    })
+                    .unwrap_or_default();
+                if fkeys.is_empty() {
+                    for class in classes {
+                        let o = class
+                            .iter()
+                            .find(|c| prefix.stats.cols.contains_key(*c));
+                        let i = class.iter().find(|c| leaf.stats.cols.contains_key(*c));
+                        if let (Some(o), Some(i)) = (o, i) {
+                            fkeys.push((o.clone(), i.clone()));
+                        }
+                    }
+                }
+                if fkeys.is_empty() {
+                    continue;
+                }
+                *plans_considered += 1;
+                let decision = cost_filter_join(FilterJoinArgs {
+                    catalog: &self.catalog,
+                    params,
+                    memo,
+                    outer_cost: outer.cost,
+                    outer: &outer.stats,
+                    keys: &keys,
+                    inner_alias: &item.alias,
+                    inner_relation: &item.relation,
+                    use_bloom: false,
+                    prefix_production: Some(crate::filter_join::PrefixProduction {
+                        stats: &prefix.stats,
+                        cost: prefix.cost,
+                        len: k,
+                        filter_keys: &fkeys,
+                        production_is_outer: false,
+                    }),
+                })?;
+                let Some(d) = decision else { continue };
+                let suffix = format!("_{mask:x}_{j}p{k}");
+                let mut phys = crate::filter_join::build_filter_join_plan_with_production(
+                    &self.catalog,
+                    &outer.phys,
+                    Some(&prefix.phys),
+                    &d,
+                    &suffix,
+                )?;
+                let local: Vec<Expr> =
+                    query.conjuncts_within(&self.catalog, &[item.alias.as_str()]);
+                let extra = conjoin(local.iter().cloned().chain(residual.clone()));
+                let mut stats = d.output.clone();
+                let mut cost_delta = d.cost.total() - outer.cost;
+                if let Some(p) = extra {
+                    let sel = estimator.selectivity(&p, &stats);
+                    cost_delta += params.cpu(stats.rows);
+                    stats.rows *= sel;
+                    phys = PhysPlan::Filter {
+                        input: phys.boxed(),
+                        predicate: p,
+                    };
+                }
+                let sips = Sips {
+                    production: outer.order[..k]
+                        .iter()
+                        .map(|&i| query.from[i].alias.clone())
+                        .collect(),
+                    inner: item.alias.clone(),
+                    filter_keys: fkeys
+                        .iter()
+                        .map(|(l, r)| EquiJoinKey {
+                            left: l.clone(),
+                            right: r.clone(),
+                        })
+                        .collect(),
+                };
+                push(
+                    cost_delta,
+                    phys,
+                    Some(sips),
+                    Some(d.cost),
+                    stats,
+                    &mut out,
+                    outer.cost,
+                    outer.order_by.clone(),
+                );
+            }
+        }
+
+        Ok(out)
+    }
+}
+
+/// Computes the transitive closure of column equalities in the query
+/// predicate as equivalence classes. `E.did = D.did AND E.did = V.did`
+/// puts all three columns in one class, which is how join order 3 of
+/// Figure 3 can pass a `D`-derived filter set into `V` even though the
+/// predicate never writes `D.did = V.did` explicitly.
+pub fn equality_classes(conjuncts: &[(Expr, u64)]) -> Vec<std::collections::BTreeSet<String>> {
+    use std::collections::BTreeSet;
+    let mut classes: Vec<BTreeSet<String>> = Vec::new();
+    for (c, _) in conjuncts {
+        let Expr::Binary {
+            op: fj_expr::BinOp::Eq,
+            left,
+            right,
+        } = c
+        else {
+            continue;
+        };
+        let (Expr::Column(a), Expr::Column(b)) = (left.as_ref(), right.as_ref()) else {
+            continue;
+        };
+        let ia = classes.iter().position(|s| s.contains(a));
+        let ib = classes.iter().position(|s| s.contains(b));
+        match (ia, ib) {
+            (Some(x), Some(y)) => {
+                if x != y {
+                    let merged = classes.remove(y.max(x));
+                    classes[y.min(x)].extend(merged);
+                }
+            }
+            (Some(x), None) => {
+                classes[x].insert(b.clone());
+            }
+            (None, Some(y)) => {
+                classes[y].insert(a.clone());
+            }
+            (None, None) => {
+                classes.push(BTreeSet::from([a.clone(), b.clone()]));
+            }
+        }
+    }
+    classes
+}
+
+fn is_key_conjunct(c: &Expr, keys: &[(String, String)]) -> bool {
+    if let Expr::Binary {
+        op: fj_expr::BinOp::Eq,
+        left,
+        right,
+    } = c
+    {
+        if let (Expr::Column(a), Expr::Column(b)) = (left.as_ref(), right.as_ref()) {
+            return keys
+                .iter()
+                .any(|(l, r)| (l == a && r == b) || (l == b && r == a));
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj_algebra::fixtures::{paper_catalog, paper_query};
+    use fj_exec::ExecCtx;
+    use fj_storage::tuple;
+
+    fn run(phys: &PhysPlan, catalog: &Catalog) -> Vec<fj_storage::Tuple> {
+        let ctx = ExecCtx::new(Arc::new(catalog.clone()));
+        let mut rows = phys.execute(&ctx).unwrap().rows;
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn optimizes_paper_query_correctly() {
+        let cat = Arc::new(paper_catalog());
+        let opt = Optimizer::new(Arc::clone(&cat), OptimizerConfig::default());
+        let plan = opt.optimize(&paper_query()).unwrap();
+        assert!(plan.cost.is_finite());
+        assert_eq!(plan.order.len(), 3);
+        let rows = run(&plan.phys, &cat);
+        assert_eq!(
+            rows,
+            vec![tuple![10, 9000.0, 5000.0], tuple![30, 4000.0, 3000.0]]
+        );
+    }
+
+    #[test]
+    fn filter_join_disabled_also_correct() {
+        let cat = Arc::new(paper_catalog());
+        let opt = Optimizer::new(Arc::clone(&cat), OptimizerConfig::without_filter_join());
+        let plan = opt.optimize(&paper_query()).unwrap();
+        assert!(plan.sips.is_empty(), "no SIPS without filter joins");
+        let rows = run(&plan.phys, &cat);
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn both_configs_agree_on_answers() {
+        let cat = Arc::new(paper_catalog());
+        let with = Optimizer::new(Arc::clone(&cat), OptimizerConfig::default())
+            .optimize(&paper_query())
+            .unwrap();
+        let without =
+            Optimizer::new(Arc::clone(&cat), OptimizerConfig::without_filter_join())
+                .optimize(&paper_query())
+                .unwrap();
+        assert_eq!(run(&with.phys, &cat), run(&without.phys, &cat));
+        // Cost-based: the chosen plan with FJ enabled is never estimated
+        // worse than without (superset of methods).
+        assert!(with.cost <= without.cost + 1e-9);
+    }
+
+    #[test]
+    fn enumeration_counts_grow_with_methods() {
+        let cat = Arc::new(paper_catalog());
+        let with = Optimizer::new(Arc::clone(&cat), OptimizerConfig::default())
+            .optimize(&paper_query())
+            .unwrap();
+        let without =
+            Optimizer::new(Arc::clone(&cat), OptimizerConfig::without_filter_join())
+                .optimize(&paper_query())
+                .unwrap();
+        assert!(with.plans_considered > without.plans_considered);
+        // Constant-factor, not asymptotic, growth: within ~4×.
+        assert!(with.plans_considered <= 4 * without.plans_considered);
+    }
+
+    #[test]
+    fn two_way_join_simple() {
+        let cat = Arc::new(paper_catalog());
+        let q = JoinQuery::new(vec![
+            fj_algebra::FromItem::new("Emp", "E"),
+            fj_algebra::FromItem::new("Dept", "D"),
+        ])
+        .with_predicate(fj_expr::col("E.did").eq(fj_expr::col("D.did")));
+        let opt = Optimizer::new(Arc::clone(&cat), OptimizerConfig::default());
+        let plan = opt.optimize(&q).unwrap();
+        let rows = run(&plan.phys, &cat);
+        assert_eq!(rows.len(), 5);
+    }
+
+    #[test]
+    fn single_relation_query() {
+        let cat = Arc::new(paper_catalog());
+        let q = JoinQuery::new(vec![fj_algebra::FromItem::new("Emp", "E")]).with_predicate(
+            fj_expr::col("E.age").lt(fj_expr::lit(30)),
+        );
+        let opt = Optimizer::new(Arc::clone(&cat), OptimizerConfig::default());
+        let plan = opt.optimize(&q).unwrap();
+        let rows = run(&plan.phys, &cat);
+        assert_eq!(rows.len(), 4);
+    }
+
+    #[test]
+    fn cross_product_handled() {
+        let cat = Arc::new(paper_catalog());
+        let q = JoinQuery::new(vec![
+            fj_algebra::FromItem::new("Emp", "E"),
+            fj_algebra::FromItem::new("Dept", "D"),
+        ]);
+        let opt = Optimizer::new(Arc::clone(&cat), OptimizerConfig::default());
+        let plan = opt.optimize(&q).unwrap();
+        let rows = run(&plan.phys, &cat);
+        assert_eq!(rows.len(), 15);
+    }
+
+    #[test]
+    fn too_many_relations_rejected() {
+        let cat = Arc::new(paper_catalog());
+        let from: Vec<fj_algebra::FromItem> = (0..21)
+            .map(|i| fj_algebra::FromItem::new("Emp", format!("E{i}")))
+            .collect();
+        let q = JoinQuery::new(from);
+        let opt = Optimizer::new(cat, OptimizerConfig::default());
+        assert!(matches!(opt.optimize(&q), Err(OptError::NoPlan(_))));
+    }
+
+    #[test]
+    fn prefix_production_ablation_correct_and_more_plans() {
+        let cat = Arc::new(paper_catalog());
+        let q = paper_query();
+        let limited = Optimizer::new(Arc::clone(&cat), OptimizerConfig::default())
+            .optimize(&q)
+            .unwrap();
+        let mut cfg = OptimizerConfig::default();
+        cfg.allow_prefix_production = true;
+        let ablated = Optimizer::new(Arc::clone(&cat), cfg).optimize(&q).unwrap();
+        // More candidates are costed (the O(N) factor of §3.3)...
+        assert!(
+            ablated.plans_considered > limited.plans_considered,
+            "{} vs {}",
+            ablated.plans_considered,
+            limited.plans_considered
+        );
+        // ...the search space is a superset, so never a worse plan...
+        assert!(ablated.cost <= limited.cost + 1e-9);
+        // ...and answers are identical.
+        assert_eq!(run(&ablated.phys, &cat), run(&limited.phys, &cat));
+        // Any prefix-production SIPS is a proper prefix of the order.
+        for s in &ablated.sips {
+            let k = s.production.len();
+            assert_eq!(&s.production[..], &ablated.order[..k]);
+        }
+    }
+
+    #[test]
+    fn forced_order_with_prefix_production_still_correct() {
+        let cat = Arc::new(paper_catalog());
+        let q = paper_query();
+        let mut cfg = OptimizerConfig::default();
+        cfg.allow_prefix_production = true;
+        let opt = Optimizer::new(Arc::clone(&cat), cfg);
+        let order = vec!["E".to_string(), "D".to_string(), "V".to_string()];
+        let plan = opt.optimize_with_order(&q, &order).unwrap();
+        let rows = run(&plan.phys, &cat);
+        assert_eq!(
+            rows,
+            vec![tuple![10, 9000.0, 5000.0], tuple![30, 4000.0, 3000.0]]
+        );
+    }
+
+    #[test]
+    fn interesting_orders_let_merge_chains_skip_sorts() {
+        // Three relations joined on the SAME key: once the first merge
+        // join produces key order, the second merge join's outer side
+        // is already sorted. The frontier must retain that entry even
+        // when a hash join is cheaper at the two-way stage.
+        let mut cat = Catalog::new();
+        for name in ["A", "B", "C"] {
+            cat.add_table(
+                fj_storage::TableBuilder::new(name)
+                    .column("k", fj_storage::DataType::Int)
+                    .column("v", fj_storage::DataType::Int)
+                    .rows((0..6000i64).map(|i| vec![((i * 37) % 6000).into(), i.into()]))
+                    .build()
+                    .unwrap()
+                    .into_ref(),
+            );
+        }
+        let q = JoinQuery::new(vec![
+            fj_algebra::FromItem::new("A", "a"),
+            fj_algebra::FromItem::new("B", "b"),
+            fj_algebra::FromItem::new("C", "c"),
+        ])
+        .with_predicate(
+            fj_expr::col("a.k")
+                .eq(fj_expr::col("b.k"))
+                .and(fj_expr::col("a.k").eq(fj_expr::col("c.k"))),
+        );
+        // Force sorts to matter: tiny memory makes spilling sorts and
+        // grace hash joins expensive.
+        let mut cfg = OptimizerConfig::default();
+        cfg.params.memory_pages = 4;
+        let cat = Arc::new(cat);
+        let plan = Optimizer::new(Arc::clone(&cat), cfg).optimize(&q).unwrap();
+        // Regardless of the methods chosen, answers must be exact.
+        let ctx = fj_exec::ExecCtx::new(Arc::clone(&cat)).with_memory_pages(4);
+        let rel = plan.phys.execute(&ctx).unwrap();
+        assert_eq!(rel.rows.len(), 6000);
+        // And the frontier machinery must never make plans worse than
+        // the single-entry DP would have found: compare against a
+        // hash-only configuration.
+        let mut hash_only = cfg;
+        hash_only.enable_merge_join = false;
+        let hash_plan = Optimizer::new(cat, hash_only).optimize(&q).unwrap();
+        assert!(plan.cost <= hash_plan.cost + 1e-6);
+    }
+
+    #[test]
+    fn ordered_index_scan_access_path_when_it_pays() {
+        // Two big tables with B-tree indexes on the join key and a tiny
+        // buffer pool: a merge join over two *ordered index scans* skips
+        // both sorts, while hash join pays Grace partitioning. The DP
+        // must surface the ordered access path (§3.1).
+        let mut cat = Catalog::new();
+        for name in ["A", "B"] {
+            let mut b = fj_storage::TableBuilder::new(name)
+                .column("k", fj_storage::DataType::Int);
+            for c in 0..7 {
+                b = b.column(format!("v{c}"), fj_storage::DataType::Int);
+            }
+            let mut t = b
+                .rows((0..20_000i64).map(|i| {
+                    let mut row = vec![fj_storage::Value::Int((i * 13) % 20_000)];
+                    row.extend((0..7).map(|c| fj_storage::Value::Int(i + c)));
+                    row
+                }))
+                .build()
+                .unwrap();
+            t.create_btree_index(0).unwrap();
+            cat.add_table(t.into_ref());
+        }
+        let q = JoinQuery::new(vec![
+            fj_algebra::FromItem::new("A", "a"),
+            fj_algebra::FromItem::new("B", "b"),
+        ])
+        .with_predicate(fj_expr::col("a.k").eq(fj_expr::col("b.k")));
+        let mut cfg = OptimizerConfig::default();
+        cfg.params.memory_pages = 8;
+        cfg.enable_index_nl = false; // isolate merge-vs-hash
+        let cat = Arc::new(cat);
+        let plan = Optimizer::new(Arc::clone(&cat), cfg).optimize(&q).unwrap();
+        let d = plan.phys.display();
+        assert!(
+            d.contains("IndexOrderedScan") && d.contains("MergeJoin"),
+            "expected ordered-scan merge join:\n{d}"
+        );
+        // And it executes correctly under the same memory budget.
+        let ctx = fj_exec::ExecCtx::new(Arc::clone(&cat)).with_memory_pages(8);
+        let rel = plan.phys.execute(&ctx).unwrap();
+        assert_eq!(rel.rows.len(), 20_000);
+    }
+
+    #[test]
+    fn order_satisfies_prefix_semantics() {
+        let ab = vec!["a".to_string(), "b".to_string()];
+        let a = vec!["a".to_string()];
+        let b = vec!["b".to_string()];
+        assert!(order_satisfies(&ab, &a), "sorted by (a,b) is sorted by a");
+        assert!(!order_satisfies(&a, &ab));
+        assert!(!order_satisfies(&ab, &b));
+        assert!(order_satisfies(&a, &[]), "everything satisfies no order");
+    }
+
+    #[test]
+    fn projection_applied() {
+        let cat = Arc::new(paper_catalog());
+        let plan = Optimizer::new(Arc::clone(&cat), OptimizerConfig::default())
+            .optimize(&paper_query())
+            .unwrap();
+        let ctx = ExecCtx::new(Arc::clone(&cat));
+        let rel = plan.phys.execute(&ctx).unwrap();
+        assert_eq!(rel.schema.arity(), 3);
+        assert_eq!(rel.schema.column(2).name, "avgsal");
+    }
+}

@@ -1,0 +1,63 @@
+//! Optimizer errors.
+
+use fj_algebra::AlgebraError;
+use fj_exec::ExecError;
+use std::fmt;
+
+/// Errors raised during optimization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptError {
+    /// Propagated algebra/catalog error.
+    Algebra(AlgebraError),
+    /// Propagated execution-layer error (plan lowering).
+    Exec(ExecError),
+    /// The query has no executable plan (e.g. a UDF relation with no
+    /// finite domain and no join key to probe it through).
+    NoPlan(String),
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::Algebra(e) => write!(f, "{e}"),
+            OptError::Exec(e) => write!(f, "{e}"),
+            OptError::NoPlan(d) => write!(f, "no executable plan: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for OptError {}
+
+impl From<AlgebraError> for OptError {
+    fn from(e: AlgebraError) -> Self {
+        OptError::Algebra(e)
+    }
+}
+
+impl From<ExecError> for OptError {
+    fn from(e: ExecError) -> Self {
+        OptError::Exec(e)
+    }
+}
+
+impl From<fj_storage::StorageError> for OptError {
+    fn from(e: fj_storage::StorageError) -> Self {
+        OptError::Algebra(AlgebraError::Schema(e))
+    }
+}
+
+impl From<fj_expr::ExprError> for OptError {
+    fn from(e: fj_expr::ExprError) -> Self {
+        OptError::Algebra(AlgebraError::Expr(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(OptError::NoPlan("udf".into()).to_string().contains("udf"));
+    }
+}

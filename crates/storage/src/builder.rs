@@ -1,0 +1,108 @@
+//! Ergonomic table construction for tests, examples and workload
+//! generators.
+
+use crate::error::StorageError;
+use crate::schema::{Column, Schema};
+use crate::table::Table;
+use crate::tuple::Tuple;
+use crate::value::{DataType, Value};
+
+/// Builder collecting a schema and rows, producing a validated
+/// [`Table`].
+///
+/// ```
+/// use fj_storage::{TableBuilder, DataType, Value};
+/// let dept = TableBuilder::new("Dept")
+///     .column("did", DataType::Int)
+///     .column("budget", DataType::Double)
+///     .row(vec![Value::Int(1), Value::Double(500_000.0)])
+///     .row(vec![Value::Int(2), Value::Double(90_000.0)])
+///     .build()
+///     .unwrap();
+/// assert_eq!(dept.row_count(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct TableBuilder {
+    name: String,
+    columns: Vec<Column>,
+    rows: Vec<Tuple>,
+}
+
+impl TableBuilder {
+    /// Starts a builder for table `name`.
+    pub fn new(name: impl Into<String>) -> TableBuilder {
+        TableBuilder {
+            name: name.into(),
+            columns: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a non-nullable column.
+    pub fn column(mut self, name: impl Into<String>, ty: DataType) -> Self {
+        self.columns.push(Column::new(name, ty));
+        self
+    }
+
+    /// Appends a nullable column.
+    pub fn nullable_column(mut self, name: impl Into<String>, ty: DataType) -> Self {
+        self.columns.push(Column::nullable(name, ty));
+        self
+    }
+
+    /// Appends one row.
+    pub fn row(mut self, values: Vec<Value>) -> Self {
+        self.rows.push(Tuple::new(values));
+        self
+    }
+
+    /// Appends many rows.
+    pub fn rows(mut self, rows: impl IntoIterator<Item = Vec<Value>>) -> Self {
+        self.rows.extend(rows.into_iter().map(Tuple::new));
+        self
+    }
+
+    /// Validates and builds the table.
+    pub fn build(self) -> Result<Table, StorageError> {
+        let schema = Schema::new(self.columns)?;
+        Table::new(self.name, schema, self.rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_validates() {
+        let t = TableBuilder::new("t")
+            .column("a", DataType::Int)
+            .nullable_column("b", DataType::Str)
+            .row(vec![Value::Int(1), Value::Null])
+            .rows([vec![Value::Int(2), Value::Str("x".into())]])
+            .build()
+            .unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.schema().arity(), 2);
+    }
+
+    #[test]
+    fn bad_row_fails() {
+        let err = TableBuilder::new("t")
+            .column("a", DataType::Int)
+            .row(vec![Value::Str("no".into())])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, StorageError::SchemaMismatch { .. }));
+    }
+
+    #[test]
+    fn duplicate_column_fails() {
+        let err = TableBuilder::new("t")
+            .column("a", DataType::Int)
+            .column("a", DataType::Int)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, StorageError::DuplicateColumn(_)));
+    }
+}

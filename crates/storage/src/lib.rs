@@ -1,0 +1,49 @@
+//! # fj-storage
+//!
+//! The storage substrate for the `filterjoin` reproduction of *"Filter
+//! Joins: Cost-Based Optimization for Magic Sets"* (Seshadri, Hellerstein,
+//! Ramakrishnan, 1995; SIGMOD '96 as *"Cost-Based Optimization for Magic:
+//! Algebra and Implementation"*).
+//!
+//! This crate provides everything the paper's System-R-style DBMS assumes
+//! underneath the optimizer:
+//!
+//! * typed [`Value`]s, [`Schema`]s and [`Tuple`]s,
+//! * paged in-memory heap [`Table`]s whose scans charge a shared
+//!   [`CostLedger`] with deterministic page-I/O counts,
+//! * hash and ordered [`index`]es with probe-cost accounting,
+//! * per-column [`stats`] (cardinality, distinct counts, min/max,
+//!   equi-depth histograms) feeding the optimizer's selectivity model,
+//! * [`bloom`] filters implementing the paper's *lossy filter sets*.
+//!
+//! The engine is in-memory but **I/O-accounted**: every operator charges
+//! the ledger for the page reads/writes, tuple operations, and network
+//! bytes it would incur on the paper's hardware. All of the paper's claims
+//! are about relative costs as predicted by such page/CPU/network
+//! formulas, so a deterministic cost ledger reproduces exactly the
+//! quantities the formulas reason about (see `DESIGN.md`, substitutions).
+
+pub mod bloom;
+pub mod builder;
+pub mod error;
+pub mod index;
+pub mod ledger;
+pub mod page;
+pub mod schema;
+pub mod stats;
+pub mod table;
+pub mod tuple;
+pub mod value;
+
+pub use bloom::BloomFilter;
+pub use builder::TableBuilder;
+pub use error::StorageError;
+pub use index::{BTreeIndex, HashIndex, Index};
+pub use ledger::{CostLedger, LedgerSnapshot, CPU_WEIGHT_DEFAULT, TUPLE_OPS_PER_PAGE};
+pub use stats::yao_distinct;
+pub use page::{page_count, PageLayout, PAGE_SIZE};
+pub use schema::{Column, Schema, SchemaRef};
+pub use stats::{ColumnStats, Histogram, TableStats};
+pub use table::{Table, TableRef};
+pub use tuple::Tuple;
+pub use value::{DataType, Value};

@@ -1,0 +1,291 @@
+//! Schemas: ordered, named, typed column lists.
+//!
+//! Column names are *qualified* strings such as `"E.did"`. Joins
+//! concatenate schemas; name resolution accepts either an exact qualified
+//! match or an unambiguous unqualified suffix (`"did"` resolves if exactly
+//! one column ends in `".did"`).
+
+use crate::error::StorageError;
+use crate::value::DataType;
+use std::fmt;
+use std::sync::Arc;
+
+/// One column of a [`Schema`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Qualified name, e.g. `"E.did"`.
+    pub name: String,
+    /// Declared type.
+    pub data_type: DataType,
+    /// Whether NULLs may appear.
+    pub nullable: bool,
+}
+
+impl Column {
+    /// A non-nullable column.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Column {
+            name: name.into(),
+            data_type,
+            nullable: false,
+        }
+    }
+
+    /// A nullable column.
+    pub fn nullable(name: impl Into<String>, data_type: DataType) -> Self {
+        Column {
+            name: name.into(),
+            data_type,
+            nullable: true,
+        }
+    }
+
+    /// The unqualified part of the name (`"E.did"` → `"did"`).
+    pub fn base_name(&self) -> &str {
+        match self.name.rsplit_once('.') {
+            Some((_, base)) => base,
+            None => &self.name,
+        }
+    }
+}
+
+/// Shared schema handle; schemas are immutable once built.
+pub type SchemaRef = Arc<Schema>;
+
+/// An ordered list of [`Column`]s.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Builds a schema from columns. Duplicate qualified names are
+    /// rejected: they would make resolution ambiguous.
+    pub fn new(columns: Vec<Column>) -> Result<Self, StorageError> {
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|p| p.name == c.name) {
+                return Err(StorageError::DuplicateColumn(c.name.clone()));
+            }
+        }
+        Ok(Schema { columns })
+    }
+
+    /// Convenience constructor from `(name, type)` pairs; panics on
+    /// duplicates, so intended for statically-known schemas in tests and
+    /// examples.
+    pub fn from_pairs(pairs: &[(&str, DataType)]) -> Self {
+        Schema::new(
+            pairs
+                .iter()
+                .map(|(n, t)| Column::new(*n, *t))
+                .collect::<Vec<_>>(),
+        )
+        .expect("static schema must not contain duplicate columns")
+    }
+
+    /// Empty schema (zero columns) — the schema of a scalar aggregate
+    /// input group, and the identity for [`Schema::join`].
+    pub fn empty() -> Self {
+        Schema::default()
+    }
+
+    /// The columns, in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column at position `i`.
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// Resolves a column name to its position.
+    ///
+    /// Resolution rules, mirroring SQL scoping over qualified names:
+    /// 1. an exact match of the full name wins;
+    /// 2. otherwise, if exactly one column's [`Column::base_name`] equals
+    ///    `name`, that column wins;
+    /// 3. otherwise the name is unknown or ambiguous.
+    pub fn resolve(&self, name: &str) -> Result<usize, StorageError> {
+        if let Some(i) = self.columns.iter().position(|c| c.name == name) {
+            return Ok(i);
+        }
+        let suffix_matches: Vec<usize> = self
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.base_name() == name)
+            .map(|(i, _)| i)
+            .collect();
+        match suffix_matches.as_slice() {
+            [only] => Ok(*only),
+            _ => Err(StorageError::UnknownColumn {
+                column: name.to_string(),
+                available: self.columns.iter().map(|c| c.name.clone()).collect(),
+            }),
+        }
+    }
+
+    /// True iff `name` resolves in this schema.
+    pub fn contains(&self, name: &str) -> bool {
+        self.resolve(name).is_ok()
+    }
+
+    /// Concatenates two schemas (the schema of a join result).
+    pub fn join(&self, other: &Schema) -> Result<Schema, StorageError> {
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        Schema::new(columns)
+    }
+
+    /// Projects a subset of columns by position.
+    pub fn project(&self, indices: &[usize]) -> Result<Schema, StorageError> {
+        let mut columns = Vec::with_capacity(indices.len());
+        for &i in indices {
+            if i >= self.columns.len() {
+                return Err(StorageError::BadIndexColumn {
+                    index: i,
+                    arity: self.columns.len(),
+                });
+            }
+            columns.push(self.columns[i].clone());
+        }
+        Schema::new(columns)
+    }
+
+    /// Returns a copy with every column renamed to `alias.base_name`, the
+    /// schema produced by `FROM Emp E`.
+    pub fn with_qualifier(&self, alias: &str) -> Schema {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| Column {
+                name: format!("{alias}.{}", c.base_name()),
+                data_type: c.data_type,
+                nullable: c.nullable,
+            })
+            .collect();
+        Schema { columns }
+    }
+
+    /// Fixed-width row size in bytes under the paged layout.
+    pub fn row_width(&self) -> usize {
+        // One byte per column for the null bitmap, paper-era row header of 8.
+        8 + self
+            .columns
+            .iter()
+            .map(|c| c.data_type.fixed_width() + 1)
+            .sum::<usize>()
+    }
+
+    /// Wraps in an [`Arc`].
+    pub fn into_ref(self) -> SchemaRef {
+        Arc::new(self)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", c.name, c.data_type)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emp() -> Schema {
+        Schema::from_pairs(&[
+            ("E.eid", DataType::Int),
+            ("E.did", DataType::Int),
+            ("E.sal", DataType::Double),
+            ("E.age", DataType::Int),
+        ])
+    }
+
+    #[test]
+    fn resolve_exact_and_suffix() {
+        let s = emp();
+        assert_eq!(s.resolve("E.did").unwrap(), 1);
+        assert_eq!(s.resolve("did").unwrap(), 1);
+        assert!(s.resolve("nothere").is_err());
+    }
+
+    #[test]
+    fn resolve_ambiguous_suffix_fails() {
+        let s = emp().join(&Schema::from_pairs(&[("D.did", DataType::Int)])).unwrap();
+        assert!(s.resolve("did").is_err(), "ambiguous suffix must not resolve");
+        assert_eq!(s.resolve("E.did").unwrap(), 1);
+        assert_eq!(s.resolve("D.did").unwrap(), 4);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("a", DataType::Int),
+        ])
+        .unwrap_err();
+        assert_eq!(err, StorageError::DuplicateColumn("a".into()));
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let s = emp()
+            .join(&Schema::from_pairs(&[("D.budget", DataType::Double)]))
+            .unwrap();
+        assert_eq!(s.arity(), 5);
+        assert_eq!(s.column(4).name, "D.budget");
+    }
+
+    #[test]
+    fn join_detects_collision() {
+        assert!(emp().join(&emp()).is_err());
+    }
+
+    #[test]
+    fn project_by_position() {
+        let s = emp().project(&[1, 2]).unwrap();
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.column(0).name, "E.did");
+        assert!(emp().project(&[9]).is_err());
+    }
+
+    #[test]
+    fn requalify() {
+        let s = emp().with_qualifier("X");
+        assert_eq!(s.column(0).name, "X.eid");
+        assert_eq!(s.resolve("X.sal").unwrap(), 2);
+    }
+
+    #[test]
+    fn row_width_is_fixed_and_positive() {
+        let s = emp();
+        // 8 header + 4 cols: 3×(8+1) + 1×(8+1) = 44
+        assert_eq!(s.row_width(), 8 + 4 * 9);
+    }
+
+    #[test]
+    fn display_lists_columns() {
+        let s = Schema::from_pairs(&[("a", DataType::Int)]);
+        assert_eq!(s.to_string(), "(a: INT)");
+    }
+
+    #[test]
+    fn base_name_without_qualifier() {
+        let c = Column::new("plain", DataType::Bool);
+        assert_eq!(c.base_name(), "plain");
+    }
+}

@@ -1,0 +1,245 @@
+//! In-memory, page-accounted heap tables.
+
+use crate::error::StorageError;
+use crate::index::{BTreeIndex, HashIndex};
+use crate::ledger::CostLedger;
+use crate::page::PageLayout;
+use crate::schema::{Schema, SchemaRef};
+use crate::stats::TableStats;
+use crate::tuple::Tuple;
+use std::sync::Arc;
+
+/// Shared table handle. Tables are immutable once loaded (the paper's
+/// workloads are read-only decision-support queries), which lets scans
+/// hand out slices without copying.
+pub type TableRef = Arc<Table>;
+
+/// A heap table: schema, rows, page layout, statistics, optional indexes.
+#[derive(Debug)]
+pub struct Table {
+    name: String,
+    schema: SchemaRef,
+    rows: Vec<Tuple>,
+    layout: PageLayout,
+    stats: TableStats,
+    hash_indexes: Vec<(usize, HashIndex)>,
+    btree_indexes: Vec<(usize, BTreeIndex)>,
+}
+
+impl Table {
+    /// Builds a table, validating every row against the schema and
+    /// computing statistics eagerly (the engine's implicit `ANALYZE`).
+    pub fn new(
+        name: impl Into<String>,
+        schema: Schema,
+        rows: Vec<Tuple>,
+    ) -> Result<Table, StorageError> {
+        let name = name.into();
+        for (i, t) in rows.iter().enumerate() {
+            if !t.conforms_to(&schema) {
+                return Err(StorageError::SchemaMismatch {
+                    table: name,
+                    detail: format!("row {i} ({t}) does not conform to {schema}"),
+                });
+            }
+        }
+        let layout = PageLayout::for_schema(&schema);
+        let stats = TableStats::analyze(&schema, &rows);
+        Ok(Table {
+            name,
+            schema: schema.into_ref(),
+            rows,
+            layout,
+            stats,
+            hash_indexes: Vec::new(),
+            btree_indexes: Vec::new(),
+        })
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Schema handle.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Row count.
+    pub fn row_count(&self) -> u64 {
+        self.rows.len() as u64
+    }
+
+    /// Pages the table occupies.
+    pub fn page_count(&self) -> u64 {
+        self.layout.pages(self.rows.len() as u64)
+    }
+
+    /// The table's page layout.
+    pub fn layout(&self) -> PageLayout {
+        self.layout
+    }
+
+    /// Precomputed statistics.
+    pub fn stats(&self) -> &TableStats {
+        &self.stats
+    }
+
+    /// Raw row access *without* cost accounting — for index builds,
+    /// statistics, and test assertions. Query operators must use
+    /// [`Table::scan`].
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// A full scan: charges one read per page to `ledger` and returns the
+    /// rows.
+    pub fn scan<'a>(&'a self, ledger: &CostLedger) -> &'a [Tuple] {
+        ledger.read_pages(self.page_count());
+        &self.rows
+    }
+
+    /// Adds a hash index on column `col`.
+    pub fn create_hash_index(&mut self, col: usize) -> Result<(), StorageError> {
+        if col >= self.schema.arity() {
+            return Err(StorageError::BadIndexColumn {
+                index: col,
+                arity: self.schema.arity(),
+            });
+        }
+        let idx = HashIndex::build(&self.rows, col);
+        self.hash_indexes.retain(|(c, _)| *c != col);
+        self.hash_indexes.push((col, idx));
+        Ok(())
+    }
+
+    /// Adds an ordered (B-tree) index on column `col`.
+    pub fn create_btree_index(&mut self, col: usize) -> Result<(), StorageError> {
+        if col >= self.schema.arity() {
+            return Err(StorageError::BadIndexColumn {
+                index: col,
+                arity: self.schema.arity(),
+            });
+        }
+        let idx = BTreeIndex::build(&self.rows, col);
+        self.btree_indexes.retain(|(c, _)| *c != col);
+        self.btree_indexes.push((col, idx));
+        Ok(())
+    }
+
+    /// Hash index on `col`, if one exists.
+    pub fn hash_index(&self, col: usize) -> Option<&HashIndex> {
+        self.hash_indexes
+            .iter()
+            .find(|(c, _)| *c == col)
+            .map(|(_, i)| i)
+    }
+
+    /// B-tree index on `col`, if one exists.
+    pub fn btree_index(&self, col: usize) -> Option<&BTreeIndex> {
+        self.btree_indexes
+            .iter()
+            .find(|(c, _)| *c == col)
+            .map(|(_, i)| i)
+    }
+
+    /// True iff any index (hash or btree) exists on `col`.
+    pub fn has_index(&self, col: usize) -> bool {
+        self.hash_index(col).is_some() || self.btree_index(col).is_some()
+    }
+
+    /// Row by position (for index lookups). Charges the page containing
+    /// the row as one read.
+    pub fn fetch(&self, row_id: usize, ledger: &CostLedger) -> &Tuple {
+        ledger.read_pages(1);
+        &self.rows[row_id]
+    }
+
+    /// Wraps in an [`Arc`].
+    pub fn into_ref(self) -> TableRef {
+        Arc::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+    use crate::value::DataType;
+
+    fn small_table() -> Table {
+        let schema = Schema::from_pairs(&[("id", DataType::Int), ("name", DataType::Str)]);
+        Table::new(
+            "t",
+            schema,
+            vec![tuple![1, "a"], tuple![2, "b"], tuple![3, "c"]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_nonconforming_rows() {
+        let schema = Schema::from_pairs(&[("id", DataType::Int)]);
+        let err = Table::new("t", schema, vec![tuple!["oops"]]).unwrap_err();
+        assert!(matches!(err, StorageError::SchemaMismatch { .. }));
+    }
+
+    #[test]
+    fn scan_charges_page_reads() {
+        let t = small_table();
+        let ledger = CostLedger::new();
+        let rows = t.scan(&ledger);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(ledger.snapshot().page_reads, t.page_count());
+        assert_eq!(t.page_count(), 1);
+    }
+
+    #[test]
+    fn page_count_scales_with_rows() {
+        let schema = Schema::from_pairs(&[("id", DataType::Int)]);
+        let rows: Vec<Tuple> = (0..10_000).map(|i| tuple![i]).collect();
+        let t = Table::new("big", schema, rows).unwrap();
+        // row width 8+9=17 → 240 tuples/page → 42 pages
+        assert_eq!(t.page_count(), 10_000u64.div_ceil(4096 / 17));
+    }
+
+    #[test]
+    fn stats_precomputed() {
+        let t = small_table();
+        assert_eq!(t.stats().rows, 3);
+        assert_eq!(t.stats().column(0).unwrap().distinct, 3);
+    }
+
+    #[test]
+    fn index_lifecycle() {
+        let mut t = small_table();
+        assert!(!t.has_index(0));
+        t.create_hash_index(0).unwrap();
+        assert!(t.has_index(0));
+        assert!(t.hash_index(0).is_some());
+        assert!(t.btree_index(0).is_none());
+        t.create_btree_index(1).unwrap();
+        assert!(t.btree_index(1).is_some());
+        assert!(t.create_hash_index(7).is_err());
+    }
+
+    #[test]
+    fn fetch_charges_one_page() {
+        let t = small_table();
+        let ledger = CostLedger::new();
+        let row = t.fetch(1, &ledger);
+        assert_eq!(row, &tuple![2, "b"]);
+        assert_eq!(ledger.snapshot().page_reads, 1);
+    }
+
+    #[test]
+    fn empty_table_zero_pages() {
+        let schema = Schema::from_pairs(&[("id", DataType::Int)]);
+        let t = Table::new("empty", schema, vec![]).unwrap();
+        assert_eq!(t.page_count(), 0);
+        let ledger = CostLedger::new();
+        assert!(t.scan(&ledger).is_empty());
+        assert_eq!(ledger.snapshot().page_reads, 0);
+    }
+}

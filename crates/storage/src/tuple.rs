@@ -1,0 +1,159 @@
+//! Tuples: fixed-arity rows of [`Value`]s.
+
+use crate::schema::Schema;
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// A row. Values are stored in schema order. Tuples are cheap to clone
+/// structurally (strings are the only heap payload) and are shared via
+/// `Arc` inside materialized tables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Builds a tuple from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    /// The values, in schema order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Number of values.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Value at position `i`.
+    pub fn value(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+
+    /// Concatenates two tuples (join output row).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut values = Vec::with_capacity(self.values.len() + other.values.len());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Tuple { values }
+    }
+
+    /// Projects values at the given positions into a new tuple.
+    pub fn project(&self, indices: &[usize]) -> Tuple {
+        Tuple {
+            values: indices.iter().map(|&i| self.values[i].clone()).collect(),
+        }
+    }
+
+    /// Extracts the key values at `indices` — the join/grouping key.
+    pub fn key(&self, indices: &[usize]) -> Vec<Value> {
+        indices.iter().map(|&i| self.values[i].clone()).collect()
+    }
+
+    /// Checks arity and per-column type compatibility against a schema.
+    pub fn conforms_to(&self, schema: &Schema) -> bool {
+        self.values.len() == schema.arity()
+            && self
+                .values
+                .iter()
+                .zip(schema.columns())
+                .all(|(v, c)| v.fits(c.data_type) && (c.nullable || !v.is_null()))
+    }
+
+    /// Total bytes this tuple occupies on the wire (distributed shipping).
+    pub fn wire_width(&self) -> usize {
+        4 + self.values.iter().map(Value::wire_width).sum::<usize>()
+    }
+
+    /// Consumes the tuple, returning its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+/// Shorthand for building a tuple from heterogeneous literals:
+/// `tuple![1, 2.5, "hr"]`.
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::tuple::Tuple::new(vec![$($crate::value::Value::from($v)),*])
+    };
+}
+
+/// A batch of tuples shared between operators.
+pub type TupleBatch = Arc<Vec<Tuple>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::DataType;
+
+    #[test]
+    fn concat_and_project() {
+        let a = tuple![1, "x"];
+        let b = tuple![2.5];
+        let c = a.concat(&b);
+        assert_eq!(c.arity(), 3);
+        assert_eq!(c.project(&[2, 0]), tuple![2.5, 1]);
+    }
+
+    #[test]
+    fn key_extraction() {
+        let t = tuple![10, 20, 30];
+        assert_eq!(t.key(&[2, 0]), vec![Value::Int(30), Value::Int(10)]);
+    }
+
+    #[test]
+    fn conformance_checks_arity_type_nullability() {
+        let schema = Schema::new(vec![
+            crate::schema::Column::new("a", DataType::Int),
+            crate::schema::Column::nullable("b", DataType::Str),
+        ])
+        .unwrap();
+        assert!(tuple![1, "x"].conforms_to(&schema));
+        assert!(Tuple::new(vec![Value::Int(1), Value::Null]).conforms_to(&schema));
+        assert!(!Tuple::new(vec![Value::Null, Value::Null]).conforms_to(&schema));
+        assert!(!tuple![1].conforms_to(&schema));
+        assert!(!tuple!["bad", "x"].conforms_to(&schema));
+    }
+
+    #[test]
+    fn int_fits_double_column() {
+        let schema = Schema::from_pairs(&[("sal", DataType::Double)]);
+        assert!(tuple![100].conforms_to(&schema));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(tuple![1, "hr"].to_string(), "[1, 'hr']");
+    }
+
+    #[test]
+    fn wire_width_sums_values() {
+        assert_eq!(tuple![1, true].wire_width(), 4 + 8 + 1);
+    }
+}

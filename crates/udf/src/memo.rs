@@ -1,0 +1,156 @@
+//! Function caching ("memoing", \[HS93\] in the paper's Figure 6):
+//! repeated invocations with the same arguments pay the invocation cost
+//! once.
+
+use fj_algebra::UdfRelation;
+use fj_storage::{CostLedger, SchemaRef, Tuple, Value};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A memoizing wrapper around any [`UdfRelation`].
+///
+/// The cache is keyed by the full argument tuple. Cache *hits* charge
+/// one tuple op (a hash lookup); *misses* delegate to the inner
+/// relation (which charges its invocation cost).
+#[derive(Debug)]
+pub struct MemoUdf<U: UdfRelation> {
+    inner: U,
+    cache: Mutex<HashMap<Vec<Value>, Arc<Vec<Tuple>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<U: UdfRelation> MemoUdf<U> {
+    /// Wraps `inner` with an unbounded memo cache.
+    pub fn new(inner: U) -> MemoUdf<U> {
+        MemoUdf {
+            inner,
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Cache hits observed.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses observed (= real invocations performed).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct argument tuples cached.
+    pub fn cached_entries(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// Drops all cached entries.
+    pub fn clear(&self) {
+        self.cache.lock().clear();
+    }
+}
+
+impl<U: UdfRelation> UdfRelation for MemoUdf<U> {
+    fn schema(&self) -> SchemaRef {
+        self.inner.schema()
+    }
+
+    fn arg_count(&self) -> usize {
+        self.inner.arg_count()
+    }
+
+    fn invoke(&self, args: &[Value], ledger: &CostLedger) -> Vec<Tuple> {
+        if let Some(cached) = self.cache.lock().get(args) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            ledger.tuple_ops(1);
+            return cached.as_ref().clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let rows = self.inner.invoke(args, ledger);
+        self.cache
+            .lock()
+            .insert(args.to_vec(), Arc::new(rows.clone()));
+        rows
+    }
+
+    fn invocation_cost(&self) -> f64 {
+        // Costing still assumes a miss; the optimizer treats the cache
+        // as a bonus rather than relying on hit rates it cannot know.
+        self.inner.invocation_cost()
+    }
+
+    fn rows_per_call(&self) -> f64 {
+        self.inner.rows_per_call()
+    }
+
+    fn domain(&self) -> Option<Vec<Vec<Value>>> {
+        self.inner.domain()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::TableFunction;
+    use fj_storage::{DataType, Schema};
+
+    fn square_fn() -> TableFunction {
+        let schema =
+            Schema::from_pairs(&[("x", DataType::Int), ("sq", DataType::Int)]).into_ref();
+        TableFunction::new("square", schema, 1, 1.0, |args| {
+            let x = args[0].as_int().unwrap_or(0);
+            vec![vec![Value::Int(x * x)]]
+        })
+    }
+
+    #[test]
+    fn duplicate_invocations_hit_cache() {
+        let m = MemoUdf::new(square_fn());
+        let ledger = CostLedger::new();
+        for _ in 0..5 {
+            let rows = m.invoke(&[Value::Int(3)], &ledger);
+            assert_eq!(rows[0].value(1), &Value::Int(9));
+        }
+        assert_eq!(m.misses(), 1);
+        assert_eq!(m.hits(), 4);
+        // Only the miss paid the invocation cost.
+        assert_eq!(ledger.snapshot().udf_calls, 1);
+        assert_eq!(ledger.snapshot().tuple_ops, 100 + 4);
+    }
+
+    #[test]
+    fn distinct_args_all_miss() {
+        let m = MemoUdf::new(square_fn());
+        let ledger = CostLedger::new();
+        for i in 0..10 {
+            m.invoke(&[Value::Int(i)], &ledger);
+        }
+        assert_eq!(m.misses(), 10);
+        assert_eq!(m.hits(), 0);
+        assert_eq!(m.cached_entries(), 10);
+    }
+
+    #[test]
+    fn clear_resets_cache_but_not_counters() {
+        let m = MemoUdf::new(square_fn());
+        let ledger = CostLedger::new();
+        m.invoke(&[Value::Int(1)], &ledger);
+        m.clear();
+        m.invoke(&[Value::Int(1)], &ledger);
+        assert_eq!(m.misses(), 2);
+        assert_eq!(m.cached_entries(), 1);
+    }
+
+    #[test]
+    fn delegates_metadata() {
+        let m = MemoUdf::new(square_fn());
+        assert_eq!(m.arg_count(), 1);
+        assert_eq!(m.invocation_cost(), 1.0);
+        assert!(m.domain().is_none());
+        assert_eq!(m.schema().arity(), 2);
+    }
+}

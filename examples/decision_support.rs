@@ -1,0 +1,242 @@
+//! A decision-support workload with multiple views — the setting the
+//! paper's introduction motivates ("complex decision-support queries,
+//! usually involving views and table expressions").
+//!
+//! Schema: a retail star with `Sales`, `Stores`, `Products`, plus two
+//! views (`StoreRevenue`, `ProductStats`). Three analyst queries join
+//! base tables with the views; for each we show the optimizer's join
+//! order, whether it chose Filter Joins (and with which SIPS), and the
+//! measured cost against the never-magic baseline.
+//!
+//! ```sh
+//! cargo run --example decision_support
+//! ```
+
+use filterjoin::{
+    col, lit, AggCall, AggFunc, Database, DataType, FromItem, JoinQuery, LogicalPlan,
+    OptimizerConfig, Schema, TableBuilder, Value, ViewDef,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N_SALES: usize = 30_000;
+const N_STORES: usize = 500;
+const N_PRODUCTS: usize = 1_000;
+
+fn build_database() -> Database {
+    let mut db = Database::new();
+    let mut rng = StdRng::seed_from_u64(2026);
+
+    db.create_table(
+        TableBuilder::new("Stores")
+            .column("sid", DataType::Int)
+            .column("region", DataType::Int)
+            .column("sqft", DataType::Int)
+            .rows((0..N_STORES).map(|s| {
+                vec![
+                    Value::Int(s as i64),
+                    Value::Int(rng.gen_range(0..12)),
+                    Value::Int(rng.gen_range(2_000..30_000)),
+                ]
+            }))
+            .build()
+            .expect("Stores builds"),
+    );
+    db.create_table(
+        TableBuilder::new("Products")
+            .column("pid", DataType::Int)
+            .column("category", DataType::Int)
+            .column("price", DataType::Double)
+            .rows((0..N_PRODUCTS).map(|p| {
+                vec![
+                    Value::Int(p as i64),
+                    Value::Int(rng.gen_range(0..25)),
+                    Value::Double(rng.gen_range(1.0..500.0)),
+                ]
+            }))
+            .build()
+            .expect("Products builds"),
+    );
+    db.create_table(
+        TableBuilder::new("Sales")
+            .column("sid", DataType::Int)
+            .column("pid", DataType::Int)
+            .column("qty", DataType::Int)
+            .column("total", DataType::Double)
+            .rows((0..N_SALES).map(|_| {
+                vec![
+                    Value::Int(rng.gen_range(0..N_STORES) as i64),
+                    Value::Int(rng.gen_range(0..N_PRODUCTS) as i64),
+                    Value::Int(rng.gen_range(1..10)),
+                    Value::Double(rng.gen_range(5.0..2_500.0)),
+                ]
+            }))
+            .build()
+            .expect("Sales builds"),
+    );
+
+    // CREATE VIEW StoreRevenue AS
+    //   SELECT S.sid, SUM(S.total) AS revenue, COUNT(*) AS n
+    //   FROM Sales S GROUP BY S.sid;
+    db.create_view(ViewDef {
+        name: "StoreRevenue".into(),
+        plan: LogicalPlan::scan("Sales", "S")
+            .aggregate(
+                vec!["S.sid".into()],
+                vec![
+                    AggCall::new(AggFunc::Sum, "S.total", "revenue"),
+                    AggCall::count_star("n"),
+                ],
+            )
+            .project(vec![
+                (col("S.sid"), "sid".into()),
+                (col("revenue"), "revenue".into()),
+                (col("n"), "n".into()),
+            ])
+            .into_ref(),
+        schema: Schema::from_pairs(&[
+            ("sid", DataType::Int),
+            ("revenue", DataType::Double),
+            ("n", DataType::Int),
+        ])
+        .into_ref(),
+    });
+
+    // CREATE VIEW ProductStats AS
+    //   SELECT S.pid, AVG(S.qty) AS avgqty, MAX(S.total) AS maxtotal
+    //   FROM Sales S GROUP BY S.pid;
+    db.create_view(ViewDef {
+        name: "ProductStats".into(),
+        plan: LogicalPlan::scan("Sales", "S")
+            .aggregate(
+                vec!["S.pid".into()],
+                vec![
+                    AggCall::new(AggFunc::Avg, "S.qty", "avgqty"),
+                    AggCall::new(AggFunc::Max, "S.total", "maxtotal"),
+                ],
+            )
+            .project(vec![
+                (col("S.pid"), "pid".into()),
+                (col("avgqty"), "avgqty".into()),
+                (col("maxtotal"), "maxtotal".into()),
+            ])
+            .into_ref(),
+        schema: Schema::from_pairs(&[
+            ("pid", DataType::Int),
+            ("avgqty", DataType::Double),
+            ("maxtotal", DataType::Double),
+        ])
+        .into_ref(),
+    });
+    db
+}
+
+fn analyst_queries() -> Vec<(&'static str, JoinQuery)> {
+    vec![
+        (
+            // Revenue of the huge stores in region 3: a very selective
+            // production set filtering StoreRevenue — magic should win.
+            "Q1: revenue of huge region-3 stores",
+            JoinQuery::new(vec![
+                FromItem::new("Stores", "St"),
+                FromItem::new("StoreRevenue", "R"),
+            ])
+            .with_predicate(
+                col("St.sid")
+                    .eq(col("R.sid"))
+                    .and(col("St.region").eq(lit(3)))
+                    .and(col("St.sqft").gt(lit(25_000))),
+            )
+            .with_projection(vec![
+                (col("St.sid"), "sid".into()),
+                (col("R.revenue"), "revenue".into()),
+            ]),
+        ),
+        (
+            // Every store's revenue: no selectivity, magic should lose.
+            "Q2: revenue of every store",
+            JoinQuery::new(vec![
+                FromItem::new("Stores", "St"),
+                FromItem::new("StoreRevenue", "R"),
+            ])
+            .with_predicate(col("St.sid").eq(col("R.sid")))
+            .with_projection(vec![
+                (col("St.sid"), "sid".into()),
+                (col("R.revenue"), "revenue".into()),
+            ]),
+        ),
+        (
+            // Two views at once: expensive category-0 products that
+            // outsell their average in huge stores.
+            "Q3: two views, selective on both sides",
+            JoinQuery::new(vec![
+                FromItem::new("Sales", "S"),
+                FromItem::new("Products", "P"),
+                FromItem::new("ProductStats", "PS"),
+                FromItem::new("StoreRevenue", "R"),
+            ])
+            .with_predicate(
+                col("S.pid")
+                    .eq(col("P.pid"))
+                    .and(col("S.pid").eq(col("PS.pid")))
+                    .and(col("S.sid").eq(col("R.sid")))
+                    .and(col("P.category").eq(lit(0)))
+                    .and(col("P.price").gt(lit(450)))
+                    .and(col("S.qty").gt(col("PS.avgqty"))),
+            )
+            .with_projection(vec![
+                (col("S.sid"), "sid".into()),
+                (col("S.pid"), "pid".into()),
+                (col("R.revenue"), "revenue".into()),
+            ]),
+        ),
+    ]
+}
+
+fn main() {
+    let db = build_database();
+    println!(
+        "retail star: {N_SALES} sales, {N_STORES} stores, {N_PRODUCTS} products, 2 views\n"
+    );
+
+    for (name, q) in analyst_queries() {
+        let best = db.execute(&q).expect("query optimizes and runs");
+        let baseline = db
+            .execute_with_config(&q, OptimizerConfig::without_filter_join())
+            .expect("baseline runs");
+        assert_eq!(
+            {
+                let mut a = best.rows.clone();
+                a.sort();
+                a
+            },
+            {
+                let mut b = baseline.rows.clone();
+                b.sort();
+                b
+            },
+            "both plans must agree"
+        );
+
+        println!("=== {name} ===");
+        println!("rows: {}", best.rows.len());
+        println!("join order: {}", best.order.join(" -> "));
+        if best.sips.is_empty() {
+            println!("filter joins: none (magic not worth it here)");
+        } else {
+            for s in &best.sips {
+                println!(
+                    "filter join: {{{}}} -> {}",
+                    s.production.join(", "),
+                    s.inner
+                );
+            }
+        }
+        println!(
+            "measured cost: {:.1}   never-magic baseline: {:.1}   ({:.0}% of baseline)\n",
+            best.measured_cost,
+            baseline.measured_cost,
+            100.0 * best.measured_cost / baseline.measured_cost
+        );
+    }
+}

@@ -1,0 +1,21 @@
+//! # filterjoin
+//!
+//! A complete, from-scratch reproduction of **"Filter Joins: Cost-Based
+//! Optimization for Magic Sets"** (Seshadri, Hellerstein, Ramakrishnan;
+//! TR #1273, 1995 — published at SIGMOD 1996 as *"Cost-Based
+//! Optimization for Magic: Algebra and Implementation"*).
+//!
+//! This umbrella crate re-exports the full engine stack; see
+//! [`fj_core`] for the primary API ([`Database`]), `README.md` for the
+//! tour, `DESIGN.md` for the system inventory, and `EXPERIMENTS.md` for
+//! the paper-vs-measured record of every reproduced figure and table.
+//!
+//! ```
+//! use filterjoin::{fixtures, Database};
+//!
+//! let db = Database::with_catalog(fixtures::paper_catalog());
+//! let result = db.execute(&fixtures::paper_query()).unwrap();
+//! assert_eq!(result.rows.len(), 2);
+//! ```
+
+pub use fj_core::*;

@@ -1,0 +1,145 @@
+//! Optimizer-quality integration tests: the dynamic program's plan is
+//! never worse than any forced left-deep order, predicted costs track
+//! measured costs, and the §3.3 limitations hold structurally.
+
+use filterjoin::{
+    fixtures, CostLedger, Database, ExecCtx, Optimizer, OptimizerConfig,
+};
+use std::sync::Arc;
+
+fn permutations(items: &[String]) -> Vec<Vec<String>> {
+    if items.len() <= 1 {
+        return vec![items.to_vec()];
+    }
+    let mut out = Vec::new();
+    for (i, head) in items.iter().enumerate() {
+        let mut rest = items.to_vec();
+        rest.remove(i);
+        for mut tail in permutations(&rest) {
+            tail.insert(0, head.clone());
+            out.push(tail);
+        }
+    }
+    out
+}
+
+#[test]
+fn dp_is_optimal_over_forced_orders() {
+    let cat = Arc::new(fixtures::paper_catalog());
+    let q = fixtures::paper_query();
+    let opt = Optimizer::new(Arc::clone(&cat), OptimizerConfig::default());
+    let global = opt.optimize(&q).unwrap();
+    let aliases: Vec<String> = q.from.iter().map(|f| f.alias.clone()).collect();
+    for order in permutations(&aliases) {
+        let forced = opt.optimize_with_order(&q, &order).unwrap();
+        // Small tolerance for path-dependent cardinality estimates
+        // breaking entry-cost ties (see dp_optimality.rs).
+        assert!(
+            global.cost <= forced.cost * 1.01 + 1e-6,
+            "global {} beaten by forced {:?} at {}",
+            global.cost,
+            order,
+            forced.cost
+        );
+    }
+}
+
+#[test]
+fn estimated_cost_tracks_measured_cost() {
+    // On the scaled instance, predicted and measured total costs should
+    // be the same order of magnitude (the cost model mirrors the
+    // executor's charges).
+    let cat = fj_bench::workloads::emp_dept(fj_bench::workloads::EmpDeptConfig {
+        n_emps: 5_000,
+        n_depts: 500,
+        frac_big: 0.1,
+        ..Default::default()
+    });
+    let db = Database::with_catalog(cat);
+    let r = db.execute(&fixtures::paper_query()).unwrap();
+    let est = r.estimated_cost.unwrap();
+    let ratio = est / r.measured_cost;
+    assert!(
+        (0.3..3.0).contains(&ratio),
+        "estimated {est} vs measured {} (ratio {ratio})",
+        r.measured_cost
+    );
+}
+
+#[test]
+fn sips_production_is_a_prefix_of_the_join_order() {
+    // Limitations 1+2: every Filter Join's production set must be the
+    // full outer prefix at the point the inner joins.
+    let cat = fj_bench::workloads::emp_dept(fj_bench::workloads::EmpDeptConfig {
+        n_emps: 5_000,
+        n_depts: 500,
+        frac_big: 0.05,
+        ..Default::default()
+    });
+    let db = Database::with_catalog(cat);
+    let plan = db.optimize(&fixtures::paper_query()).unwrap();
+    for s in &plan.sips {
+        let k = s.production.len();
+        assert_eq!(
+            s.production,
+            plan.order[..k].to_vec(),
+            "production must be the join-order prefix"
+        );
+        assert_eq!(s.inner, plan.order[k], "inner follows its production");
+    }
+}
+
+#[test]
+fn parametric_fits_are_memoized_across_the_enumeration() {
+    // Assumption 1: the number of nested estimator invocations is
+    // #classes × #(virtual relation, attrs) pairs, independent of how
+    // many joins the DP considers.
+    let cat = Arc::new(fixtures::paper_catalog());
+    let q = fixtures::paper_query();
+    let opt = Optimizer::new(cat, OptimizerConfig::default());
+    let plan = opt.optimize(&q).unwrap();
+    assert!(
+        plan.nested_invocations <= 2 * 4,
+        "nested invocations {} exceed classes × virtual relations",
+        plan.nested_invocations
+    );
+    assert!(plan.plans_considered > plan.nested_invocations);
+}
+
+#[test]
+fn execution_is_deterministic() {
+    let cat = Arc::new(fixtures::paper_catalog());
+    let q = fixtures::paper_query();
+    let opt = Optimizer::new(Arc::clone(&cat), OptimizerConfig::default());
+    let plan = opt.optimize(&q).unwrap();
+    let run = || {
+        let ctx = ExecCtx::new(Arc::clone(&cat));
+        let rel = plan.phys.execute(&ctx).unwrap();
+        (rel.rows, ctx.ledger.snapshot())
+    };
+    let (rows1, charges1) = run();
+    let (rows2, charges2) = run();
+    assert_eq!(rows1, rows2, "same rows every run");
+    assert_eq!(charges1, charges2, "same ledger charges every run");
+    let _ = CostLedger::new();
+}
+
+#[test]
+fn explain_round_trips_the_decision() {
+    let cat = fj_bench::workloads::emp_dept(fj_bench::workloads::EmpDeptConfig {
+        n_emps: 4_000,
+        n_depts: 400,
+        frac_big: 0.05,
+        ..Default::default()
+    });
+    let db = Database::with_catalog(cat);
+    let q = fixtures::paper_query();
+    let explain = db.explain(&q).unwrap();
+    let plan = db.optimize(&q).unwrap();
+    if plan.sips.is_empty() {
+        assert!(explain.contains("none"));
+    } else {
+        assert!(explain.contains("filter join #0"));
+        assert!(explain.contains("JoinCost_P"), "Table 1 breakdown shown");
+    }
+}
