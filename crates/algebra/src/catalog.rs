@@ -163,6 +163,11 @@ impl RelationKind {
 }
 
 /// The catalog: name → relation, plus the network model.
+///
+/// Every mutation bumps a monotonically increasing [`epoch`](Catalog::epoch),
+/// which plan caches fold into their fingerprints so that cached plans are
+/// invalidated whenever the schema, statistics (tables are re-registered to
+/// change stats), or network model changes.
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
     tables: HashMap<String, TableRef>,
@@ -170,6 +175,7 @@ pub struct Catalog {
     views: HashMap<String, Arc<ViewDef>>,
     udfs: HashMap<String, Arc<dyn UdfRelation>>,
     network: Option<NetworkModel>,
+    epoch: u64,
 }
 
 impl Catalog {
@@ -178,30 +184,42 @@ impl Catalog {
         Catalog::default()
     }
 
+    /// The mutation counter: bumped by every `add_*`/`set_*` call.
+    /// Two catalogs with equal epochs that originated from the same
+    /// clone chain hold identical metadata.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Registers a local base table.
     pub fn add_table(&mut self, table: TableRef) {
         self.tables.insert(table.name().to_string(), table);
+        self.epoch += 1;
     }
 
     /// Registers a base table stored at `site`.
     pub fn add_remote_table(&mut self, table: TableRef, site: SiteId) {
         self.table_sites.insert(table.name().to_string(), site);
         self.tables.insert(table.name().to_string(), table);
+        self.epoch += 1;
     }
 
     /// Registers a view.
     pub fn add_view(&mut self, view: ViewDef) {
         self.views.insert(view.name.clone(), Arc::new(view));
+        self.epoch += 1;
     }
 
     /// Registers a user-defined relation under `name`.
     pub fn add_udf(&mut self, name: impl Into<String>, udf: Arc<dyn UdfRelation>) {
         self.udfs.insert(name.into(), udf);
+        self.epoch += 1;
     }
 
     /// Sets the network model (None = free / purely local).
     pub fn set_network(&mut self, network: NetworkModel) {
         self.network = Some(network);
+        self.epoch += 1;
     }
 
     /// The network model in force.

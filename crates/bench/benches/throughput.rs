@@ -1,0 +1,51 @@
+//! Criterion bench for query-service throughput: a batch of Figure-1
+//! queries pushed through the `fj-runtime` worker pool at 1, 2, and 4
+//! workers. Each iteration submits the whole batch and waits for every
+//! ticket, so the measured time is batch wall-clock (lower = higher
+//! queries/sec). Speedup across worker counts is bounded by the
+//! machine's physical cores.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fj_bench::workloads::{emp_dept, paper_query, EmpDeptConfig};
+use fj_runtime::{QueryService, ServiceConfig};
+
+const BATCH: usize = 32;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("throughput");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        let cat = emp_dept(EmpDeptConfig {
+            n_emps: 4000,
+            n_depts: 400,
+            frac_big: 0.1,
+            ..Default::default()
+        });
+        let service = QueryService::start(
+            cat,
+            ServiceConfig {
+                workers,
+                queue_capacity: BATCH,
+                ..ServiceConfig::default()
+            },
+        );
+        let q = paper_query();
+        service.execute(q.clone()).expect("warm-up query runs");
+        group.bench_function(format!("batch{BATCH}_workers{workers}"), |b| {
+            b.iter(|| {
+                let tickets: Vec<_> = (0..BATCH)
+                    .map(|_| service.submit(q.clone()).expect("service accepts"))
+                    .collect();
+                tickets
+                    .into_iter()
+                    .map(|t| t.wait().expect("query completes").rows.len())
+                    .sum::<usize>()
+            })
+        });
+        service.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

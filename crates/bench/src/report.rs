@@ -117,7 +117,7 @@ mod tests {
 
     #[test]
     fn num_formatting() {
-        assert_eq!(Report::num(3.14159), "3.14");
+        assert_eq!(Report::num(4.51159), "4.51");
         assert_eq!(Report::num(123456.7), "123457");
     }
 }

@@ -29,9 +29,12 @@ fn weighted(d: &LedgerSnapshot, net: NetworkModel) -> f64 {
     d.weighted(CPU_WEIGHT_DEFAULT, net.per_byte, net.per_message)
 }
 
+/// Row labels, column labels, and the `grid[strategy][kind]` costs.
+pub type TaxonomyMatrix = (Vec<&'static str>, Vec<&'static str>, Vec<Vec<Option<f64>>>);
+
 /// The measured matrix: `grid[strategy][kind]`, `None` = not
 /// applicable.
-pub fn matrix() -> (Vec<&'static str>, Vec<&'static str>, Vec<Vec<Option<f64>>>) {
+pub fn matrix() -> TaxonomyMatrix {
     let strategies = vec![
         "repeated probe",
         "  w/ caching",

@@ -13,4 +13,5 @@ pub mod fig5_classes;
 pub mod fig6_taxonomy;
 pub mod local_semijoin;
 pub mod table1_components;
+pub mod throughput;
 pub mod udf;

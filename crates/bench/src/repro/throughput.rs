@@ -1,0 +1,112 @@
+//! Query-service throughput: the Figure-1 workload driven through the
+//! `fj-runtime` worker pool at 1 versus N threads.
+//!
+//! This is the experiment behind the runtime's existence: the paper's
+//! optimize-and-execute pipeline is embarrassingly parallel across
+//! *queries* (each runs against an immutable catalog snapshot with its
+//! own ledger), so a pool of N workers should answer close to N× the
+//! queries per second — with the plan cache keeping repeated
+//! optimization off the hot path.
+
+use crate::report::Report;
+use crate::workloads::{emp_dept, paper_query, EmpDeptConfig};
+use fj_runtime::{QueryService, ServiceConfig};
+use std::time::Instant;
+
+/// One measured configuration.
+#[derive(Debug, Clone)]
+pub struct ThroughputPoint {
+    /// Worker threads in the pool.
+    pub threads: usize,
+    /// Queries answered.
+    pub queries: usize,
+    /// Wall-clock seconds for the batch.
+    pub secs: f64,
+    /// Queries per second.
+    pub qps: f64,
+    /// Plan-cache hit rate over the batch.
+    pub cache_hit_rate: f64,
+    /// Median per-query latency (µs, factor-of-two bucket bound).
+    pub p50_micros: u64,
+}
+
+/// Runs `queries` Figure-1 queries through a `threads`-worker service
+/// over a fresh `n_emps`/`n_depts` instance and measures the batch.
+pub fn run_at(threads: usize, n_emps: usize, n_depts: usize, queries: usize) -> ThroughputPoint {
+    let cat = emp_dept(EmpDeptConfig {
+        n_emps,
+        n_depts,
+        frac_big: 0.1,
+        ..Default::default()
+    });
+    let service = QueryService::start(
+        cat,
+        ServiceConfig {
+            workers: threads,
+            queue_capacity: 64,
+            ..ServiceConfig::default()
+        },
+    );
+    let q = paper_query();
+    // Warm-up: populates the plan cache and faults in the tables, so
+    // the timed batch measures steady-state execution throughput.
+    service.execute(q.clone()).expect("warm-up query runs");
+
+    let t0 = Instant::now();
+    let tickets: Vec<_> = (0..queries)
+        .map(|_| service.submit(q.clone()).expect("service accepts"))
+        .collect();
+    for t in tickets {
+        t.wait().expect("query completes");
+    }
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    let m = service.metrics();
+    let point = ThroughputPoint {
+        threads,
+        queries,
+        secs,
+        qps: queries as f64 / secs,
+        cache_hit_rate: m.cache_hit_rate,
+        p50_micros: m.latency.quantile_micros(0.5),
+    };
+    service.shutdown();
+    point
+}
+
+/// The reproduce-binary experiment: 1 thread vs `threads`, with the
+/// speedup called out.
+pub fn run(n_emps: usize, n_depts: usize, threads: usize, queries: usize) -> Report {
+    let mut report = Report::new(
+        format!(
+            "Query-service throughput — Figure-1 workload, {queries} queries \
+             ({n_emps} emps / {n_depts} depts)"
+        ),
+        &[
+            "threads",
+            "queries/s",
+            "batch s",
+            "p50 latency µs",
+            "cache hit rate",
+        ],
+    );
+    let baseline = run_at(1, n_emps, n_depts, queries);
+    let scaled = run_at(threads.max(1), n_emps, n_depts, queries);
+    for p in [&baseline, &scaled] {
+        report.row(vec![
+            Report::cell(p.threads),
+            Report::num(p.qps),
+            Report::num(p.secs),
+            Report::cell(p.p50_micros),
+            Report::num(p.cache_hit_rate),
+        ]);
+    }
+    let speedup = scaled.qps / baseline.qps.max(1e-9);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    report.note(format!(
+        "speedup at {} threads: {:.2}x on {} available core(s) (plan \
+         cache warm; per-query ledger charges identical across thread \
+         counts; speedup is bounded by physical cores)",
+        scaled.threads, speedup, cores
+    ));
+    report
+}

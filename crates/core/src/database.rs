@@ -31,6 +31,14 @@ pub struct QueryResult {
     pub sips: Vec<Sips>,
     /// Table 1 breakdowns for each Filter Join used.
     pub filter_join_costs: Vec<FilterJoinCost>,
+    /// Whether the plan came from a plan cache rather than a fresh
+    /// optimization. Always `false` for direct `Database` calls; set by
+    /// `fj-runtime`'s query service.
+    pub cache_hit: bool,
+    /// Wall-clock latency of optimize+execute in microseconds, when
+    /// measured (the query service fills this in; direct `Database`
+    /// calls leave it 0).
+    pub latency_micros: u64,
 }
 
 /// The engine facade: catalog + optimizer + executor.
@@ -161,6 +169,8 @@ impl Database {
             order: plan.order,
             sips: plan.sips,
             filter_join_costs: plan.filter_join_costs,
+            cache_hit: false,
+            latency_micros: 0,
         })
     }
 
@@ -188,6 +198,8 @@ impl Database {
             order: Vec::new(),
             sips: Vec::new(),
             filter_join_costs: Vec::new(),
+            cache_hit: false,
+            latency_micros: 0,
         })
     }
 

@@ -49,6 +49,12 @@ pub struct ExecCtx {
     pub ledger: Arc<CostLedger>,
     /// Buffer memory in pages — `M` in the BNLJ/hash/sort formulas.
     pub memory_pages: u64,
+    /// Intra-query parallelism: worker threads available to parallel
+    /// scans and partitioned hash joins. `1` (the default) keeps every
+    /// operator on its serial code path. Parallelism never changes the
+    /// ledger charges or the output row multiset — only wall-clock time
+    /// (see [`crate::ops::parallel`]).
+    pub threads: usize,
     temps: Arc<RwLock<HashMap<String, TempTable>>>,
     blooms: Arc<RwLock<HashMap<String, Arc<BloomFilter>>>>,
 }
@@ -60,6 +66,7 @@ impl ExecCtx {
             catalog,
             ledger: CostLedger::new(),
             memory_pages: DEFAULT_MEMORY_PAGES,
+            threads: 1,
             temps: Arc::new(RwLock::new(HashMap::new())),
             blooms: Arc::new(RwLock::new(HashMap::new())),
         }
@@ -68,6 +75,12 @@ impl ExecCtx {
     /// Overrides the buffer memory size.
     pub fn with_memory_pages(mut self, pages: u64) -> ExecCtx {
         self.memory_pages = pages.max(3); // joins need ≥3 buffer pages
+        self
+    }
+
+    /// Overrides the intra-query worker-thread count (clamped to ≥1).
+    pub fn with_threads(mut self, threads: usize) -> ExecCtx {
+        self.threads = threads.max(1);
         self
     }
 

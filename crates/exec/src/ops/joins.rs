@@ -7,6 +7,7 @@
 
 use crate::context::ExecCtx;
 use crate::error::ExecError;
+use crate::ops::parallel::{route, PARALLEL_ROW_THRESHOLD};
 use crate::ops::sort::charge_external_sort as charge_external_sort_pages;
 use crate::physical::{maybe_qualify, Rel};
 use fj_algebra::JoinKind;
@@ -201,9 +202,33 @@ pub fn hash_join(
     ctx.ledger
         .tuple_ops(inner.rows.len() as u64 + outer.rows.len() as u64);
 
-    let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::with_capacity(inner.rows.len());
-    for i in &inner.rows {
-        let key = i.key(&ikeys);
+    let parts = ctx.threads.max(1);
+    if parts > 1 && outer.rows.len() + inner.rows.len() >= PARALLEL_ROW_THRESHOLD {
+        let rows = partitioned_hash_probe(ctx, &outer, &inner, &okeys, &ikeys, &pred, kind, parts)?;
+        return Ok(Rel::new(out_schema, rows));
+    }
+
+    let rows = hash_probe(ctx, &outer.rows, &inner.rows, &okeys, &ikeys, &pred, kind)?;
+    Ok(Rel::new(out_schema, rows))
+}
+
+/// The serial build+probe kernel shared by the single-threaded hash
+/// join and each partition of the parallel one. Charges one tuple op
+/// per emitted row (the build/probe per-row ops are charged by the
+/// caller, once, over the full inputs).
+fn hash_probe<I: std::borrow::Borrow<Tuple> + Sync>(
+    ctx: &ExecCtx,
+    outer_rows: &[I],
+    inner_rows: &[I],
+    okeys: &[usize],
+    ikeys: &[usize],
+    pred: &Option<BoundExpr>,
+    kind: JoinKind,
+) -> Result<Vec<Tuple>, ExecError> {
+    let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::with_capacity(inner_rows.len());
+    for i in inner_rows {
+        let i = i.borrow();
+        let key = i.key(ikeys);
         if key.iter().any(Value::is_null) {
             continue;
         }
@@ -211,8 +236,9 @@ pub fn hash_join(
     }
 
     let mut rows = Vec::new();
-    for o in &outer.rows {
-        let key = o.key(&okeys);
+    for o in outer_rows {
+        let o = o.borrow();
+        let key = o.key(okeys);
         if key.iter().any(Value::is_null) {
             continue;
         }
@@ -223,7 +249,7 @@ pub fn hash_join(
             JoinKind::Inner => {
                 for i in matches {
                     let joined = o.concat(i);
-                    if match &pred {
+                    if match pred {
                         Some(p) => p.eval_predicate(&joined)?,
                         None => true,
                     } {
@@ -236,7 +262,7 @@ pub fn hash_join(
                 let mut hit = false;
                 for i in matches {
                     let joined = o.concat(i);
-                    if match &pred {
+                    if match pred {
                         Some(p) => p.eval_predicate(&joined)?,
                         None => true,
                     } {
@@ -251,7 +277,61 @@ pub fn hash_join(
             }
         }
     }
-    Ok(Rel::new(out_schema, rows))
+    Ok(rows)
+}
+
+/// Parallel partitioned hash join: routes both inputs to `parts` hash
+/// partitions on their join keys, then runs the serial build+probe
+/// kernel for each partition on its own scoped thread. Matching rows
+/// always share a key hash, so partitions are independent and the
+/// union of the partition outputs equals the serial output multiset.
+/// Ledger totals are identical to the serial join: the per-row charges
+/// are made by the same kernel against the same atomic ledger.
+#[allow(clippy::too_many_arguments)]
+fn partitioned_hash_probe(
+    ctx: &ExecCtx,
+    outer: &Rel,
+    inner: &Rel,
+    okeys: &[usize],
+    ikeys: &[usize],
+    pred: &Option<BoundExpr>,
+    kind: JoinKind,
+    parts: usize,
+) -> Result<Vec<Tuple>, ExecError> {
+    let mut inner_parts: Vec<Vec<&Tuple>> = vec![Vec::new(); parts];
+    for i in &inner.rows {
+        let key = i.key(ikeys);
+        if key.iter().any(Value::is_null) {
+            continue; // NULL keys never match; routing them is pointless
+        }
+        inner_parts[route(&key, parts)].push(i);
+    }
+    let mut outer_parts: Vec<Vec<&Tuple>> = vec![Vec::new(); parts];
+    for o in &outer.rows {
+        let key = o.key(okeys);
+        if key.iter().any(Value::is_null) {
+            continue;
+        }
+        outer_parts[route(&key, parts)].push(o);
+    }
+
+    let results: Vec<Result<Vec<Tuple>, ExecError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = outer_parts
+            .iter()
+            .zip(&inner_parts)
+            .map(|(op, ip)| s.spawn(move || hash_probe(ctx, op, ip, okeys, ikeys, pred, kind)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("hash-join partition worker panicked"))
+            .collect()
+    });
+
+    let mut rows = Vec::new();
+    for r in results {
+        rows.extend(r?);
+    }
+    Ok(rows)
 }
 
 /// True iff `rows` is already sorted by the key positions. Charges one

@@ -9,6 +9,7 @@ pub mod agg;
 pub mod bloom;
 pub mod filter;
 pub mod joins;
+pub mod parallel;
 pub mod scan;
 pub mod ship;
 pub mod sort;

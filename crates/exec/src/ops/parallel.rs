@@ -1,0 +1,113 @@
+//! Intra-query parallelism helpers: contiguous chunking for parallel
+//! scans and hash-partition routing for partitioned joins.
+//!
+//! Parallel operators must leave the cost model untouched: the ledger is
+//! charged exactly the amounts the serial operator would charge (the
+//! [`fj_storage::CostLedger`] is atomic, so workers can charge their
+//! per-row shares concurrently and the totals still reconcile with the
+//! System-R formulas). Parallelism changes wall-clock time only — never
+//! measured cost, and never the output row *multiset*.
+
+use fj_storage::Value;
+use std::hash::{Hash, Hasher};
+use std::ops::Range;
+
+/// Minimum input rows before an operator bothers fanning out; below
+/// this, thread spawn overhead dwarfs the work.
+pub const PARALLEL_ROW_THRESHOLD: usize = 1024;
+
+/// Splits `len` items into at most `threads` contiguous, near-equal
+/// ranges (never returns an empty range).
+pub fn chunk_ranges(len: usize, threads: usize) -> Vec<Range<usize>> {
+    let parts = threads.max(1).min(len.max(1));
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let size = base + usize::from(p < extra);
+        if size == 0 {
+            break;
+        }
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Runs `f` over each contiguous chunk of `items` on its own scoped
+/// thread, returning the per-chunk results in chunk order (so callers
+/// that concatenate preserve the serial row order).
+pub fn scoped_chunks<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    let ranges = chunk_ranges(items.len(), threads);
+    if ranges.len() <= 1 {
+        return vec![f(items)];
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| {
+                let slice = &items[r];
+                let f = &f;
+                s.spawn(move || f(slice))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel chunk worker panicked"))
+            .collect()
+    })
+}
+
+/// Routes a join key to one of `parts` hash partitions. Partitioning is
+/// by key hash, so every row pair that could match lands in the same
+/// partition and per-partition joins are independent.
+pub fn route(key: &[Value], parts: usize) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % parts.max(1) as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_exactly_once() {
+        for (len, threads) in [(0, 4), (1, 4), (7, 3), (100, 8), (5, 1), (3, 16)] {
+            let ranges = chunk_ranges(len, threads);
+            let mut covered = 0;
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next, "contiguous");
+                assert!(!r.is_empty(), "no empty chunks");
+                covered += r.len();
+                next = r.end;
+            }
+            assert_eq!(covered, len, "len={len} threads={threads}");
+            assert!(ranges.len() <= threads.max(1));
+        }
+    }
+
+    #[test]
+    fn scoped_chunks_preserves_order() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let chunks = scoped_chunks(&items, 4, |c| c.to_vec());
+        assert_eq!(chunks.len(), 4);
+        let flat: Vec<u64> = chunks.into_iter().flatten().collect();
+        assert_eq!(flat, items);
+    }
+
+    #[test]
+    fn route_is_stable_and_bounded() {
+        let key = vec![Value::Int(42), Value::Str("x".into())];
+        let p = route(&key, 7);
+        assert_eq!(p, route(&key, 7));
+        assert!(p < 7);
+    }
+}

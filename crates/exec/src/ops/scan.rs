@@ -2,13 +2,29 @@
 
 use crate::context::ExecCtx;
 use crate::error::ExecError;
+use crate::ops::parallel::{scoped_chunks, PARALLEL_ROW_THRESHOLD};
 use crate::physical::{maybe_qualify, Rel};
 use fj_storage::{SchemaRef, Tuple, Value};
 
+/// Copies `src` out of storage, fanning the row clones across
+/// `ctx.threads` workers for large inputs. Chunk order is preserved, so
+/// the output row order matches the serial scan exactly. No ledger
+/// charge: the caller charges the page reads.
+fn copy_rows(ctx: &ExecCtx, src: &[Tuple]) -> Vec<Tuple> {
+    if ctx.threads <= 1 || src.len() < PARALLEL_ROW_THRESHOLD {
+        return src.to_vec();
+    }
+    scoped_chunks(src, ctx.threads, |chunk| chunk.to_vec())
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
 /// Sequential scan of a base table. Charges one read per table page.
+/// With `ctx.threads > 1` the heap copy-out is chunked across workers.
 pub fn seq_scan(ctx: &ExecCtx, table: &str, alias: &str) -> Result<Rel, ExecError> {
     let t = ctx.catalog.table(table)?;
-    let rows = t.scan(&ctx.ledger).to_vec();
+    let rows = copy_rows(ctx, t.scan(&ctx.ledger));
     Ok(Rel::new(maybe_qualify(t.schema(), alias), rows))
 }
 
@@ -16,7 +32,7 @@ pub fn seq_scan(ctx: &ExecCtx, table: &str, alias: &str) -> Result<Rel, ExecErro
 pub fn temp_scan(ctx: &ExecCtx, name: &str, alias: &str) -> Result<Rel, ExecError> {
     let t = ctx.temp(name)?;
     ctx.ledger.read_pages(t.page_count());
-    Ok(Rel::new(maybe_qualify(&t.schema, alias), t.rows.as_ref().clone()))
+    Ok(Rel::new(maybe_qualify(&t.schema, alias), copy_rows(ctx, &t.rows)))
 }
 
 /// Literal rows; free.

@@ -140,22 +140,27 @@ impl Expr {
         self.binary(BinOp::Or, rhs)
     }
     /// `self + rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: Expr) -> Expr {
         self.binary(BinOp::Add, rhs)
     }
     /// `self - rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, rhs: Expr) -> Expr {
         self.binary(BinOp::Sub, rhs)
     }
     /// `self * rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: Expr) -> Expr {
         self.binary(BinOp::Mul, rhs)
     }
     /// `self / rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, rhs: Expr) -> Expr {
         self.binary(BinOp::Div, rhs)
     }
     /// `self % rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn rem(self, rhs: Expr) -> Expr {
         self.binary(BinOp::Mod, rhs)
     }

@@ -206,7 +206,7 @@ impl Optimizer {
                 continue;
             }
             let mut frontier: Vec<Entry> = Vec::new();
-            for j in 0..n {
+            for (j, leaf) in leaves.iter().enumerate() {
                 let bit = 1u64 << j;
                 if mask & bit == 0 {
                     continue;
@@ -218,7 +218,7 @@ impl Optimizer {
                 let leaf_alts = best
                     .get(&bit)
                     .cloned()
-                    .unwrap_or_else(|| vec![leaves[j].clone()]);
+                    .unwrap_or_else(|| vec![leaf.clone()]);
                 // Conjuncts first fully bound at this join.
                 let applicable: Vec<Expr> = conjuncts
                     .iter()
@@ -1325,8 +1325,10 @@ mod tests {
         let limited = Optimizer::new(Arc::clone(&cat), OptimizerConfig::default())
             .optimize(&q)
             .unwrap();
-        let mut cfg = OptimizerConfig::default();
-        cfg.allow_prefix_production = true;
+        let cfg = OptimizerConfig {
+            allow_prefix_production: true,
+            ..OptimizerConfig::default()
+        };
         let ablated = Optimizer::new(Arc::clone(&cat), cfg).optimize(&q).unwrap();
         // More candidates are costed (the O(N) factor of §3.3)...
         assert!(
@@ -1350,8 +1352,10 @@ mod tests {
     fn forced_order_with_prefix_production_still_correct() {
         let cat = Arc::new(paper_catalog());
         let q = paper_query();
-        let mut cfg = OptimizerConfig::default();
-        cfg.allow_prefix_production = true;
+        let cfg = OptimizerConfig {
+            allow_prefix_production: true,
+            ..OptimizerConfig::default()
+        };
         let opt = Optimizer::new(Arc::clone(&cat), cfg);
         let order = vec!["E".to_string(), "D".to_string(), "V".to_string()];
         let plan = opt.optimize_with_order(&q, &order).unwrap();

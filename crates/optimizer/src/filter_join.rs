@@ -992,8 +992,10 @@ mod tests {
         cat.add_remote_table(dept, SiteId(3));
         cat.set_network(fj_algebra::NetworkModel::lan());
         let mut memo = ParametricEstimator::new(4);
-        let mut params = CostParams::default();
-        params.network = fj_algebra::NetworkModel::lan();
+        let params = CostParams {
+            network: fj_algebra::NetworkModel::lan(),
+            ..CostParams::default()
+        };
         let est = PlanEstimator::new(&cat, params);
         let eplan = LogicalPlan::scan("Emp", "E");
         let (ocost, ostats) = est.cost(&eplan).unwrap();

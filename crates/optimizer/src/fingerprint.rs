@@ -1,0 +1,168 @@
+//! Canonical fingerprints for plan caching.
+//!
+//! A fingerprint digests **everything plan choice depends on**:
+//!
+//! * the catalog [`epoch`](fj_algebra::Catalog::epoch) — bumped by every
+//!   schema, statistics, or network-model mutation, so cached plans go
+//!   stale the moment their inputs do;
+//! * the logical [`JoinQuery`] down to predicate and projection
+//!   *constants* (expressions are folded in via their `Display`
+//!   rendering, which prints literal values — `age > 30` and `age > 40`
+//!   fingerprint differently);
+//! * every [`OptimizerConfig`] knob, with `f64` cost parameters hashed
+//!   bit-exactly via `to_bits`.
+//!
+//! The digest is FNV-1a over a length-prefixed field encoding, so it is
+//! deterministic across processes and Rust releases (unlike
+//! `DefaultHasher`, whose algorithm is unspecified) and free of
+//! concatenation ambiguity between adjacent string fields.
+
+use crate::enumerate::OptimizerConfig;
+use fj_algebra::JoinQuery;
+
+/// Incremental FNV-1a 64-bit digest with length-prefixed field writes.
+#[derive(Debug, Clone)]
+pub struct Digest(u64);
+
+impl Digest {
+    /// The standard FNV-1a offset basis.
+    pub fn new() -> Digest {
+        Digest(0xcbf29ce484222325)
+    }
+
+    /// Folds raw bytes into the digest.
+    pub fn bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for b in bytes {
+            self.0 ^= *b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+        self
+    }
+
+    /// Folds a `u64` (little-endian).
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Folds an `f64` bit-exactly.
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.u64(v.to_bits())
+    }
+
+    /// Folds a bool as one byte.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.bytes(&[v as u8])
+    }
+
+    /// Folds a string with a length prefix (so `"ab","c"` and
+    /// `"a","bc"` digest differently).
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.u64(s.len() as u64).bytes(s.as_bytes())
+    }
+
+    /// The final 64-bit digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Digest {
+    fn default() -> Self {
+        Digest::new()
+    }
+}
+
+/// The canonical plan-cache key for optimizing `query` against the
+/// catalog state identified by `catalog_epoch` under `config`.
+pub fn fingerprint(catalog_epoch: u64, query: &JoinQuery, config: &OptimizerConfig) -> u64 {
+    let mut d = Digest::new();
+    d.u64(catalog_epoch);
+
+    d.u64(query.from.len() as u64);
+    for item in &query.from {
+        d.str(&item.relation).str(&item.alias);
+    }
+    match &query.predicate {
+        None => d.bool(false),
+        Some(p) => d.bool(true).str(&p.to_string()),
+    };
+    match &query.projection {
+        None => d.bool(false),
+        Some(cols) => {
+            d.bool(true).u64(cols.len() as u64);
+            for (expr, name) in cols {
+                d.str(&expr.to_string()).str(name);
+            }
+            &mut d
+        }
+    };
+
+    d.bool(config.enable_filter_join)
+        .bool(config.enable_bloom)
+        .bool(config.enable_index_nl)
+        .bool(config.enable_merge_join)
+        .bool(config.filter_join_on_base)
+        .bool(config.allow_prefix_production)
+        .u64(config.eq_classes as u64)
+        .f64(config.params.cpu_weight)
+        .u64(config.params.memory_pages)
+        .f64(config.params.network.per_message)
+        .f64(config.params.network.per_byte);
+
+    d.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj_algebra::{FromItem, JoinQuery};
+    use fj_expr::{col, lit};
+
+    fn q(threshold: i64) -> JoinQuery {
+        JoinQuery::new(vec![
+            FromItem::new("emp", "E"),
+            FromItem::new("dept", "D"),
+        ])
+        .with_predicate(
+            col("E.did")
+                .eq(col("D.did"))
+                .and(col("E.sal").gt(lit(threshold))),
+        )
+    }
+
+    #[test]
+    fn identical_inputs_agree() {
+        let cfg = OptimizerConfig::default();
+        assert_eq!(fingerprint(3, &q(30), &cfg), fingerprint(3, &q(30), &cfg));
+    }
+
+    #[test]
+    fn predicate_constant_changes_key() {
+        let cfg = OptimizerConfig::default();
+        assert_ne!(fingerprint(3, &q(30), &cfg), fingerprint(3, &q(40), &cfg));
+    }
+
+    #[test]
+    fn epoch_changes_key() {
+        let cfg = OptimizerConfig::default();
+        assert_ne!(fingerprint(3, &q(30), &cfg), fingerprint(4, &q(30), &cfg));
+    }
+
+    #[test]
+    fn config_changes_key() {
+        let a = OptimizerConfig::default();
+        let b = OptimizerConfig::without_filter_join();
+        let mut c = OptimizerConfig::default();
+        c.params.cpu_weight *= 2.0;
+        assert_ne!(fingerprint(3, &q(30), &a), fingerprint(3, &q(30), &b));
+        assert_ne!(fingerprint(3, &q(30), &a), fingerprint(3, &q(30), &c));
+    }
+
+    #[test]
+    fn string_fields_are_length_prefixed() {
+        let ab_c = JoinQuery::new(vec![FromItem::new("ab", "c")]);
+        let a_bc = JoinQuery::new(vec![FromItem::new("a", "bc")]);
+        let cfg = OptimizerConfig::default();
+        assert_ne!(fingerprint(0, &ab_c, &cfg), fingerprint(0, &a_bc, &cfg));
+    }
+}

@@ -33,10 +33,12 @@ pub mod enumerate;
 pub mod error;
 pub mod estimate;
 pub mod filter_join;
+pub mod fingerprint;
 pub mod parametric;
 
 pub use cost::CostParams;
 pub use enumerate::{OptimizedPlan, Optimizer, OptimizerConfig};
+pub use fingerprint::{fingerprint, Digest};
 pub use error::OptError;
 pub use estimate::{EstStats, PlanEstimator};
 pub use filter_join::FilterJoinCost;

@@ -66,6 +66,40 @@ fn run(opt_phys: &fj_exec::PhysPlan, cat: &Arc<Catalog>) -> Vec<Tuple> {
     rows
 }
 
+/// Body of `dp_beats_every_forced_order_and_all_agree`, shared with the
+/// deterministic regression replay below.
+fn check_dp_optimality(tables: &[Vec<(i64, i64)>]) {
+    let (cat, q) = build_catalog(tables);
+    let cat = Arc::new(cat);
+    for config in [
+        OptimizerConfig::default(),
+        OptimizerConfig {
+            allow_prefix_production: true,
+            ..OptimizerConfig::default()
+        },
+    ] {
+        let opt = Optimizer::new(Arc::clone(&cat), config);
+        let global = opt.optimize(&q).expect("optimizes");
+        let reference = run(&global.phys, &cat);
+        for perm in permutations(tables.len()) {
+            let order: Vec<String> = perm.iter().map(|&i| format!("t{i}")).collect();
+            let forced = opt.optimize_with_order(&q, &order).expect("forced order plans");
+            // A whisker of tolerance: cardinality estimates are
+            // path-dependent, so equal-cost DP entries can diverge
+            // by a few CPU ops once downstream costs are added —
+            // inherent to any Selinger-style estimator.
+            assert!(
+                global.cost <= forced.cost * 1.01 + 1e-6,
+                "global {} beaten by {:?} at {}",
+                global.cost,
+                order,
+                forced.cost
+            );
+            assert_eq!(run(&forced.phys, &cat), reference.clone());
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -76,32 +110,18 @@ proptest! {
             2..4,
         ),
     ) {
-        let (cat, q) = build_catalog(&tables);
-        let cat = Arc::new(cat);
-        for config in [OptimizerConfig::default(), {
-            let mut c = OptimizerConfig::default();
-            c.allow_prefix_production = true;
-            c
-        }] {
-            let opt = Optimizer::new(Arc::clone(&cat), config);
-            let global = opt.optimize(&q).expect("optimizes");
-            let reference = run(&global.phys, &cat);
-            for perm in permutations(tables.len()) {
-                let order: Vec<String> = perm.iter().map(|&i| format!("t{i}")).collect();
-                let forced = opt.optimize_with_order(&q, &order).expect("forced order plans");
-                // A whisker of tolerance: cardinality estimates are
-                // path-dependent, so equal-cost DP entries can diverge
-                // by a few CPU ops once downstream costs are added —
-                // inherent to any Selinger-style estimator.
-                prop_assert!(
-                    global.cost <= forced.cost * 1.01 + 1e-6,
-                    "global {} beaten by {:?} at {}",
-                    global.cost, order, forced.cost
-                );
-                prop_assert_eq!(run(&forced.phys, &cat), reference.clone());
-            }
-        }
+        check_dp_optimality(&tables);
     }
+}
+
+/// Deterministic replay of the shrunk input committed in
+/// `dp_optimality.proptest-regressions`
+/// (`tables = [[(0, 0)], [(0, 2), (1, 0)], [(0, 0)]]`). The vendored
+/// proptest shim does not consult regression files, so the historical
+/// failure is pinned here directly.
+#[test]
+fn dp_optimality_regression_seed() {
+    check_dp_optimality(&[vec![(0, 0)], vec![(0, 2), (1, 0)], vec![(0, 0)]]);
 }
 
 #[test]

@@ -1,0 +1,49 @@
+//! # fj-runtime
+//!
+//! A concurrent query service over the `filterjoin` engine: the layer
+//! that turns the paper's single-shot optimize-and-execute pipeline
+//! into a long-running, multi-client runtime.
+//!
+//! * [`QueryService`] — a fixed-size worker pool draining a **bounded
+//!   submission queue**; a full queue blocks submitters (backpressure)
+//!   rather than buffering without limit.
+//! * [`PlanCache`] — optimized plans keyed by the canonical
+//!   [`fj_optimizer::fingerprint`] of (catalog epoch, logical query,
+//!   optimizer config), with hit/miss accounting. Catalog mutations
+//!   bump the epoch, so a stale plan can never be served.
+//! * **Intra-query parallelism** — each worker can execute its query
+//!   with parallel heap scans and hash-partitioned joins
+//!   (`fj_exec::ops::parallel`); the atomic cost ledger keeps measured
+//!   charges identical to serial execution.
+//! * [`RuntimeMetrics`] — per-query latency histogram, throughput,
+//!   cache hit rate, and queue depth.
+//!
+//! ```
+//! use fj_algebra::fixtures::{paper_catalog, paper_query};
+//! use fj_runtime::{QueryService, ServiceConfig};
+//!
+//! // One worker makes the cache accounting deterministic here; real
+//! // deployments use several (the default is 4).
+//! let config = ServiceConfig { workers: 1, ..ServiceConfig::default() };
+//! let service = QueryService::start(paper_catalog(), config);
+//! let tickets: Vec<_> = (0..8)
+//!     .map(|_| service.submit(paper_query()).unwrap())
+//!     .collect();
+//! for t in tickets {
+//!     assert_eq!(t.wait().unwrap().rows.len(), 2);
+//! }
+//! let m = service.metrics();
+//! assert_eq!(m.completed, 8);
+//! assert_eq!(m.cache_hits, 7); // first execution optimizes, the rest hit
+//! service.shutdown();
+//! ```
+
+pub mod cache;
+pub mod metrics;
+pub mod queue;
+pub mod service;
+
+pub use cache::{CacheStats, PlanCache};
+pub use metrics::{LatencyHistogram, MetricsRecorder, RuntimeMetrics, LATENCY_BUCKETS};
+pub use queue::{BoundedQueue, PushError};
+pub use service::{QueryService, RuntimeError, ServiceConfig, Ticket};

@@ -1,0 +1,191 @@
+//! Runtime metrics: per-query latency histogram, throughput, cache hit
+//! rate, and queue depth.
+//!
+//! All counters are atomics updated by worker threads with `Relaxed`
+//! ordering (they are statistics, not synchronization), matching the
+//! cost ledger's accounting discipline. The latency histogram uses
+//! power-of-two microsecond buckets: bucket *i* covers
+//! `[2^i, 2^(i+1))` µs, so quantile estimates are upper bounds accurate
+//! to a factor of two — plenty for the throughput bench's speedup
+//! comparisons.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets (covers up to ~2^40 µs ≈ 12
+/// days; the last bucket absorbs anything longer).
+pub const LATENCY_BUCKETS: usize = 40;
+
+/// Live counters shared by the workers (interior; see
+/// [`RuntimeMetrics`] for the snapshot type).
+#[derive(Debug)]
+pub struct MetricsRecorder {
+    completed: AtomicU64,
+    errors: AtomicU64,
+    latency_sum_micros: AtomicU64,
+    latency_max_micros: AtomicU64,
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for MetricsRecorder {
+    fn default() -> Self {
+        MetricsRecorder {
+            completed: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latency_sum_micros: AtomicU64::new(0),
+            latency_max_micros: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+fn bucket_of(micros: u64) -> usize {
+    (63 - micros.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1)
+}
+
+impl MetricsRecorder {
+    /// Records one finished query (successful or not).
+    pub fn record(&self, latency: Duration, ok: bool) {
+        let us = latency.as_micros() as u64;
+        if ok {
+            self.completed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latency_sum_micros.fetch_add(us, Ordering::Relaxed);
+        self.latency_max_micros.fetch_max(us, Ordering::Relaxed);
+        self.buckets[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the histogram counters.
+    pub fn histogram(&self) -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            sum_micros: self.latency_sum_micros.load(Ordering::Relaxed),
+            max_micros: self.latency_max_micros.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Successfully completed queries.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Failed queries.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+}
+
+/// Power-of-two latency histogram snapshot.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    /// `buckets[i]` = queries with latency in `[2^i, 2^(i+1))` µs.
+    pub buckets: [u64; LATENCY_BUCKETS],
+    /// Sum of all recorded latencies, µs.
+    pub sum_micros: u64,
+    /// Largest recorded latency, µs.
+    pub max_micros: u64,
+}
+
+impl LatencyHistogram {
+    /// Total recorded queries.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean latency in µs (0 when empty).
+    pub fn mean_micros(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_micros as f64 / n as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing quantile `q` (0 < q ≤ 1);
+    /// accurate to a factor of two. Returns 0 when empty.
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return 1u64 << (i + 1);
+            }
+        }
+        self.max_micros
+    }
+}
+
+/// One observable snapshot of the whole service, from
+/// `QueryService::metrics`.
+#[derive(Debug, Clone)]
+pub struct RuntimeMetrics {
+    /// Successfully completed queries since service start.
+    pub completed: u64,
+    /// Queries that returned an error.
+    pub errors: u64,
+    /// Plan-cache hits.
+    pub cache_hits: u64,
+    /// Plan-cache misses.
+    pub cache_misses: u64,
+    /// `cache_hits / (cache_hits + cache_misses)`; 0 when unused.
+    pub cache_hit_rate: f64,
+    /// Plans currently cached.
+    pub cache_entries: usize,
+    /// Jobs waiting in the submission queue right now.
+    pub queue_depth: usize,
+    /// Wall-clock seconds since the service started.
+    pub uptime_secs: f64,
+    /// `completed / uptime` — queries per second since start.
+    pub throughput_qps: f64,
+    /// Latency distribution of finished queries.
+    pub latency: LatencyHistogram,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), LATENCY_BUCKETS - 1);
+    }
+
+    #[test]
+    fn record_and_summarize() {
+        let m = MetricsRecorder::default();
+        m.record(Duration::from_micros(10), true);
+        m.record(Duration::from_micros(100), true);
+        m.record(Duration::from_micros(1000), false);
+        assert_eq!(m.completed(), 2);
+        assert_eq!(m.errors(), 1);
+        let h = m.histogram();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum_micros, 1110);
+        assert_eq!(h.max_micros, 1000);
+        assert!((h.mean_micros() - 370.0).abs() < 1e-9);
+        // p50 falls in the 100µs bucket: [64,128) → upper bound 128.
+        assert_eq!(h.quantile_micros(0.5), 128);
+        assert!(h.quantile_micros(1.0) >= 1024);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = MetricsRecorder::default().histogram();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_micros(), 0.0);
+        assert_eq!(h.quantile_micros(0.5), 0);
+    }
+}

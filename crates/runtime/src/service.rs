@@ -1,0 +1,340 @@
+//! The concurrent query service: a fixed worker pool draining a bounded
+//! submission queue, executing against an immutable shared catalog
+//! snapshot with a fingerprint-keyed plan cache.
+//!
+//! Concurrency model (see `DESIGN.md`, "Runtime & concurrency model"):
+//!
+//! * the catalog snapshot is an `Arc<Catalog>` behind an `RwLock` — a
+//!   worker clones the `Arc` once per query, so queries in flight keep
+//!   executing against the snapshot they started with even while a new
+//!   catalog is installed;
+//! * plans are cached under the [`fj_optimizer::fingerprint`] of
+//!   (catalog epoch, query, optimizer config) — installing a catalog
+//!   bumps the epoch, so stale plans can never be served;
+//! * the cost ledger is per-query (a fresh [`ExecCtx`] per job), so
+//!   measured charges reconcile with the System-R formulas exactly as
+//!   in serial execution, even with intra-query parallel operators
+//!   charging from several threads.
+
+use crate::cache::PlanCache;
+use crate::metrics::{MetricsRecorder, RuntimeMetrics};
+use crate::queue::{BoundedQueue, PushError};
+use fj_algebra::{Catalog, JoinQuery};
+use fj_core::QueryResult;
+use fj_exec::ExecCtx;
+use fj_optimizer::{fingerprint, OptError, Optimizer, OptimizerConfig};
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Service-level failures (distinct from per-query optimizer/executor
+/// errors, which arrive as [`RuntimeError::Query`]).
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// The optimizer or executor rejected the query.
+    Query(OptError),
+    /// `try_submit` found the queue at capacity.
+    QueueFull,
+    /// The service is shutting down and accepts no new queries.
+    ShuttingDown,
+    /// The worker executing this query disappeared (it panicked).
+    WorkerLost,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Query(e) => write!(f, "query failed: {e}"),
+            RuntimeError::QueueFull => write!(f, "submission queue is full"),
+            RuntimeError::ShuttingDown => write!(f, "query service is shutting down"),
+            RuntimeError::WorkerLost => write!(f, "worker thread lost before replying"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<OptError> for RuntimeError {
+    fn from(e: OptError) -> Self {
+        RuntimeError::Query(e)
+    }
+}
+
+/// Tuning knobs for [`QueryService::start`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads draining the submission queue (inter-query
+    /// parallelism). Clamped to ≥1.
+    pub workers: usize,
+    /// Bounded submission-queue capacity; a full queue blocks
+    /// `submit` (backpressure) and fails `try_submit`.
+    pub queue_capacity: usize,
+    /// Threads each query may use internally (parallel scans and
+    /// partitioned hash joins). 1 = serial operators.
+    pub intra_query_threads: usize,
+    /// Executor buffer memory in pages (the cost model's `M`).
+    pub memory_pages: u64,
+    /// Plan-cache capacity in plans.
+    pub plan_cache_capacity: usize,
+    /// Default optimizer configuration for submitted queries.
+    pub optimizer: OptimizerConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 64,
+            intra_query_threads: 1,
+            memory_pages: fj_exec::context::DEFAULT_MEMORY_PAGES,
+            plan_cache_capacity: 1024,
+            optimizer: OptimizerConfig::default(),
+        }
+    }
+}
+
+struct Job {
+    query: JoinQuery,
+    config: OptimizerConfig,
+    reply: mpsc::Sender<Result<QueryResult, RuntimeError>>,
+}
+
+struct Shared {
+    queue: BoundedQueue<Job>,
+    catalog: RwLock<Arc<Catalog>>,
+    cache: PlanCache,
+    metrics: MetricsRecorder,
+    in_flight: AtomicUsize,
+    cfg: ServiceConfig,
+    started: Instant,
+}
+
+impl Shared {
+    fn snapshot(&self) -> Arc<Catalog> {
+        Arc::clone(&self.catalog.read().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+/// A pending query: redeem with [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<QueryResult, RuntimeError>>,
+}
+
+impl Ticket {
+    /// Blocks until the worker finishes this query.
+    pub fn wait(self) -> Result<QueryResult, RuntimeError> {
+        self.rx.recv().unwrap_or(Err(RuntimeError::WorkerLost))
+    }
+}
+
+/// The concurrent query service; see the module docs.
+pub struct QueryService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl fmt::Debug for QueryService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QueryService")
+            .field("workers", &self.workers.len())
+            .field("queue_depth", &self.shared.queue.len())
+            .finish()
+    }
+}
+
+impl QueryService {
+    /// Starts the worker pool over `catalog`.
+    pub fn start(catalog: Catalog, config: ServiceConfig) -> QueryService {
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_capacity),
+            catalog: RwLock::new(Arc::new(catalog)),
+            cache: PlanCache::new(config.plan_cache_capacity),
+            metrics: MetricsRecorder::default(),
+            in_flight: AtomicUsize::new(0),
+            cfg: config.clone(),
+            started: Instant::now(),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("fj-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn query-service worker")
+            })
+            .collect();
+        QueryService { shared, workers }
+    }
+
+    /// Enqueues a query under the service's default optimizer config.
+    /// Blocks while the queue is full — that is the backpressure.
+    pub fn submit(&self, query: JoinQuery) -> Result<Ticket, RuntimeError> {
+        self.submit_with_config(query, self.shared.cfg.optimizer)
+    }
+
+    /// Enqueues under an overridden optimizer config (cached separately:
+    /// the config is part of the plan fingerprint).
+    pub fn submit_with_config(
+        &self,
+        query: JoinQuery,
+        config: OptimizerConfig,
+    ) -> Result<Ticket, RuntimeError> {
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            query,
+            config,
+            reply: tx,
+        };
+        match self.shared.queue.push(job) {
+            Ok(()) => Ok(Ticket { rx }),
+            Err(_) => Err(RuntimeError::ShuttingDown),
+        }
+    }
+
+    /// Non-blocking submit: fails with [`RuntimeError::QueueFull`]
+    /// instead of applying backpressure.
+    pub fn try_submit(&self, query: JoinQuery) -> Result<Ticket, RuntimeError> {
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            query,
+            config: self.shared.cfg.optimizer,
+            reply: tx,
+        };
+        match self.shared.queue.try_push(job) {
+            Ok(()) => Ok(Ticket { rx }),
+            Err(PushError::Full) => Err(RuntimeError::QueueFull),
+            Err(PushError::Closed) => Err(RuntimeError::ShuttingDown),
+        }
+    }
+
+    /// Submit + wait: the synchronous convenience path.
+    pub fn execute(&self, query: JoinQuery) -> Result<QueryResult, RuntimeError> {
+        self.submit(query)?.wait()
+    }
+
+    /// Atomically installs a new catalog snapshot. Queries already
+    /// executing finish against the snapshot they started with; the
+    /// plan cache is cleared (its keys are dead anyway — the epoch is
+    /// part of every fingerprint).
+    pub fn install_catalog(&self, catalog: Catalog) {
+        *self
+            .shared
+            .catalog
+            .write()
+            .unwrap_or_else(|e| e.into_inner()) = Arc::new(catalog);
+        self.shared.cache.clear();
+    }
+
+    /// The current catalog snapshot (as queries would see it).
+    pub fn catalog(&self) -> Arc<Catalog> {
+        self.shared.snapshot()
+    }
+
+    /// Live service metrics.
+    pub fn metrics(&self) -> RuntimeMetrics {
+        let cache = self.shared.cache.stats();
+        let uptime = self.shared.started.elapsed().as_secs_f64();
+        let completed = self.shared.metrics.completed();
+        RuntimeMetrics {
+            completed,
+            errors: self.shared.metrics.errors(),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_hit_rate: cache.hit_rate(),
+            cache_entries: cache.entries,
+            queue_depth: self.shared.queue.len()
+                + self.shared.in_flight.load(Ordering::Relaxed),
+            uptime_secs: uptime,
+            throughput_qps: if uptime > 0.0 {
+                completed as f64 / uptime
+            } else {
+                0.0
+            },
+            latency: self.shared.metrics.histogram(),
+        }
+    }
+
+    /// Stops accepting new queries, drains the queue, and joins the
+    /// workers. Every accepted query still gets its reply.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.shared.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        shared.in_flight.fetch_add(1, Ordering::Relaxed);
+        let t0 = Instant::now();
+        let result = execute_job(shared, &job.query, job.config);
+        let latency = t0.elapsed();
+        shared.metrics.record(latency, result.is_ok());
+        shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+        let result = result.map(|mut r| {
+            r.latency_micros = latency.as_micros() as u64;
+            r
+        });
+        // A dropped ticket just means the submitter stopped caring.
+        let _ = job.reply.send(result);
+    }
+}
+
+/// Optimize (through the cache) + execute one query against the current
+/// snapshot. Mirrors `Database::execute_with_config`, with the catalog
+/// shared instead of cloned per call.
+fn execute_job(
+    shared: &Shared,
+    query: &JoinQuery,
+    config: OptimizerConfig,
+) -> Result<QueryResult, RuntimeError> {
+    let catalog = shared.snapshot();
+    let key = fingerprint(catalog.epoch(), query, &config);
+    let (plan, cache_hit) = match shared.cache.get(key) {
+        Some(plan) => (plan, true),
+        None => {
+            let plan = Arc::new(Optimizer::new(Arc::clone(&catalog), config).optimize(query)?);
+            shared.cache.insert(key, Arc::clone(&plan));
+            (plan, false)
+        }
+    };
+
+    let ctx = ExecCtx::new(catalog)
+        .with_memory_pages(shared.cfg.memory_pages)
+        .with_threads(shared.cfg.intra_query_threads);
+    let before = ctx.ledger.snapshot();
+    let rel = plan.phys.execute(&ctx).map_err(OptError::from)?;
+    let charges = ctx.ledger.snapshot().delta(&before);
+    let measured_cost = charges.weighted(
+        config.params.cpu_weight,
+        config.params.network.per_byte,
+        config.params.network.per_message,
+    );
+    Ok(QueryResult {
+        schema: rel.schema,
+        rows: rel.rows,
+        charges,
+        measured_cost,
+        estimated_cost: Some(plan.cost),
+        plan: plan.phys.clone(),
+        order: plan.order.clone(),
+        sips: plan.sips.clone(),
+        filter_join_costs: plan.filter_join_costs.clone(),
+        cache_hit,
+        latency_micros: 0,
+    })
+}

@@ -1,0 +1,273 @@
+//! Integration tests for the concurrent query service: concurrent
+//! correctness vs serial execution, plan-cache semantics, catalog
+//! invalidation, and ledger reconciliation under intra-query
+//! parallelism.
+
+use fj_algebra::fixtures::{paper_catalog, paper_query};
+use fj_algebra::{Catalog, FromItem, JoinQuery};
+use fj_core::Database;
+use fj_expr::{col, lit};
+use fj_runtime::{QueryService, RuntimeError, ServiceConfig};
+use fj_storage::{DataType, TableBuilder, Tuple};
+
+fn sorted(mut rows: Vec<Tuple>) -> Vec<Tuple> {
+    rows.sort();
+    rows
+}
+
+/// The paper query with a tweakable age threshold, so distinct
+/// constants yield distinct queries (and distinct fingerprints).
+fn query_with_age(age: i64) -> JoinQuery {
+    JoinQuery::new(vec![
+        FromItem::new("Emp", "E"),
+        FromItem::new("Dept", "D"),
+        FromItem::new("DepAvgSal", "V"),
+    ])
+    .with_predicate(
+        col("E.did")
+            .eq(col("D.did"))
+            .and(col("E.did").eq(col("V.did")))
+            .and(col("E.sal").gt(col("V.avgsal")))
+            .and(col("E.age").lt(lit(age))),
+    )
+}
+
+#[test]
+fn sixty_four_concurrent_queries_match_serial() {
+    // 8 distinct queries × 8 repetitions = 64 in-flight submissions
+    // through a queue of 16 (so submit() also exercises backpressure),
+    // drained by 4 workers.
+    let service = QueryService::start(
+        paper_catalog(),
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 16,
+            ..ServiceConfig::default()
+        },
+    );
+    let serial = Database::with_catalog(paper_catalog());
+    let ages: Vec<i64> = (0..8).map(|i| 24 + i).collect();
+    let expected: Vec<Vec<Tuple>> = ages
+        .iter()
+        .map(|&a| sorted(serial.execute(&query_with_age(a)).unwrap().rows))
+        .collect();
+
+    let tickets: Vec<(usize, fj_runtime::Ticket)> = (0..64)
+        .map(|i| {
+            let which = i % ages.len();
+            (which, service.submit(query_with_age(ages[which])).unwrap())
+        })
+        .collect();
+    for (which, ticket) in tickets {
+        let result = ticket.wait().unwrap();
+        assert_eq!(
+            sorted(result.rows),
+            expected[which],
+            "query variant {which} diverged from serial execution"
+        );
+    }
+
+    let m = service.metrics();
+    assert_eq!(m.completed, 64);
+    assert_eq!(m.errors, 0);
+    assert!(
+        m.cache_hits > 0,
+        "64 submissions of 8 distinct queries must hit the plan cache"
+    );
+    assert_eq!(m.latency.count(), 64);
+    assert!(m.throughput_qps > 0.0);
+    service.shutdown();
+}
+
+#[test]
+fn cache_hit_returns_identical_plan_and_cost() {
+    let service = QueryService::start(
+        paper_catalog(),
+        ServiceConfig {
+            workers: 1, // deterministic hit/miss sequence
+            ..ServiceConfig::default()
+        },
+    );
+    let first = service.execute(paper_query()).unwrap();
+    let second = service.execute(paper_query()).unwrap();
+    assert!(!first.cache_hit);
+    assert!(second.cache_hit);
+    assert_eq!(first.estimated_cost, second.estimated_cost);
+    assert_eq!(first.order, second.order);
+    assert_eq!(
+        format!("{:?}", first.plan),
+        format!("{:?}", second.plan),
+        "cached plan must be the very plan the first optimization chose"
+    );
+    assert_eq!(sorted(first.rows), sorted(second.rows));
+    assert!(second.latency_micros > 0);
+
+    let m = service.metrics();
+    assert_eq!((m.cache_hits, m.cache_misses), (1, 1));
+    assert!((m.cache_hit_rate - 0.5).abs() < 1e-12);
+    service.shutdown();
+}
+
+#[test]
+fn catalog_install_invalidates_cached_plans() {
+    let service = QueryService::start(
+        paper_catalog(),
+        ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        },
+    );
+    let before = service.execute(paper_query()).unwrap();
+    assert!(!before.cache_hit);
+    assert!(service.execute(paper_query()).unwrap().cache_hit);
+
+    // Install a catalog whose Emp stats/contents differ (a new table
+    // registration bumps the epoch): the cached plan must not be
+    // served, and results must reflect the new data.
+    let mut changed = paper_catalog();
+    changed.add_table(
+        TableBuilder::new("Emp")
+            .column("eid", DataType::Int)
+            .column("did", DataType::Int)
+            .column("sal", DataType::Double)
+            .column("age", DataType::Int)
+            .row(vec![1.into(), 10.into(), 9000.0.into(), 25.into()])
+            .build()
+            .unwrap()
+            .into_ref(),
+    );
+    service.install_catalog(changed.clone());
+
+    let after = service.execute(paper_query()).unwrap();
+    assert!(
+        !after.cache_hit,
+        "catalog install must invalidate the plan cache"
+    );
+    let serial = Database::with_catalog(changed).execute(&paper_query()).unwrap();
+    let serial_rows = sorted(serial.rows);
+    assert_eq!(sorted(after.rows), serial_rows);
+    assert_ne!(sorted(before.rows.clone()), serial_rows);
+    service.shutdown();
+}
+
+#[test]
+fn fingerprint_distinguishes_predicate_constants() {
+    let service = QueryService::start(
+        paper_catalog(),
+        ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        },
+    );
+    let young = service.execute(query_with_age(25)).unwrap();
+    let older = service.execute(query_with_age(65)).unwrap();
+    assert!(
+        !older.cache_hit,
+        "queries differing only in a predicate constant must not share a plan-cache entry"
+    );
+    assert!(
+        young.rows.len() < older.rows.len(),
+        "different constants must reach execution (not a stale cached result)"
+    );
+    service.shutdown();
+}
+
+#[test]
+fn try_submit_reports_queue_full_or_executes() {
+    // Deterministic part of the backpressure contract: try_submit never
+    // blocks, and every accepted ticket resolves. (Blocking-push
+    // semantics are unit-tested on BoundedQueue directly.)
+    let service = QueryService::start(
+        paper_catalog(),
+        ServiceConfig {
+            workers: 1,
+            queue_capacity: 2,
+            ..ServiceConfig::default()
+        },
+    );
+    let mut accepted = Vec::new();
+    let mut full = 0;
+    for _ in 0..50 {
+        match service.try_submit(paper_query()) {
+            Ok(t) => accepted.push(t),
+            Err(RuntimeError::QueueFull) => full += 1,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(!accepted.is_empty());
+    for t in accepted {
+        assert_eq!(t.wait().unwrap().rows.len(), 2);
+    }
+    // Not asserting full > 0: with a fast worker the queue may never
+    // saturate; the assertion is that QueueFull is the only overflow.
+    let _ = full;
+    service.shutdown();
+}
+
+#[test]
+fn shutdown_completes_accepted_queries() {
+    let service = QueryService::start(
+        paper_catalog(),
+        ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+    );
+    let tickets: Vec<_> = (0..16)
+        .map(|_| service.submit(paper_query()).unwrap())
+        .collect();
+    service.shutdown();
+    for t in tickets {
+        assert_eq!(t.wait().unwrap().rows.len(), 2, "accepted query must complete");
+    }
+}
+
+/// A two-table equijoin large enough to cross the parallel-operator
+/// row threshold (1024) in both scan and hash-join inputs.
+fn big_catalog_and_query(rows: i64) -> (Catalog, JoinQuery) {
+    let mut cat = Catalog::new();
+    cat.add_table(
+        TableBuilder::new("L")
+            .column("k", DataType::Int)
+            .column("v", DataType::Int)
+            .rows((0..rows).map(|i| vec![(i % 97).into(), i.into()]))
+            .build()
+            .unwrap()
+            .into_ref(),
+    );
+    cat.add_table(
+        TableBuilder::new("R")
+            .column("k", DataType::Int)
+            .column("w", DataType::Int)
+            .rows((0..rows).map(|i| vec![(i % 89).into(), (-i).into()]))
+            .build()
+            .unwrap()
+            .into_ref(),
+    );
+    let q = JoinQuery::new(vec![FromItem::new("L", "A"), FromItem::new("R", "B")])
+        .with_predicate(col("A.k").eq(col("B.k")));
+    (cat, q)
+}
+
+#[test]
+fn parallel_execution_preserves_rows_and_ledger_charges() {
+    let (cat, q) = big_catalog_and_query(3000);
+    let serial = Database::with_catalog(cat.clone()).execute(&q).unwrap();
+
+    let service = QueryService::start(
+        cat,
+        ServiceConfig {
+            workers: 1,
+            intra_query_threads: 4,
+            ..ServiceConfig::default()
+        },
+    );
+    let parallel = service.execute(q).unwrap();
+    assert_eq!(sorted(parallel.rows.clone()), sorted(serial.rows));
+    assert_eq!(
+        parallel.charges, serial.charges,
+        "intra-query parallelism must not change measured ledger charges"
+    );
+    assert_eq!(parallel.measured_cost, serial.measured_cost);
+    service.shutdown();
+}

@@ -203,4 +203,46 @@ mod tests {
         h.join().unwrap();
         assert_eq!(l.snapshot().page_reads, 10);
     }
+
+    /// The charge totals two concurrently charging threads produce must
+    /// reconcile exactly with the serial sum — the property that lets
+    /// parallel operators keep measured costs identical to the System-R
+    /// formulas (no charge may be lost to a data race).
+    #[test]
+    fn two_thread_charges_reconcile_exactly() {
+        const PER_THREAD: u64 = 10_000;
+        let l = CostLedger::new();
+        let before = l.snapshot();
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let l = Arc::clone(&l);
+                std::thread::spawn(move || {
+                    for _ in 0..PER_THREAD {
+                        l.read_pages(1);
+                        l.write_pages(2);
+                        l.tuple_ops(3);
+                        l.ship(4);
+                        l.udf_call();
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let d = l.snapshot().delta(&before);
+        assert_eq!(d.page_reads, 2 * PER_THREAD);
+        assert_eq!(d.page_writes, 4 * PER_THREAD);
+        assert_eq!(d.tuple_ops, 6 * PER_THREAD);
+        assert_eq!(d.bytes_shipped, 8 * PER_THREAD);
+        assert_eq!(d.messages, 2 * PER_THREAD);
+        assert_eq!(d.udf_calls, 2 * PER_THREAD);
+        // And the weighted scalar cost equals the serial formula.
+        let weighted = d.weighted(CPU_WEIGHT_DEFAULT, 0.001, 1.0);
+        let serial = (2.0 + 4.0) * PER_THREAD as f64
+            + CPU_WEIGHT_DEFAULT * 6.0 * PER_THREAD as f64
+            + 0.001 * 8.0 * PER_THREAD as f64
+            + 1.0 * 2.0 * PER_THREAD as f64;
+        assert!((weighted - serial).abs() < 1e-6);
+    }
 }

@@ -288,7 +288,7 @@ mod tests {
 
     #[test]
     fn null_sorts_first() {
-        let mut vals = vec![Value::Int(3), Value::Null, Value::Int(-1)];
+        let mut vals = [Value::Int(3), Value::Null, Value::Int(-1)];
         vals.sort();
         assert_eq!(vals[0], Value::Null);
     }
@@ -312,7 +312,7 @@ mod tests {
 
     #[test]
     fn double_total_order_handles_nan() {
-        let mut vals = vec![
+        let mut vals = [
             Value::Double(f64::NAN),
             Value::Double(1.0),
             Value::Double(f64::NEG_INFINITY),

@@ -19,3 +19,8 @@
 //! ```
 
 pub use fj_core::*;
+
+/// The concurrent query-service runtime: worker pool, plan cache,
+/// intra-query parallelism, and metrics. See [`fj_runtime`].
+pub use fj_runtime;
+pub use fj_runtime::{QueryService, RuntimeMetrics, ServiceConfig};

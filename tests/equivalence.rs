@@ -129,6 +129,14 @@ proptest! {
         rows in prop::collection::vec((0i64..10, 0i64..100), 1..50),
         threshold in 0i64..100,
     ) {
+        check_spj_view_magic(&rows, threshold);
+    }
+}
+
+/// Body of `spj_view_magic_equivalence`, shared with the deterministic
+/// regression replay below.
+fn check_spj_view_magic(rows: &[(i64, i64)], threshold: i64) {
+    {
         let mut cat = Catalog::new();
         cat.add_table(
             TableBuilder::new("T")
@@ -162,6 +170,15 @@ proptest! {
         let optimized = sorted(db.execute(&q).unwrap().rows);
         prop_assert_eq!(&naive, &optimized);
     }
+}
+
+/// Deterministic replay of the shrunk input committed in
+/// `tests/equivalence.proptest-regressions` (`rows = [(3, 0), (3, 21)],
+/// threshold = 1`). The vendored proptest shim does not consult
+/// regression files, so the historical failure is pinned here directly.
+#[test]
+fn spj_view_magic_equivalence_regression_seed() {
+    check_spj_view_magic(&[(3, 0), (3, 21)], 1);
 }
 
 /// Aggregate semantics survive the rewriting even with multiple

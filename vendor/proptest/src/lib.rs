@@ -1,0 +1,284 @@
+//! Offline drop-in shim for the `proptest` API subset this workspace's
+//! property tests use: the `proptest!` macro with
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`, strategies
+//! built from numeric ranges, tuples, `prop::collection::vec` and
+//! `prop::option::of`, and the `prop_assert!`/`prop_assert_eq!`
+//! macros.
+//!
+//! Unlike upstream proptest there is **no shrinking and no failure
+//! persistence**: every test derives a deterministic seed from its own
+//! name, so any failure reproduces exactly by re-running the test, and
+//! the committed `*.proptest-regressions` files are not consulted.
+//! Vendored because the build environment has no crates.io access.
+
+use std::ops::Range;
+
+/// Test-case generation settings.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic SplitMix64 generator driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded from a test-name hash.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn usize_in(&mut self, range: &Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty size range");
+        range.start + (self.next_u64() as usize) % (range.end - range.start)
+    }
+}
+
+/// FNV-1a hash of a test name, used as its deterministic seed.
+pub fn seed_of(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A generator of values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                ((self.start as i128) + ((rng.next_u64() as u128 % span) as i128)) as $t
+            }
+        }
+    )*};
+}
+impl_strategy_int_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($s:ident/$i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_tuple! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+}
+
+/// Strategy combinators, mirroring the `proptest::prop` module tree.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Generates `Vec`s whose length is uniform in `size` and whose
+        /// elements come from `element`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        /// See [`vec`].
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let n = rng.usize_in(&self.size);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Option strategies.
+    pub mod option {
+        use super::super::{Strategy, TestRng};
+
+        /// Generates `None` about a quarter of the time, else
+        /// `Some(inner)` — matching upstream's default `None` weight.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        /// See [`of`].
+        #[derive(Debug, Clone)]
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                if rng.next_u64().is_multiple_of(4) {
+                    None
+                } else {
+                    Some(self.inner.generate(rng))
+                }
+            }
+        }
+    }
+}
+
+/// Asserts inside a property body (plain `assert!`: no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (@cfg $cfg:expr;) => {};
+    (@cfg $cfg:expr;
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::new($crate::seed_of(concat!(
+                module_path!(), "::", stringify!($name)
+            )));
+            for __case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_items!(@cfg $cfg; $($rest)*);
+    };
+}
+
+/// The `proptest!` block: expands each contained `fn name(arg in
+/// strategy, ...) { body }` into a `#[test]` running `cases` generated
+/// inputs with a deterministic per-test seed.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(@cfg $cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(@cfg $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// One-stop import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, proptest, seed_of, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges and collections respect their bounds.
+        #[test]
+        fn vec_strategy_obeys_bounds(
+            v in prop::collection::vec((0i64..5, 10i64..20), 1..8),
+            x in 0usize..3,
+        ) {
+            prop_assert!((1..8).contains(&v.len()));
+            for (a, b) in &v {
+                prop_assert!((0..5).contains(a));
+                prop_assert!((10..20).contains(b));
+            }
+            prop_assert!(x < 3);
+        }
+
+        #[test]
+        fn option_strategy_mixes(o in prop::collection::vec(prop::option::of(0i64..4), 64..65)) {
+            let nones = o.iter().filter(|v| v.is_none()).count();
+            prop_assert!(nones > 0, "expected some Nones in 64 draws");
+            prop_assert!(nones < 64, "expected some Somes in 64 draws");
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        assert_eq!(seed_of("a"), seed_of("a"));
+        assert_ne!(seed_of("a"), seed_of("b"));
+    }
+
+    #[test]
+    fn float_range_in_bounds() {
+        let mut rng = TestRng::new(9);
+        for _ in 0..100 {
+            let v = (1.5f64..2.5).generate(&mut rng);
+            assert!((1.5..2.5).contains(&v));
+        }
+    }
+}

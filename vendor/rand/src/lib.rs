@@ -1,0 +1,139 @@
+//! Offline drop-in shim for the `rand` 0.8 API subset this workspace
+//! uses: `StdRng::seed_from_u64`, `Rng::gen_range` over half-open
+//! ranges, and `Rng::gen_bool`. The generator is SplitMix64 — not
+//! cryptographic, but deterministic per seed, which is all the
+//! workload generators and examples need. Vendored because the build
+//! environment has no crates.io access.
+
+use std::ops::Range;
+
+/// Core trait: a source of uniform 64-bit values.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction (the only constructor the workspace uses).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// A uniform draw from `[lo, hi)`.
+    fn sample_half_open(rng: &mut dyn FnMut() -> u64, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(rng: &mut dyn FnMut() -> u64, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                ((lo as i128) + ((rng() as u128 % span) as i128)) as $t
+            }
+        }
+    )*};
+}
+impl_sample_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleUniform for f64 {
+    fn sample_half_open(rng: &mut dyn FnMut() -> u64, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range: empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + (hi - lo) * unit
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open(rng: &mut dyn FnMut() -> u64, lo: Self, hi: Self) -> Self {
+        f64::sample_half_open(rng, lo as f64, hi as f64) as f32
+    }
+}
+
+/// The user-facing sampling interface, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform draw from the half-open range `lo..hi`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        let mut f = || self.next_u64();
+        T::sample_half_open(&mut f, range.start, range.end)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        ((self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `rand`'s
+    /// `StdRng` (the workspace only relies on determinism-per-seed, not
+    /// on matching upstream byte streams).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0i64..1000), b.gen_range(0i64..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.gen_range(5i64..9);
+            assert!((5..9).contains(&v));
+            let f = r.gen_range(1.5f64..2.5);
+            assert!((1.5..2.5).contains(&f));
+            let u = r.gen_range(0usize..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(2);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+        let trues = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((1_500..3_500).contains(&trues), "p=0.25 gave {trues}/10000");
+    }
+}
