@@ -231,9 +231,7 @@ impl Catalog {
     pub fn resolve(&self, name: &str) -> Result<RelationKind, AlgebraError> {
         if let Some(t) = self.tables.get(name) {
             return Ok(match self.table_sites.get(name) {
-                Some(site) if *site != SiteId::LOCAL => {
-                    RelationKind::Remote(Arc::clone(t), *site)
-                }
+                Some(site) if *site != SiteId::LOCAL => RelationKind::Remote(Arc::clone(t), *site),
                 _ => RelationKind::Base(Arc::clone(t)),
             });
         }

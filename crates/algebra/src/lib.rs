@@ -25,8 +25,8 @@
 //!   Figure 2 as a plain logical plan.
 
 pub mod catalog;
-pub mod fixtures;
 pub mod error;
+pub mod fixtures;
 pub mod magic;
 pub mod plan;
 pub mod query;
@@ -35,6 +35,6 @@ pub mod sql;
 pub use catalog::{Catalog, NetworkModel, RelationKind, SiteId, UdfRelation, ViewDef};
 pub use error::AlgebraError;
 pub use magic::{restricted_inner, rewrite, rewrite_parts, MagicParts, Sips};
-pub use sql::{render_figure2, render_plan};
 pub use plan::{JoinKind, LogicalPlan, PlanRef};
 pub use query::{FromItem, JoinQuery};
+pub use sql::{render_figure2, render_plan};

@@ -435,11 +435,7 @@ fn push_filter_semi_join(
     }
 }
 
-fn validate_sips(
-    catalog: &Catalog,
-    query: &JoinQuery,
-    sips: &Sips,
-) -> Result<(), AlgebraError> {
+fn validate_sips(catalog: &Catalog, query: &JoinQuery, sips: &Sips) -> Result<(), AlgebraError> {
     if sips.production.is_empty() {
         return Err(AlgebraError::UnsupportedRewrite(
             "empty production set".into(),
@@ -465,10 +461,11 @@ fn validate_sips(
     // inner schema.
     let inner_schema = query.alias_schema(catalog, &sips.inner)?;
     for k in &sips.filter_keys {
-        let left_ok = sips
-            .production
-            .iter()
-            .any(|a| query.alias_schema(catalog, a).is_ok_and(|s| s.contains(&k.left)));
+        let left_ok = sips.production.iter().any(|a| {
+            query
+                .alias_schema(catalog, a)
+                .is_ok_and(|s| s.contains(&k.left))
+        });
         if !left_ok {
             return Err(AlgebraError::UnsupportedRewrite(format!(
                 "filter key left column '{}' not in production set",

@@ -351,9 +351,7 @@ impl LogicalPlan {
     pub fn visit(&self, f: &mut dyn FnMut(&LogicalPlan)) {
         f(self);
         match self {
-            LogicalPlan::Scan { .. }
-            | LogicalPlan::CteRef { .. }
-            | LogicalPlan::Values { .. } => {}
+            LogicalPlan::Scan { .. } | LogicalPlan::CteRef { .. } | LogicalPlan::Values { .. } => {}
             LogicalPlan::Select { input, .. }
             | LogicalPlan::Project { input, .. }
             | LogicalPlan::Aggregate { input, .. }

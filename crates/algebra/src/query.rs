@@ -116,7 +116,10 @@ impl JoinQuery {
         let item = self
             .item(alias)
             .ok_or_else(|| AlgebraError::UnknownRelation(alias.to_string()))?;
-        Ok(catalog.resolve(&item.relation)?.schema().with_qualifier(alias))
+        Ok(catalog
+            .resolve(&item.relation)?
+            .schema()
+            .with_qualifier(alias))
     }
 
     /// Relation kind of the FROM item `alias`.
@@ -163,10 +166,7 @@ mod tests {
 
     #[test]
     fn duplicate_alias_rejected() {
-        let q = JoinQuery::new(vec![
-            FromItem::new("Emp", "E"),
-            FromItem::new("Dept", "E"),
-        ]);
+        let q = JoinQuery::new(vec![FromItem::new("Emp", "E"), FromItem::new("Dept", "E")]);
         assert!(matches!(
             q.validate(&paper_catalog()),
             Err(AlgebraError::DuplicateAlias(_))

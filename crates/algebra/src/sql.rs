@@ -42,7 +42,11 @@ impl Block {
             let _ = write!(s, "\n{indent}FROM {}", self.from.join(", "));
         }
         if !self.wheres.is_empty() {
-            let _ = write!(s, "\n{indent}WHERE {}", self.wheres.join("\n{indent}  AND "));
+            let _ = write!(
+                s,
+                "\n{indent}WHERE {}",
+                self.wheres.join("\n{indent}  AND ")
+            );
             s = s.replace("{indent}", indent);
         }
         if !self.group_by.is_empty() {
@@ -123,9 +127,8 @@ fn extract(plan: &LogicalPlan, block: &mut Block) -> bool {
                 let mut composed = Vec::with_capacity(exprs.len());
                 for (e, n) in exprs {
                     let Expr::Column(c) = e else { return false };
-                    let Some((inner_e, _)) = inner.iter().find(|(ie, iname)| {
-                        iname == c || ie == c
-                    }) else {
+                    let Some((inner_e, _)) = inner.iter().find(|(ie, iname)| iname == c || ie == c)
+                    else {
                         return false;
                     };
                     composed.push(if inner_e == n {
@@ -181,7 +184,9 @@ fn extract(plan: &LogicalPlan, block: &mut Block) -> bool {
                     return false;
                 }
                 if let Some(p) = predicate {
-                    block.wheres.extend(split_conjuncts(p).iter().map(render_expr));
+                    block
+                        .wheres
+                        .extend(split_conjuncts(p).iter().map(render_expr));
                 }
                 true
             }
@@ -207,8 +212,7 @@ fn extract(plan: &LogicalPlan, block: &mut Block) -> bool {
                     else {
                         return false;
                     };
-                    let (Expr::Column(a), Expr::Column(b)) = (a.as_ref(), b.as_ref())
-                    else {
+                    let (Expr::Column(a), Expr::Column(b)) = (a.as_ref(), b.as_ref()) else {
                         return false;
                     };
                     let (attr, key) = if b.starts_with(&format!("{alias}.")) {
@@ -217,7 +221,11 @@ fn extract(plan: &LogicalPlan, block: &mut Block) -> bool {
                         (b.clone(), a.clone())
                     };
                     lhs.push(attr);
-                    rhs.push(key.rsplit_once('.').map(|(_, k)| k.to_string()).unwrap_or(key));
+                    rhs.push(
+                        key.rsplit_once('.')
+                            .map(|(_, k)| k.to_string())
+                            .unwrap_or(key),
+                    );
                 }
                 block.wheres.push(format!(
                     "({}) IN (SELECT {} FROM {name})",
@@ -270,7 +278,13 @@ pub fn render_figure2(
 ",
         render_query(&parts.filter).replace(crate::magic::PARTIAL_CTE, "PartialResult")
     );
-    let restricted_name = format!("Restricted{}", query.item(&sips.inner).map(|i| i.relation.clone()).unwrap_or_default());
+    let restricted_name = format!(
+        "Restricted{}",
+        query
+            .item(&sips.inner)
+            .map(|i| i.relation.clone())
+            .unwrap_or_default()
+    );
     let _ = writeln!(
         out,
         "CREATE VIEW {restricted_name} AS
@@ -359,8 +373,7 @@ mod tests {
     #[test]
     fn unsupported_shapes_fall_back_to_comment() {
         let plan = LogicalPlan::Values {
-            schema: fj_storage::Schema::from_pairs(&[("x", fj_storage::DataType::Int)])
-                .into_ref(),
+            schema: fj_storage::Schema::from_pairs(&[("x", fj_storage::DataType::Int)]).into_ref(),
             rows: vec![],
         };
         let sql = render_plan(&plan);

@@ -41,7 +41,11 @@ fn bench(c: &mut Criterion) {
     )
     .unwrap();
     group.bench_function("probe_fitted_line", |b| {
-        b.iter(|| (0..100).map(|i| fit.cardinality(i as f64 / 100.0)).sum::<f64>())
+        b.iter(|| {
+            (0..100)
+                .map(|i| fit.cardinality(i as f64 / 100.0))
+                .sum::<f64>()
+        })
     });
     group.bench_function("execute_restricted_view_s0_5", |b| {
         b.iter(|| fj_bench::repro::fig4_cardinality::actual_cardinality(&catalog, 500, 0.5))

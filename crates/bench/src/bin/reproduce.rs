@@ -1,7 +1,7 @@
 //! Prints every reproduced figure/table as a paper-style text table.
 //!
 //! ```text
-//! reproduce [all|fig1|fig3|table1|fig4|fig5|fig6|complexity|crossover|dist|udf|local|bloom|throughput]
+//! reproduce [all|fig1|fig3|table1|fig4|fig5|fig6|complexity|crossover|dist|udf|local|bloom|throughput|soak]
 //!           [--small] [--threads N]
 //! ```
 //!
@@ -46,8 +46,20 @@ fn main() {
         .collect();
     let which = if which.is_empty() || which.contains(&"all") {
         vec![
-            "fig1", "fig3", "table1", "fig4", "fig5", "fig6", "complexity", "crossover",
-            "dist", "udf", "local", "bloom", "throughput",
+            "fig1",
+            "fig3",
+            "table1",
+            "fig4",
+            "fig5",
+            "fig6",
+            "complexity",
+            "crossover",
+            "dist",
+            "udf",
+            "local",
+            "bloom",
+            "throughput",
+            "soak",
         ]
     } else {
         which
@@ -99,6 +111,13 @@ fn main() {
                     repro::throughput::run(1_000, 100, threads, 64)
                 } else {
                     repro::throughput::run(5_000, 500, threads, 256)
+                }
+            }
+            "soak" => {
+                if small {
+                    repro::soak::run(1_000, 100, 8, 25)
+                } else {
+                    repro::soak::run(5_000, 500, 16, 50)
                 }
             }
             other => {

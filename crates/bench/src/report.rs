@@ -30,11 +30,7 @@ impl Report {
     /// Appends a row (panics on arity mismatch — reports are
     /// programmer-constructed).
     pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(
-            cells.len(),
-            self.headers.len(),
-            "report row arity mismatch"
-        );
+        assert_eq!(cells.len(), self.headers.len(), "report row arity mismatch");
         self.rows.push(cells);
     }
 

@@ -61,7 +61,9 @@ pub fn sweep(max_n: usize, rows: usize) -> Vec<ComplexityPoint> {
                 ..OptimizerConfig::default()
             };
             let prefix = Optimizer::new(Arc::clone(&cat), cfg);
-            let p_prefix = prefix.optimize(&q).expect("chain optimizes (prefix ablation)");
+            let p_prefix = prefix
+                .optimize(&q)
+                .expect("chain optimizes (prefix ablation)");
 
             ComplexityPoint {
                 n,

@@ -30,8 +30,7 @@ pub fn sweep(n_orders: usize, n_customers: usize, referenced: usize) -> Vec<Dist
     [0.0, 0.1, 1.0, 10.0, 100.0]
         .iter()
         .map(|&net_scale| {
-            let (orders, mut customers) =
-                orders_customers(n_orders, n_customers, referenced, 23);
+            let (orders, mut customers) = orders_customers(n_orders, n_customers, referenced, 23);
             customers.create_hash_index(0).expect("index on cust");
             let network = NetworkModel {
                 per_message: 1.0 * net_scale,
@@ -46,9 +45,7 @@ pub fn sweep(n_orders: usize, n_customers: usize, referenced: usize) -> Vec<Dist
             );
             let mut costs = [0.0; 4];
             for (i, s) in DistStrategy::ALL.iter().enumerate() {
-                costs[i] = run_strategy(&scenario, *s)
-                    .expect("strategy runs")
-                    .cost;
+                costs[i] = run_strategy(&scenario, *s).expect("strategy runs").cost;
             }
 
             // The optimizer's verdict on the same join.

@@ -49,13 +49,8 @@ pub fn sweep(n_emps: usize, n_depts: usize, fracs: &[f64]) -> Vec<Point> {
             let q = paper_query();
 
             let naive = db.run_logical(&q.to_plan()).expect("naive plan runs");
-            let sips = Sips::derive(
-                db.catalog(),
-                &q,
-                &["E".to_string(), "D".to_string()],
-                "V",
-            )
-            .expect("the did key exists");
+            let sips = Sips::derive(db.catalog(), &q, &["E".to_string(), "D".to_string()], "V")
+                .expect("the did key exists");
             let magic = db.run_magic(&q, &sips).expect("magic plan runs");
             let cost_based = db.execute(&q).expect("optimized plan runs");
 
@@ -100,7 +95,12 @@ pub fn run(n_emps: usize, n_depts: usize) -> Report {
             Report::num(p.naive),
             Report::num(p.magic),
             Report::num(p.cost_based),
-            if p.chose_magic { "filter join" } else { "no magic" }.into(),
+            if p.chose_magic {
+                "filter join"
+            } else {
+                "no magic"
+            }
+            .into(),
         ]);
     }
     let wins = points.iter().filter(|p| p.magic < p.naive).count();

@@ -95,7 +95,13 @@ pub fn run(n_emps: usize, n_depts: usize) -> Report {
 
     let mut r = Report::new(
         format!("Figure 3: the six join orders ({n_emps} emps / {n_depts} depts, frac_big=0.1)"),
-        &["#", "join order", "filter set (SIPS)", "est. cost", "measured"],
+        &[
+            "#",
+            "join order",
+            "filter set (SIPS)",
+            "est. cost",
+            "measured",
+        ],
     );
     for (i, o) in outcomes.iter().enumerate() {
         r.row(vec![

@@ -56,11 +56,7 @@ pub fn actual_cardinality(
 /// Executes the restricted view at `selectivity` and returns the
 /// *measured* weighted cost of that execution (used by the Figure 5
 /// experiment to score the cost step function).
-pub fn actual_cost(
-    catalog: &Arc<fj_core::Catalog>,
-    n_depts: usize,
-    selectivity: f64,
-) -> f64 {
+pub fn actual_cost(catalog: &Arc<fj_core::Catalog>, n_depts: usize, selectivity: f64) -> f64 {
     let ctx = ExecCtx::new(Arc::clone(catalog));
     let f_rows = ((n_depts as f64) * selectivity).round() as usize;
     let filter_schema = Schema::from_pairs(&[("k0", DataType::Int)]).into_ref();

@@ -89,7 +89,12 @@ pub fn run(n_emps: usize, n_depts: usize) -> Report {
     let pts = sweep(n_emps, n_depts, &[2, 3, 4, 8, 16]);
     let mut r = Report::new(
         format!("Figure 5: equivalence-class knob ({n_emps} emps / {n_depts} depts)"),
-        &["classes", "nested invocations", "fit time (us)", "mean cost error"],
+        &[
+            "classes",
+            "nested invocations",
+            "fit time (us)",
+            "mean cost error",
+        ],
     );
     for p in &pts {
         r.row(vec![

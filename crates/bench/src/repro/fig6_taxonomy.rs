@@ -16,8 +16,8 @@ use crate::workloads::orders_customers;
 use fj_core::distsim::{run_strategy, DistStrategy, TwoSiteScenario};
 use fj_core::storage::CPU_WEIGHT_DEFAULT;
 use fj_core::{
-    col, AggCall, AggFunc, Catalog, DataType, ExecCtx, LedgerSnapshot, LogicalPlan,
-    NetworkModel, PhysPlan, Schema, TableFunction, Value,
+    col, AggCall, AggFunc, Catalog, DataType, ExecCtx, LedgerSnapshot, LogicalPlan, NetworkModel,
+    PhysPlan, Schema, TableFunction, Value,
 };
 use std::sync::Arc;
 
@@ -235,8 +235,7 @@ fn view(t: Technique) -> f64 {
             (col("C.cust"), "cust".into()),
             (col("avgscore"), "avgscore".into()),
         ]);
-    let schema =
-        Schema::from_pairs(&[("cust", DataType::Int), ("avgscore", DataType::Double)]);
+    let schema = Schema::from_pairs(&[("cust", DataType::Int), ("avgscore", DataType::Double)]);
     cat.add_view(fj_core::ViewDef {
         name: "CustScore".into(),
         plan: plan.into_ref(),
@@ -245,9 +244,8 @@ fn view(t: Technique) -> f64 {
 
     let phys = match t {
         Technique::Full => {
-            let view_scan =
-                fj_core::exec::lower::lower(&LogicalPlan::scan("CustScore", "V"), &cat)
-                    .expect("view lowers");
+            let view_scan = fj_core::exec::lower::lower(&LogicalPlan::scan("CustScore", "V"), &cat)
+                .expect("view lowers");
             PhysPlan::HashJoin {
                 outer: outer_scan().boxed(),
                 inner: view_scan.boxed(),

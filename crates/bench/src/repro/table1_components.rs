@@ -17,9 +17,7 @@ use fj_core::optimizer::estimate::PlanEstimator;
 use fj_core::optimizer::filter_join::{cost_filter_join, FilterJoinArgs};
 use fj_core::optimizer::parametric::ParametricEstimator;
 use fj_core::storage::CPU_WEIGHT_DEFAULT;
-use fj_core::{
-    lit, CostParams, ExecCtx, LedgerSnapshot, LogicalPlan, PhysPlan,
-};
+use fj_core::{lit, CostParams, ExecCtx, LedgerSnapshot, LogicalPlan, PhysPlan};
 use std::sync::Arc;
 
 /// Predicted vs measured for the seven components.
@@ -79,8 +77,7 @@ pub fn staged(n_emps: usize, n_depts: usize, frac_big: f64) -> Vec<ComponentRow>
 
     // ---- Measured, phase by phase.
     let ctx = ExecCtx::new(Arc::clone(&cat));
-    let outer_phys =
-        fj_core::exec::lower::lower(&outer_logical, &cat).expect("outer lowers");
+    let outer_phys = fj_core::exec::lower::lower(&outer_logical, &cat).expect("outer lowers");
     let snap = |ctx: &ExecCtx| ctx.ledger.snapshot();
 
     // Phase 1: JoinCost_P.
@@ -126,8 +123,7 @@ pub fn staged(n_emps: usize, n_depts: usize, frac_big: f64) -> Vec<ComponentRow>
         &filter_schema,
     )
     .expect("restriction builds");
-    let restricted_phys =
-        fj_core::exec::lower::lower(&restricted_logical, &cat).expect("lowers");
+    let restricted_phys = fj_core::exec::lower::lower(&restricted_logical, &cat).expect("lowers");
     let rk = restricted_phys.execute(&ctx).expect("restricted view runs");
     let m_filter_rk = weighted(&snap(&ctx).delta(&s4));
 
@@ -206,7 +202,9 @@ pub fn staged(n_emps: usize, n_depts: usize, frac_big: f64) -> Vec<ComponentRow>
 pub fn run(n_emps: usize, n_depts: usize) -> Report {
     let rows = staged(n_emps, n_depts, 0.1);
     let mut r = Report::new(
-        format!("Table 1: Filter Join cost components ({n_emps} emps / {n_depts} depts, page units)"),
+        format!(
+            "Table 1: Filter Join cost components ({n_emps} emps / {n_depts} depts, page units)"
+        ),
         &["component", "predicted", "measured"],
     );
     let (mut tp, mut tm) = (0.0, 0.0);

@@ -28,6 +28,10 @@ pub struct ThroughputPoint {
     pub cache_hit_rate: f64,
     /// Median per-query latency (µs, factor-of-two bucket bound).
     pub p50_micros: u64,
+    /// The full end-of-batch [`fj_runtime::RuntimeMetrics`] snapshot
+    /// as a stable-key JSON line (machine-readable companion to the
+    /// table).
+    pub metrics_json: String,
 }
 
 /// Runs `queries` Figure-1 queries through a `threads`-worker service
@@ -68,6 +72,7 @@ pub fn run_at(threads: usize, n_emps: usize, n_depts: usize, queries: usize) -> 
         qps: queries as f64 / secs,
         cache_hit_rate: m.cache_hit_rate,
         p50_micros: m.latency.quantile_micros(0.5),
+        metrics_json: m.to_json(),
     };
     service.shutdown();
     point
@@ -107,6 +112,10 @@ pub fn run(n_emps: usize, n_depts: usize, threads: usize, queries: usize) -> Rep
          cache warm; per-query ledger charges identical across thread \
          counts; speedup is bounded by physical cores)",
         scaled.threads, speedup, cores
+    ));
+    report.note(format!(
+        "runtime metrics at {} threads: {}",
+        scaled.threads, scaled.metrics_json
     ));
     report
 }

@@ -34,11 +34,8 @@ pub struct UdfOutcome {
 }
 
 fn credit_fn() -> TableFunction {
-    let schema = Schema::from_pairs(&[
-        ("cust", DataType::Int),
-        ("credit", DataType::Int),
-    ])
-    .into_ref();
+    let schema =
+        Schema::from_pairs(&[("cust", DataType::Int), ("credit", DataType::Int)]).into_ref();
     // 3 page-units per call: an expensive lookup.
     TableFunction::new("credit", schema, 1, 3.0, |args| {
         let c = args[0].as_int().unwrap_or(0);

@@ -1,8 +1,6 @@
 //! Deterministic workload generators for the reproduction experiments.
 
-use fj_core::{
-    col, fixtures, Catalog, DataType, FromItem, JoinQuery, TableBuilder, Value,
-};
+use fj_core::{col, fixtures, Catalog, DataType, FromItem, JoinQuery, TableBuilder, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -154,10 +152,15 @@ pub fn star(n: usize, fact_rows: usize, dim_rows: usize, seed: u64) -> (Catalog,
     for d in 0..dims {
         fb = fb.column(format!("d{d}"), DataType::Int);
     }
-    cat.add_table(fb.rows(fact).build().expect("generated fact conforms").into_ref());
+    cat.add_table(
+        fb.rows(fact)
+            .build()
+            .expect("generated fact conforms")
+            .into_ref(),
+    );
     for d in 0..dims {
-        let rows = (0..dim_rows)
-            .map(|i| vec![Value::Int(i as i64), Value::Int(rng.gen_range(0..50))]);
+        let rows =
+            (0..dim_rows).map(|i| vec![Value::Int(i as i64), Value::Int(rng.gen_range(0..50))]);
         cat.add_table(
             TableBuilder::new(format!("Dim{d}"))
                 .column("id", DataType::Int)

@@ -2,9 +2,7 @@
 
 use fj_algebra::{Catalog, JoinQuery, LogicalPlan, NetworkModel, Sips, UdfRelation, ViewDef};
 use fj_exec::{lower, ExecCtx, PhysPlan};
-use fj_optimizer::{
-    FilterJoinCost, OptError, Optimizer, OptimizerConfig,
-};
+use fj_optimizer::{FilterJoinCost, OptError, Optimizer, OptimizerConfig};
 use fj_storage::{LedgerSnapshot, SchemaRef, Table, Tuple};
 use std::sync::Arc;
 
@@ -259,13 +257,7 @@ mod tests {
         let q = paper_query();
         let optimized = d.execute(&q).unwrap();
         let naive = d.run_logical(&q.to_plan()).unwrap();
-        let sips = Sips::derive(
-            d.catalog(),
-            &q,
-            &["E".to_string(), "D".to_string()],
-            "V",
-        )
-        .unwrap();
+        let sips = Sips::derive(d.catalog(), &q, &["E".to_string(), "D".to_string()], "V").unwrap();
         let magic = d.run_magic(&q, &sips).unwrap();
         assert_eq!(sorted(optimized.rows), sorted(naive.rows.clone()));
         assert_eq!(sorted(magic.rows), sorted(naive.rows));
@@ -275,13 +267,7 @@ mod tests {
     fn magic_sql_renders_figure2() {
         let d = db();
         let q = paper_query();
-        let sips = Sips::derive(
-            d.catalog(),
-            &q,
-            &["E".to_string(), "D".to_string()],
-            "V",
-        )
-        .unwrap();
+        let sips = Sips::derive(d.catalog(), &q, &["E".to_string(), "D".to_string()], "V").unwrap();
         let sql = d.render_magic_sql(&q, &sips).unwrap();
         assert!(sql.contains("CREATE VIEW PartialResult AS"));
         assert!(sql.contains("RestrictedDepAvgSal"));

@@ -27,8 +27,8 @@ pub use database::{Database, QueryResult};
 // dependency.
 pub use fj_algebra as algebra;
 pub use fj_algebra::{
-    fixtures, Catalog, FromItem, JoinQuery, LogicalPlan, NetworkModel, SiteId, Sips,
-    UdfRelation, ViewDef,
+    fixtures, Catalog, FromItem, JoinQuery, LogicalPlan, NetworkModel, Sips, SiteId, UdfRelation,
+    ViewDef,
 };
 pub use fj_distsim as distsim;
 pub use fj_exec as exec;

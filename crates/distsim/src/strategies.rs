@@ -139,11 +139,7 @@ pub fn run_strategy(
             plan.execute(&ctx)?.rows
         }
         DistStrategy::BloomSemiJoin => {
-            let expected = scenario
-                .catalog
-                .table(&scenario.outer)?
-                .row_count()
-                .max(1);
+            let expected = scenario.catalog.table(&scenario.outer)?.row_count().max(1);
             let bloom = fj_storage::BloomFilter::with_capacity(expected, 0.02);
             let plan = PhysPlan::WithTemp {
                 steps: vec![TempStep::BuildBloom {

@@ -98,8 +98,7 @@ fn lower_node(
                     split_conjuncts(here_pred.as_ref().expect("keys imply a predicate"))
                         .into_iter()
                         .filter(|c| {
-                            !key_exprs.contains(c)
-                                && !key_exprs.iter().any(|k| flipped_eq(c, k))
+                            !key_exprs.contains(c) && !key_exprs.iter().any(|k| flipped_eq(c, k))
                         }),
                 );
                 PhysPlan::HashJoin {
@@ -148,12 +147,7 @@ fn lower_node(
                             .schema
                             .columns()
                             .iter()
-                            .map(|c| {
-                                (
-                                    col(c.name.clone()),
-                                    format!("{alias}.{}", c.base_name()),
-                                )
-                            })
+                            .map(|c| (col(c.name.clone()), format!("{alias}.{}", c.base_name())))
                             .collect(),
                     };
                     attach_filter(requalified, mine)?
@@ -293,7 +287,10 @@ mod tests {
         // Young employees in big departments earning above department
         // average: employee 1 (did 10, sal 9000 > avg 5000) and employee
         // 5 (did 30, sal 4000 > avg 3000).
-        assert_eq!(rows, vec![tuple![10, 9000.0, 5000.0], tuple![30, 4000.0, 3000.0]]);
+        assert_eq!(
+            rows,
+            vec![tuple![10, 9000.0, 5000.0], tuple![30, 4000.0, 3000.0]]
+        );
     }
 
     #[test]
@@ -310,7 +307,10 @@ mod tests {
         let cat = paper_catalog();
         let q = paper_query();
         let original = run(&q.to_plan(), &cat);
-        for production in [vec!["E".to_string(), "D".to_string()], vec!["E".to_string()]] {
+        for production in [
+            vec!["E".to_string(), "D".to_string()],
+            vec!["E".to_string()],
+        ] {
             let sips = Sips::derive(&cat, &q, &production, "V").unwrap();
             let rewritten = magic::rewrite(&cat, &q, &sips).unwrap();
             let got = run(&rewritten, &cat);
@@ -326,18 +326,9 @@ mod tests {
         let q = paper_query();
 
         let ctx1 = ExecCtx::new(Arc::new(cat.clone()));
-        lower(&q.to_plan(), &cat)
-            .unwrap()
-            .execute(&ctx1)
-            .unwrap();
+        lower(&q.to_plan(), &cat).unwrap().execute(&ctx1).unwrap();
 
-        let sips = Sips::derive(
-            &cat,
-            &q,
-            &["E".to_string(), "D".to_string()],
-            "V",
-        )
-        .unwrap();
+        let sips = Sips::derive(&cat, &q, &["E".to_string(), "D".to_string()], "V").unwrap();
         let rewritten = magic::rewrite(&cat, &q, &sips).unwrap();
         let ctx2 = ExecCtx::new(Arc::new(cat.clone()));
         lower(&rewritten, &cat).unwrap().execute(&ctx2).unwrap();
@@ -355,11 +346,7 @@ mod tests {
         let rows = run(&LogicalPlan::scan("DepAvgSal", "V"), &cat);
         assert_eq!(
             rows,
-            vec![
-                tuple![10, 5000.0],
-                tuple![20, 5000.0],
-                tuple![30, 3000.0]
-            ]
+            vec![tuple![10, 5000.0], tuple![20, 5000.0], tuple![30, 3000.0]]
         );
     }
 
@@ -403,8 +390,7 @@ mod tests {
     #[test]
     fn is_null_predicate_executes() {
         let cat = paper_catalog();
-        let plan =
-            LogicalPlan::scan("Emp", "E").select(col("E.did").is_null().not());
+        let plan = LogicalPlan::scan("Emp", "E").select(col("E.did").is_null().not());
         let rows = run(&plan, &cat);
         assert_eq!(rows.len(), 5, "no NULL dids in the fixture");
     }
@@ -415,8 +401,7 @@ mod tests {
         let plan = LogicalPlan::CteRef {
             name: "ghost".into(),
             alias: String::new(),
-            schema: fj_storage::Schema::from_pairs(&[("x", fj_storage::DataType::Int)])
-                .into_ref(),
+            schema: fj_storage::Schema::from_pairs(&[("x", fj_storage::DataType::Int)]).into_ref(),
         };
         let phys = lower(&plan, &cat).unwrap();
         let ctx = ExecCtx::new(Arc::new(cat.clone()));
@@ -430,8 +415,7 @@ mod tests {
         // Move Dept to a remote site.
         let dept = cat.table("Dept").unwrap();
         cat.add_remote_table(dept, fj_algebra::SiteId(2));
-        let plan = LogicalPlan::scan("Dept", "D")
-            .select(col("D.budget").gt(fj_expr::lit(100_000)));
+        let plan = LogicalPlan::scan("Dept", "D").select(col("D.budget").gt(fj_expr::lit(100_000)));
         let phys = lower(&plan, &cat).unwrap();
         let d = phys.display();
         let ship_pos = d.find("Ship").unwrap();

@@ -67,7 +67,10 @@ pub fn hash_aggregate(
         let input_ty = idx
             .map(|i| input.schema.column(i).data_type)
             .unwrap_or(fj_storage::DataType::Int);
-        cols.push(Column::nullable(a.output.clone(), a.func.result_type(input_ty)));
+        cols.push(Column::nullable(
+            a.output.clone(),
+            a.func.result_type(input_ty),
+        ));
     }
     let schema = Arc::new(Schema::new(cols)?);
 
@@ -129,11 +132,7 @@ mod tests {
     fn emp() -> Rel {
         Rel::new(
             Schema::from_pairs(&[("did", DataType::Int), ("sal", DataType::Double)]).into_ref(),
-            vec![
-                tuple![10, 1000.0],
-                tuple![10, 3000.0],
-                tuple![20, 5000.0],
-            ],
+            vec![tuple![10, 1000.0], tuple![10, 3000.0], tuple![20, 5000.0]],
         )
     }
 
@@ -198,13 +197,8 @@ mod tests {
     #[test]
     fn grouped_aggregate_empty_input_yields_no_rows() {
         let empty = Rel::new(emp().schema, vec![]);
-        let r = hash_aggregate(
-            &ctx(),
-            empty,
-            &["did".into()],
-            &[AggCall::count_star("n")],
-        )
-        .unwrap();
+        let r =
+            hash_aggregate(&ctx(), empty, &["did".into()], &[AggCall::count_star("n")]).unwrap();
         assert!(r.rows.is_empty());
     }
 

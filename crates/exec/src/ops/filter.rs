@@ -23,11 +23,7 @@ pub fn filter(ctx: &ExecCtx, input: Rel, predicate: &Expr) -> Result<Rel, ExecEr
 
 /// Projection: computes `(expr, name)` pairs per row. Charges one tuple
 /// op per input row.
-pub fn project(
-    ctx: &ExecCtx,
-    input: Rel,
-    exprs: &[(Expr, String)],
-) -> Result<Rel, ExecError> {
+pub fn project(ctx: &ExecCtx, input: Rel, exprs: &[(Expr, String)]) -> Result<Rel, ExecError> {
     let bound: Vec<(BoundExpr, &String)> = exprs
         .iter()
         .map(|(e, n)| BoundExpr::bind(e, &input.schema).map(|b| (b, n)))

@@ -118,10 +118,7 @@ pub fn index_nested_loops(
     residual: Option<&Expr>,
 ) -> Result<Rel, ExecError> {
     let t = ctx.catalog.table(table)?;
-    let col = t
-        .schema()
-        .resolve(inner_col)
-        .map_err(ExecError::Storage)?;
+    let col = t.schema().resolve(inner_col).map_err(ExecError::Storage)?;
     let okey = outer.schema.resolve(outer_key)?;
     let inner_schema = maybe_qualify(t.schema(), alias);
     let out_schema = Arc::new(outer.schema.join(&inner_schema)?);
@@ -372,7 +369,8 @@ pub fn merge_join(
     let outer_pages = fj_storage::PageLayout::for_schema(&outer.schema).pages(no);
     if !is_sorted_by(ctx, &left, &okeys) {
         if no > 1 {
-            ctx.ledger.tuple_ops(no * (64 - (no - 1).leading_zeros() as u64));
+            ctx.ledger
+                .tuple_ops(no * (64 - (no - 1).leading_zeros() as u64));
         }
         charge_external_sort_pages(ctx, outer_pages);
         left.sort_by_key(|a| a.key(&okeys));
@@ -381,7 +379,8 @@ pub fn merge_join(
     let inner_pages = fj_storage::PageLayout::for_schema(&inner.schema).pages(ni);
     if !is_sorted_by(ctx, &right, &ikeys) {
         if ni > 1 {
-            ctx.ledger.tuple_ops(ni * (64 - (ni - 1).leading_zeros() as u64));
+            ctx.ledger
+                .tuple_ops(ni * (64 - (ni - 1).leading_zeros() as u64));
         }
         charge_external_sort_pages(ctx, inner_pages);
         right.sort_by_key(|a| a.key(&ikeys));
@@ -484,7 +483,12 @@ mod tests {
     fn left() -> Rel {
         Rel::new(
             Schema::from_pairs(&[("L.k", DataType::Int), ("L.v", DataType::Int)]).into_ref(),
-            vec![tuple![1, 100], tuple![2, 200], tuple![2, 201], tuple![3, 300]],
+            vec![
+                tuple![1, 100],
+                tuple![2, 200],
+                tuple![2, 201],
+                tuple![3, 300],
+            ],
         )
     }
 
@@ -516,8 +520,8 @@ mod tests {
         let keys = vec![("L.k".to_string(), "R.k".to_string())];
         let pred = col("L.k").eq(col("R.k"));
 
-        let nlj = block_nested_loops(&ctx(), left(), right(), Some(&pred), JoinKind::Inner)
-            .unwrap();
+        let nlj =
+            block_nested_loops(&ctx(), left(), right(), Some(&pred), JoinKind::Inner).unwrap();
         let hj = hash_join(&ctx(), left(), right(), &keys, None, JoinKind::Inner).unwrap();
         let mj = merge_join(&ctx(), left(), right(), &keys, None).unwrap();
 
@@ -532,8 +536,7 @@ mod tests {
         let pred = col("L.k").eq(col("R.k"));
         let expect = vec![tuple![2, 200], tuple![2, 201], tuple![3, 300]];
 
-        let nlj = block_nested_loops(&ctx(), left(), right(), Some(&pred), JoinKind::Semi)
-            .unwrap();
+        let nlj = block_nested_loops(&ctx(), left(), right(), Some(&pred), JoinKind::Semi).unwrap();
         let hj = hash_join(&ctx(), left(), right(), &keys, None, JoinKind::Semi).unwrap();
         assert_eq!(sorted(nlj.rows), sorted(expect.clone()));
         assert_eq!(sorted(hj.rows), sorted(expect));
@@ -565,8 +568,15 @@ mod tests {
     fn residual_predicate_applies() {
         let keys = vec![("L.k".to_string(), "R.k".to_string())];
         let resid = col("R.w").lt(lit(-3));
-        let hj = hash_join(&ctx(), left(), right(), &keys, Some(&resid), JoinKind::Inner)
-            .unwrap();
+        let hj = hash_join(
+            &ctx(),
+            left(),
+            right(),
+            &keys,
+            Some(&resid),
+            JoinKind::Inner,
+        )
+        .unwrap();
         assert_eq!(sorted(hj.rows), vec![tuple![3, 300, 3, -33]]);
     }
 

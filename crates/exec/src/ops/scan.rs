@@ -32,7 +32,10 @@ pub fn seq_scan(ctx: &ExecCtx, table: &str, alias: &str) -> Result<Rel, ExecErro
 pub fn temp_scan(ctx: &ExecCtx, name: &str, alias: &str) -> Result<Rel, ExecError> {
     let t = ctx.temp(name)?;
     ctx.ledger.read_pages(t.page_count());
-    Ok(Rel::new(maybe_qualify(&t.schema, alias), copy_rows(ctx, &t.rows)))
+    Ok(Rel::new(
+        maybe_qualify(&t.schema, alias),
+        copy_rows(ctx, &t.rows),
+    ))
 }
 
 /// Literal rows; free.

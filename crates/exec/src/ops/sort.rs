@@ -19,7 +19,8 @@ pub fn sort(ctx: &ExecCtx, input: Rel, keys: &[String]) -> Result<Rel, ExecError
         .collect::<Result<_, _>>()?;
     let n = input.rows.len() as u64;
     if n > 1 {
-        ctx.ledger.tuple_ops(n * (64 - (n - 1).leading_zeros() as u64));
+        ctx.ledger
+            .tuple_ops(n * (64 - (n - 1).leading_zeros() as u64));
     }
     charge_external_sort(ctx, input.page_count());
     let mut rows = input.rows;

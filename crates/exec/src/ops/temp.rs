@@ -10,11 +10,7 @@ use crate::physical::{PhysPlan, Rel, TempStep};
 
 /// Runs each step in order (registering temps/Blooms), executes the
 /// body, then drops everything registered — even if the body errors.
-pub fn with_temp(
-    ctx: &ExecCtx,
-    steps: &[TempStep],
-    body: &PhysPlan,
-) -> Result<Rel, ExecError> {
+pub fn with_temp(ctx: &ExecCtx, steps: &[TempStep], body: &PhysPlan) -> Result<Rel, ExecError> {
     let mut temp_names = Vec::new();
     let mut bloom_names = Vec::new();
     let run = || -> Result<Rel, ExecError> { body.execute(ctx) };

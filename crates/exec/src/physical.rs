@@ -493,10 +493,7 @@ impl PhysPlan {
                 inner.fmt_tree(out, depth + 1);
             }
             PhysPlan::MergeJoin {
-                outer,
-                inner,
-                keys,
-                ..
+                outer, inner, keys, ..
             } => {
                 let keys_s = keys
                     .iter()
@@ -512,11 +509,7 @@ impl PhysPlan {
                 bloom,
                 key_cols,
             } => {
-                let _ = writeln!(
-                    out,
-                    "{pad}BloomProbe {bloom} on [{}]",
-                    key_cols.join(", ")
-                );
+                let _ = writeln!(out, "{pad}BloomProbe {bloom} on [{}]", key_cols.join(", "));
                 input.fmt_tree(out, depth + 1);
             }
             PhysPlan::Ship { input, from, to } => {

@@ -268,7 +268,11 @@ mod tests {
 
     #[test]
     fn null_propagation_in_comparisons() {
-        let t = Tuple::new(vec![Value::Null, Value::Double(1.0), Value::Str("x".into())]);
+        let t = Tuple::new(vec![
+            Value::Null,
+            Value::Double(1.0),
+            Value::Str("x".into()),
+        ]);
         assert_eq!(eval(&col("E.age").lt(lit(30)), &t), Value::Null);
         assert_eq!(eval(&col("E.age").eq(col("E.age")), &t), Value::Null);
         assert_eq!(eval(&col("E.age").is_null(), &t), Value::Bool(true));
@@ -276,11 +280,18 @@ mod tests {
 
     #[test]
     fn three_valued_and_or() {
-        let t = Tuple::new(vec![Value::Null, Value::Double(1.0), Value::Str("x".into())]);
+        let t = Tuple::new(vec![
+            Value::Null,
+            Value::Double(1.0),
+            Value::Str("x".into()),
+        ]);
         let null_cmp = col("E.age").lt(lit(30)); // NULL
         let true_cmp = col("E.sal").gt(lit(0)); // TRUE
         let false_cmp = col("E.sal").lt(lit(0)); // FALSE
-        assert_eq!(eval(&null_cmp.clone().and(true_cmp.clone()), &t), Value::Null);
+        assert_eq!(
+            eval(&null_cmp.clone().and(true_cmp.clone()), &t),
+            Value::Null
+        );
         assert_eq!(
             eval(&null_cmp.clone().and(false_cmp.clone()), &t),
             Value::Bool(false)
@@ -302,7 +313,11 @@ mod tests {
 
     #[test]
     fn predicate_rejects_null() {
-        let t = Tuple::new(vec![Value::Null, Value::Double(1.0), Value::Str("x".into())]);
+        let t = Tuple::new(vec![
+            Value::Null,
+            Value::Double(1.0),
+            Value::Str("x".into()),
+        ]);
         let b = BoundExpr::bind(&col("E.age").lt(lit(30)), &schema()).unwrap();
         assert!(!b.eval_predicate(&t).unwrap());
     }

@@ -212,21 +212,17 @@ mod tests {
 
     #[test]
     fn builder_produces_expected_tree() {
-        let e = col("E.age").lt(lit(30)).and(col("D.budget").gt(lit(100_000)));
-        assert_eq!(
-            e.to_string(),
-            "((E.age < 30) AND (D.budget > 100000))"
-        );
+        let e = col("E.age")
+            .lt(lit(30))
+            .and(col("D.budget").gt(lit(100_000)));
+        assert_eq!(e.to_string(), "((E.age < 30) AND (D.budget > 100000))");
     }
 
     #[test]
     fn rename_columns_rewrites_leaves_only() {
         let e = col("a").eq(col("b")).or(lit(1).lt(col("a")));
         let renamed = e.rename_columns(&|n| format!("T.{n}"));
-        assert_eq!(
-            renamed.to_string(),
-            "((T.a = T.b) OR (1 < T.a))"
-        );
+        assert_eq!(renamed.to_string(), "((T.a = T.b) OR (1 < T.a))");
     }
 
     #[test]

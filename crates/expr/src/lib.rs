@@ -19,7 +19,7 @@ pub mod bound;
 pub mod error;
 pub mod expr;
 
-pub use agg::{AggCall, AggFunc, Accumulator};
+pub use agg::{Accumulator, AggCall, AggFunc};
 pub use analysis::{
     columns_of, conjoin, equi_join_keys, separable_conjuncts, split_conjuncts, EquiJoinKey,
 };

@@ -1,0 +1,180 @@
+//! Blocking TCP client for the `fj-net` protocol.
+//!
+//! One [`Client`] owns one connection and runs one request at a time
+//! (the protocol is strictly request/response per connection — run
+//! several clients for concurrency). Server-refused work surfaces as
+//! [`NetError::Remote`] with the typed [`ErrorCode`]; the
+//! [`NetError::is_retryable`] helper identifies shed/drain replies a
+//! caller should back off and retry.
+
+use crate::codec::{self, CodecError, QueryReply, QueryRequest};
+use crate::wire::{self, ErrorCode, FrameReader, FrameType, WireError};
+use fj_algebra::JoinQuery;
+use fj_optimizer::OptimizerConfig;
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// Framing/handshake failure.
+    Wire(WireError),
+    /// The server's payload failed to decode.
+    Codec(CodecError),
+    /// The server refused or failed the request with a typed code.
+    Remote {
+        /// Typed error code.
+        code: ErrorCode,
+        /// Human-readable detail from the server.
+        message: String,
+    },
+    /// The server closed the connection before replying.
+    ConnectionClosed,
+    /// The server replied with a frame type that makes no sense here.
+    Protocol(&'static str),
+}
+
+impl NetError {
+    /// The typed server error code, if this is a [`NetError::Remote`].
+    pub fn error_code(&self) -> Option<ErrorCode> {
+        match self {
+            NetError::Remote { code, .. } => Some(*code),
+            _ => None,
+        }
+    }
+
+    /// Whether backing off and retrying (possibly against another
+    /// replica) can succeed: load-shed and draining replies.
+    pub fn is_retryable(&self) -> bool {
+        self.error_code().is_some_and(ErrorCode::is_retryable)
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io error: {e}"),
+            NetError::Wire(e) => write!(f, "wire error: {e}"),
+            NetError::Codec(e) => write!(f, "codec error: {e}"),
+            NetError::Remote { code, message } => write!(f, "server error [{code}]: {message}"),
+            NetError::ConnectionClosed => f.write_str("server closed the connection"),
+            NetError::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Wire(e)
+    }
+}
+
+impl From<CodecError> for NetError {
+    fn from(e: CodecError) -> Self {
+        NetError::Codec(e)
+    }
+}
+
+/// Per-request options.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOptions {
+    /// Give the server at most this long (measured from its receipt of
+    /// the request) before it answers [`ErrorCode::DeadlineExceeded`].
+    pub deadline: Option<Duration>,
+    /// Optimizer-config override for this request only.
+    pub config: Option<OptimizerConfig>,
+}
+
+/// A blocking connection to an `fj-net` server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    reader: FrameReader,
+}
+
+impl Client {
+    /// Connects and performs the magic + version handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, NetError> {
+        let mut stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        wire::client_handshake(&mut stream)?;
+        Ok(Client {
+            stream,
+            reader: FrameReader::new(wire::DEFAULT_MAX_FRAME_BYTES),
+        })
+    }
+
+    /// Executes `query` under the server's default optimizer config,
+    /// with no deadline.
+    pub fn query(&mut self, query: &JoinQuery) -> Result<QueryReply, NetError> {
+        self.query_with(query, &QueryOptions::default())
+    }
+
+    /// Executes `query` with per-request options.
+    pub fn query_with(
+        &mut self,
+        query: &JoinQuery,
+        opts: &QueryOptions,
+    ) -> Result<QueryReply, NetError> {
+        let deadline_millis = opts
+            .deadline
+            .map(|d| (d.as_millis() as u64).max(1))
+            .unwrap_or(0);
+        let request = QueryRequest {
+            deadline_millis,
+            config: opts.config,
+            query: query.clone(),
+        };
+        let payload = codec::encode_request(&request)?;
+        // Bound our own wait a bit past the server's deadline so a dead
+        // server cannot hang a deadline-scoped call forever.
+        let read_timeout = opts.deadline.map(|d| d + Duration::from_secs(30));
+        self.stream.set_read_timeout(read_timeout)?;
+        wire::write_frame(&mut self.stream, FrameType::Query, &payload)?;
+        let frame = self.recv()?;
+        match frame.0 {
+            FrameType::Result => Ok(codec::decode_reply(&frame.1)?),
+            FrameType::Error => Err(self.remote_error(&frame.1)),
+            _ => Err(NetError::Protocol("expected RESULT or ERROR frame")),
+        }
+    }
+
+    /// Fetches the server's combined stats JSON line.
+    pub fn stats_json(&mut self) -> Result<String, NetError> {
+        self.stream.set_read_timeout(None)?;
+        wire::write_frame(&mut self.stream, FrameType::Stats, &[])?;
+        let frame = self.recv()?;
+        match frame.0 {
+            FrameType::StatsReply => Ok(codec::decode_stats_reply(&frame.1)?),
+            FrameType::Error => Err(self.remote_error(&frame.1)),
+            _ => Err(NetError::Protocol("expected STATS_REPLY or ERROR frame")),
+        }
+    }
+
+    fn recv(&mut self) -> Result<(FrameType, Vec<u8>), NetError> {
+        match self.reader.read_frame_blocking(&mut self.stream) {
+            Ok(Some(frame)) => Ok((frame.ty, frame.payload)),
+            Ok(None) => Err(NetError::ConnectionClosed),
+            Err(e) => Err(NetError::Wire(e)),
+        }
+    }
+
+    fn remote_error(&self, payload: &[u8]) -> NetError {
+        match codec::decode_error(payload) {
+            Ok((code, message)) => NetError::Remote { code, message },
+            Err(e) => NetError::Codec(e),
+        }
+    }
+}

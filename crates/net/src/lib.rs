@@ -1,0 +1,40 @@
+//! # fj-net
+//!
+//! The network boundary of the filterjoin engine: a std-only TCP query
+//! server fronting [`fj_runtime::QueryService`], plus a blocking
+//! client, speaking a versioned length-prefixed binary protocol.
+//!
+//! * [`wire`] — magic + version handshake, `[type][len][payload]`
+//!   frames, typed [`ErrorCode`]s (SHED, DEADLINE, SHUTTING_DOWN, …);
+//! * [`codec`] — hand-rolled (serde-free) encoding of values,
+//!   expressions, [`fj_algebra::JoinQuery`], optimizer-config
+//!   overrides, and result rows; total decoders — adversarial bytes
+//!   produce typed errors, never panics;
+//! * [`server`] — accept loop + per-connection handler threads with a
+//!   connection cap, per-request deadlines bounding
+//!   [`fj_runtime::Ticket::wait_timeout`], load shedding at the edge
+//!   (`try_submit` → retryable SHED), graceful drain, and a STATS
+//!   request + periodic JSON log line over server counters;
+//! * [`client`] — one blocking connection per [`Client`], with
+//!   [`NetError::is_retryable`] marking shed/drain replies.
+//!
+//! ```
+//! use fj_algebra::fixtures::{paper_catalog, paper_query};
+//! use fj_net::{Client, Server, ServerConfig};
+//!
+//! let server = Server::bind("127.0.0.1:0", paper_catalog(), ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! let reply = client.query(&paper_query()).unwrap();
+//! assert_eq!(reply.rows.len(), 2);
+//! server.shutdown(); // drains in-flight queries, then closes
+//! ```
+
+pub mod client;
+pub mod codec;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, NetError, QueryOptions};
+pub use codec::{CodecError, QueryReply, QueryRequest};
+pub use server::{Server, ServerConfig, ServerStats};
+pub use wire::{ErrorCode, FrameType, WireError, VERSION};

@@ -1,0 +1,537 @@
+//! The TCP query server: an accept loop feeding per-connection handler
+//! threads that decode framed requests, run them through
+//! [`fj_runtime::QueryService`] admission control, and reply with
+//! results or typed errors.
+//!
+//! Operational behaviour (see `DESIGN.md`, "Network service & wire
+//! protocol"):
+//!
+//! * **Load shedding** — `try_submit` maps a full submission queue to
+//!   a retryable [`ErrorCode::Shed`] reply instead of blocking the
+//!   connection handler, and the connection cap sheds the same way at
+//!   accept time;
+//! * **Deadlines** — a request's `deadline_millis` bounds the handler's
+//!   [`fj_runtime::Ticket::wait_timeout`], measured from the instant
+//!   the request frame was decoded; an expired deadline replies
+//!   [`ErrorCode::DeadlineExceeded`] (the query itself is not torn
+//!   down — the worker finishes it and the plan stays cached);
+//! * **Graceful drain** — [`Server::shutdown`] stops the accept loop,
+//!   lets every handler finish the request it is serving (replies
+//!   included), then closes the worker pool. Accepted work is never
+//!   dropped; connections idling between requests are closed.
+
+use crate::codec;
+use crate::wire::{self, ErrorCode, Frame, FrameReader, FrameType, WireError};
+use fj_algebra::Catalog;
+use fj_optimizer::OptimizerConfig;
+use fj_runtime::{QueryService, RuntimeError, ServiceConfig};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Concurrent connections accepted before shedding at the edge.
+    pub max_connections: usize,
+    /// Per-frame payload cap in bytes.
+    pub max_frame_bytes: u32,
+    /// Emit a JSON stats line to stderr this often (`None` = never).
+    pub stats_log_every: Option<Duration>,
+    /// How long a handler mid-request-frame at shutdown may keep
+    /// reading before its connection is dropped.
+    pub drain_grace: Duration,
+    /// The query-service pool fronted by this server.
+    pub service: ServiceConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 64,
+            max_frame_bytes: wire::DEFAULT_MAX_FRAME_BYTES,
+            stats_log_every: None,
+            drain_grace: Duration::from_secs(2),
+            service: ServiceConfig::default(),
+        }
+    }
+}
+
+/// Live server-side counters (monotonic except `connections_active`).
+#[derive(Debug, Default)]
+struct Counters {
+    connections_total: AtomicU64,
+    connections_active: AtomicUsize,
+    connections_shed: AtomicU64,
+    requests: AtomicU64,
+    results: AtomicU64,
+    sheds: AtomicU64,
+    deadline_hits: AtomicU64,
+    errors_sent: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+}
+
+/// One observable snapshot of the server counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted since start (including later-shed ones).
+    pub connections_total: u64,
+    /// Connections currently open.
+    pub connections_active: usize,
+    /// Connections refused by the connection cap.
+    pub connections_shed: u64,
+    /// QUERY requests decoded.
+    pub requests: u64,
+    /// RESULT frames sent.
+    pub results: u64,
+    /// QUERY requests refused with [`ErrorCode::Shed`] (queue full).
+    pub sheds: u64,
+    /// QUERY requests that missed their deadline.
+    pub deadline_hits: u64,
+    /// ERROR frames sent (all codes).
+    pub errors_sent: u64,
+    /// Bytes received (frames after handshake).
+    pub bytes_in: u64,
+    /// Bytes sent (frames after handshake).
+    pub bytes_out: u64,
+}
+
+struct Shared {
+    service: QueryService,
+    default_config: OptimizerConfig,
+    counters: Counters,
+    shutting_down: AtomicBool,
+    max_frame_bytes: u32,
+    drain_grace: Duration,
+}
+
+impl Shared {
+    fn stats(&self) -> ServerStats {
+        let c = &self.counters;
+        ServerStats {
+            connections_total: c.connections_total.load(Ordering::Relaxed),
+            connections_active: c.connections_active.load(Ordering::Relaxed),
+            connections_shed: c.connections_shed.load(Ordering::Relaxed),
+            requests: c.requests.load(Ordering::Relaxed),
+            results: c.results.load(Ordering::Relaxed),
+            sheds: c.sheds.load(Ordering::Relaxed),
+            deadline_hits: c.deadline_hits.load(Ordering::Relaxed),
+            errors_sent: c.errors_sent.load(Ordering::Relaxed),
+            bytes_in: c.bytes_in.load(Ordering::Relaxed),
+            bytes_out: c.bytes_out.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Server counters + runtime metrics as one stable-key JSON line —
+    /// the STATS reply body and the periodic log line.
+    fn stats_json(&self) -> String {
+        let s = self.stats();
+        format!(
+            concat!(
+                "{{\"connections_total\":{},\"connections_active\":{},",
+                "\"connections_shed\":{},\"requests\":{},\"results\":{},",
+                "\"sheds\":{},\"deadline_hits\":{},\"errors_sent\":{},",
+                "\"bytes_in\":{},\"bytes_out\":{},\"runtime\":{}}}"
+            ),
+            s.connections_total,
+            s.connections_active,
+            s.connections_shed,
+            s.requests,
+            s.results,
+            s.sheds,
+            s.deadline_hits,
+            s.errors_sent,
+            s.bytes_in,
+            s.bytes_out,
+            self.service.metrics().to_json(),
+        )
+    }
+}
+
+/// The TCP query server; see the module docs.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    logger: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("local_addr", &self.local_addr)
+            .field("stats", &self.shared.stats())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port), starts the
+    /// query service over `catalog`, and begins accepting connections.
+    ///
+    /// The service config is validated strictly — a zero-sized knob is
+    /// an error here, not a clamp: a network server with a silently
+    /// resized queue would lie to its operators.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        catalog: Catalog,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        config
+            .service
+            .validate()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        if config.max_connections == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "max_connections must be ≥ 1",
+            ));
+        }
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let shared = Arc::new(Shared {
+            service: QueryService::start(catalog, config.service.clone()),
+            default_config: config.service.optimizer,
+            counters: Counters::default(),
+            shutting_down: AtomicBool::new(false),
+            max_frame_bytes: config.max_frame_bytes,
+            drain_grace: config.drain_grace,
+        });
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let handlers = Arc::clone(&handlers);
+            let max_conns = config.max_connections;
+            std::thread::Builder::new()
+                .name("fj-net-accept".into())
+                .spawn(move || accept_loop(&listener, &shared, &handlers, max_conns))
+                .expect("spawn fj-net accept thread")
+        };
+
+        let logger = config.stats_log_every.map(|every| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("fj-net-stats".into())
+                .spawn(move || stats_logger_loop(&shared, every))
+                .expect("spawn fj-net stats thread")
+        });
+
+        Ok(Server {
+            shared,
+            local_addr,
+            accept: Some(accept),
+            logger: Some(logger).flatten(),
+            handlers,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Snapshot of the server-side counters.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// The combined server + runtime stats JSON line (same body a
+    /// STATS request returns).
+    pub fn stats_json(&self) -> String {
+        self.shared.stats_json()
+    }
+
+    /// Live metrics of the fronted query service.
+    pub fn metrics(&self) -> fj_runtime::RuntimeMetrics {
+        self.shared.service.metrics()
+    }
+
+    /// Graceful drain: stop accepting, finish every in-flight request
+    /// (replies included), then stop the worker pool. Idempotent with
+    /// respect to `Drop`.
+    pub fn shutdown(mut self) {
+        self.stop();
+        // Dropping `self` drops the last `Arc<Shared>`, which shuts the
+        // QueryService down (close queue + join workers). The queue is
+        // already empty: every submitted request had a handler waiting
+        // on its ticket, and all handlers have been joined.
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.logger.take() {
+            let _ = t.join();
+        }
+        let drained: Vec<JoinHandle<()>> = {
+            let mut guard = self.handlers.lock().unwrap_or_else(|e| e.into_inner());
+            guard.drain(..).collect()
+        };
+        for t in drained {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    max_conns: usize,
+) {
+    while !shared.shutting_down.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let c = &shared.counters;
+                c.connections_total.fetch_add(1, Ordering::Relaxed);
+                let active = c.connections_active.fetch_add(1, Ordering::Relaxed);
+                let over_cap = active >= max_conns;
+                if over_cap {
+                    c.connections_shed.fetch_add(1, Ordering::Relaxed);
+                }
+                let conn_shared = Arc::clone(shared);
+                let spawned = std::thread::Builder::new()
+                    .name("fj-net-conn".into())
+                    .spawn(move || {
+                        handle_connection(stream, &conn_shared, over_cap);
+                        conn_shared
+                            .counters
+                            .connections_active
+                            .fetch_sub(1, Ordering::Relaxed);
+                    });
+                match spawned {
+                    Ok(handle) => {
+                        let mut guard = handlers.lock().unwrap_or_else(|e| e.into_inner());
+                        // Reap finished handlers so long-lived servers
+                        // don't accumulate handles.
+                        guard.retain(|h| !h.is_finished());
+                        guard.push(handle);
+                    }
+                    Err(_) => {
+                        // Spawn failure: undo the active count; the
+                        // stream drops (connection refused).
+                        shared
+                            .counters
+                            .connections_active
+                            .fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn stats_logger_loop(shared: &Shared, every: Duration) {
+    let mut last = Instant::now();
+    while !shared.shutting_down.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50).min(every));
+        if last.elapsed() >= every {
+            eprintln!("fj-net stats {}", shared.stats_json());
+            last = Instant::now();
+        }
+    }
+}
+
+/// Sends one frame, charging the byte counter; returns false when the
+/// peer is gone (handler should close).
+fn send_frame(stream: &mut TcpStream, shared: &Shared, ty: FrameType, payload: &[u8]) -> bool {
+    match wire::write_frame(stream, ty, payload) {
+        Ok(n) => {
+            shared
+                .counters
+                .bytes_out
+                .fetch_add(n as u64, Ordering::Relaxed);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+fn send_error(stream: &mut TcpStream, shared: &Shared, code: ErrorCode, message: &str) -> bool {
+    shared.counters.errors_sent.fetch_add(1, Ordering::Relaxed);
+    if code == ErrorCode::Shed {
+        shared.counters.sheds.fetch_add(1, Ordering::Relaxed);
+    }
+    if code == ErrorCode::DeadlineExceeded {
+        shared
+            .counters
+            .deadline_hits
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    let payload = codec::encode_error(code, message);
+    send_frame(stream, shared, FrameType::Error, &payload)
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared, over_cap: bool) {
+    let _ = stream.set_nodelay(true);
+    // Generous handshake window; a silent peer cannot pin the handler.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    if wire::server_handshake(&mut stream).is_err() {
+        return;
+    }
+    if over_cap {
+        send_error(
+            &mut stream,
+            shared,
+            ErrorCode::Shed,
+            "connection limit reached; retry later",
+        );
+        return;
+    }
+    // Short poll timeout so the handler notices a drain promptly.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+
+    let mut reader = FrameReader::new(shared.max_frame_bytes);
+    let mut drain_started: Option<Instant> = None;
+    loop {
+        let polled = reader.read_frame(&mut stream, |mid_frame| {
+            if !shared.shutting_down.load(Ordering::SeqCst) {
+                return false;
+            }
+            if !mid_frame {
+                return true;
+            }
+            // Mid-frame at drain time: the request is partially on the
+            // wire, so grant a grace window to finish receiving it.
+            let started = *drain_started.get_or_insert_with(Instant::now);
+            started.elapsed() >= shared.drain_grace
+        });
+        let frame = match polled {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return, // clean close or drain between frames
+            Err(WireError::FrameTooLarge { len, max }) => {
+                send_error(
+                    &mut stream,
+                    shared,
+                    ErrorCode::FrameTooLarge,
+                    &format!("frame of {len} bytes exceeds cap of {max}"),
+                );
+                return;
+            }
+            Err(WireError::UnknownFrameType(b)) => {
+                send_error(
+                    &mut stream,
+                    shared,
+                    ErrorCode::Malformed,
+                    &format!("unknown frame type 0x{b:02x}"),
+                );
+                return;
+            }
+            Err(_) => return, // socket error or truncation: just close
+        };
+        shared
+            .counters
+            .bytes_in
+            .fetch_add(frame.wire_bytes as u64, Ordering::Relaxed);
+
+        match frame.ty {
+            FrameType::Query => {
+                if !handle_query(&mut stream, shared, &frame) {
+                    return;
+                }
+            }
+            FrameType::Stats => {
+                let json = shared.stats_json();
+                let payload = match codec::encode_stats_reply(&json) {
+                    Ok(p) => p,
+                    Err(_) => return,
+                };
+                if !send_frame(&mut stream, shared, FrameType::StatsReply, &payload) {
+                    return;
+                }
+            }
+            FrameType::Result | FrameType::StatsReply | FrameType::Error => {
+                send_error(
+                    &mut stream,
+                    shared,
+                    ErrorCode::Malformed,
+                    "response frame sent to server",
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// Serves one QUERY frame; returns false when the connection should
+/// close.
+fn handle_query(stream: &mut TcpStream, shared: &Shared, frame: &Frame) -> bool {
+    let received = Instant::now();
+    shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+    let request = match codec::decode_request(&frame.payload) {
+        Ok(req) => req,
+        Err(e) => {
+            return send_error(stream, shared, ErrorCode::Malformed, &e.to_string());
+        }
+    };
+    let config = request.config.unwrap_or(shared.default_config);
+    let deadline = match request.deadline_millis {
+        0 => None,
+        ms => Some(Duration::from_millis(ms)),
+    };
+
+    let ticket = match shared.service.try_submit_with_config(request.query, config) {
+        Ok(t) => t,
+        Err(RuntimeError::QueueFull) => {
+            return send_error(
+                stream,
+                shared,
+                ErrorCode::Shed,
+                "submission queue full; retry with backoff",
+            );
+        }
+        Err(RuntimeError::ShuttingDown) => {
+            return send_error(stream, shared, ErrorCode::ShuttingDown, "server draining");
+        }
+        Err(e) => {
+            return send_error(stream, shared, ErrorCode::Internal, &e.to_string());
+        }
+    };
+
+    let outcome = match deadline {
+        None => ticket.wait(),
+        Some(d) => ticket.wait_timeout(d.saturating_sub(received.elapsed())),
+    };
+    match outcome {
+        Ok(result) => match codec::encode_reply(&result) {
+            Ok(payload) => {
+                shared.counters.results.fetch_add(1, Ordering::Relaxed);
+                send_frame(stream, shared, FrameType::Result, &payload)
+            }
+            Err(e) => send_error(stream, shared, ErrorCode::Internal, &e.to_string()),
+        },
+        Err(RuntimeError::DeadlineExceeded) => send_error(
+            stream,
+            shared,
+            ErrorCode::DeadlineExceeded,
+            "deadline expired before the query finished",
+        ),
+        Err(RuntimeError::Query(e)) => {
+            send_error(stream, shared, ErrorCode::QueryFailed, &e.to_string())
+        }
+        Err(RuntimeError::ShuttingDown) => {
+            send_error(stream, shared, ErrorCode::ShuttingDown, "server draining")
+        }
+        Err(e) => send_error(stream, shared, ErrorCode::Internal, &e.to_string()),
+    }
+}

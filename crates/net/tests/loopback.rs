@@ -1,0 +1,396 @@
+//! Loopback integration tests: a real server on an ephemeral port,
+//! real TCP clients, and the behaviours the subsystem promises —
+//! concurrent row-set fidelity vs the serial `Database` facade, load
+//! shedding under a tiny queue, deadline expiry, graceful drain, and
+//! protocol-violation handling on raw sockets.
+
+use fj_algebra::fixtures::{paper_catalog, paper_query};
+use fj_algebra::{Catalog, FromItem, JoinQuery};
+use fj_core::Database;
+use fj_expr::{col, lit};
+use fj_net::{Client, ErrorCode, NetError, QueryOptions, Server, ServerConfig};
+use fj_optimizer::OptimizerConfig;
+use fj_runtime::ServiceConfig;
+use fj_storage::{DataType, TableBuilder, Tuple};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::thread;
+use std::time::{Duration, Instant};
+
+fn sorted(mut rows: Vec<Tuple>) -> Vec<Tuple> {
+    rows.sort();
+    rows
+}
+
+/// The paper query with a tweakable age threshold, so distinct
+/// constants yield distinct queries (and distinct plan fingerprints).
+fn query_with_age(age: i64) -> JoinQuery {
+    JoinQuery::new(vec![
+        FromItem::new("Emp", "E"),
+        FromItem::new("Dept", "D"),
+        FromItem::new("DepAvgSal", "V"),
+    ])
+    .with_predicate(
+        col("E.did")
+            .eq(col("D.did"))
+            .and(col("E.did").eq(col("V.did")))
+            .and(col("E.sal").gt(col("V.avgsal")))
+            .and(col("E.age").lt(lit(age))),
+    )
+}
+
+/// A two-table equi-join big enough that a debug-build execution takes
+/// long enough to hold a worker while other requests pile up.
+fn big_catalog_and_query(rows: i64) -> (Catalog, JoinQuery) {
+    let mut cat = Catalog::new();
+    cat.add_table(
+        TableBuilder::new("L")
+            .column("k", DataType::Int)
+            .column("v", DataType::Int)
+            .rows((0..rows).map(|i| vec![(i % 97).into(), i.into()]))
+            .build()
+            .unwrap()
+            .into_ref(),
+    );
+    cat.add_table(
+        TableBuilder::new("R")
+            .column("k", DataType::Int)
+            .column("w", DataType::Int)
+            .rows((0..rows).map(|i| vec![(i % 89).into(), (-i).into()]))
+            .build()
+            .unwrap()
+            .into_ref(),
+    );
+    let q = JoinQuery::new(vec![FromItem::new("L", "A"), FromItem::new("R", "B")])
+        .with_predicate(col("A.k").eq(col("B.k")));
+    (cat, q)
+}
+
+#[test]
+fn thirty_two_concurrent_clients_match_serial() {
+    let server = Server::bind("127.0.0.1:0", paper_catalog(), ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let serial = Database::with_catalog(paper_catalog());
+    let ages: Vec<i64> = (0..8).map(|i| 24 + i).collect();
+    let expected: Vec<Vec<Tuple>> = ages
+        .iter()
+        .map(|&a| sorted(serial.execute(&query_with_age(a)).unwrap().rows))
+        .collect();
+
+    let handles: Vec<_> = (0..32)
+        .map(|i| {
+            let which = i % ages.len();
+            let age = ages[which];
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                // Two requests per connection: the protocol is
+                // request/response, not one-shot.
+                let first = client.query(&query_with_age(age)).unwrap();
+                let second = client.query(&query_with_age(age)).unwrap();
+                (which, sorted(first.rows), sorted(second.rows))
+            })
+        })
+        .collect();
+    for h in handles {
+        let (which, first, second) = h.join().unwrap();
+        assert_eq!(first, expected[which], "variant {which} diverged over TCP");
+        assert_eq!(
+            second, expected[which],
+            "repeat of variant {which} diverged"
+        );
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.connections_total, 32);
+    assert_eq!(stats.requests, 64);
+    assert_eq!(stats.results, 64);
+    assert_eq!(stats.sheds, 0);
+    assert!(stats.bytes_in > 0 && stats.bytes_out > 0);
+    server.shutdown();
+}
+
+#[test]
+fn per_request_config_override_changes_the_plan_not_the_rows() {
+    let server = Server::bind("127.0.0.1:0", paper_catalog(), ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let default_reply = client.query(&paper_query()).unwrap();
+    let override_reply = client
+        .query_with(
+            &paper_query(),
+            &QueryOptions {
+                deadline: None,
+                config: Some(OptimizerConfig::without_filter_join()),
+            },
+        )
+        .unwrap();
+    assert_eq!(
+        sorted(default_reply.rows),
+        sorted(override_reply.rows),
+        "an optimizer override may change the plan but never the answer"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn queue_full_sheds_with_retryable_code_and_no_hang() {
+    let (cat, query) = big_catalog_and_query(1500);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        cat,
+        ServerConfig {
+            service: ServiceConfig {
+                workers: 1,
+                queue_capacity: 1,
+                ..ServiceConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let query = query.clone();
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                match client.query(&query) {
+                    Ok(reply) => Ok(reply.rows.len()),
+                    Err(e) => Err(e),
+                }
+            })
+        })
+        .collect();
+    let mut oks = 0u32;
+    let mut sheds = 0u32;
+    for h in handles {
+        match h.join().unwrap() {
+            Ok(nrows) => {
+                assert!(nrows > 0);
+                oks += 1;
+            }
+            Err(NetError::Remote { code, .. }) => {
+                assert_eq!(code, ErrorCode::Shed, "only SHED is expected here");
+                sheds += 1;
+            }
+            Err(other) => panic!("unexpected client error: {other}"),
+        }
+    }
+    assert_eq!(oks + sheds, 8);
+    assert!(oks >= 1, "at least the first-in request must be served");
+    assert!(
+        sheds >= 1,
+        "8 slow queries against workers=1/queue=1 must shed at least one"
+    );
+    // Shed replies are immediate refusals, not timeouts: the whole
+    // burst must resolve in far less time than serving 8 queries
+    // serially would take.
+    assert!(
+        start.elapsed() < Duration::from_secs(60),
+        "shedding must not degrade into hanging"
+    );
+    let stats = server.stats();
+    assert_eq!(stats.sheds as u32, sheds);
+    assert!(server.stats_json().contains("\"sheds\":"));
+
+    // A shed client's NetError advertises retryability — and now that
+    // the burst is over, an actual retry succeeds.
+    let mut retry = Client::connect(addr).unwrap();
+    match retry.query(&query) {
+        Ok(reply) => assert!(!reply.rows.is_empty()),
+        Err(e) => assert!(e.is_retryable(), "SHED must be marked retryable: {e}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn deadline_expiry_surfaces_without_poisoning_the_connection() {
+    let (cat, query) = big_catalog_and_query(2000);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        cat,
+        ServerConfig {
+            service: ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // 1 ms against a query that takes orders of magnitude longer.
+    let err = client
+        .query_with(
+            &query,
+            &QueryOptions {
+                deadline: Some(Duration::from_millis(1)),
+                config: None,
+            },
+        )
+        .unwrap_err();
+    match &err {
+        NetError::Remote { code, .. } => assert_eq!(*code, ErrorCode::DeadlineExceeded),
+        other => panic!("expected DEADLINE, got {other}"),
+    }
+    assert!(
+        !err.is_retryable(),
+        "an expired deadline is the caller's budget, not server pushback"
+    );
+    assert!(server.stats().deadline_hits >= 1);
+
+    // The connection stays usable, and the abandoned query was not
+    // cancelled — its plan is in the cache, so the retry without a
+    // deadline succeeds.
+    let reply = client.query(&query).unwrap();
+    assert!(!reply.rows.is_empty());
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_every_accepted_query() {
+    let (cat, query) = big_catalog_and_query(1200);
+    let expected = sorted(
+        Database::with_catalog(cat.clone())
+            .execute(&query)
+            .unwrap()
+            .rows,
+    );
+    let server = Server::bind(
+        "127.0.0.1:0",
+        cat,
+        ServerConfig {
+            service: ServiceConfig {
+                workers: 2,
+                queue_capacity: 64,
+                ..ServiceConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let query = query.clone();
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                client.query(&query).map(|r| sorted(r.rows))
+            })
+        })
+        .collect();
+
+    // Wait until all 8 requests are accepted (decoded and counted),
+    // then begin draining while most are still queued or executing.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while server.stats().requests < 8 {
+        assert!(Instant::now() < deadline, "requests never arrived");
+        thread::sleep(Duration::from_millis(2));
+    }
+    server.shutdown();
+
+    // Every accepted query completed with full, correct rows — drain
+    // means finish, not abort.
+    for h in handles {
+        let rows = h
+            .join()
+            .unwrap()
+            .expect("accepted work must not be dropped");
+        assert_eq!(rows, expected);
+    }
+
+    // And the listener is gone: new connections are refused.
+    assert!(
+        Client::connect(addr).is_err(),
+        "a drained server must not accept new connections"
+    );
+}
+
+#[test]
+fn version_mismatch_is_rejected_in_the_handshake() {
+    let server = Server::bind("127.0.0.1:0", paper_catalog(), ServerConfig::default()).unwrap();
+    let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+    let mut hello = Vec::new();
+    hello.extend_from_slice(b"FJNT");
+    hello.extend_from_slice(&0x7777u16.to_be_bytes()); // unknown version
+    raw.write_all(&hello).unwrap();
+    let mut echo = [0u8; 6];
+    raw.read_exact(&mut echo).unwrap();
+    assert_eq!(&echo[0..4], b"FJNT");
+    assert_eq!(
+        u16::from_be_bytes([echo[4], echo[5]]),
+        fj_net::wire::VERSION_REJECTED
+    );
+    server.shutdown();
+}
+
+#[test]
+fn response_frame_from_a_client_is_malformed() {
+    let server = Server::bind("127.0.0.1:0", paper_catalog(), ServerConfig::default()).unwrap();
+    let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+    fj_net::wire::client_handshake(&mut raw).unwrap();
+    // A RESULT frame is server→client only; sending one upstream is a
+    // protocol violation the server must answer with a typed error.
+    fj_net::wire::write_frame(&mut raw, fj_net::FrameType::Result, &[1, 2, 3]).unwrap();
+    let mut reader = fj_net::wire::FrameReader::new(fj_net::wire::DEFAULT_MAX_FRAME_BYTES);
+    let frame = reader.read_frame_blocking(&mut raw).unwrap().unwrap();
+    assert_eq!(frame.ty, fj_net::FrameType::Error);
+    let (code, _) = fj_net::codec::decode_error(&frame.payload).unwrap();
+    assert_eq!(code, ErrorCode::Malformed);
+    server.shutdown();
+}
+
+#[test]
+fn connection_cap_sheds_at_the_edge() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        paper_catalog(),
+        ServerConfig {
+            max_connections: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let _first = Client::connect(addr).unwrap();
+    // The second connection completes the handshake but its first
+    // request is answered SHED and the connection closed.
+    let outcome = Client::connect(addr).and_then(|mut c| c.query(&paper_query()));
+    match outcome {
+        Err(e) => assert!(
+            e.is_retryable() || matches!(e, NetError::ConnectionClosed | NetError::Io(_)),
+            "over-cap connection must be shed or closed, got {e}"
+        ),
+        Ok(_) => panic!("second connection must not be served while capped at 1"),
+    }
+    assert!(server.stats().connections_shed >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn stats_request_returns_merged_json() {
+    let server = Server::bind("127.0.0.1:0", paper_catalog(), ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.query(&paper_query()).unwrap();
+    let json = client.stats_json().unwrap();
+    for key in [
+        "\"connections_total\":",
+        "\"requests\":1",
+        "\"results\":1",
+        "\"sheds\":0",
+        "\"deadline_hits\":0",
+        "\"bytes_in\":",
+        "\"bytes_out\":",
+        "\"runtime\":{",
+        "\"completed\":1",
+        "\"cache_hit_rate\":",
+    ] {
+        assert!(json.contains(key), "stats JSON missing {key}: {json}");
+    }
+    server.shutdown();
+}

@@ -1,0 +1,375 @@
+//! Property tests of the wire codec: arbitrary queries, configs,
+//! values, and result rows survive an encode → decode round trip
+//! unchanged, and adversarial bytes — random, truncated, mutated, or
+//! crafted (depth bombs, lying lengths) — produce typed errors, never
+//! panics.
+
+use fj_algebra::{FromItem, JoinQuery, NetworkModel};
+use fj_expr::{col, lit, Expr};
+use fj_net::codec::{
+    decode_expr, decode_reply, decode_request, decode_value, encode_expr, encode_reply_parts,
+    encode_request, encode_value, CodecError, QueryRequest, Reader, Writer, MAX_EXPR_DEPTH,
+};
+use fj_optimizer::{CostParams, OptimizerConfig};
+use fj_storage::{Column, DataType, Schema, Tuple, Value};
+use proptest::prelude::*;
+
+/// Deterministic value from two generated words.
+fn value_from(tag: u64, payload: u64) -> Value {
+    match tag % 5 {
+        0 => Value::Null,
+        1 => Value::Int(payload as i64),
+        2 => Value::Double(f64::from_bits(payload)),
+        3 => Value::Str(format!("s{}", payload % 1000)),
+        _ => Value::Bool(payload & 1 == 0),
+    }
+}
+
+/// Deterministic expression tree from a word stream (consumes words;
+/// bottoms out at columns when the stream runs dry or depth is hit).
+fn expr_from(words: &mut dyn Iterator<Item = u64>, depth: usize) -> Expr {
+    let Some(w) = words.next() else {
+        return col("T.leaf");
+    };
+    if depth > 24 {
+        return col(format!("T.c{}", w % 8));
+    }
+    match w % 6 {
+        0 => col(format!("T.c{}", w % 8)),
+        1 => Expr::Literal(value_from(w / 7, w.rotate_left(13))),
+        2 | 3 => {
+            let ops = [
+                fj_expr::BinOp::Eq,
+                fj_expr::BinOp::Ne,
+                fj_expr::BinOp::Lt,
+                fj_expr::BinOp::Le,
+                fj_expr::BinOp::Gt,
+                fj_expr::BinOp::Ge,
+                fj_expr::BinOp::And,
+                fj_expr::BinOp::Or,
+                fj_expr::BinOp::Add,
+                fj_expr::BinOp::Sub,
+                fj_expr::BinOp::Mul,
+                fj_expr::BinOp::Div,
+                fj_expr::BinOp::Mod,
+            ];
+            let op = ops[(w / 6) as usize % ops.len()];
+            let left = expr_from(words, depth + 1);
+            let right = expr_from(words, depth + 1);
+            left.binary_for_test(op, right)
+        }
+        4 => expr_from(words, depth + 1).not(),
+        _ => expr_from(words, depth + 1).is_null(),
+    }
+}
+
+/// Builds `Expr::Binary` without a public constructor per operator.
+trait BinaryForTest {
+    fn binary_for_test(self, op: fj_expr::BinOp, rhs: Expr) -> Expr;
+}
+impl BinaryForTest for Expr {
+    fn binary_for_test(self, op: fj_expr::BinOp, rhs: Expr) -> Expr {
+        use fj_expr::BinOp::*;
+        match op {
+            Eq => self.eq(rhs),
+            Ne => self.ne(rhs),
+            Lt => self.lt(rhs),
+            Le => self.le(rhs),
+            Gt => self.gt(rhs),
+            Ge => self.ge(rhs),
+            And => self.and(rhs),
+            Or => self.or(rhs),
+            Add => self.add(rhs),
+            Sub => self.sub(rhs),
+            Mul => self.mul(rhs),
+            Div => self.div(rhs),
+            Mod => self.rem(rhs),
+        }
+    }
+}
+
+fn query_from(
+    from_words: &[u64],
+    pred_words: Option<Vec<u64>>,
+    proj_words: Option<Vec<u64>>,
+) -> JoinQuery {
+    let from = from_words
+        .iter()
+        .enumerate()
+        .map(|(i, w)| FromItem::new(format!("Rel{}", w % 12), format!("A{i}")))
+        .collect();
+    let mut q = JoinQuery::new(from);
+    if let Some(words) = pred_words {
+        q = q.with_predicate(expr_from(&mut words.into_iter(), 0));
+    }
+    if let Some(words) = proj_words {
+        let sel = words
+            .chunks(3)
+            .enumerate()
+            .map(|(i, chunk)| (expr_from(&mut chunk.iter().copied(), 0), format!("out{i}")))
+            .collect();
+        q = q.with_projection(sel);
+    }
+    q
+}
+
+fn config_from(flags: u64, eq_classes: usize, cpu: f64, pages: u64) -> OptimizerConfig {
+    OptimizerConfig {
+        enable_filter_join: flags & 1 != 0,
+        enable_bloom: flags & 2 != 0,
+        enable_index_nl: flags & 4 != 0,
+        enable_merge_join: flags & 8 != 0,
+        filter_join_on_base: flags & 16 != 0,
+        allow_prefix_production: flags & 32 != 0,
+        eq_classes,
+        params: CostParams {
+            cpu_weight: cpu,
+            memory_pages: pages,
+            network: NetworkModel {
+                per_message: cpu * 3.0,
+                per_byte: cpu / 1024.0,
+            },
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn value_round_trip(tag in 0u64..5, payload in 0u64..u64::MAX) {
+        let v = value_from(tag, payload);
+        let mut w = Writer::new();
+        encode_value(&mut w, &v).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = decode_value(&mut r).unwrap();
+        r.finish().unwrap();
+        // Compare through Debug so Int(1) / Double(1.0) cannot blur:
+        // the round trip must preserve the exact variant and payload.
+        prop_assert_eq!(format!("{:?}", back), format!("{:?}", v));
+    }
+
+    #[test]
+    fn expr_round_trip(words in prop::collection::vec(0u64..u64::MAX, 1..40)) {
+        let e = expr_from(&mut words.into_iter(), 0);
+        let mut w = Writer::new();
+        encode_expr(&mut w, &e).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = decode_expr(&mut r).unwrap();
+        r.finish().unwrap();
+        prop_assert_eq!(back, e);
+    }
+
+    #[test]
+    fn request_round_trip(
+        from_words in prop::collection::vec(0u64..u64::MAX, 1..6),
+        pred_words in prop::option::of(prop::collection::vec(0u64..u64::MAX, 1..30)),
+        proj_words in prop::option::of(prop::collection::vec(0u64..u64::MAX, 1..12)),
+        deadline in 0u64..100_000,
+        flags in 0u64..64,
+        eq_classes in 0usize..16,
+        cpu in 0.0f64..10.0,
+        pages in 1u64..1_000_000,
+        with_config in 0u64..2,
+    ) {
+        let request = QueryRequest {
+            deadline_millis: deadline,
+            config: (with_config == 1).then(|| config_from(flags, eq_classes, cpu, pages)),
+            query: query_from(&from_words, pred_words, proj_words),
+        };
+        let bytes = encode_request(&request).unwrap();
+        let back = decode_request(&bytes).unwrap();
+        prop_assert_eq!(back, request);
+    }
+
+    #[test]
+    fn reply_round_trip(
+        col_words in prop::collection::vec((0u64..4, 0u64..2), 1..6),
+        row_words in prop::collection::vec(0u64..u64::MAX, 0..60),
+        measured in 0.0f64..1e9,
+        latency in 0u64..u64::MAX,
+        est in prop::option::of(0.0f64..1e9),
+        cache_hit in 0u64..2,
+    ) {
+        let types = [DataType::Int, DataType::Double, DataType::Str, DataType::Bool];
+        let columns: Vec<Column> = col_words
+            .iter()
+            .enumerate()
+            .map(|(i, (t, n))| {
+                let ty = types[*t as usize % types.len()];
+                if *n == 1 {
+                    Column::nullable(format!("T.c{i}"), ty)
+                } else {
+                    Column::new(format!("T.c{i}"), ty)
+                }
+            })
+            .collect();
+        let schema = Schema::new(columns).unwrap();
+        let arity = schema.arity();
+        let rows: Vec<Tuple> = row_words
+            .chunks(arity * 2)
+            .filter(|c| c.len() == arity * 2)
+            .map(|c| {
+                Tuple::new(
+                    (0..arity)
+                        .map(|i| value_from(c[2 * i], c[2 * i + 1]))
+                        .collect(),
+                )
+            })
+            .collect();
+        let bytes = encode_reply_parts(
+            &schema, &rows, measured, est, cache_hit == 1, latency,
+        )
+        .unwrap();
+        let reply = decode_reply(&bytes).unwrap();
+        prop_assert_eq!(reply.schema.as_ref(), &schema);
+        prop_assert_eq!(
+            format!("{:?}", reply.rows),
+            format!("{:?}", rows)
+        );
+        prop_assert_eq!(reply.measured_cost.to_bits(), measured.to_bits());
+        prop_assert_eq!(reply.estimated_cost.map(f64::to_bits), est.map(f64::to_bits));
+        prop_assert_eq!(reply.cache_hit, cache_hit == 1);
+        prop_assert_eq!(reply.latency_micros, latency);
+    }
+
+    /// Random bytes never panic the request decoder.
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(0u64..256, 0..200)) {
+        let payload: Vec<u8> = bytes.iter().map(|b| *b as u8).collect();
+        let _ = decode_request(&payload);
+        let _ = decode_reply(&payload);
+        let _ = fj_net::codec::decode_error(&payload);
+        let _ = fj_net::codec::decode_stats_reply(&payload);
+    }
+
+    /// Every truncation of a valid request is a typed error (or, only
+    /// at full length, a success) — never a panic.
+    #[test]
+    fn truncations_are_typed_errors(
+        from_words in prop::collection::vec(0u64..u64::MAX, 1..4),
+        pred_words in prop::option::of(prop::collection::vec(0u64..u64::MAX, 1..20)),
+    ) {
+        let request = QueryRequest {
+            deadline_millis: 17,
+            config: Some(OptimizerConfig::default()),
+            query: query_from(&from_words, pred_words, None),
+        };
+        let bytes = encode_request(&request).unwrap();
+        for cut in 0..bytes.len() {
+            match decode_request(&bytes[..cut]) {
+                Err(_) => {}
+                Ok(_) => panic!("truncated payload decoded at cut {cut}/{}", bytes.len()),
+            }
+        }
+        prop_assert_eq!(decode_request(&bytes).unwrap(), request);
+    }
+
+    /// Single-byte mutations never panic (they may decode to a
+    /// different valid request; that is fine — framing checksums are
+    /// TCP's job).
+    #[test]
+    fn mutations_never_panic(
+        from_words in prop::collection::vec(0u64..u64::MAX, 1..4),
+        pos_word in 0u64..u64::MAX,
+        new_byte in 0u64..256,
+    ) {
+        let request = QueryRequest {
+            deadline_millis: 3,
+            config: None,
+            query: query_from(&from_words, Some(vec![pos_word]), None),
+        };
+        let mut bytes = encode_request(&request).unwrap();
+        let pos = (pos_word as usize) % bytes.len();
+        bytes[pos] = new_byte as u8;
+        let _ = decode_request(&bytes);
+    }
+}
+
+#[test]
+fn depth_bomb_is_too_deep_not_a_stack_overflow() {
+    // 300 nested NOT tags around a column: decoding must stop at
+    // MAX_EXPR_DEPTH with a typed error instead of recursing away.
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&0u64.to_be_bytes()); // deadline
+    payload.push(0); // no config override
+    payload.extend_from_slice(&1u32.to_be_bytes()); // one FROM item
+    payload.extend_from_slice(&1u32.to_be_bytes());
+    payload.push(b'R');
+    payload.extend_from_slice(&1u32.to_be_bytes());
+    payload.push(b'A');
+    payload.push(1); // predicate present
+    payload.extend(vec![3u8; MAX_EXPR_DEPTH + 100]); // EXPR_NOT tags
+    payload.push(0); // EXPR_COLUMN
+    payload.extend_from_slice(&1u32.to_be_bytes());
+    payload.push(b'x');
+    payload.push(0); // no projection
+    assert!(matches!(decode_request(&payload), Err(CodecError::TooDeep)));
+}
+
+#[test]
+fn lying_string_length_is_rejected_before_allocation() {
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&0u64.to_be_bytes());
+    payload.push(0);
+    payload.extend_from_slice(&1u32.to_be_bytes());
+    payload.extend_from_slice(&u32::MAX.to_be_bytes()); // "4 GiB" name
+    payload.push(b'R');
+    assert!(matches!(
+        decode_request(&payload),
+        Err(CodecError::TooLarge { .. })
+    ));
+}
+
+#[test]
+fn non_utf8_string_is_typed() {
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&0u64.to_be_bytes());
+    payload.push(0);
+    payload.extend_from_slice(&1u32.to_be_bytes());
+    payload.extend_from_slice(&2u32.to_be_bytes());
+    payload.extend_from_slice(&[0xFF, 0xFE]); // invalid UTF-8 relation
+    assert!(matches!(decode_request(&payload), Err(CodecError::BadUtf8)));
+}
+
+#[test]
+fn trailing_bytes_are_rejected() {
+    let request = QueryRequest {
+        deadline_millis: 0,
+        config: None,
+        query: JoinQuery::new(vec![FromItem::new("Emp", "E")])
+            .with_predicate(col("E.age").lt(lit(30))),
+    };
+    let mut bytes = encode_request(&request).unwrap();
+    bytes.push(0xAB);
+    assert!(matches!(
+        decode_request(&bytes),
+        Err(CodecError::TrailingBytes(1))
+    ));
+}
+
+#[test]
+fn duplicate_reply_columns_are_invalid_not_panic() {
+    // Hand-craft a reply payload whose schema repeats a column name:
+    // Schema::new rejects it, and the codec must surface that as a
+    // typed Invalid error.
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&2u32.to_be_bytes()); // two columns
+    for _ in 0..2 {
+        payload.extend_from_slice(&3u32.to_be_bytes());
+        payload.extend_from_slice(b"T.a");
+        payload.push(0); // Int
+        payload.push(0); // non-nullable
+    }
+    payload.extend_from_slice(&0u32.to_be_bytes()); // zero rows
+    payload.extend_from_slice(&0f64.to_bits().to_be_bytes());
+    payload.push(0); // no estimate
+    payload.push(0); // cache_hit = false
+    payload.extend_from_slice(&0u64.to_be_bytes());
+    assert!(matches!(
+        decode_reply(&payload),
+        Err(CodecError::Invalid(_))
+    ));
+}

@@ -68,7 +68,13 @@ impl CostParams {
 
     /// Block-nested-loops join cost *beyond* producing the inputs:
     /// `(⌈P_outer/(M−2)⌉−1)·P_inner` rescan I/O + one CPU op per pair.
-    pub fn bnl_cost(&self, outer_rows: f64, outer_pages: f64, inner_rows: f64, inner_pages: f64) -> f64 {
+    pub fn bnl_cost(
+        &self,
+        outer_rows: f64,
+        outer_pages: f64,
+        inner_rows: f64,
+        inner_pages: f64,
+    ) -> f64 {
         let m = (self.memory_pages.saturating_sub(2)).max(1) as f64;
         let blocks = (outer_pages / m).ceil().max(1.0);
         (blocks - 1.0) * inner_pages + self.cpu(outer_rows * inner_rows.max(1.0))

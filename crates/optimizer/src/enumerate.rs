@@ -22,8 +22,8 @@ use crate::filter_join::{
 use crate::parametric::ParametricEstimator;
 use fj_algebra::{Catalog, JoinKind, JoinQuery, LogicalPlan, RelationKind, Sips};
 use fj_exec::{lower, PhysPlan};
-use fj_storage::Index as _;
 use fj_expr::{columns_of, conjoin, split_conjuncts, EquiJoinKey, Expr};
+use fj_storage::Index as _;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -136,16 +136,11 @@ fn insert_pruned(entries: &mut Vec<Entry>, e: Entry) {
     {
         return;
     }
-    entries.retain(|k| {
-        !(e.cost <= k.cost + 1e-12 && order_satisfies(&e.order_by, &k.order_by))
-    });
+    entries.retain(|k| !(e.cost <= k.cost + 1e-12 && order_satisfies(&e.order_by, &k.order_by)));
     entries.push(e);
     if entries.len() > MAX_ENTRIES_PER_SUBSET {
         // Never drop the cheapest; drop the most expensive of the rest.
-        let min_cost = entries
-            .iter()
-            .map(|k| k.cost)
-            .fold(f64::INFINITY, f64::min);
+        let min_cost = entries.iter().map(|k| k.cost).fold(f64::INFINITY, f64::min);
         if let Some((idx, _)) = entries
             .iter()
             .enumerate()
@@ -222,9 +217,7 @@ impl Optimizer {
                 // Conjuncts first fully bound at this join.
                 let applicable: Vec<Expr> = conjuncts
                     .iter()
-                    .filter(|(_, m)| {
-                        *m & !mask == 0 && *m & bit != 0 && *m != bit
-                    })
+                    .filter(|(_, m)| *m & !mask == 0 && *m & bit != 0 && *m != bit)
                     .map(|(c, _)| c.clone())
                     .collect();
                 for outer in outers {
@@ -234,25 +227,19 @@ impl Optimizer {
                     // Prefix productions for the Limitation-2 ablation:
                     // the DP table still holds every prefix of the
                     // outer's own join order (cheapest entry each).
-                    let prefixes: Vec<(usize, &Entry)> =
-                        if self.config.allow_prefix_production {
-                            (1..outer.order.len())
-                                .filter_map(|k| {
-                                    let m = outer.order[..k]
-                                        .iter()
-                                        .fold(0u64, |acc, &i| acc | (1 << i));
-                                    best.get(&m)
-                                        .and_then(|v| {
-                                            v.iter().min_by(|a, b| {
-                                                a.cost.total_cmp(&b.cost)
-                                            })
-                                        })
-                                        .map(|e| (k, e))
-                                })
-                                .collect()
-                        } else {
-                            Vec::new()
-                        };
+                    let prefixes: Vec<(usize, &Entry)> = if self.config.allow_prefix_production {
+                        (1..outer.order.len())
+                            .filter_map(|k| {
+                                let m =
+                                    outer.order[..k].iter().fold(0u64, |acc, &i| acc | (1 << i));
+                                best.get(&m)
+                                    .and_then(|v| v.iter().min_by(|a, b| a.cost.total_cmp(&b.cost)))
+                                    .map(|e| (k, e))
+                            })
+                            .collect()
+                    } else {
+                        Vec::new()
+                    };
                     for leaf_alt in &leaf_alts {
                         let candidates = self.join_candidates(
                             query,
@@ -371,11 +358,7 @@ impl Optimizer {
             let mut next: Vec<Entry> = Vec::new();
             for outer in &frontier {
                 let prefixes: Vec<(usize, &Entry)> = if self.config.allow_prefix_production {
-                    chain
-                        .iter()
-                        .enumerate()
-                        .map(|(i, e)| (i + 1, e))
-                        .collect()
+                    chain.iter().enumerate().map(|(i, e)| (i + 1, e)).collect()
                 } else {
                     Vec::new()
                 };
@@ -434,7 +417,6 @@ impl Optimizer {
             nested_invocations: memo.nested_invocations,
         })
     }
-
 
     /// The SELECT list to apply on top of the final join: the user's
     /// projection, or — `SELECT *` semantics — every column of every
@@ -628,11 +610,9 @@ impl Optimizer {
         let mut keys: Vec<(String, String)> = pred
             .as_ref()
             .map(|p| {
-                fj_expr::equi_join_keys(
-                    p,
-                    &|c| outer.stats.cols.contains_key(c),
-                    &|c| leaf.stats.cols.contains_key(c),
-                )
+                fj_expr::equi_join_keys(p, &|c| outer.stats.cols.contains_key(c), &|c| {
+                    leaf.stats.cols.contains_key(c)
+                })
                 .into_iter()
                 .map(|k| (k.left, k.right))
                 .collect()
@@ -664,8 +644,12 @@ impl Optimizer {
         // Estimate with derived equalities included (they restrict the
         // output just like written ones).
         let pred_est = conjoin(applicable.iter().cloned().chain(derived.iter().cloned()));
-        let out_stats =
-            estimator.join_stats(&outer.stats, &leaf.stats, pred_est.as_ref(), JoinKind::Inner);
+        let out_stats = estimator.join_stats(
+            &outer.stats,
+            &leaf.stats,
+            pred_est.as_ref(),
+            JoinKind::Inner,
+        );
 
         let op = outer.stats.pages(&params);
         let ip = leaf.stats.pages(&params);
@@ -674,13 +658,13 @@ impl Optimizer {
         // arrival order, so the outer's sort order is preserved unless
         // the candidate sets its own (merge join).
         let push = |cost_delta: f64,
-                        phys: PhysPlan,
-                        sips: Option<Sips>,
-                        fj: Option<FilterJoinCost>,
-                        stats: EstStats,
-                        out: &mut Vec<Entry>,
-                        base_cost: f64,
-                        order_by: Vec<String>| {
+                    phys: PhysPlan,
+                    sips: Option<Sips>,
+                    fj: Option<FilterJoinCost>,
+                    stats: EstStats,
+                    out: &mut Vec<Entry>,
+                    base_cost: f64,
+                    order_by: Vec<String>| {
             let mut order = outer.order.clone();
             order.push(j);
             let mut all_sips = outer.sips.clone();
@@ -729,13 +713,7 @@ impl Optimizer {
             // 2. Hash join.
             *plans_considered += 1;
             push(
-                params.hash_join_cost(
-                    outer.stats.rows,
-                    op,
-                    leaf.stats.rows,
-                    ip,
-                    out_stats.rows,
-                ),
+                params.hash_join_cost(outer.stats.rows, op, leaf.stats.rows, ip, out_stats.rows),
                 PhysPlan::HashJoin {
                     outer: outer.phys.clone().boxed(),
                     inner: leaf.phys.clone().boxed(),
@@ -755,10 +733,8 @@ impl Optimizer {
             // that already provides that order skips its sort (§3.1).
             if self.config.enable_merge_join {
                 *plans_considered += 1;
-                let okey_cols: Vec<String> =
-                    keys.iter().map(|(o, _)| o.clone()).collect();
-                let ikey_cols: Vec<String> =
-                    keys.iter().map(|(_, i)| i.clone()).collect();
+                let okey_cols: Vec<String> = keys.iter().map(|(o, _)| o.clone()).collect();
+                let ikey_cols: Vec<String> = keys.iter().map(|(_, i)| i.clone()).collect();
                 let outer_sorted = order_satisfies(&outer.order_by, &okey_cols);
                 let inner_sorted = order_satisfies(&leaf.order_by, &ikey_cols);
                 push(
@@ -802,9 +778,7 @@ impl Optimizer {
                         let probe_pages = if t.hash_index(ci).is_some() {
                             1.0
                         } else {
-                            t.btree_index(ci)
-                                .map(|b| b.height() as f64)
-                                .unwrap_or(1.0)
+                            t.btree_index(ci).map(|b| b.height() as f64).unwrap_or(1.0)
                         };
                         let base_rows = t.row_count() as f64;
                         let d = t
@@ -815,12 +789,9 @@ impl Optimizer {
                             .max(1.0);
                         // Local leaf conjuncts become residuals (the
                         // probe sees unfiltered heap rows).
-                        let local: Vec<Expr> = query.conjuncts_within(
-                            &self.catalog,
-                            &[item.alias.as_str()],
-                        );
-                        let full_residual =
-                            conjoin(local.into_iter().chain(residual.clone()));
+                        let local: Vec<Expr> =
+                            query.conjuncts_within(&self.catalog, &[item.alias.as_str()]);
+                        let full_residual = conjoin(local.into_iter().chain(residual.clone()));
                         push(
                             params.inl_cost(outer.stats.rows, probe_pages, base_rows / d)
                                 - leaf.cost, // leaf scan not performed
@@ -860,8 +831,7 @@ impl Optimizer {
                 .collect();
             if covered.iter().all(Option::is_some) {
                 *plans_considered += 1;
-                let arg_cols: Vec<String> =
-                    covered.into_iter().map(Option::unwrap).collect();
+                let arg_cols: Vec<String> = covered.into_iter().map(Option::unwrap).collect();
                 let cost_delta = outer.stats.rows * u.invocation_cost();
                 let mut stats = out_stats.clone();
                 stats.rows = outer.stats.rows * u.rows_per_call();
@@ -909,15 +879,13 @@ impl Optimizer {
                 })?;
                 let Some(d) = decision else { continue };
                 let suffix = format!("_{mask:x}_{j}{}", if use_bloom { "b" } else { "" });
-                let mut phys =
-                    build_filter_join_plan(&self.catalog, &outer.phys, &d, &suffix)?;
+                let mut phys = build_filter_join_plan(&self.catalog, &outer.phys, &d, &suffix)?;
                 // Residual + the inner's local conjuncts apply on top.
                 let local: Vec<Expr> =
                     query.conjuncts_within(&self.catalog, &[item.alias.as_str()]);
                 let extra = conjoin(local.iter().cloned().chain(residual.clone()));
                 let mut stats = d.output.clone();
-                let mut cost_delta =
-                    d.cost.total() - outer.cost; // JoinCost_P already in base
+                let mut cost_delta = d.cost.total() - outer.cost; // JoinCost_P already in base
                 if let Some(p) = extra {
                     let sel = estimator.selectivity(&p, &stats);
                     cost_delta += params.cpu(stats.rows);
@@ -988,8 +956,7 @@ impl Optimizer {
                     })?;
                     let Some(d) = decision else { continue };
                     let suffix = format!("_{mask:x}_{j}s{drop_idx}");
-                    let mut phys =
-                        build_filter_join_plan(&self.catalog, &outer.phys, &d, &suffix)?;
+                    let mut phys = build_filter_join_plan(&self.catalog, &outer.phys, &d, &suffix)?;
                     let local: Vec<Expr> =
                         query.conjuncts_within(&self.catalog, &[item.alias.as_str()]);
                     let extra = conjoin(local.iter().cloned().chain(residual.clone()));
@@ -1043,11 +1010,9 @@ impl Optimizer {
                 let mut fkeys: Vec<(String, String)> = pred_est
                     .as_ref()
                     .map(|p| {
-                        fj_expr::equi_join_keys(
-                            p,
-                            &|c| prefix.stats.cols.contains_key(c),
-                            &|c| leaf.stats.cols.contains_key(c),
-                        )
+                        fj_expr::equi_join_keys(p, &|c| prefix.stats.cols.contains_key(c), &|c| {
+                            leaf.stats.cols.contains_key(c)
+                        })
                         .into_iter()
                         .map(|key| (key.left, key.right))
                         .collect()
@@ -1055,9 +1020,7 @@ impl Optimizer {
                     .unwrap_or_default();
                 if fkeys.is_empty() {
                     for class in classes {
-                        let o = class
-                            .iter()
-                            .find(|c| prefix.stats.cols.contains_key(*c));
+                        let o = class.iter().find(|c| prefix.stats.cols.contains_key(*c));
                         let i = class.iter().find(|c| leaf.stats.cols.contains_key(*c));
                         if let (Some(o), Some(i)) = (o, i) {
                             fkeys.push((o.clone(), i.clone()));
@@ -1243,10 +1206,9 @@ mod tests {
         let with = Optimizer::new(Arc::clone(&cat), OptimizerConfig::default())
             .optimize(&paper_query())
             .unwrap();
-        let without =
-            Optimizer::new(Arc::clone(&cat), OptimizerConfig::without_filter_join())
-                .optimize(&paper_query())
-                .unwrap();
+        let without = Optimizer::new(Arc::clone(&cat), OptimizerConfig::without_filter_join())
+            .optimize(&paper_query())
+            .unwrap();
         assert_eq!(run(&with.phys, &cat), run(&without.phys, &cat));
         // Cost-based: the chosen plan with FJ enabled is never estimated
         // worse than without (superset of methods).
@@ -1259,10 +1221,9 @@ mod tests {
         let with = Optimizer::new(Arc::clone(&cat), OptimizerConfig::default())
             .optimize(&paper_query())
             .unwrap();
-        let without =
-            Optimizer::new(Arc::clone(&cat), OptimizerConfig::without_filter_join())
-                .optimize(&paper_query())
-                .unwrap();
+        let without = Optimizer::new(Arc::clone(&cat), OptimizerConfig::without_filter_join())
+            .optimize(&paper_query())
+            .unwrap();
         assert!(with.plans_considered > without.plans_considered);
         // Constant-factor, not asymptotic, growth: within ~4×.
         assert!(with.plans_considered <= 4 * without.plans_considered);
@@ -1285,9 +1246,8 @@ mod tests {
     #[test]
     fn single_relation_query() {
         let cat = Arc::new(paper_catalog());
-        let q = JoinQuery::new(vec![fj_algebra::FromItem::new("Emp", "E")]).with_predicate(
-            fj_expr::col("E.age").lt(fj_expr::lit(30)),
-        );
+        let q = JoinQuery::new(vec![fj_algebra::FromItem::new("Emp", "E")])
+            .with_predicate(fj_expr::col("E.age").lt(fj_expr::lit(30)));
         let opt = Optimizer::new(Arc::clone(&cat), OptimizerConfig::default());
         let plan = opt.optimize(&q).unwrap();
         let rows = run(&plan.phys, &cat);
@@ -1421,8 +1381,7 @@ mod tests {
         // must surface the ordered access path (§3.1).
         let mut cat = Catalog::new();
         for name in ["A", "B"] {
-            let mut b = fj_storage::TableBuilder::new(name)
-                .column("k", fj_storage::DataType::Int);
+            let mut b = fj_storage::TableBuilder::new(name).column("k", fj_storage::DataType::Int);
             for c in 0..7 {
                 b = b.column(format!("v{c}"), fj_storage::DataType::Int);
             }

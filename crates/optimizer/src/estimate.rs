@@ -145,16 +145,11 @@ impl<'a> PlanEstimator<'a> {
                     RelationKind::View(view) => {
                         let (cost, stats) = self.estimate_inner(&view.plan)?;
                         // Requalify project on top: one CPU op per row.
-                        Ok((
-                            cost + self.params.cpu(stats.rows),
-                            stats.requalify(alias),
-                        ))
+                        Ok((cost + self.params.cpu(stats.rows), stats.requalify(alias)))
                     }
                     RelationKind::Udf(udf) => {
                         let (rows, calls) = match udf.domain() {
-                            Some(d) => {
-                                (d.len() as f64 * udf.rows_per_call(), d.len() as f64)
-                            }
+                            Some(d) => (d.len() as f64 * udf.rows_per_call(), d.len() as f64),
                             None => (1000.0, 1000.0),
                         };
                         let schema = udf.schema();
@@ -418,11 +413,9 @@ impl<'a> PlanEstimator<'a> {
 
     /// Extracts equi-join key pairs of `pred` between `ls` and `rs`.
     pub fn equi_keys(&self, pred: &Expr, ls: &EstStats, rs: &EstStats) -> Vec<(String, String)> {
-        fj_expr::equi_join_keys(
-            pred,
-            &|c| ls.cols.contains_key(c),
-            &|c| rs.cols.contains_key(c),
-        )
+        fj_expr::equi_join_keys(pred, &|c| ls.cols.contains_key(c), &|c| {
+            rs.cols.contains_key(c)
+        })
         .into_iter()
         .map(|k| (k.left, k.right))
         .collect()
@@ -449,12 +442,10 @@ impl<'a> PlanEstimator<'a> {
                     1.0 / stats.distinct(a).max(stats.distinct(b))
                 }
                 (BinOp::Eq, Expr::Column(a), Expr::Literal(_))
-                | (BinOp::Eq, Expr::Literal(_), Expr::Column(a)) => {
-                    match stats.cols.get(a) {
-                        Some(ce) if ce.distinct >= 1.0 => 1.0 / ce.distinct,
-                        _ => DEFAULT_EQ_SEL,
-                    }
-                }
+                | (BinOp::Eq, Expr::Literal(_), Expr::Column(a)) => match stats.cols.get(a) {
+                    Some(ce) if ce.distinct >= 1.0 => 1.0 / ce.distinct,
+                    _ => DEFAULT_EQ_SEL,
+                },
                 (BinOp::Ne, _, _) => 1.0 - self.eq_flipped(c, stats),
                 (BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge, l, r) => {
                     self.range_selectivity(*op, l, r, stats)

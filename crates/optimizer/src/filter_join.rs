@@ -231,8 +231,7 @@ pub fn cost_filter_join(args: FilterJoinArgs<'_>) -> Result<Option<FilterJoinDec
     let (avail_cost_f, bloom_bits, bloom_hashes) = if args.use_bloom {
         // Fixed-size bit vector; sized (analytically — no allocation
         // during costing) for ~2% false positives.
-        let (bits, hashes) =
-            fj_storage::BloomFilter::sizing(f_rows.round() as u64 + 1, 0.02);
+        let (bits, hashes) = fj_storage::BloomFilter::sizing(f_rows.round() as u64 + 1, 0.02);
         let bytes = bits / 8;
         let ship = if remote {
             params.network.per_message + params.network.per_byte * bytes as f64
@@ -248,11 +247,7 @@ pub fn cost_filter_join(args: FilterJoinArgs<'_>) -> Result<Option<FilterJoinDec
         } else {
             0.0
         };
-        (
-            params.materialize_cost(f_pages) + f_pages + ship,
-            0,
-            0,
-        )
+        (params.materialize_cost(f_pages) + f_pages + ship, 0, 0)
     };
 
     // Inner-side attribute names (unqualified), from the filter keys.
@@ -268,12 +263,9 @@ pub fn cost_filter_join(args: FilterJoinArgs<'_>) -> Result<Option<FilterJoinDec
     // ---- FilterCost_Rk and the restricted inner stats.
     let (filter_cost_rk, mut restricted, rk_wire_width) = match &kind {
         RelationKind::View(_) => {
-            let fit = args.memo.fit(
-                args.catalog,
-                params,
-                args.inner_relation,
-                &inner_attrs,
-            )?;
+            let fit = args
+                .memo
+                .fit(args.catalog, params, args.inner_relation, &inner_attrs)?;
             let s = fit.selectivity_of(f_rows);
             let cost = fit.cost(s);
             let rows = fit.cardinality(s);
@@ -613,11 +605,7 @@ pub fn build_filter_join_plan_with_production(
                         .columns()
                         .iter()
                         .map(|c| {
-                            let q = format!(
-                                "{}.{}",
-                                decision.inner_alias,
-                                c.base_name()
-                            );
+                            let q = format!("{}.{}", decision.inner_alias, c.base_name());
                             (col(q.clone()), q)
                         })
                         .collect(),
@@ -824,12 +812,8 @@ mod tests {
         assert!(rel.schema.contains("V.avgsal"));
         // Apply the remaining conjunct E.sal > V.avgsal manually to reach
         // the final answer.
-        let filtered = fj_exec::ops::filter::filter(
-            &ctx,
-            rel,
-            &col("E.sal").gt(col("V.avgsal")),
-        )
-        .unwrap();
+        let filtered =
+            fj_exec::ops::filter::filter(&ctx, rel, &col("E.sal").gt(col("V.avgsal"))).unwrap();
         assert_eq!(filtered.rows.len(), 2);
     }
 
@@ -1015,7 +999,10 @@ mod tests {
         .unwrap()
         .unwrap();
         assert!(d.cost.avail_cost_f > 0.0, "filter shipping costed");
-        assert!(d.cost.avail_cost_rk > 0.0, "restricted inner shipping costed");
+        assert!(
+            d.cost.avail_cost_rk > 0.0,
+            "restricted inner shipping costed"
+        );
         let outer = PhysPlan::SeqScan {
             table: "Emp".into(),
             alias: "E".into(),

@@ -119,11 +119,7 @@ mod tests {
     use fj_expr::{col, lit};
 
     fn q(threshold: i64) -> JoinQuery {
-        JoinQuery::new(vec![
-            FromItem::new("emp", "E"),
-            FromItem::new("dept", "D"),
-        ])
-        .with_predicate(
+        JoinQuery::new(vec![FromItem::new("emp", "E"), FromItem::new("dept", "D")]).with_predicate(
             col("E.did")
                 .eq(col("D.did"))
                 .and(col("E.sal").gt(lit(threshold))),

@@ -38,8 +38,8 @@ pub mod parametric;
 
 pub use cost::CostParams;
 pub use enumerate::{OptimizedPlan, Optimizer, OptimizerConfig};
-pub use fingerprint::{fingerprint, Digest};
 pub use error::OptError;
 pub use estimate::{EstStats, PlanEstimator};
 pub use filter_join::FilterJoinCost;
+pub use fingerprint::{fingerprint, Digest};
 pub use parametric::{ParametricEstimator, ParametricFit};

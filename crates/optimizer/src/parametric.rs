@@ -89,13 +89,8 @@ impl ParametricFit {
                 .collect(),
         )?
         .into_ref();
-        let restricted = magic::restricted_inner(
-            catalog,
-            relation,
-            attrs,
-            FIT_CTE,
-            &filter_schema,
-        )?;
+        let restricted =
+            magic::restricted_inner(catalog, relation, attrs, FIT_CTE, &filter_schema)?;
 
         let mut points = Vec::with_capacity(classes);
         for i in 0..classes {

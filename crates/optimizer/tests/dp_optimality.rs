@@ -43,7 +43,10 @@ fn build_catalog(tables: &[Vec<(i64, i64)>]) -> (Catalog, JoinQuery) {
             TableBuilder::new(format!("T{t}"))
                 .column("id", DataType::Int)
                 .column("fk", DataType::Int)
-                .rows(rows.iter().map(|(a, b)| vec![Value::Int(*a), Value::Int(*b)]))
+                .rows(
+                    rows.iter()
+                        .map(|(a, b)| vec![Value::Int(*a), Value::Int(*b)]),
+                )
                 .build()
                 .expect("rows conform")
                 .into_ref(),
@@ -83,7 +86,9 @@ fn check_dp_optimality(tables: &[Vec<(i64, i64)>]) {
         let reference = run(&global.phys, &cat);
         for perm in permutations(tables.len()) {
             let order: Vec<String> = perm.iter().map(|&i| format!("t{i}")).collect();
-            let forced = opt.optimize_with_order(&q, &order).expect("forced order plans");
+            let forced = opt
+                .optimize_with_order(&q, &order)
+                .expect("forced order plans");
             // A whisker of tolerance: cardinality estimates are
             // path-dependent, so equal-cost DP entries can diverge
             // by a few CPU ops once downstream costs are added —

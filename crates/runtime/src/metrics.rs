@@ -149,6 +149,38 @@ pub struct RuntimeMetrics {
     pub latency: LatencyHistogram,
 }
 
+impl RuntimeMetrics {
+    /// One-line JSON rendering with a stable key order, hand-rolled so
+    /// both the `fj-net` STATS reply and the reproduce binary emit the
+    /// same scrapeable shape. Floats are fixed to six decimals (every
+    /// field here is finite, so the output is always valid JSON).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"completed\":{},\"errors\":{},\"cache_hits\":{},",
+                "\"cache_misses\":{},\"cache_hit_rate\":{:.6},",
+                "\"cache_entries\":{},\"queue_depth\":{},",
+                "\"uptime_secs\":{:.6},\"throughput_qps\":{:.6},",
+                "\"latency_mean_micros\":{:.6},\"latency_p50_micros\":{},",
+                "\"latency_p99_micros\":{},\"latency_max_micros\":{}}}"
+            ),
+            self.completed,
+            self.errors,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_hit_rate,
+            self.cache_entries,
+            self.queue_depth,
+            self.uptime_secs,
+            self.throughput_qps,
+            self.latency.mean_micros(),
+            self.latency.quantile_micros(0.5),
+            self.latency.quantile_micros(0.99),
+            self.latency.max_micros,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,6 +211,35 @@ mod tests {
         // p50 falls in the 100µs bucket: [64,128) → upper bound 128.
         assert_eq!(h.quantile_micros(0.5), 128);
         assert!(h.quantile_micros(1.0) >= 1024);
+    }
+
+    #[test]
+    fn to_json_is_stable_and_parseable_shaped() {
+        let m = RuntimeMetrics {
+            completed: 3,
+            errors: 1,
+            cache_hits: 2,
+            cache_misses: 2,
+            cache_hit_rate: 0.5,
+            cache_entries: 2,
+            queue_depth: 0,
+            uptime_secs: 1.25,
+            throughput_qps: 2.4,
+            latency: MetricsRecorder::default().histogram(),
+        };
+        let j = m.to_json();
+        assert!(j.starts_with("{\"completed\":3,"));
+        assert!(j.ends_with("\"latency_max_micros\":0}"));
+        assert!(j.contains("\"cache_hit_rate\":0.500000"));
+        assert!(j.contains("\"queue_depth\":0"));
+        // Stable key order: completed always precedes errors precedes
+        // cache_hits.
+        let (a, b, c) = (
+            j.find("\"completed\"").unwrap(),
+            j.find("\"errors\"").unwrap(),
+            j.find("\"cache_hits\"").unwrap(),
+        );
+        assert!(a < b && b < c);
     }
 
     #[test]

@@ -78,10 +78,7 @@ impl<T> BoundedQueue<T> {
                 self.not_empty.notify_one();
                 return Ok(());
             }
-            inner = self
-                .not_full
-                .wait(inner)
-                .unwrap_or_else(|e| e.into_inner());
+            inner = self.not_full.wait(inner).unwrap_or_else(|e| e.into_inner());
         }
     }
 

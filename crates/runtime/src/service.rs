@@ -27,7 +27,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, RwLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Service-level failures (distinct from per-query optimizer/executor
 /// errors, which arrive as [`RuntimeError::Query`]).
@@ -41,6 +41,11 @@ pub enum RuntimeError {
     ShuttingDown,
     /// The worker executing this query disappeared (it panicked).
     WorkerLost,
+    /// [`Ticket::wait_timeout`] gave up before the worker replied. The
+    /// query itself keeps executing; only the wait is abandoned.
+    DeadlineExceeded,
+    /// [`ServiceConfig::validate`] rejected a zero-sized knob.
+    InvalidConfig(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -50,6 +55,10 @@ impl fmt::Display for RuntimeError {
             RuntimeError::QueueFull => write!(f, "submission queue is full"),
             RuntimeError::ShuttingDown => write!(f, "query service is shutting down"),
             RuntimeError::WorkerLost => write!(f, "worker thread lost before replying"),
+            RuntimeError::DeadlineExceeded => {
+                write!(f, "deadline expired before the query finished")
+            }
+            RuntimeError::InvalidConfig(what) => write!(f, "invalid service config: {what}"),
         }
     }
 }
@@ -95,6 +104,45 @@ impl Default for ServiceConfig {
     }
 }
 
+impl ServiceConfig {
+    /// Strict validation: every sizing knob must be non-zero. This is
+    /// the check front ends (e.g. `fj-net`) should run on
+    /// operator-supplied configuration before starting a service.
+    pub fn validate(&self) -> Result<(), RuntimeError> {
+        let reject = |what: &str| Err(RuntimeError::InvalidConfig(format!("{what} must be ≥ 1")));
+        if self.workers == 0 {
+            return reject("workers");
+        }
+        if self.queue_capacity == 0 {
+            return reject("queue_capacity");
+        }
+        if self.intra_query_threads == 0 {
+            return reject("intra_query_threads");
+        }
+        if self.plan_cache_capacity == 0 {
+            return reject("plan_cache_capacity");
+        }
+        if self.memory_pages == 0 {
+            return reject("memory_pages");
+        }
+        Ok(())
+    }
+
+    /// The lenient counterpart of [`ServiceConfig::validate`]: clamps
+    /// every zero-sized knob up to 1. [`QueryService::start`] applies
+    /// this — it is the one place where clamping happens, so a
+    /// `ServiceConfig { workers: 0, .. }` still yields a working
+    /// single-worker service rather than a deadlocked one.
+    pub fn normalized(mut self) -> ServiceConfig {
+        self.workers = self.workers.max(1);
+        self.queue_capacity = self.queue_capacity.max(1);
+        self.intra_query_threads = self.intra_query_threads.max(1);
+        self.plan_cache_capacity = self.plan_cache_capacity.max(1);
+        self.memory_pages = self.memory_pages.max(1);
+        self
+    }
+}
+
 struct Job {
     query: JoinQuery,
     config: OptimizerConfig,
@@ -128,6 +176,20 @@ impl Ticket {
     pub fn wait(self) -> Result<QueryResult, RuntimeError> {
         self.rx.recv().unwrap_or(Err(RuntimeError::WorkerLost))
     }
+
+    /// Blocks at most `timeout` for the worker to finish this query.
+    ///
+    /// On [`RuntimeError::DeadlineExceeded`] the query is *not*
+    /// cancelled — it keeps running to completion (and is counted in
+    /// the service metrics); only the caller stops waiting. This is the
+    /// primitive `fj-net` uses to enforce per-request deadlines.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<QueryResult, RuntimeError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(reply) => reply,
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(RuntimeError::DeadlineExceeded),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(RuntimeError::WorkerLost),
+        }
+    }
 }
 
 /// The concurrent query service; see the module docs.
@@ -146,8 +208,12 @@ impl fmt::Debug for QueryService {
 }
 
 impl QueryService {
-    /// Starts the worker pool over `catalog`.
+    /// Starts the worker pool over `catalog`. The config is passed
+    /// through [`ServiceConfig::normalized`] first, so zero-sized knobs
+    /// are clamped to 1 (use [`ServiceConfig::validate`] beforehand to
+    /// reject them instead).
     pub fn start(catalog: Catalog, config: ServiceConfig) -> QueryService {
+        let config = config.normalized();
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_capacity),
             catalog: RwLock::new(Arc::new(catalog)),
@@ -157,7 +223,7 @@ impl QueryService {
             cfg: config.clone(),
             started: Instant::now(),
         });
-        let workers = (0..config.workers.max(1))
+        let workers = (0..shared.cfg.workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
@@ -197,10 +263,22 @@ impl QueryService {
     /// Non-blocking submit: fails with [`RuntimeError::QueueFull`]
     /// instead of applying backpressure.
     pub fn try_submit(&self, query: JoinQuery) -> Result<Ticket, RuntimeError> {
+        self.try_submit_with_config(query, self.shared.cfg.optimizer)
+    }
+
+    /// Non-blocking submit under an overridden optimizer config — the
+    /// admission-control path network front ends use: a full queue is
+    /// reported as a retryable error at the edge instead of blocking a
+    /// connection handler.
+    pub fn try_submit_with_config(
+        &self,
+        query: JoinQuery,
+        config: OptimizerConfig,
+    ) -> Result<Ticket, RuntimeError> {
         let (tx, rx) = mpsc::channel();
         let job = Job {
             query,
-            config: self.shared.cfg.optimizer,
+            config,
             reply: tx,
         };
         match self.shared.queue.try_push(job) {
@@ -245,8 +323,7 @@ impl QueryService {
             cache_misses: cache.misses,
             cache_hit_rate: cache.hit_rate(),
             cache_entries: cache.entries,
-            queue_depth: self.shared.queue.len()
-                + self.shared.in_flight.load(Ordering::Relaxed),
+            queue_depth: self.shared.queue.len() + self.shared.in_flight.load(Ordering::Relaxed),
             uptime_secs: uptime,
             throughput_qps: if uptime > 0.0 {
                 completed as f64 / uptime
@@ -337,4 +414,63 @@ fn execute_job(
         cache_hit,
         latency_micros: 0,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        ServiceConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn zero_knobs_rejected_by_validate() {
+        for mutate in [
+            (|c: &mut ServiceConfig| c.workers = 0) as fn(&mut ServiceConfig),
+            |c| c.queue_capacity = 0,
+            |c| c.intra_query_threads = 0,
+            |c| c.plan_cache_capacity = 0,
+            |c| c.memory_pages = 0,
+        ] {
+            let mut cfg = ServiceConfig::default();
+            mutate(&mut cfg);
+            assert!(
+                matches!(cfg.validate(), Err(RuntimeError::InvalidConfig(_))),
+                "zeroed knob must fail validation"
+            );
+        }
+    }
+
+    #[test]
+    fn normalized_clamps_every_zero_knob_to_one() {
+        let cfg = ServiceConfig {
+            workers: 0,
+            queue_capacity: 0,
+            intra_query_threads: 0,
+            memory_pages: 0,
+            plan_cache_capacity: 0,
+            optimizer: OptimizerConfig::default(),
+        }
+        .normalized();
+        assert_eq!(cfg.workers, 1);
+        assert_eq!(cfg.queue_capacity, 1);
+        assert_eq!(cfg.intra_query_threads, 1);
+        assert_eq!(cfg.plan_cache_capacity, 1);
+        assert_eq!(cfg.memory_pages, 1);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn normalized_preserves_non_zero_knobs() {
+        let cfg = ServiceConfig {
+            workers: 7,
+            queue_capacity: 9,
+            ..ServiceConfig::default()
+        }
+        .normalized();
+        assert_eq!(cfg.workers, 7);
+        assert_eq!(cfg.queue_capacity, 9);
+    }
 }

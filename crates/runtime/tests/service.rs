@@ -143,7 +143,9 @@ fn catalog_install_invalidates_cached_plans() {
         !after.cache_hit,
         "catalog install must invalidate the plan cache"
     );
-    let serial = Database::with_catalog(changed).execute(&paper_query()).unwrap();
+    let serial = Database::with_catalog(changed)
+        .execute(&paper_query())
+        .unwrap();
     let serial_rows = sorted(serial.rows);
     assert_eq!(sorted(after.rows), serial_rows);
     assert_ne!(sorted(before.rows.clone()), serial_rows);
@@ -218,7 +220,11 @@ fn shutdown_completes_accepted_queries() {
         .collect();
     service.shutdown();
     for t in tickets {
-        assert_eq!(t.wait().unwrap().rows.len(), 2, "accepted query must complete");
+        assert_eq!(
+            t.wait().unwrap().rows.len(),
+            2,
+            "accepted query must complete"
+        );
     }
 }
 
@@ -269,5 +275,95 @@ fn parallel_execution_preserves_rows_and_ledger_charges() {
         "intra-query parallelism must not change measured ledger charges"
     );
     assert_eq!(parallel.measured_cost, serial.measured_cost);
+    service.shutdown();
+}
+
+#[test]
+fn wait_timeout_expires_without_cancelling_the_query() {
+    // One worker pinned on a big join; a second query queued behind it
+    // cannot finish within 1ms, so its bounded wait must report
+    // DeadlineExceeded — while the query itself still completes and is
+    // counted by the service (graceful shutdown drains it).
+    let (cat, q) = big_catalog_and_query(3000);
+    let service = QueryService::start(
+        cat,
+        ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        },
+    );
+    let first = service.submit(q.clone()).unwrap();
+    let second = service.submit(q.clone()).unwrap();
+    assert!(matches!(
+        second.wait_timeout(std::time::Duration::from_millis(1)),
+        Err(RuntimeError::DeadlineExceeded)
+    ));
+    first.wait().unwrap();
+    service.shutdown();
+}
+
+#[test]
+fn wait_timeout_returns_result_when_fast_enough() {
+    let service = QueryService::start(paper_catalog(), ServiceConfig::default());
+    let ticket = service.submit(paper_query()).unwrap();
+    let result = ticket
+        .wait_timeout(std::time::Duration::from_secs(30))
+        .expect("paper query finishes well within 30s");
+    assert_eq!(result.rows.len(), 2);
+    service.shutdown();
+}
+
+#[test]
+fn try_submit_with_config_overrides_and_sheds() {
+    let service = QueryService::start(
+        paper_catalog(),
+        ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..ServiceConfig::default()
+        },
+    );
+    let no_fj = fj_optimizer::OptimizerConfig::without_filter_join();
+    let ok = service
+        .try_submit_with_config(paper_query(), no_fj)
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(ok.rows.len(), 2);
+    assert!(ok.sips.is_empty(), "filter join disabled by override");
+    service.shutdown();
+
+    // With slow queries, one executing + one queued fills the 1-slot
+    // queue, so the next try_submit must shed with QueueFull instead
+    // of blocking.
+    let (cat, q) = big_catalog_and_query(3000);
+    let service = QueryService::start(
+        cat,
+        ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..ServiceConfig::default()
+        },
+    );
+    let first = service.submit(q.clone()).unwrap();
+    // Keep refilling the queue slot until a try_submit observes it
+    // full (the worker may drain between our two submissions).
+    let mut queued = vec![service.submit(q.clone()).unwrap()];
+    let mut shed = false;
+    for _ in 0..32 {
+        match service.try_submit(q.clone()) {
+            Err(RuntimeError::QueueFull) => {
+                shed = true;
+                break;
+            }
+            Ok(t) => queued.push(t),
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    assert!(shed, "saturated queue must shed");
+    first.wait().unwrap();
+    for t in queued {
+        t.wait().unwrap();
+    }
     service.shutdown();
 }

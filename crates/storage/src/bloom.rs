@@ -186,7 +186,11 @@ mod tests {
     fn capacity_sizing_reasonable() {
         let f = BloomFilter::with_capacity(10_000, 0.01);
         // ~9.6 bits per entry for 1% fp.
-        assert!(f.n_bits() > 90_000 && f.n_bits() < 110_000, "{}", f.n_bits());
+        assert!(
+            f.n_bits() > 90_000 && f.n_bits() < 110_000,
+            "{}",
+            f.n_bits()
+        );
     }
 
     #[test]

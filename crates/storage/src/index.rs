@@ -152,7 +152,12 @@ mod tests {
     use crate::tuple;
 
     fn rows() -> Vec<Tuple> {
-        vec![tuple![10, "a"], tuple![20, "b"], tuple![10, "c"], tuple![30, "d"]]
+        vec![
+            tuple![10, "a"],
+            tuple![20, "b"],
+            tuple![10, "c"],
+            tuple![30, "d"],
+        ]
     }
 
     #[test]

@@ -40,9 +40,9 @@ pub use builder::TableBuilder;
 pub use error::StorageError;
 pub use index::{BTreeIndex, HashIndex, Index};
 pub use ledger::{CostLedger, LedgerSnapshot, CPU_WEIGHT_DEFAULT, TUPLE_OPS_PER_PAGE};
-pub use stats::yao_distinct;
 pub use page::{page_count, PageLayout, PAGE_SIZE};
 pub use schema::{Column, Schema, SchemaRef};
+pub use stats::yao_distinct;
 pub use stats::{ColumnStats, Histogram, TableStats};
 pub use table::{Table, TableRef};
 pub use tuple::Tuple;

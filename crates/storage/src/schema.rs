@@ -225,8 +225,13 @@ mod tests {
 
     #[test]
     fn resolve_ambiguous_suffix_fails() {
-        let s = emp().join(&Schema::from_pairs(&[("D.did", DataType::Int)])).unwrap();
-        assert!(s.resolve("did").is_err(), "ambiguous suffix must not resolve");
+        let s = emp()
+            .join(&Schema::from_pairs(&[("D.did", DataType::Int)]))
+            .unwrap();
+        assert!(
+            s.resolve("did").is_err(),
+            "ambiguous suffix must not resolve"
+        );
         assert_eq!(s.resolve("E.did").unwrap(), 1);
         assert_eq!(s.resolve("D.did").unwrap(), 4);
     }

@@ -303,10 +303,7 @@ mod tests {
     #[test]
     fn cross_numeric_hash_consistent_with_eq() {
         assert_eq!(hash_of(&Value::Int(7)), hash_of(&Value::Double(7.0)));
-        assert_eq!(
-            hash_of(&Value::Double(0.0)),
-            hash_of(&Value::Double(-0.0))
-        );
+        assert_eq!(hash_of(&Value::Double(0.0)), hash_of(&Value::Double(-0.0)));
         assert_eq!(Value::Double(0.0), Value::Double(-0.0));
     }
 

@@ -171,11 +171,8 @@ mod tests {
 
     /// distance(city) -> miles: a 1-arg function with a 3-city domain.
     pub(crate) fn distance_fn() -> TableFunction {
-        let schema = Schema::from_pairs(&[
-            ("city", DataType::Str),
-            ("miles", DataType::Int),
-        ])
-        .into_ref();
+        let schema =
+            Schema::from_pairs(&[("city", DataType::Str), ("miles", DataType::Int)]).into_ref();
         TableFunction::new("distance", schema, 1, 2.0, |args| {
             let miles = match args[0].as_str() {
                 Some("madison") => 0,
@@ -209,7 +206,9 @@ mod tests {
     fn unknown_arg_yields_no_rows() {
         let f = distance_fn();
         let ledger = CostLedger::new();
-        assert!(f.invoke(&[Value::Str("unknown".into())], &ledger).is_empty());
+        assert!(f
+            .invoke(&[Value::Str("unknown".into())], &ledger)
+            .is_empty());
         assert_eq!(ledger.snapshot().udf_calls, 1, "invocation still paid");
     }
 

@@ -99,8 +99,7 @@ mod tests {
     use fj_storage::{DataType, Schema};
 
     fn square_fn() -> TableFunction {
-        let schema =
-            Schema::from_pairs(&[("x", DataType::Int), ("sq", DataType::Int)]).into_ref();
+        let schema = Schema::from_pairs(&[("x", DataType::Int), ("sq", DataType::Int)]).into_ref();
         TableFunction::new("square", schema, 1, 1.0, |args| {
             let x = args[0].as_int().unwrap_or(0);
             vec![vec![Value::Int(x * x)]]

@@ -13,7 +13,7 @@
 //! ```
 
 use filterjoin::{
-    col, lit, AggCall, AggFunc, Database, DataType, FromItem, JoinQuery, LogicalPlan,
+    col, lit, AggCall, AggFunc, DataType, Database, FromItem, JoinQuery, LogicalPlan,
     OptimizerConfig, Schema, TableBuilder, Value, ViewDef,
 };
 use rand::rngs::StdRng;
@@ -195,9 +195,7 @@ fn analyst_queries() -> Vec<(&'static str, JoinQuery)> {
 
 fn main() {
     let db = build_database();
-    println!(
-        "retail star: {N_SALES} sales, {N_STORES} stores, {N_PRODUCTS} products, 2 views\n"
-    );
+    println!("retail star: {N_SALES} sales, {N_STORES} stores, {N_PRODUCTS} products, 2 views\n");
 
     for (name, q) in analyst_queries() {
         let best = db.execute(&q).expect("query optimizes and runs");

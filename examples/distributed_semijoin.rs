@@ -9,7 +9,7 @@
 //! ```
 
 use filterjoin::distsim::{reference_join, run_strategy, DistStrategy, TwoSiteScenario};
-use filterjoin::{col, Database, DataType, FromItem, JoinQuery, NetworkModel, TableBuilder, Value};
+use filterjoin::{col, DataType, Database, FromItem, JoinQuery, NetworkModel, TableBuilder, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -37,9 +37,15 @@ fn main() {
     customers.create_hash_index(0).expect("index on cust");
 
     for (label, network) in [
-        ("free network (R* assumption: local cost is all that matters)", NetworkModel::free()),
+        (
+            "free network (R* assumption: local cost is all that matters)",
+            NetworkModel::free(),
+        ),
         ("LAN", NetworkModel::lan()),
-        ("WAN (SDD-1 assumption: communication dominates)", NetworkModel::wan()),
+        (
+            "WAN (SDD-1 assumption: communication dominates)",
+            NetworkModel::wan(),
+        ),
     ] {
         let scenario = TwoSiteScenario::new(
             orders.clone_shallow(),

@@ -11,8 +11,8 @@
 //! ```
 
 use filterjoin::{
-    col, fixtures, lit, AggCall, AggFunc, Database, DataType, FromItem, JoinQuery,
-    LogicalPlan, Schema, Sips, TableBuilder, Value, ViewDef,
+    col, fixtures, lit, AggCall, AggFunc, DataType, Database, FromItem, JoinQuery, LogicalPlan,
+    Schema, Sips, TableBuilder, Value, ViewDef,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -102,8 +102,13 @@ fn main() {
     );
 
     println!("--- always-magic (Figure 2 rewriting, production {{E, D}}) ---");
-    let sips = Sips::derive(db.catalog(), &query, &["E".to_string(), "D".to_string()], "V")
-        .expect("E.did = V.did exists");
+    let sips = Sips::derive(
+        db.catalog(),
+        &query,
+        &["E".to_string(), "D".to_string()],
+        "V",
+    )
+    .expect("E.did = V.did exists");
     let magic = db.run_magic(&query, &sips).expect("magic runs");
     println!(
         "rows: {}   measured cost: {:.1} page units\n",

@@ -13,8 +13,8 @@
 //! ```
 
 use filterjoin::{
-    col, CountingUdf, Database, DataType, FromItem, JoinQuery, MemoUdf, Schema,
-    TableBuilder, TableFunction, Value,
+    col, CountingUdf, DataType, Database, FromItem, JoinQuery, MemoUdf, Schema, TableBuilder,
+    TableFunction, Value,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -56,7 +56,9 @@ fn build_db(udf: Arc<dyn filterjoin::UdfRelation>) -> Database {
 }
 
 fn main() {
-    println!("{N_TXNS} transactions over {N_CUSTS} customers; credit_score costs 3 page-units/call\n");
+    println!(
+        "{N_TXNS} transactions over {N_CUSTS} customers; credit_score costs 3 page-units/call\n"
+    );
 
     // The query: every transaction with its customer's credit score.
     let query = JoinQuery::new(vec![

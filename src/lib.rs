@@ -24,3 +24,9 @@ pub use fj_core::*;
 /// intra-query parallelism, and metrics. See [`fj_runtime`].
 pub use fj_runtime;
 pub use fj_runtime::{QueryService, RuntimeMetrics, ServiceConfig};
+
+/// The network boundary: TCP query server + blocking client over a
+/// versioned binary wire protocol, with deadlines, load shedding, and
+/// graceful drain. See [`fj_net`].
+pub use fj_net;
+pub use fj_net::{Client, NetError, QueryOptions, Server, ServerConfig};

@@ -5,8 +5,8 @@
 
 use filterjoin::distsim::{reference_join, run_strategy, DistStrategy, TwoSiteScenario};
 use filterjoin::{
-    col, fixtures, lit, Database, DataType, FromItem, JoinQuery, NetworkModel,
-    OptimizerConfig, Schema, TableBuilder, TableFunction, Tuple, Value,
+    col, fixtures, lit, DataType, Database, FromItem, JoinQuery, NetworkModel, OptimizerConfig,
+    Schema, TableBuilder, TableFunction, Tuple, Value,
 };
 use std::sync::Arc;
 
@@ -92,11 +92,8 @@ fn udf_query_via_optimizer_matches_domain_join() {
     .with_domain((0..100i64).map(|i| vec![Value::Int(i)]).collect());
     db.create_udf("score", Arc::new(udf));
 
-    let q = JoinQuery::new(vec![
-        FromItem::new("Txn", "T"),
-        FromItem::new("score", "S"),
-    ])
-    .with_predicate(col("T.cust").eq(col("S.cust")));
+    let q = JoinQuery::new(vec![FromItem::new("Txn", "T"), FromItem::new("score", "S")])
+        .with_predicate(col("T.cust").eq(col("S.cust")));
     let r = db.execute(&q).unwrap();
     assert_eq!(r.rows.len(), 500, "every txn matches its score row");
     // Each matched score is cust*10.
@@ -117,8 +114,7 @@ fn udf_without_domain_requires_probeable_key() {
             .build()
             .unwrap(),
     );
-    let schema =
-        Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Int)]).into_ref();
+    let schema = Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Int)]).into_ref();
     db.create_udf(
         "f",
         Arc::new(TableFunction::new("f", schema, 1, 1.0, |args| {

@@ -4,7 +4,7 @@
 //! same result multiset.
 
 use filterjoin::{
-    col, fixtures, lit, AggCall, AggFunc, Catalog, Database, DataType, FromItem, JoinQuery,
+    col, fixtures, lit, AggCall, AggFunc, Catalog, DataType, Database, FromItem, JoinQuery,
     LogicalPlan, OptimizerConfig, Schema, Sips, TableBuilder, Tuple, Value, ViewDef,
 };
 use proptest::prelude::*;
@@ -142,7 +142,10 @@ fn check_spj_view_magic(rows: &[(i64, i64)], threshold: i64) {
             TableBuilder::new("T")
                 .column("k", DataType::Int)
                 .column("v", DataType::Int)
-                .rows(rows.iter().map(|(k, v)| vec![Value::Int(*k), Value::Int(*v)]))
+                .rows(
+                    rows.iter()
+                        .map(|(k, v)| vec![Value::Int(*k), Value::Int(*v)]),
+                )
                 .build()
                 .unwrap()
                 .into_ref(),
@@ -152,13 +155,9 @@ fn check_spj_view_magic(rows: &[(i64, i64)], threshold: i64) {
             name: "BigV".into(),
             plan: LogicalPlan::scan("T", "X")
                 .select(col("X.v").ge(lit(threshold)))
-                .project(vec![
-                    (col("X.k"), "k".into()),
-                    (col("X.v"), "v".into()),
-                ])
+                .project(vec![(col("X.k"), "k".into()), (col("X.v"), "v".into())])
                 .into_ref(),
-            schema: Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Int)])
-                .into_ref(),
+            schema: Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Int)]).into_ref(),
         });
         let db = Database::with_catalog(cat);
         let q = JoinQuery::new(vec![FromItem::new("T", "A"), FromItem::new("BigV", "B")])

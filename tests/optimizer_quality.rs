@@ -2,9 +2,7 @@
 //! never worse than any forced left-deep order, predicted costs track
 //! measured costs, and the §3.3 limitations hold structurally.
 
-use filterjoin::{
-    fixtures, CostLedger, Database, ExecCtx, Optimizer, OptimizerConfig,
-};
+use filterjoin::{fixtures, CostLedger, Database, ExecCtx, Optimizer, OptimizerConfig};
 use std::sync::Arc;
 
 fn permutations(items: &[String]) -> Vec<Vec<String>> {

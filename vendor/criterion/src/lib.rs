@@ -70,7 +70,11 @@ impl BenchmarkGroup<'_> {
             .get(b.samples.len() / 2)
             .copied()
             .unwrap_or(Duration::ZERO);
-        println!("  {}/{id}: median {median:?} over {} samples", self.name, b.samples.len());
+        println!(
+            "  {}/{id}: median {median:?} over {} samples",
+            self.name,
+            b.samples.len()
+        );
         self
     }
 
