@@ -1,7 +1,7 @@
 //! Prints every reproduced figure/table as a paper-style text table.
 //!
 //! ```text
-//! reproduce [all|fig1|fig3|table1|fig4|fig5|fig6|complexity|crossover|dist|udf|local|bloom|throughput|soak]
+//! reproduce [all|fig1|fig3|table1|fig4|fig5|fig6|complexity|crossover|dist|udf|local|bloom|throughput|soak|chaos]
 //!           [--small] [--threads N]
 //! ```
 //!
@@ -60,6 +60,7 @@ fn main() {
             "bloom",
             "throughput",
             "soak",
+            "chaos",
         ]
     } else {
         which
@@ -118,6 +119,13 @@ fn main() {
                     repro::soak::run(1_000, 100, 8, 25)
                 } else {
                     repro::soak::run(5_000, 500, 16, 50)
+                }
+            }
+            "chaos" => {
+                if small {
+                    repro::chaos::run(1_000, 100, 8, 12)
+                } else {
+                    repro::chaos::run(5_000, 500, 32, 25)
                 }
             }
             other => {

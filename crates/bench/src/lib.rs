@@ -21,6 +21,7 @@
 //! | [`repro::bloom`] | §3.2/App. A: lossy (Bloom) filter sets |
 //! | [`repro::throughput`] | runtime: worker-pool queries/sec, 1 vs N threads |
 //! | [`repro::soak`] | fj-net: TCP loopback soak with shedding and verified row-sets |
+//! | [`repro::chaos`] | governor: the soak under seeded faults, cancellations, and one induced worker panic |
 //!
 //! The `reproduce` binary prints each experiment as a paper-style
 //! table; the Criterion benches in `benches/` time the same code at

@@ -1,0 +1,246 @@
+//! Chaos soak: the loopback soak under seeded storage faults, client
+//! cancellations, tiny deadlines, and one induced worker panic.
+//!
+//! The governor contract under fire: every injected page-read fault
+//! surfaces as a typed QUERY_FAILED reply (never a hang, never a
+//! panic escaping the pool), cancellations and expired deadlines tear
+//! their queries down server-side, the one induced worker panic is
+//! caught and answered by a respawn (`workers_replaced == 1`), and —
+//! the headline — **every surviving OK reply is byte-identical to
+//! serial execution**. After the storm, a full batch against the same
+//! pool proves capacity never degraded.
+
+use crate::report::Report;
+use crate::workloads::{emp_dept, paper_query, EmpDeptConfig};
+use fj_core::{Database, OptimizerConfig, Tuple};
+use fj_net::{Client, ErrorCode, NetError, QueryOptions, RetryPolicy, Server, ServerConfig};
+use fj_runtime::{FaultPlan, ServiceConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+fn sorted(mut rows: Vec<Tuple>) -> Vec<Tuple> {
+    rows.sort();
+    rows
+}
+
+/// Per-run tallies accumulated across client threads.
+#[derive(Debug, Default)]
+struct Tally {
+    ok: AtomicU64,
+    deadline_hits: AtomicU64,
+    cancelled: AtomicU64,
+    injected_faults: AtomicU64,
+    worker_panics: AtomicU64,
+}
+
+/// Drives `clients` concurrent TCP clients through a server carrying a
+/// seeded [`FaultPlan`] (read errors + latency stalls + one exact-
+/// ordinal induced panic). A quarter of the queries carry a deliberately
+/// tiny deadline, another quarter are cancelled mid-flight from a
+/// second thread. Panics (failing the reproduction) if any reply class
+/// is untyped, any surviving row-set diverges from serial, or the pool
+/// ends below full strength.
+pub fn run(n_emps: usize, n_depts: usize, clients: usize, queries_per_client: usize) -> Report {
+    let cat = emp_dept(EmpDeptConfig {
+        n_emps,
+        n_depts,
+        frac_big: 0.1,
+        ..Default::default()
+    });
+    let expected = Arc::new(sorted(
+        Database::with_catalog(cat.clone())
+            .execute(&paper_query())
+            .expect("serial reference execution")
+            .rows,
+    ));
+
+    // Seeded fault schedule: the same seed replays the same faults.
+    // Read errors are common enough to show up every run, stalls add
+    // latency jitter, and exactly one page read (ordinal 3) panics the
+    // worker that performs it.
+    let faults = Arc::new(
+        FaultPlan::new(0xC4A05)
+            .with_read_errors(200)
+            .with_stalls(64, Duration::from_micros(200))
+            .with_panic_at(3),
+    );
+    let server = Server::bind(
+        "127.0.0.1:0",
+        cat,
+        ServerConfig {
+            max_connections: clients.max(1) * 2,
+            service: ServiceConfig {
+                workers: 4,
+                queue_capacity: 4, // small on purpose: shed/retry stays hot
+                fault_plan: Some(Arc::clone(&faults)),
+                ..ServiceConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("chaos server binds");
+    let addr = server.local_addr();
+
+    let tally = Arc::new(Tally::default());
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let expected = Arc::clone(&expected);
+            let tally = Arc::clone(&tally);
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("client connects");
+                let policy = RetryPolicy {
+                    base: Duration::from_millis(1),
+                    cap: Duration::from_millis(50),
+                    max_attempts: 10_000,
+                    seed: c as u64,
+                };
+                for i in 0..queries_per_client {
+                    // i % 4: 1 → tiny deadline, 3 → mid-flight cancel,
+                    // else plain. The governed queries run the naive
+                    // no-filter-join plan (same rows, materialises the
+                    // whole view) so cancellation has a real window.
+                    let opts = if i % 4 == 1 {
+                        QueryOptions {
+                            deadline: Some(Duration::from_millis(1)),
+                            config: Some(OptimizerConfig::without_filter_join()),
+                        }
+                    } else if i % 4 == 3 {
+                        QueryOptions {
+                            deadline: None,
+                            config: Some(OptimizerConfig::without_filter_join()),
+                        }
+                    } else {
+                        QueryOptions::default()
+                    };
+                    let killer = (i % 4 == 3).then(|| {
+                        let mut canceller = client.canceller().expect("socket clones");
+                        thread::spawn(move || {
+                            thread::sleep(Duration::from_micros(300));
+                            let _ = canceller.cancel();
+                        })
+                    });
+                    let outcome = client.query_with_retry(&paper_query(), &opts, &policy);
+                    if let Some(k) = killer {
+                        k.join().expect("canceller thread");
+                    }
+                    match outcome {
+                        Ok(reply) => {
+                            assert_eq!(
+                                sorted(reply.rows),
+                                *expected,
+                                "client {c} query {i}: surviving rows diverged from serial"
+                            );
+                            tally.ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(NetError::Remote { code, message }) => match code {
+                            ErrorCode::DeadlineExceeded => {
+                                tally.deadline_hits.fetch_add(1, Ordering::Relaxed);
+                            }
+                            ErrorCode::Cancelled => {
+                                tally.cancelled.fetch_add(1, Ordering::Relaxed);
+                            }
+                            ErrorCode::QueryFailed if message.contains("injected") => {
+                                tally.injected_faults.fetch_add(1, Ordering::Relaxed);
+                            }
+                            ErrorCode::Internal if message.contains("panicked") => {
+                                tally.worker_panics.fetch_add(1, Ordering::Relaxed);
+                            }
+                            _ => panic!("client {c} query {i}: unexpected [{code}] {message}"),
+                        },
+                        Err(other) => panic!("client {c} query {i}: {other}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("chaos client thread");
+    }
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+
+    let ok = tally.ok.load(Ordering::Relaxed);
+    let deadline_hits = tally.deadline_hits.load(Ordering::Relaxed);
+    let cancelled = tally.cancelled.load(Ordering::Relaxed);
+    let injected_faults = tally.injected_faults.load(Ordering::Relaxed);
+    let worker_panics = tally.worker_panics.load(Ordering::Relaxed);
+    let total = (clients * queries_per_client) as u64;
+    assert_eq!(
+        ok + deadline_hits + cancelled + injected_faults + worker_panics,
+        total,
+        "every issued query must resolve to a verified result or a typed refusal"
+    );
+    assert_eq!(
+        worker_panics, 1,
+        "exactly the one induced panic may surface to a client"
+    );
+
+    // Pool self-healed: the replacement worker is accounted for, and a
+    // calm closing batch (retrying residual injected faults) completes
+    // with full, correct rows — capacity never degraded.
+    let metrics = server.metrics();
+    assert_eq!(
+        metrics.workers_replaced, 1,
+        "panicked worker respawned once"
+    );
+    let mut closing = Client::connect(addr).expect("closing client connects");
+    for i in 0..8 {
+        let mut attempts = 0u32;
+        let reply = loop {
+            match closing.query(&paper_query()) {
+                Ok(r) => break r,
+                Err(NetError::Remote { code, message })
+                    if code == ErrorCode::QueryFailed && message.contains("injected") =>
+                {
+                    attempts += 1;
+                    assert!(attempts < 100, "closing query {i} cannot get past faults");
+                }
+                Err(other) => panic!("closing query {i}: {other}"),
+            }
+        };
+        assert_eq!(
+            sorted(reply.rows),
+            *expected,
+            "closing query {i} diverged after the storm"
+        );
+    }
+    let stats_json = server.stats_json();
+    server.shutdown();
+
+    let mut report = Report::new(
+        format!(
+            "fj-net chaos soak — {clients} clients × {queries_per_client} queries \
+             ({n_emps} emps / {n_depts} depts, seeded faults + 1 induced panic)"
+        ),
+        &[
+            "clients",
+            "queries ok",
+            "deadline",
+            "cancelled",
+            "faults",
+            "panics",
+            "workers replaced",
+            "queries/s",
+        ],
+    );
+    report.row(vec![
+        Report::cell(clients),
+        Report::cell(ok),
+        Report::cell(deadline_hits),
+        Report::cell(cancelled),
+        Report::cell(injected_faults),
+        Report::cell(worker_panics),
+        Report::cell(metrics.workers_replaced),
+        Report::num(ok as f64 / secs),
+    ]);
+    report.note(
+        "every surviving OK reply verified byte-identical to serial execution; \
+         faults/cancellations/deadlines all typed, the induced panic respawned its worker, \
+         and a post-storm batch completed at full pool strength",
+    );
+    report.note(format!("fault-plan events fired: {}", faults.events()));
+    report.note(format!("server stats: {stats_json}"));
+    report
+}

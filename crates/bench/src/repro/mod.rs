@@ -3,6 +3,7 @@
 //! [`crate::report::Report`] that prints like the paper's artifact.
 
 pub mod bloom;
+pub mod chaos;
 pub mod complexity;
 pub mod crossover;
 pub mod dist;

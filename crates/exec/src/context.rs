@@ -2,10 +2,12 @@
 //! registries for temp tables and Bloom filters.
 
 use crate::error::ExecError;
+use crate::interrupt::{Interrupt, InterruptReason};
 use fj_algebra::Catalog;
-use fj_storage::{BloomFilter, CostLedger, PageLayout, SchemaRef, Tuple};
+use fj_storage::{BloomFilter, CostLedger, FaultPlan, PageLayout, SchemaRef, Tuple};
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Default buffer memory, in pages (the `M` of the join formulas).
@@ -55,6 +57,21 @@ pub struct ExecCtx {
     /// ledger charges or the output row multiset — only wall-clock time
     /// (see [`crate::ops::parallel`]).
     pub threads: usize,
+    /// The query's cooperative interrupt flag. Cloned handles (e.g. a
+    /// runtime `Ticket`) can trip it; operators poll it at bounded
+    /// intervals via [`ExecCtx::check_interrupt`].
+    pub interrupt: Interrupt,
+    /// Optional seeded fault plan threaded down to the paged-heap
+    /// access paths (`Table::scan_checked` / `fetch_checked`).
+    pub faults: Option<Arc<FaultPlan>>,
+    /// Governor: maximum rows any execution may emit, summed across
+    /// all plan nodes (`u64::MAX` = unlimited).
+    row_budget: u64,
+    /// Governor: maximum pages the query may materialize (temp tables,
+    /// sort runs, grace-hash partitions; `u64::MAX` = unlimited).
+    memory_budget_pages: u64,
+    rows_emitted: Arc<AtomicU64>,
+    pages_materialized: Arc<AtomicU64>,
     temps: Arc<RwLock<HashMap<String, TempTable>>>,
     blooms: Arc<RwLock<HashMap<String, Arc<BloomFilter>>>>,
 }
@@ -67,6 +84,12 @@ impl ExecCtx {
             ledger: CostLedger::new(),
             memory_pages: DEFAULT_MEMORY_PAGES,
             threads: 1,
+            interrupt: Interrupt::new(),
+            faults: None,
+            row_budget: u64::MAX,
+            memory_budget_pages: u64::MAX,
+            rows_emitted: Arc::new(AtomicU64::new(0)),
+            pages_materialized: Arc::new(AtomicU64::new(0)),
             temps: Arc::new(RwLock::new(HashMap::new())),
             blooms: Arc::new(RwLock::new(HashMap::new())),
         }
@@ -84,10 +107,84 @@ impl ExecCtx {
         self
     }
 
+    /// Attaches an externally held interrupt handle (the runtime hands
+    /// the same handle to the submitter's `Ticket`).
+    pub fn with_interrupt(mut self, interrupt: Interrupt) -> ExecCtx {
+        self.interrupt = interrupt;
+        self
+    }
+
+    /// Attaches a seeded fault plan to the storage access paths.
+    pub fn with_faults(mut self, faults: Arc<FaultPlan>) -> ExecCtx {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Caps the total rows the query may emit across all plan nodes.
+    pub fn with_row_budget(mut self, rows: u64) -> ExecCtx {
+        self.row_budget = rows;
+        self
+    }
+
+    /// Caps the pages the query may materialize (temps, sort runs,
+    /// grace-hash partitions).
+    pub fn with_memory_budget_pages(mut self, pages: u64) -> ExecCtx {
+        self.memory_budget_pages = pages;
+        self
+    }
+
+    /// Polls the interrupt flag: `Err(Interrupted)` once any holder has
+    /// tripped it. Operators call this once per plan node and every
+    /// [`crate::INTERRUPT_CHECK_INTERVAL`] tuples inside hot loops.
+    #[inline]
+    pub fn check_interrupt(&self) -> Result<(), ExecError> {
+        match self.interrupt.tripped() {
+            None => Ok(()),
+            Some(reason) => Err(ExecError::Interrupted(reason)),
+        }
+    }
+
+    /// Governor accounting: `n` rows emitted by a plan node. Trips the
+    /// interrupt with [`InterruptReason::RowLimit`] when the cumulative
+    /// count crosses the row budget and reports the trip immediately.
+    pub fn charge_output_rows(&self, n: u64) -> Result<(), ExecError> {
+        let total = self.rows_emitted.fetch_add(n, Ordering::Relaxed) + n;
+        if total > self.row_budget {
+            self.interrupt.trip(InterruptReason::RowLimit);
+            return self.check_interrupt();
+        }
+        Ok(())
+    }
+
+    /// Governor accounting: `pages` materialized (spooled temp, sort
+    /// run, grace partition). Trips the interrupt with
+    /// [`InterruptReason::MemoryBudget`] past the budget. Unlike
+    /// [`ExecCtx::charge_output_rows`] this does not return an error —
+    /// call sites are mid-materialization and the next bounded poll
+    /// surfaces the trip — so infallible paths stay infallible.
+    pub fn charge_materialized_pages(&self, pages: u64) {
+        let total = self.pages_materialized.fetch_add(pages, Ordering::Relaxed) + pages;
+        if total > self.memory_budget_pages {
+            self.interrupt.trip(InterruptReason::MemoryBudget);
+        }
+    }
+
+    /// Total rows emitted so far across all plan nodes.
+    pub fn rows_emitted(&self) -> u64 {
+        self.rows_emitted.load(Ordering::Relaxed)
+    }
+
+    /// Total pages materialized so far.
+    pub fn pages_materialized(&self) -> u64 {
+        self.pages_materialized.load(Ordering::Relaxed)
+    }
+
     /// Registers (or replaces) a temp table. Charges the page writes of
-    /// materialization to the ledger.
+    /// materialization to the ledger and the governor's memory budget.
     pub fn register_temp(&self, name: impl Into<String>, table: TempTable) {
-        self.ledger.write_pages(table.page_count());
+        let pages = table.page_count();
+        self.ledger.write_pages(pages);
+        self.charge_materialized_pages(pages);
         self.temps.write().insert(name.into(), table);
     }
 
@@ -170,5 +267,47 @@ mod tests {
         let schema = Schema::from_pairs(&[("x", DataType::Int)]).into_ref();
         let t = TempTable::new(schema, vec![]);
         assert_eq!(t.page_count(), 0);
+    }
+
+    #[test]
+    fn check_interrupt_surfaces_the_tripped_reason() {
+        let c = ctx();
+        assert!(c.check_interrupt().is_ok());
+        c.interrupt.trip(InterruptReason::Cancelled);
+        assert_eq!(
+            c.check_interrupt(),
+            Err(ExecError::Interrupted(InterruptReason::Cancelled))
+        );
+    }
+
+    #[test]
+    fn row_budget_trips_row_limit() {
+        let c = ctx().with_row_budget(100);
+        assert!(c.charge_output_rows(60).is_ok());
+        assert_eq!(
+            c.charge_output_rows(41),
+            Err(ExecError::Interrupted(InterruptReason::RowLimit))
+        );
+        assert_eq!(c.rows_emitted(), 101);
+    }
+
+    #[test]
+    fn memory_budget_trips_on_temp_registration() {
+        let c = ctx().with_memory_budget_pages(0);
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]).into_ref();
+        c.register_temp("p", TempTable::new(schema, vec![tuple![1]]));
+        assert_eq!(
+            c.check_interrupt(),
+            Err(ExecError::Interrupted(InterruptReason::MemoryBudget))
+        );
+        assert_eq!(c.pages_materialized(), 1);
+    }
+
+    #[test]
+    fn unlimited_budgets_never_trip() {
+        let c = ctx();
+        assert!(c.charge_output_rows(u64::MAX / 2).is_ok());
+        c.charge_materialized_pages(u64::MAX / 2);
+        assert!(c.check_interrupt().is_ok());
     }
 }

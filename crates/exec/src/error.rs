@@ -1,5 +1,6 @@
 //! Execution errors.
 
+use crate::interrupt::InterruptReason;
 use fj_algebra::AlgebraError;
 use fj_expr::ExprError;
 use fj_storage::StorageError;
@@ -23,6 +24,9 @@ pub enum ExecError {
     /// A UDF relation was asked for full enumeration without a finite
     /// domain.
     UdfNotEnumerable(String),
+    /// The query's interrupt flag tripped (cancellation, deadline, or
+    /// a governor budget) and execution stopped cooperatively.
+    Interrupted(InterruptReason),
 }
 
 impl fmt::Display for ExecError {
@@ -36,6 +40,7 @@ impl fmt::Display for ExecError {
             ExecError::UdfNotEnumerable(n) => {
                 write!(f, "user-defined relation '{n}' has no finite domain")
             }
+            ExecError::Interrupted(reason) => write!(f, "query interrupted: {reason}"),
         }
     }
 }

@@ -27,10 +27,12 @@
 
 pub mod context;
 pub mod error;
+pub mod interrupt;
 pub mod lower;
 pub mod ops;
 pub mod physical;
 
 pub use context::{ExecCtx, TempTable};
 pub use error::ExecError;
+pub use interrupt::{Interrupt, InterruptReason, INTERRUPT_CHECK_INTERVAL};
 pub use physical::{PhysPlan, TempStep};

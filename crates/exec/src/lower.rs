@@ -94,13 +94,14 @@ fn lower_node(
                     .iter()
                     .map(|(a, b)| col(a.clone()).eq(col(b.clone())))
                     .collect();
-                let residual = conjoin(
-                    split_conjuncts(here_pred.as_ref().expect("keys imply a predicate"))
-                        .into_iter()
-                        .filter(|c| {
-                            !key_exprs.contains(c) && !key_exprs.iter().any(|k| flipped_eq(c, k))
-                        }),
-                );
+                // `keys` were extracted from `here_pred`, so it is
+                // necessarily Some here; degrade to no residual rather
+                // than panicking if that invariant ever breaks.
+                let residual = here_pred.as_ref().and_then(|p| {
+                    conjoin(split_conjuncts(p).into_iter().filter(|c| {
+                        !key_exprs.contains(c) && !key_exprs.iter().any(|k| flipped_eq(c, k))
+                    }))
+                });
                 PhysPlan::HashJoin {
                     outer: lp.boxed(),
                     inner: rp.boxed(),

@@ -2,6 +2,7 @@
 
 use crate::context::ExecCtx;
 use crate::error::ExecError;
+use crate::interrupt::INTERRUPT_CHECK_INTERVAL;
 use crate::ops::sort::charge_external_sort;
 use crate::physical::Rel;
 use fj_expr::{Accumulator, AggCall};
@@ -20,7 +21,10 @@ pub fn distinct(ctx: &ExecCtx, input: Rel) -> Result<Rel, ExecError> {
     ctx.ledger.tuple_ops(input.rows.len() as u64);
     let mut seen = HashSet::with_capacity(input.rows.len());
     let mut rows = Vec::new();
-    for t in input.rows {
+    for (n, t) in input.rows.into_iter().enumerate() {
+        if n % INTERRUPT_CHECK_INTERVAL == 0 {
+            ctx.check_interrupt()?;
+        }
         if seen.insert(t.clone()) {
             rows.push(t);
         }
@@ -79,7 +83,10 @@ pub fn hash_aggregate(
 
     let mut groups: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
     let mut order: Vec<Vec<Value>> = Vec::new(); // deterministic output order
-    for t in &input.rows {
+    for (n, t) in input.rows.iter().enumerate() {
+        if n % INTERRUPT_CHECK_INTERVAL == 0 {
+            ctx.check_interrupt()?;
+        }
         let key = t.key(&group_idx);
         let accs = match groups.entry(key.clone()) {
             Entry::Occupied(e) => e.into_mut(),

@@ -2,6 +2,7 @@
 
 use crate::context::ExecCtx;
 use crate::error::ExecError;
+use crate::interrupt::INTERRUPT_CHECK_INTERVAL;
 use crate::physical::Rel;
 use fj_storage::{BloomFilter, Value};
 use std::hash::{Hash, Hasher};
@@ -37,7 +38,10 @@ pub fn build_bloom(
         .collect::<Result<_, _>>()?;
     let mut bloom = BloomFilter::new(bits, hashes);
     ctx.ledger.tuple_ops(input.rows.len() as u64);
-    for t in &input.rows {
+    for (n, t) in input.rows.iter().enumerate() {
+        if n % INTERRUPT_CHECK_INTERVAL == 0 {
+            ctx.check_interrupt()?;
+        }
         let vals: Vec<&Value> = idx.iter().map(|&i| t.value(i)).collect();
         if vals.iter().any(|v| v.is_null()) {
             continue;
@@ -63,7 +67,10 @@ pub fn bloom_probe(
         .collect::<Result<_, _>>()?;
     ctx.ledger.tuple_ops(input.rows.len() as u64);
     let mut rows = Vec::new();
-    for t in input.rows {
+    for (n, t) in input.rows.into_iter().enumerate() {
+        if n % INTERRUPT_CHECK_INTERVAL == 0 {
+            ctx.check_interrupt()?;
+        }
         let vals: Vec<&Value> = idx.iter().map(|&i| t.value(i)).collect();
         if vals.iter().any(|v| v.is_null()) {
             continue;

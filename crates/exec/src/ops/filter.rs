@@ -2,6 +2,7 @@
 
 use crate::context::ExecCtx;
 use crate::error::ExecError;
+use crate::interrupt::INTERRUPT_CHECK_INTERVAL;
 use crate::physical::Rel;
 use fj_expr::{BoundExpr, Expr};
 use fj_storage::{Column, Schema, Tuple};
@@ -13,7 +14,10 @@ pub fn filter(ctx: &ExecCtx, input: Rel, predicate: &Expr) -> Result<Rel, ExecEr
     let bound = BoundExpr::bind(predicate, &input.schema)?;
     ctx.ledger.tuple_ops(input.rows.len() as u64);
     let mut rows = Vec::new();
-    for t in input.rows {
+    for (i, t) in input.rows.into_iter().enumerate() {
+        if i % INTERRUPT_CHECK_INTERVAL == 0 {
+            ctx.check_interrupt()?;
+        }
         if bound.eval_predicate(&t)? {
             rows.push(t);
         }
@@ -36,7 +40,10 @@ pub fn project(ctx: &ExecCtx, input: Rel, exprs: &[(Expr, String)]) -> Result<Re
     )?;
     ctx.ledger.tuple_ops(input.rows.len() as u64);
     let mut rows = Vec::with_capacity(input.rows.len());
-    for t in &input.rows {
+    for (i, t) in input.rows.iter().enumerate() {
+        if i % INTERRUPT_CHECK_INTERVAL == 0 {
+            ctx.check_interrupt()?;
+        }
         let mut vals = Vec::with_capacity(bound.len());
         for (b, _) in &bound {
             vals.push(b.eval(t)?);

@@ -7,6 +7,7 @@
 
 use crate::context::ExecCtx;
 use crate::error::ExecError;
+use crate::interrupt::INTERRUPT_CHECK_INTERVAL;
 use crate::ops::parallel::{route, PARALLEL_ROW_THRESHOLD};
 use crate::ops::sort::charge_external_sort as charge_external_sort_pages;
 use crate::physical::{maybe_qualify, Rel};
@@ -74,10 +75,16 @@ pub fn block_nested_loops(
         .tuple_ops(outer.rows.len() as u64 * inner.rows.len().max(1) as u64);
 
     let mut rows = Vec::new();
+    let mut since_check = 0usize;
     for o in &outer.rows {
         match kind {
             JoinKind::Inner => {
                 for i in &inner.rows {
+                    since_check += 1;
+                    if since_check >= INTERRUPT_CHECK_INTERVAL {
+                        since_check = 0;
+                        ctx.check_interrupt()?;
+                    }
                     let joined = o.concat(i);
                     if match &pred {
                         Some(p) => p.eval_predicate(&joined)?,
@@ -89,6 +96,11 @@ pub fn block_nested_loops(
             }
             JoinKind::Semi => {
                 for i in &inner.rows {
+                    since_check += 1;
+                    if since_check >= INTERRUPT_CHECK_INTERVAL {
+                        since_check = 0;
+                        ctx.check_interrupt()?;
+                    }
                     let joined = o.concat(i);
                     if match &pred {
                         Some(p) => p.eval_predicate(&joined)?,
@@ -140,7 +152,13 @@ pub fn index_nested_loops(
 
     ctx.ledger.tuple_ops(outer.rows.len() as u64);
     let mut rows = Vec::new();
+    let mut since_check = 0usize;
     for o in &outer.rows {
+        since_check += 1;
+        if since_check >= INTERRUPT_CHECK_INTERVAL {
+            since_check = 0;
+            ctx.check_interrupt()?;
+        }
         let key = o.value(okey);
         if key.is_null() {
             continue;
@@ -150,7 +168,10 @@ pub fn index_nested_loops(
             Idx::BTree(b) => b.probe(key, &ctx.ledger),
         };
         for &rid in ids {
-            let joined = o.concat(t.fetch(rid, &ctx.ledger));
+            let fetched = t
+                .fetch_checked(rid, &ctx.ledger, ctx.faults.as_deref())
+                .map_err(ExecError::Storage)?;
+            let joined = o.concat(fetched);
             if match &pred {
                 Some(p) => p.eval_predicate(&joined)?,
                 None => true,
@@ -189,11 +210,13 @@ pub fn hash_join(
     };
     let pred = bind_residual(residual, &full_schema)?;
 
-    // Grace partitioning charge when the build side spills.
+    // Grace partitioning charge when the build side spills. The spilled
+    // partitions count against the governor's memory budget.
     if inner.page_count() > ctx.memory_pages {
         let p = inner.page_count() + outer.page_count();
         ctx.ledger.write_pages(p);
         ctx.ledger.read_pages(p);
+        ctx.charge_materialized_pages(p);
     }
 
     ctx.ledger
@@ -223,7 +246,10 @@ fn hash_probe<I: std::borrow::Borrow<Tuple> + Sync>(
     kind: JoinKind,
 ) -> Result<Vec<Tuple>, ExecError> {
     let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::with_capacity(inner_rows.len());
-    for i in inner_rows {
+    for (n, i) in inner_rows.iter().enumerate() {
+        if n % INTERRUPT_CHECK_INTERVAL == 0 {
+            ctx.check_interrupt()?;
+        }
         let i = i.borrow();
         let key = i.key(ikeys);
         if key.iter().any(Value::is_null) {
@@ -233,7 +259,10 @@ fn hash_probe<I: std::borrow::Borrow<Tuple> + Sync>(
     }
 
     let mut rows = Vec::new();
-    for o in outer_rows {
+    for (n, o) in outer_rows.iter().enumerate() {
+        if n % INTERRUPT_CHECK_INTERVAL == 0 {
+            ctx.check_interrupt()?;
+        }
         let o = o.borrow();
         let key = o.key(okeys);
         if key.iter().any(Value::is_null) {
@@ -320,7 +349,10 @@ fn partitioned_hash_probe(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("hash-join partition worker panicked"))
+            // A panicking partition worker re-raises on the coordinating
+            // thread with its original payload, so the runtime's
+            // catch_unwind sees the real panic, not a synthesized one.
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
             .collect()
     });
 
@@ -390,7 +422,13 @@ pub fn merge_join(
 
     let mut rows = Vec::new();
     let (mut li, mut ri) = (0usize, 0usize);
+    let mut since_check = 0usize;
     while li < left.len() && ri < right.len() {
+        since_check += 1;
+        if since_check >= INTERRUPT_CHECK_INTERVAL {
+            since_check = 0;
+            ctx.check_interrupt()?;
+        }
         let lk = left[li].key(&okeys);
         if lk.iter().any(Value::is_null) {
             li += 1;
@@ -457,7 +495,10 @@ pub fn udf_probe(
     let out_schema = Arc::new(outer.schema.join(&maybe_qualify(&udf_schema, alias))?);
 
     let mut rows = Vec::new();
-    for o in &outer.rows {
+    for (n, o) in outer.rows.iter().enumerate() {
+        if n % INTERRUPT_CHECK_INTERVAL == 0 {
+            ctx.check_interrupt()?;
+        }
         let args: Vec<Value> = arg_idx.iter().map(|&i| o.value(i).clone()).collect();
         if args.iter().any(Value::is_null) {
             continue;

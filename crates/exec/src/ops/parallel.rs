@@ -59,7 +59,9 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("parallel chunk worker panicked"))
+            // Re-raise a chunk worker's panic with its original payload
+            // so the runtime's catch_unwind reports the real cause.
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
             .collect()
     })
 }

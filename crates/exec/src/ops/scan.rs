@@ -22,9 +22,14 @@ fn copy_rows(ctx: &ExecCtx, src: &[Tuple]) -> Vec<Tuple> {
 
 /// Sequential scan of a base table. Charges one read per table page.
 /// With `ctx.threads > 1` the heap copy-out is chunked across workers.
+/// Page reads pass through the context's fault plan, if any.
 pub fn seq_scan(ctx: &ExecCtx, table: &str, alias: &str) -> Result<Rel, ExecError> {
+    ctx.check_interrupt()?;
     let t = ctx.catalog.table(table)?;
-    let rows = copy_rows(ctx, t.scan(&ctx.ledger));
+    let src = t
+        .scan_checked(&ctx.ledger, ctx.faults.as_deref())
+        .map_err(ExecError::Storage)?;
+    let rows = copy_rows(ctx, src);
     Ok(Rel::new(maybe_qualify(t.schema(), alias), rows))
 }
 

@@ -13,6 +13,10 @@ use crate::physical::Rel;
 /// `⌈log_{M−1}(⌈P/M⌉)⌉` merge passes another — `2P·(1+passes)` page I/Os
 /// total, the standard formula.
 pub fn sort(ctx: &ExecCtx, input: Rel, keys: &[String]) -> Result<Rel, ExecError> {
+    // The comparison sort itself is a library call and cannot poll the
+    // interrupt mid-run; bracket it instead — the run is bounded by
+    // `n log n` comparisons, so the check bound holds per plan node.
+    ctx.check_interrupt()?;
     let key_idx: Vec<usize> = keys
         .iter()
         .map(|k| input.schema.resolve(k))
@@ -25,11 +29,13 @@ pub fn sort(ctx: &ExecCtx, input: Rel, keys: &[String]) -> Result<Rel, ExecError
     charge_external_sort(ctx, input.page_count());
     let mut rows = input.rows;
     rows.sort_by_key(|a| a.key(&key_idx));
+    ctx.check_interrupt()?;
     Ok(Rel::new(input.schema, rows))
 }
 
 /// Charges the external-sort page I/O for sorting `pages` pages under the
 /// context's buffer memory (no charge when the input fits in memory).
+/// Spilled runs count against the governor's memory budget.
 pub fn charge_external_sort(ctx: &ExecCtx, pages: u64) {
     let m = ctx.memory_pages;
     if pages <= m {
@@ -39,6 +45,7 @@ pub fn charge_external_sort(ctx: &ExecCtx, pages: u64) {
     // Run formation: read + write every page; each merge pass: the same.
     ctx.ledger.read_pages(pages * (1 + passes));
     ctx.ledger.write_pages(pages * (1 + passes));
+    ctx.charge_materialized_pages(pages);
 }
 
 /// Number of merge passes to sort `pages` with `m` buffers:

@@ -256,7 +256,22 @@ impl PhysPlan {
     }
 
     /// Executes the plan, charging the context's ledger.
+    ///
+    /// Governor hooks: the interrupt flag is polled at every plan-node
+    /// entry (operators additionally poll inside their tuple loops at
+    /// [`crate::INTERRUPT_CHECK_INTERVAL`]), and every node's output
+    /// cardinality is charged against the context's row budget, so a
+    /// runaway intermediate result trips
+    /// [`crate::InterruptReason::RowLimit`] within one node of
+    /// appearing.
     pub fn execute(&self, ctx: &ExecCtx) -> Result<Rel, ExecError> {
+        ctx.check_interrupt()?;
+        let rel = self.execute_node(ctx)?;
+        ctx.charge_output_rows(rel.rows.len() as u64)?;
+        Ok(rel)
+    }
+
+    fn execute_node(&self, ctx: &ExecCtx) -> Result<Rel, ExecError> {
         match self {
             PhysPlan::SeqScan { table, alias } => ops::scan::seq_scan(ctx, table, alias),
             PhysPlan::IndexOrderedScan { table, alias, col } => {

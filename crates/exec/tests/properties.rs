@@ -5,10 +5,10 @@
 //! duplicates, NULLs and empty inputs.
 
 use fj_algebra::{Catalog, JoinKind};
-use fj_exec::physical::Rel;
-use fj_exec::{ops, ExecCtx};
+use fj_exec::physical::{PhysPlan, Rel};
+use fj_exec::{ops, ExecCtx, ExecError};
 use fj_expr::{col, AggCall, AggFunc};
-use fj_storage::{Column, DataType, Schema, Tuple, Value};
+use fj_storage::{Column, DataType, FaultPlan, Schema, StorageError, TableBuilder, Tuple, Value};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -191,5 +191,44 @@ proptest! {
         )
         .unwrap();
         prop_assert_eq!(via_filter.rows.len(), reference_join(&l, &r));
+    }
+
+    #[test]
+    fn seeded_fault_plans_yield_typed_errors_never_wrong_rows(
+        l in rows_strategy(),
+        seed in 0u64..u64::MAX,
+        error_one_in in 0u64..4,
+        stall_one_in in 0u64..4,
+    ) {
+        // Any seeded fault plan either leaves the answer untouched or
+        // surfaces as the typed injected-fault error — never a panic,
+        // never silently wrong rows.
+        let mut cat = Catalog::new();
+        cat.add_table(
+            TableBuilder::new("T")
+                .column("k", DataType::Int)
+                .column("v", DataType::Int)
+                .rows(l.iter().map(|(k, v)| vec![k.unwrap_or(0).into(), (*v).into()]))
+                .build()
+                .unwrap()
+                .into_ref(),
+        );
+        let cat = Arc::new(cat);
+        let plan = PhysPlan::SeqScan { table: "T".into(), alias: "T".into() };
+        let clean = plan.execute(&ExecCtx::new(Arc::clone(&cat))).unwrap();
+
+        let mut faults = FaultPlan::new(seed);
+        if error_one_in > 0 {
+            faults = faults.with_read_errors(error_one_in);
+        }
+        if stall_one_in > 0 {
+            faults = faults.with_stalls(stall_one_in, std::time::Duration::from_micros(10));
+        }
+        let ctx = ExecCtx::new(cat).with_faults(Arc::new(faults));
+        match plan.execute(&ctx) {
+            Ok(rel) => prop_assert_eq!(rel.rows, clean.rows.clone()),
+            Err(ExecError::Storage(StorageError::InjectedFault { .. })) => {}
+            Err(e) => prop_assert!(false, "unexpected error class: {e}"),
+        }
     }
 }

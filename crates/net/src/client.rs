@@ -97,6 +97,75 @@ pub struct QueryOptions {
     pub config: Option<OptimizerConfig>,
 }
 
+/// Bounded-retry policy: exponential backoff with decorrelated jitter
+/// (`sleep = min(cap, uniform(base, prev_sleep * 3))`), driven by the
+/// server's retryability classification — only [`ErrorCode::Shed`] and
+/// [`ErrorCode::ShuttingDown`] replies are retried.
+///
+/// The jitter stream is seeded, so a test (or a reproduce run) can
+/// replay the exact backoff schedule.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Smallest sleep between attempts.
+    pub base: Duration,
+    /// Largest sleep between attempts.
+    pub cap: Duration,
+    /// Total tries, first included (so `1` disables retries).
+    pub max_attempts: u32,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(500),
+            max_attempts: 5,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// SplitMix64 finalizer — the same generator the storage fault plan
+/// uses; good enough to decorrelate backoff schedules.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl RetryPolicy {
+    /// The next sleep after `prev`, advancing the jitter state.
+    fn next_sleep(&self, state: &mut u64, prev: Duration) -> Duration {
+        *state = splitmix64(*state);
+        let lo = self.base.as_micros() as u64;
+        let hi = (prev.as_micros() as u64).saturating_mul(3).max(lo + 1);
+        let picked = lo + *state % (hi - lo);
+        Duration::from_micros(picked.min(self.cap.as_micros() as u64))
+    }
+}
+
+/// A handle that cancels the query in flight on its [`Client`]'s
+/// connection, from another thread (the client itself is blocked
+/// waiting for the reply). Obtained from [`Client::canceller`].
+#[derive(Debug)]
+pub struct Canceller {
+    stream: TcpStream,
+}
+
+impl Canceller {
+    /// Sends a CANCEL frame. The server trips the query's interrupt;
+    /// the blocked `query*` call returns [`ErrorCode::Cancelled`] (or
+    /// the result, if the query won the race). Harmless when no query
+    /// is in flight.
+    pub fn cancel(&mut self) -> Result<(), NetError> {
+        wire::write_frame(&mut self.stream, FrameType::Cancel, &[])?;
+        Ok(())
+    }
+}
+
 /// A blocking connection to an `fj-net` server.
 #[derive(Debug)]
 pub struct Client {
@@ -151,6 +220,39 @@ impl Client {
         }
     }
 
+    /// A [`Canceller`] for this connection (a cloned socket handle), to
+    /// tear down an in-flight query from another thread.
+    pub fn canceller(&self) -> Result<Canceller, NetError> {
+        Ok(Canceller {
+            stream: self.stream.try_clone()?,
+        })
+    }
+
+    /// Executes `query`, retrying retryable refusals ([`ErrorCode::Shed`],
+    /// [`ErrorCode::ShuttingDown`]) up to `policy.max_attempts` total
+    /// tries with decorrelated-jitter backoff. Non-retryable errors and
+    /// results return immediately.
+    pub fn query_with_retry(
+        &mut self,
+        query: &JoinQuery,
+        opts: &QueryOptions,
+        policy: &RetryPolicy,
+    ) -> Result<QueryReply, NetError> {
+        let mut state = splitmix64(policy.seed);
+        let mut prev = policy.base;
+        let mut attempt = 1;
+        loop {
+            match self.query_with(query, opts) {
+                Err(e) if e.is_retryable() && attempt < policy.max_attempts.max(1) => {
+                    attempt += 1;
+                    prev = policy.next_sleep(&mut state, prev);
+                    std::thread::sleep(prev);
+                }
+                other => return other,
+            }
+        }
+    }
+
     /// Fetches the server's combined stats JSON line.
     pub fn stats_json(&mut self) -> Result<String, NetError> {
         self.stream.set_read_timeout(None)?;
@@ -176,5 +278,59 @@ impl Client {
             Ok((code, message)) => NetError::Remote { code, message },
             Err(e) => NetError::Codec(e),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule(policy: &RetryPolicy, n: usize) -> Vec<Duration> {
+        let mut state = splitmix64(policy.seed);
+        let mut prev = policy.base;
+        (0..n)
+            .map(|_| {
+                prev = policy.next_sleep(&mut state, prev);
+                prev
+            })
+            .collect()
+    }
+
+    #[test]
+    fn backoff_stays_within_base_and_cap() {
+        let policy = RetryPolicy::default();
+        for sleep in schedule(&policy, 64) {
+            assert!(sleep >= policy.base, "sleep {sleep:?} below base");
+            assert!(sleep <= policy.cap, "sleep {sleep:?} above cap");
+        }
+    }
+
+    #[test]
+    fn backoff_schedule_is_seeded_and_decorrelated() {
+        let policy = RetryPolicy::default();
+        assert_eq!(schedule(&policy, 16), schedule(&policy, 16), "replayable");
+        let other = RetryPolicy {
+            seed: policy.seed + 1,
+            ..policy.clone()
+        };
+        assert_ne!(
+            schedule(&policy, 16),
+            schedule(&other, 16),
+            "different seeds must produce different jitter"
+        );
+    }
+
+    #[test]
+    fn backoff_grows_from_the_previous_sleep() {
+        // Decorrelated jitter draws from [base, prev*3): starting at
+        // base, the second sleep can exceed base but never 3×base.
+        let policy = RetryPolicy {
+            base: Duration::from_millis(10),
+            cap: Duration::from_secs(10),
+            max_attempts: 5,
+            seed: 42,
+        };
+        let s = schedule(&policy, 1);
+        assert!(s[0] < Duration::from_millis(30));
     }
 }

@@ -11,12 +11,16 @@
 //!   overrides, and result rows; total decoders — adversarial bytes
 //!   produce typed errors, never panics;
 //! * [`server`] — accept loop + per-connection handler threads with a
-//!   connection cap, per-request deadlines bounding
-//!   [`fj_runtime::Ticket::wait_timeout`], load shedding at the edge
-//!   (`try_submit` → retryable SHED), graceful drain, and a STATS
-//!   request + periodic JSON log line over server counters;
+//!   connection cap, per-request deadlines that **cancel** the query
+//!   server-side on expiry, mid-query CANCEL frames tearing execution
+//!   down, load shedding at the edge (`try_submit` → retryable SHED),
+//!   graceful drain, and a STATS request + periodic JSON log line over
+//!   server counters;
 //! * [`client`] — one blocking connection per [`Client`], with
-//!   [`NetError::is_retryable`] marking shed/drain replies.
+//!   [`NetError::is_retryable`] marking shed/drain replies, a
+//!   [`Canceller`] handle to abort an in-flight query from another
+//!   thread, and [`Client::query_with_retry`] — bounded retries with
+//!   exponential backoff and decorrelated jitter.
 //!
 //! ```
 //! use fj_algebra::fixtures::{paper_catalog, paper_query};
@@ -34,7 +38,7 @@ pub mod codec;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, NetError, QueryOptions};
+pub use client::{Canceller, Client, NetError, QueryOptions, RetryPolicy};
 pub use codec::{CodecError, QueryReply, QueryRequest};
 pub use server::{Server, ServerConfig, ServerStats};
 pub use wire::{ErrorCode, FrameType, WireError, VERSION};

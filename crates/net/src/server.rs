@@ -10,11 +10,17 @@
 //!   a retryable [`ErrorCode::Shed`] reply instead of blocking the
 //!   connection handler, and the connection cap sheds the same way at
 //!   accept time;
-//! * **Deadlines** — a request's `deadline_millis` bounds the handler's
-//!   [`fj_runtime::Ticket::wait_timeout`], measured from the instant
-//!   the request frame was decoded; an expired deadline replies
-//!   [`ErrorCode::DeadlineExceeded`] (the query itself is not torn
-//!   down — the worker finishes it and the plan stays cached);
+//! * **Deadlines** — a request's `deadline_millis` is measured from the
+//!   instant the request frame was decoded; expiry **tears the query
+//!   down**: the handler trips the query's interrupt with
+//!   [`fj_runtime::InterruptReason::Deadline`], the worker stops within
+//!   a bounded number of tuples, and the client gets
+//!   [`ErrorCode::DeadlineExceeded`];
+//! * **Cancellation** — a [`FrameType::Cancel`] frame received while a
+//!   query is in flight trips its interrupt with
+//!   [`fj_runtime::InterruptReason::Cancelled`]; the reply is an
+//!   [`ErrorCode::Cancelled`] error (or the result, if the query won
+//!   the race). A stale CANCEL between requests is a no-op;
 //! * **Graceful drain** — [`Server::shutdown`] stops the accept loop,
 //!   lets every handler finish the request it is serving (replies
 //!   included), then closes the worker pool. Accepted work is never
@@ -24,7 +30,7 @@ use crate::codec;
 use crate::wire::{self, ErrorCode, Frame, FrameReader, FrameType, WireError};
 use fj_algebra::Catalog;
 use fj_optimizer::OptimizerConfig;
-use fj_runtime::{QueryService, RuntimeError, ServiceConfig};
+use fj_runtime::{InterruptReason, QueryService, RuntimeError, ServiceConfig};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -446,10 +452,13 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared, over_cap: bool) {
 
         match frame.ty {
             FrameType::Query => {
-                if !handle_query(&mut stream, shared, &frame) {
+                if !handle_query(&mut stream, shared, &frame, &mut reader) {
                     return;
                 }
             }
+            // A CANCEL with no query in flight lost the race against
+            // the reply; it is a harmless no-op.
+            FrameType::Cancel => {}
             FrameType::Stats => {
                 let json = shared.stats_json();
                 let payload = match codec::encode_stats_reply(&json) {
@@ -474,8 +483,16 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared, over_cap: bool) {
 }
 
 /// Serves one QUERY frame; returns false when the connection should
-/// close.
-fn handle_query(stream: &mut TcpStream, shared: &Shared, frame: &Frame) -> bool {
+/// close. While the query runs, the handler alternates polling the
+/// ticket with short reads on the socket, so a CANCEL frame tears the
+/// query down mid-flight and a deadline expiry cancels instead of
+/// leaking the worker.
+fn handle_query(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    frame: &Frame,
+    reader: &mut FrameReader,
+) -> bool {
     let received = Instant::now();
     shared.counters.requests.fetch_add(1, Ordering::Relaxed);
     let request = match codec::decode_request(&frame.payload) {
@@ -508,9 +525,77 @@ fn handle_query(stream: &mut TcpStream, shared: &Shared, frame: &Frame) -> bool 
         }
     };
 
-    let outcome = match deadline {
-        None => ticket.wait(),
-        Some(d) => ticket.wait_timeout(d.saturating_sub(received.elapsed())),
+    // While the query is in flight the handler alternates ticket polls
+    // with socket reads; a short read timeout keeps each read pass from
+    // delaying result delivery by more than ~2ms.
+    enum Waited {
+        Reply(Box<Result<fj_core::QueryResult, RuntimeError>>),
+        DeadlineExpired,
+        ProtocolViolation,
+        PeerGone,
+    }
+    let interrupt = ticket.interrupt_handle();
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(2)));
+    let waited = loop {
+        if let Some(reply) = ticket.poll(Duration::from_millis(2)) {
+            break Waited::Reply(Box::new(reply));
+        }
+        if let Some(d) = deadline {
+            if received.elapsed() >= d {
+                break Waited::DeadlineExpired;
+            }
+        }
+        // One bounded read pass looking for a mid-query CANCEL frame.
+        let mut passes = 0;
+        match reader.read_frame(stream, |_| {
+            passes += 1;
+            passes > 1
+        }) {
+            Ok(Some(f)) if f.ty == FrameType::Cancel => {
+                shared
+                    .counters
+                    .bytes_in
+                    .fetch_add(f.wire_bytes as u64, Ordering::Relaxed);
+                interrupt.trip(InterruptReason::Cancelled);
+            }
+            Ok(Some(_)) => break Waited::ProtocolViolation,
+            Ok(None) => {} // nothing (or only a partial frame) buffered
+            Err(_) => break Waited::PeerGone,
+        }
+    };
+    // Back to the between-requests poll cadence.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let outcome = match waited {
+        Waited::Reply(reply) => *reply,
+        Waited::DeadlineExpired => {
+            // Expiry cancels: the worker stops within a bounded number
+            // of tuples (its Interrupted reply goes to the dropped
+            // ticket), and the client hears immediately.
+            interrupt.trip(InterruptReason::Deadline);
+            return send_error(
+                stream,
+                shared,
+                ErrorCode::DeadlineExceeded,
+                "deadline expired; query cancelled",
+            );
+        }
+        Waited::ProtocolViolation => {
+            // Any other frame while a query is in flight is a protocol
+            // violation: tear the query down and close.
+            interrupt.trip(InterruptReason::Cancelled);
+            send_error(
+                stream,
+                shared,
+                ErrorCode::Malformed,
+                "only CANCEL may be sent while a query is in flight",
+            );
+            return false;
+        }
+        Waited::PeerGone => {
+            // Peer vanished mid-query: tear the query down too.
+            interrupt.trip(InterruptReason::Cancelled);
+            return false;
+        }
     };
     match outcome {
         Ok(result) => match codec::encode_reply(&result) {
@@ -520,15 +605,31 @@ fn handle_query(stream: &mut TcpStream, shared: &Shared, frame: &Frame) -> bool 
             }
             Err(e) => send_error(stream, shared, ErrorCode::Internal, &e.to_string()),
         },
-        Err(RuntimeError::DeadlineExceeded) => send_error(
+        Err(RuntimeError::Interrupted(InterruptReason::Cancelled)) => {
+            send_error(stream, shared, ErrorCode::Cancelled, "query cancelled")
+        }
+        Err(RuntimeError::Interrupted(InterruptReason::Deadline))
+        | Err(RuntimeError::DeadlineExceeded) => send_error(
             stream,
             shared,
             ErrorCode::DeadlineExceeded,
-            "deadline expired before the query finished",
+            "deadline expired; query cancelled",
+        ),
+        Err(RuntimeError::Interrupted(reason)) => send_error(
+            stream,
+            shared,
+            ErrorCode::QueryFailed,
+            &format!("query interrupted: {reason}"),
         ),
         Err(RuntimeError::Query(e)) => {
             send_error(stream, shared, ErrorCode::QueryFailed, &e.to_string())
         }
+        Err(RuntimeError::WorkerPanicked(msg)) => send_error(
+            stream,
+            shared,
+            ErrorCode::Internal,
+            &format!("worker panicked: {msg}"),
+        ),
         Err(RuntimeError::ShuttingDown) => {
             send_error(stream, shared, ErrorCode::ShuttingDown, "server draining")
         }

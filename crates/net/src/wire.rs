@@ -42,6 +42,11 @@ pub enum FrameType {
     Query = 0x01,
     /// Client → server: fetch server + runtime counters.
     Stats = 0x02,
+    /// Client → server: cancel the in-flight query on this connection
+    /// (empty payload). The server trips the query's interrupt; the
+    /// reply is an [`ErrorCode::Cancelled`] error frame (or the result,
+    /// if the query won the race).
+    Cancel = 0x03,
     /// Server → client: query result (payload: reply encoding).
     Result = 0x81,
     /// Server → client: stats reply (payload: one JSON string).
@@ -56,6 +61,7 @@ impl FrameType {
         match b {
             0x01 => Some(FrameType::Query),
             0x02 => Some(FrameType::Stats),
+            0x03 => Some(FrameType::Cancel),
             0x81 => Some(FrameType::Result),
             0x82 => Some(FrameType::StatsReply),
             0x7F => Some(FrameType::Error),
@@ -86,6 +92,9 @@ pub enum ErrorCode {
     FrameTooLarge = 7,
     /// Anything else (worker lost, internal invariant).
     Internal = 8,
+    /// The query was cancelled — by a client CANCEL frame or a
+    /// server-side deadline tearing down execution.
+    Cancelled = 9,
 }
 
 impl ErrorCode {
@@ -100,6 +109,7 @@ impl ErrorCode {
             6 => Some(ErrorCode::UnsupportedVersion),
             7 => Some(ErrorCode::FrameTooLarge),
             8 => Some(ErrorCode::Internal),
+            9 => Some(ErrorCode::Cancelled),
             _ => None,
         }
     }
@@ -122,6 +132,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::UnsupportedVersion => "UNSUPPORTED_VERSION",
             ErrorCode::FrameTooLarge => "FRAME_TOO_LARGE",
             ErrorCode::Internal => "INTERNAL",
+            ErrorCode::Cancelled => "CANCELLED",
         };
         f.write_str(s)
     }
@@ -481,6 +492,7 @@ mod tests {
             ErrorCode::UnsupportedVersion,
             ErrorCode::FrameTooLarge,
             ErrorCode::Internal,
+            ErrorCode::Cancelled,
         ] {
             assert_eq!(ErrorCode::from_u8(code as u8), Some(code));
         }
@@ -488,5 +500,22 @@ mod tests {
         assert!(ErrorCode::Shed.is_retryable());
         assert!(ErrorCode::ShuttingDown.is_retryable());
         assert!(!ErrorCode::Malformed.is_retryable());
+        assert!(
+            !ErrorCode::Cancelled.is_retryable(),
+            "a cancellation is deliberate, never retried"
+        );
+    }
+
+    #[test]
+    fn cancel_frame_round_trips() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameType::Cancel, b"").unwrap();
+        let mut fr = FrameReader::new(DEFAULT_MAX_FRAME_BYTES);
+        let frame = fr
+            .read_frame_blocking(&mut Cursor::new(wire))
+            .unwrap()
+            .unwrap();
+        assert_eq!(frame.ty, FrameType::Cancel);
+        assert!(frame.payload.is_empty());
     }
 }

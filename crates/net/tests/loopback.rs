@@ -243,11 +243,115 @@ fn deadline_expiry_surfaces_without_poisoning_the_connection() {
     );
     assert!(server.stats().deadline_hits >= 1);
 
-    // The connection stays usable, and the abandoned query was not
-    // cancelled — its plan is in the cache, so the retry without a
-    // deadline succeeds.
+    // The connection stays usable. The abandoned query was cancelled
+    // server-side (expiry trips its interrupt), so the worker is free
+    // and the retry without a deadline succeeds promptly.
     let reply = client.query(&query).unwrap();
     assert!(!reply.rows.is_empty());
+    assert!(
+        server.metrics().cancelled >= 1,
+        "deadline expiry must cancel the server-side query"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn cancel_frame_tears_down_the_server_side_query() {
+    let (cat, query) = big_catalog_and_query(3000);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        cat,
+        ServerConfig {
+            service: ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Fire the CANCEL from another thread while `query` blocks on the
+    // reply. The query may win the race on a fast run, so retry until
+    // one cancellation lands.
+    let mut cancelled = false;
+    for _ in 0..32 {
+        let mut canceller = client.canceller().unwrap();
+        let killer = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(5));
+            canceller.cancel().unwrap();
+        });
+        let outcome = client.query(&query);
+        killer.join().unwrap();
+        match outcome {
+            Err(NetError::Remote {
+                code: ErrorCode::Cancelled,
+                ..
+            }) => {
+                cancelled = true;
+                break;
+            }
+            Ok(reply) => assert!(!reply.rows.is_empty(), "a racing winner returns full rows"),
+            Err(other) => panic!("expected CANCELLED or a result, got {other}"),
+        }
+    }
+    assert!(cancelled, "32 attempts should land one mid-query CANCEL");
+    assert!(server.metrics().cancelled >= 1);
+
+    // The connection and the worker both survive the teardown.
+    let reply = client.query(&query).unwrap();
+    assert!(!reply.rows.is_empty());
+    server.shutdown();
+}
+
+#[test]
+fn query_with_retry_rides_out_load_shedding() {
+    use fj_net::RetryPolicy;
+
+    let (cat, query) = big_catalog_and_query(1500);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        cat,
+        ServerConfig {
+            service: ServiceConfig {
+                workers: 1,
+                queue_capacity: 1,
+                ..ServiceConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // The same burst that sheds plain `query` calls resolves fully when
+    // every client retries with backoff.
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            let query = query.clone();
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let policy = RetryPolicy {
+                    base: Duration::from_millis(2),
+                    cap: Duration::from_millis(100),
+                    max_attempts: 200,
+                    seed: i,
+                };
+                client
+                    .query_with_retry(&query, &QueryOptions::default(), &policy)
+                    .map(|r| r.rows.len())
+            })
+        })
+        .collect();
+    for h in handles {
+        let nrows = h.join().unwrap().expect("retries must ride out SHED");
+        assert!(nrows > 0);
+    }
+    assert!(
+        server.stats().sheds > 0,
+        "the burst must actually have shed (otherwise this test proves nothing)"
+    );
     server.shutdown();
 }
 

@@ -17,6 +17,18 @@
 //!   charges identical to serial execution.
 //! * [`RuntimeMetrics`] — per-query latency histogram, throughput,
 //!   cache hit rate, and queue depth.
+//! * **Query governor** — every submission carries a shared
+//!   [`Interrupt`] handle: deadlines, explicit [`Ticket::cancel`],
+//!   and row/memory budgets all trip it, and operators poll it
+//!   cooperatively so a query stops within a bounded number of tuples
+//!   and returns [`RuntimeError::Interrupted`].
+//! * **Self-healing workers** — a panic inside the engine is caught,
+//!   reported on the query's ticket as
+//!   [`RuntimeError::WorkerPanicked`], and the worker is respawned so
+//!   pool capacity never degrades (`workers_replaced` counts these).
+//! * **Fault injection** — [`ServiceConfig::fault_plan`] installs a
+//!   seeded [`fj_storage::FaultPlan`] on the page-read path for
+//!   deterministic chaos testing.
 //!
 //! ```
 //! use fj_algebra::fixtures::{paper_catalog, paper_query};
@@ -44,6 +56,8 @@ pub mod queue;
 pub mod service;
 
 pub use cache::{CacheStats, PlanCache};
+pub use fj_exec::{Interrupt, InterruptReason};
+pub use fj_storage::FaultPlan;
 pub use metrics::{LatencyHistogram, MetricsRecorder, RuntimeMetrics, LATENCY_BUCKETS};
 pub use queue::{BoundedQueue, PushError};
 pub use service::{QueryService, RuntimeError, ServiceConfig, Ticket};

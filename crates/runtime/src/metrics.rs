@@ -9,6 +9,7 @@
 //! to a factor of two — plenty for the throughput bench's speedup
 //! comparisons.
 
+use fj_exec::InterruptReason;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -22,6 +23,9 @@ pub const LATENCY_BUCKETS: usize = 40;
 pub struct MetricsRecorder {
     completed: AtomicU64,
     errors: AtomicU64,
+    cancelled: AtomicU64,
+    interrupted_by_budget: AtomicU64,
+    workers_replaced: AtomicU64,
     latency_sum_micros: AtomicU64,
     latency_max_micros: AtomicU64,
     buckets: [AtomicU64; LATENCY_BUCKETS],
@@ -32,6 +36,9 @@ impl Default for MetricsRecorder {
         MetricsRecorder {
             completed: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            interrupted_by_budget: AtomicU64::new(0),
+            workers_replaced: AtomicU64::new(0),
             latency_sum_micros: AtomicU64::new(0),
             latency_max_micros: AtomicU64::new(0),
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -74,6 +81,39 @@ impl MetricsRecorder {
     /// Failed queries.
     pub fn errors(&self) -> u64 {
         self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Records one interrupted query under the counter its reason maps
+    /// to: explicit/deadline cancellations vs. governor budget trips.
+    pub fn record_interrupt(&self, reason: InterruptReason) {
+        match reason {
+            InterruptReason::Deadline | InterruptReason::Cancelled => {
+                self.cancelled.fetch_add(1, Ordering::Relaxed);
+            }
+            InterruptReason::MemoryBudget | InterruptReason::RowLimit => {
+                self.interrupted_by_budget.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Records one worker replaced after a caught panic.
+    pub fn record_worker_replaced(&self) {
+        self.workers_replaced.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Queries stopped by explicit cancellation or deadline expiry.
+    pub fn cancelled(&self) -> u64 {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Queries stopped by a memory-page or output-row budget.
+    pub fn interrupted_by_budget(&self) -> u64 {
+        self.interrupted_by_budget.load(Ordering::Relaxed)
+    }
+
+    /// Workers respawned after a caught panic.
+    pub fn workers_replaced(&self) -> u64 {
+        self.workers_replaced.load(Ordering::Relaxed)
     }
 }
 
@@ -131,6 +171,12 @@ pub struct RuntimeMetrics {
     pub completed: u64,
     /// Queries that returned an error.
     pub errors: u64,
+    /// Queries stopped by explicit cancellation or deadline expiry.
+    pub cancelled: u64,
+    /// Queries stopped by a memory-page or output-row budget.
+    pub interrupted_by_budget: u64,
+    /// Workers respawned after a caught panic (pool stays at size).
+    pub workers_replaced: u64,
     /// Plan-cache hits.
     pub cache_hits: u64,
     /// Plan-cache misses.
@@ -157,7 +203,9 @@ impl RuntimeMetrics {
     pub fn to_json(&self) -> String {
         format!(
             concat!(
-                "{{\"completed\":{},\"errors\":{},\"cache_hits\":{},",
+                "{{\"completed\":{},\"errors\":{},\"cancelled\":{},",
+                "\"interrupted_by_budget\":{},\"workers_replaced\":{},",
+                "\"cache_hits\":{},",
                 "\"cache_misses\":{},\"cache_hit_rate\":{:.6},",
                 "\"cache_entries\":{},\"queue_depth\":{},",
                 "\"uptime_secs\":{:.6},\"throughput_qps\":{:.6},",
@@ -166,6 +214,9 @@ impl RuntimeMetrics {
             ),
             self.completed,
             self.errors,
+            self.cancelled,
+            self.interrupted_by_budget,
+            self.workers_replaced,
             self.cache_hits,
             self.cache_misses,
             self.cache_hit_rate,
@@ -218,6 +269,9 @@ mod tests {
         let m = RuntimeMetrics {
             completed: 3,
             errors: 1,
+            cancelled: 2,
+            interrupted_by_budget: 1,
+            workers_replaced: 1,
             cache_hits: 2,
             cache_misses: 2,
             cache_hit_rate: 0.5,
@@ -232,6 +286,9 @@ mod tests {
         assert!(j.ends_with("\"latency_max_micros\":0}"));
         assert!(j.contains("\"cache_hit_rate\":0.500000"));
         assert!(j.contains("\"queue_depth\":0"));
+        assert!(j.contains("\"cancelled\":2"));
+        assert!(j.contains("\"interrupted_by_budget\":1"));
+        assert!(j.contains("\"workers_replaced\":1"));
         // Stable key order: completed always precedes errors precedes
         // cache_hits.
         let (a, b, c) = (

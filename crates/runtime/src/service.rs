@@ -21,11 +21,12 @@ use crate::metrics::{MetricsRecorder, RuntimeMetrics};
 use crate::queue::{BoundedQueue, PushError};
 use fj_algebra::{Catalog, JoinQuery};
 use fj_core::QueryResult;
-use fj_exec::ExecCtx;
+use fj_exec::{ExecCtx, ExecError, Interrupt, InterruptReason};
 use fj_optimizer::{fingerprint, OptError, Optimizer, OptimizerConfig};
+use fj_storage::FaultPlan;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, RwLock};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -35,14 +36,23 @@ use std::time::{Duration, Instant};
 pub enum RuntimeError {
     /// The optimizer or executor rejected the query.
     Query(OptError),
+    /// The query was interrupted mid-execution: cancelled, deadlined,
+    /// or stopped by a governor budget. The worker that ran it is free
+    /// and accepting new work.
+    Interrupted(InterruptReason),
     /// `try_submit` found the queue at capacity.
     QueueFull,
     /// The service is shutting down and accepts no new queries.
     ShuttingDown,
-    /// The worker executing this query disappeared (it panicked).
+    /// The worker executing this query disappeared without replying.
     WorkerLost,
-    /// [`Ticket::wait_timeout`] gave up before the worker replied. The
-    /// query itself keeps executing; only the wait is abandoned.
+    /// The worker panicked while executing this query. The pool has
+    /// already respawned a replacement (see `workers_replaced` in the
+    /// metrics); the panic message is preserved for diagnosis.
+    WorkerPanicked(String),
+    /// [`Ticket::wait_timeout`] expired. The expiry also trips the
+    /// query's interrupt, so the abandoned query stops cooperatively
+    /// and its worker frees up.
     DeadlineExceeded,
     /// [`ServiceConfig::validate`] rejected a zero-sized knob.
     InvalidConfig(String),
@@ -52,9 +62,13 @@ impl fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RuntimeError::Query(e) => write!(f, "query failed: {e}"),
+            RuntimeError::Interrupted(reason) => write!(f, "query interrupted: {reason}"),
             RuntimeError::QueueFull => write!(f, "submission queue is full"),
             RuntimeError::ShuttingDown => write!(f, "query service is shutting down"),
             RuntimeError::WorkerLost => write!(f, "worker thread lost before replying"),
+            RuntimeError::WorkerPanicked(msg) => {
+                write!(f, "worker panicked while executing this query: {msg}")
+            }
             RuntimeError::DeadlineExceeded => {
                 write!(f, "deadline expired before the query finished")
             }
@@ -67,7 +81,12 @@ impl std::error::Error for RuntimeError {}
 
 impl From<OptError> for RuntimeError {
     fn from(e: OptError) -> Self {
-        RuntimeError::Query(e)
+        match e {
+            // An interrupt surfacing through the executor is a
+            // first-class runtime outcome, not a query defect.
+            OptError::Exec(ExecError::Interrupted(reason)) => RuntimeError::Interrupted(reason),
+            other => RuntimeError::Query(other),
+        }
     }
 }
 
@@ -89,6 +108,17 @@ pub struct ServiceConfig {
     pub plan_cache_capacity: usize,
     /// Default optimizer configuration for submitted queries.
     pub optimizer: OptimizerConfig,
+    /// Governor: per-query cap on rows emitted across all plan nodes
+    /// (`None` = unlimited). A breach interrupts the query with
+    /// [`InterruptReason::RowLimit`].
+    pub row_budget: Option<u64>,
+    /// Governor: per-query cap on materialized pages (temps, sort
+    /// runs, grace partitions; `None` = unlimited). A breach interrupts
+    /// with [`InterruptReason::MemoryBudget`].
+    pub memory_budget_pages: Option<u64>,
+    /// Seeded fault plan injected into every query's storage access
+    /// paths (`None` = no injection). Test/chaos tooling only.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServiceConfig {
@@ -100,6 +130,9 @@ impl Default for ServiceConfig {
             memory_pages: fj_exec::context::DEFAULT_MEMORY_PAGES,
             plan_cache_capacity: 1024,
             optimizer: OptimizerConfig::default(),
+            row_budget: None,
+            memory_budget_pages: None,
+            fault_plan: None,
         }
     }
 }
@@ -146,6 +179,7 @@ impl ServiceConfig {
 struct Job {
     query: JoinQuery,
     config: OptimizerConfig,
+    interrupt: Interrupt,
     reply: mpsc::Sender<Result<QueryResult, RuntimeError>>,
 }
 
@@ -155,6 +189,11 @@ struct Shared {
     cache: PlanCache,
     metrics: MetricsRecorder,
     in_flight: AtomicUsize,
+    /// Live worker JoinHandles. Behind a mutex because a panicking
+    /// worker pushes its own replacement's handle before exiting.
+    worker_handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Monotonic id source for replacement-worker thread names.
+    worker_seq: AtomicUsize,
     cfg: ServiceConfig,
     started: Instant,
 }
@@ -165,13 +204,36 @@ impl Shared {
     }
 }
 
-/// A pending query: redeem with [`Ticket::wait`].
+/// A pending query: redeem with [`Ticket::wait`], abort with
+/// [`Ticket::cancel`].
 #[derive(Debug)]
 pub struct Ticket {
     rx: mpsc::Receiver<Result<QueryResult, RuntimeError>>,
+    interrupt: Interrupt,
 }
 
 impl Ticket {
+    /// Cancels the query: trips its interrupt with
+    /// [`InterruptReason::Cancelled`]. If the query is still queued it
+    /// will never execute (the worker replies `Interrupted` on
+    /// dequeue); if it is mid-execution it stops within a bounded
+    /// number of tuples. Returns `true` if this call tripped the flag
+    /// first (`false` if the query was already interrupted for another
+    /// reason). The reply still arrives — `wait` after `cancel` returns
+    /// either the completed result (the query won the race) or
+    /// [`RuntimeError::Interrupted`], never both.
+    pub fn cancel(&self) -> bool {
+        self.interrupt.trip(InterruptReason::Cancelled)
+    }
+
+    /// A clone of the query's interrupt handle, for callers that need
+    /// to trip it from another thread or with a different reason (the
+    /// `fj-net` server trips [`InterruptReason::Deadline`] from its
+    /// connection handler).
+    pub fn interrupt_handle(&self) -> Interrupt {
+        self.interrupt.clone()
+    }
+
     /// Blocks until the worker finishes this query.
     pub fn wait(self) -> Result<QueryResult, RuntimeError> {
         self.rx.recv().unwrap_or(Err(RuntimeError::WorkerLost))
@@ -179,15 +241,33 @@ impl Ticket {
 
     /// Blocks at most `timeout` for the worker to finish this query.
     ///
-    /// On [`RuntimeError::DeadlineExceeded`] the query is *not*
-    /// cancelled — it keeps running to completion (and is counted in
-    /// the service metrics); only the caller stops waiting. This is the
-    /// primitive `fj-net` uses to enforce per-request deadlines.
+    /// Expiry **cancels the query**: the interrupt trips with
+    /// [`InterruptReason::Deadline`], so an abandoned query stops
+    /// within a bounded number of tuples and its worker frees up —
+    /// the wait is never a leak. The caller gets
+    /// [`RuntimeError::DeadlineExceeded`] immediately; the worker's
+    /// own `Interrupted` reply goes to the dropped channel.
     pub fn wait_timeout(self, timeout: Duration) -> Result<QueryResult, RuntimeError> {
         match self.rx.recv_timeout(timeout) {
             Ok(reply) => reply,
-            Err(mpsc::RecvTimeoutError::Timeout) => Err(RuntimeError::DeadlineExceeded),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                self.interrupt.trip(InterruptReason::Deadline);
+                Err(RuntimeError::DeadlineExceeded)
+            }
             Err(mpsc::RecvTimeoutError::Disconnected) => Err(RuntimeError::WorkerLost),
+        }
+    }
+
+    /// Non-consuming poll: waits at most `timeout` for the reply.
+    /// `None` means the query is still running (the ticket remains
+    /// redeemable) — the primitive for callers that interleave waiting
+    /// with other work, like the `fj-net` connection handler watching
+    /// for CANCEL frames.
+    pub fn poll(&self, timeout: Duration) -> Option<Result<QueryResult, RuntimeError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(reply) => Some(reply),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(RuntimeError::WorkerLost)),
         }
     }
 }
@@ -195,13 +275,12 @@ impl Ticket {
 /// The concurrent query service; see the module docs.
 pub struct QueryService {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
 }
 
 impl fmt::Debug for QueryService {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("QueryService")
-            .field("workers", &self.workers.len())
+            .field("workers", &self.shared.cfg.workers)
             .field("queue_depth", &self.shared.queue.len())
             .finish()
     }
@@ -220,19 +299,15 @@ impl QueryService {
             cache: PlanCache::new(config.plan_cache_capacity),
             metrics: MetricsRecorder::default(),
             in_flight: AtomicUsize::new(0),
+            worker_handles: Mutex::new(Vec::new()),
+            worker_seq: AtomicUsize::new(config.workers),
             cfg: config.clone(),
             started: Instant::now(),
         });
-        let workers = (0..shared.cfg.workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("fj-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn query-service worker")
-            })
-            .collect();
-        QueryService { shared, workers }
+        for i in 0..shared.cfg.workers {
+            spawn_worker(&shared, format!("fj-worker-{i}"));
+        }
+        QueryService { shared }
     }
 
     /// Enqueues a query under the service's default optimizer config.
@@ -249,13 +324,15 @@ impl QueryService {
         config: OptimizerConfig,
     ) -> Result<Ticket, RuntimeError> {
         let (tx, rx) = mpsc::channel();
+        let interrupt = Interrupt::new();
         let job = Job {
             query,
             config,
+            interrupt: interrupt.clone(),
             reply: tx,
         };
         match self.shared.queue.push(job) {
-            Ok(()) => Ok(Ticket { rx }),
+            Ok(()) => Ok(Ticket { rx, interrupt }),
             Err(_) => Err(RuntimeError::ShuttingDown),
         }
     }
@@ -276,13 +353,15 @@ impl QueryService {
         config: OptimizerConfig,
     ) -> Result<Ticket, RuntimeError> {
         let (tx, rx) = mpsc::channel();
+        let interrupt = Interrupt::new();
         let job = Job {
             query,
             config,
+            interrupt: interrupt.clone(),
             reply: tx,
         };
         match self.shared.queue.try_push(job) {
-            Ok(()) => Ok(Ticket { rx }),
+            Ok(()) => Ok(Ticket { rx, interrupt }),
             Err(PushError::Full) => Err(RuntimeError::QueueFull),
             Err(PushError::Closed) => Err(RuntimeError::ShuttingDown),
         }
@@ -323,6 +402,9 @@ impl QueryService {
             cache_misses: cache.misses,
             cache_hit_rate: cache.hit_rate(),
             cache_entries: cache.entries,
+            cancelled: self.shared.metrics.cancelled(),
+            interrupted_by_budget: self.shared.metrics.interrupted_by_budget(),
+            workers_replaced: self.shared.metrics.workers_replaced(),
             queue_depth: self.shared.queue.len() + self.shared.in_flight.load(Ordering::Relaxed),
             uptime_secs: uptime,
             throughput_qps: if uptime > 0.0 {
@@ -342,8 +424,23 @@ impl QueryService {
 
     fn shutdown_in_place(&mut self) {
         self.shared.queue.close();
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        // A panicking worker pushes its replacement's handle while we
+        // drain, so keep draining until the vector stays empty.
+        loop {
+            let handles: Vec<JoinHandle<()>> = {
+                let mut guard = self
+                    .shared
+                    .worker_handles
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                guard.drain(..).collect()
+            };
+            if handles.is_empty() {
+                break;
+            }
+            for w in handles {
+                let _ = w.join();
+            }
         }
     }
 }
@@ -354,31 +451,83 @@ impl Drop for QueryService {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+/// Spawns a worker thread and registers its handle for shutdown.
+fn spawn_worker(shared: &Arc<Shared>, name: String) {
+    let cloned = Arc::clone(shared);
+    let handle = std::thread::Builder::new()
+        .name(name)
+        .spawn(move || worker_loop(&cloned))
+        .expect("spawn query-service worker");
+    shared
+        .worker_handles
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(handle);
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
+        // Cancelled while still queued: report without ever executing.
+        if let Some(reason) = job.interrupt.tripped() {
+            shared.metrics.record_interrupt(reason);
+            shared.metrics.record(Duration::ZERO, false);
+            let _ = job.reply.send(Err(RuntimeError::Interrupted(reason)));
+            continue;
+        }
         shared.in_flight.fetch_add(1, Ordering::Relaxed);
         let t0 = Instant::now();
-        let result = execute_job(shared, &job.query, job.config);
+        // Self-healing: a panic inside the engine is caught, reported
+        // on this query's ticket, and answered by respawning a
+        // replacement worker so pool capacity never degrades.
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute_job(shared, &job)));
         let latency = t0.elapsed();
-        shared.metrics.record(latency, result.is_ok());
         shared.in_flight.fetch_sub(1, Ordering::Relaxed);
-        let result = result.map(|mut r| {
-            r.latency_micros = latency.as_micros() as u64;
-            r
-        });
-        // A dropped ticket just means the submitter stopped caring.
-        let _ = job.reply.send(result);
+        match outcome {
+            Ok(result) => {
+                shared.metrics.record(latency, result.is_ok());
+                if let Err(RuntimeError::Interrupted(reason)) = &result {
+                    shared.metrics.record_interrupt(*reason);
+                }
+                let result = result.map(|mut r| {
+                    r.latency_micros = latency.as_micros() as u64;
+                    r
+                });
+                // A dropped ticket just means the submitter stopped caring.
+                let _ = job.reply.send(result);
+            }
+            Err(payload) => {
+                shared.metrics.record(latency, false);
+                let msg = panic_message(payload.as_ref());
+                let _ = job.reply.send(Err(RuntimeError::WorkerPanicked(msg)));
+                shared.metrics.record_worker_replaced();
+                let id = shared.worker_seq.fetch_add(1, Ordering::Relaxed);
+                spawn_worker(shared, format!("fj-worker-{id}"));
+                // This worker's stack may be poisoned by whatever
+                // panicked; the fresh replacement takes over.
+                return;
+            }
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic payload of unknown type".to_string()
     }
 }
 
 /// Optimize (through the cache) + execute one query against the current
 /// snapshot. Mirrors `Database::execute_with_config`, with the catalog
 /// shared instead of cloned per call.
-fn execute_job(
-    shared: &Shared,
-    query: &JoinQuery,
-    config: OptimizerConfig,
-) -> Result<QueryResult, RuntimeError> {
+fn execute_job(shared: &Shared, job: &Job) -> Result<QueryResult, RuntimeError> {
+    let query = &job.query;
+    let config = job.config;
     let catalog = shared.snapshot();
     let key = fingerprint(catalog.epoch(), query, &config);
     let (plan, cache_hit) = match shared.cache.get(key) {
@@ -390,9 +539,19 @@ fn execute_job(
         }
     };
 
-    let ctx = ExecCtx::new(catalog)
+    let mut ctx = ExecCtx::new(catalog)
         .with_memory_pages(shared.cfg.memory_pages)
-        .with_threads(shared.cfg.intra_query_threads);
+        .with_threads(shared.cfg.intra_query_threads)
+        .with_interrupt(job.interrupt.clone());
+    if let Some(rows) = shared.cfg.row_budget {
+        ctx = ctx.with_row_budget(rows);
+    }
+    if let Some(pages) = shared.cfg.memory_budget_pages {
+        ctx = ctx.with_memory_budget_pages(pages);
+    }
+    if let Some(faults) = &shared.cfg.fault_plan {
+        ctx = ctx.with_faults(Arc::clone(faults));
+    }
     let before = ctx.ledger.snapshot();
     let rel = plan.phys.execute(&ctx).map_err(OptError::from)?;
     let charges = ctx.ledger.snapshot().delta(&before);
@@ -451,7 +610,7 @@ mod tests {
             intra_query_threads: 0,
             memory_pages: 0,
             plan_cache_capacity: 0,
-            optimizer: OptimizerConfig::default(),
+            ..ServiceConfig::default()
         }
         .normalized();
         assert_eq!(cfg.workers, 1);

@@ -7,7 +7,7 @@ use fj_algebra::fixtures::{paper_catalog, paper_query};
 use fj_algebra::{Catalog, FromItem, JoinQuery};
 use fj_core::Database;
 use fj_expr::{col, lit};
-use fj_runtime::{QueryService, RuntimeError, ServiceConfig};
+use fj_runtime::{InterruptReason, QueryService, RuntimeError, ServiceConfig};
 use fj_storage::{DataType, TableBuilder, Tuple};
 
 fn sorted(mut rows: Vec<Tuple>) -> Vec<Tuple> {
@@ -279,11 +279,12 @@ fn parallel_execution_preserves_rows_and_ledger_charges() {
 }
 
 #[test]
-fn wait_timeout_expires_without_cancelling_the_query() {
+fn wait_timeout_expiry_cancels_the_abandoned_query() {
     // One worker pinned on a big join; a second query queued behind it
-    // cannot finish within 1ms, so its bounded wait must report
-    // DeadlineExceeded — while the query itself still completes and is
-    // counted by the service (graceful shutdown drains it).
+    // cannot finish within 1ms, so its bounded wait reports
+    // DeadlineExceeded — and, unlike the old leak-prone semantics,
+    // expiry trips the query's interrupt: the worker discards it on
+    // dequeue instead of burning capacity on an abandoned result.
     let (cat, q) = big_catalog_and_query(3000);
     let service = QueryService::start(
         cat,
@@ -299,6 +300,180 @@ fn wait_timeout_expires_without_cancelling_the_query() {
         Err(RuntimeError::DeadlineExceeded)
     ));
     first.wait().unwrap();
+    // The discard is recorded when the worker dequeues the abandoned
+    // job; give it a moment to get there.
+    let mut m = service.metrics();
+    for _ in 0..500 {
+        if m.cancelled == 1 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        m = service.metrics();
+    }
+    assert_eq!(m.completed, 1, "the abandoned query must never execute");
+    assert_eq!(m.cancelled, 1, "deadline expiry counts as a cancellation");
+    service.shutdown();
+}
+
+#[test]
+fn cancel_before_dequeue_never_runs_the_query() {
+    // Pin the single worker, queue a second query, cancel it while it
+    // is still waiting: the worker must discard it on dequeue and the
+    // ticket must redeem as Interrupted(Cancelled).
+    let (cat, q) = big_catalog_and_query(3000);
+    let service = QueryService::start(
+        cat,
+        ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        },
+    );
+    let first = service.submit(q.clone()).unwrap();
+    let second = service.submit(q.clone()).unwrap();
+    assert!(second.cancel(), "first trip wins");
+    assert!(!second.cancel(), "second trip is a no-op");
+    assert!(matches!(
+        second.wait(),
+        Err(RuntimeError::Interrupted(InterruptReason::Cancelled))
+    ));
+    first.wait().unwrap();
+    let m = service.metrics();
+    assert_eq!(m.completed, 1, "cancelled query must never execute");
+    assert_eq!(m.cancelled, 1);
+    service.shutdown();
+}
+
+#[test]
+fn cancel_mid_execution_stops_query_and_worker_survives() {
+    // Cancel queries while the hash join is mid-build/mid-probe. The
+    // exact phase the trip lands in varies run to run, so retry until
+    // one cancellation is observed mid-flight; then prove the worker
+    // survives (a fresh query completes) and that the cancelled run's
+    // partial ledger charges did not leak into the next query's
+    // accounting.
+    let (cat, q) = big_catalog_and_query(3000);
+    let serial = Database::with_catalog(cat.clone()).execute(&q).unwrap();
+    let service = QueryService::start(
+        cat,
+        ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        },
+    );
+    let mut interrupted = false;
+    for _ in 0..64 {
+        let ticket = service.submit(q.clone()).unwrap();
+        // Let execution get under way before tripping the flag.
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        ticket.cancel();
+        match ticket.wait() {
+            Err(RuntimeError::Interrupted(InterruptReason::Cancelled)) => {
+                interrupted = true;
+                break;
+            }
+            Ok(_) => continue, // query won the race; try again
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(interrupted, "64 attempts should catch one mid-execution");
+
+    // Worker is free and uncorrupted: the same query still completes
+    // with charges identical to serial execution (per-query ledgers —
+    // a cancelled run's partial charges never leak into the next).
+    let after = service.execute(q).unwrap();
+    assert_eq!(sorted(after.rows), sorted(serial.rows));
+    assert_eq!(after.charges, serial.charges);
+    service.shutdown();
+}
+
+#[test]
+fn cancel_vs_completion_race_yields_result_xor_interrupted() {
+    // Cancel immediately after submitting a fast query, many times:
+    // every ticket must redeem exactly once, as either the completed
+    // result or Interrupted — never a panic, never a lost reply.
+    let service = QueryService::start(
+        paper_catalog(),
+        ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+    );
+    let (mut completed, mut interrupted) = (0u32, 0u32);
+    for _ in 0..100 {
+        let ticket = service.submit(paper_query()).unwrap();
+        ticket.cancel();
+        match ticket.wait() {
+            Ok(r) => {
+                assert_eq!(r.rows.len(), 2, "a completed racer returns full rows");
+                completed += 1;
+            }
+            Err(RuntimeError::Interrupted(InterruptReason::Cancelled)) => interrupted += 1,
+            Err(e) => panic!("race must yield result or Interrupted, got: {e}"),
+        }
+    }
+    assert_eq!(completed + interrupted, 100);
+    let m = service.metrics();
+    assert_eq!(m.completed, u64::from(completed));
+    assert_eq!(m.cancelled, u64::from(interrupted));
+    service.shutdown();
+}
+
+#[test]
+fn row_budget_trips_interrupted_and_counts_in_metrics() {
+    let (cat, q) = big_catalog_and_query(3000);
+    let service = QueryService::start(
+        cat,
+        ServiceConfig {
+            workers: 1,
+            row_budget: Some(100), // the join emits far more than this
+            ..ServiceConfig::default()
+        },
+    );
+    assert!(matches!(
+        service.execute(q),
+        Err(RuntimeError::Interrupted(InterruptReason::RowLimit))
+    ));
+    let m = service.metrics();
+    assert_eq!(m.interrupted_by_budget, 1);
+    assert_eq!(m.cancelled, 0);
+    service.shutdown();
+}
+
+#[test]
+fn worker_panic_heals_pool_and_capacity_is_preserved() {
+    use std::sync::Arc;
+
+    // A fault plan that panics on the very first page read: the first
+    // query's worker dies mid-execution. The pool must report the
+    // failure on that query's ticket, respawn a replacement, and keep
+    // serving at full strength.
+    let service = QueryService::start(
+        paper_catalog(),
+        ServiceConfig {
+            workers: 2,
+            fault_plan: Some(Arc::new(fj_runtime::FaultPlan::new(7).with_panic_at(0))),
+            ..ServiceConfig::default()
+        },
+    );
+    match service.execute(paper_query()) {
+        Err(RuntimeError::WorkerPanicked(msg)) => {
+            assert!(msg.contains("induced panic"), "payload surfaced: {msg}")
+        }
+        other => panic!("expected WorkerPanicked, got {other:?}"),
+    }
+
+    // The replacement (and the untouched second worker) absorb a full
+    // batch — capacity never degraded.
+    let tickets: Vec<_> = (0..8)
+        .map(|_| service.submit(paper_query()).unwrap())
+        .collect();
+    for t in tickets {
+        assert_eq!(t.wait().unwrap().rows.len(), 2);
+    }
+    let m = service.metrics();
+    assert_eq!(m.workers_replaced, 1);
+    assert_eq!(m.completed, 8);
+    assert_eq!(m.errors, 1);
     service.shutdown();
 }
 

@@ -32,6 +32,13 @@ pub enum StorageError {
     },
     /// Two schemas were combined with conflicting column names.
     DuplicateColumn(String),
+    /// A page read failed because a seeded [`crate::FaultPlan`]
+    /// injected an error at this I/O ordinal. Only ever produced by
+    /// fault-aware access paths with an armed plan.
+    InjectedFault {
+        /// The 0-based page-read ordinal at which the fault fired.
+        ordinal: u64,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -52,6 +59,9 @@ impl fmt::Display for StorageError {
             }
             StorageError::DuplicateColumn(name) => {
                 write!(f, "duplicate column name '{name}' when combining schemas")
+            }
+            StorageError::InjectedFault { ordinal } => {
+                write!(f, "injected I/O fault at page read {ordinal}")
             }
         }
     }

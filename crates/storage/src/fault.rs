@@ -1,0 +1,174 @@
+//! Deterministic fault injection for the paged-heap I/O path.
+//!
+//! A [`FaultPlan`] is a seeded schedule of page-read misbehavior: every
+//! page read that passes through a fault-aware access path
+//! ([`crate::Table::scan_checked`] / [`crate::Table::fetch_checked`])
+//! advances a per-plan ordinal counter, and the plan decides — purely as
+//! a function of `(seed, ordinal)` — whether that read succeeds, fails
+//! with a typed [`StorageError::InjectedFault`], stalls for a configured
+//! latency, or panics (modelling a crashing worker).
+//!
+//! Determinism is the point: a single-threaded execution replays the
+//! exact same fault sequence for a given seed, which makes "any seeded
+//! fault plan yields a typed error, never a panic or a wrong row set"
+//! a property-testable statement. Under concurrency the *set* of
+//! ordinals drawn is still fixed; only their attribution to queries
+//! races, which is exactly the situation a chaos soak wants.
+
+use crate::error::StorageError;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// SplitMix64 finalizer: a high-quality 64-bit mix used to turn
+/// `(seed, ordinal)` into an independent pseudo-random draw per event.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A seeded, deterministic schedule of injected page-read faults.
+///
+/// All knobs default to "off": `FaultPlan::new(seed)` injects nothing
+/// until a `with_*` builder arms it. Rates are expressed as
+/// "one in `n`" (`n = 0` disables the fault class).
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    read_error_one_in: u64,
+    stall_one_in: u64,
+    stall: Duration,
+    panic_at: Option<u64>,
+    ordinal: AtomicU64,
+}
+
+impl FaultPlan {
+    /// A quiescent plan: no faults until armed with the builders.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            read_error_one_in: 0,
+            stall_one_in: 0,
+            stall: Duration::ZERO,
+            panic_at: None,
+            ordinal: AtomicU64::new(0),
+        }
+    }
+
+    /// Arms injected read errors at a rate of one in `one_in` page
+    /// reads (deterministically chosen by the seed; `0` disables).
+    pub fn with_read_errors(mut self, one_in: u64) -> FaultPlan {
+        self.read_error_one_in = one_in;
+        self
+    }
+
+    /// Arms latency stalls of `stall` at a rate of one in `one_in`
+    /// page reads (`0` disables).
+    pub fn with_stalls(mut self, one_in: u64, stall: Duration) -> FaultPlan {
+        self.stall_one_in = one_in;
+        self.stall = stall;
+        self
+    }
+
+    /// Arms a process-local panic on exactly the `ordinal`-th page read
+    /// (0-based). Used by the chaos harness to kill one worker
+    /// mid-query and prove the pool self-heals.
+    pub fn with_panic_at(mut self, ordinal: u64) -> FaultPlan {
+        self.panic_at = Some(ordinal);
+        self
+    }
+
+    /// Page-read events drawn so far.
+    pub fn events(&self) -> u64 {
+        self.ordinal.load(Ordering::Relaxed)
+    }
+
+    /// Draws the next fault decision. Called once per accounted page
+    /// read on the fault-aware access paths.
+    ///
+    /// Ordering of effects: an armed panic fires first (it models a
+    /// crash, which preempts everything), then a stall (I/O that is
+    /// slow *and then* fails is the nastier case, so a stall draw does
+    /// not shadow an error draw), then the error decision.
+    pub fn on_page_read(&self) -> Result<(), StorageError> {
+        let n = self.ordinal.fetch_add(1, Ordering::Relaxed);
+        if self.panic_at == Some(n) {
+            panic!("fault plan: induced panic at page read {n}");
+        }
+        let draw = splitmix64(self.seed ^ n.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        if self.stall_one_in > 0 && draw.is_multiple_of(self.stall_one_in) {
+            std::thread::sleep(self.stall);
+        }
+        // An independent second draw so stall and error rates don't
+        // correlate on the same ordinals.
+        let draw2 = splitmix64(draw);
+        if self.read_error_one_in > 0 && draw2.is_multiple_of(self.read_error_one_in) {
+            return Err(StorageError::InjectedFault { ordinal: n });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fault_ordinals(plan: &FaultPlan, draws: u64) -> Vec<u64> {
+        (0..draws)
+            .filter_map(|_| match plan.on_page_read() {
+                Ok(()) => None,
+                Err(StorageError::InjectedFault { ordinal }) => Some(ordinal),
+                Err(other) => panic!("unexpected error {other}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn quiescent_plan_never_faults() {
+        let plan = FaultPlan::new(42);
+        for _ in 0..10_000 {
+            plan.on_page_read().unwrap();
+        }
+        assert_eq!(plan.events(), 10_000);
+    }
+
+    #[test]
+    fn same_seed_same_fault_schedule() {
+        let a = FaultPlan::new(7).with_read_errors(50);
+        let b = FaultPlan::new(7).with_read_errors(50);
+        let fa = fault_ordinals(&a, 5_000);
+        let fb = fault_ordinals(&b, 5_000);
+        assert_eq!(fa, fb);
+        assert!(!fa.is_empty(), "1-in-50 over 5000 draws must fire");
+        // Roughly the configured rate (loose bounds; it's a hash, not
+        // a Bernoulli sampler).
+        assert!(fa.len() > 20 && fa.len() < 400, "got {}", fa.len());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::new(1).with_read_errors(20);
+        let b = FaultPlan::new(2).with_read_errors(20);
+        assert_ne!(fault_ordinals(&a, 2_000), fault_ordinals(&b, 2_000));
+    }
+
+    #[test]
+    fn panic_fires_at_exact_ordinal() {
+        let plan = FaultPlan::new(0).with_panic_at(3);
+        for _ in 0..3 {
+            plan.on_page_read().unwrap();
+        }
+        let err = std::panic::catch_unwind(|| plan.on_page_read()).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("page read 3"), "got {msg:?}");
+    }
+
+    #[test]
+    fn stall_delays_but_succeeds() {
+        let plan = FaultPlan::new(9).with_stalls(1, Duration::from_millis(5));
+        let t0 = std::time::Instant::now();
+        plan.on_page_read().unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+    }
+}

@@ -26,6 +26,7 @@
 pub mod bloom;
 pub mod builder;
 pub mod error;
+pub mod fault;
 pub mod index;
 pub mod ledger;
 pub mod page;
@@ -38,6 +39,7 @@ pub mod value;
 pub use bloom::BloomFilter;
 pub use builder::TableBuilder;
 pub use error::StorageError;
+pub use fault::FaultPlan;
 pub use index::{BTreeIndex, HashIndex, Index};
 pub use ledger::{CostLedger, LedgerSnapshot, CPU_WEIGHT_DEFAULT, TUPLE_OPS_PER_PAGE};
 pub use page::{page_count, PageLayout, PAGE_SIZE};

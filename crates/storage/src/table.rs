@@ -1,6 +1,7 @@
 //! In-memory, page-accounted heap tables.
 
 use crate::error::StorageError;
+use crate::fault::FaultPlan;
 use crate::index::{BTreeIndex, HashIndex};
 use crate::ledger::CostLedger;
 use crate::page::PageLayout;
@@ -100,6 +101,23 @@ impl Table {
         &self.rows
     }
 
+    /// [`Table::scan`] through an optional [`FaultPlan`]: draws one
+    /// fault decision per page the scan touches, so a seeded plan can
+    /// fail or stall the scan deterministically. With `faults` `None`
+    /// this is exactly `scan`.
+    pub fn scan_checked<'a>(
+        &'a self,
+        ledger: &CostLedger,
+        faults: Option<&FaultPlan>,
+    ) -> Result<&'a [Tuple], StorageError> {
+        if let Some(plan) = faults {
+            for _ in 0..self.page_count() {
+                plan.on_page_read()?;
+            }
+        }
+        Ok(self.scan(ledger))
+    }
+
     /// Adds a hash index on column `col`.
     pub fn create_hash_index(&mut self, col: usize) -> Result<(), StorageError> {
         if col >= self.schema.arity() {
@@ -154,6 +172,21 @@ impl Table {
     pub fn fetch(&self, row_id: usize, ledger: &CostLedger) -> &Tuple {
         ledger.read_pages(1);
         &self.rows[row_id]
+    }
+
+    /// [`Table::fetch`] through an optional [`FaultPlan`]: one fault
+    /// decision for the single page read. With `faults` `None` this is
+    /// exactly `fetch`.
+    pub fn fetch_checked(
+        &self,
+        row_id: usize,
+        ledger: &CostLedger,
+        faults: Option<&FaultPlan>,
+    ) -> Result<&Tuple, StorageError> {
+        if let Some(plan) = faults {
+            plan.on_page_read()?;
+        }
+        Ok(self.fetch(row_id, ledger))
     }
 
     /// Wraps in an [`Arc`].

@@ -1,14 +1,17 @@
 //! The `fj-net` subsystem end to end on a loopback socket: a TCP
 //! server fronting the query service, clients with per-request
-//! deadlines and optimizer overrides, load shedding under a tiny
-//! queue, the STATS request, and a graceful drain. (This is the
-//! README's network example, runnable.)
+//! deadlines and optimizer overrides, mid-flight cancellation, load
+//! shedding answered by retry-with-backoff, the STATS request, and a
+//! graceful drain. (This is the README's network example, runnable.)
 //!
 //! ```sh
 //! cargo run --example net_client
 //! ```
 
-use filterjoin::{fixtures, Client, NetError, QueryOptions, Server, ServerConfig, ServiceConfig};
+use filterjoin::{
+    fixtures, Client, ErrorCode, NetError, QueryOptions, RetryPolicy, Server, ServerConfig,
+    ServiceConfig,
+};
 use std::thread;
 use std::time::Duration;
 
@@ -57,15 +60,54 @@ fn main() {
         overridden.rows.len()
     );
 
+    // Cancellation: a `Canceller` is a cheap clone of the connection's
+    // socket, so a second thread can tear down whatever query the
+    // client has in flight. The server trips the query's interrupt,
+    // the worker stops within a bounded number of tuples, and the
+    // client gets a typed CANCELLED reply (or the result, if the
+    // query won the race — both are fine).
+    let mut canceller = client.canceller().unwrap();
+    let killer = thread::spawn(move || {
+        thread::sleep(Duration::from_micros(200));
+        canceller.cancel().unwrap();
+    });
+    let slow = QueryOptions {
+        deadline: None,
+        config: Some(filterjoin::OptimizerConfig::without_filter_join()),
+    };
+    match client.query_with(&fixtures::paper_query(), &slow) {
+        Ok(r) => println!("cancel lost the race: {} rows", r.rows.len()),
+        Err(NetError::Remote {
+            code: ErrorCode::Cancelled,
+            ..
+        }) => {
+            println!("query cancelled mid-flight; connection stays usable")
+        }
+        Err(e) => panic!("unexpected: {e}"),
+    }
+    killer.join().unwrap();
+
     // A burst from many clients overruns the queue; the server answers
-    // typed, retryable SHED errors instead of hanging anyone.
+    // typed, retryable SHED errors. `query_with_retry` rides them out
+    // with seeded exponential backoff (decorrelated jitter), so every
+    // burst client eventually gets its rows.
     let handles: Vec<_> = (0..8)
-        .map(|_| {
+        .map(|i| {
             thread::spawn(move || {
                 let mut c = Client::connect(addr).unwrap();
-                match c.query(&fixtures::paper_query()) {
-                    Ok(_) => "ok",
-                    Err(e) if e.is_retryable() => "shed (retryable)",
+                let policy = RetryPolicy {
+                    base: Duration::from_millis(2),
+                    cap: Duration::from_millis(100),
+                    max_attempts: 100,
+                    seed: i as u64,
+                };
+                match c.query_with_retry(
+                    &fixtures::paper_query(),
+                    &QueryOptions::default(),
+                    &policy,
+                ) {
+                    Ok(_) => "ok (after any retries)",
+                    Err(e) if e.is_retryable() => "still shed after retries",
                     Err(NetError::Remote { .. }) => "other remote error",
                     Err(_) => "transport error",
                 }

@@ -21,12 +21,17 @@
 pub use fj_core::*;
 
 /// The concurrent query-service runtime: worker pool, plan cache,
-/// intra-query parallelism, and metrics. See [`fj_runtime`].
+/// intra-query parallelism, cooperative cancellation, worker
+/// self-healing, and metrics. See [`fj_runtime`].
 pub use fj_runtime;
-pub use fj_runtime::{QueryService, RuntimeMetrics, ServiceConfig};
+pub use fj_runtime::{
+    FaultPlan, Interrupt, InterruptReason, QueryService, RuntimeMetrics, ServiceConfig,
+};
 
 /// The network boundary: TCP query server + blocking client over a
-/// versioned binary wire protocol, with deadlines, load shedding, and
-/// graceful drain. See [`fj_net`].
+/// versioned binary wire protocol, with deadlines, cancellation, load
+/// shedding, retry with backoff, and graceful drain. See [`fj_net`].
 pub use fj_net;
-pub use fj_net::{Client, NetError, QueryOptions, Server, ServerConfig};
+pub use fj_net::{
+    Canceller, Client, ErrorCode, NetError, QueryOptions, RetryPolicy, Server, ServerConfig,
+};
