@@ -1,7 +1,7 @@
 //! Prints every reproduced figure/table as a paper-style text table.
 //!
 //! ```text
-//! reproduce [all|fig1|fig3|table1|fig4|fig5|fig6|complexity|crossover|dist|udf|local|bloom|throughput|soak|chaos]
+//! reproduce [all|fig1|fig3|table1|fig4|fig5|fig6|complexity|crossover|dist|udf|local|bloom|throughput|soak|chaos|cluster-chaos]
 //!           [--small] [--threads N]
 //! ```
 //!
@@ -61,6 +61,7 @@ fn main() {
             "throughput",
             "soak",
             "chaos",
+            "cluster-chaos",
         ]
     } else {
         which
@@ -126,6 +127,13 @@ fn main() {
                     repro::chaos::run(1_000, 100, 8, 12)
                 } else {
                     repro::chaos::run(5_000, 500, 32, 25)
+                }
+            }
+            "cluster-chaos" => {
+                if small {
+                    repro::cluster_chaos::run(1_000, 100, 6, 12)
+                } else {
+                    repro::cluster_chaos::run(5_000, 500, 16, 25)
                 }
             }
             other => {

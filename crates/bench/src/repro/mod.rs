@@ -4,6 +4,7 @@
 
 pub mod bloom;
 pub mod chaos;
+pub mod cluster_chaos;
 pub mod complexity;
 pub mod crossover;
 pub mod dist;

@@ -7,13 +7,14 @@
 //! [`NetError::is_retryable`] helper identifies shed/drain replies a
 //! caller should back off and retry.
 
-use crate::codec::{self, CodecError, QueryReply, QueryRequest};
+use crate::codec::{self, CodecError, HealthSnapshot, QueryReply, QueryRequest};
 use crate::wire::{self, ErrorCode, FrameReader, FrameType, WireError};
 use fj_algebra::JoinQuery;
 use fj_optimizer::OptimizerConfig;
 use std::fmt;
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Client-side failures.
@@ -36,6 +37,13 @@ pub enum NetError {
     ConnectionClosed,
     /// The server replied with a frame type that makes no sense here.
     Protocol(&'static str),
+    /// The shared [`RetryBudget`] ran dry before a retryable refusal
+    /// could be retried — the typed "we gave up on purpose" outcome,
+    /// distinct from whatever transport or server error happened last.
+    RetryBudgetExhausted {
+        /// The retryable error that could not be retried.
+        last: Box<NetError>,
+    },
 }
 
 impl NetError {
@@ -52,6 +60,17 @@ impl NetError {
     pub fn is_retryable(&self) -> bool {
         self.error_code().is_some_and(ErrorCode::is_retryable)
     }
+
+    /// Whether this is a transport-level failure (socket, framing, or
+    /// an unannounced close) rather than a typed server reply. A
+    /// replica router treats these as "this replica, right now, is
+    /// broken" and fails over.
+    pub fn is_transport(&self) -> bool {
+        matches!(
+            self,
+            NetError::Io(_) | NetError::Wire(_) | NetError::ConnectionClosed
+        )
+    }
 }
 
 impl fmt::Display for NetError {
@@ -63,6 +82,9 @@ impl fmt::Display for NetError {
             NetError::Remote { code, message } => write!(f, "server error [{code}]: {message}"),
             NetError::ConnectionClosed => f.write_str("server closed the connection"),
             NetError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            NetError::RetryBudgetExhausted { last } => {
+                write!(f, "retry budget exhausted; last error: {last}")
+            }
         }
     }
 }
@@ -147,6 +169,106 @@ impl RetryPolicy {
     }
 }
 
+/// A shared **retry budget**: a token bucket that bounds the total
+/// retry volume a client (or a whole replica-aware cluster client) may
+/// generate, so a dying server cannot trigger a retry storm.
+///
+/// Every retry or failover attempt withdraws one token
+/// ([`RetryBudget::try_withdraw`]); every successful request deposits a
+/// configurable fraction of a token ([`RetryBudget::record_success`]).
+/// In steady state the budget therefore caps the retry rate at
+/// `deposit_per_success` retries per successful request, with a burst
+/// allowance of `capacity` tokens. All state is atomic — one budget is
+/// meant to be shared across threads and connections.
+///
+/// Tokens are tracked in integer **millitokens** so deposits like 0.1
+/// accumulate exactly; the arithmetic is saturating and lock-free.
+#[derive(Debug)]
+pub struct RetryBudget {
+    millitokens: AtomicU64,
+    capacity_milli: u64,
+    deposit_milli: u64,
+    exhausted: AtomicU64,
+    withdrawn: AtomicU64,
+}
+
+/// One withdrawal in millitokens.
+const WITHDRAW_MILLI: u64 = 1000;
+
+impl RetryBudget {
+    /// A budget holding `capacity` tokens (starts full), depositing
+    /// `deposit_per_success` tokens per recorded success. Fractions
+    /// below a millitoken round to zero (no replenishment).
+    pub fn new(capacity: u32, deposit_per_success: f64) -> RetryBudget {
+        let capacity_milli = u64::from(capacity) * WITHDRAW_MILLI;
+        RetryBudget {
+            millitokens: AtomicU64::new(capacity_milli),
+            capacity_milli,
+            deposit_milli: (deposit_per_success.clamp(0.0, 1000.0) * WITHDRAW_MILLI as f64) as u64,
+            exhausted: AtomicU64::new(0),
+            withdrawn: AtomicU64::new(0),
+        }
+    }
+
+    /// Deposits the per-success fraction, saturating at capacity.
+    pub fn record_success(&self) {
+        let mut cur = self.millitokens.load(Ordering::Relaxed);
+        loop {
+            let next = cur
+                .saturating_add(self.deposit_milli)
+                .min(self.capacity_milli);
+            match self.millitokens.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Withdraws one retry token. `false` means the budget is dry —
+    /// the caller must give up (typed) instead of retrying.
+    pub fn try_withdraw(&self) -> bool {
+        let mut cur = self.millitokens.load(Ordering::Relaxed);
+        loop {
+            if cur < WITHDRAW_MILLI {
+                self.exhausted.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            match self.millitokens.compare_exchange_weak(
+                cur,
+                cur - WITHDRAW_MILLI,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.withdrawn.fetch_add(1, Ordering::Relaxed);
+                    return true;
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Whole tokens currently available.
+    pub fn available(&self) -> u64 {
+        self.millitokens.load(Ordering::Relaxed) / WITHDRAW_MILLI
+    }
+
+    /// Times a withdrawal was refused (budget dry).
+    pub fn exhaustions(&self) -> u64 {
+        self.exhausted.load(Ordering::Relaxed)
+    }
+
+    /// Retry tokens successfully withdrawn so far.
+    pub fn withdrawals(&self) -> u64 {
+        self.withdrawn.load(Ordering::Relaxed)
+    }
+}
+
 /// A handle that cancels the query in flight on its [`Client`]'s
 /// connection, from another thread (the client itself is blocked
 /// waiting for the reply). Obtained from [`Client::canceller`].
@@ -185,6 +307,23 @@ impl Client {
         })
     }
 
+    /// Like [`Client::connect`], but gives up on the TCP connect after
+    /// `timeout` — a replica router probing a possibly-dead server must
+    /// not block for the OS default (minutes).
+    pub fn connect_timeout(addr: &SocketAddr, timeout: Duration) -> Result<Client, NetError> {
+        let mut stream = TcpStream::connect_timeout(addr, timeout)?;
+        let _ = stream.set_nodelay(true);
+        // Bound the handshake reads too: a half-up server that accepts
+        // but never responds would otherwise hang the probe.
+        stream.set_read_timeout(Some(timeout))?;
+        wire::client_handshake(&mut stream)?;
+        stream.set_read_timeout(None)?;
+        Ok(Client {
+            stream,
+            reader: FrameReader::new(wire::DEFAULT_MAX_FRAME_BYTES),
+        })
+    }
+
     /// Executes `query` under the server's default optimizer config,
     /// with no deadline.
     pub fn query(&mut self, query: &JoinQuery) -> Result<QueryReply, NetError> {
@@ -197,6 +336,17 @@ impl Client {
         query: &JoinQuery,
         opts: &QueryOptions,
     ) -> Result<QueryReply, NetError> {
+        self.query_with_raw(query, opts).map(|(reply, _)| reply)
+    }
+
+    /// Like [`Client::query_with`], but also returns the raw RESULT
+    /// payload bytes. A cluster client hedging the same query against
+    /// two replicas compares these bytes to verify the replies agree.
+    pub fn query_with_raw(
+        &mut self,
+        query: &JoinQuery,
+        opts: &QueryOptions,
+    ) -> Result<(QueryReply, Vec<u8>), NetError> {
         let deadline_millis = opts
             .deadline
             .map(|d| (d.as_millis() as u64).max(1))
@@ -214,9 +364,27 @@ impl Client {
         wire::write_frame(&mut self.stream, FrameType::Query, &payload)?;
         let frame = self.recv()?;
         match frame.0 {
-            FrameType::Result => Ok(codec::decode_reply(&frame.1)?),
+            FrameType::Result => {
+                let reply = codec::decode_reply(&frame.1)?;
+                Ok((reply, frame.1))
+            }
             FrameType::Error => Err(self.remote_error(&frame.1)),
             _ => Err(NetError::Protocol("expected RESULT or ERROR frame")),
+        }
+    }
+
+    /// Probes the server's health/readiness. Served even while the
+    /// server drains, so a router can tell "draining" from "dead". The
+    /// wait is bounded by `timeout`.
+    pub fn health(&mut self, timeout: Duration) -> Result<HealthSnapshot, NetError> {
+        self.stream.set_read_timeout(Some(timeout))?;
+        wire::write_frame(&mut self.stream, FrameType::Health, &[])?;
+        let frame = self.recv()?;
+        self.stream.set_read_timeout(None)?;
+        match frame.0 {
+            FrameType::HealthReply => Ok(codec::decode_health_reply(&frame.1)?),
+            FrameType::Error => Err(self.remote_error(&frame.1)),
+            _ => Err(NetError::Protocol("expected HEALTH_REPLY or ERROR frame")),
         }
     }
 
@@ -238,12 +406,40 @@ impl Client {
         opts: &QueryOptions,
         policy: &RetryPolicy,
     ) -> Result<QueryReply, NetError> {
+        // An ad-hoc per-call budget large enough to never bind: the
+        // attempt cap alone governs, preserving the original contract.
+        let budget = RetryBudget::new(policy.max_attempts.max(1), 0.0);
+        self.query_with_retry_budgeted(query, opts, policy, &budget)
+    }
+
+    /// Like [`Client::query_with_retry`], but every retry must also
+    /// withdraw a token from the shared `budget`. When the budget is
+    /// dry the call gives up immediately with the typed
+    /// [`NetError::RetryBudgetExhausted`] instead of sleeping — under a
+    /// sustained outage the whole fleet of callers sharing the budget
+    /// stops retrying together rather than storming the server.
+    ///
+    /// Successful replies deposit back into the budget.
+    pub fn query_with_retry_budgeted(
+        &mut self,
+        query: &JoinQuery,
+        opts: &QueryOptions,
+        policy: &RetryPolicy,
+        budget: &RetryBudget,
+    ) -> Result<QueryReply, NetError> {
         let mut state = splitmix64(policy.seed);
         let mut prev = policy.base;
         let mut attempt = 1;
         loop {
             match self.query_with(query, opts) {
+                Ok(reply) => {
+                    budget.record_success();
+                    return Ok(reply);
+                }
                 Err(e) if e.is_retryable() && attempt < policy.max_attempts.max(1) => {
+                    if !budget.try_withdraw() {
+                        return Err(NetError::RetryBudgetExhausted { last: Box::new(e) });
+                    }
                     attempt += 1;
                     prev = policy.next_sleep(&mut state, prev);
                     std::thread::sleep(prev);
@@ -332,5 +528,61 @@ mod tests {
         };
         let s = schedule(&policy, 1);
         assert!(s[0] < Duration::from_millis(30));
+    }
+
+    #[test]
+    fn retry_budget_withdraws_until_dry_then_refuses() {
+        let budget = RetryBudget::new(3, 0.0);
+        assert_eq!(budget.available(), 3);
+        assert!(budget.try_withdraw());
+        assert!(budget.try_withdraw());
+        assert!(budget.try_withdraw());
+        assert!(!budget.try_withdraw(), "fourth withdrawal must fail");
+        assert!(!budget.try_withdraw(), "stays dry without deposits");
+        assert_eq!(budget.available(), 0);
+        assert_eq!(budget.withdrawals(), 3);
+        assert_eq!(budget.exhaustions(), 2);
+    }
+
+    #[test]
+    fn retry_budget_fractional_deposits_accumulate_exactly() {
+        // 0.1 token per success: ten successes buy one retry.
+        let budget = RetryBudget::new(1, 0.1);
+        assert!(budget.try_withdraw());
+        assert!(!budget.try_withdraw());
+        for _ in 0..9 {
+            budget.record_success();
+            assert!(!budget.try_withdraw(), "9 deposits of 0.1 are not enough");
+        }
+        budget.record_success();
+        assert!(budget.try_withdraw(), "10 × 0.1 must buy exactly one token");
+        assert!(!budget.try_withdraw());
+    }
+
+    #[test]
+    fn retry_budget_deposits_saturate_at_capacity() {
+        let budget = RetryBudget::new(2, 1.0);
+        for _ in 0..100 {
+            budget.record_success();
+        }
+        assert_eq!(budget.available(), 2, "deposits must cap at capacity");
+        assert!(budget.try_withdraw());
+        assert!(budget.try_withdraw());
+        assert!(!budget.try_withdraw());
+    }
+
+    #[test]
+    fn retry_budget_is_shared_across_threads() {
+        use std::sync::Arc;
+        let budget = Arc::new(RetryBudget::new(64, 0.0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let b = Arc::clone(&budget);
+                std::thread::spawn(move || (0..16).filter(|_| b.try_withdraw()).count())
+            })
+            .collect();
+        let granted: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(granted, 64, "exactly capacity tokens may be granted");
+        assert_eq!(budget.exhaustions(), 8 * 16 - 64);
     }
 }

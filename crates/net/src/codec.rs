@@ -762,3 +762,277 @@ pub fn decode_stats_reply(payload: &[u8]) -> Result<String, CodecError> {
     r.finish()?;
     Ok(json)
 }
+
+// ----------------------------------------------------------------- health
+
+/// A replica's readiness classification, as reported in HEALTH replies.
+///
+/// The router contract: `Ready` and `Degraded` replicas accept new
+/// queries (`Degraded` is deprioritized), `Draining` replicas finish
+/// accepted work but refuse new queries, and a replica that cannot be
+/// reached at all is *dead* — a state the replica cannot report, which
+/// is why it is not a variant here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthStatus {
+    /// Full pool strength, queue below capacity, accepting work.
+    Ready,
+    /// Accepting work, but the pool has replaced workers after panics
+    /// or the submission queue is at capacity (sheds likely).
+    Degraded,
+    /// Finishing accepted work; new queries are refused with
+    /// [`crate::wire::ErrorCode::ShuttingDown`].
+    Draining,
+}
+
+impl HealthStatus {
+    fn as_str(self) -> &'static str {
+        match self {
+            HealthStatus::Ready => "ready",
+            HealthStatus::Degraded => "degraded",
+            HealthStatus::Draining => "draining",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<HealthStatus> {
+        match s {
+            "ready" => Some(HealthStatus::Ready),
+            "degraded" => Some(HealthStatus::Degraded),
+            "draining" => Some(HealthStatus::Draining),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for HealthStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One replica's health report: the HEALTH reply payload, carried on
+/// the wire as a flat JSON object so operators can read it off a
+/// tcpdump and other tooling can scrape it without our codec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthSnapshot {
+    /// Readiness classification (see [`HealthStatus`]).
+    pub status: HealthStatus,
+    /// Configured worker-pool size.
+    pub workers: u64,
+    /// Workers respawned after caught panics.
+    pub workers_replaced: u64,
+    /// Jobs waiting in the submission queue.
+    pub queued: u64,
+    /// Jobs executing right now.
+    pub in_flight: u64,
+    /// Submission-queue capacity (the shed threshold).
+    pub queue_capacity: u64,
+    /// Connections currently open on the server.
+    pub connections_active: u64,
+}
+
+impl HealthSnapshot {
+    /// Renders the snapshot as its wire JSON: one flat object with a
+    /// stable key order.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"status\":\"{}\",\"workers\":{},\"workers_replaced\":{},",
+                "\"queued\":{},\"in_flight\":{},\"queue_capacity\":{},",
+                "\"connections_active\":{}}}"
+            ),
+            self.status,
+            self.workers,
+            self.workers_replaced,
+            self.queued,
+            self.in_flight,
+            self.queue_capacity,
+            self.connections_active,
+        )
+    }
+
+    /// Parses the wire JSON back into a snapshot. The parser is total
+    /// and strict: a flat object with exactly the expected keys (any
+    /// order, each exactly once), unsigned-integer counters, and a
+    /// known status string. Anything else — junk bytes, duplicate or
+    /// unknown keys, nested values, numeric overflow — is a typed
+    /// [`CodecError`], never a panic.
+    pub fn from_json(json: &str) -> Result<HealthSnapshot, CodecError> {
+        let fields = parse_flat_json(json)?;
+        let mut status = None;
+        let mut counters = [None; 6];
+        const KEYS: [&str; 6] = [
+            "workers",
+            "workers_replaced",
+            "queued",
+            "in_flight",
+            "queue_capacity",
+            "connections_active",
+        ];
+        for (key, value) in fields {
+            if key == "status" {
+                let JsonValue::Str(s) = value else {
+                    return Err(CodecError::Invalid(
+                        "health: status must be a string".into(),
+                    ));
+                };
+                let parsed = HealthStatus::from_str(&s)
+                    .ok_or_else(|| CodecError::Invalid(format!("health: unknown status {s:?}")))?;
+                if status.replace(parsed).is_some() {
+                    return Err(CodecError::Invalid("health: duplicate key status".into()));
+                }
+                continue;
+            }
+            let slot = KEYS
+                .iter()
+                .position(|k| *k == key)
+                .ok_or_else(|| CodecError::Invalid(format!("health: unknown key {key:?}")))?;
+            let JsonValue::Uint(n) = value else {
+                return Err(CodecError::Invalid(format!(
+                    "health: {key} must be an unsigned integer"
+                )));
+            };
+            if counters[slot].replace(n).is_some() {
+                return Err(CodecError::Invalid(format!(
+                    "health: duplicate key {key:?}"
+                )));
+            }
+        }
+        let status =
+            status.ok_or_else(|| CodecError::Invalid("health: missing key status".into()))?;
+        let counter = |slot: usize| {
+            counters[slot]
+                .ok_or_else(|| CodecError::Invalid(format!("health: missing key {:?}", KEYS[slot])))
+        };
+        Ok(HealthSnapshot {
+            status,
+            workers: counter(0)?,
+            workers_replaced: counter(1)?,
+            queued: counter(2)?,
+            in_flight: counter(3)?,
+            queue_capacity: counter(4)?,
+            connections_active: counter(5)?,
+        })
+    }
+}
+
+/// A parsed flat-JSON scalar: the only value shapes health uses.
+enum JsonValue {
+    Uint(u64),
+    Str(String),
+}
+
+/// Total parser for one flat JSON object of string/uint fields —
+/// `{"key":123,"other":"text"}` with optional ASCII whitespace between
+/// tokens. Strings accept the two escapes the renderer can emit (`\"`
+/// and `\\`); everything else (nesting, floats, negatives, booleans)
+/// is a typed error. Deliberately tiny: this is a wire-format parser
+/// for payloads *we* define, not a general JSON library.
+fn parse_flat_json(json: &str) -> Result<Vec<(String, JsonValue)>, CodecError> {
+    let bad = |msg: &str| CodecError::Invalid(format!("health json: {msg}"));
+    let bytes = json.as_bytes();
+    let mut pos = 0usize;
+    let skip_ws = |pos: &mut usize| {
+        while *pos < bytes.len() && (bytes[*pos] as char).is_ascii_whitespace() {
+            *pos += 1;
+        }
+    };
+    let parse_string = |pos: &mut usize| -> Result<String, CodecError> {
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(bad("expected '\"'"));
+        }
+        *pos += 1;
+        let mut out = Vec::new();
+        loop {
+            match bytes.get(*pos) {
+                None => return Err(bad("unterminated string")),
+                Some(b'"') => {
+                    *pos += 1;
+                    return String::from_utf8(out).map_err(|_| CodecError::BadUtf8);
+                }
+                Some(b'\\') => match bytes.get(*pos + 1) {
+                    Some(b'"') | Some(b'\\') => {
+                        out.push(bytes[*pos + 1]);
+                        *pos += 2;
+                    }
+                    _ => return Err(bad("unsupported escape")),
+                },
+                Some(b) => {
+                    out.push(*b);
+                    *pos += 1;
+                }
+            }
+        }
+    };
+    let parse_uint = |pos: &mut usize| -> Result<u64, CodecError> {
+        let start = *pos;
+        let mut n: u64 = 0;
+        while let Some(d) = bytes.get(*pos).filter(|b| b.is_ascii_digit()) {
+            n = n
+                .checked_mul(10)
+                .and_then(|n| n.checked_add(u64::from(d - b'0')))
+                .ok_or_else(|| bad("integer overflows u64"))?;
+            *pos += 1;
+        }
+        if *pos == start {
+            return Err(bad("expected a digit"));
+        }
+        Ok(n)
+    };
+
+    skip_ws(&mut pos);
+    if bytes.get(pos) != Some(&b'{') {
+        return Err(bad("expected '{'"));
+    }
+    pos += 1;
+    let mut fields = Vec::new();
+    skip_ws(&mut pos);
+    if bytes.get(pos) == Some(&b'}') {
+        pos += 1;
+    } else {
+        loop {
+            skip_ws(&mut pos);
+            let key = parse_string(&mut pos)?;
+            skip_ws(&mut pos);
+            if bytes.get(pos) != Some(&b':') {
+                return Err(bad("expected ':'"));
+            }
+            pos += 1;
+            skip_ws(&mut pos);
+            let value = match bytes.get(pos) {
+                Some(b'"') => JsonValue::Str(parse_string(&mut pos)?),
+                Some(b) if b.is_ascii_digit() => JsonValue::Uint(parse_uint(&mut pos)?),
+                _ => return Err(bad("expected a string or unsigned integer value")),
+            };
+            fields.push((key, value));
+            skip_ws(&mut pos);
+            match bytes.get(pos) {
+                Some(b',') => pos += 1,
+                Some(b'}') => {
+                    pos += 1;
+                    break;
+                }
+                _ => return Err(bad("expected ',' or '}'")),
+            }
+        }
+    }
+    skip_ws(&mut pos);
+    if pos != bytes.len() {
+        return Err(CodecError::TrailingBytes(bytes.len() - pos));
+    }
+    Ok(fields)
+}
+
+/// Encodes a HEALTH_REPLY payload (the snapshot's JSON as one string).
+pub fn encode_health_reply(health: &HealthSnapshot) -> Result<Vec<u8>, CodecError> {
+    let mut w = Writer::new();
+    w.string(&health.to_json())?;
+    Ok(w.into_bytes())
+}
+
+/// Decodes a HEALTH_REPLY payload (consuming it fully).
+pub fn decode_health_reply(payload: &[u8]) -> Result<HealthSnapshot, CodecError> {
+    let mut r = Reader::new(payload);
+    let json = r.string()?;
+    r.finish()?;
+    HealthSnapshot::from_json(&json)
+}

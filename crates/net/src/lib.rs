@@ -38,7 +38,7 @@ pub mod codec;
 pub mod server;
 pub mod wire;
 
-pub use client::{Canceller, Client, NetError, QueryOptions, RetryPolicy};
-pub use codec::{CodecError, QueryReply, QueryRequest};
+pub use client::{Canceller, Client, NetError, QueryOptions, RetryBudget, RetryPolicy};
+pub use codec::{CodecError, HealthSnapshot, HealthStatus, QueryReply, QueryRequest};
 pub use server::{Server, ServerConfig, ServerStats};
 pub use wire::{ErrorCode, FrameType, WireError, VERSION};

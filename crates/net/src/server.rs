@@ -26,7 +26,7 @@
 //!   included), then closes the worker pool. Accepted work is never
 //!   dropped; connections idling between requests are closed.
 
-use crate::codec;
+use crate::codec::{self, HealthSnapshot, HealthStatus};
 use crate::wire::{self, ErrorCode, Frame, FrameReader, FrameType, WireError};
 use fj_algebra::Catalog;
 use fj_optimizer::OptimizerConfig;
@@ -77,6 +77,7 @@ struct Counters {
     sheds: AtomicU64,
     deadline_hits: AtomicU64,
     errors_sent: AtomicU64,
+    health_probes: AtomicU64,
     bytes_in: AtomicU64,
     bytes_out: AtomicU64,
 }
@@ -100,6 +101,8 @@ pub struct ServerStats {
     pub deadline_hits: u64,
     /// ERROR frames sent (all codes).
     pub errors_sent: u64,
+    /// HEALTH probes answered.
+    pub health_probes: u64,
     /// Bytes received (frames after handshake).
     pub bytes_in: u64,
     /// Bytes sent (frames after handshake).
@@ -110,7 +113,15 @@ struct Shared {
     service: QueryService,
     default_config: OptimizerConfig,
     counters: Counters,
+    /// Soft drain: refuse new queries (typed, retryable), keep serving
+    /// HEALTH/STATS and finish accepted work. Connections stay open.
+    draining: AtomicBool,
+    /// Full stop: accept loop exits, handlers close between requests.
     shutting_down: AtomicBool,
+    /// Hard kill: handlers drop connections immediately — mid-frame,
+    /// mid-query — without replies, and tear their queries down. Models
+    /// a crashed replica for the cluster chaos harness.
+    aborting: AtomicBool,
     max_frame_bytes: u32,
     drain_grace: Duration,
 }
@@ -127,8 +138,36 @@ impl Shared {
             sheds: c.sheds.load(Ordering::Relaxed),
             deadline_hits: c.deadline_hits.load(Ordering::Relaxed),
             errors_sent: c.errors_sent.load(Ordering::Relaxed),
+            health_probes: c.health_probes.load(Ordering::Relaxed),
             bytes_in: c.bytes_in.load(Ordering::Relaxed),
             bytes_out: c.bytes_out.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether new QUERY frames are refused with SHUTTING_DOWN.
+    fn refusing_queries(&self) -> bool {
+        self.draining.load(Ordering::SeqCst) || self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// The HEALTH reply body: drain state, pool strength, and queue
+    /// pressure, classified for the replica router.
+    fn health(&self) -> HealthSnapshot {
+        let h = self.service.health();
+        let status = if self.refusing_queries() {
+            HealthStatus::Draining
+        } else if h.workers_replaced > 0 || h.saturated() {
+            HealthStatus::Degraded
+        } else {
+            HealthStatus::Ready
+        };
+        HealthSnapshot {
+            status,
+            workers: h.workers as u64,
+            workers_replaced: h.workers_replaced,
+            queued: h.queued as u64,
+            in_flight: h.in_flight as u64,
+            queue_capacity: h.queue_capacity as u64,
+            connections_active: self.counters.connections_active.load(Ordering::Relaxed) as u64,
         }
     }
 
@@ -138,11 +177,13 @@ impl Shared {
         let s = self.stats();
         format!(
             concat!(
-                "{{\"connections_total\":{},\"connections_active\":{},",
+                "{{\"state\":\"{}\",\"connections_total\":{},\"connections_active\":{},",
                 "\"connections_shed\":{},\"requests\":{},\"results\":{},",
                 "\"sheds\":{},\"deadline_hits\":{},\"errors_sent\":{},",
+                "\"health_probes\":{},",
                 "\"bytes_in\":{},\"bytes_out\":{},\"runtime\":{}}}"
             ),
+            self.health().status,
             s.connections_total,
             s.connections_active,
             s.connections_shed,
@@ -151,6 +192,7 @@ impl Shared {
             s.sheds,
             s.deadline_hits,
             s.errors_sent,
+            s.health_probes,
             s.bytes_in,
             s.bytes_out,
             self.service.metrics().to_json(),
@@ -206,7 +248,9 @@ impl Server {
             service: QueryService::start(catalog, config.service.clone()),
             default_config: config.service.optimizer,
             counters: Counters::default(),
+            draining: AtomicBool::new(false),
             shutting_down: AtomicBool::new(false),
+            aborting: AtomicBool::new(false),
             max_frame_bytes: config.max_frame_bytes,
             drain_grace: config.drain_grace,
         });
@@ -258,6 +302,38 @@ impl Server {
     /// Live metrics of the fronted query service.
     pub fn metrics(&self) -> fj_runtime::RuntimeMetrics {
         self.shared.service.metrics()
+    }
+
+    /// The server's current health report (what a HEALTH frame returns).
+    pub fn health(&self) -> HealthSnapshot {
+        self.shared.health()
+    }
+
+    /// Begins a **soft drain**: new QUERY frames are refused with a
+    /// typed, retryable [`ErrorCode::ShuttingDown`] so clients fail
+    /// over, while queries already accepted finish with full replies.
+    /// Unlike [`Server::shutdown`], the listener stays up and
+    /// HEALTH/STATS requests keep being served (reporting `draining`),
+    /// so a replica router can tell a draining replica from a dead one.
+    /// Irreversible; call [`Server::shutdown`] to finish the teardown.
+    pub fn begin_drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`Server::begin_drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// **Hard kill**, modelling a crashed replica: every connection is
+    /// dropped immediately — mid-frame, mid-query, no replies — and
+    /// in-flight queries are torn down via their interrupts. Clients
+    /// observe transport errors, exactly as they would against a
+    /// process that died. The worker pool is still joined before this
+    /// returns so the test harness leaks nothing.
+    pub fn abort(mut self) {
+        self.shared.aborting.store(true, Ordering::SeqCst);
+        self.stop();
     }
 
     /// Graceful drain: stop accepting, finish every in-flight request
@@ -411,6 +487,9 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared, over_cap: bool) {
     let mut drain_started: Option<Instant> = None;
     loop {
         let polled = reader.read_frame(&mut stream, |mid_frame| {
+            if shared.aborting.load(Ordering::SeqCst) {
+                return true; // hard kill: drop the connection as-is
+            }
             if !shared.shutting_down.load(Ordering::SeqCst) {
                 return false;
             }
@@ -459,6 +538,19 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared, over_cap: bool) {
             // A CANCEL with no query in flight lost the race against
             // the reply; it is a harmless no-op.
             FrameType::Cancel => {}
+            FrameType::Health => {
+                shared
+                    .counters
+                    .health_probes
+                    .fetch_add(1, Ordering::Relaxed);
+                let payload = match codec::encode_health_reply(&shared.health()) {
+                    Ok(p) => p,
+                    Err(_) => return,
+                };
+                if !send_frame(&mut stream, shared, FrameType::HealthReply, &payload) {
+                    return;
+                }
+            }
             FrameType::Stats => {
                 let json = shared.stats_json();
                 let payload = match codec::encode_stats_reply(&json) {
@@ -469,7 +561,10 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared, over_cap: bool) {
                     return;
                 }
             }
-            FrameType::Result | FrameType::StatsReply | FrameType::Error => {
+            FrameType::Result
+            | FrameType::StatsReply
+            | FrameType::HealthReply
+            | FrameType::Error => {
                 send_error(
                     &mut stream,
                     shared,
@@ -507,6 +602,12 @@ fn handle_query(
         ms => Some(Duration::from_millis(ms)),
     };
 
+    // Soft drain: accepted work keeps running, but nothing new is
+    // admitted — a typed, retryable refusal sends clients elsewhere.
+    if shared.refusing_queries() {
+        return send_error(stream, shared, ErrorCode::ShuttingDown, "server draining");
+    }
+
     let ticket = match shared.service.try_submit_with_config(request.query, config) {
         Ok(t) => t,
         Err(RuntimeError::QueueFull) => {
@@ -537,6 +638,12 @@ fn handle_query(
     let interrupt = ticket.interrupt_handle();
     let _ = stream.set_read_timeout(Some(Duration::from_millis(2)));
     let waited = loop {
+        if shared.aborting.load(Ordering::SeqCst) {
+            // Hard kill mid-query: tear the query down and vanish
+            // without a reply, as a crashed process would.
+            interrupt.trip(InterruptReason::Cancelled);
+            return false;
+        }
         if let Some(reply) = ticket.poll(Duration::from_millis(2)) {
             break Waited::Reply(Box::new(reply));
         }

@@ -47,10 +47,17 @@ pub enum FrameType {
     /// reply is an [`ErrorCode::Cancelled`] error frame (or the result,
     /// if the query won the race).
     Cancel = 0x03,
+    /// Client → server: health/readiness probe (empty payload). Served
+    /// even while the server drains, so a replica router can tell
+    /// "draining" from "dead".
+    Health = 0x04,
     /// Server → client: query result (payload: reply encoding).
     Result = 0x81,
     /// Server → client: stats reply (payload: one JSON string).
     StatsReply = 0x82,
+    /// Server → client: health reply (payload: one JSON object — see
+    /// [`crate::codec::HealthSnapshot`]).
+    HealthReply = 0x83,
     /// Server → client: typed error (payload: code + message).
     Error = 0x7F,
 }
@@ -62,8 +69,10 @@ impl FrameType {
             0x01 => Some(FrameType::Query),
             0x02 => Some(FrameType::Stats),
             0x03 => Some(FrameType::Cancel),
+            0x04 => Some(FrameType::Health),
             0x81 => Some(FrameType::Result),
             0x82 => Some(FrameType::StatsReply),
+            0x83 => Some(FrameType::HealthReply),
             0x7F => Some(FrameType::Error),
             _ => None,
         }
@@ -504,6 +513,21 @@ mod tests {
             !ErrorCode::Cancelled.is_retryable(),
             "a cancellation is deliberate, never retried"
         );
+    }
+
+    #[test]
+    fn health_frames_round_trip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameType::Health, b"").unwrap();
+        write_frame(&mut wire, FrameType::HealthReply, b"{}").unwrap();
+        let mut cur = Cursor::new(wire);
+        let mut fr = FrameReader::new(DEFAULT_MAX_FRAME_BYTES);
+        let probe = fr.read_frame_blocking(&mut cur).unwrap().unwrap();
+        assert_eq!(probe.ty, FrameType::Health);
+        assert!(probe.payload.is_empty());
+        let reply = fr.read_frame_blocking(&mut cur).unwrap().unwrap();
+        assert_eq!(reply.ty, FrameType::HealthReply);
+        assert_eq!(reply.payload, b"{}");
     }
 
     #[test]

@@ -477,6 +477,231 @@ fn connection_cap_sheds_at_the_edge() {
 }
 
 #[test]
+fn health_frame_reports_pool_shape_and_readiness() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        paper_catalog(),
+        ServerConfig {
+            service: ServiceConfig {
+                workers: 3,
+                queue_capacity: 17,
+                ..ServiceConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let health = client.health(Duration::from_secs(5)).unwrap();
+    assert_eq!(health.status, fj_net::HealthStatus::Ready);
+    assert_eq!(health.workers, 3);
+    assert_eq!(health.workers_replaced, 0);
+    assert_eq!(health.queue_capacity, 17);
+    assert!(health.connections_active >= 1, "this probe's connection");
+
+    // Health probes and queries interleave on one connection.
+    assert_eq!(client.query(&paper_query()).unwrap().rows.len(), 2);
+    let again = client.health(Duration::from_secs(5)).unwrap();
+    assert_eq!(again.status, fj_net::HealthStatus::Ready);
+    assert!(server.stats().health_probes >= 2);
+    assert!(server.stats_json().contains("\"health_probes\":"));
+    server.shutdown();
+}
+
+#[test]
+fn begin_drain_refuses_new_queries_but_serves_health_and_accepted_work() {
+    let (cat, query) = big_catalog_and_query(1500);
+    let expected = sorted(
+        Database::with_catalog(cat.clone())
+            .execute(&query)
+            .unwrap()
+            .rows,
+    );
+    let server = Server::bind(
+        "127.0.0.1:0",
+        cat,
+        ServerConfig {
+            service: ServiceConfig {
+                workers: 2,
+                queue_capacity: 64,
+                ..ServiceConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Get a batch of queries accepted, then drain mid-flight.
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let query = query.clone();
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                client.query(&query).map(|r| sorted(r.rows))
+            })
+        })
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while server.stats().requests < 4 {
+        assert!(Instant::now() < deadline, "requests never arrived");
+        thread::sleep(Duration::from_millis(2));
+    }
+    server.begin_drain();
+    assert!(server.is_draining());
+
+    // Accepted queries still finish with full, correct rows.
+    for h in handles {
+        let rows = h.join().unwrap().expect("drain must finish accepted work");
+        assert_eq!(rows, expected);
+    }
+
+    // New queries are refused with the typed, retryable drain code —
+    // over a *new* connection, because the listener is still up.
+    let mut late = Client::connect(addr).expect("drain keeps the listener alive");
+    match late.query(&query) {
+        Err(NetError::Remote { code, .. }) => assert_eq!(code, ErrorCode::ShuttingDown),
+        other => panic!("expected SHUTTING_DOWN during drain, got {other:?}"),
+    }
+
+    // And HEALTH keeps answering, reporting the drain — this is what
+    // lets a replica router tell "draining" from "dead".
+    let health = late.health(Duration::from_secs(5)).unwrap();
+    assert_eq!(health.status, fj_net::HealthStatus::Draining);
+    assert!(server.stats_json().contains("\"state\":\"draining\""));
+    server.shutdown();
+}
+
+#[test]
+fn drain_under_an_active_fault_plan_still_answers_typed() {
+    use fj_runtime::FaultPlan;
+    use std::sync::Arc;
+
+    // Aggressive injected read errors: accepted queries may fail, but
+    // they must fail *typed*, drain must still finish/refuse correctly,
+    // and health must still answer.
+    let (cat, query) = big_catalog_and_query(1200);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        cat,
+        ServerConfig {
+            service: ServiceConfig {
+                workers: 2,
+                queue_capacity: 64,
+                fault_plan: Some(Arc::new(
+                    FaultPlan::new(7)
+                        .with_read_errors(40)
+                        .with_stalls(60, Duration::from_micros(200)),
+                )),
+                ..ServiceConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let handles: Vec<_> = (0..6)
+        .map(|_| {
+            let query = query.clone();
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                client.query(&query)
+            })
+        })
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while server.stats().requests < 6 {
+        assert!(Instant::now() < deadline, "requests never arrived");
+        thread::sleep(Duration::from_millis(2));
+    }
+    server.begin_drain();
+
+    for h in handles {
+        match h.join().unwrap() {
+            Ok(reply) => assert!(!reply.rows.is_empty()),
+            // An injected read error surfaces as QUERY_FAILED — typed,
+            // not a dropped connection.
+            Err(NetError::Remote { code, .. }) => assert_eq!(code, ErrorCode::QueryFailed),
+            Err(other) => panic!("fault under drain must stay typed, got {other}"),
+        }
+    }
+
+    let mut late = Client::connect(addr).unwrap();
+    assert!(
+        matches!(
+            late.query(&query),
+            Err(NetError::Remote {
+                code: ErrorCode::ShuttingDown,
+                ..
+            })
+        ),
+        "drain refusals must keep working under fault injection"
+    );
+    let health = late.health(Duration::from_secs(5)).unwrap();
+    assert_eq!(health.status, fj_net::HealthStatus::Draining);
+    server.shutdown();
+}
+
+#[test]
+fn abort_models_a_crash_with_transport_errors_not_replies() {
+    let (cat, query) = big_catalog_and_query(3000);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        cat,
+        ServerConfig {
+            service: ServiceConfig {
+                workers: 2,
+                queue_capacity: 64,
+                ..ServiceConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let query = query.clone();
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                client.query(&query)
+            })
+        })
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while server.stats().requests < 4 {
+        assert!(Instant::now() < deadline, "requests never arrived");
+        thread::sleep(Duration::from_millis(2));
+    }
+    let killed_at = Instant::now();
+    server.abort();
+    assert!(
+        killed_at.elapsed() < Duration::from_secs(60),
+        "abort must not wait for queries to finish"
+    );
+
+    // Every in-flight client sees a transport-level failure (or, if it
+    // raced the kill, a cancellation) — never a silent hang. A real
+    // crashed process looks exactly like this.
+    for h in handles {
+        match h.join().unwrap() {
+            Err(e) if e.is_transport() => {}
+            Err(NetError::Remote {
+                code: ErrorCode::Cancelled | ErrorCode::Internal,
+                ..
+            }) => {}
+            Ok(_) => panic!("an aborted server must not deliver results"),
+            Err(other) => panic!("expected a transport error after abort, got {other}"),
+        }
+    }
+    // And the listener is gone: the replica is dead, not draining.
+    assert!(Client::connect(addr).is_err());
+}
+
+#[test]
 fn stats_request_returns_merged_json() {
     let server = Server::bind("127.0.0.1:0", paper_catalog(), ServerConfig::default()).unwrap();
     let mut client = Client::connect(server.local_addr()).unwrap();

@@ -7,8 +7,9 @@
 use fj_algebra::{FromItem, JoinQuery, NetworkModel};
 use fj_expr::{col, lit, Expr};
 use fj_net::codec::{
-    decode_expr, decode_reply, decode_request, decode_value, encode_expr, encode_reply_parts,
-    encode_request, encode_value, CodecError, QueryRequest, Reader, Writer, MAX_EXPR_DEPTH,
+    decode_expr, decode_health_reply, decode_reply, decode_request, decode_value, encode_expr,
+    encode_health_reply, encode_reply_parts, encode_request, encode_value, CodecError,
+    HealthSnapshot, HealthStatus, QueryRequest, Reader, Writer, MAX_EXPR_DEPTH,
 };
 use fj_optimizer::{CostParams, OptimizerConfig};
 use fj_storage::{Column, DataType, Schema, Tuple, Value};
@@ -243,6 +244,102 @@ proptest! {
         let _ = decode_reply(&payload);
         let _ = fj_net::codec::decode_error(&payload);
         let _ = fj_net::codec::decode_stats_reply(&payload);
+        let _ = decode_health_reply(&payload);
+    }
+
+    /// Every health snapshot survives the encode → decode round trip —
+    /// both the framed payload and the JSON body inside it.
+    #[test]
+    fn health_reply_round_trip(
+        status_word in 0u64..3,
+        workers in 0u64..u64::MAX,
+        workers_replaced in 0u64..u64::MAX,
+        queued in 0u64..u64::MAX,
+        in_flight in 0u64..u64::MAX,
+        queue_capacity in 0u64..u64::MAX,
+        connections_active in 0u64..u64::MAX,
+    ) {
+        let health = HealthSnapshot {
+            status: [HealthStatus::Ready, HealthStatus::Degraded, HealthStatus::Draining]
+                [status_word as usize],
+            workers,
+            workers_replaced,
+            queued,
+            in_flight,
+            queue_capacity,
+            connections_active,
+        };
+        let payload = encode_health_reply(&health).unwrap();
+        prop_assert_eq!(decode_health_reply(&payload).unwrap(), health);
+        prop_assert_eq!(HealthSnapshot::from_json(&health.to_json()).unwrap(), health);
+    }
+
+    /// The health JSON parser accepts any key order (it is a wire
+    /// format other tooling may re-serialize).
+    #[test]
+    fn health_json_accepts_any_key_order(shift in 0usize..7, ws in 0u64..2) {
+        let health = HealthSnapshot {
+            status: HealthStatus::Degraded,
+            workers: 4,
+            workers_replaced: 1,
+            queued: 9,
+            in_flight: 3,
+            queue_capacity: 16,
+            connections_active: 7,
+        };
+        let pairs = [
+            ("status", "\"degraded\"".to_string()),
+            ("workers", "4".to_string()),
+            ("workers_replaced", "1".to_string()),
+            ("queued", "9".to_string()),
+            ("in_flight", "3".to_string()),
+            ("queue_capacity", "16".to_string()),
+            ("connections_active", "7".to_string()),
+        ];
+        let sep = if ws == 1 { " " } else { "" };
+        let body = (0..pairs.len())
+            .map(|i| {
+                let (k, v) = &pairs[(i + shift) % pairs.len()];
+                format!("\"{k}\"{sep}:{sep}{v}")
+            })
+            .collect::<Vec<_>>()
+            .join(&format!(",{sep}"));
+        let json = format!("{{{sep}{body}{sep}}}");
+        prop_assert_eq!(HealthSnapshot::from_json(&json).unwrap(), health);
+    }
+
+    /// Truncations and single-byte mutations of a valid health reply
+    /// are typed errors or different valid snapshots — never panics.
+    #[test]
+    fn health_reply_mutations_never_panic(
+        queued in 0u64..1_000_000,
+        pos_word in 0u64..u64::MAX,
+        new_byte in 0u64..256,
+    ) {
+        let health = HealthSnapshot {
+            status: HealthStatus::Ready,
+            workers: 4,
+            workers_replaced: 0,
+            queued,
+            in_flight: 0,
+            queue_capacity: 64,
+            connections_active: 2,
+        };
+        let mut payload = encode_health_reply(&health).unwrap();
+        for cut in 0..payload.len() {
+            prop_assert!(decode_health_reply(&payload[..cut]).is_err());
+        }
+        let pos = (pos_word as usize) % payload.len();
+        payload[pos] = new_byte as u8;
+        let _ = decode_health_reply(&payload);
+    }
+
+    /// Random strings never panic the strict JSON parser.
+    #[test]
+    fn health_json_fuzz_never_panics(bytes in prop::collection::vec(0u64..256, 0..120)) {
+        let raw: Vec<u8> = bytes.iter().map(|b| *b as u8).collect();
+        let s = String::from_utf8_lossy(&raw);
+        let _ = HealthSnapshot::from_json(&s);
     }
 
     /// Every truncation of a valid request is a typed error (or, only
@@ -348,6 +445,49 @@ fn trailing_bytes_are_rejected() {
         decode_request(&bytes),
         Err(CodecError::TrailingBytes(1))
     ));
+}
+
+#[test]
+fn adversarial_health_json_is_typed_not_panic() {
+    let valid = concat!(
+        "{\"status\":\"ready\",\"workers\":4,\"workers_replaced\":0,",
+        "\"queued\":0,\"in_flight\":0,\"queue_capacity\":64,",
+        "\"connections_active\":1}"
+    );
+    HealthSnapshot::from_json(valid).unwrap();
+    let cases: &[&str] = &[
+        "",
+        "{",
+        "{}",
+        "null",
+        "[1,2]",
+        // unknown status
+        &valid.replace("ready", "sideways"),
+        // status must be a string
+        &valid.replace("\"ready\"", "3"),
+        // duplicate key
+        &valid.replace("\"workers\":4", "\"workers\":4,\"workers\":4"),
+        // unknown key
+        &valid.replace("\"workers\"", "\"sockets\""),
+        // missing key
+        &valid.replace(",\"connections_active\":1", ""),
+        // nested value
+        &valid.replace("\"workers\":4", "\"workers\":{\"n\":4}"),
+        // negative / float / boolean counters
+        &valid.replace("\"workers\":4", "\"workers\":-4"),
+        &valid.replace("\"workers\":4", "\"workers\":4.5"),
+        &valid.replace("\"workers\":4", "\"workers\":true"),
+        // u64 overflow
+        &valid.replace("\"workers\":4", "\"workers\":18446744073709551616"),
+        // trailing bytes
+        &format!("{valid}x"),
+    ];
+    for case in cases {
+        assert!(
+            HealthSnapshot::from_json(case).is_err(),
+            "accepted adversarial health json: {case:?}"
+        );
+    }
 }
 
 #[test]

@@ -60,4 +60,4 @@ pub use fj_exec::{Interrupt, InterruptReason};
 pub use fj_storage::FaultPlan;
 pub use metrics::{LatencyHistogram, MetricsRecorder, RuntimeMetrics, LATENCY_BUCKETS};
 pub use queue::{BoundedQueue, PushError};
-pub use service::{QueryService, RuntimeError, ServiceConfig, Ticket};
+pub use service::{QueryService, RuntimeError, ServiceConfig, ServiceHealth, Ticket};

@@ -177,6 +177,11 @@ pub struct RuntimeMetrics {
     pub interrupted_by_budget: u64,
     /// Workers respawned after a caught panic (pool stays at size).
     pub workers_replaced: u64,
+    /// Configured worker-pool size — with `workers_replaced`, a
+    /// router's view of pool strength.
+    pub workers: usize,
+    /// Queries a worker is executing right now.
+    pub in_flight: usize,
     /// Plan-cache hits.
     pub cache_hits: u64,
     /// Plan-cache misses.
@@ -205,6 +210,7 @@ impl RuntimeMetrics {
             concat!(
                 "{{\"completed\":{},\"errors\":{},\"cancelled\":{},",
                 "\"interrupted_by_budget\":{},\"workers_replaced\":{},",
+                "\"workers\":{},\"in_flight\":{},",
                 "\"cache_hits\":{},",
                 "\"cache_misses\":{},\"cache_hit_rate\":{:.6},",
                 "\"cache_entries\":{},\"queue_depth\":{},",
@@ -217,6 +223,8 @@ impl RuntimeMetrics {
             self.cancelled,
             self.interrupted_by_budget,
             self.workers_replaced,
+            self.workers,
+            self.in_flight,
             self.cache_hits,
             self.cache_misses,
             self.cache_hit_rate,
@@ -272,6 +280,8 @@ mod tests {
             cancelled: 2,
             interrupted_by_budget: 1,
             workers_replaced: 1,
+            workers: 4,
+            in_flight: 2,
             cache_hits: 2,
             cache_misses: 2,
             cache_hit_rate: 0.5,
@@ -289,6 +299,8 @@ mod tests {
         assert!(j.contains("\"cancelled\":2"));
         assert!(j.contains("\"interrupted_by_budget\":1"));
         assert!(j.contains("\"workers_replaced\":1"));
+        assert!(j.contains("\"workers\":4"));
+        assert!(j.contains("\"in_flight\":2"));
         // Stable key order: completed always precedes errors precedes
         // cache_hits.
         let (a, b, c) = (

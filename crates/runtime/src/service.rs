@@ -272,6 +272,33 @@ impl Ticket {
     }
 }
 
+/// A point-in-time health view of one [`QueryService`]: the snapshot a
+/// replica-aware router needs to tell a healthy pool from a degraded
+/// one. Cheaper than [`QueryService::metrics`] (no histogram copy) and
+/// stable under load — every field is one relaxed atomic load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceHealth {
+    /// Configured worker-pool size (post-normalization).
+    pub workers: usize,
+    /// Workers respawned after caught panics; a non-zero value means
+    /// the pool has been through trauma even if it is back at strength.
+    pub workers_replaced: u64,
+    /// Jobs waiting in the submission queue (not yet picked up).
+    pub queued: usize,
+    /// Jobs a worker is executing right now.
+    pub in_flight: usize,
+    /// Submission-queue capacity (the shed threshold).
+    pub queue_capacity: usize,
+}
+
+impl ServiceHealth {
+    /// Whether the submission queue is at (or past) capacity — the
+    /// condition under which `try_submit` sheds.
+    pub fn saturated(&self) -> bool {
+        self.queued >= self.queue_capacity
+    }
+}
+
 /// The concurrent query service; see the module docs.
 pub struct QueryService {
     shared: Arc<Shared>,
@@ -390,6 +417,19 @@ impl QueryService {
         self.shared.snapshot()
     }
 
+    /// The health snapshot a replica router probes for: pool strength,
+    /// replacements, and queue pressure, without the histogram copy a
+    /// full [`QueryService::metrics`] snapshot carries.
+    pub fn health(&self) -> ServiceHealth {
+        ServiceHealth {
+            workers: self.shared.cfg.workers,
+            workers_replaced: self.shared.metrics.workers_replaced(),
+            queued: self.shared.queue.len(),
+            in_flight: self.shared.in_flight.load(Ordering::Relaxed),
+            queue_capacity: self.shared.cfg.queue_capacity,
+        }
+    }
+
     /// Live service metrics.
     pub fn metrics(&self) -> RuntimeMetrics {
         let cache = self.shared.cache.stats();
@@ -405,6 +445,8 @@ impl QueryService {
             cancelled: self.shared.metrics.cancelled(),
             interrupted_by_budget: self.shared.metrics.interrupted_by_budget(),
             workers_replaced: self.shared.metrics.workers_replaced(),
+            workers: self.shared.cfg.workers,
+            in_flight: self.shared.in_flight.load(Ordering::Relaxed),
             queue_depth: self.shared.queue.len() + self.shared.in_flight.load(Ordering::Relaxed),
             uptime_secs: uptime,
             throughput_qps: if uptime > 0.0 {
@@ -499,10 +541,13 @@ fn worker_loop(shared: &Arc<Shared>) {
             Err(payload) => {
                 shared.metrics.record(latency, false);
                 let msg = panic_message(payload.as_ref());
-                let _ = job.reply.send(Err(RuntimeError::WorkerPanicked(msg)));
+                // Replace first, answer second: by the time the caller
+                // observes WorkerPanicked on its ticket, the pool is
+                // back at strength and `workers_replaced` reflects it.
                 shared.metrics.record_worker_replaced();
                 let id = shared.worker_seq.fetch_add(1, Ordering::Relaxed);
                 spawn_worker(shared, format!("fj-worker-{id}"));
+                let _ = job.reply.send(Err(RuntimeError::WorkerPanicked(msg)));
                 // This worker's stack may be poisoned by whatever
                 // panicked; the fresh replacement takes over.
                 return;
@@ -619,6 +664,32 @@ mod tests {
         assert_eq!(cfg.plan_cache_capacity, 1);
         assert_eq!(cfg.memory_pages, 1);
         cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn health_reflects_pool_shape_and_idle_queue() {
+        let service = QueryService::start(
+            fj_algebra::fixtures::paper_catalog(),
+            ServiceConfig {
+                workers: 2,
+                queue_capacity: 8,
+                ..ServiceConfig::default()
+            },
+        );
+        let h = service.health();
+        assert_eq!(h.workers, 2);
+        assert_eq!(h.queue_capacity, 8);
+        assert_eq!(h.workers_replaced, 0);
+        assert_eq!(h.queued, 0);
+        assert!(!h.saturated());
+        // After a completed query the pool is idle again.
+        service
+            .execute(fj_algebra::fixtures::paper_query())
+            .unwrap();
+        let h = service.health();
+        assert_eq!(h.in_flight, 0);
+        assert_eq!(h.queued, 0);
+        service.shutdown();
     }
 
     #[test]

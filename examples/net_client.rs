@@ -2,15 +2,18 @@
 //! server fronting the query service, clients with per-request
 //! deadlines and optimizer overrides, mid-flight cancellation, load
 //! shedding answered by retry-with-backoff, the STATS request, and a
-//! graceful drain. (This is the README's network example, runnable.)
+//! graceful drain — then the `fj-cluster` tier: three replicas behind
+//! one cluster client, with health probes, a hard kill, a drain, and
+//! failover hiding both. (This is the README's network example,
+//! runnable.)
 //!
 //! ```sh
 //! cargo run --example net_client
 //! ```
 
 use filterjoin::{
-    fixtures, Client, ErrorCode, NetError, QueryOptions, RetryPolicy, Server, ServerConfig,
-    ServiceConfig,
+    fixtures, Client, ClusterClient, ClusterConfig, ErrorCode, NetError, QueryOptions, RetryPolicy,
+    Server, ServerConfig, ServiceConfig,
 };
 use std::thread;
 use std::time::Duration;
@@ -127,4 +130,59 @@ fn main() {
     server.shutdown();
     assert!(Client::connect(addr).is_err());
     println!("drained and closed");
+
+    // ---- The replica tier -------------------------------------------
+    //
+    // Three replicas of the same catalog behind one `ClusterClient`.
+    // A background prober classifies each replica from its HEALTH
+    // frame (ready / degraded / draining / dead); queries round-robin
+    // across the healthiest tier, fail over on transport and
+    // shed/shutdown errors under a shared retry budget, and each
+    // replica sits behind its own circuit breaker.
+    let replicas: Vec<Server> = (0..3)
+        .map(|_| {
+            Server::bind(
+                "127.0.0.1:0",
+                fixtures::paper_catalog(),
+                ServerConfig::default(),
+            )
+            .unwrap()
+        })
+        .collect();
+    let addrs: Vec<_> = replicas.iter().map(Server::local_addr).collect();
+    let cluster = ClusterClient::connect(
+        &addrs,
+        ClusterConfig {
+            probe_interval: Duration::from_millis(10),
+            ..ClusterConfig::default()
+        },
+    )
+    .unwrap();
+    for _ in 0..6 {
+        let r = cluster.query(&fixtures::paper_query()).unwrap();
+        assert_eq!(r.rows.len(), 2);
+    }
+    println!("cluster: 6 queries spread over 3 replicas");
+
+    // Kill one replica outright and drain another: the next probe
+    // round marks them dead/draining, routing skips them, and queries
+    // keep succeeding against the survivor — the client never sees
+    // either event.
+    let mut it = replicas.into_iter();
+    let (a, b, c) = (it.next().unwrap(), it.next().unwrap(), it.next().unwrap());
+    c.abort(); // crash
+    a.begin_drain(); // planned maintenance
+    cluster.probe_now();
+    for _ in 0..4 {
+        let r = cluster.query(&fixtures::paper_query()).unwrap();
+        assert_eq!(r.rows.len(), 2);
+    }
+    println!(
+        "cluster: rode out a crash and a drain; stats: {}",
+        cluster.stats().to_json()
+    );
+
+    cluster.shutdown();
+    a.shutdown();
+    b.shutdown();
 }

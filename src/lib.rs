@@ -33,5 +33,15 @@ pub use fj_runtime::{
 /// shedding, retry with backoff, and graceful drain. See [`fj_net`].
 pub use fj_net;
 pub use fj_net::{
-    Canceller, Client, ErrorCode, NetError, QueryOptions, RetryPolicy, Server, ServerConfig,
+    Canceller, Client, ErrorCode, NetError, QueryOptions, RetryBudget, RetryPolicy, Server,
+    ServerConfig,
+};
+
+/// The replica tier: a cluster client fronting several servers with
+/// health probes, per-replica circuit breakers, failover under a shared
+/// retry budget, and hedged requests. See [`fj_cluster`].
+pub use fj_cluster;
+pub use fj_cluster::{
+    BreakerConfig, CancelToken, CircuitBreaker, ClusterClient, ClusterConfig, ClusterError,
+    ClusterStats, HedgeConfig, ReplicaHealth,
 };
