@@ -1,7 +1,7 @@
 //! Prints every reproduced figure/table as a paper-style text table.
 //!
 //! ```text
-//! reproduce [all|fig1|fig3|table1|fig4|fig5|fig6|complexity|crossover|dist|udf|local|bloom|throughput|soak|chaos|cluster-chaos]
+//! reproduce [all|fig1|fig3|table1|fig4|fig5|fig6|complexity|crossover|dist|udf|local|bloom|throughput|trace-overhead|soak|chaos|cluster-chaos]
 //!           [--small] [--threads N]
 //! ```
 //!
@@ -59,6 +59,7 @@ fn main() {
             "local",
             "bloom",
             "throughput",
+            "trace-overhead",
             "soak",
             "chaos",
             "cluster-chaos",
@@ -113,6 +114,13 @@ fn main() {
                     repro::throughput::run(1_000, 100, threads, 64)
                 } else {
                     repro::throughput::run(5_000, 500, threads, 256)
+                }
+            }
+            "trace-overhead" => {
+                if small {
+                    repro::trace_overhead::run(1_000, 100, 10)
+                } else {
+                    repro::trace_overhead::run(5_000, 500, 25)
                 }
             }
             "soak" => {

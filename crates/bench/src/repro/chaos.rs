@@ -106,11 +106,13 @@ pub fn run(n_emps: usize, n_depts: usize, clients: usize, queries_per_client: us
                         QueryOptions {
                             deadline: Some(Duration::from_millis(1)),
                             config: Some(OptimizerConfig::without_filter_join()),
+                            want_trace: false,
                         }
                     } else if i % 4 == 3 {
                         QueryOptions {
                             deadline: None,
                             config: Some(OptimizerConfig::without_filter_join()),
+                            want_trace: false,
                         }
                     } else {
                         QueryOptions::default()

@@ -176,11 +176,13 @@ fn storm(
                         QueryOptions {
                             deadline: Some(Duration::from_millis(1)),
                             config: Some(OptimizerConfig::without_filter_join()),
+                            want_trace: false,
                         }
                     } else if i % 4 == 3 {
                         QueryOptions {
                             deadline: None,
                             config: Some(OptimizerConfig::without_filter_join()),
+                            want_trace: false,
                         }
                     } else {
                         QueryOptions::default()

@@ -20,8 +20,11 @@ use std::sync::Arc;
 pub struct Point {
     /// Filter-set selectivity.
     pub selectivity: f64,
-    /// Actual rows of the restricted view.
+    /// Actual rows of the restricted view (materialized result).
     pub actual: f64,
+    /// Rows reported by the root of the operator trace of the same
+    /// execution — must always equal `actual`.
+    pub traced: f64,
     /// Straight-line estimate.
     pub fitted: f64,
 }
@@ -33,7 +36,20 @@ pub fn actual_cardinality(
     n_depts: usize,
     selectivity: f64,
 ) -> f64 {
-    let ctx = ExecCtx::new(Arc::clone(catalog));
+    traced_cardinality(catalog, n_depts, selectivity).0
+}
+
+/// Executes the restricted view at `selectivity` with per-operator
+/// tracing attached and returns `(materialized rows, trace-root rows)`.
+/// The pair cross-checks the observability layer against the result it
+/// observes: any disagreement means the tracer is lying.
+pub fn traced_cardinality(
+    catalog: &Arc<fj_core::Catalog>,
+    n_depts: usize,
+    selectivity: f64,
+) -> (f64, f64) {
+    let collector = Arc::new(fj_core::TraceCollector::new());
+    let ctx = ExecCtx::new(Arc::clone(catalog)).with_tracer(Arc::clone(&collector));
     let f_rows = ((n_depts as f64) * selectivity).round() as usize;
     let filter_schema = Schema::from_pairs(&[("k0", DataType::Int)]).into_ref();
     let rows: Vec<Tuple> = (0..f_rows)
@@ -50,7 +66,11 @@ pub fn actual_cardinality(
     .expect("restriction builds");
     let phys = fj_core::exec::lower::lower(&restricted, catalog).expect("lowers");
     let rel = phys.execute(&ctx).expect("runs");
-    rel.rows.len() as f64
+    let traced = collector
+        .finish()
+        .map(|t| t.rows_out() as f64)
+        .unwrap_or(f64::NAN);
+    (rel.rows.len() as f64, traced)
 }
 
 /// Executes the restricted view at `selectivity` and returns the
@@ -101,9 +121,11 @@ pub fn points(n_emps: usize, n_depts: usize, classes: usize) -> (Vec<Point>, Par
     let pts = (0..=10)
         .map(|i| {
             let s = i as f64 / 10.0;
+            let (actual, traced) = traced_cardinality(&catalog, n_depts, s);
             Point {
                 selectivity: s,
-                actual: actual_cardinality(&catalog, n_depts, s),
+                actual,
+                traced,
                 fitted: fit.cardinality(s),
             }
         })
@@ -118,9 +140,16 @@ pub fn run(n_emps: usize, n_depts: usize) -> Report {
         format!(
             "Figure 4: restricted-view cardinality vs filter selectivity ({n_emps} emps / {n_depts} depts, 4 classes)"
         ),
-        &["selectivity", "actual |R'k|", "fitted |R'k|", "rel. error"],
+        &[
+            "selectivity",
+            "actual |R'k|",
+            "traced |R'k|",
+            "fitted |R'k|",
+            "rel. error",
+        ],
     );
     let mut max_err: f64 = 0.0;
+    let mut trace_agrees = true;
     for p in &pts {
         let err = if p.actual > 0.0 {
             (p.fitted - p.actual).abs() / p.actual
@@ -128,18 +157,21 @@ pub fn run(n_emps: usize, n_depts: usize) -> Report {
             (p.fitted - p.actual).abs() / n_depts as f64
         };
         max_err = max_err.max(err);
+        trace_agrees &= p.traced == p.actual;
         r.row(vec![
             format!("{:.1}", p.selectivity),
             Report::num(p.actual),
+            Report::num(p.traced),
             Report::num(p.fitted),
             format!("{:.1}%", err * 100.0),
         ]);
     }
     r.note(format!(
-        "line: rows(s) = {:.1}·s + {:.1}; max relative error {:.1}%",
+        "line: rows(s) = {:.1}·s + {:.1}; max relative error {:.1}%; trace agrees with result: {}",
         fit.card_slope,
         fit.card_intercept,
-        max_err * 100.0
+        max_err * 100.0,
+        if trace_agrees { "yes" } else { "NO" }
     ));
     r
 }
@@ -161,6 +193,19 @@ mod tests {
         // one group per filtered department: exactly 100 and 400.
         assert_eq!(lo, 100.0);
         assert_eq!(hi, 400.0);
+    }
+
+    #[test]
+    fn trace_root_cardinality_matches_materialized_result() {
+        let catalog = Arc::new(emp_dept(EmpDeptConfig {
+            n_emps: 5000,
+            n_depts: 500,
+            ..Default::default()
+        }));
+        for s in [0.0, 0.3, 1.0] {
+            let (actual, traced) = traced_cardinality(&catalog, 500, s);
+            assert_eq!(traced, actual, "trace disagrees at selectivity {s}");
+        }
     }
 
     #[test]

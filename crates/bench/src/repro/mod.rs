@@ -17,4 +17,5 @@ pub mod local_semijoin;
 pub mod soak;
 pub mod table1_components;
 pub mod throughput;
+pub mod trace_overhead;
 pub mod udf;

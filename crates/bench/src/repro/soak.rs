@@ -82,6 +82,7 @@ pub fn run(n_emps: usize, n_depts: usize, clients: usize, queries_per_client: us
                 let deadlined = QueryOptions {
                     deadline: Some(Duration::from_secs(30)),
                     config: None,
+                    want_trace: false,
                 };
                 for i in 0..queries_per_client {
                     let opts = if i % 3 == 0 {

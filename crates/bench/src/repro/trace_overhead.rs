@@ -1,0 +1,121 @@
+//! Trace overhead: the cost of the observability layer itself.
+//!
+//! Tracing promises to be zero-cost when off (`ExecCtx.tracer` is
+//! `None` and the execution path is untouched) and cheap when on (one
+//! `OpStats` frame per plan node, counters bumped per operator, not
+//! per tuple). This experiment measures both modes on the paper's
+//! Figure 1 query and reports the per-query overhead, plus a fidelity
+//! check: the traced runs must return the same number of rows and a
+//! trace whose root cardinality matches.
+
+use crate::report::Report;
+use crate::workloads::{emp_dept, paper_query, EmpDeptConfig};
+use fj_core::Database;
+use std::time::Instant;
+
+/// One measured mode.
+#[derive(Debug, Clone, Copy)]
+pub struct Mode {
+    /// Whether tracing was attached.
+    pub traced: bool,
+    /// Executions measured.
+    pub runs: usize,
+    /// Mean per-query wall time in microseconds.
+    pub mean_micros: f64,
+    /// Rows returned per execution (identical across runs).
+    pub rows: usize,
+}
+
+/// Runs the Figure 1 query `runs` times with and without tracing and
+/// returns the two measured modes, untraced first.
+pub fn measure(n_emps: usize, n_depts: usize, runs: usize) -> (Mode, Mode) {
+    let db = Database::with_catalog(emp_dept(EmpDeptConfig {
+        n_emps,
+        n_depts,
+        ..Default::default()
+    }));
+    let query = paper_query();
+    // Warm both paths once: the first execution pays one-off costs
+    // (view materialization) that would otherwise skew whichever mode
+    // runs first.
+    let warm = db.execute(&query).expect("warm-up runs");
+    db.execute_traced(&query).expect("traced warm-up runs");
+
+    let started = Instant::now();
+    let mut rows = 0;
+    for _ in 0..runs {
+        rows = db.execute(&query).expect("untraced run").rows.len();
+    }
+    let plain = Mode {
+        traced: false,
+        runs,
+        mean_micros: started.elapsed().as_micros() as f64 / runs as f64,
+        rows,
+    };
+
+    let started = Instant::now();
+    let mut traced_rows = 0;
+    for _ in 0..runs {
+        let result = db.execute_traced(&query).expect("traced run");
+        let trace = result.trace.expect("traced run carries a trace");
+        assert_eq!(
+            trace.rows_out() as usize,
+            result.rows.len(),
+            "trace root cardinality must match the result"
+        );
+        traced_rows = result.rows.len();
+    }
+    let traced = Mode {
+        traced: true,
+        runs,
+        mean_micros: started.elapsed().as_micros() as f64 / runs as f64,
+        rows: traced_rows,
+    };
+    assert_eq!(warm.rows.len(), plain.rows);
+    assert_eq!(plain.rows, traced.rows, "tracing must not change results");
+    (plain, traced)
+}
+
+/// The printable report.
+pub fn run(n_emps: usize, n_depts: usize, runs: usize) -> Report {
+    let (plain, traced) = measure(n_emps, n_depts, runs);
+    let mut r = Report::new(
+        format!(
+            "Trace overhead: Figure 1 query, tracing off vs on ({n_emps} emps / {n_depts} depts, {runs} runs)"
+        ),
+        &["mode", "runs", "rows", "mean us/query"],
+    );
+    for m in [&plain, &traced] {
+        r.row(vec![
+            if m.traced { "traced" } else { "untraced" }.to_string(),
+            m.runs.to_string(),
+            m.rows.to_string(),
+            format!("{:.1}", m.mean_micros),
+        ]);
+    }
+    let overhead = if plain.mean_micros > 0.0 {
+        (traced.mean_micros - plain.mean_micros) / plain.mean_micros * 100.0
+    } else {
+        0.0
+    };
+    r.note(format!(
+        "tracing overhead: {overhead:+.1}% mean wall time; identical row counts in both modes"
+    ));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_modes_agree_on_rows_and_the_trace_is_present() {
+        // Tiny instance: this is a correctness check, not a timing one
+        // (wall-clock asserts would flake on shared CI machines).
+        let (plain, traced) = measure(500, 50, 3);
+        assert!(!plain.traced);
+        assert!(traced.traced);
+        assert_eq!(plain.rows, traced.rows);
+        assert!(plain.rows > 0, "the Figure 1 query returns rows");
+    }
+}

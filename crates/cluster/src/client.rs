@@ -331,6 +331,56 @@ fn splitmix64(mut z: u64) -> u64 {
 /// index of the replica that produced it.
 type AttemptOutcome = Result<(QueryReply, Vec<u8>, usize), ClusterError>;
 
+/// How a reply was obtained relative to hedging — part of the
+/// provenance [`TaggedTrace`] records next to an operator trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HedgeOutcome {
+    /// No hedge attempt was launched for this query.
+    NotHedged,
+    /// A hedge was launched but the primary attempt answered first.
+    Primary,
+    /// The hedge attempt answered first.
+    Hedge,
+}
+
+impl HedgeOutcome {
+    /// Lower-case name, for JSON/state dumps.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            HedgeOutcome::NotHedged => "not_hedged",
+            HedgeOutcome::Primary => "primary",
+            HedgeOutcome::Hedge => "hedge",
+        }
+    }
+}
+
+/// An operator trace tagged with its cluster provenance: which replica
+/// executed the query and how the reply won (hedged or not). This is
+/// what distinguishes "this plan was slow" from "this replica was
+/// slow" when reading traces fleet-wide.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaggedTrace {
+    /// The replica that executed the traced query.
+    pub replica: SocketAddr,
+    /// Whether the reply came from a hedge attempt.
+    pub hedge: HedgeOutcome,
+    /// The per-operator execution trace from that replica.
+    pub trace: fj_net::QueryTrace,
+}
+
+impl TaggedTrace {
+    /// One-line JSON: provenance keys first, then the trace under
+    /// `trace` (the stable [`fj_net::QueryTrace::to_json`] encoding).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"replica\":\"{}\",\"hedge\":\"{}\",\"trace\":{}}}",
+            self.replica,
+            self.hedge.as_str(),
+            self.trace.to_json()
+        )
+    }
+}
+
 /// A replica-aware client for a fleet of `fj-net` servers.
 pub struct ClusterClient {
     shared: Arc<Shared>,
@@ -410,12 +460,62 @@ impl ClusterClient {
         opts: &QueryOptions,
         token: &Arc<CancelToken>,
     ) -> Result<QueryReply, ClusterError> {
+        self.query_full(query, opts, token)
+            .map(|(reply, _, _)| reply)
+    }
+
+    /// Executes `query` with tracing forced on and returns the reply
+    /// plus its [`TaggedTrace`]: the operator trace from whichever
+    /// replica served the query, tagged with that replica's address
+    /// and the hedge outcome.
+    pub fn query_traced(
+        &self,
+        query: &JoinQuery,
+    ) -> Result<(QueryReply, TaggedTrace), ClusterError> {
+        self.query_traced_with(query, &QueryOptions::default())
+    }
+
+    /// [`ClusterClient::query_traced`] with per-request options (the
+    /// trace flag is forced on regardless of `opts.want_trace`).
+    pub fn query_traced_with(
+        &self,
+        query: &JoinQuery,
+        opts: &QueryOptions,
+    ) -> Result<(QueryReply, TaggedTrace), ClusterError> {
+        let mut opts = opts.clone();
+        opts.want_trace = true;
+        let (reply, idx, hedge) = self.query_full(query, &opts, &Arc::new(CancelToken::new()))?;
+        let trace = match reply.trace.clone() {
+            Some(t) => t,
+            None => {
+                return Err(ClusterError::Net(NetError::Protocol(
+                    "traced reply carried no trace",
+                )))
+            }
+        };
+        let tagged = TaggedTrace {
+            replica: self.shared.replicas[idx].addr,
+            hedge,
+            trace,
+        };
+        Ok((reply, tagged))
+    }
+
+    /// The shared query core: routes (hedged or not) and keeps the
+    /// provenance — winning replica index and hedge outcome — that
+    /// [`ClusterClient::query_traced`] needs and plain queries drop.
+    fn query_full(
+        &self,
+        query: &JoinQuery,
+        opts: &QueryOptions,
+        token: &Arc<CancelToken>,
+    ) -> Result<(QueryReply, usize, HedgeOutcome), ClusterError> {
         self.shared.counters.queries.fetch_add(1, Ordering::Relaxed);
         let started = Instant::now();
         let result = match self.hedge_delay() {
             Some(delay) => self.hedged_query(query, opts, token, delay),
             None => failover_query(&self.shared, query, opts, token, None, None)
-                .map(|(reply, _, _)| reply),
+                .map(|(reply, _, idx)| (reply, idx, HedgeOutcome::NotHedged)),
         };
         if result.is_ok() {
             self.shared.latency.record(started.elapsed(), true);
@@ -448,7 +548,7 @@ impl ClusterClient {
         opts: &QueryOptions,
         token: &Arc<CancelToken>,
         delay: Duration,
-    ) -> Result<QueryReply, ClusterError> {
+    ) -> Result<(QueryReply, usize, HedgeOutcome), ClusterError> {
         let (tx, rx) = mpsc::channel();
         // Which replica the primary attempt is on (index + 1; 0 = not
         // yet chosen), so the hedge can avoid doubling onto it.
@@ -520,7 +620,9 @@ impl ClusterClient {
                 unreachable!("primary attempt thread dropped its channel without sending")
             }
         };
-        first.1.map(|(reply, _, _)| reply)
+        first
+            .1
+            .map(|(reply, _, idx)| (reply, idx, HedgeOutcome::NotHedged))
     }
 
     /// Resolves a hedge race: verify the loser against the winner
@@ -532,7 +634,7 @@ impl ClusterClient {
         rx: mpsc::Receiver<(bool, AttemptOutcome)>,
         primary_token: &Arc<CancelToken>,
         hedge_token: &Arc<CancelToken>,
-    ) -> Result<QueryReply, ClusterError> {
+    ) -> Result<(QueryReply, usize, HedgeOutcome), ClusterError> {
         let loser_token = if winner_is_hedge {
             primary_token
         } else {
@@ -544,7 +646,14 @@ impl ClusterClient {
                 // The first finisher failed; the race is now just the
                 // other attempt. Wait it out.
                 return match rx.recv() {
-                    Ok((_, Ok((reply, _, _)))) => Ok(reply),
+                    Ok((late_is_hedge, Ok((reply, _, idx)))) => {
+                        let outcome = if late_is_hedge {
+                            HedgeOutcome::Hedge
+                        } else {
+                            HedgeOutcome::Primary
+                        };
+                        Ok((reply, idx, outcome))
+                    }
                     Ok((_, Err(other))) => Err(pick_hedge_error(e, other)),
                     Err(_) => Err(e),
                 };
@@ -571,7 +680,12 @@ impl ClusterClient {
         } else {
             loser_token.cancel();
         }
-        Ok(reply)
+        let outcome = if winner_is_hedge {
+            HedgeOutcome::Hedge
+        } else {
+            HedgeOutcome::Primary
+        };
+        Ok((reply, winner_idx, outcome))
     }
 
     /// Counter snapshot plus per-replica status.

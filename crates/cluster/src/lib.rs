@@ -46,7 +46,8 @@ pub mod config;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use client::{
-    CancelToken, ClusterClient, ClusterError, ClusterStats, ReplicaHealth, ReplicaStatus,
+    CancelToken, ClusterClient, ClusterError, ClusterStats, HedgeOutcome, ReplicaHealth,
+    ReplicaStatus, TaggedTrace,
 };
 pub use config::{ClusterConfig, ClusterConfigError, HedgeConfig};
 pub use fj_net::RetryBudget;

@@ -487,3 +487,32 @@ fn wait_for_timeout_bounded_probe_convergence() {
         s.shutdown();
     }
 }
+
+#[test]
+fn traced_cluster_query_tags_replica_and_hedge_outcome() {
+    let (servers, addrs) = fleet(3, ServerConfig::default());
+    let cluster = ClusterClient::connect(&addrs, quick_config()).unwrap();
+
+    let (reply, tagged) = cluster.query_traced(&paper_query()).unwrap();
+    assert_eq!(tagged.trace.rows_out() as usize, reply.rows.len());
+    assert!(
+        addrs.contains(&tagged.replica),
+        "trace tagged with an unknown replica: {}",
+        tagged.replica
+    );
+    assert_eq!(tagged.hedge, fj_cluster::HedgeOutcome::NotHedged);
+    let json = tagged.to_json();
+    assert!(json.starts_with("{\"replica\":\""));
+    assert!(json.contains("\"hedge\":\"not_hedged\""));
+    assert!(json.contains("\"trace\":{\"total_wall_micros\":"));
+
+    // Plain queries on the same cluster stay trace-free.
+    let plain = cluster.query(&paper_query()).unwrap();
+    assert!(plain.trace.is_none());
+    assert_eq!(sorted(plain.rows), sorted(reply.rows));
+
+    cluster.shutdown();
+    for s in servers {
+        s.shutdown();
+    }
+}

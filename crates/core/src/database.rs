@@ -4,7 +4,13 @@ use fj_algebra::{Catalog, JoinQuery, LogicalPlan, NetworkModel, Sips, UdfRelatio
 use fj_exec::{lower, ExecCtx, PhysPlan};
 use fj_optimizer::{FilterJoinCost, OptError, Optimizer, OptimizerConfig};
 use fj_storage::{LedgerSnapshot, SchemaRef, Table, Tuple};
+use fj_trace::{QueryTrace, TraceCollector};
 use std::sync::Arc;
+
+/// Default misestimate ratio for [`Database::explain_analyze`]: a node
+/// is flagged when estimated and actual cardinality differ by more than
+/// this factor in either direction.
+pub const DEFAULT_MISESTIMATE_RATIO: f64 = 4.0;
 
 /// A fully evaluated query with its plan and measured charges.
 #[derive(Debug, Clone)]
@@ -37,6 +43,11 @@ pub struct QueryResult {
     /// measured (the query service fills this in; direct `Database`
     /// calls leave it 0).
     pub latency_micros: u64,
+    /// Per-operator execution trace, present only when the query ran
+    /// through a traced entry point (`execute_traced*`) or a service
+    /// configured to collect traces. `None` means tracing was off and
+    /// execution took the zero-overhead path.
+    pub trace: Option<QueryTrace>,
 }
 
 /// The engine facade: catalog + optimizer + executor.
@@ -151,9 +162,38 @@ impl Database {
         query: &JoinQuery,
         config: OptimizerConfig,
     ) -> Result<QueryResult, OptError> {
+        self.execute_inner(query, config, false)
+    }
+
+    /// Like [`Database::execute`], but records a per-operator
+    /// [`QueryTrace`] into the result's `trace` field.
+    pub fn execute_traced(&self, query: &JoinQuery) -> Result<QueryResult, OptError> {
+        self.execute_inner(query, self.config, true)
+    }
+
+    /// Like [`Database::execute_with_config`], but records a
+    /// per-operator [`QueryTrace`] into the result's `trace` field.
+    pub fn execute_traced_with_config(
+        &self,
+        query: &JoinQuery,
+        config: OptimizerConfig,
+    ) -> Result<QueryResult, OptError> {
+        self.execute_inner(query, config, true)
+    }
+
+    fn execute_inner(
+        &self,
+        query: &JoinQuery,
+        config: OptimizerConfig,
+        traced: bool,
+    ) -> Result<QueryResult, OptError> {
         let optimizer = Optimizer::new(Arc::new(self.catalog.clone()), config);
         let plan = optimizer.optimize(query)?;
-        let ctx = self.exec_ctx();
+        let mut ctx = self.exec_ctx();
+        let collector = traced.then(|| Arc::new(TraceCollector::new()));
+        if let Some(c) = &collector {
+            ctx = ctx.with_tracer(Arc::clone(c));
+        }
         let before = ctx.ledger.snapshot();
         let rel = plan.phys.execute(&ctx)?;
         let charges = ctx.ledger.snapshot().delta(&before);
@@ -169,6 +209,7 @@ impl Database {
             filter_join_costs: plan.filter_join_costs,
             cache_hit: false,
             latency_micros: 0,
+            trace: collector.and_then(|c| c.finish()),
         })
     }
 
@@ -198,6 +239,7 @@ impl Database {
             filter_join_costs: Vec::new(),
             cache_hit: false,
             latency_micros: 0,
+            trace: None,
         })
     }
 
@@ -220,6 +262,33 @@ impl Database {
     pub fn explain(&self, query: &JoinQuery) -> Result<String, OptError> {
         let plan = self.optimize(query)?;
         Ok(crate::explain::render(&plan))
+    }
+
+    /// EXPLAIN ANALYZE: optimizes, executes with tracing on, and
+    /// renders the plan with *estimated vs actual* cardinality and cost
+    /// per operator. Nodes whose estimate and actual differ by more
+    /// than [`DEFAULT_MISESTIMATE_RATIO`]× are flagged.
+    pub fn explain_analyze(&self, query: &JoinQuery) -> Result<String, OptError> {
+        self.explain_analyze_with_ratio(query, DEFAULT_MISESTIMATE_RATIO)
+    }
+
+    /// [`Database::explain_analyze`] with a caller-chosen misestimate
+    /// ratio. `ratio` is clamped to at least 1.0 (a ratio of 1 flags
+    /// every node whose estimate is not exactly the actual).
+    pub fn explain_analyze_with_ratio(
+        &self,
+        query: &JoinQuery,
+        ratio: f64,
+    ) -> Result<String, OptError> {
+        let plan = self.optimize(query)?;
+        let est = fj_optimizer::estimate_phys_plan(&self.catalog, self.config.params, &plan.phys);
+        let collector = Arc::new(TraceCollector::new());
+        let ctx = self.exec_ctx().with_tracer(Arc::clone(&collector));
+        plan.phys.execute(&ctx)?;
+        let trace = collector
+            .finish()
+            .ok_or_else(|| OptError::NoPlan("trace collection did not complete".into()))?;
+        Ok(crate::explain::render_analyze(&plan, &est, &trace, ratio))
     }
 }
 
@@ -278,6 +347,64 @@ mod tests {
         let s = db().explain(&paper_query()).unwrap();
         assert!(s.contains("estimated cost"));
         assert!(s.contains("join order"));
+    }
+
+    #[test]
+    fn untraced_execution_carries_no_trace() {
+        let r = db().execute(&paper_query()).unwrap();
+        assert!(r.trace.is_none());
+    }
+
+    #[test]
+    fn traced_execution_mirrors_result() {
+        let d = db();
+        let plain = d.execute(&paper_query()).unwrap();
+        let traced = d.execute_traced(&paper_query()).unwrap();
+        assert_eq!(sorted(plain.rows), sorted(traced.rows.clone()));
+        let trace = traced.trace.expect("traced run records a trace");
+        assert_eq!(trace.rows_out(), traced.rows.len() as u64);
+        assert!(trace.node_count() >= 3, "plan has at least scan+join nodes");
+        assert!(
+            trace.root.stats.interrupt_polls > 0,
+            "root accounts for at least one interrupt poll"
+        );
+    }
+
+    #[test]
+    fn traced_execution_matches_the_naive_oracle() {
+        let d = db();
+        let q = paper_query();
+        let oracle = d.run_logical(&q.to_plan()).unwrap();
+        let traced = d.execute_traced(&q).unwrap();
+        assert_eq!(
+            traced.trace.unwrap().rows_out(),
+            oracle.rows.len() as u64,
+            "trace root row count agrees with the logical oracle"
+        );
+    }
+
+    #[test]
+    fn explain_analyze_prints_estimated_vs_actual() {
+        let d = db();
+        let s = d.explain_analyze(&paper_query()).unwrap();
+        let actual = d.run_logical(&paper_query().to_plan()).unwrap().rows.len();
+        assert!(s.contains("operators (estimated vs actual)"));
+        assert!(s.contains("est "), "per-node estimates rendered");
+        assert!(
+            s.contains(&format!("actual rows:    {actual}")),
+            "top-line actual equals the oracle count:\n{s}"
+        );
+    }
+
+    #[test]
+    fn explain_analyze_ratio_one_flags_any_mismatch() {
+        // With ratio clamped to 1.0, any node whose estimate is not
+        // byte-exact gets flagged; the paper plan always has at least
+        // one fractional estimate against an integral actual.
+        let s = db()
+            .explain_analyze_with_ratio(&paper_query(), 0.0)
+            .unwrap();
+        assert!(s.contains("operators (estimated vs actual)"));
     }
 
     #[test]

@@ -21,7 +21,7 @@
 pub mod database;
 pub mod explain;
 
-pub use database::{Database, QueryResult};
+pub use database::{Database, QueryResult, DEFAULT_MISESTIMATE_RATIO};
 
 // Re-export the full stack so downstream users need only one
 // dependency.
@@ -41,5 +41,7 @@ pub use fj_storage as storage;
 pub use fj_storage::{
     BloomFilter, CostLedger, DataType, LedgerSnapshot, Schema, Table, TableBuilder, Tuple, Value,
 };
+pub use fj_trace as trace;
+pub use fj_trace::{OpStats, QueryTrace, TraceCollector, TraceNode, TraceRing, TracedQuery};
 pub use fj_udf as udf;
 pub use fj_udf::{CountingUdf, MemoUdf, TableFunction};

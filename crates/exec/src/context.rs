@@ -5,6 +5,7 @@ use crate::error::ExecError;
 use crate::interrupt::{Interrupt, InterruptReason};
 use fj_algebra::Catalog;
 use fj_storage::{BloomFilter, CostLedger, FaultPlan, PageLayout, SchemaRef, Tuple};
+use fj_trace::TraceCollector;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -64,6 +65,11 @@ pub struct ExecCtx {
     /// Optional seeded fault plan threaded down to the paged-heap
     /// access paths (`Table::scan_checked` / `fetch_checked`).
     pub faults: Option<Arc<FaultPlan>>,
+    /// Per-query trace collector. `None` (the default) keeps tracing
+    /// zero-cost: [`PhysPlan::execute`](crate::PhysPlan::execute) takes
+    /// its untraced fast path and `check_interrupt` skips the poll
+    /// counter.
+    pub(crate) tracer: Option<Arc<TraceCollector>>,
     /// Governor: maximum rows any execution may emit, summed across
     /// all plan nodes (`u64::MAX` = unlimited).
     row_budget: u64,
@@ -86,6 +92,7 @@ impl ExecCtx {
             threads: 1,
             interrupt: Interrupt::new(),
             faults: None,
+            tracer: None,
             row_budget: u64::MAX,
             memory_budget_pages: u64::MAX,
             rows_emitted: Arc::new(AtomicU64::new(0)),
@@ -120,6 +127,18 @@ impl ExecCtx {
         self
     }
 
+    /// Attaches a per-query trace collector: every plan node then
+    /// records an `OpStats` entry, and interrupt polls are counted.
+    pub fn with_tracer(mut self, tracer: Arc<TraceCollector>) -> ExecCtx {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// The attached trace collector, when tracing is on.
+    pub fn tracer(&self) -> Option<&Arc<TraceCollector>> {
+        self.tracer.as_ref()
+    }
+
     /// Caps the total rows the query may emit across all plan nodes.
     pub fn with_row_budget(mut self, rows: u64) -> ExecCtx {
         self.row_budget = rows;
@@ -138,6 +157,9 @@ impl ExecCtx {
     /// [`crate::INTERRUPT_CHECK_INTERVAL`] tuples inside hot loops.
     #[inline]
     pub fn check_interrupt(&self) -> Result<(), ExecError> {
+        if let Some(t) = &self.tracer {
+            t.note_poll();
+        }
         match self.interrupt.tripped() {
             None => Ok(()),
             Some(reason) => Err(ExecError::Interrupted(reason)),

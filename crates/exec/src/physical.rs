@@ -265,10 +265,153 @@ impl PhysPlan {
     /// [`crate::InterruptReason::RowLimit`] within one node of
     /// appearing.
     pub fn execute(&self, ctx: &ExecCtx) -> Result<Rel, ExecError> {
-        ctx.check_interrupt()?;
-        let rel = self.execute_node(ctx)?;
-        ctx.charge_output_rows(rel.rows.len() as u64)?;
-        Ok(rel)
+        let Some(tracer) = ctx.tracer() else {
+            // Tracing off: the zero-cost fast path — no label
+            // formatting, no ledger snapshots, no clock reads.
+            ctx.check_interrupt()?;
+            let rel = self.execute_node(ctx)?;
+            ctx.charge_output_rows(rel.rows.len() as u64)?;
+            return Ok(rel);
+        };
+        let tracer = Arc::clone(tracer);
+        let pages_before = ctx.ledger.snapshot().page_reads;
+        tracer.enter(self.node_label());
+        // Everything between enter and exit — the entry poll included —
+        // is attributed to this node's subtree; exit runs on the error
+        // path too, keeping the collector's stack balanced.
+        let result = ctx.check_interrupt().and_then(|()| {
+            let rel = self.execute_node(ctx)?;
+            ctx.charge_output_rows(rel.rows.len() as u64)?;
+            Ok(rel)
+        });
+        let subtree_pages = ctx
+            .ledger
+            .snapshot()
+            .page_reads
+            .saturating_sub(pages_before);
+        let rows_out = result.as_ref().map(|r| r.rows.len() as u64).unwrap_or(0);
+        tracer.exit(rows_out, subtree_pages);
+        result
+    }
+
+    /// The node's one-line EXPLAIN label — the same text
+    /// [`PhysPlan::display`] prints for it, and the `op` field of its
+    /// trace node.
+    pub fn node_label(&self) -> String {
+        match self {
+            PhysPlan::SeqScan { table, alias } => format!("SeqScan {table} AS {alias}"),
+            PhysPlan::IndexOrderedScan { table, alias, col } => {
+                format!("IndexOrderedScan {table} AS {alias} (sorted by {col})")
+            }
+            PhysPlan::TempScan { name, alias } => format!("TempScan {name} AS {alias}"),
+            PhysPlan::Values { rows, .. } => format!("Values ({} rows)", rows.len()),
+            PhysPlan::UdfFullScan { udf, alias } => format!("UdfFullScan {udf} AS {alias}"),
+            PhysPlan::UdfProbe {
+                udf,
+                alias,
+                arg_cols,
+                ..
+            } => format!("UdfProbe {udf} AS {alias} args=({})", arg_cols.join(", ")),
+            PhysPlan::Filter { predicate, .. } => format!("Filter {predicate}"),
+            PhysPlan::Project { exprs, .. } => {
+                let list = exprs
+                    .iter()
+                    .map(|(e, n)| format!("{e} AS {n}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!("Project {list}")
+            }
+            PhysPlan::Sort { keys, .. } => format!("Sort by [{}]", keys.join(", ")),
+            PhysPlan::Distinct { .. } => "Distinct".to_string(),
+            PhysPlan::HashAggregate { group_by, aggs, .. } => {
+                let aggs_s = aggs
+                    .iter()
+                    .map(|a| a.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!(
+                    "HashAggregate group by [{}] compute [{aggs_s}]",
+                    group_by.join(", ")
+                )
+            }
+            PhysPlan::NestedLoops {
+                predicate, kind, ..
+            } => {
+                let k = if *kind == JoinKind::Semi { "Semi" } else { "" };
+                match predicate {
+                    Some(p) => format!("{k}NestedLoopsJoin on {p}"),
+                    None => format!("{k}NestedLoopsJoin (cross)"),
+                }
+            }
+            PhysPlan::IndexNestedLoops {
+                table,
+                alias,
+                outer_key,
+                inner_col,
+                ..
+            } => format!(
+                "IndexNestedLoopsJoin {table} AS {alias} on {outer_key} = {alias}.{inner_col}"
+            ),
+            PhysPlan::HashJoin { keys, kind, .. } => {
+                let k = if *kind == JoinKind::Semi { "Semi" } else { "" };
+                let keys_s = keys
+                    .iter()
+                    .map(|(a, b)| format!("{a} = {b}"))
+                    .collect::<Vec<_>>()
+                    .join(" AND ");
+                format!("{k}HashJoin on {keys_s}")
+            }
+            PhysPlan::MergeJoin { keys, .. } => {
+                let keys_s = keys
+                    .iter()
+                    .map(|(a, b)| format!("{a} = {b}"))
+                    .collect::<Vec<_>>()
+                    .join(" AND ");
+                format!("MergeJoin on {keys_s}")
+            }
+            PhysPlan::BloomProbe {
+                bloom, key_cols, ..
+            } => format!("BloomProbe {bloom} on [{}]", key_cols.join(", ")),
+            PhysPlan::Ship { from, to, .. } => format!("Ship {from} -> {to}"),
+            PhysPlan::WithTemp { .. } => "WithTemp".to_string(),
+        }
+    }
+
+    /// The node's child plans **in execution order** — the order their
+    /// trace nodes appear as children: single-input operators list
+    /// their input; joins list outer then inner; `WithTemp` lists each
+    /// step's plan, then the body. Leaves return an empty list.
+    pub fn children(&self) -> Vec<&PhysPlan> {
+        match self {
+            PhysPlan::SeqScan { .. }
+            | PhysPlan::IndexOrderedScan { .. }
+            | PhysPlan::TempScan { .. }
+            | PhysPlan::Values { .. }
+            | PhysPlan::UdfFullScan { .. } => Vec::new(),
+            PhysPlan::UdfProbe { outer, .. } => vec![outer],
+            PhysPlan::Filter { input, .. }
+            | PhysPlan::Project { input, .. }
+            | PhysPlan::Sort { input, .. }
+            | PhysPlan::Distinct { input }
+            | PhysPlan::HashAggregate { input, .. }
+            | PhysPlan::BloomProbe { input, .. }
+            | PhysPlan::Ship { input, .. } => vec![input],
+            PhysPlan::IndexNestedLoops { outer, .. } => vec![outer],
+            PhysPlan::NestedLoops { outer, inner, .. }
+            | PhysPlan::HashJoin { outer, inner, .. }
+            | PhysPlan::MergeJoin { outer, inner, .. } => vec![outer, inner],
+            PhysPlan::WithTemp { steps, body } => {
+                let mut out: Vec<&PhysPlan> = steps
+                    .iter()
+                    .map(|s| match s {
+                        TempStep::Materialize { plan, .. } => plan,
+                        TempStep::BuildBloom { plan, .. } => plan,
+                    })
+                    .collect();
+                out.push(body);
+                out
+            }
+        }
     }
 
     fn execute_node(&self, ctx: &ExecCtx) -> Result<Rel, ExecError> {

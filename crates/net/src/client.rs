@@ -117,6 +117,10 @@ pub struct QueryOptions {
     pub deadline: Option<Duration>,
     /// Optimizer-config override for this request only.
     pub config: Option<OptimizerConfig>,
+    /// Request per-operator tracing: the server executes with tracing
+    /// on and follows the RESULT frame with a TRACE_REPLY frame, which
+    /// lands in [`QueryReply::trace`].
+    pub want_trace: bool,
 }
 
 /// Bounded-retry policy: exponential backoff with decorrelated jitter
@@ -353,6 +357,7 @@ impl Client {
             .unwrap_or(0);
         let request = QueryRequest {
             deadline_millis,
+            want_trace: opts.want_trace,
             config: opts.config,
             query: query.clone(),
         };
@@ -365,7 +370,20 @@ impl Client {
         let frame = self.recv()?;
         match frame.0 {
             FrameType::Result => {
-                let reply = codec::decode_reply(&frame.1)?;
+                let mut reply = codec::decode_reply(&frame.1)?;
+                if opts.want_trace {
+                    // The trace travels in its own frame right behind
+                    // the RESULT, keeping the result bytes themselves
+                    // replica-comparable.
+                    let trace_frame = self.recv()?;
+                    match trace_frame.0 {
+                        FrameType::TraceReply => {
+                            reply.trace = Some(codec::decode_trace_reply(&trace_frame.1)?);
+                        }
+                        FrameType::Error => return Err(self.remote_error(&trace_frame.1)),
+                        _ => return Err(NetError::Protocol("expected TRACE_REPLY or ERROR frame")),
+                    }
+                }
                 Ok((reply, frame.1))
             }
             FrameType::Error => Err(self.remote_error(&frame.1)),

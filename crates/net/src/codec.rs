@@ -522,6 +522,9 @@ pub struct QueryRequest {
     /// Wall-clock budget in milliseconds measured from server receipt;
     /// 0 = no deadline.
     pub deadline_millis: u64,
+    /// Whether the server should execute with per-operator tracing on
+    /// and follow the RESULT frame with a TRACE_REPLY frame.
+    pub want_trace: bool,
     /// Per-request optimizer override (`None` = the server's default).
     pub config: Option<OptimizerConfig>,
     /// The query itself.
@@ -532,6 +535,7 @@ pub struct QueryRequest {
 pub fn encode_request(req: &QueryRequest) -> Result<Vec<u8>, CodecError> {
     let mut w = Writer::new();
     w.u64(req.deadline_millis);
+    w.bool(req.want_trace);
     match &req.config {
         None => w.u8(0),
         Some(c) => {
@@ -547,6 +551,7 @@ pub fn encode_request(req: &QueryRequest) -> Result<Vec<u8>, CodecError> {
 pub fn decode_request(payload: &[u8]) -> Result<QueryRequest, CodecError> {
     let mut r = Reader::new(payload);
     let deadline_millis = r.u64()?;
+    let want_trace = r.bool()?;
     let config = match r.u8()? {
         0 => None,
         1 => Some(decode_config(&mut r)?),
@@ -561,6 +566,7 @@ pub fn decode_request(payload: &[u8]) -> Result<QueryRequest, CodecError> {
     r.finish()?;
     Ok(QueryRequest {
         deadline_millis,
+        want_trace,
         config,
         query,
     })
@@ -584,6 +590,11 @@ pub struct QueryReply {
     pub cache_hit: bool,
     /// Server-side optimize+execute latency in microseconds.
     pub latency_micros: u64,
+    /// Per-operator execution trace. Never part of the RESULT payload
+    /// (which stays byte-comparable across replicas); the client fills
+    /// this in from the separate TRACE_REPLY frame when it requested
+    /// one.
+    pub trace: Option<fj_trace::QueryTrace>,
 }
 
 fn datatype_to_u8(t: DataType) -> u8 {
@@ -711,6 +722,7 @@ pub fn decode_reply(payload: &[u8]) -> Result<QueryReply, CodecError> {
         estimated_cost,
         cache_hit,
         latency_micros,
+        trace: None,
     })
 }
 
@@ -1020,6 +1032,28 @@ fn parse_flat_json(json: &str) -> Result<Vec<(String, JsonValue)>, CodecError> {
         return Err(CodecError::TrailingBytes(bytes.len() - pos));
     }
     Ok(fields)
+}
+
+// ------------------------------------------------------------------ traces
+
+/// Encodes a TRACE_REPLY payload (the trace's JSON as one string).
+pub fn encode_trace_reply(trace: &fj_trace::QueryTrace) -> Result<Vec<u8>, CodecError> {
+    let mut w = Writer::new();
+    w.string(&trace.to_json())?;
+    Ok(w.into_bytes())
+}
+
+/// Decodes a TRACE_REPLY payload (consuming it fully). The embedded
+/// JSON goes through [`fj_trace::QueryTrace::from_json`], which is
+/// strict and total like the HEALTH parser: truncations, duplicate or
+/// unknown keys, depth bombs, and malformed numbers are all typed
+/// errors, never panics.
+pub fn decode_trace_reply(payload: &[u8]) -> Result<fj_trace::QueryTrace, CodecError> {
+    let mut r = Reader::new(payload);
+    let json = r.string()?;
+    r.finish()?;
+    fj_trace::QueryTrace::from_json(&json)
+        .map_err(|e| CodecError::Invalid(format!("trace json: {e}")))
 }
 
 /// Encodes a HEALTH_REPLY payload (the snapshot's JSON as one string).

@@ -40,5 +40,6 @@ pub mod wire;
 
 pub use client::{Canceller, Client, NetError, QueryOptions, RetryBudget, RetryPolicy};
 pub use codec::{CodecError, HealthSnapshot, HealthStatus, QueryReply, QueryRequest};
+pub use fj_trace::QueryTrace;
 pub use server::{Server, ServerConfig, ServerStats};
 pub use wire::{ErrorCode, FrameType, WireError, VERSION};

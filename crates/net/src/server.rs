@@ -564,6 +564,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared, over_cap: bool) {
             FrameType::Result
             | FrameType::StatsReply
             | FrameType::HealthReply
+            | FrameType::TraceReply
             | FrameType::Error => {
                 send_error(
                     &mut stream,
@@ -608,7 +609,11 @@ fn handle_query(
         return send_error(stream, shared, ErrorCode::ShuttingDown, "server draining");
     }
 
-    let ticket = match shared.service.try_submit_with_config(request.query, config) {
+    let want_trace = request.want_trace;
+    let ticket = match shared
+        .service
+        .try_submit_with_options(request.query, config, want_trace)
+    {
         Ok(t) => t,
         Err(RuntimeError::QueueFull) => {
             return send_error(
@@ -708,7 +713,24 @@ fn handle_query(
         Ok(result) => match codec::encode_reply(&result) {
             Ok(payload) => {
                 shared.counters.results.fetch_add(1, Ordering::Relaxed);
-                send_frame(stream, shared, FrameType::Result, &payload)
+                if !send_frame(stream, shared, FrameType::Result, &payload) {
+                    return false;
+                }
+                // The trace rides in its own frame after the RESULT so
+                // the result encoding stays byte-comparable across
+                // replicas whether or not tracing was requested.
+                match (want_trace, &result.trace) {
+                    (true, Some(trace)) => match codec::encode_trace_reply(trace) {
+                        Ok(tp) => send_frame(stream, shared, FrameType::TraceReply, &tp),
+                        Err(e) => send_error(stream, shared, ErrorCode::Internal, &e.to_string()),
+                    },
+                    // A client that asked for a trace is waiting on a
+                    // second frame; never leave it hanging.
+                    (true, None) => {
+                        send_error(stream, shared, ErrorCode::Internal, "trace unavailable")
+                    }
+                    (false, _) => true,
+                }
             }
             Err(e) => send_error(stream, shared, ErrorCode::Internal, &e.to_string()),
         },

@@ -58,6 +58,13 @@ pub enum FrameType {
     /// Server → client: health reply (payload: one JSON object — see
     /// [`crate::codec::HealthSnapshot`]).
     HealthReply = 0x83,
+    /// Server → client: the per-operator execution trace of the query
+    /// just answered with [`FrameType::Result`] (payload: one JSON
+    /// object — see [`fj_trace::QueryTrace`]). Sent only when the
+    /// request set its trace flag, always immediately after the RESULT
+    /// frame, so the reply encoding itself stays byte-comparable
+    /// across replicas.
+    TraceReply = 0x84,
     /// Server → client: typed error (payload: code + message).
     Error = 0x7F,
 }
@@ -73,6 +80,7 @@ impl FrameType {
             0x81 => Some(FrameType::Result),
             0x82 => Some(FrameType::StatsReply),
             0x83 => Some(FrameType::HealthReply),
+            0x84 => Some(FrameType::TraceReply),
             0x7F => Some(FrameType::Error),
             _ => None,
         }

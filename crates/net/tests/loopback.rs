@@ -122,6 +122,7 @@ fn per_request_config_override_changes_the_plan_not_the_rows() {
             &QueryOptions {
                 deadline: None,
                 config: Some(OptimizerConfig::without_filter_join()),
+                want_trace: false,
             },
         )
         .unwrap();
@@ -230,6 +231,7 @@ fn deadline_expiry_surfaces_without_poisoning_the_connection() {
             &QueryOptions {
                 deadline: Some(Duration::from_millis(1)),
                 config: None,
+                want_trace: false,
             },
         )
         .unwrap_err();
@@ -721,5 +723,41 @@ fn stats_request_returns_merged_json() {
     ] {
         assert!(json.contains(key), "stats JSON missing {key}: {json}");
     }
+    server.shutdown();
+}
+
+#[test]
+fn traced_query_carries_the_operator_trace_over_the_wire() {
+    let server = Server::bind("127.0.0.1:0", paper_catalog(), ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // An untraced query first: no TRACE_REPLY frame rides behind the
+    // RESULT, so the connection must stay in sync for what follows.
+    let plain = client.query(&paper_query()).unwrap();
+    assert!(plain.trace.is_none());
+
+    let traced = client
+        .query_with(
+            &paper_query(),
+            &QueryOptions {
+                deadline: None,
+                config: None,
+                want_trace: true,
+            },
+        )
+        .unwrap();
+    assert_eq!(sorted(plain.rows), sorted(traced.rows.clone()));
+    let trace = traced.trace.expect("traced query must carry a trace");
+    assert_eq!(trace.rows_out() as usize, traced.rows.len());
+    assert!(
+        trace.node_count() >= 3,
+        "a three-relation join plan has at least three operators, got {}",
+        trace.node_count()
+    );
+
+    // The connection is still healthy after the extra frame.
+    let again = client.query(&paper_query()).unwrap();
+    assert!(again.trace.is_none());
+    assert_eq!(sorted(again.rows), sorted(traced.rows));
     server.shutdown();
 }

@@ -7,9 +7,10 @@
 use fj_algebra::{FromItem, JoinQuery, NetworkModel};
 use fj_expr::{col, lit, Expr};
 use fj_net::codec::{
-    decode_expr, decode_health_reply, decode_reply, decode_request, decode_value, encode_expr,
-    encode_health_reply, encode_reply_parts, encode_request, encode_value, CodecError,
-    HealthSnapshot, HealthStatus, QueryRequest, Reader, Writer, MAX_EXPR_DEPTH,
+    decode_expr, decode_health_reply, decode_reply, decode_request, decode_trace_reply,
+    decode_value, encode_expr, encode_health_reply, encode_reply_parts, encode_request,
+    encode_trace_reply, encode_value, CodecError, HealthSnapshot, HealthStatus, QueryRequest,
+    Reader, Writer, MAX_EXPR_DEPTH,
 };
 use fj_optimizer::{CostParams, OptimizerConfig};
 use fj_storage::{Column, DataType, Schema, Tuple, Value};
@@ -114,6 +115,35 @@ fn query_from(
     q
 }
 
+/// Deterministic trace tree from a word stream: fan-out and counters
+/// all derive from the words, and some labels carry characters the
+/// JSON encoder must escape.
+fn trace_node_from(words: &mut dyn Iterator<Item = u64>, depth: usize) -> fj_trace::TraceNode {
+    let w = words.next().unwrap_or(0);
+    let label = match w % 4 {
+        0 => format!("seq scan {}", w % 12),
+        1 => format!("hash join \"J{}\"", w % 12),
+        2 => format!("filter \\{}\\", w % 12),
+        _ => "π".to_string(),
+    };
+    let fan_out = if depth < 5 { (w % 3) as usize } else { 0 };
+    fj_trace::TraceNode {
+        stats: fj_trace::OpStats {
+            label,
+            rows_in: w.rotate_left(7),
+            rows_out: w.rotate_left(11),
+            build_rows: w % 100_000,
+            probe_rows: w % 77_777,
+            pages_read: w % 4096,
+            wall_micros: w % 1_000_000,
+            interrupt_polls: w % 64,
+        },
+        children: (0..fan_out)
+            .map(|_| trace_node_from(words, depth + 1))
+            .collect(),
+    }
+}
+
 fn config_from(flags: u64, eq_classes: usize, cpu: f64, pages: u64) -> OptimizerConfig {
     OptimizerConfig {
         enable_filter_join: flags & 1 != 0,
@@ -177,6 +207,7 @@ proptest! {
     ) {
         let request = QueryRequest {
             deadline_millis: deadline,
+            want_trace: flags & 1 != 0,
             config: (with_config == 1).then(|| config_from(flags, eq_classes, cpu, pages)),
             query: query_from(&from_words, pred_words, proj_words),
         };
@@ -245,6 +276,7 @@ proptest! {
         let _ = fj_net::codec::decode_error(&payload);
         let _ = fj_net::codec::decode_stats_reply(&payload);
         let _ = decode_health_reply(&payload);
+        let _ = decode_trace_reply(&payload);
     }
 
     /// Every health snapshot survives the encode → decode round trip —
@@ -342,6 +374,56 @@ proptest! {
         let _ = HealthSnapshot::from_json(&s);
     }
 
+    /// Every generated trace tree survives the framed encode → decode
+    /// round trip — including labels with characters the JSON encoder
+    /// must escape.
+    #[test]
+    fn trace_reply_round_trip(
+        words in prop::collection::vec(0u64..u64::MAX, 1..40),
+        total in 0u64..u64::MAX,
+    ) {
+        let trace = fj_trace::QueryTrace {
+            root: trace_node_from(&mut words.into_iter(), 0),
+            total_wall_micros: total,
+        };
+        let payload = encode_trace_reply(&trace).unwrap();
+        prop_assert_eq!(decode_trace_reply(&payload).unwrap(), trace.clone());
+        prop_assert_eq!(
+            fj_trace::QueryTrace::from_json(&trace.to_json()).unwrap(),
+            trace
+        );
+    }
+
+    /// Truncations of a valid trace reply are typed errors and
+    /// single-byte mutations never panic (they may decode to a
+    /// different valid trace; framing checksums are TCP's job).
+    #[test]
+    fn trace_reply_mutations_never_panic(
+        words in prop::collection::vec(0u64..u64::MAX, 1..12),
+        pos_word in 0u64..u64::MAX,
+        new_byte in 0u64..256,
+    ) {
+        let trace = fj_trace::QueryTrace {
+            root: trace_node_from(&mut words.into_iter(), 0),
+            total_wall_micros: 42,
+        };
+        let mut payload = encode_trace_reply(&trace).unwrap();
+        for cut in 0..payload.len() {
+            prop_assert!(decode_trace_reply(&payload[..cut]).is_err());
+        }
+        let pos = (pos_word as usize) % payload.len();
+        payload[pos] = new_byte as u8;
+        let _ = decode_trace_reply(&payload);
+    }
+
+    /// Random strings never panic the strict trace JSON parser.
+    #[test]
+    fn trace_json_fuzz_never_panics(bytes in prop::collection::vec(0u64..256, 0..120)) {
+        let raw: Vec<u8> = bytes.iter().map(|b| *b as u8).collect();
+        let s = String::from_utf8_lossy(&raw);
+        let _ = fj_trace::QueryTrace::from_json(&s);
+    }
+
     /// Every truncation of a valid request is a typed error (or, only
     /// at full length, a success) — never a panic.
     #[test]
@@ -351,6 +433,7 @@ proptest! {
     ) {
         let request = QueryRequest {
             deadline_millis: 17,
+            want_trace: true,
             config: Some(OptimizerConfig::default()),
             query: query_from(&from_words, pred_words, None),
         };
@@ -375,6 +458,7 @@ proptest! {
     ) {
         let request = QueryRequest {
             deadline_millis: 3,
+            want_trace: false,
             config: None,
             query: query_from(&from_words, Some(vec![pos_word]), None),
         };
@@ -391,6 +475,7 @@ fn depth_bomb_is_too_deep_not_a_stack_overflow() {
     // MAX_EXPR_DEPTH with a typed error instead of recursing away.
     let mut payload = Vec::new();
     payload.extend_from_slice(&0u64.to_be_bytes()); // deadline
+    payload.push(0); // tracing off
     payload.push(0); // no config override
     payload.extend_from_slice(&1u32.to_be_bytes()); // one FROM item
     payload.extend_from_slice(&1u32.to_be_bytes());
@@ -410,6 +495,7 @@ fn depth_bomb_is_too_deep_not_a_stack_overflow() {
 fn lying_string_length_is_rejected_before_allocation() {
     let mut payload = Vec::new();
     payload.extend_from_slice(&0u64.to_be_bytes());
+    payload.push(0); // tracing off
     payload.push(0);
     payload.extend_from_slice(&1u32.to_be_bytes());
     payload.extend_from_slice(&u32::MAX.to_be_bytes()); // "4 GiB" name
@@ -424,6 +510,7 @@ fn lying_string_length_is_rejected_before_allocation() {
 fn non_utf8_string_is_typed() {
     let mut payload = Vec::new();
     payload.extend_from_slice(&0u64.to_be_bytes());
+    payload.push(0); // tracing off
     payload.push(0);
     payload.extend_from_slice(&1u32.to_be_bytes());
     payload.extend_from_slice(&2u32.to_be_bytes());
@@ -435,6 +522,7 @@ fn non_utf8_string_is_typed() {
 fn trailing_bytes_are_rejected() {
     let request = QueryRequest {
         deadline_millis: 0,
+        want_trace: false,
         config: None,
         query: JoinQuery::new(vec![FromItem::new("Emp", "E")])
             .with_predicate(col("E.age").lt(lit(30))),
@@ -488,6 +576,80 @@ fn adversarial_health_json_is_typed_not_panic() {
             "accepted adversarial health json: {case:?}"
         );
     }
+}
+
+#[test]
+fn adversarial_trace_json_is_typed_not_panic() {
+    let valid = concat!(
+        "{\"total_wall_micros\":5,\"root\":{\"op\":\"seq scan Emp\",",
+        "\"rows_in\":0,\"rows_out\":3,\"build_rows\":0,\"probe_rows\":0,",
+        "\"pages_read\":1,\"wall_micros\":4,\"interrupt_polls\":2,",
+        "\"children\":[]}}"
+    );
+    fj_trace::QueryTrace::from_json(valid).unwrap();
+    let cases: &[&str] = &[
+        "",
+        "{",
+        "{}",
+        "null",
+        "[1]",
+        // duplicate top-level and per-node keys
+        &valid.replace(
+            "\"total_wall_micros\":5",
+            "\"total_wall_micros\":5,\"total_wall_micros\":5",
+        ),
+        &valid.replace("\"rows_out\":3", "\"rows_out\":3,\"rows_out\":3"),
+        // unknown and missing keys
+        &valid.replace("\"rows_out\"", "\"cols_out\""),
+        &valid.replace("\"rows_in\":0,", ""),
+        &valid.replace(",\"root\":{", ",\"root2\":{"),
+        // counters must be unsigned integers that fit a u64
+        &valid.replace("\"rows_out\":3", "\"rows_out\":-3"),
+        &valid.replace("\"rows_out\":3", "\"rows_out\":3.5"),
+        &valid.replace("\"rows_out\":3", "\"rows_out\":true"),
+        &valid.replace("\"rows_out\":3", "\"rows_out\":18446744073709551616"),
+        // op must be a string with only \" and \\ escapes
+        &valid.replace("\"seq scan Emp\"", "7"),
+        &valid.replace("seq scan Emp", "seq\\nscan"),
+        // children must be an array of nodes
+        &valid.replace("\"children\":[]", "\"children\":{}"),
+        &valid.replace("\"children\":[]", "\"children\":[7]"),
+        // trailing bytes
+        &format!("{valid}x"),
+    ];
+    for case in cases {
+        assert!(
+            fj_trace::QueryTrace::from_json(case).is_err(),
+            "accepted adversarial trace json: {case:?}"
+        );
+    }
+}
+
+#[test]
+fn trace_depth_bomb_is_too_deep_not_a_stack_overflow() {
+    // Nest children far past MAX_TRACE_DEPTH: the parser must stop
+    // with a typed error instead of recursing away.
+    let node_open = concat!(
+        "{\"op\":\"x\",\"rows_in\":0,\"rows_out\":0,\"build_rows\":0,",
+        "\"probe_rows\":0,\"pages_read\":0,\"wall_micros\":0,",
+        "\"interrupt_polls\":0,\"children\":["
+    );
+    let mut json = String::from("{\"total_wall_micros\":0,\"root\":");
+    for _ in 0..(fj_trace::MAX_TRACE_DEPTH + 50) {
+        json.push_str(node_open);
+    }
+    assert!(matches!(
+        fj_trace::QueryTrace::from_json(&json),
+        Err(fj_trace::TraceError::TooDeep)
+    ));
+    // And the framed decoder surfaces it as a typed codec error.
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&(json.len() as u32).to_be_bytes());
+    payload.extend_from_slice(json.as_bytes());
+    assert!(matches!(
+        decode_trace_reply(&payload),
+        Err(CodecError::Invalid(_))
+    ));
 }
 
 #[test]

@@ -65,7 +65,7 @@ impl EstStats {
             .max(1.0)
     }
 
-    fn requalify(mut self, alias: &str) -> EstStats {
+    pub(crate) fn requalify(mut self, alias: &str) -> EstStats {
         if alias.is_empty() {
             return self;
         }

@@ -35,6 +35,7 @@ pub mod estimate;
 pub mod filter_join;
 pub mod fingerprint;
 pub mod parametric;
+pub mod phys_estimate;
 
 pub use cost::CostParams;
 pub use enumerate::{OptimizedPlan, Optimizer, OptimizerConfig};
@@ -43,3 +44,4 @@ pub use estimate::{EstStats, PlanEstimator};
 pub use filter_join::FilterJoinCost;
 pub use fingerprint::{fingerprint, Digest};
 pub use parametric::{ParametricEstimator, ParametricFit};
+pub use phys_estimate::{estimate_phys_plan, EstNode};

@@ -182,6 +182,9 @@ pub struct RuntimeMetrics {
     pub workers: usize,
     /// Queries a worker is executing right now.
     pub in_flight: usize,
+    /// Per-query traces recorded over the service's lifetime (the
+    /// trace ring keeps only the most recent ones; this counts all).
+    pub traces_recorded: u64,
     /// Plan-cache hits.
     pub cache_hits: u64,
     /// Plan-cache misses.
@@ -211,6 +214,7 @@ impl RuntimeMetrics {
                 "{{\"completed\":{},\"errors\":{},\"cancelled\":{},",
                 "\"interrupted_by_budget\":{},\"workers_replaced\":{},",
                 "\"workers\":{},\"in_flight\":{},",
+                "\"traces_recorded\":{},",
                 "\"cache_hits\":{},",
                 "\"cache_misses\":{},\"cache_hit_rate\":{:.6},",
                 "\"cache_entries\":{},\"queue_depth\":{},",
@@ -225,6 +229,7 @@ impl RuntimeMetrics {
             self.workers_replaced,
             self.workers,
             self.in_flight,
+            self.traces_recorded,
             self.cache_hits,
             self.cache_misses,
             self.cache_hit_rate,
@@ -282,6 +287,7 @@ mod tests {
             workers_replaced: 1,
             workers: 4,
             in_flight: 2,
+            traces_recorded: 5,
             cache_hits: 2,
             cache_misses: 2,
             cache_hit_rate: 0.5,
@@ -301,6 +307,7 @@ mod tests {
         assert!(j.contains("\"workers_replaced\":1"));
         assert!(j.contains("\"workers\":4"));
         assert!(j.contains("\"in_flight\":2"));
+        assert!(j.contains("\"traces_recorded\":5"));
         // Stable key order: completed always precedes errors precedes
         // cache_hits.
         let (a, b, c) = (
@@ -309,6 +316,59 @@ mod tests {
             j.find("\"cache_hits\"").unwrap(),
         );
         assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn to_json_key_set_snapshot() {
+        // The exact ordered key set of the metrics JSON is a wire
+        // contract (the STATS reply and the reproduce binary both
+        // scrape it): adding, removing, or reordering a key must be a
+        // conscious change to this list. Every value is a bare number,
+        // so the quoted tokens are precisely the keys.
+        let j = RuntimeMetrics {
+            completed: 0,
+            errors: 0,
+            cancelled: 0,
+            interrupted_by_budget: 0,
+            workers_replaced: 0,
+            workers: 1,
+            in_flight: 0,
+            traces_recorded: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_hit_rate: 0.0,
+            cache_entries: 0,
+            queue_depth: 0,
+            uptime_secs: 0.0,
+            throughput_qps: 0.0,
+            latency: MetricsRecorder::default().histogram(),
+        }
+        .to_json();
+        let keys: Vec<&str> = j.split('"').skip(1).step_by(2).collect();
+        assert_eq!(
+            keys,
+            [
+                "completed",
+                "errors",
+                "cancelled",
+                "interrupted_by_budget",
+                "workers_replaced",
+                "workers",
+                "in_flight",
+                "traces_recorded",
+                "cache_hits",
+                "cache_misses",
+                "cache_hit_rate",
+                "cache_entries",
+                "queue_depth",
+                "uptime_secs",
+                "throughput_qps",
+                "latency_mean_micros",
+                "latency_p50_micros",
+                "latency_p99_micros",
+                "latency_max_micros",
+            ]
+        );
     }
 
     #[test]

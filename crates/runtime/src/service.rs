@@ -24,6 +24,7 @@ use fj_core::QueryResult;
 use fj_exec::{ExecCtx, ExecError, Interrupt, InterruptReason};
 use fj_optimizer::{fingerprint, OptError, Optimizer, OptimizerConfig};
 use fj_storage::FaultPlan;
+use fj_trace::{TraceCollector, TraceRing, TracedQuery};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
@@ -119,6 +120,14 @@ pub struct ServiceConfig {
     /// Seeded fault plan injected into every query's storage access
     /// paths (`None` = no injection). Test/chaos tooling only.
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Whether queries record a per-operator [`fj_trace::QueryTrace`]
+    /// by default. Off by default — tracing off takes the executor's
+    /// zero-overhead path. Per-submission opt-in/out via
+    /// [`QueryService::submit_with_options`].
+    pub collect_trace: bool,
+    /// Capacity of the bounded ring of recent traces
+    /// ([`QueryService::recent_traces`]). Clamped to ≥1.
+    pub trace_ring_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -133,6 +142,8 @@ impl Default for ServiceConfig {
             row_budget: None,
             memory_budget_pages: None,
             fault_plan: None,
+            collect_trace: false,
+            trace_ring_capacity: 16,
         }
     }
 }
@@ -158,6 +169,9 @@ impl ServiceConfig {
         if self.memory_pages == 0 {
             return reject("memory_pages");
         }
+        if self.trace_ring_capacity == 0 {
+            return reject("trace_ring_capacity");
+        }
         Ok(())
     }
 
@@ -172,6 +186,7 @@ impl ServiceConfig {
         self.intra_query_threads = self.intra_query_threads.max(1);
         self.plan_cache_capacity = self.plan_cache_capacity.max(1);
         self.memory_pages = self.memory_pages.max(1);
+        self.trace_ring_capacity = self.trace_ring_capacity.max(1);
         self
     }
 }
@@ -179,6 +194,7 @@ impl ServiceConfig {
 struct Job {
     query: JoinQuery,
     config: OptimizerConfig,
+    collect_trace: bool,
     interrupt: Interrupt,
     reply: mpsc::Sender<Result<QueryResult, RuntimeError>>,
 }
@@ -188,6 +204,8 @@ struct Shared {
     catalog: RwLock<Arc<Catalog>>,
     cache: PlanCache,
     metrics: MetricsRecorder,
+    /// Bounded ring of recent per-query traces (traced queries only).
+    traces: TraceRing,
     in_flight: AtomicUsize,
     /// Live worker JoinHandles. Behind a mutex because a panicking
     /// worker pushes its own replacement's handle before exiting.
@@ -325,6 +343,7 @@ impl QueryService {
             catalog: RwLock::new(Arc::new(catalog)),
             cache: PlanCache::new(config.plan_cache_capacity),
             metrics: MetricsRecorder::default(),
+            traces: TraceRing::new(config.trace_ring_capacity),
             in_flight: AtomicUsize::new(0),
             worker_handles: Mutex::new(Vec::new()),
             worker_seq: AtomicUsize::new(config.workers),
@@ -350,11 +369,24 @@ impl QueryService {
         query: JoinQuery,
         config: OptimizerConfig,
     ) -> Result<Ticket, RuntimeError> {
+        self.submit_with_options(query, config, self.shared.cfg.collect_trace)
+    }
+
+    /// Fully explicit blocking submit: optimizer config and whether
+    /// this query records a per-operator trace (overriding
+    /// [`ServiceConfig::collect_trace`] either way).
+    pub fn submit_with_options(
+        &self,
+        query: JoinQuery,
+        config: OptimizerConfig,
+        collect_trace: bool,
+    ) -> Result<Ticket, RuntimeError> {
         let (tx, rx) = mpsc::channel();
         let interrupt = Interrupt::new();
         let job = Job {
             query,
             config,
+            collect_trace,
             interrupt: interrupt.clone(),
             reply: tx,
         };
@@ -379,11 +411,23 @@ impl QueryService {
         query: JoinQuery,
         config: OptimizerConfig,
     ) -> Result<Ticket, RuntimeError> {
+        self.try_submit_with_options(query, config, self.shared.cfg.collect_trace)
+    }
+
+    /// Fully explicit non-blocking submit — the path the `fj-net`
+    /// server uses when a client sets the TRACE flag on one query.
+    pub fn try_submit_with_options(
+        &self,
+        query: JoinQuery,
+        config: OptimizerConfig,
+        collect_trace: bool,
+    ) -> Result<Ticket, RuntimeError> {
         let (tx, rx) = mpsc::channel();
         let interrupt = Interrupt::new();
         let job = Job {
             query,
             config,
+            collect_trace,
             interrupt: interrupt.clone(),
             reply: tx,
         };
@@ -430,6 +474,19 @@ impl QueryService {
         }
     }
 
+    /// The most recent per-query traces (oldest first, bounded by
+    /// [`ServiceConfig::trace_ring_capacity`]). Only queries that ran
+    /// with tracing on appear here.
+    pub fn recent_traces(&self) -> Vec<TracedQuery> {
+        self.shared.traces.recent()
+    }
+
+    /// The recent traces as a JSON array (stable key order, same
+    /// discipline as [`RuntimeMetrics::to_json`]).
+    pub fn recent_traces_json(&self) -> String {
+        self.shared.traces.to_json()
+    }
+
     /// Live service metrics.
     pub fn metrics(&self) -> RuntimeMetrics {
         let cache = self.shared.cache.stats();
@@ -447,6 +504,7 @@ impl QueryService {
             workers_replaced: self.shared.metrics.workers_replaced(),
             workers: self.shared.cfg.workers,
             in_flight: self.shared.in_flight.load(Ordering::Relaxed),
+            traces_recorded: self.shared.traces.recorded(),
             queue_depth: self.shared.queue.len() + self.shared.in_flight.load(Ordering::Relaxed),
             uptime_secs: uptime,
             throughput_qps: if uptime > 0.0 {
@@ -597,9 +655,20 @@ fn execute_job(shared: &Shared, job: &Job) -> Result<QueryResult, RuntimeError> 
     if let Some(faults) = &shared.cfg.fault_plan {
         ctx = ctx.with_faults(Arc::clone(faults));
     }
+    let collector = job.collect_trace.then(|| Arc::new(TraceCollector::new()));
+    if let Some(c) = &collector {
+        ctx = ctx.with_tracer(Arc::clone(c));
+    }
     let before = ctx.ledger.snapshot();
     let rel = plan.phys.execute(&ctx).map_err(OptError::from)?;
     let charges = ctx.ledger.snapshot().delta(&before);
+    let trace = collector.and_then(|c| c.finish());
+    if let Some(t) = &trace {
+        shared.traces.push(TracedQuery {
+            query: query_tag(query),
+            trace: t.clone(),
+        });
+    }
     let measured_cost = charges.weighted(
         config.params.cpu_weight,
         config.params.network.per_byte,
@@ -617,7 +686,19 @@ fn execute_job(shared: &Shared, job: &Job) -> Result<QueryResult, RuntimeError> 
         filter_join_costs: plan.filter_join_costs.clone(),
         cache_hit,
         latency_micros: 0,
+        trace,
     })
+}
+
+/// A short human-readable tag for a query in the trace ring: its FROM
+/// list ("Emp AS E, Dept AS D, DepAvgSal AS V").
+fn query_tag(query: &JoinQuery) -> String {
+    query
+        .from
+        .iter()
+        .map(|f| format!("{} AS {}", f.relation, f.alias))
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 #[cfg(test)]
@@ -637,6 +718,7 @@ mod tests {
             |c| c.intra_query_threads = 0,
             |c| c.plan_cache_capacity = 0,
             |c| c.memory_pages = 0,
+            |c| c.trace_ring_capacity = 0,
         ] {
             let mut cfg = ServiceConfig::default();
             mutate(&mut cfg);
@@ -655,6 +737,7 @@ mod tests {
             intra_query_threads: 0,
             memory_pages: 0,
             plan_cache_capacity: 0,
+            trace_ring_capacity: 0,
             ..ServiceConfig::default()
         }
         .normalized();
@@ -663,6 +746,7 @@ mod tests {
         assert_eq!(cfg.intra_query_threads, 1);
         assert_eq!(cfg.plan_cache_capacity, 1);
         assert_eq!(cfg.memory_pages, 1);
+        assert_eq!(cfg.trace_ring_capacity, 1);
         cfg.validate().unwrap();
     }
 

@@ -542,3 +542,69 @@ fn try_submit_with_config_overrides_and_sheds() {
     }
     service.shutdown();
 }
+
+#[test]
+fn traced_service_records_trace_and_fills_the_ring() {
+    let service = QueryService::start(
+        paper_catalog(),
+        ServiceConfig {
+            workers: 1,
+            collect_trace: true,
+            trace_ring_capacity: 2,
+            ..ServiceConfig::default()
+        },
+    );
+    for _ in 0..3 {
+        let r = service.execute(paper_query()).unwrap();
+        let trace = r.trace.expect("collect_trace service attaches a trace");
+        assert_eq!(trace.rows_out(), r.rows.len() as u64);
+        assert!(trace.node_count() >= 3);
+    }
+    // Ring keeps only the most recent `trace_ring_capacity` traces,
+    // but the lifetime counter sees all of them.
+    let recent = service.recent_traces();
+    assert_eq!(recent.len(), 2);
+    assert!(recent[0].query.contains("Emp AS E"));
+    assert_eq!(service.metrics().traces_recorded, 3);
+    // The JSON rendering round-trips through the strict trace parser.
+    let json = service.recent_traces_json();
+    assert!(json.starts_with('['));
+    assert!(json.contains("\"total_wall_micros\""));
+    service.shutdown();
+}
+
+#[test]
+fn untraced_service_attaches_no_trace() {
+    let service = QueryService::start(
+        paper_catalog(),
+        ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        },
+    );
+    let r = service.execute(paper_query()).unwrap();
+    assert!(r.trace.is_none(), "tracing off leaves trace empty");
+    assert!(service.recent_traces().is_empty());
+    assert_eq!(service.metrics().traces_recorded, 0);
+    service.shutdown();
+}
+
+#[test]
+fn per_submission_trace_flag_overrides_service_default() {
+    let service = QueryService::start(paper_catalog(), ServiceConfig::default());
+    let cfg = fj_optimizer::OptimizerConfig::default();
+    let traced = service
+        .submit_with_options(paper_query(), cfg, true)
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(traced.trace.is_some());
+    let untraced = service
+        .submit_with_options(paper_query(), cfg, false)
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(untraced.trace.is_none());
+    assert_eq!(service.metrics().traces_recorded, 1);
+    service.shutdown();
+}

@@ -1,0 +1,837 @@
+//! # fj-trace
+//!
+//! Zero-cost-when-off, per-query observability: every physical operator
+//! records an [`OpStats`] node into a per-query [`QueryTrace`] tree
+//! mirroring the plan shape.
+//!
+//! The crate is deliberately a leaf (std only): `fj-exec` feeds a
+//! [`TraceCollector`] during plan interpretation, `fj-core` renders
+//! `EXPLAIN ANALYZE` from the finished tree, `fj-runtime` keeps a
+//! bounded [`TraceRing`] of recent traces, and `fj-net` ships traces in
+//! a dedicated frame as the stable-key JSON produced by
+//! [`QueryTrace::to_json`] and re-parsed by the **strict, total**
+//! [`QueryTrace::from_json`] (typed errors on adversarial bytes, never
+//! panics — the same discipline as the HEALTH codec).
+//!
+//! ## Collection model
+//!
+//! Plan interpretation in `fj-exec` is a single-threaded recursion
+//! (intra-operator parallelism chunks *inside* operators and never
+//! re-enters the plan), so the collector is a simple frame stack:
+//! `enter` at node entry, `exit` at node exit (on both success and
+//! error paths, keeping the stack balanced). Interrupt polls are
+//! counted globally through an atomic — operator loops may poll from
+//! worker threads — and attributed to the node on the stack when the
+//! poll happened, minus whatever its children consumed.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Maximum nesting depth [`QueryTrace::from_json`] accepts — bounds
+/// recursion on adversarial inputs (same guard idea as the wire codec's
+/// expression-depth cap).
+pub const MAX_TRACE_DEPTH: usize = 200;
+
+/// What one physical operator did during one execution.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OpStats {
+    /// Operator label — the node's one-line EXPLAIN rendering
+    /// (e.g. `HashJoin on E.did = D.did`).
+    pub label: String,
+    /// Rows received from children (sum of their `rows_out`).
+    pub rows_in: u64,
+    /// Rows produced.
+    pub rows_out: u64,
+    /// Rows on the build side (second child of a two-input join; 0
+    /// elsewhere).
+    pub build_rows: u64,
+    /// Rows on the probe side (first child; 0 for leaves).
+    pub probe_rows: u64,
+    /// Pages read by this node itself (ledger delta across the node,
+    /// minus its children's subtree reads).
+    pub pages_read: u64,
+    /// Inclusive wall time of the node's subtree, in microseconds.
+    pub wall_micros: u64,
+    /// Interrupt polls made by this node itself (global poll-counter
+    /// delta minus the children's).
+    pub interrupt_polls: u64,
+}
+
+/// One node of a query trace; children mirror the plan's execution
+/// order (outer before inner; `WithTemp` steps before the body).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceNode {
+    /// The node's measured statistics.
+    pub stats: OpStats,
+    /// Child traces.
+    pub children: Vec<TraceNode>,
+}
+
+impl TraceNode {
+    /// Number of nodes in this subtree (itself included).
+    pub fn node_count(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(TraceNode::node_count)
+            .sum::<usize>()
+    }
+
+    /// Pre-order walk over the subtree.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a TraceNode)) {
+        f(self);
+        for c in &self.children {
+            c.walk(f);
+        }
+    }
+}
+
+/// A finished per-query trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryTrace {
+    /// The root operator's trace (its subtree is the whole plan).
+    pub root: TraceNode,
+    /// Wall time of the whole execution, in microseconds (equals the
+    /// root's inclusive wall time).
+    pub total_wall_micros: u64,
+}
+
+impl QueryTrace {
+    /// Rows the query returned (the root operator's output).
+    pub fn rows_out(&self) -> u64 {
+        self.root.stats.rows_out
+    }
+
+    /// Number of operator nodes traced.
+    pub fn node_count(&self) -> usize {
+        self.root.node_count()
+    }
+
+    /// One-line JSON with a stable key order (nested `children` arrays
+    /// mirror the tree). Keys per node: `op`, `rows_in`, `rows_out`,
+    /// `build_rows`, `probe_rows`, `pages_read`, `wall_micros`,
+    /// `interrupt_polls`, `children`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"total_wall_micros\":");
+        out.push_str(&self.total_wall_micros.to_string());
+        out.push_str(",\"root\":");
+        write_node_json(&self.root, &mut out);
+        out.push('}');
+        out
+    }
+
+    /// Strict, total parse of [`QueryTrace::to_json`] output: accepts
+    /// keys in any order, rejects duplicate/unknown/missing keys,
+    /// non-integer counters, over-deep nesting and trailing bytes with
+    /// typed errors. Never panics on adversarial input.
+    pub fn from_json(s: &str) -> Result<QueryTrace, TraceError> {
+        let mut p = Parser {
+            b: s.as_bytes(),
+            i: 0,
+        };
+        p.ws();
+        p.expect(b'{')?;
+        let mut total: Option<u64> = None;
+        let mut root: Option<TraceNode> = None;
+        loop {
+            p.ws();
+            let key = p.string()?;
+            p.ws();
+            p.expect(b':')?;
+            p.ws();
+            match key.as_str() {
+                "total_wall_micros" => {
+                    if total.replace(p.u64()?).is_some() {
+                        return Err(TraceError::DuplicateKey("total_wall_micros".into()));
+                    }
+                }
+                "root" => {
+                    if root.replace(p.node(0)?).is_some() {
+                        return Err(TraceError::DuplicateKey("root".into()));
+                    }
+                }
+                other => return Err(TraceError::UnknownKey(other.into())),
+            }
+            p.ws();
+            match p.bump()? {
+                b',' => continue,
+                b'}' => break,
+                _ => return Err(TraceError::Expected("',' or '}'")),
+            }
+        }
+        p.ws();
+        if p.i != p.b.len() {
+            return Err(TraceError::TrailingBytes(p.b.len() - p.i));
+        }
+        Ok(QueryTrace {
+            total_wall_micros: total.ok_or(TraceError::MissingKey("total_wall_micros"))?,
+            root: root.ok_or(TraceError::MissingKey("root"))?,
+        })
+    }
+}
+
+fn write_node_json(node: &TraceNode, out: &mut String) {
+    let s = &node.stats;
+    out.push_str("{\"op\":\"");
+    for ch in s.label.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c => out.push(c),
+        }
+    }
+    out.push_str(&format!(
+        "\",\"rows_in\":{},\"rows_out\":{},\"build_rows\":{},\"probe_rows\":{},\"pages_read\":{},\"wall_micros\":{},\"interrupt_polls\":{},\"children\":[",
+        s.rows_in, s.rows_out, s.build_rows, s.probe_rows, s.pages_read, s.wall_micros, s.interrupt_polls
+    ));
+    for (i, c) in node.children.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_node_json(c, out);
+    }
+    out.push_str("]}");
+}
+
+/// Typed failures of [`QueryTrace::from_json`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// Input ended mid-value.
+    UnexpectedEof,
+    /// A specific token was required and absent.
+    Expected(&'static str),
+    /// The same key appeared twice in one object.
+    DuplicateKey(String),
+    /// A key this schema does not define.
+    UnknownKey(String),
+    /// A required key was absent.
+    MissingKey(&'static str),
+    /// A counter was not an unsigned integer (or overflowed u64).
+    BadNumber,
+    /// A string escape other than `\"` or `\\`.
+    BadEscape,
+    /// Nesting beyond [`MAX_TRACE_DEPTH`].
+    TooDeep,
+    /// Bytes after the closing brace.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::UnexpectedEof => f.write_str("unexpected end of input"),
+            TraceError::Expected(what) => write!(f, "expected {what}"),
+            TraceError::DuplicateKey(k) => write!(f, "duplicate key '{k}'"),
+            TraceError::UnknownKey(k) => write!(f, "unknown key '{k}'"),
+            TraceError::MissingKey(k) => write!(f, "missing key '{k}'"),
+            TraceError::BadNumber => f.write_str("counter is not a u64"),
+            TraceError::BadEscape => f.write_str("unsupported string escape"),
+            TraceError::TooDeep => write!(f, "nesting deeper than {MAX_TRACE_DEPTH}"),
+            TraceError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn ws(&mut self) {
+        while matches!(self.b.get(self.i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn bump(&mut self) -> Result<u8, TraceError> {
+        let c = self.peek().ok_or(TraceError::UnexpectedEof)?;
+        self.i += 1;
+        Ok(c)
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), TraceError> {
+        match self.bump()? {
+            c if c == want => Ok(()),
+            _ => Err(match want {
+                b'{' => TraceError::Expected("'{'"),
+                b':' => TraceError::Expected("':'"),
+                b'[' => TraceError::Expected("'['"),
+                b'"' => TraceError::Expected("'\"'"),
+                _ => TraceError::Expected("punctuation"),
+            }),
+        }
+    }
+
+    /// A quoted string with `\"` and `\\` as the only escapes.
+    fn string(&mut self) -> Result<String, TraceError> {
+        self.expect(b'"')?;
+        let start = self.i;
+        let mut out = String::new();
+        loop {
+            match self.bump()? {
+                b'"' => break,
+                b'\\' => match self.bump()? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    _ => return Err(TraceError::BadEscape),
+                },
+                _ => {
+                    // Re-slice from the source so multi-byte UTF-8
+                    // sequences survive intact (the input is a &str, so
+                    // consuming the continuation bytes restores a
+                    // char boundary).
+                    let ch_start = self.i - 1;
+                    while matches!(self.peek(), Some(0x80..=0xBF)) {
+                        self.i += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.b[ch_start..self.i])
+                            .map_err(|_| TraceError::Expected("utf-8"))?,
+                    );
+                }
+            }
+        }
+        let _ = start;
+        Ok(out)
+    }
+
+    /// An unsigned integer: digits only, no leading zeros (except "0"),
+    /// overflow is a typed error.
+    fn u64(&mut self) -> Result<u64, TraceError> {
+        let start = self.i;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.i += 1;
+        }
+        let digits = &self.b[start..self.i];
+        if digits.is_empty() || (digits.len() > 1 && digits[0] == b'0') {
+            return Err(TraceError::BadNumber);
+        }
+        let mut v: u64 = 0;
+        for d in digits {
+            v = v
+                .checked_mul(10)
+                .and_then(|v| v.checked_add(u64::from(d - b'0')))
+                .ok_or(TraceError::BadNumber)?;
+        }
+        Ok(v)
+    }
+
+    /// One trace node object; `depth` guards recursion.
+    fn node(&mut self, depth: usize) -> Result<TraceNode, TraceError> {
+        if depth >= MAX_TRACE_DEPTH {
+            return Err(TraceError::TooDeep);
+        }
+        self.expect(b'{')?;
+        let mut label: Option<String> = None;
+        let mut fields: [Option<u64>; 7] = [None; 7];
+        const KEYS: [&str; 7] = [
+            "rows_in",
+            "rows_out",
+            "build_rows",
+            "probe_rows",
+            "pages_read",
+            "wall_micros",
+            "interrupt_polls",
+        ];
+        let mut children: Option<Vec<TraceNode>> = None;
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.ws();
+            self.expect(b':')?;
+            self.ws();
+            if key == "op" {
+                if label.replace(self.string()?).is_some() {
+                    return Err(TraceError::DuplicateKey("op".into()));
+                }
+            } else if key == "children" {
+                if children.is_some() {
+                    return Err(TraceError::DuplicateKey("children".into()));
+                }
+                children = Some(self.children(depth)?);
+            } else if let Some(slot) = KEYS.iter().position(|k| *k == key) {
+                if fields[slot].replace(self.u64()?).is_some() {
+                    return Err(TraceError::DuplicateKey(key));
+                }
+            } else {
+                return Err(TraceError::UnknownKey(key));
+            }
+            self.ws();
+            match self.bump()? {
+                b',' => continue,
+                b'}' => break,
+                _ => return Err(TraceError::Expected("',' or '}'")),
+            }
+        }
+        let take = |slot: usize| fields[slot].ok_or(TraceError::MissingKey(KEYS[slot]));
+        Ok(TraceNode {
+            stats: OpStats {
+                label: label.ok_or(TraceError::MissingKey("op"))?,
+                rows_in: take(0)?,
+                rows_out: take(1)?,
+                build_rows: take(2)?,
+                probe_rows: take(3)?,
+                pages_read: take(4)?,
+                wall_micros: take(5)?,
+                interrupt_polls: take(6)?,
+            },
+            children: children.ok_or(TraceError::MissingKey("children"))?,
+        })
+    }
+
+    fn children(&mut self, depth: usize) -> Result<Vec<TraceNode>, TraceError> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(out);
+        }
+        loop {
+            self.ws();
+            out.push(self.node(depth + 1)?);
+            self.ws();
+            match self.bump()? {
+                b',' => continue,
+                b']' => break,
+                _ => return Err(TraceError::Expected("',' or ']'")),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// One in-flight stack frame of the collector.
+struct Frame {
+    label: String,
+    start: Instant,
+    polls_at_entry: u64,
+    /// Subtree interrupt polls already attributed to finished children.
+    child_polls: u64,
+    /// Subtree page reads already attributed to finished children.
+    child_pages: u64,
+    children: Vec<TraceNode>,
+}
+
+struct CollectorState {
+    stack: Vec<Frame>,
+    finished: Option<TraceNode>,
+}
+
+/// Builds a [`QueryTrace`] from `enter`/`exit` calls made by the plan
+/// interpreter. One collector serves one query execution.
+pub struct TraceCollector {
+    state: Mutex<CollectorState>,
+    polls: AtomicU64,
+}
+
+impl fmt::Debug for TraceCollector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceCollector")
+            .field("polls", &self.polls.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for TraceCollector {
+    fn default() -> Self {
+        TraceCollector::new()
+    }
+}
+
+impl TraceCollector {
+    /// A fresh, empty collector.
+    pub fn new() -> TraceCollector {
+        TraceCollector {
+            state: Mutex::new(CollectorState {
+                stack: Vec::new(),
+                finished: None,
+            }),
+            polls: AtomicU64::new(0),
+        }
+    }
+
+    /// Enters a plan node. Must be balanced by one [`TraceCollector::exit`].
+    pub fn enter(&self, label: String) {
+        let polls_at_entry = self.polls.load(Ordering::Relaxed);
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.stack.push(Frame {
+            label,
+            start: Instant::now(),
+            polls_at_entry,
+            child_polls: 0,
+            child_pages: 0,
+            children: Vec::new(),
+        });
+    }
+
+    /// Counts one interrupt poll (callable from any thread).
+    #[inline]
+    pub fn note_poll(&self) {
+        self.polls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Exits the innermost open node with its output cardinality and
+    /// the ledger's `page_reads` delta across the node's subtree. Rows
+    /// in / build / probe counts derive from the finished children:
+    /// first child = probe (outer), second = build (inner).
+    ///
+    /// Exits on error paths pass the rows produced before the failure
+    /// (usually 0), keeping the stack balanced.
+    pub fn exit(&self, rows_out: u64, subtree_pages: u64) {
+        let polls_now = self.polls.load(Ordering::Relaxed);
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(frame) = st.stack.pop() else {
+            return; // unbalanced exit: drop rather than poison anything
+        };
+        let subtree_polls = polls_now.saturating_sub(frame.polls_at_entry);
+        let rows_in = frame.children.iter().map(|c| c.stats.rows_out).sum();
+        let probe_rows = frame.children.first().map_or(0, |c| c.stats.rows_out);
+        let build_rows = if frame.children.len() == 2 {
+            frame.children[1].stats.rows_out
+        } else {
+            0
+        };
+        let node = TraceNode {
+            stats: OpStats {
+                label: frame.label,
+                rows_in,
+                rows_out,
+                build_rows,
+                probe_rows,
+                pages_read: subtree_pages.saturating_sub(frame.child_pages),
+                wall_micros: frame.start.elapsed().as_micros() as u64,
+                interrupt_polls: subtree_polls.saturating_sub(frame.child_polls),
+            },
+            children: frame.children,
+        };
+        match st.stack.last_mut() {
+            Some(parent) => {
+                parent.child_polls += subtree_polls;
+                parent.child_pages += subtree_pages;
+                parent.children.push(node);
+            }
+            None => st.finished = Some(node),
+        }
+    }
+
+    /// Takes the finished trace, if the root node has exited. Frames
+    /// still open (an execution abandoned mid-tree) yield `None`.
+    pub fn finish(&self) -> Option<QueryTrace> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let root = st.finished.take()?;
+        Some(QueryTrace {
+            total_wall_micros: root.stats.wall_micros,
+            root,
+        })
+    }
+}
+
+/// A trace paired with the query text that produced it, as kept by the
+/// runtime's recent-trace ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TracedQuery {
+    /// The query's display form.
+    pub query: String,
+    /// The measured trace.
+    pub trace: QueryTrace,
+}
+
+impl TracedQuery {
+    /// Stable-key JSON: `{"query":"...","trace":{...}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"query\":\"");
+        for ch in self.query.chars() {
+            match ch {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c => out.push(c),
+            }
+        }
+        out.push_str("\",\"trace\":");
+        out.push_str(&self.trace.to_json());
+        out.push('}');
+        out
+    }
+}
+
+/// A bounded ring of recent traces: pushing past capacity evicts the
+/// oldest. Thread-safe; one ring serves a whole query service.
+#[derive(Debug)]
+pub struct TraceRing {
+    cap: usize,
+    entries: Mutex<VecDeque<TracedQuery>>,
+    recorded: AtomicU64,
+}
+
+impl TraceRing {
+    /// A ring holding at most `cap` traces (clamped to ≥ 1).
+    pub fn new(cap: usize) -> TraceRing {
+        TraceRing {
+            cap: cap.max(1),
+            entries: Mutex::new(VecDeque::new()),
+            recorded: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends a trace, evicting the oldest when full.
+    pub fn push(&self, entry: TracedQuery) {
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        let mut q = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if q.len() == self.cap {
+            q.pop_front();
+        }
+        q.push_back(entry);
+    }
+
+    /// The retained traces, oldest first.
+    pub fn recent(&self) -> Vec<TracedQuery> {
+        self.entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Traces recorded over the ring's lifetime (evictions included).
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Currently retained count.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether the ring holds no traces.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The retained traces as one JSON array, oldest first.
+    pub fn to_json(&self) -> String {
+        let entries = self.recent();
+        let mut out = String::from("[");
+        for (i, e) in entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&e.to_json());
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(label: &str, rows: u64) -> TraceNode {
+        TraceNode {
+            stats: OpStats {
+                label: label.into(),
+                rows_out: rows,
+                ..OpStats::default()
+            },
+            children: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn collector_builds_a_nested_tree_with_attribution() {
+        let c = TraceCollector::new();
+        c.enter("join".into());
+        {
+            c.enter("scan A".into());
+            c.note_poll();
+            c.note_poll();
+            c.exit(100, 10);
+            c.enter("scan B".into());
+            c.note_poll();
+            c.exit(40, 4);
+        }
+        c.note_poll(); // the join's own poll
+        c.exit(60, 20);
+        let trace = c.finish().expect("root exited");
+        assert!(c.finish().is_none(), "finish consumes the trace");
+        let root = &trace.root;
+        assert_eq!(root.stats.label, "join");
+        assert_eq!(root.stats.rows_out, 60);
+        assert_eq!(root.stats.rows_in, 140);
+        assert_eq!(root.stats.probe_rows, 100);
+        assert_eq!(root.stats.build_rows, 40);
+        assert_eq!(root.stats.pages_read, 6, "20 subtree - 14 from children");
+        assert_eq!(root.stats.interrupt_polls, 1);
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.children[0].stats.interrupt_polls, 2);
+        assert_eq!(root.children[1].stats.pages_read, 4);
+        assert_eq!(trace.node_count(), 3);
+        assert_eq!(trace.rows_out(), 60);
+        assert_eq!(trace.total_wall_micros, root.stats.wall_micros);
+    }
+
+    #[test]
+    fn abandoned_execution_yields_no_trace() {
+        let c = TraceCollector::new();
+        c.enter("join".into());
+        c.enter("scan".into());
+        c.exit(5, 0);
+        // The root never exits (simulates an interrupt unwinding past
+        // the wrapper) — finish must not fabricate a partial tree.
+        assert!(c.finish().is_none());
+    }
+
+    #[test]
+    fn unbalanced_exit_is_ignored() {
+        let c = TraceCollector::new();
+        c.exit(1, 1);
+        assert!(c.finish().is_none());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_the_tree() {
+        let trace = QueryTrace {
+            total_wall_micros: 1234,
+            root: TraceNode {
+                stats: OpStats {
+                    label: "HashJoin on \"E.did\" = D\\did".into(),
+                    rows_in: 140,
+                    rows_out: 60,
+                    build_rows: 40,
+                    probe_rows: 100,
+                    pages_read: 6,
+                    wall_micros: 1234,
+                    interrupt_polls: 1,
+                },
+                children: vec![leaf("SeqScan Emp AS E", 100), leaf("SeqScan Dept AS D", 40)],
+            },
+        };
+        let json = trace.to_json();
+        assert_eq!(QueryTrace::from_json(&json).unwrap(), trace);
+    }
+
+    #[test]
+    fn from_json_accepts_any_key_order() {
+        let json = concat!(
+            "{\"root\":{\"children\":[],\"op\":\"x\",\"interrupt_polls\":7,",
+            "\"wall_micros\":6,\"pages_read\":5,\"probe_rows\":4,\"build_rows\":3,",
+            "\"rows_out\":2,\"rows_in\":1},\"total_wall_micros\":6}"
+        );
+        let t = QueryTrace::from_json(json).unwrap();
+        assert_eq!(t.root.stats.rows_in, 1);
+        assert_eq!(t.root.stats.interrupt_polls, 7);
+    }
+
+    #[test]
+    fn strict_parser_rejects_typed() {
+        let good = QueryTrace {
+            total_wall_micros: 0,
+            root: leaf("x", 1),
+        }
+        .to_json();
+        // Truncations are typed, never panics.
+        for cut in 0..good.len() {
+            assert!(QueryTrace::from_json(&good[..cut]).is_err(), "cut at {cut}");
+        }
+        // Trailing bytes.
+        assert_eq!(
+            QueryTrace::from_json(&format!("{good}x")),
+            Err(TraceError::TrailingBytes(1))
+        );
+        // Duplicate key.
+        let dup = good.replace("\"rows_in\":0", "\"rows_in\":0,\"rows_in\":0");
+        assert_eq!(
+            QueryTrace::from_json(&dup),
+            Err(TraceError::DuplicateKey("rows_in".into()))
+        );
+        // Unknown key.
+        let unk = good.replace("\"rows_in\"", "\"rows_zin\"");
+        assert_eq!(
+            QueryTrace::from_json(&unk),
+            Err(TraceError::UnknownKey("rows_zin".into()))
+        );
+        // Missing key.
+        let miss = good.replace(",\"rows_out\":1", "");
+        assert_eq!(
+            QueryTrace::from_json(&miss),
+            Err(TraceError::MissingKey("rows_out"))
+        );
+        // Bad numbers: signs, leading zeros, overflow.
+        for bad in ["-1", "01", "99999999999999999999999999"] {
+            let j = good.replace("\"rows_in\":0", &format!("\"rows_in\":{bad}"));
+            assert_eq!(QueryTrace::from_json(&j), Err(TraceError::BadNumber));
+        }
+        // Bad escape.
+        let esc = good.replace("\"op\":\"x\"", "\"op\":\"\\n\"");
+        assert_eq!(QueryTrace::from_json(&esc), Err(TraceError::BadEscape));
+    }
+
+    #[test]
+    fn depth_bomb_is_too_deep_not_a_stack_overflow() {
+        let mut t = leaf("deep", 0);
+        for _ in 0..(MAX_TRACE_DEPTH + 8) {
+            t = TraceNode {
+                stats: OpStats {
+                    label: "deep".into(),
+                    ..OpStats::default()
+                },
+                children: vec![t],
+            };
+        }
+        let json = QueryTrace {
+            total_wall_micros: 0,
+            root: t,
+        }
+        .to_json();
+        assert_eq!(QueryTrace::from_json(&json), Err(TraceError::TooDeep));
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_lifetime() {
+        let ring = TraceRing::new(2);
+        assert!(ring.is_empty());
+        for i in 0..5u64 {
+            ring.push(TracedQuery {
+                query: format!("q{i}"),
+                trace: QueryTrace {
+                    total_wall_micros: i,
+                    root: leaf("x", i),
+                },
+            });
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.recorded(), 5);
+        let kept: Vec<String> = ring.recent().into_iter().map(|t| t.query).collect();
+        assert_eq!(kept, vec!["q3", "q4"]);
+        let json = ring.to_json();
+        assert!(json.starts_with("[{\"query\":\"q3\""));
+        assert!(json.ends_with("}]"));
+    }
+
+    #[test]
+    fn traced_query_json_escapes_the_query_text() {
+        let t = TracedQuery {
+            query: "say \"hi\" \\ bye".into(),
+            trace: QueryTrace {
+                total_wall_micros: 0,
+                root: leaf("x", 0),
+            },
+        };
+        assert!(t
+            .to_json()
+            .starts_with("{\"query\":\"say \\\"hi\\\" \\\\ bye\""));
+    }
+}

@@ -55,12 +55,36 @@ fn main() {
     let opts = QueryOptions {
         deadline: Some(Duration::from_secs(5)),
         config: Some(filterjoin::OptimizerConfig::without_filter_join()),
+        want_trace: false,
     };
     let overridden = client.query_with(&fixtures::paper_query(), &opts).unwrap();
     assert_eq!(overridden.rows.len(), reply.rows.len());
     println!(
         "override reply: {} rows (plan differs, answer doesn't)",
         overridden.rows.len()
+    );
+
+    // Tracing over the wire: set `want_trace` and the server executes
+    // with per-operator tracing on, sending the trace back in its own
+    // TRACE_REPLY frame right after the RESULT (the result bytes stay
+    // replica-comparable). The trace root's cardinality always equals
+    // the rows you got.
+    let traced = client
+        .query_with(
+            &fixtures::paper_query(),
+            &QueryOptions {
+                want_trace: true,
+                ..QueryOptions::default()
+            },
+        )
+        .unwrap();
+    let trace = traced.trace.expect("requested trace arrives");
+    assert_eq!(trace.rows_out() as usize, traced.rows.len());
+    println!(
+        "traced reply: {} rows, {} operators, {} µs traced wall time",
+        traced.rows.len(),
+        trace.node_count(),
+        trace.total_wall_micros
     );
 
     // Cancellation: a `Canceller` is a cheap clone of the connection's
@@ -77,6 +101,7 @@ fn main() {
     let slow = QueryOptions {
         deadline: None,
         config: Some(filterjoin::OptimizerConfig::without_filter_join()),
+        want_trace: false,
     };
     match client.query_with(&fixtures::paper_query(), &slow) {
         Ok(r) => println!("cancel lost the race: {} rows", r.rows.len()),

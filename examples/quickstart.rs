@@ -136,4 +136,10 @@ fn main() {
     for t in best.rows.iter().take(5) {
         println!("  {t}");
     }
+
+    // ---- 4. EXPLAIN ANALYZE: the same plan, executed with
+    // per-operator tracing — estimated vs actual rows and pages on
+    // every node, with gross misestimates flagged.
+    println!("\n--- EXPLAIN ANALYZE ---");
+    println!("{}", db.explain_analyze(&query).expect("analyzes"));
 }
