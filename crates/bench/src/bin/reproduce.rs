@@ -1,7 +1,7 @@
 //! Prints every reproduced figure/table as a paper-style text table.
 //!
 //! ```text
-//! reproduce [all|fig1|fig3|table1|fig4|fig5|fig6|complexity|crossover|dist|udf|local|bloom|throughput|trace-overhead|soak|chaos|cluster-chaos]
+//! reproduce [all|fig1|fig3|table1|fig4|fig5|fig6|complexity|crossover|dist|udf|local|bloom|throughput|trace-overhead|soak|chaos|cluster-chaos|recovery-chaos]
 //!           [--small] [--threads N]
 //! ```
 //!
@@ -63,6 +63,7 @@ fn main() {
             "soak",
             "chaos",
             "cluster-chaos",
+            "recovery-chaos",
         ]
     } else {
         which
@@ -142,6 +143,13 @@ fn main() {
                     repro::cluster_chaos::run(1_000, 100, 6, 12)
                 } else {
                     repro::cluster_chaos::run(5_000, 500, 16, 25)
+                }
+            }
+            "recovery-chaos" => {
+                if small {
+                    repro::recovery_chaos::run(1_000, 100, 4, 12)
+                } else {
+                    repro::recovery_chaos::run(5_000, 500, 12, 25)
                 }
             }
             other => {

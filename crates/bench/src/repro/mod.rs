@@ -14,6 +14,7 @@ pub mod fig4_cardinality;
 pub mod fig5_classes;
 pub mod fig6_taxonomy;
 pub mod local_semijoin;
+pub mod recovery_chaos;
 pub mod soak;
 pub mod table1_components;
 pub mod throughput;

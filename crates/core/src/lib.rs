@@ -42,6 +42,8 @@ pub use fj_storage::{
     BloomFilter, CostLedger, DataType, LedgerSnapshot, Schema, Table, TableBuilder, Tuple, Value,
 };
 pub use fj_trace as trace;
-pub use fj_trace::{OpStats, QueryTrace, TraceCollector, TraceNode, TraceRing, TracedQuery};
+pub use fj_trace::{
+    OpStats, QueryTrace, SubtreeIo, TraceCollector, TraceNode, TraceRing, TracedQuery,
+};
 pub use fj_udf as udf;
 pub use fj_udf::{CountingUdf, MemoUdf, TableFunction};

@@ -8,6 +8,7 @@ use fj_storage::{BloomFilter, CostLedger, FaultPlan, PageLayout, SchemaRef, Tupl
 use fj_trace::TraceCollector;
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -43,6 +44,37 @@ impl TempTable {
     }
 }
 
+/// A probe the runtime installs in disk-backed mode so traced
+/// executions can attribute buffer-pool traffic to plan nodes: calling
+/// it returns the pool's cumulative `(hits, misses)` counters. The
+/// interpreter snapshots it around each node exactly like the ledger's
+/// `page_reads`, so the closure must be cheap and callable from any
+/// thread.
+#[derive(Clone)]
+pub struct PoolProbe(Arc<dyn Fn() -> (u64, u64) + Send + Sync>);
+
+impl PoolProbe {
+    /// Wraps a `(hits, misses)` reader.
+    pub fn new(read: impl Fn() -> (u64, u64) + Send + Sync + 'static) -> PoolProbe {
+        PoolProbe(Arc::new(read))
+    }
+
+    /// The pool's cumulative `(hits, misses)` right now.
+    pub fn read(&self) -> (u64, u64) {
+        (self.0)()
+    }
+}
+
+impl fmt::Debug for PoolProbe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (hits, misses) = self.read();
+        f.debug_struct("PoolProbe")
+            .field("hits", &hits)
+            .field("misses", &misses)
+            .finish()
+    }
+}
+
 /// Everything a physical plan needs at runtime.
 #[derive(Debug, Clone)]
 pub struct ExecCtx {
@@ -70,6 +102,9 @@ pub struct ExecCtx {
     /// its untraced fast path and `check_interrupt` skips the poll
     /// counter.
     pub(crate) tracer: Option<Arc<TraceCollector>>,
+    /// Buffer-pool counter probe for trace attribution (disk-backed
+    /// mode only; `None` leaves every trace's pool counters at 0).
+    pub(crate) pool_probe: Option<PoolProbe>,
     /// Governor: maximum rows any execution may emit, summed across
     /// all plan nodes (`u64::MAX` = unlimited).
     row_budget: u64,
@@ -93,6 +128,7 @@ impl ExecCtx {
             interrupt: Interrupt::new(),
             faults: None,
             tracer: None,
+            pool_probe: None,
             row_budget: u64::MAX,
             memory_budget_pages: u64::MAX,
             rows_emitted: Arc::new(AtomicU64::new(0)),
@@ -137,6 +173,18 @@ impl ExecCtx {
     /// The attached trace collector, when tracing is on.
     pub fn tracer(&self) -> Option<&Arc<TraceCollector>> {
         self.tracer.as_ref()
+    }
+
+    /// Attaches a buffer-pool counter probe so traces in disk-backed
+    /// mode report per-operator pool hits and misses.
+    pub fn with_pool_probe(mut self, probe: PoolProbe) -> ExecCtx {
+        self.pool_probe = Some(probe);
+        self
+    }
+
+    /// The attached pool probe, if the service is disk-backed.
+    pub fn pool_probe(&self) -> Option<&PoolProbe> {
+        self.pool_probe.as_ref()
     }
 
     /// Caps the total rows the query may emit across all plan nodes.

@@ -32,7 +32,7 @@ pub mod lower;
 pub mod ops;
 pub mod physical;
 
-pub use context::{ExecCtx, TempTable};
+pub use context::{ExecCtx, PoolProbe, TempTable};
 pub use error::ExecError;
 pub use interrupt::{Interrupt, InterruptReason, INTERRUPT_CHECK_INTERVAL};
 pub use physical::{PhysPlan, TempStep};

@@ -70,6 +70,15 @@ pub fn index_ordered_scan(
         )));
     };
     ctx.ledger.read_pages(t.page_count());
+    // Disk mode: fetch every heap page through the backing explicitly
+    // (this path charges the ledger directly rather than going through
+    // `scan_checked`, which would add fault draws the in-memory fault
+    // schedule never saw). Index leaf pages have no physical shadow —
+    // only heap pages are stored — an intentional, documented
+    // divergence between simulated and physical counts.
+    for page_no in 0..t.page_count() {
+        t.read_backed_page(page_no).map_err(ExecError::Storage)?;
+    }
     // NULL keys are not indexed; they sort first by convention.
     let mut rows: Vec<Tuple> = t
         .rows()

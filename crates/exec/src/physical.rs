@@ -13,6 +13,7 @@ use crate::ops;
 use fj_algebra::{JoinKind, SiteId};
 use fj_expr::{AggCall, Expr};
 use fj_storage::{Schema, SchemaRef, Tuple, Value};
+use fj_trace::SubtreeIo;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -275,6 +276,7 @@ impl PhysPlan {
         };
         let tracer = Arc::clone(tracer);
         let pages_before = ctx.ledger.snapshot().page_reads;
+        let pool_before = ctx.pool_probe().map(|p| p.read());
         tracer.enter(self.node_label());
         // Everything between enter and exit — the entry poll included —
         // is attributed to this node's subtree; exit runs on the error
@@ -284,13 +286,19 @@ impl PhysPlan {
             ctx.charge_output_rows(rel.rows.len() as u64)?;
             Ok(rel)
         });
-        let subtree_pages = ctx
-            .ledger
-            .snapshot()
-            .page_reads
-            .saturating_sub(pages_before);
+        let mut io = SubtreeIo::pages(
+            ctx.ledger
+                .snapshot()
+                .page_reads
+                .saturating_sub(pages_before),
+        );
+        if let (Some(probe), Some((hits0, misses0))) = (ctx.pool_probe(), pool_before) {
+            let (hits, misses) = probe.read();
+            io.pool_hits = hits.saturating_sub(hits0);
+            io.pool_misses = misses.saturating_sub(misses0);
+        }
         let rows_out = result.as_ref().map(|r| r.rows.len() as u64).unwrap_or(0);
-        tracer.exit(rows_out, subtree_pages);
+        tracer.exit(rows_out, io);
         result
     }
 

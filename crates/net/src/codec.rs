@@ -840,6 +840,16 @@ pub struct HealthSnapshot {
     pub queue_capacity: u64,
     /// Connections currently open on the server.
     pub connections_active: u64,
+    /// Buffer-pool hits since start (0 when the replica runs in
+    /// memory).
+    pub pool_hits: u64,
+    /// Buffer-pool misses — physical page reads — since start (0 in
+    /// memory).
+    pub pool_misses: u64,
+    /// Pages evicted from the buffer pool since start.
+    pub pool_evictions: u64,
+    /// WAL group fsyncs issued since start.
+    pub wal_fsyncs: u64,
 }
 
 impl HealthSnapshot {
@@ -850,7 +860,9 @@ impl HealthSnapshot {
             concat!(
                 "{{\"status\":\"{}\",\"workers\":{},\"workers_replaced\":{},",
                 "\"queued\":{},\"in_flight\":{},\"queue_capacity\":{},",
-                "\"connections_active\":{}}}"
+                "\"connections_active\":{},\"pool_hits\":{},",
+                "\"pool_misses\":{},\"pool_evictions\":{},",
+                "\"wal_fsyncs\":{}}}"
             ),
             self.status,
             self.workers,
@@ -859,6 +871,10 @@ impl HealthSnapshot {
             self.in_flight,
             self.queue_capacity,
             self.connections_active,
+            self.pool_hits,
+            self.pool_misses,
+            self.pool_evictions,
+            self.wal_fsyncs,
         )
     }
 
@@ -871,14 +887,18 @@ impl HealthSnapshot {
     pub fn from_json(json: &str) -> Result<HealthSnapshot, CodecError> {
         let fields = parse_flat_json(json)?;
         let mut status = None;
-        let mut counters = [None; 6];
-        const KEYS: [&str; 6] = [
+        let mut counters = [None; 10];
+        const KEYS: [&str; 10] = [
             "workers",
             "workers_replaced",
             "queued",
             "in_flight",
             "queue_capacity",
             "connections_active",
+            "pool_hits",
+            "pool_misses",
+            "pool_evictions",
+            "wal_fsyncs",
         ];
         for (key, value) in fields {
             if key == "status" {
@@ -923,6 +943,10 @@ impl HealthSnapshot {
             in_flight: counter(3)?,
             queue_capacity: counter(4)?,
             connections_active: counter(5)?,
+            pool_hits: counter(6)?,
+            pool_misses: counter(7)?,
+            pool_evictions: counter(8)?,
+            wal_fsyncs: counter(9)?,
         })
     }
 }

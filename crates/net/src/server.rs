@@ -168,6 +168,10 @@ impl Shared {
             in_flight: h.in_flight as u64,
             queue_capacity: h.queue_capacity as u64,
             connections_active: self.counters.connections_active.load(Ordering::Relaxed) as u64,
+            pool_hits: h.pool_hits,
+            pool_misses: h.pool_misses,
+            pool_evictions: h.pool_evictions,
+            wal_fsyncs: h.wal_fsyncs,
         }
     }
 
@@ -307,6 +311,17 @@ impl Server {
     /// The server's current health report (what a HEALTH frame returns).
     pub fn health(&self) -> HealthSnapshot {
         self.shared.health()
+    }
+
+    /// What recovery found when this server started from a disk-backed
+    /// data directory; `None` for the in-memory storage mode.
+    pub fn recovery_report(&self) -> Option<fj_runtime::RecoveryReport> {
+        self.shared.service.recovery_report()
+    }
+
+    /// Store counters of the fronted service (all zero in memory mode).
+    pub fn store_stats(&self) -> fj_runtime::StoreStats {
+        self.shared.service.store_stats()
     }
 
     /// Begins a **soft drain**: new QUERY frames are refused with a

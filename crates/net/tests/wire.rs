@@ -135,6 +135,8 @@ fn trace_node_from(words: &mut dyn Iterator<Item = u64>, depth: usize) -> fj_tra
             build_rows: w % 100_000,
             probe_rows: w % 77_777,
             pages_read: w % 4096,
+            pool_hits: w % 513,
+            pool_misses: w % 129,
             wall_micros: w % 1_000_000,
             interrupt_polls: w % 64,
         },
@@ -290,6 +292,10 @@ proptest! {
         in_flight in 0u64..u64::MAX,
         queue_capacity in 0u64..u64::MAX,
         connections_active in 0u64..u64::MAX,
+        pool_hits in 0u64..u64::MAX,
+        pool_misses in 0u64..u64::MAX,
+        pool_evictions in 0u64..u64::MAX,
+        wal_fsyncs in 0u64..u64::MAX,
     ) {
         let health = HealthSnapshot {
             status: [HealthStatus::Ready, HealthStatus::Degraded, HealthStatus::Draining]
@@ -300,6 +306,10 @@ proptest! {
             in_flight,
             queue_capacity,
             connections_active,
+            pool_hits,
+            pool_misses,
+            pool_evictions,
+            wal_fsyncs,
         };
         let payload = encode_health_reply(&health).unwrap();
         prop_assert_eq!(decode_health_reply(&payload).unwrap(), health);
@@ -309,7 +319,7 @@ proptest! {
     /// The health JSON parser accepts any key order (it is a wire
     /// format other tooling may re-serialize).
     #[test]
-    fn health_json_accepts_any_key_order(shift in 0usize..7, ws in 0u64..2) {
+    fn health_json_accepts_any_key_order(shift in 0usize..11, ws in 0u64..2) {
         let health = HealthSnapshot {
             status: HealthStatus::Degraded,
             workers: 4,
@@ -318,6 +328,10 @@ proptest! {
             in_flight: 3,
             queue_capacity: 16,
             connections_active: 7,
+            pool_hits: 40,
+            pool_misses: 5,
+            pool_evictions: 2,
+            wal_fsyncs: 11,
         };
         let pairs = [
             ("status", "\"degraded\"".to_string()),
@@ -327,6 +341,10 @@ proptest! {
             ("in_flight", "3".to_string()),
             ("queue_capacity", "16".to_string()),
             ("connections_active", "7".to_string()),
+            ("pool_hits", "40".to_string()),
+            ("pool_misses", "5".to_string()),
+            ("pool_evictions", "2".to_string()),
+            ("wal_fsyncs", "11".to_string()),
         ];
         let sep = if ws == 1 { " " } else { "" };
         let body = (0..pairs.len())
@@ -356,6 +374,10 @@ proptest! {
             in_flight: 0,
             queue_capacity: 64,
             connections_active: 2,
+            pool_hits: 0,
+            pool_misses: 0,
+            pool_evictions: 0,
+            wal_fsyncs: 0,
         };
         let mut payload = encode_health_reply(&health).unwrap();
         for cut in 0..payload.len() {
@@ -540,7 +562,8 @@ fn adversarial_health_json_is_typed_not_panic() {
     let valid = concat!(
         "{\"status\":\"ready\",\"workers\":4,\"workers_replaced\":0,",
         "\"queued\":0,\"in_flight\":0,\"queue_capacity\":64,",
-        "\"connections_active\":1}"
+        "\"connections_active\":1,\"pool_hits\":0,\"pool_misses\":0,",
+        "\"pool_evictions\":0,\"wal_fsyncs\":0}"
     );
     HealthSnapshot::from_json(valid).unwrap();
     let cases: &[&str] = &[
@@ -583,7 +606,8 @@ fn adversarial_trace_json_is_typed_not_panic() {
     let valid = concat!(
         "{\"total_wall_micros\":5,\"root\":{\"op\":\"seq scan Emp\",",
         "\"rows_in\":0,\"rows_out\":3,\"build_rows\":0,\"probe_rows\":0,",
-        "\"pages_read\":1,\"wall_micros\":4,\"interrupt_polls\":2,",
+        "\"pages_read\":1,\"pool_hits\":1,\"pool_misses\":1,",
+        "\"wall_micros\":4,\"interrupt_polls\":2,",
         "\"children\":[]}}"
     );
     fj_trace::QueryTrace::from_json(valid).unwrap();
@@ -631,7 +655,8 @@ fn trace_depth_bomb_is_too_deep_not_a_stack_overflow() {
     // with a typed error instead of recursing away.
     let node_open = concat!(
         "{\"op\":\"x\",\"rows_in\":0,\"rows_out\":0,\"build_rows\":0,",
-        "\"probe_rows\":0,\"pages_read\":0,\"wall_micros\":0,",
+        "\"probe_rows\":0,\"pages_read\":0,\"pool_hits\":0,",
+        "\"pool_misses\":0,\"wall_micros\":0,",
         "\"interrupt_polls\":0,\"children\":["
     );
     let mut json = String::from("{\"total_wall_micros\":0,\"root\":");

@@ -58,7 +58,8 @@ pub mod service;
 pub use cache::{CacheStats, PlanCache};
 pub use fj_exec::{Interrupt, InterruptReason};
 pub use fj_storage::FaultPlan;
+pub use fj_store::{RecoveryReport, Store, StoreStats};
 pub use fj_trace::{QueryTrace, TraceRing, TracedQuery};
 pub use metrics::{LatencyHistogram, MetricsRecorder, RuntimeMetrics, LATENCY_BUCKETS};
 pub use queue::{BoundedQueue, PushError};
-pub use service::{QueryService, RuntimeError, ServiceConfig, ServiceHealth, Ticket};
+pub use service::{QueryService, RuntimeError, ServiceConfig, ServiceHealth, StorageMode, Ticket};

@@ -185,6 +185,15 @@ pub struct RuntimeMetrics {
     /// Per-query traces recorded over the service's lifetime (the
     /// trace ring keeps only the most recent ones; this counts all).
     pub traces_recorded: u64,
+    /// Buffer-pool hits since start (0 in in-memory mode).
+    pub pool_hits: u64,
+    /// Buffer-pool misses — physical page-file reads — since start
+    /// (0 in in-memory mode).
+    pub pool_misses: u64,
+    /// Pages evicted from the buffer pool since start.
+    pub pool_evictions: u64,
+    /// WAL group fsyncs issued since start.
+    pub wal_fsyncs: u64,
     /// Plan-cache hits.
     pub cache_hits: u64,
     /// Plan-cache misses.
@@ -215,6 +224,8 @@ impl RuntimeMetrics {
                 "\"interrupted_by_budget\":{},\"workers_replaced\":{},",
                 "\"workers\":{},\"in_flight\":{},",
                 "\"traces_recorded\":{},",
+                "\"pool_hits\":{},\"pool_misses\":{},",
+                "\"pool_evictions\":{},\"wal_fsyncs\":{},",
                 "\"cache_hits\":{},",
                 "\"cache_misses\":{},\"cache_hit_rate\":{:.6},",
                 "\"cache_entries\":{},\"queue_depth\":{},",
@@ -230,6 +241,10 @@ impl RuntimeMetrics {
             self.workers,
             self.in_flight,
             self.traces_recorded,
+            self.pool_hits,
+            self.pool_misses,
+            self.pool_evictions,
+            self.wal_fsyncs,
             self.cache_hits,
             self.cache_misses,
             self.cache_hit_rate,
@@ -288,6 +303,10 @@ mod tests {
             workers: 4,
             in_flight: 2,
             traces_recorded: 5,
+            pool_hits: 9,
+            pool_misses: 3,
+            pool_evictions: 1,
+            wal_fsyncs: 2,
             cache_hits: 2,
             cache_misses: 2,
             cache_hit_rate: 0.5,
@@ -308,6 +327,10 @@ mod tests {
         assert!(j.contains("\"workers\":4"));
         assert!(j.contains("\"in_flight\":2"));
         assert!(j.contains("\"traces_recorded\":5"));
+        assert!(j.contains("\"pool_hits\":9"));
+        assert!(j.contains("\"pool_misses\":3"));
+        assert!(j.contains("\"pool_evictions\":1"));
+        assert!(j.contains("\"wal_fsyncs\":2"));
         // Stable key order: completed always precedes errors precedes
         // cache_hits.
         let (a, b, c) = (
@@ -334,6 +357,10 @@ mod tests {
             workers: 1,
             in_flight: 0,
             traces_recorded: 0,
+            pool_hits: 0,
+            pool_misses: 0,
+            pool_evictions: 0,
+            wal_fsyncs: 0,
             cache_hits: 0,
             cache_misses: 0,
             cache_hit_rate: 0.0,
@@ -356,6 +383,10 @@ mod tests {
                 "workers",
                 "in_flight",
                 "traces_recorded",
+                "pool_hits",
+                "pool_misses",
+                "pool_evictions",
+                "wal_fsyncs",
                 "cache_hits",
                 "cache_misses",
                 "cache_hit_rate",

@@ -19,13 +19,15 @@
 use crate::cache::PlanCache;
 use crate::metrics::{MetricsRecorder, RuntimeMetrics};
 use crate::queue::{BoundedQueue, PushError};
-use fj_algebra::{Catalog, JoinQuery};
+use fj_algebra::{Catalog, JoinQuery, RelationKind, SiteId};
 use fj_core::QueryResult;
-use fj_exec::{ExecCtx, ExecError, Interrupt, InterruptReason};
+use fj_exec::{ExecCtx, ExecError, Interrupt, InterruptReason, PoolProbe};
 use fj_optimizer::{fingerprint, OptError, Optimizer, OptimizerConfig};
-use fj_storage::FaultPlan;
+use fj_storage::{FaultPlan, Table, TableRef};
+use fj_store::{RecoveryReport, Store, StoreStats};
 use fj_trace::{TraceCollector, TraceRing, TracedQuery};
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
@@ -57,6 +59,10 @@ pub enum RuntimeError {
     DeadlineExceeded,
     /// [`ServiceConfig::validate`] rejected a zero-sized knob.
     InvalidConfig(String),
+    /// Disk-backed storage failed: the data directory could not be
+    /// opened/recovered, a load did not persist, or a recovered table's
+    /// schema contradicts the catalog template.
+    Storage(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -74,6 +80,7 @@ impl fmt::Display for RuntimeError {
                 write!(f, "deadline expired before the query finished")
             }
             RuntimeError::InvalidConfig(what) => write!(f, "invalid service config: {what}"),
+            RuntimeError::Storage(what) => write!(f, "storage failure: {what}"),
         }
     }
 }
@@ -88,6 +95,36 @@ impl From<OptError> for RuntimeError {
             OptError::Exec(ExecError::Interrupted(reason)) => RuntimeError::Interrupted(reason),
             other => RuntimeError::Query(other),
         }
+    }
+}
+
+/// Where a service's base tables physically live.
+#[derive(Debug, Clone, Default)]
+pub enum StorageMode {
+    /// Pure in-memory heaps (the default): page I/O is *simulated*
+    /// through the cost ledger only. Byte-identical to the engine's
+    /// behavior before disk backing existed.
+    #[default]
+    InMemory,
+    /// Disk-backed: the catalog is reconciled with an [`fj_store::Store`]
+    /// data directory at startup (crash recovery included), every base
+    /// table's pages are physically read through a buffer pool, and the
+    /// service can restart from the directory alone. Execution still
+    /// runs against the in-memory rows, so results and fault schedules
+    /// stay byte-identical to [`StorageMode::InMemory`] — the disk adds
+    /// a physical shadow of the simulated I/O, not a new semantics.
+    Disk {
+        /// The data directory (created on first use).
+        dir: PathBuf,
+        /// Buffer-pool capacity in pages. Clamped to ≥ 1.
+        pool_pages: usize,
+    },
+}
+
+impl StorageMode {
+    /// Whether this is the disk-backed mode.
+    pub fn is_disk(&self) -> bool {
+        matches!(self, StorageMode::Disk { .. })
     }
 }
 
@@ -128,6 +165,9 @@ pub struct ServiceConfig {
     /// Capacity of the bounded ring of recent traces
     /// ([`QueryService::recent_traces`]). Clamped to ≥1.
     pub trace_ring_capacity: usize,
+    /// Physical storage mode: in-memory (the default) or disk-backed
+    /// with a data directory and buffer pool (see [`StorageMode`]).
+    pub storage: StorageMode,
 }
 
 impl Default for ServiceConfig {
@@ -144,6 +184,7 @@ impl Default for ServiceConfig {
             fault_plan: None,
             collect_trace: false,
             trace_ring_capacity: 16,
+            storage: StorageMode::InMemory,
         }
     }
 }
@@ -172,6 +213,11 @@ impl ServiceConfig {
         if self.trace_ring_capacity == 0 {
             return reject("trace_ring_capacity");
         }
+        if let StorageMode::Disk { pool_pages, .. } = &self.storage {
+            if *pool_pages == 0 {
+                return reject("storage pool_pages");
+            }
+        }
         Ok(())
     }
 
@@ -187,6 +233,9 @@ impl ServiceConfig {
         self.plan_cache_capacity = self.plan_cache_capacity.max(1);
         self.memory_pages = self.memory_pages.max(1);
         self.trace_ring_capacity = self.trace_ring_capacity.max(1);
+        if let StorageMode::Disk { pool_pages, .. } = &mut self.storage {
+            *pool_pages = (*pool_pages).max(1);
+        }
         self
     }
 }
@@ -212,6 +261,11 @@ struct Shared {
     worker_handles: Mutex<Vec<JoinHandle<()>>>,
     /// Monotonic id source for replacement-worker thread names.
     worker_seq: AtomicUsize,
+    /// The disk store behind the catalog's page backings
+    /// (`None` = in-memory mode).
+    store: Option<Arc<Store>>,
+    /// What [`Store::open`] found at startup (disk mode only).
+    recovery: Option<RecoveryReport>,
     cfg: ServiceConfig,
     started: Instant,
 }
@@ -307,6 +361,15 @@ pub struct ServiceHealth {
     pub in_flight: usize,
     /// Submission-queue capacity (the shed threshold).
     pub queue_capacity: usize,
+    /// Buffer-pool hits since start (0 in in-memory mode).
+    pub pool_hits: u64,
+    /// Buffer-pool misses — physical page reads — since start (0 in
+    /// in-memory mode).
+    pub pool_misses: u64,
+    /// Pages evicted from the buffer pool since start.
+    pub pool_evictions: u64,
+    /// WAL group fsyncs issued since start.
+    pub wal_fsyncs: u64,
 }
 
 impl ServiceHealth {
@@ -337,7 +400,38 @@ impl QueryService {
     /// are clamped to 1 (use [`ServiceConfig::validate`] beforehand to
     /// reject them instead).
     pub fn start(catalog: Catalog, config: ServiceConfig) -> QueryService {
+        match QueryService::try_start(catalog, config) {
+            Ok(service) => service,
+            Err(e) => panic!("failed to start query service: {e}"),
+        }
+    }
+
+    /// Fallible counterpart of [`QueryService::start`] — the path for
+    /// disk-backed services, where opening or recovering the data
+    /// directory can fail ([`RuntimeError::Storage`]). In-memory
+    /// startup never errors.
+    ///
+    /// In [`StorageMode::Disk`], `catalog` acts as a *template*: tables
+    /// already committed in the data directory are recovered from disk
+    /// (replacing the template's copy; their schemas must match),
+    /// tables the store has never seen are loaded into it, and every
+    /// base table is attached to the store's buffer pool so queries
+    /// physically read pages through it.
+    pub fn try_start(
+        catalog: Catalog,
+        config: ServiceConfig,
+    ) -> Result<QueryService, RuntimeError> {
         let config = config.normalized();
+        let (catalog, store, recovery) = match &config.storage {
+            StorageMode::InMemory => (catalog, None, None),
+            StorageMode::Disk { dir, pool_pages } => {
+                let (store, report) = Store::open(dir, *pool_pages, config.fault_plan.clone())
+                    .map_err(|e| RuntimeError::Storage(e.to_string()))?;
+                let store = Arc::new(store);
+                let catalog = build_disk_catalog(catalog, &store)?;
+                (catalog, Some(store), Some(report))
+            }
+        };
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_capacity),
             catalog: RwLock::new(Arc::new(catalog)),
@@ -347,13 +441,15 @@ impl QueryService {
             in_flight: AtomicUsize::new(0),
             worker_handles: Mutex::new(Vec::new()),
             worker_seq: AtomicUsize::new(config.workers),
+            store,
+            recovery,
             cfg: config.clone(),
             started: Instant::now(),
         });
         for i in 0..shared.cfg.workers {
             spawn_worker(&shared, format!("fj-worker-{i}"));
         }
-        QueryService { shared }
+        Ok(QueryService { shared })
     }
 
     /// Enqueues a query under the service's default optimizer config.
@@ -448,12 +544,28 @@ impl QueryService {
     /// plan cache is cleared (its keys are dead anyway — the epoch is
     /// part of every fingerprint).
     pub fn install_catalog(&self, catalog: Catalog) {
+        if let Err(e) = self.try_install_catalog(catalog) {
+            panic!("failed to install catalog: {e}");
+        }
+    }
+
+    /// Fallible catalog install. In disk mode the new catalog is
+    /// reconciled with the store first (new tables are persisted and
+    /// backed, previously committed ones recover from disk), which can
+    /// fail with [`RuntimeError::Storage`]; in-memory installs never
+    /// error.
+    pub fn try_install_catalog(&self, catalog: Catalog) -> Result<(), RuntimeError> {
+        let catalog = match &self.shared.store {
+            Some(store) => build_disk_catalog(catalog, store)?,
+            None => catalog,
+        };
         *self
             .shared
             .catalog
             .write()
             .unwrap_or_else(|e| e.into_inner()) = Arc::new(catalog);
         self.shared.cache.clear();
+        Ok(())
     }
 
     /// The current catalog snapshot (as queries would see it).
@@ -465,12 +577,49 @@ impl QueryService {
     /// replacements, and queue pressure, without the histogram copy a
     /// full [`QueryService::metrics`] snapshot carries.
     pub fn health(&self) -> ServiceHealth {
+        let store = self.store_stats();
         ServiceHealth {
             workers: self.shared.cfg.workers,
             workers_replaced: self.shared.metrics.workers_replaced(),
             queued: self.shared.queue.len(),
             in_flight: self.shared.in_flight.load(Ordering::Relaxed),
             queue_capacity: self.shared.cfg.queue_capacity,
+            pool_hits: store.pool_hits,
+            pool_misses: store.pool_misses,
+            pool_evictions: store.pool_evictions,
+            wal_fsyncs: store.wal_fsyncs,
+        }
+    }
+
+    /// The disk store's counter snapshot — all zeros in in-memory mode,
+    /// so callers can difference without caring about the mode.
+    pub fn store_stats(&self) -> StoreStats {
+        self.shared
+            .store
+            .as_deref()
+            .map(Store::stats)
+            .unwrap_or_default()
+    }
+
+    /// The disk store itself (checkpointing, cold-start pool clears in
+    /// tests); `None` in in-memory mode.
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.shared.store.as_ref()
+    }
+
+    /// What recovery found at startup; `None` in in-memory mode.
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.shared.recovery
+    }
+
+    /// Checkpoints the disk store (scrub + manifest publish + WAL
+    /// truncate); a no-op in in-memory mode.
+    pub fn checkpoint(&self) -> Result<(), RuntimeError> {
+        match &self.shared.store {
+            Some(store) => store
+                .checkpoint()
+                .map_err(|e| RuntimeError::Storage(e.to_string())),
+            None => Ok(()),
         }
     }
 
@@ -492,6 +641,7 @@ impl QueryService {
         let cache = self.shared.cache.stats();
         let uptime = self.shared.started.elapsed().as_secs_f64();
         let completed = self.shared.metrics.completed();
+        let store = self.store_stats();
         RuntimeMetrics {
             completed,
             errors: self.shared.metrics.errors(),
@@ -505,6 +655,10 @@ impl QueryService {
             workers: self.shared.cfg.workers,
             in_flight: self.shared.in_flight.load(Ordering::Relaxed),
             traces_recorded: self.shared.traces.recorded(),
+            pool_hits: store.pool_hits,
+            pool_misses: store.pool_misses,
+            pool_evictions: store.pool_evictions,
+            wal_fsyncs: store.wal_fsyncs,
             queue_depth: self.shared.queue.len() + self.shared.in_flight.load(Ordering::Relaxed),
             uptime_secs: uptime,
             throughput_qps: if uptime > 0.0 {
@@ -655,6 +809,13 @@ fn execute_job(shared: &Shared, job: &Job) -> Result<QueryResult, RuntimeError> 
     if let Some(faults) = &shared.cfg.fault_plan {
         ctx = ctx.with_faults(Arc::clone(faults));
     }
+    if let Some(store) = &shared.store {
+        let store = Arc::clone(store);
+        ctx = ctx.with_pool_probe(PoolProbe::new(move || {
+            let stats = store.stats();
+            (stats.pool_hits, stats.pool_misses)
+        }));
+    }
     let collector = job.collect_trace.then(|| Arc::new(TraceCollector::new()));
     if let Some(c) = &collector {
         ctx = ctx.with_tracer(Arc::clone(c));
@@ -688,6 +849,93 @@ fn execute_job(shared: &Shared, job: &Job) -> Result<QueryResult, RuntimeError> 
         latency_micros: 0,
         trace,
     })
+}
+
+/// Reconciles a catalog template with a disk store and returns the
+/// disk-backed catalog a service executes against.
+///
+/// For every base table (local or remote) in the template:
+///
+/// * already committed in the store → the *recovered* rows are
+///   authoritative (they survived the crash; the template's copy is
+///   discarded). The recovered schema must equal the template's —
+///   a mismatch is a configuration error, not something to paper over.
+/// * unknown to the store → the template's rows are loaded (WAL +
+///   page file + commit marker) so the next restart recovers them.
+///
+/// Each table is then rebuilt as a *fresh* [`Table`] — catalog clones
+/// share `Arc<Table>`, so mutating the template in place would leak
+/// backings into unrelated in-memory catalogs — with the template's
+/// hash/B-tree indexes recreated and the store's buffer pool attached
+/// as its [`fj_storage::PageBacking`]. Committed tables the template
+/// does not mention (loaded by a previous catalog generation) are
+/// recovered and served too, index-less.
+///
+/// Views, UDFs, and the network model pass through unchanged.
+fn build_disk_catalog(template: Catalog, store: &Store) -> Result<Catalog, RuntimeError> {
+    let storage_err = |e: fj_store::StoreError| RuntimeError::Storage(e.to_string());
+    let mut catalog = template.clone();
+    let template_tables: Vec<(TableRef, SiteId)> = template
+        .relation_names()
+        .iter()
+        .filter_map(|name| match template.resolve(name) {
+            Ok(RelationKind::Base(t)) => Some((t, SiteId::LOCAL)),
+            Ok(RelationKind::Remote(t, site)) => Some((t, site)),
+            _ => None,
+        })
+        .collect();
+    for (tmpl, site) in &template_tables {
+        let name = tmpl.name().to_string();
+        let rows = if store.has_table(&name) {
+            let (schema, rows) = store.recovered_rows(&name).map_err(storage_err)?;
+            if schema != **tmpl.schema() {
+                return Err(RuntimeError::Storage(format!(
+                    "table '{name}' in the data directory has schema {schema}, \
+                     but the catalog template declares {}",
+                    tmpl.schema()
+                )));
+            }
+            rows
+        } else {
+            store.load_table(tmpl).map_err(storage_err)?;
+            tmpl.rows().to_vec()
+        };
+        let mut table = Table::new(&name, (**tmpl.schema()).clone(), rows)
+            .map_err(|e| RuntimeError::Storage(e.to_string()))?;
+        for col in tmpl.hash_indexed_columns() {
+            table
+                .create_hash_index(col)
+                .map_err(|e| RuntimeError::Storage(e.to_string()))?;
+        }
+        for col in tmpl.btree_indexed_columns() {
+            table
+                .create_btree_index(col)
+                .map_err(|e| RuntimeError::Storage(e.to_string()))?;
+        }
+        if let Some(backing) = store.backing_for(&name) {
+            table.attach_backing(backing);
+        }
+        let table = table.into_ref();
+        if *site == SiteId::LOCAL {
+            catalog.add_table(table);
+        } else {
+            catalog.add_remote_table(table, *site);
+        }
+    }
+    // Committed tables the template never mentioned: recover and serve.
+    for name in store.table_names() {
+        if template_tables.iter().any(|(t, _)| t.name() == name) {
+            continue;
+        }
+        let (schema, rows) = store.recovered_rows(&name).map_err(storage_err)?;
+        let table =
+            Table::new(&name, schema, rows).map_err(|e| RuntimeError::Storage(e.to_string()))?;
+        if let Some(backing) = store.backing_for(&name) {
+            table.attach_backing(backing);
+        }
+        catalog.add_table(table.into_ref());
+    }
+    Ok(catalog)
 }
 
 /// A short human-readable tag for a query in the trace ring: its FROM

@@ -608,3 +608,176 @@ fn per_submission_trace_flag_overrides_service_default() {
     assert_eq!(service.metrics().traces_recorded, 1);
     service.shutdown();
 }
+
+// ---------------------------------------------------------------------------
+// Disk-backed storage mode
+// ---------------------------------------------------------------------------
+
+fn disk_config(dir: &std::path::Path, pool_pages: usize) -> ServiceConfig {
+    ServiceConfig {
+        workers: 1,
+        storage: fj_runtime::StorageMode::Disk {
+            dir: dir.to_path_buf(),
+            pool_pages,
+        },
+        ..ServiceConfig::default()
+    }
+}
+
+/// Disk mode returns byte-identical answers to in-memory mode, and a
+/// service restarted from the data directory alone (crash recovery)
+/// still does — with a cold buffer pool, so the restart's first query
+/// physically reads pages (pool misses) where the loading service was
+/// served from the load-warmed pool.
+#[test]
+fn disk_mode_matches_in_memory_and_survives_restart() {
+    let dir = fj_store::TempDir::new("runtime-disk");
+    let in_memory = QueryService::start(
+        paper_catalog(),
+        ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        },
+    )
+    .execute(paper_query())
+    .unwrap();
+
+    {
+        let service = QueryService::start(paper_catalog(), disk_config(dir.path(), 64));
+        let report = service.recovery_report().expect("disk mode has a report");
+        assert_eq!(report.manifest_tables, 0, "fresh directory");
+        assert_eq!(report.replayed_tables, 0);
+        let result = service.execute(paper_query()).unwrap();
+        assert_eq!(sorted(result.rows), sorted(in_memory.rows.clone()));
+        assert_eq!(
+            result.charges, in_memory.charges,
+            "ledger charges identical"
+        );
+        let stats = service.store_stats();
+        assert!(stats.pool_hits > 0, "load warms the pool: {stats:?}");
+        assert_eq!(stats.pool_misses, 0, "warm pool, no physical reads");
+        assert!(stats.wal_fsyncs >= 1, "loads group-commit through the WAL");
+        service.shutdown();
+        // No checkpoint: the WAL alone carries both tables (a crash).
+    }
+
+    let service = QueryService::start(paper_catalog(), disk_config(dir.path(), 64));
+    let report = service.recovery_report().unwrap();
+    assert_eq!(
+        report.replayed_tables, 2,
+        "Emp and Dept replay from the WAL"
+    );
+    let result = service.execute(paper_query()).unwrap();
+    assert_eq!(sorted(result.rows), sorted(in_memory.rows.clone()));
+    assert_eq!(result.charges, in_memory.charges);
+    let stats = service.store_stats();
+    assert!(
+        stats.pool_misses > 0,
+        "restart starts cold: the first query must physically read pages, got {stats:?}"
+    );
+    let m = service.metrics();
+    assert_eq!(m.pool_misses, stats.pool_misses);
+    assert!(m.to_json().contains("\"pool_misses\":"));
+    let h = service.health();
+    assert_eq!(h.pool_misses, stats.pool_misses);
+    assert_eq!(h.wal_fsyncs, stats.wal_fsyncs);
+    service.shutdown();
+}
+
+/// A restart whose template omits tables the store committed still
+/// serves them (recovered from disk), and checkpointing moves them
+/// from the WAL to the manifest.
+#[test]
+fn restart_with_bare_template_serves_recovered_tables() {
+    let dir = fj_store::TempDir::new("runtime-disk-bare");
+    {
+        let service = QueryService::start(paper_catalog(), disk_config(dir.path(), 64));
+        service.checkpoint().unwrap();
+        service.shutdown();
+    }
+    let mut bare = Catalog::new();
+    fj_algebra::fixtures::add_dep_avg_sal_view(&mut bare);
+    let service = QueryService::start(bare, disk_config(dir.path(), 64));
+    let report = service.recovery_report().unwrap();
+    assert_eq!(
+        report.manifest_tables, 2,
+        "checkpoint made both tables durable"
+    );
+    assert_eq!(report.replayed_tables, 0, "WAL was truncated");
+    let result = service.execute(paper_query()).unwrap();
+    assert_eq!(
+        result.rows.len(),
+        2,
+        "recovered tables answer the paper query"
+    );
+    service.shutdown();
+}
+
+/// A data directory whose committed table contradicts the template's
+/// schema is a startup error, not a silent divergence.
+#[test]
+fn schema_mismatch_on_recovery_is_a_storage_error() {
+    let dir = fj_store::TempDir::new("runtime-disk-mismatch");
+    {
+        let service = QueryService::start(paper_catalog(), disk_config(dir.path(), 64));
+        service.shutdown();
+    }
+    let mut template = Catalog::new();
+    template.add_table(
+        TableBuilder::new("Emp")
+            .column("eid", DataType::Int)
+            .column("did", DataType::Str) // was Int on disk
+            .build()
+            .unwrap()
+            .into_ref(),
+    );
+    match QueryService::try_start(template, disk_config(dir.path(), 64)) {
+        Err(RuntimeError::Storage(msg)) => {
+            assert!(msg.contains("Emp"), "error should name the table: {msg}")
+        }
+        other => panic!("expected a storage error, got {other:?}"),
+    }
+}
+
+/// In-memory services report all-zero store counters, and their
+/// metrics JSON still carries the pool keys (stable wire shape).
+#[test]
+fn in_memory_mode_reports_zero_store_counters() {
+    let service = QueryService::start(paper_catalog(), ServiceConfig::default());
+    service.execute(paper_query()).unwrap();
+    let stats = service.store_stats();
+    assert_eq!(stats, fj_runtime::StoreStats::default());
+    assert!(service.store().is_none());
+    assert!(service.recovery_report().is_none());
+    service.checkpoint().unwrap(); // no-op, not an error
+    let j = service.metrics().to_json();
+    assert!(j.contains("\"pool_hits\":0,\"pool_misses\":0"));
+    service.shutdown();
+}
+
+/// Traced queries in disk mode attribute pool traffic to operators:
+/// after a pool clear, the trace's summed pool misses equal the
+/// physical reads the query triggered.
+#[test]
+fn traced_disk_query_attributes_pool_traffic() {
+    let dir = fj_store::TempDir::new("runtime-disk-trace");
+    let service = QueryService::start(paper_catalog(), disk_config(dir.path(), 64));
+    service.store().unwrap().clear_pool();
+    let before = service.store_stats();
+    let result = service
+        .submit_with_options(paper_query(), Default::default(), true)
+        .unwrap()
+        .wait()
+        .unwrap();
+    let after = service.store_stats();
+    let trace = result.trace.expect("tracing was on");
+    let (mut hits, mut misses) = (0u64, 0u64);
+    trace.root.walk(&mut |n| {
+        hits += n.stats.pool_hits;
+        misses += n.stats.pool_misses;
+    });
+    assert_eq!(misses, after.pool_misses - before.pool_misses);
+    assert_eq!(hits, after.pool_hits - before.pool_hits);
+    assert!(misses > 0, "cold pool: the scan must miss");
+    service.shutdown();
+}

@@ -39,6 +39,13 @@ pub enum StorageError {
         /// The 0-based page-read ordinal at which the fault fired.
         ordinal: u64,
     },
+    /// A disk-backed page store (attached via [`crate::PageBacking`])
+    /// failed to serve a physical page: I/O error, checksum mismatch,
+    /// or a page missing from the file.
+    Backing {
+        /// Human-readable description of the failure.
+        detail: String,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -62,6 +69,9 @@ impl fmt::Display for StorageError {
             }
             StorageError::InjectedFault { ordinal } => {
                 write!(f, "injected I/O fault at page read {ordinal}")
+            }
+            StorageError::Backing { detail } => {
+                write!(f, "page backing failure: {detail}")
             }
         }
     }

@@ -1,12 +1,18 @@
-//! Deterministic fault injection for the paged-heap I/O path.
+//! Deterministic fault injection for the paged I/O paths.
 //!
-//! A [`FaultPlan`] is a seeded schedule of page-read misbehavior: every
+//! A [`FaultPlan`] is a seeded schedule of storage misbehavior: every
 //! page read that passes through a fault-aware access path
 //! ([`crate::Table::scan_checked`] / [`crate::Table::fetch_checked`])
 //! advances a per-plan ordinal counter, and the plan decides — purely as
 //! a function of `(seed, ordinal)` — whether that read succeeds, fails
 //! with a typed [`StorageError::InjectedFault`], stalls for a configured
-//! latency, or panics (modelling a crashing worker).
+//! latency, or panics (modelling a crashing worker). The disk-backed
+//! page store (`fj-store`) threads the same plan through its *write*
+//! path: [`FaultPlan::on_page_write`] draws torn-page decisions (the
+//! write silently persists only a prefix of the page, detectable later
+//! by checksum) and [`FaultPlan::on_fsync`] draws slow-fsync stalls —
+//! each class on its own ordinal counter so arming one never perturbs
+//! the schedule of another.
 //!
 //! Determinism is the point: a single-threaded execution replays the
 //! exact same fault sequence for a given seed, which makes "any seeded
@@ -40,7 +46,23 @@ pub struct FaultPlan {
     stall_one_in: u64,
     stall: Duration,
     panic_at: Option<u64>,
+    torn_write_one_in: u64,
+    slow_fsync_one_in: u64,
+    slow_fsync: Duration,
     ordinal: AtomicU64,
+    write_ordinal: AtomicU64,
+    fsync_ordinal: AtomicU64,
+}
+
+/// The decision [`FaultPlan::on_page_write`] draws for one page write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageWriteFault {
+    /// The write goes through intact.
+    None,
+    /// The write is torn: only a prefix of the page reaches the disk,
+    /// silently (the writer sees success — exactly the failure mode a
+    /// checksummed page header exists to catch at read/recovery time).
+    Torn,
 }
 
 impl FaultPlan {
@@ -52,7 +74,12 @@ impl FaultPlan {
             stall_one_in: 0,
             stall: Duration::ZERO,
             panic_at: None,
+            torn_write_one_in: 0,
+            slow_fsync_one_in: 0,
+            slow_fsync: Duration::ZERO,
             ordinal: AtomicU64::new(0),
+            write_ordinal: AtomicU64::new(0),
+            fsync_ordinal: AtomicU64::new(0),
         }
     }
 
@@ -79,9 +106,37 @@ impl FaultPlan {
         self
     }
 
+    /// Arms torn page writes at a rate of one in `one_in` page writes
+    /// (`0` disables). A torn write persists only a prefix of the page;
+    /// the writer is not told — detection is the checksum's job at the
+    /// next read or recovery.
+    pub fn with_torn_page_writes(mut self, one_in: u64) -> FaultPlan {
+        self.torn_write_one_in = one_in;
+        self
+    }
+
+    /// Arms slow fsyncs: one in `one_in` fsync calls stalls for
+    /// `stall` before completing (`0` disables). Models a device whose
+    /// write cache periodically drains under group commit.
+    pub fn with_slow_fsync(mut self, one_in: u64, stall: Duration) -> FaultPlan {
+        self.slow_fsync_one_in = one_in;
+        self.slow_fsync = stall;
+        self
+    }
+
     /// Page-read events drawn so far.
     pub fn events(&self) -> u64 {
         self.ordinal.load(Ordering::Relaxed)
+    }
+
+    /// Page-write events drawn so far.
+    pub fn write_events(&self) -> u64 {
+        self.write_ordinal.load(Ordering::Relaxed)
+    }
+
+    /// Fsync events drawn so far.
+    pub fn fsync_events(&self) -> u64 {
+        self.fsync_ordinal.load(Ordering::Relaxed)
     }
 
     /// Draws the next fault decision. Called once per accounted page
@@ -107,6 +162,43 @@ impl FaultPlan {
             return Err(StorageError::InjectedFault { ordinal: n });
         }
         Ok(())
+    }
+
+    /// Draws the next write-path fault decision. Called once per page
+    /// write by the disk-backed page store. The draw stream uses its
+    /// own ordinal counter and a distinct domain-separation constant,
+    /// so arming (or drawing) write faults never shifts the read or
+    /// fsync schedules.
+    pub fn on_page_write(&self) -> PageWriteFault {
+        let n = self.write_ordinal.fetch_add(1, Ordering::Relaxed);
+        if self.torn_write_one_in == 0 {
+            return PageWriteFault::None;
+        }
+        let draw =
+            splitmix64(self.seed ^ 0x7f4a_7c15_9e37_79b9 ^ n.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        if draw.is_multiple_of(self.torn_write_one_in) {
+            PageWriteFault::Torn
+        } else {
+            PageWriteFault::None
+        }
+    }
+
+    /// Draws the next fsync fault decision, sleeping for the configured
+    /// stall when it fires. Called once per physical `fsync` by the
+    /// WAL's group-commit path. Returns `true` iff this fsync stalled
+    /// (so callers can count slow fsyncs if they care).
+    pub fn on_fsync(&self) -> bool {
+        let n = self.fsync_ordinal.fetch_add(1, Ordering::Relaxed);
+        if self.slow_fsync_one_in == 0 {
+            return false;
+        }
+        let draw =
+            splitmix64(self.seed ^ 0x1331_11eb_94d0_49bb ^ n.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        if draw.is_multiple_of(self.slow_fsync_one_in) {
+            std::thread::sleep(self.slow_fsync);
+            return true;
+        }
+        false
     }
 }
 
@@ -170,5 +262,116 @@ mod tests {
         let t0 = std::time::Instant::now();
         plan.on_page_read().unwrap();
         assert!(t0.elapsed() >= Duration::from_millis(5));
+    }
+
+    fn torn_ordinals(plan: &FaultPlan, draws: u64) -> Vec<u64> {
+        (0..draws)
+            .filter(|_| plan.on_page_write() == PageWriteFault::Torn)
+            .collect()
+    }
+
+    #[test]
+    fn quiescent_plan_never_tears_writes() {
+        let plan = FaultPlan::new(3);
+        for _ in 0..5_000 {
+            assert_eq!(plan.on_page_write(), PageWriteFault::None);
+            assert!(!plan.on_fsync());
+        }
+        assert_eq!(plan.write_events(), 5_000);
+        assert_eq!(plan.fsync_events(), 5_000);
+    }
+
+    #[test]
+    fn same_seed_same_torn_write_schedule() {
+        let a = FaultPlan::new(11).with_torn_page_writes(40);
+        let b = FaultPlan::new(11).with_torn_page_writes(40);
+        let ta = torn_ordinals(&a, 4_000);
+        let tb = torn_ordinals(&b, 4_000);
+        assert_eq!(ta, tb);
+        assert!(!ta.is_empty(), "1-in-40 over 4000 draws must fire");
+        assert!(ta.len() < 500, "got {}", ta.len());
+    }
+
+    #[test]
+    fn write_draws_do_not_shift_read_schedule() {
+        // Same seed, same read rate; one plan also draws 1000 write
+        // and fsync decisions interleaved. Read fault ordinals must be
+        // identical: the classes live on independent counters.
+        let quiet = FaultPlan::new(21).with_read_errors(30);
+        let noisy = FaultPlan::new(21)
+            .with_read_errors(30)
+            .with_torn_page_writes(5)
+            .with_slow_fsync(0, Duration::ZERO);
+        let expected = fault_ordinals(&quiet, 2_000);
+        let got: Vec<u64> = (0..2_000u64)
+            .filter_map(|_| {
+                noisy.on_page_write();
+                let r = match noisy.on_page_read() {
+                    Ok(()) => None,
+                    Err(StorageError::InjectedFault { ordinal }) => Some(ordinal),
+                    Err(other) => panic!("unexpected error {other}"),
+                };
+                noisy.on_fsync();
+                r
+            })
+            .collect();
+        assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn slow_fsync_stalls_when_drawn() {
+        let plan = FaultPlan::new(5).with_slow_fsync(1, Duration::from_millis(5));
+        let t0 = std::time::Instant::now();
+        assert!(plan.on_fsync());
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn fsync_schedule_reproducible_from_seed() {
+        let a = FaultPlan::new(77).with_slow_fsync(25, Duration::ZERO);
+        let b = FaultPlan::new(77).with_slow_fsync(25, Duration::ZERO);
+        let sa: Vec<bool> = (0..2_000).map(|_| a.on_fsync()).collect();
+        let sb: Vec<bool> = (0..2_000).map(|_| b.on_fsync()).collect();
+        assert_eq!(sa, sb);
+        assert!(sa.iter().any(|&s| s), "1-in-25 over 2000 draws must fire");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Satellite 1: fault schedules — read errors, torn writes,
+            /// and slow fsyncs together — are a pure function of the
+            /// seed. Two plans built from the same seed and rates agree
+            /// on every draw of every class.
+            #[test]
+            fn fault_schedules_reproducible_from_seed(
+                seed in 0u64..u64::MAX,
+                read_one_in in 0u64..64,
+                torn_one_in in 0u64..64,
+                fsync_one_in in 0u64..64,
+                draws in 1u64..512,
+            ) {
+                let build = || {
+                    FaultPlan::new(seed)
+                        .with_read_errors(read_one_in)
+                        .with_torn_page_writes(torn_one_in)
+                        .with_slow_fsync(fsync_one_in, Duration::ZERO)
+                };
+                let (a, b) = (build(), build());
+                for _ in 0..draws {
+                    prop_assert_eq!(
+                        a.on_page_read().is_err(),
+                        b.on_page_read().is_err()
+                    );
+                    prop_assert_eq!(a.on_page_write(), b.on_page_write());
+                    prop_assert_eq!(a.on_fsync(), b.on_fsync());
+                }
+                prop_assert_eq!(a.events(), draws);
+                prop_assert_eq!(a.write_events(), draws);
+                prop_assert_eq!(a.fsync_events(), draws);
+            }
+        }
     }
 }

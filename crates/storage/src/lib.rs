@@ -23,6 +23,7 @@
 //! formulas, so a deterministic cost ledger reproduces exactly the
 //! quantities the formulas reason about (see `DESIGN.md`, substitutions).
 
+pub mod backing;
 pub mod bloom;
 pub mod builder;
 pub mod error;
@@ -36,10 +37,11 @@ pub mod table;
 pub mod tuple;
 pub mod value;
 
+pub use backing::PageBacking;
 pub use bloom::BloomFilter;
 pub use builder::TableBuilder;
 pub use error::StorageError;
-pub use fault::FaultPlan;
+pub use fault::{FaultPlan, PageWriteFault};
 pub use index::{BTreeIndex, HashIndex, Index};
 pub use ledger::{CostLedger, LedgerSnapshot, CPU_WEIGHT_DEFAULT, TUPLE_OPS_PER_PAGE};
 pub use page::{page_count, PageLayout, PAGE_SIZE};

@@ -1,5 +1,6 @@
 //! In-memory, page-accounted heap tables.
 
+use crate::backing::PageBacking;
 use crate::error::StorageError;
 use crate::fault::FaultPlan;
 use crate::index::{BTreeIndex, HashIndex};
@@ -8,7 +9,7 @@ use crate::page::PageLayout;
 use crate::schema::{Schema, SchemaRef};
 use crate::stats::TableStats;
 use crate::tuple::Tuple;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Shared table handle. Tables are immutable once loaded (the paper's
 /// workloads are read-only decision-support queries), which lets scans
@@ -25,6 +26,7 @@ pub struct Table {
     stats: TableStats,
     hash_indexes: Vec<(usize, HashIndex)>,
     btree_indexes: Vec<(usize, BTreeIndex)>,
+    backing: OnceLock<Arc<dyn PageBacking>>,
 }
 
 impl Table {
@@ -54,7 +56,41 @@ impl Table {
             stats,
             hash_indexes: Vec::new(),
             btree_indexes: Vec::new(),
+            backing: OnceLock::new(),
         })
+    }
+
+    /// Attaches a physical page backing. From here on, the fault-aware
+    /// access paths ([`Table::scan_checked`] / [`Table::fetch_checked`]
+    /// / [`Table::read_backed_page`]) fetch every logical page they
+    /// charge through the backing as well, so ledger counts and
+    /// physical reads can be diffed. A second attach is ignored: a
+    /// table is backed exactly once, when the disk-backed catalog is
+    /// built.
+    pub fn attach_backing(&self, backing: Arc<dyn PageBacking>) {
+        let _ = self.backing.set(backing);
+    }
+
+    /// The attached physical backing, if any.
+    pub fn backing(&self) -> Option<&Arc<dyn PageBacking>> {
+        self.backing.get()
+    }
+
+    /// Logical page holding row `row_id`.
+    pub fn page_of_row(&self, row_id: usize) -> u64 {
+        row_id as u64 / self.layout.tuples_per_page
+    }
+
+    /// Fetches logical page `page_no` through the attached backing, a
+    /// no-op for unbacked (pure in-memory) tables. Access paths that
+    /// charge the ledger directly — the ordered index scan — call this
+    /// per fetched page so disk mode stays physically honest without
+    /// adding fault draws the in-memory fault schedule never saw.
+    pub fn read_backed_page(&self, page_no: u64) -> Result<(), StorageError> {
+        match self.backing.get() {
+            Some(b) => b.read_page(page_no),
+            None => Ok(()),
+        }
     }
 
     /// Table name.
@@ -115,6 +151,11 @@ impl Table {
                 plan.on_page_read()?;
             }
         }
+        if let Some(backing) = self.backing.get() {
+            for page_no in 0..self.page_count() {
+                backing.read_page(page_no)?;
+            }
+        }
         Ok(self.scan(ledger))
     }
 
@@ -167,6 +208,17 @@ impl Table {
         self.hash_index(col).is_some() || self.btree_index(col).is_some()
     }
 
+    /// Columns with a hash index, in creation order. Lets a disk-backed
+    /// catalog rebuild a table's exact index set.
+    pub fn hash_indexed_columns(&self) -> Vec<usize> {
+        self.hash_indexes.iter().map(|(c, _)| *c).collect()
+    }
+
+    /// Columns with a B-tree index, in creation order.
+    pub fn btree_indexed_columns(&self) -> Vec<usize> {
+        self.btree_indexes.iter().map(|(c, _)| *c).collect()
+    }
+
     /// Row by position (for index lookups). Charges the page containing
     /// the row as one read.
     pub fn fetch(&self, row_id: usize, ledger: &CostLedger) -> &Tuple {
@@ -186,6 +238,7 @@ impl Table {
         if let Some(plan) = faults {
             plan.on_page_read()?;
         }
+        self.read_backed_page(self.page_of_row(row_id))?;
         Ok(self.fetch(row_id, ledger))
     }
 
@@ -264,6 +317,80 @@ mod tests {
         let row = t.fetch(1, &ledger);
         assert_eq!(row, &tuple![2, "b"]);
         assert_eq!(ledger.snapshot().page_reads, 1);
+    }
+
+    #[derive(Debug, Default)]
+    struct CountingBacking {
+        touched: std::sync::Mutex<Vec<u64>>,
+        fail: bool,
+    }
+
+    impl PageBacking for CountingBacking {
+        fn read_page(&self, page_no: u64) -> Result<(), StorageError> {
+            if self.fail {
+                return Err(StorageError::Backing {
+                    detail: format!("no page {page_no}"),
+                });
+            }
+            self.touched.lock().unwrap().push(page_no);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn backed_scan_touches_every_page_once() {
+        let schema = Schema::from_pairs(&[("id", DataType::Int)]);
+        let rows: Vec<Tuple> = (0..1000).map(|i| tuple![i]).collect();
+        let t = Table::new("b", schema, rows).unwrap();
+        assert!(t.page_count() > 1);
+        let backing = Arc::new(CountingBacking::default());
+        t.attach_backing(backing.clone());
+        let ledger = CostLedger::new();
+        t.scan_checked(&ledger, None).unwrap();
+        let touched = backing.touched.lock().unwrap().clone();
+        assert_eq!(touched, (0..t.page_count()).collect::<Vec<_>>());
+        // Physical touches and ledger charges agree exactly.
+        assert_eq!(touched.len() as u64, ledger.snapshot().page_reads);
+    }
+
+    #[test]
+    fn backed_fetch_touches_the_rows_page() {
+        let schema = Schema::from_pairs(&[("id", DataType::Int)]);
+        let rows: Vec<Tuple> = (0..1000).map(|i| tuple![i]).collect();
+        let t = Table::new("b", schema, rows).unwrap();
+        let backing = Arc::new(CountingBacking::default());
+        t.attach_backing(backing.clone());
+        let ledger = CostLedger::new();
+        let row_id = t.layout().tuples_per_page as usize + 3; // second page
+        t.fetch_checked(row_id, &ledger, None).unwrap();
+        assert_eq!(*backing.touched.lock().unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn backing_errors_surface_and_second_attach_is_ignored() {
+        let t = small_table();
+        t.attach_backing(Arc::new(CountingBacking {
+            fail: true,
+            ..Default::default()
+        }));
+        // Second attach must not replace the first.
+        t.attach_backing(Arc::new(CountingBacking::default()));
+        let ledger = CostLedger::new();
+        let err = t.scan_checked(&ledger, None).unwrap_err();
+        assert!(matches!(err, StorageError::Backing { .. }));
+        // Unbacked read helper is a no-op.
+        let plain = small_table();
+        plain.read_backed_page(99).unwrap();
+    }
+
+    #[test]
+    fn indexed_column_enumeration_round_trips() {
+        let mut t = small_table();
+        t.create_hash_index(0).unwrap();
+        t.create_btree_index(1).unwrap();
+        t.create_btree_index(0).unwrap();
+        assert_eq!(t.hash_indexed_columns(), vec![0]);
+        assert_eq!(t.btree_indexed_columns(), vec![1, 0]);
     }
 
     #[test]

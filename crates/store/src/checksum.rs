@@ -1,0 +1,98 @@
+//! CRC-64 page and record checksums.
+//!
+//! CRC-64/XZ (reflected ECMA-182 polynomial), table-driven. A 64-bit
+//! CRC makes silent corruption of a 4 KiB frame vanishingly unlikely to
+//! verify, which is what the torn-write recovery protocol leans on: a
+//! half-written page or WAL record is *detected*, never trusted.
+
+const POLY: u64 = 0xC96C_5795_D787_0F42;
+
+const fn build_table() -> [u64; 256] {
+    let mut table = [0u64; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u64;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 == 1 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u64; 256] = build_table();
+
+/// Streaming CRC-64/XZ, so multi-part records (header + payload) hash
+/// without concatenation.
+#[derive(Debug, Clone)]
+pub struct Crc64 {
+    state: u64,
+}
+
+impl Crc64 {
+    /// Begins a fresh checksum.
+    pub fn new() -> Crc64 {
+        Crc64 { state: !0 }
+    }
+
+    /// Feeds `bytes` and returns `self` for chaining.
+    pub fn update(mut self, bytes: &[u8]) -> Crc64 {
+        for &b in bytes {
+            self.state = TABLE[((self.state ^ b as u64) & 0xff) as usize] ^ (self.state >> 8);
+        }
+        self
+    }
+
+    /// Final checksum value.
+    pub fn finish(self) -> u64 {
+        !self.state
+    }
+}
+
+impl Default for Crc64 {
+    fn default() -> Self {
+        Crc64::new()
+    }
+}
+
+/// One-shot convenience over [`Crc64`].
+pub fn crc64(bytes: &[u8]) -> u64 {
+    Crc64::new().update(bytes).finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // The CRC-64/XZ check value from the CRC catalogue.
+        assert_eq!(crc64(b"123456789"), 0x995D_C9BB_DF19_39FA);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(crc64(b""), 0);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let parts = Crc64::new().update(b"hello ").update(b"world").finish();
+        assert_eq!(parts, crc64(b"hello world"));
+    }
+
+    #[test]
+    fn single_bit_flip_detected() {
+        let mut page = vec![0xABu8; 4096];
+        let before = crc64(&page);
+        page[2048] ^= 0x01;
+        assert_ne!(before, crc64(&page));
+    }
+}

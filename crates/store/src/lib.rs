@@ -1,0 +1,38 @@
+//! # fj-store
+//!
+//! The disk-backed storage layer of the `filterjoin` reproduction: a
+//! checksummed page file, a clock-eviction buffer pool, a redo-only
+//! write-ahead log with group fsync, checkpoints, and crash recovery.
+//!
+//! The rest of the engine keeps executing against in-memory heap
+//! tables whose access paths charge *simulated* page I/O to the
+//! [`fj_storage::CostLedger`] — that is what keeps results and fault
+//! schedules byte-identical to the pure in-memory mode. What this crate
+//! adds is the *physical* shadow of those charges: every logical page a
+//! query touches is also fetched through a buffer pool backed by a real
+//! page file (via [`fj_storage::PageBacking`]), so simulated and
+//! physical page counts can be diffed, cold starts genuinely read the
+//! disk, and a crashed replica can rebuild its catalog from its data
+//! directory ([`Store::recover`]) and rejoin a cluster with
+//! byte-identical answers.
+//!
+//! See DESIGN.md §"Persistence & recovery" for the page format, WAL
+//! record layout, checkpoint/recovery protocol, and eviction policy.
+
+pub mod checksum;
+pub mod codec;
+pub mod error;
+pub mod page_file;
+pub mod pool;
+pub mod store;
+pub mod testutil;
+pub mod wal;
+
+pub use checksum::{crc64, Crc64};
+pub use codec::TableMeta;
+pub use error::StoreError;
+pub use page_file::{PageFile, FRAME_SIZE, RECORD_HEADER};
+pub use pool::{BufferPool, PoolStats};
+pub use store::{RecoveryReport, Store, StoreStats};
+pub use testutil::TempDir;
+pub use wal::{Wal, WalRecord, WalScan};

@@ -1,0 +1,356 @@
+//! The buffer pool: fixed frames, clock eviction, pin counts.
+//!
+//! The pool is the boundary between *simulated* page charges (every
+//! logical page an operator touches is charged to the
+//! [`fj_storage::CostLedger`], hit or miss) and *physical* reads (only
+//! a miss fetches from the page file). Diffing the two is the point of
+//! the whole disk layer: the ledger models a bufferless System-R
+//! device, the pool shows what a real memory hierarchy absorbs.
+//!
+//! Eviction is the classic clock (second-chance) policy: frames carry a
+//! referenced bit set on every hit; the hand sweeps, clearing bits,
+//! and evicts the first unreferenced, unpinned frame it meets. Pinned
+//! frames are never evicted — a [`PoolGuard`] holds the pin until
+//! dropped.
+
+use crate::error::StoreError;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Key of one cached page: `(table_id, page_no)`.
+pub type PageKey = (u32, u32);
+
+#[derive(Debug)]
+struct Frame {
+    key: Option<PageKey>,
+    payload: Vec<u8>,
+    pins: u32,
+    referenced: bool,
+}
+
+#[derive(Debug)]
+struct PoolInner {
+    frames: Vec<Frame>,
+    map: HashMap<PageKey, usize>,
+    hand: usize,
+}
+
+/// A fixed-capacity page cache with clock eviction.
+#[derive(Debug)]
+pub struct BufferPool {
+    capacity: usize,
+    inner: Mutex<PoolInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Counter snapshot for metrics and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Lookups served from a resident frame.
+    pub hits: u64,
+    /// Lookups that had to fetch from the page file.
+    pub misses: u64,
+    /// Resident pages displaced to make room.
+    pub evictions: u64,
+}
+
+impl BufferPool {
+    /// A pool of `capacity` frames (clamped to at least 1).
+    pub fn new(capacity: usize) -> BufferPool {
+        let capacity = capacity.max(1);
+        BufferPool {
+            capacity,
+            inner: Mutex::new(PoolInner {
+                frames: Vec::new(),
+                map: HashMap::new(),
+                hand: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Configured capacity in frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Pages currently resident.
+    pub fn resident(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Looks up `key`, calling `fetch` on a miss to produce the page
+    /// bytes (one physical read). Returns a pinned guard; the frame
+    /// cannot be evicted until the guard drops.
+    pub fn get<'a>(
+        &'a self,
+        key: PageKey,
+        fetch: impl FnOnce() -> Result<Vec<u8>, StoreError>,
+    ) -> Result<PoolGuard<'a>, StoreError> {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(&slot) = inner.map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            let frame = &mut inner.frames[slot];
+            frame.referenced = true;
+            frame.pins += 1;
+            return Ok(PoolGuard { pool: self, slot });
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Fetch while holding the pool lock: I/O serializes, which
+        // keeps miss accounting deterministic (no double-fetch races)
+        // at this engine's scale.
+        let payload = fetch()?;
+        let slot = self.free_slot(&mut inner)?;
+        let evicted = inner.frames[slot].key.take();
+        if let Some(old) = evicted {
+            inner.map.remove(&old);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        inner.frames[slot] = Frame {
+            key: Some(key),
+            payload,
+            pins: 1,
+            referenced: true,
+        };
+        inner.map.insert(key, slot);
+        Ok(PoolGuard { pool: self, slot })
+    }
+
+    /// Inserts `key` without counting a hit or miss — the load path's
+    /// write-through, so freshly loaded pages are warm exactly like a
+    /// real engine's dirty pages.
+    pub fn put(&self, key: PageKey, payload: Vec<u8>) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(&slot) = inner.map.get(&key) {
+            inner.frames[slot].payload = payload;
+            inner.frames[slot].referenced = true;
+            return Ok(());
+        }
+        let slot = self.free_slot(&mut inner)?;
+        let evicted = inner.frames[slot].key.take();
+        if let Some(old) = evicted {
+            inner.map.remove(&old);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        inner.frames[slot] = Frame {
+            key: Some(key),
+            payload,
+            pins: 0,
+            referenced: true,
+        };
+        inner.map.insert(key, slot);
+        Ok(())
+    }
+
+    /// Drops every unpinned resident page (a cold-start lever for
+    /// cost-parity experiments). Returns how many pages were dropped.
+    pub fn clear(&self) -> usize {
+        let mut inner = self.inner.lock().unwrap();
+        let mut dropped = 0;
+        for slot in 0..inner.frames.len() {
+            if inner.frames[slot].pins == 0 {
+                if let Some(key) = inner.frames[slot].key.take() {
+                    inner.map.remove(&key);
+                    inner.frames[slot].payload = Vec::new();
+                    dropped += 1;
+                }
+            }
+        }
+        dropped
+    }
+
+    /// Finds a slot to (re)use: an unallocated frame while below
+    /// capacity, else the clock's victim.
+    fn free_slot(&self, inner: &mut PoolInner) -> Result<usize, StoreError> {
+        if inner.frames.len() < self.capacity {
+            inner.frames.push(Frame {
+                key: None,
+                payload: Vec::new(),
+                pins: 0,
+                referenced: false,
+            });
+            return Ok(inner.frames.len() - 1);
+        }
+        // Reuse an emptied frame first (clear() leaves those behind).
+        if let Some(slot) = inner.frames.iter().position(|f| f.key.is_none()) {
+            return Ok(slot);
+        }
+        // Clock sweep: two full passes guarantee every unpinned frame
+        // has had its referenced bit cleared once.
+        let n = inner.frames.len();
+        for _ in 0..2 * n {
+            let slot = inner.hand;
+            inner.hand = (inner.hand + 1) % n;
+            let frame = &mut inner.frames[slot];
+            if frame.pins > 0 {
+                continue;
+            }
+            if frame.referenced {
+                frame.referenced = false;
+                continue;
+            }
+            return Ok(slot);
+        }
+        Err(StoreError::PoolExhausted {
+            capacity: self.capacity,
+        })
+    }
+}
+
+/// Pin on one resident frame; dropping it unpins.
+#[derive(Debug)]
+pub struct PoolGuard<'a> {
+    pool: &'a BufferPool,
+    slot: usize,
+}
+
+impl PoolGuard<'_> {
+    /// The pinned page's bytes.
+    pub fn with_payload<R>(&self, f: impl FnOnce(&[u8]) -> R) -> R {
+        let inner = self.pool.inner.lock().unwrap();
+        f(&inner.frames[self.slot].payload)
+    }
+}
+
+impl Drop for PoolGuard<'_> {
+    fn drop(&mut self) {
+        let mut inner = self.pool.inner.lock().unwrap();
+        let frame = &mut inner.frames[self.slot];
+        debug_assert!(frame.pins > 0, "unbalanced unpin");
+        frame.pins = frame.pins.saturating_sub(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fetch(byte: u8) -> impl FnOnce() -> Result<Vec<u8>, StoreError> {
+        move || Ok(vec![byte; 8])
+    }
+
+    fn fail() -> Result<Vec<u8>, StoreError> {
+        Err(StoreError::Corrupt {
+            detail: "should not fetch".into(),
+        })
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let pool = BufferPool::new(4);
+        drop(pool.get((1, 0), fetch(7)).unwrap());
+        let g = pool.get((1, 0), fail).unwrap();
+        g.with_payload(|p| assert_eq!(p, vec![7u8; 8]));
+        drop(g);
+        assert_eq!(
+            pool.stats(),
+            PoolStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
+    }
+
+    #[test]
+    fn eviction_at_capacity() {
+        let pool = BufferPool::new(2);
+        drop(pool.get((1, 0), fetch(0)).unwrap());
+        drop(pool.get((1, 1), fetch(1)).unwrap());
+        drop(pool.get((1, 2), fetch(2)).unwrap());
+        assert_eq!(pool.resident(), 2);
+        assert_eq!(pool.stats().evictions, 1);
+        // The evicted page misses again.
+        let before = pool.stats().misses;
+        drop(pool.get((1, 0), fetch(0)).unwrap());
+        assert_eq!(pool.stats().misses, before + 1);
+    }
+
+    #[test]
+    fn pinned_frames_survive_pressure() {
+        let pool = BufferPool::new(2);
+        let pinned = pool.get((1, 0), fetch(0)).unwrap();
+        drop(pool.get((1, 1), fetch(1)).unwrap());
+        drop(pool.get((1, 2), fetch(2)).unwrap());
+        drop(pool.get((1, 3), fetch(3)).unwrap());
+        // (1,0) was pinned throughout: still a hit.
+        let g = pool.get((1, 0), fail).unwrap();
+        drop(g);
+        drop(pinned);
+    }
+
+    #[test]
+    fn all_pinned_pool_is_exhausted() {
+        let pool = BufferPool::new(2);
+        let _a = pool.get((1, 0), fetch(0)).unwrap();
+        let _b = pool.get((1, 1), fetch(1)).unwrap();
+        let err = pool.get((1, 2), fetch(2)).unwrap_err();
+        assert!(matches!(err, StoreError::PoolExhausted { capacity: 2 }));
+    }
+
+    #[test]
+    fn fetch_error_propagates_and_pool_stays_clean() {
+        let pool = BufferPool::new(2);
+        assert!(pool.get((1, 0), fail).is_err());
+        assert_eq!(pool.resident(), 0);
+        drop(pool.get((1, 0), fetch(5)).unwrap());
+        assert_eq!(pool.resident(), 1);
+    }
+
+    #[test]
+    fn put_makes_pages_warm() {
+        let pool = BufferPool::new(4);
+        pool.put((1, 0), vec![9; 4]).unwrap();
+        let g = pool.get((1, 0), fail).unwrap();
+        drop(g);
+        assert_eq!(pool.stats().hits, 1);
+        assert_eq!(pool.stats().misses, 0);
+    }
+
+    #[test]
+    fn clear_makes_pages_cold_again() {
+        let pool = BufferPool::new(4);
+        pool.put((1, 0), vec![1; 4]).unwrap();
+        pool.put((1, 1), vec![2; 4]).unwrap();
+        assert_eq!(pool.clear(), 2);
+        assert_eq!(pool.resident(), 0);
+        drop(pool.get((1, 0), fetch(1)).unwrap());
+        assert_eq!(pool.stats().misses, 1);
+    }
+
+    #[test]
+    fn clock_prefers_unreferenced_victims() {
+        let pool = BufferPool::new(3);
+        drop(pool.get((1, 0), fetch(0)).unwrap());
+        drop(pool.get((1, 1), fetch(1)).unwrap());
+        drop(pool.get((1, 2), fetch(2)).unwrap());
+        // First overflow: the sweep clears every referenced bit, wraps,
+        // and evicts the first frame — (1,0). Resident: {3, 1, 2}, with
+        // (1,1) and (1,2) unreferenced.
+        drop(pool.get((1, 3), fetch(3)).unwrap());
+        // Second-chance: touching (1,2) re-references it, so the next
+        // overflow must pick (1,1), not (1,2).
+        drop(pool.get((1, 2), fail).unwrap());
+        drop(pool.get((1, 4), fetch(4)).unwrap());
+        // (1,2) and (1,3) survived; (1,1) is the victim.
+        drop(pool.get((1, 2), fail).unwrap());
+        drop(pool.get((1, 3), fail).unwrap());
+        let before = pool.stats().misses;
+        drop(pool.get((1, 1), fetch(1)).unwrap());
+        assert_eq!(pool.stats().misses, before + 1, "(1,1) was the victim");
+    }
+}

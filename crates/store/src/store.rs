@@ -1,0 +1,589 @@
+//! The store: page file + buffer pool + WAL + manifest, with recovery.
+//!
+//! ## Protocol
+//!
+//! **Load** (the only write path — tables are immutable once loaded):
+//! append the table's meta and every page image to the WAL, write each
+//! page to the page file (through the fault plan: this is where torn
+//! writes land) and warm it into the pool, append a commit marker, then
+//! group-fsync the WAL once. The page file is *not* synced on load.
+//!
+//! **Recovery** ([`Store::open`] ≡ [`Store::recover`]): read the
+//! manifest (tables durable as of the last checkpoint), scan the page
+//! file (checksum-verifying every record), then replay the WAL —
+//! committed loads only — writing page images back into the page file
+//! *in place*. Replay is idempotent: same images, same offsets, so
+//! replaying twice is byte-identical. A torn WAL tail is truncated at
+//! scan time, never replayed; a torn page-file record is healed by its
+//! WAL image.
+//!
+//! **Checkpoint** ([`Store::checkpoint`]): scrub (re-verify every page
+//! the WAL still protects, rewriting any torn record from its logged
+//! image), fsync the page file, atomically publish the manifest
+//! (tmp + rename + dir fsync), then truncate the WAL. After a
+//! checkpoint the page file alone is authoritative.
+
+use crate::checksum::crc64;
+use crate::codec::{decode_rows, encode_rows, get_u32, TableMeta};
+use crate::error::StoreError;
+use crate::page_file::PageFile;
+use crate::pool::{BufferPool, PoolStats};
+use crate::wal::{Wal, WalRecord};
+use fj_storage::{FaultPlan, PageBacking, PageLayout, Schema, StorageError, Table, Tuple};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+const MANIFEST: &str = "manifest.fj";
+const PAGES: &str = "pages.fj";
+const WAL: &str = "wal.fj";
+
+/// Counter snapshot across the pool, WAL, and page file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Buffer-pool lookups served from memory.
+    pub pool_hits: u64,
+    /// Buffer-pool lookups that went to disk.
+    pub pool_misses: u64,
+    /// Pages displaced from the pool.
+    pub pool_evictions: u64,
+    /// WAL group fsyncs issued.
+    pub wal_fsyncs: u64,
+    /// Physical page-file record reads.
+    pub physical_reads: u64,
+    /// Physical page-file record writes.
+    pub physical_writes: u64,
+}
+
+#[derive(Debug)]
+struct StoreInner {
+    committed: BTreeMap<String, TableMeta>,
+    next_table_id: u32,
+}
+
+/// A disk-backed page store rooted at one data directory.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    page_file: Arc<PageFile>,
+    wal: Wal,
+    pool: Arc<BufferPool>,
+    faults: Option<Arc<FaultPlan>>,
+    inner: Mutex<StoreInner>,
+}
+
+/// What [`Store::open`] found and did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Tables durable via the manifest (last checkpoint).
+    pub manifest_tables: usize,
+    /// Committed loads replayed from the WAL.
+    pub replayed_tables: usize,
+    /// Page images written back during replay.
+    pub replayed_pages: usize,
+    /// True iff a torn WAL tail was detected and truncated.
+    pub torn_wal_tail: bool,
+}
+
+impl Store {
+    /// Opens (and always recovers) the store at `dir`, creating it on
+    /// first use. `pool_pages` sizes the buffer pool; `faults` is the
+    /// seeded chaos plan threaded through writes and fsyncs.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        pool_pages: usize,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> Result<(Store, RecoveryReport), StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| StoreError::io(format!("create {}", dir.display()), e))?;
+        let page_file = Arc::new(PageFile::open(dir.join(PAGES))?);
+        let mut committed = read_manifest(&dir.join(MANIFEST))?;
+        let manifest_tables = committed.len();
+        let (wal, scan) = Wal::open(dir.join(WAL))?;
+
+        // Replay committed loads, in log order, page images in place.
+        // Per table: the logged metadata (if seen) plus (page_no, payload) images.
+        type PendingLoad = (Option<TableMeta>, Vec<(u32, Vec<u8>)>);
+        let mut pending: BTreeMap<u32, PendingLoad> = BTreeMap::new();
+        let mut replayed_tables = 0usize;
+        let mut replayed_pages = 0usize;
+        for record in &scan.records {
+            match record {
+                WalRecord::TableMeta(meta) => {
+                    pending.entry(meta.table_id).or_default().0 = Some(meta.clone());
+                }
+                WalRecord::PageImage {
+                    table_id,
+                    page_no,
+                    payload,
+                } => {
+                    pending
+                        .entry(*table_id)
+                        .or_default()
+                        .1
+                        .push((*page_no, payload.clone()));
+                }
+                WalRecord::LoadCommit { table_id } => {
+                    let Some((Some(meta), images)) = pending.remove(table_id) else {
+                        return Err(StoreError::Corrupt {
+                            detail: format!("WAL commit for table {table_id} without a meta"),
+                        });
+                    };
+                    for (page_no, payload) in &images {
+                        // Replay never draws faults: recovery is the
+                        // healing path, not the chaotic one.
+                        page_file.write_page(meta.table_id, *page_no, payload, None)?;
+                        replayed_pages += 1;
+                    }
+                    committed.insert(meta.name.clone(), meta);
+                    replayed_tables += 1;
+                }
+            }
+        }
+        if replayed_pages > 0 {
+            page_file.sync()?;
+        }
+
+        let next_table_id = committed
+            .values()
+            .map(|m| m.table_id)
+            .max()
+            .map_or(0, |m| m + 1);
+        let report = RecoveryReport {
+            manifest_tables,
+            replayed_tables,
+            replayed_pages,
+            torn_wal_tail: scan.torn_tail_truncated,
+        };
+        Ok((
+            Store {
+                dir,
+                page_file,
+                wal,
+                pool: Arc::new(BufferPool::new(pool_pages)),
+                faults,
+                inner: Mutex::new(StoreInner {
+                    committed,
+                    next_table_id,
+                }),
+            },
+            report,
+        ))
+    }
+
+    /// Alias of [`Store::open`]: opening *is* recovering.
+    pub fn recover(
+        dir: impl AsRef<Path>,
+        pool_pages: usize,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> Result<(Store, RecoveryReport), StoreError> {
+        Store::open(dir, pool_pages, faults)
+    }
+
+    /// The store's data directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Names of committed (recoverable) tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.inner
+            .lock()
+            .unwrap()
+            .committed
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// True iff `name` is committed in this store.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.inner.lock().unwrap().committed.contains_key(name)
+    }
+
+    /// The committed meta for `name`, if any.
+    pub fn meta(&self, name: &str) -> Option<TableMeta> {
+        self.inner.lock().unwrap().committed.get(name).cloned()
+    }
+
+    /// Loads an in-memory table into the store: WAL images + commit
+    /// (one group fsync), page-file writes (fault-injected), pool
+    /// warm-up. Errors on a duplicate name — the store's tables are
+    /// immutable once committed.
+    pub fn load_table(&self, table: &Table) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.committed.contains_key(table.name()) {
+            return Err(StoreError::Meta {
+                detail: format!("table '{}' is already loaded", table.name()),
+            });
+        }
+        let table_id = inner.next_table_id;
+        inner.next_table_id += 1;
+        let meta = TableMeta::describe(table_id, table.name(), table.schema(), table.row_count());
+        self.wal.append(&WalRecord::TableMeta(meta.clone()));
+        let per_page = table.layout().tuples_per_page as usize;
+        let faults = self.faults.as_deref();
+        for (page_no, chunk) in table.rows().chunks(per_page.max(1)).enumerate() {
+            let payload = encode_rows(chunk);
+            self.wal.append(&WalRecord::PageImage {
+                table_id,
+                page_no: page_no as u32,
+                payload: payload.clone(),
+            });
+            self.page_file
+                .write_page(table_id, page_no as u32, &payload, faults)?;
+            self.pool.put((table_id, page_no as u32), payload)?;
+        }
+        self.wal.append(&WalRecord::LoadCommit { table_id });
+        self.wal.commit(faults)?;
+        inner.committed.insert(meta.name.clone(), meta);
+        Ok(())
+    }
+
+    /// Reads a committed table back from the page file: schema from the
+    /// meta, rows decoded page by page. This is the restart path that
+    /// proves the data really lives on disk.
+    pub fn recovered_rows(&self, name: &str) -> Result<(Schema, Vec<Tuple>), StoreError> {
+        let meta = self.meta(name).ok_or_else(|| StoreError::Meta {
+            detail: format!("no committed table '{name}'"),
+        })?;
+        let schema = meta.schema()?;
+        let layout = PageLayout::for_schema(&schema);
+        let page_count = layout.pages(meta.row_count);
+        let mut rows = Vec::with_capacity(meta.row_count as usize);
+        for page_no in 0..page_count {
+            let payload = self.page_file.read_page(meta.table_id, page_no as u32)?;
+            rows.extend(decode_rows(&payload, schema.arity())?);
+        }
+        if rows.len() as u64 != meta.row_count {
+            return Err(StoreError::Corrupt {
+                detail: format!(
+                    "table '{name}': meta promises {} rows, pages held {}",
+                    meta.row_count,
+                    rows.len()
+                ),
+            });
+        }
+        Ok((schema, rows))
+    }
+
+    /// A [`PageBacking`] for a committed table, to attach to the
+    /// in-memory [`Table`] serving queries.
+    pub fn backing_for(&self, name: &str) -> Option<Arc<dyn PageBacking>> {
+        let meta = self.meta(name)?;
+        Some(Arc::new(TableBacking {
+            table_name: meta.name,
+            table_id: meta.table_id,
+            pool: Arc::clone(&self.pool),
+            page_file: Arc::clone(&self.page_file),
+        }))
+    }
+
+    /// Checkpoints: scrub WAL-protected pages (healing torn records
+    /// from their logged images), fsync the page file, atomically
+    /// publish the manifest, truncate the WAL.
+    pub fn checkpoint(&self) -> Result<(), StoreError> {
+        let inner = self.inner.lock().unwrap();
+        // Scrub from the log: every image the WAL still protects must
+        // verify on disk before the log may be dropped. Scrub rewrites
+        // bypass fault injection — they model the verified retry a real
+        // checkpointer performs, not a fresh chance to tear.
+        for record in self.wal.disk_records()? {
+            if let WalRecord::PageImage {
+                table_id,
+                page_no,
+                payload,
+            } = record
+            {
+                if !self.page_file.record_is_valid(table_id, page_no) {
+                    self.page_file
+                        .write_page(table_id, page_no, &payload, None)?;
+                }
+            }
+        }
+        if let Some(plan) = &self.faults {
+            plan.on_fsync();
+        }
+        self.page_file.sync()?;
+        write_manifest(&self.dir, &inner.committed)?;
+        self.wal.truncate()?;
+        Ok(())
+    }
+
+    /// Drops unpinned pool pages (cold-start lever for parity tests).
+    pub fn clear_pool(&self) -> usize {
+        self.pool.clear()
+    }
+
+    /// Counter snapshot across pool, WAL, and page file.
+    pub fn stats(&self) -> StoreStats {
+        let PoolStats {
+            hits,
+            misses,
+            evictions,
+        } = self.pool.stats();
+        StoreStats {
+            pool_hits: hits,
+            pool_misses: misses,
+            pool_evictions: evictions,
+            wal_fsyncs: self.wal.fsyncs(),
+            physical_reads: self.page_file.physical_reads(),
+            physical_writes: self.page_file.physical_writes(),
+        }
+    }
+
+    /// Current WAL size in bytes (zero right after a checkpoint).
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal.size_bytes()
+    }
+}
+
+/// The per-table [`PageBacking`] handed to in-memory tables: a pool
+/// lookup per logical page, a physical page-file read per miss.
+#[derive(Debug)]
+struct TableBacking {
+    table_name: String,
+    table_id: u32,
+    pool: Arc<BufferPool>,
+    page_file: Arc<PageFile>,
+}
+
+impl PageBacking for TableBacking {
+    fn read_page(&self, page_no: u64) -> Result<(), StorageError> {
+        let key = (self.table_id, page_no as u32);
+        self.pool
+            .get(key, || self.page_file.read_page(key.0, key.1))
+            .map(|_guard| ())
+            .map_err(|e| StorageError::Backing {
+                detail: format!("table '{}' page {page_no}: {e}", self.table_name),
+            })
+    }
+}
+
+fn read_manifest(path: &Path) -> Result<BTreeMap<String, TableMeta>, StoreError> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(BTreeMap::new()),
+        Err(e) => return Err(StoreError::io(format!("read {}", path.display()), e)),
+    };
+    let mut pos = 0usize;
+    let len = get_u32(&bytes, &mut pos)? as usize;
+    let want = crate::codec::get_u64(&bytes, &mut pos)?;
+    if pos + len != bytes.len() {
+        return Err(StoreError::Corrupt {
+            detail: "manifest length field disagrees with file size".into(),
+        });
+    }
+    let body = &bytes[pos..];
+    if crc64(body) != want {
+        return Err(StoreError::Corrupt {
+            detail: "manifest crc mismatch".into(),
+        });
+    }
+    let mut p = 0usize;
+    let count = get_u32(body, &mut p)? as usize;
+    let mut tables = BTreeMap::new();
+    for _ in 0..count {
+        let meta = TableMeta::decode(body, &mut p)?;
+        tables.insert(meta.name.clone(), meta);
+    }
+    Ok(tables)
+}
+
+fn write_manifest(dir: &Path, tables: &BTreeMap<String, TableMeta>) -> Result<(), StoreError> {
+    let mut body = Vec::new();
+    body.extend_from_slice(&(tables.len() as u32).to_le_bytes());
+    for meta in tables.values() {
+        body.extend_from_slice(&meta.encode());
+    }
+    let mut framed = Vec::with_capacity(body.len() + 12);
+    framed.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    framed.extend_from_slice(&crc64(&body).to_le_bytes());
+    framed.extend_from_slice(&body);
+
+    let tmp = dir.join("manifest.tmp");
+    let target = dir.join(MANIFEST);
+    {
+        let mut f = std::fs::File::create(&tmp)
+            .map_err(|e| StoreError::io(format!("create {}", tmp.display()), e))?;
+        use std::io::Write;
+        f.write_all(&framed)
+            .map_err(|e| StoreError::io(format!("write {}", tmp.display()), e))?;
+        f.sync_all()
+            .map_err(|e| StoreError::io(format!("fsync {}", tmp.display()), e))?;
+    }
+    std::fs::rename(&tmp, &target)
+        .map_err(|e| StoreError::io(format!("rename to {}", target.display()), e))?;
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_all(); // directory fsync: best-effort on non-POSIX
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::TempDir;
+    use fj_storage::{CostLedger, DataType, TableBuilder, Value};
+
+    fn sample_table(name: &str, rows: usize) -> Table {
+        TableBuilder::new(name)
+            .column("k", DataType::Int)
+            .column("label", DataType::Str)
+            .rows((0..rows).map(|i| vec![Value::Int(i as i64), Value::Str(format!("row-{i}"))]))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn load_then_recover_round_trips_rows() {
+        let dir = TempDir::new("store-rt");
+        let table = sample_table("T", 500);
+        {
+            let (store, report) = Store::open(dir.path(), 64, None).unwrap();
+            assert_eq!(report, RecoveryReport::default());
+            store.load_table(&table).unwrap();
+            assert!(store.has_table("T"));
+            assert_eq!(store.stats().wal_fsyncs, 1);
+            // No checkpoint: recovery must come from the WAL.
+        }
+        let (store, report) = Store::open(dir.path(), 64, None).unwrap();
+        assert_eq!(report.replayed_tables, 1);
+        assert!(report.replayed_pages > 0);
+        let (schema, rows) = store.recovered_rows("T").unwrap();
+        assert_eq!(&schema, table.schema().as_ref());
+        assert_eq!(rows, table.rows());
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal_and_manifest_carries_tables() {
+        let dir = TempDir::new("store-ckpt");
+        let table = sample_table("T", 200);
+        {
+            let (store, _) = Store::open(dir.path(), 64, None).unwrap();
+            store.load_table(&table).unwrap();
+            assert!(store.wal_bytes() > 0);
+            store.checkpoint().unwrap();
+            assert_eq!(store.wal_bytes(), 0);
+        }
+        let (store, report) = Store::open(dir.path(), 64, None).unwrap();
+        assert_eq!(report.manifest_tables, 1);
+        assert_eq!(report.replayed_tables, 0, "nothing left in the WAL");
+        let (_, rows) = store.recovered_rows("T").unwrap();
+        assert_eq!(rows, table.rows());
+    }
+
+    #[test]
+    fn duplicate_load_rejected() {
+        let dir = TempDir::new("store-dup");
+        let (store, _) = Store::open(dir.path(), 16, None).unwrap();
+        store.load_table(&sample_table("T", 10)).unwrap();
+        let err = store.load_table(&sample_table("T", 10)).unwrap_err();
+        assert!(matches!(err, StoreError::Meta { .. }));
+    }
+
+    #[test]
+    fn backing_counts_hits_and_misses() {
+        let dir = TempDir::new("store-backing");
+        let (store, _) = Store::open(dir.path(), 64, None).unwrap();
+        let table = sample_table("T", 300);
+        store.load_table(&table).unwrap();
+        let backing = store.backing_for("T").unwrap();
+        table.attach_backing(backing);
+
+        // Load warmed the pool: a scan is all hits, zero physical reads.
+        let before = store.stats();
+        let ledger = CostLedger::new();
+        table.scan_checked(&ledger, None).unwrap();
+        let after = store.stats();
+        assert_eq!(after.pool_hits - before.pool_hits, table.page_count());
+        assert_eq!(after.pool_misses, before.pool_misses);
+        assert_eq!(after.physical_reads, before.physical_reads);
+
+        // Cold pool: every page is a miss and a physical read, and the
+        // ledger's simulated charges equal the physical count exactly.
+        store.clear_pool();
+        let before = store.stats();
+        let ledger = CostLedger::new();
+        table.scan_checked(&ledger, None).unwrap();
+        let after = store.stats();
+        assert_eq!(after.pool_misses - before.pool_misses, table.page_count());
+        assert_eq!(
+            after.physical_reads - before.physical_reads,
+            ledger.snapshot().page_reads
+        );
+    }
+
+    #[test]
+    fn empty_table_commits_with_zero_pages() {
+        let dir = TempDir::new("store-empty");
+        let table = sample_table("E", 0);
+        {
+            let (store, _) = Store::open(dir.path(), 16, None).unwrap();
+            store.load_table(&table).unwrap();
+        }
+        let (store, _) = Store::open(dir.path(), 16, None).unwrap();
+        let (_, rows) = store.recovered_rows("E").unwrap();
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn torn_load_heals_on_recovery() {
+        let dir = TempDir::new("store-torn");
+        let table = sample_table("T", 400);
+        {
+            // Every page write torn: the page file is garbage, the WAL
+            // is intact (its records are written + fsynced whole).
+            let faults = Arc::new(FaultPlan::new(3).with_torn_page_writes(1));
+            let (store, _) = Store::open(dir.path(), 64, Some(faults)).unwrap();
+            store.load_table(&table).unwrap();
+        }
+        let (store, report) = Store::open(dir.path(), 64, None).unwrap();
+        assert!(report.replayed_pages > 0);
+        let (_, rows) = store.recovered_rows("T").unwrap();
+        assert_eq!(rows, table.rows(), "WAL replay must heal torn pages");
+    }
+
+    #[test]
+    fn checkpoint_scrub_heals_torn_pages_before_dropping_wal() {
+        let dir = TempDir::new("store-scrub");
+        let table = sample_table("T", 400);
+        {
+            let faults = Arc::new(FaultPlan::new(3).with_torn_page_writes(1));
+            let (store, _) = Store::open(dir.path(), 64, Some(faults)).unwrap();
+            store.load_table(&table).unwrap();
+            // Checkpoint with torn pages on disk: scrub must heal them
+            // from the WAL before truncating it.
+            store.checkpoint().unwrap();
+            assert_eq!(store.wal_bytes(), 0);
+        }
+        let (store, report) = Store::open(dir.path(), 64, None).unwrap();
+        assert_eq!(report.replayed_tables, 0);
+        let (_, rows) = store.recovered_rows("T").unwrap();
+        assert_eq!(rows, table.rows());
+    }
+
+    #[test]
+    fn uncommitted_load_invisible_after_crash() {
+        let dir = TempDir::new("store-uncommitted");
+        {
+            let (store, _) = Store::open(dir.path(), 16, None).unwrap();
+            store.load_table(&sample_table("A", 50)).unwrap();
+            // Simulate a crash mid-load of B: append meta + images to
+            // the WAL but no commit, and never fsync.
+            let b = sample_table("B", 50);
+            let meta = TableMeta::describe(99, "B", b.schema(), b.row_count());
+            store.wal.append(&WalRecord::TableMeta(meta));
+            store.wal.append(&WalRecord::PageImage {
+                table_id: 99,
+                page_no: 0,
+                payload: encode_rows(&b.rows()[..10]),
+            });
+            store.wal.commit(None).unwrap(); // batch reached disk, commit record did not
+        }
+        let (store, _) = Store::open(dir.path(), 16, None).unwrap();
+        assert!(store.has_table("A"));
+        assert!(!store.has_table("B"), "no LoadCommit → not recovered");
+    }
+}

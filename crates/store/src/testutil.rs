@@ -1,0 +1,62 @@
+//! A tiny RAII temporary directory (no external `tempfile` crate).
+//!
+//! Public because every layer above the store — runtime tests, the
+//! differential suite, the recovery-chaos experiment — needs throwaway
+//! data directories with the same cleanup discipline.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// A unique directory under the system temp dir, removed on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates `$TMPDIR/fj-<label>-<pid>-<n>`, unique per process and
+    /// per call.
+    pub fn new(label: &str) -> TempDir {
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("fj-{label}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_cleanup() {
+        let kept;
+        {
+            let dir = TempDir::new("selftest");
+            kept = dir.path().to_path_buf();
+            assert!(kept.is_dir());
+            std::fs::write(kept.join("f"), b"x").unwrap();
+        }
+        assert!(!kept.exists(), "dropped TempDir must remove its tree");
+    }
+
+    #[test]
+    fn two_dirs_are_distinct() {
+        let a = TempDir::new("x");
+        let b = TempDir::new("x");
+        assert_ne!(a.path(), b.path());
+    }
+}

@@ -1,0 +1,393 @@
+//! The redo-only write-ahead log (`wal.fj`).
+//!
+//! Every table load appends full-page-image records plus a commit
+//! marker, then issues **one** group fsync for the whole batch — the
+//! log's durability unit is the load, not the record. Recovery replays
+//! committed loads into the page file; a load whose commit marker never
+//! reached the log is invisible (its page images are skipped), so the
+//! log needs no undo records.
+//!
+//! Record framing (little-endian):
+//!
+//! ```text
+//! len   u32     body length
+//! crc   u64     crc64(body)
+//! body  bytes   kind u8 ++ kind-specific payload
+//! ```
+//!
+//! Body kinds: `1` table meta ([`TableMeta::encode`]), `2` page image
+//! (`table_id u32, page_no u32, payload`), `3` load commit
+//! (`table_id u32`). A record whose length overruns the file or whose
+//! CRC fails is a torn tail: replay stops there and the file is
+//! truncated to the last valid boundary — detected and discarded, never
+//! replayed.
+
+use crate::checksum::crc64;
+use crate::codec::{get_u32, TableMeta};
+use crate::error::StoreError;
+use fj_storage::FaultPlan;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One logical WAL record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A table is about to be loaded.
+    TableMeta(TableMeta),
+    /// Full image of one logical page.
+    PageImage {
+        /// Owning table.
+        table_id: u32,
+        /// Logical page number within the table.
+        page_no: u32,
+        /// Encoded page payload (see [`crate::codec::encode_rows`]).
+        payload: Vec<u8>,
+    },
+    /// The load of `table_id` is complete; replay may apply it.
+    LoadCommit {
+        /// The committed table.
+        table_id: u32,
+    },
+}
+
+fn encode_body(record: &WalRecord) -> Vec<u8> {
+    let mut body = Vec::new();
+    match record {
+        WalRecord::TableMeta(meta) => {
+            body.push(1);
+            body.extend_from_slice(&meta.encode());
+        }
+        WalRecord::PageImage {
+            table_id,
+            page_no,
+            payload,
+        } => {
+            body.push(2);
+            body.extend_from_slice(&table_id.to_le_bytes());
+            body.extend_from_slice(&page_no.to_le_bytes());
+            body.extend_from_slice(payload);
+        }
+        WalRecord::LoadCommit { table_id } => {
+            body.push(3);
+            body.extend_from_slice(&table_id.to_le_bytes());
+        }
+    }
+    body
+}
+
+fn decode_body(body: &[u8]) -> Result<WalRecord, StoreError> {
+    let kind = *body.first().ok_or_else(|| StoreError::Corrupt {
+        detail: "empty WAL record body".into(),
+    })?;
+    let mut pos = 1usize;
+    match kind {
+        1 => {
+            let meta = TableMeta::decode(body, &mut pos)?;
+            Ok(WalRecord::TableMeta(meta))
+        }
+        2 => {
+            let table_id = get_u32(body, &mut pos)?;
+            let page_no = get_u32(body, &mut pos)?;
+            Ok(WalRecord::PageImage {
+                table_id,
+                page_no,
+                payload: body[pos..].to_vec(),
+            })
+        }
+        3 => {
+            let table_id = get_u32(body, &mut pos)?;
+            Ok(WalRecord::LoadCommit { table_id })
+        }
+        other => Err(StoreError::Corrupt {
+            detail: format!("unknown WAL record kind {other}"),
+        }),
+    }
+}
+
+/// Parses framed records from `bytes`, stopping at the first invalid
+/// one. Returns the records, the offset of the last valid record
+/// boundary, and whether a torn tail was found.
+fn scan_bytes(bytes: &[u8]) -> (Vec<WalRecord>, usize, bool) {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    let mut valid_end = 0usize;
+    let mut torn = false;
+    while pos < bytes.len() {
+        let parsed = (|| {
+            let mut p = pos;
+            let len = get_u32(bytes, &mut p)? as usize;
+            let want = crate::codec::get_u64(bytes, &mut p)?;
+            if p + len > bytes.len() {
+                return Err(StoreError::Corrupt {
+                    detail: "record overruns file".into(),
+                });
+            }
+            let body = &bytes[p..p + len];
+            if crc64(body) != want {
+                return Err(StoreError::Corrupt {
+                    detail: "record crc mismatch".into(),
+                });
+            }
+            Ok((decode_body(body)?, p + len))
+        })();
+        match parsed {
+            Ok((record, end)) => {
+                records.push(record);
+                pos = end;
+                valid_end = end;
+            }
+            Err(_) => {
+                torn = true;
+                break;
+            }
+        }
+    }
+    (records, valid_end, torn)
+}
+
+/// What [`Wal::open`] found on disk.
+#[derive(Debug)]
+pub struct WalScan {
+    /// All records up to the first invalid one, in log order.
+    pub records: Vec<WalRecord>,
+    /// True iff a torn tail was detected (and truncated away).
+    pub torn_tail_truncated: bool,
+}
+
+/// The append-only log file with group fsync.
+#[derive(Debug)]
+pub struct Wal {
+    path: PathBuf,
+    file: Mutex<File>,
+    pending: Mutex<Vec<u8>>,
+    fsyncs: AtomicU64,
+}
+
+impl Wal {
+    /// Opens (creating if absent) the log, scanning existing records
+    /// and truncating any torn tail to the last valid record boundary.
+    pub fn open(path: impl AsRef<Path>) -> Result<(Wal, WalScan), StoreError> {
+        let path = path.as_ref().to_path_buf();
+        // Append mode: every commit lands at the current EOF, which
+        // keeps reopened logs and post-truncate writes correct without
+        // cursor bookkeeping.
+        let file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(&path)
+            .map_err(|e| StoreError::io(format!("open {}", path.display()), e))?;
+        let bytes = std::fs::read(&path)
+            .map_err(|e| StoreError::io(format!("scan {}", path.display()), e))?;
+        let (records, valid_end, torn) = scan_bytes(&bytes);
+        if torn {
+            file.set_len(valid_end as u64)
+                .map_err(|e| StoreError::io(format!("truncate {}", path.display()), e))?;
+            file.sync_all()
+                .map_err(|e| StoreError::io(format!("fsync {}", path.display()), e))?;
+        }
+        Ok((
+            Wal {
+                path,
+                file: Mutex::new(file),
+                pending: Mutex::new(Vec::new()),
+                fsyncs: AtomicU64::new(0),
+            },
+            WalScan {
+                records,
+                torn_tail_truncated: torn,
+            },
+        ))
+    }
+
+    /// Filesystem path of the log.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Group fsyncs issued so far.
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs.load(Ordering::Relaxed)
+    }
+
+    /// Buffers one record; nothing reaches the file until
+    /// [`Wal::commit`].
+    pub fn append(&self, record: &WalRecord) {
+        let body = encode_body(record);
+        let mut pending = self.pending.lock().unwrap();
+        pending.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        pending.extend_from_slice(&crc64(&body).to_le_bytes());
+        pending.extend_from_slice(&body);
+    }
+
+    /// Writes all buffered records and issues exactly one fsync — the
+    /// group-commit point. A seeded `faults` plan may stall the fsync
+    /// (slow-device injection); the stall happens before the write is
+    /// acknowledged, as on real hardware.
+    pub fn commit(&self, faults: Option<&FaultPlan>) -> Result<(), StoreError> {
+        let batch = {
+            let mut pending = self.pending.lock().unwrap();
+            std::mem::take(&mut *pending)
+        };
+        let mut file = self.file.lock().unwrap();
+        file.write_all(&batch)
+            .map_err(|e| StoreError::io(format!("append {}", self.path.display()), e))?;
+        if let Some(plan) = faults {
+            plan.on_fsync();
+        }
+        file.sync_data()
+            .map_err(|e| StoreError::io(format!("fsync {}", self.path.display()), e))?;
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Empties the log (the checkpoint's final step: everything the log
+    /// protected is now durable in the page file and manifest).
+    pub fn truncate(&self) -> Result<(), StoreError> {
+        let file = self.file.lock().unwrap();
+        file.set_len(0)
+            .map_err(|e| StoreError::io(format!("truncate {}", self.path.display()), e))?;
+        file.sync_all()
+            .map_err(|e| StoreError::io(format!("fsync {}", self.path.display()), e))?;
+        Ok(())
+    }
+
+    /// Current log size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        std::fs::metadata(&self.path).map(|m| m.len()).unwrap_or(0)
+    }
+
+    /// Re-reads the records currently durable in the log file (the
+    /// checkpoint scrub's source of healing images). Buffered,
+    /// uncommitted appends are not included.
+    pub fn disk_records(&self) -> Result<Vec<WalRecord>, StoreError> {
+        // Hold the file lock so a concurrent commit can't interleave
+        // a half-written batch under the read.
+        let _file = self.file.lock().unwrap();
+        let bytes = std::fs::read(&self.path)
+            .map_err(|e| StoreError::io(format!("scan {}", self.path.display()), e))?;
+        let (records, _, _) = scan_bytes(&bytes);
+        Ok(records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::TempDir;
+    use fj_storage::{DataType, Schema};
+
+    fn sample_records() -> Vec<WalRecord> {
+        let schema = Schema::from_pairs(&[("k", DataType::Int)]);
+        vec![
+            WalRecord::TableMeta(TableMeta::describe(1, "T", &schema, 2)),
+            WalRecord::PageImage {
+                table_id: 1,
+                page_no: 0,
+                payload: vec![1, 2, 3, 4],
+            },
+            WalRecord::LoadCommit { table_id: 1 },
+        ]
+    }
+
+    #[test]
+    fn append_commit_replay_round_trip() {
+        let dir = TempDir::new("wal-rt");
+        let path = dir.path().join("wal.fj");
+        {
+            let (wal, scan) = Wal::open(&path).unwrap();
+            assert!(scan.records.is_empty());
+            for r in sample_records() {
+                wal.append(&r);
+            }
+            wal.commit(None).unwrap();
+            assert_eq!(wal.fsyncs(), 1, "group commit: one fsync per batch");
+        }
+        let (_, scan) = Wal::open(&path).unwrap();
+        assert_eq!(scan.records, sample_records());
+        assert!(!scan.torn_tail_truncated);
+    }
+
+    #[test]
+    fn uncommitted_appends_never_reach_disk() {
+        let dir = TempDir::new("wal-pending");
+        let path = dir.path().join("wal.fj");
+        let (wal, _) = Wal::open(&path).unwrap();
+        wal.append(&WalRecord::LoadCommit { table_id: 9 });
+        // No commit: the file stays empty.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_replayed() {
+        let dir = TempDir::new("wal-torn");
+        let path = dir.path().join("wal.fj");
+        {
+            let (wal, _) = Wal::open(&path).unwrap();
+            for r in sample_records() {
+                wal.append(&r);
+            }
+            wal.commit(None).unwrap();
+        }
+        let intact_len = std::fs::metadata(&path).unwrap().len();
+        // Simulate a crash mid-append: half of a valid record's bytes.
+        let extra = {
+            let body = encode_body(&WalRecord::LoadCommit { table_id: 2 });
+            let mut rec = Vec::new();
+            rec.extend_from_slice(&(body.len() as u32).to_le_bytes());
+            rec.extend_from_slice(&crc64(&body).to_le_bytes());
+            rec.extend_from_slice(&body);
+            rec
+        };
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&extra[..extra.len() / 2]);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (_, scan) = Wal::open(&path).unwrap();
+        assert_eq!(scan.records, sample_records());
+        assert!(scan.torn_tail_truncated);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            intact_len,
+            "torn tail must be cut back to the last valid boundary"
+        );
+        // A second open sees a clean log.
+        let (_, scan) = Wal::open(&path).unwrap();
+        assert!(!scan.torn_tail_truncated);
+    }
+
+    #[test]
+    fn corrupted_record_body_stops_replay() {
+        let dir = TempDir::new("wal-bitrot");
+        let path = dir.path().join("wal.fj");
+        {
+            let (wal, _) = Wal::open(&path).unwrap();
+            for r in sample_records() {
+                wal.append(&r);
+            }
+            wal.commit(None).unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, scan) = Wal::open(&path).unwrap();
+        assert!(scan.torn_tail_truncated);
+        assert!(scan.records.len() < sample_records().len());
+    }
+
+    #[test]
+    fn truncate_empties_log() {
+        let dir = TempDir::new("wal-trunc");
+        let path = dir.path().join("wal.fj");
+        let (wal, _) = Wal::open(&path).unwrap();
+        wal.append(&WalRecord::LoadCommit { table_id: 1 });
+        wal.commit(None).unwrap();
+        assert!(wal.size_bytes() > 0);
+        wal.truncate().unwrap();
+        assert_eq!(wal.size_bytes(), 0);
+    }
+}

@@ -53,6 +53,12 @@ pub struct OpStats {
     /// Pages read by this node itself (ledger delta across the node,
     /// minus its children's subtree reads).
     pub pages_read: u64,
+    /// Buffer-pool hits charged to this node itself (disk-backed mode;
+    /// 0 when the service runs purely in memory).
+    pub pool_hits: u64,
+    /// Buffer-pool misses — physical page-file reads — charged to this
+    /// node itself (disk-backed mode; 0 in memory).
+    pub pool_misses: u64,
     /// Inclusive wall time of the node's subtree, in microseconds.
     pub wall_micros: u64,
     /// Interrupt polls made by this node itself (global poll-counter
@@ -112,8 +118,8 @@ impl QueryTrace {
 
     /// One-line JSON with a stable key order (nested `children` arrays
     /// mirror the tree). Keys per node: `op`, `rows_in`, `rows_out`,
-    /// `build_rows`, `probe_rows`, `pages_read`, `wall_micros`,
-    /// `interrupt_polls`, `children`.
+    /// `build_rows`, `probe_rows`, `pages_read`, `pool_hits`,
+    /// `pool_misses`, `wall_micros`, `interrupt_polls`, `children`.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\"total_wall_micros\":");
@@ -185,8 +191,8 @@ fn write_node_json(node: &TraceNode, out: &mut String) {
         }
     }
     out.push_str(&format!(
-        "\",\"rows_in\":{},\"rows_out\":{},\"build_rows\":{},\"probe_rows\":{},\"pages_read\":{},\"wall_micros\":{},\"interrupt_polls\":{},\"children\":[",
-        s.rows_in, s.rows_out, s.build_rows, s.probe_rows, s.pages_read, s.wall_micros, s.interrupt_polls
+        "\",\"rows_in\":{},\"rows_out\":{},\"build_rows\":{},\"probe_rows\":{},\"pages_read\":{},\"pool_hits\":{},\"pool_misses\":{},\"wall_micros\":{},\"interrupt_polls\":{},\"children\":[",
+        s.rows_in, s.rows_out, s.build_rows, s.probe_rows, s.pages_read, s.pool_hits, s.pool_misses, s.wall_micros, s.interrupt_polls
     ));
     for (i, c) in node.children.iter().enumerate() {
         if i > 0 {
@@ -334,13 +340,15 @@ impl<'a> Parser<'a> {
         }
         self.expect(b'{')?;
         let mut label: Option<String> = None;
-        let mut fields: [Option<u64>; 7] = [None; 7];
-        const KEYS: [&str; 7] = [
+        let mut fields: [Option<u64>; 9] = [None; 9];
+        const KEYS: [&str; 9] = [
             "rows_in",
             "rows_out",
             "build_rows",
             "probe_rows",
             "pages_read",
+            "pool_hits",
+            "pool_misses",
             "wall_micros",
             "interrupt_polls",
         ];
@@ -383,8 +391,10 @@ impl<'a> Parser<'a> {
                 build_rows: take(2)?,
                 probe_rows: take(3)?,
                 pages_read: take(4)?,
-                wall_micros: take(5)?,
-                interrupt_polls: take(6)?,
+                pool_hits: take(5)?,
+                pool_misses: take(6)?,
+                wall_micros: take(7)?,
+                interrupt_polls: take(8)?,
             },
             children: children.ok_or(TraceError::MissingKey("children"))?,
         })
@@ -412,6 +422,45 @@ impl<'a> Parser<'a> {
     }
 }
 
+/// I/O observed across one plan node's subtree, as measured by the
+/// interpreter around the node (ledger and buffer-pool counter deltas
+/// between node entry and exit). [`TraceCollector::exit`] subtracts the
+/// children's subtrees to get the node's own share.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SubtreeIo {
+    /// Ledger `page_reads` delta across the subtree.
+    pub pages_read: u64,
+    /// Buffer-pool hit delta across the subtree (0 when in memory).
+    pub pool_hits: u64,
+    /// Buffer-pool miss delta across the subtree (0 when in memory).
+    pub pool_misses: u64,
+}
+
+impl SubtreeIo {
+    /// Pages only — the in-memory mode's measurement, where no buffer
+    /// pool exists.
+    pub fn pages(pages_read: u64) -> SubtreeIo {
+        SubtreeIo {
+            pages_read,
+            ..SubtreeIo::default()
+        }
+    }
+
+    fn saturating_sub(self, other: SubtreeIo) -> SubtreeIo {
+        SubtreeIo {
+            pages_read: self.pages_read.saturating_sub(other.pages_read),
+            pool_hits: self.pool_hits.saturating_sub(other.pool_hits),
+            pool_misses: self.pool_misses.saturating_sub(other.pool_misses),
+        }
+    }
+
+    fn add(&mut self, other: SubtreeIo) {
+        self.pages_read += other.pages_read;
+        self.pool_hits += other.pool_hits;
+        self.pool_misses += other.pool_misses;
+    }
+}
+
 /// One in-flight stack frame of the collector.
 struct Frame {
     label: String,
@@ -419,8 +468,8 @@ struct Frame {
     polls_at_entry: u64,
     /// Subtree interrupt polls already attributed to finished children.
     child_polls: u64,
-    /// Subtree page reads already attributed to finished children.
-    child_pages: u64,
+    /// Subtree I/O already attributed to finished children.
+    child_io: SubtreeIo,
     children: Vec<TraceNode>,
 }
 
@@ -471,7 +520,7 @@ impl TraceCollector {
             start: Instant::now(),
             polls_at_entry,
             child_polls: 0,
-            child_pages: 0,
+            child_io: SubtreeIo::default(),
             children: Vec::new(),
         });
     }
@@ -483,13 +532,14 @@ impl TraceCollector {
     }
 
     /// Exits the innermost open node with its output cardinality and
-    /// the ledger's `page_reads` delta across the node's subtree. Rows
-    /// in / build / probe counts derive from the finished children:
-    /// first child = probe (outer), second = build (inner).
+    /// the I/O counter deltas ([`SubtreeIo`]: ledger `page_reads`, pool
+    /// hits/misses) across the node's subtree. Rows in / build / probe
+    /// counts derive from the finished children: first child = probe
+    /// (outer), second = build (inner).
     ///
     /// Exits on error paths pass the rows produced before the failure
     /// (usually 0), keeping the stack balanced.
-    pub fn exit(&self, rows_out: u64, subtree_pages: u64) {
+    pub fn exit(&self, rows_out: u64, subtree_io: SubtreeIo) {
         let polls_now = self.polls.load(Ordering::Relaxed);
         let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
         let Some(frame) = st.stack.pop() else {
@@ -503,6 +553,7 @@ impl TraceCollector {
         } else {
             0
         };
+        let own_io = subtree_io.saturating_sub(frame.child_io);
         let node = TraceNode {
             stats: OpStats {
                 label: frame.label,
@@ -510,7 +561,9 @@ impl TraceCollector {
                 rows_out,
                 build_rows,
                 probe_rows,
-                pages_read: subtree_pages.saturating_sub(frame.child_pages),
+                pages_read: own_io.pages_read,
+                pool_hits: own_io.pool_hits,
+                pool_misses: own_io.pool_misses,
                 wall_micros: frame.start.elapsed().as_micros() as u64,
                 interrupt_polls: subtree_polls.saturating_sub(frame.child_polls),
             },
@@ -519,7 +572,7 @@ impl TraceCollector {
         match st.stack.last_mut() {
             Some(parent) => {
                 parent.child_polls += subtree_polls;
-                parent.child_pages += subtree_pages;
+                parent.child_io.add(subtree_io);
                 parent.children.push(node);
             }
             None => st.finished = Some(node),
@@ -658,13 +711,27 @@ mod tests {
             c.enter("scan A".into());
             c.note_poll();
             c.note_poll();
-            c.exit(100, 10);
+            c.exit(
+                100,
+                SubtreeIo {
+                    pages_read: 10,
+                    pool_hits: 7,
+                    pool_misses: 3,
+                },
+            );
             c.enter("scan B".into());
             c.note_poll();
-            c.exit(40, 4);
+            c.exit(40, SubtreeIo::pages(4));
         }
         c.note_poll(); // the join's own poll
-        c.exit(60, 20);
+        c.exit(
+            60,
+            SubtreeIo {
+                pages_read: 20,
+                pool_hits: 8,
+                pool_misses: 3,
+            },
+        );
         let trace = c.finish().expect("root exited");
         assert!(c.finish().is_none(), "finish consumes the trace");
         let root = &trace.root;
@@ -674,10 +741,15 @@ mod tests {
         assert_eq!(root.stats.probe_rows, 100);
         assert_eq!(root.stats.build_rows, 40);
         assert_eq!(root.stats.pages_read, 6, "20 subtree - 14 from children");
+        assert_eq!(root.stats.pool_hits, 1, "8 subtree - 7 from scan A");
+        assert_eq!(root.stats.pool_misses, 0, "3 subtree - 3 from scan A");
         assert_eq!(root.stats.interrupt_polls, 1);
         assert_eq!(root.children.len(), 2);
         assert_eq!(root.children[0].stats.interrupt_polls, 2);
+        assert_eq!(root.children[0].stats.pool_hits, 7);
+        assert_eq!(root.children[0].stats.pool_misses, 3);
         assert_eq!(root.children[1].stats.pages_read, 4);
+        assert_eq!(root.children[1].stats.pool_hits, 0);
         assert_eq!(trace.node_count(), 3);
         assert_eq!(trace.rows_out(), 60);
         assert_eq!(trace.total_wall_micros, root.stats.wall_micros);
@@ -688,7 +760,7 @@ mod tests {
         let c = TraceCollector::new();
         c.enter("join".into());
         c.enter("scan".into());
-        c.exit(5, 0);
+        c.exit(5, SubtreeIo::default());
         // The root never exits (simulates an interrupt unwinding past
         // the wrapper) — finish must not fabricate a partial tree.
         assert!(c.finish().is_none());
@@ -697,7 +769,7 @@ mod tests {
     #[test]
     fn unbalanced_exit_is_ignored() {
         let c = TraceCollector::new();
-        c.exit(1, 1);
+        c.exit(1, SubtreeIo::pages(1));
         assert!(c.finish().is_none());
     }
 
@@ -713,6 +785,8 @@ mod tests {
                     build_rows: 40,
                     probe_rows: 100,
                     pages_read: 6,
+                    pool_hits: 5,
+                    pool_misses: 1,
                     wall_micros: 1234,
                     interrupt_polls: 1,
                 },
@@ -727,11 +801,14 @@ mod tests {
     fn from_json_accepts_any_key_order() {
         let json = concat!(
             "{\"root\":{\"children\":[],\"op\":\"x\",\"interrupt_polls\":7,",
-            "\"wall_micros\":6,\"pages_read\":5,\"probe_rows\":4,\"build_rows\":3,",
+            "\"wall_micros\":6,\"pool_misses\":9,\"pool_hits\":8,",
+            "\"pages_read\":5,\"probe_rows\":4,\"build_rows\":3,",
             "\"rows_out\":2,\"rows_in\":1},\"total_wall_micros\":6}"
         );
         let t = QueryTrace::from_json(json).unwrap();
         assert_eq!(t.root.stats.rows_in, 1);
+        assert_eq!(t.root.stats.pool_hits, 8);
+        assert_eq!(t.root.stats.pool_misses, 9);
         assert_eq!(t.root.stats.interrupt_polls, 7);
     }
 

@@ -22,10 +22,12 @@ pub use fj_core::*;
 
 /// The concurrent query-service runtime: worker pool, plan cache,
 /// intra-query parallelism, cooperative cancellation, worker
-/// self-healing, and metrics. See [`fj_runtime`].
+/// self-healing, metrics, and the disk-backed storage mode. See
+/// [`fj_runtime`].
 pub use fj_runtime;
 pub use fj_runtime::{
-    FaultPlan, Interrupt, InterruptReason, QueryService, RuntimeMetrics, ServiceConfig,
+    FaultPlan, Interrupt, InterruptReason, QueryService, RecoveryReport, RuntimeMetrics,
+    ServiceConfig, StorageMode, Store, StoreStats,
 };
 
 /// The network boundary: TCP query server + blocking client over a

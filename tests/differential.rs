@@ -9,9 +9,11 @@
 
 use filterjoin::{
     col, fixtures, lit, Catalog, DataType, Database, FromItem, JoinQuery, OptimizerConfig,
-    TableBuilder, Tuple, Value,
+    QueryService, ServiceConfig, StorageMode, TableBuilder, Tuple, Value,
 };
 use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 fn sorted(mut rows: Vec<Tuple>) -> Vec<Tuple> {
     rows.sort();
@@ -255,4 +257,162 @@ fn all_filtered_regression_seed() {
     check_two_table(&[(1, 1), (2, 2)], &[1, 2], 49);
     let emps = [(0, 800.0, 69), (1, 900.0, 68)];
     check_paper_query(&emps, 4, 21);
+}
+
+// ---------------------------------------------------------------------
+// Disk-backed storage mode: the same differential contract must hold
+// when every logical page the executor charges is shadowed by a
+// physical fetch through the buffer pool and page file.
+
+/// A unique scratch directory under the system temp dir, removed on
+/// drop (kept for post-mortems if removal fails — it is temp space).
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(label: &str) -> ScratchDir {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "fj-differential-{label}-{}-{n}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn disk_config(dir: &ScratchDir, pool_pages: usize) -> ServiceConfig {
+    ServiceConfig {
+        workers: 2,
+        storage: StorageMode::Disk {
+            dir: dir.0.clone(),
+            pool_pages,
+        },
+        ..ServiceConfig::default()
+    }
+}
+
+/// A deterministic mid-sized paper instance for the disk-mode checks.
+fn disk_instance() -> (Catalog, JoinQuery) {
+    let emps: Vec<(i64, f64, i64)> = (0..200)
+        .map(|i| {
+            (
+                (i * 7) % 64,
+                500.0 + (i * 13 % 100) as f64 * 80.0,
+                18 + (i * 5) % 50,
+            )
+        })
+        .collect();
+    let cat = paper_catalog_from(&emps, 8);
+    let q = JoinQuery::new(vec![
+        FromItem::new("Emp", "E"),
+        FromItem::new("Dept", "D"),
+        FromItem::new("DepAvgSal", "V"),
+    ])
+    .with_predicate(
+        col("E.did")
+            .eq(col("D.did"))
+            .and(col("E.did").eq(col("V.did")))
+            .and(col("E.sal").gt(col("V.avgsal")))
+            .and(col("E.age").lt(lit(45))),
+    );
+    (cat, q)
+}
+
+/// Every optimizer configuration of the matrix, executed through a
+/// disk-backed service with a deliberately tiny buffer pool (forcing
+/// eviction churn), must agree with the in-memory oracle row for row.
+#[test]
+fn disk_mode_matches_oracle_across_config_matrix() {
+    let (cat, q) = disk_instance();
+    let oracle = sorted(
+        Database::with_catalog(cat.clone())
+            .run_logical(&q.to_plan())
+            .expect("oracle runs")
+            .rows,
+    );
+    let dir = ScratchDir::new("matrix");
+    // pool_pages 2: far below the working set, so the clock hand is
+    // forced to evict and re-fetch pages throughout every query.
+    let service = QueryService::start(cat, disk_config(&dir, 2));
+    for config in config_matrix() {
+        let got = sorted(
+            service
+                .submit_with_config(q.clone(), config)
+                .expect("submit")
+                .wait()
+                .expect("disk-mode query runs")
+                .rows,
+        );
+        assert_eq!(
+            oracle, got,
+            "disk-mode optimizer config diverged: {config:?}"
+        );
+    }
+    service.shutdown();
+}
+
+/// The cost-model parity contract on the restart (cold-pool) path: for
+/// a cold base-table scan, the *simulated* page charges the ledger
+/// records equal the *physical* page-file reads exactly, and every one
+/// of them is a pool miss. A warm re-run keeps the simulated charges
+/// identical while physical reads drop to zero — the intentional,
+/// documented divergence: the ledger models a cold System-R buffer on
+/// every query, the pool models a real warm one (DESIGN.md
+/// §"Persistence & recovery").
+#[test]
+fn cold_disk_scan_charges_equal_physical_reads() {
+    let (cat, _) = disk_instance();
+    let dir = ScratchDir::new("parity");
+    // First start loads the tables into the store; shut down cleanly.
+    QueryService::start(cat.clone(), disk_config(&dir, 64)).shutdown();
+
+    // Restart from the data directory: recovery replays, pool is cold.
+    let service = QueryService::start(cat, disk_config(&dir, 64));
+    let scan = JoinQuery::new(vec![FromItem::new("Emp", "E")]);
+
+    let before = service.store_stats();
+    let cold = service
+        .submit(scan.clone())
+        .expect("submit")
+        .wait()
+        .expect("cold scan runs");
+    let after = service.store_stats();
+    let misses = after.pool_misses - before.pool_misses;
+    let physical = after.physical_reads - before.physical_reads;
+    assert!(misses > 0, "a cold scan must miss the pool");
+    assert_eq!(misses, physical, "every cold miss is one page-file read");
+    assert_eq!(
+        cold.charges.page_reads, physical,
+        "simulated page charges must equal physical reads for a cold scan"
+    );
+
+    let before = service.store_stats();
+    let warm = service
+        .submit(scan)
+        .expect("submit")
+        .wait()
+        .expect("warm scan runs");
+    let after = service.store_stats();
+    assert_eq!(
+        warm.charges.page_reads, cold.charges.page_reads,
+        "simulated charges are pool-oblivious by design"
+    );
+    assert_eq!(
+        after.physical_reads, before.physical_reads,
+        "a warm scan reads nothing from disk"
+    );
+    assert_eq!(
+        after.pool_hits - before.pool_hits,
+        misses,
+        "the warm scan hits exactly the pages the cold scan faulted in"
+    );
+    assert_eq!(sorted(warm.rows), sorted(cold.rows));
+    service.shutdown();
 }
