@@ -162,6 +162,61 @@ impl RelationKind {
     }
 }
 
+/// How a base table is hash-partitioned across shards for distributed
+/// execution: rows are routed by a stable hash of one column, modulo
+/// the shard count. Kept in the catalog so the coordinator, the shards,
+/// and the cost model all agree on where a key lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionMap {
+    /// Index of the partitioning column in the table's schema.
+    pub column: usize,
+    /// Number of hash partitions (= number of shards).
+    pub shards: u32,
+}
+
+impl PartitionMap {
+    /// A map partitioning on `column` across `shards` partitions
+    /// (clamped to at least 1).
+    pub fn new(column: usize, shards: u32) -> PartitionMap {
+        PartitionMap {
+            column,
+            shards: shards.max(1),
+        }
+    }
+
+    /// The partition a key routes to.
+    pub fn shard_of(&self, key: &Value) -> u32 {
+        (partition_hash(key) % u64::from(self.shards)) as u32
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Stable, process-independent hash used for partition routing. Not a
+/// general-purpose hash: it only needs to agree between the coordinator
+/// and every shard, forever, so it is written out explicitly instead of
+/// delegating to `std`'s unspecified `Hasher`.
+pub fn partition_hash(v: &Value) -> u64 {
+    match v {
+        Value::Null => splitmix64(0x6e75_6c6c),
+        Value::Int(i) => splitmix64(1 ^ (*i as u64).rotate_left(17)),
+        Value::Double(d) => splitmix64(2 ^ d.to_bits()),
+        Value::Str(s) => {
+            let mut h = 3u64;
+            for b in s.as_bytes() {
+                h = splitmix64(h ^ u64::from(*b));
+            }
+            h
+        }
+        Value::Bool(b) => splitmix64(4 ^ u64::from(*b)),
+    }
+}
+
 /// The catalog: name → relation, plus the network model.
 ///
 /// Every mutation bumps a monotonically increasing [`epoch`](Catalog::epoch),
@@ -174,6 +229,7 @@ pub struct Catalog {
     table_sites: HashMap<String, SiteId>,
     views: HashMap<String, Arc<ViewDef>>,
     udfs: HashMap<String, Arc<dyn UdfRelation>>,
+    partitions: HashMap<String, PartitionMap>,
     network: Option<NetworkModel>,
     epoch: u64,
 }
@@ -220,6 +276,19 @@ impl Catalog {
     pub fn set_network(&mut self, network: NetworkModel) {
         self.network = Some(network);
         self.epoch += 1;
+    }
+
+    /// Declares `table` hash-partitioned across shards. The table keeps
+    /// its full local rows (the serial oracle still runs against them);
+    /// the map tells distributed coordinators how to scatter and route.
+    pub fn set_partitioning(&mut self, table: impl Into<String>, map: PartitionMap) {
+        self.partitions.insert(table.into(), map);
+        self.epoch += 1;
+    }
+
+    /// The partition map for `table`, if declared.
+    pub fn partitioning(&self, table: &str) -> Option<PartitionMap> {
+        self.partitions.get(table).copied()
     }
 
     /// The network model in force.

@@ -32,7 +32,9 @@ pub mod plan;
 pub mod query;
 pub mod sql;
 
-pub use catalog::{Catalog, NetworkModel, RelationKind, SiteId, UdfRelation, ViewDef};
+pub use catalog::{
+    partition_hash, Catalog, NetworkModel, PartitionMap, RelationKind, SiteId, UdfRelation, ViewDef,
+};
 pub use error::AlgebraError;
 pub use magic::{restricted_inner, rewrite, rewrite_parts, MagicParts, Sips};
 pub use plan::{JoinKind, LogicalPlan, PlanRef};

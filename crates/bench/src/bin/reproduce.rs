@@ -1,7 +1,7 @@
 //! Prints every reproduced figure/table as a paper-style text table.
 //!
 //! ```text
-//! reproduce [all|fig1|fig3|table1|fig4|fig5|fig6|complexity|crossover|dist|udf|local|bloom|throughput|trace-overhead|soak|chaos|cluster-chaos|recovery-chaos]
+//! reproduce [all|fig1|fig3|table1|fig4|fig5|fig6|complexity|crossover|dist|dist-wire|udf|local|bloom|throughput|trace-overhead|soak|chaos|cluster-chaos|recovery-chaos]
 //!           [--small] [--threads N]
 //! ```
 //!
@@ -55,6 +55,7 @@ fn main() {
             "complexity",
             "crossover",
             "dist",
+            "dist-wire",
             "udf",
             "local",
             "bloom",
@@ -87,6 +88,13 @@ fn main() {
                     repro::dist::run(500, 5_000, 25)
                 } else {
                     repro::dist::run(2_000, 50_000, 100)
+                }
+            }
+            "dist-wire" => {
+                if small {
+                    repro::dist::run_wire(500, 5_000, 25, 3)
+                } else {
+                    repro::dist::run_wire(2_000, 20_000, 100, 3)
                 }
             }
             "udf" => {

@@ -43,6 +43,7 @@
 pub mod breaker;
 pub mod client;
 pub mod config;
+pub mod shard;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use client::{
@@ -51,3 +52,4 @@ pub use client::{
 };
 pub use config::{ClusterConfig, ClusterConfigError, HedgeConfig};
 pub use fj_net::RetryBudget;
+pub use shard::ShardMap;

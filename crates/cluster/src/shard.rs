@@ -1,0 +1,112 @@
+//! Shard-aware routing for partitioned distributed execution: which
+//! servers hold which hash partitions, and in what order a coordinator
+//! should try them.
+//!
+//! A [`ShardMap`] assigns each partition a *primary* server plus
+//! `replication - 1` follower servers (round-robin over the server
+//! list), so a coordinator can ride through one server draining
+//! mid-query: every request that a draining primary refuses with the
+//! retryable SHUTTING_DOWN code is replayed verbatim against the next
+//! replica. Shards are stateless after scatter, which makes that replay
+//! always safe — any replica of a partition holds identical rows
+//! forever.
+
+use std::net::SocketAddr;
+
+/// Assignment of hash partitions to servers, with replication.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    /// `assignments[p]` lists the servers holding partition `p`,
+    /// primary first, in failover order.
+    assignments: Vec<Vec<SocketAddr>>,
+}
+
+impl ShardMap {
+    /// Builds a map of `shards` partitions over `servers`, each stored
+    /// on `replication` distinct servers (clamped to the server count):
+    /// partition `p` lands on `servers[p % n]`, `servers[(p + 1) % n]`,
+    /// and so on.
+    pub fn new(servers: &[SocketAddr], shards: u32, replication: usize) -> ShardMap {
+        let n = servers.len().max(1);
+        let replication = replication.clamp(1, servers.len().max(1));
+        let assignments = (0..shards as usize)
+            .map(|p| {
+                (0..replication)
+                    .filter_map(|r| servers.get((p + r) % n).copied())
+                    .collect()
+            })
+            .collect();
+        ShardMap { assignments }
+    }
+
+    /// Number of hash partitions.
+    pub fn shards(&self) -> u32 {
+        self.assignments.len() as u32
+    }
+
+    /// The servers holding partition `p`, primary first. Empty only
+    /// when the map was built over an empty server list.
+    pub fn replicas(&self, p: u32) -> &[SocketAddr] {
+        self.assignments
+            .get(p as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Every distinct server in the map, in first-appearance order.
+    pub fn servers(&self) -> Vec<SocketAddr> {
+        let mut out: Vec<SocketAddr> = Vec::new();
+        for replicas in &self.assignments {
+            for addr in replicas {
+                if !out.contains(addr) {
+                    out.push(*addr);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: usize) -> Vec<SocketAddr> {
+        (0..n)
+            .map(|i| format!("127.0.0.1:{}", 9000 + i).parse().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_with_replication() {
+        let servers = addrs(3);
+        let map = ShardMap::new(&servers, 4, 2);
+        assert_eq!(map.shards(), 4);
+        assert_eq!(map.replicas(0), &[servers[0], servers[1]]);
+        assert_eq!(map.replicas(1), &[servers[1], servers[2]]);
+        assert_eq!(map.replicas(2), &[servers[2], servers[0]]);
+        assert_eq!(map.replicas(3), &[servers[0], servers[1]]);
+    }
+
+    #[test]
+    fn replication_clamps_to_server_count() {
+        let servers = addrs(2);
+        let map = ShardMap::new(&servers, 2, 5);
+        assert_eq!(map.replicas(0).len(), 2);
+        // No server repeats within one partition's replica set.
+        assert_ne!(map.replicas(0)[0], map.replicas(0)[1]);
+    }
+
+    #[test]
+    fn servers_lists_each_once() {
+        let servers = addrs(3);
+        let map = ShardMap::new(&servers, 9, 2);
+        assert_eq!(map.servers(), servers);
+    }
+
+    #[test]
+    fn out_of_range_partition_is_empty() {
+        let map = ShardMap::new(&addrs(2), 2, 1);
+        assert!(map.replicas(7).is_empty());
+    }
+}

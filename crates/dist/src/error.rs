@@ -1,0 +1,77 @@
+//! Typed failures of the distributed coordinator.
+
+use fj_exec::{ExecError, InterruptReason};
+use fj_net::NetError;
+use fj_optimizer::OptError;
+use fj_storage::StorageError;
+use std::fmt;
+
+/// Everything that can go wrong planning or running a partitioned
+/// distributed query.
+#[derive(Debug)]
+pub enum DistError {
+    /// A network exchange failed in a non-retryable way.
+    Net(NetError),
+    /// Rebuilding a reduced table failed.
+    Storage(StorageError),
+    /// The coordinator-local optimization/execution of the final join
+    /// failed.
+    Query(OptError),
+    /// A coordinator-side exchange operator failed.
+    Exec(ExecError),
+    /// The query shape is not supported by distributed execution (e.g.
+    /// a FROM item that is not a base table).
+    Unsupported(String),
+    /// Every replica of a partition refused or failed the request —
+    /// failover ran out of places to go.
+    NoHealthyReplica {
+        /// The partition whose replicas were exhausted.
+        shard: u32,
+        /// The last per-replica failure, for diagnosis.
+        detail: String,
+    },
+    /// The distributed query was torn down by its interrupt.
+    Interrupted(InterruptReason),
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::Net(e) => write!(f, "network: {e}"),
+            DistError::Storage(e) => write!(f, "storage: {e}"),
+            DistError::Query(e) => write!(f, "query: {e}"),
+            DistError::Exec(e) => write!(f, "exec: {e}"),
+            DistError::Unsupported(what) => write!(f, "unsupported for distribution: {what}"),
+            DistError::NoHealthyReplica { shard, detail } => {
+                write!(f, "no healthy replica for shard {shard}: {detail}")
+            }
+            DistError::Interrupted(reason) => write!(f, "interrupted: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+impl From<NetError> for DistError {
+    fn from(e: NetError) -> DistError {
+        DistError::Net(e)
+    }
+}
+
+impl From<StorageError> for DistError {
+    fn from(e: StorageError) -> DistError {
+        DistError::Storage(e)
+    }
+}
+
+impl From<OptError> for DistError {
+    fn from(e: OptError) -> DistError {
+        DistError::Query(e)
+    }
+}
+
+impl From<ExecError> for DistError {
+    fn from(e: ExecError) -> DistError {
+        DistError::Exec(e)
+    }
+}

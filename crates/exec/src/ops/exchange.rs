@@ -1,0 +1,123 @@
+//! Exchange operators for partitioned (distributed) execution: hash
+//! partitioning on the way out of a coordinator and ordinal merge on
+//! the way back in.
+//!
+//! Both sides charge the ledger so a distributed run's model-unit costs
+//! stay reconcilable with the serial oracle: partitioning and merging
+//! charge one tuple operation per row moved (the hash / comparison),
+//! exactly as the local operators do, and nothing else — shipping
+//! itself is charged by whoever puts the rows on a wire.
+
+use crate::context::ExecCtx;
+use crate::error::ExecError;
+use crate::physical::Rel;
+use fj_algebra::PartitionMap;
+use fj_storage::Tuple;
+
+/// Splits `rel` into `map.shards` partitions by the stable partition
+/// hash of the mapped column. Row order within each partition preserves
+/// the input order, so partitioning then concatenating in partition
+/// order is a deterministic permutation. Charges one tuple op per row.
+pub fn hash_partition(ctx: &ExecCtx, rel: &Rel, map: PartitionMap) -> Result<Vec<Rel>, ExecError> {
+    ctx.check_interrupt()?;
+    if map.column >= rel.schema.arity() {
+        return Err(ExecError::InvalidPhysicalPlan(format!(
+            "partition column {} out of range for arity {}",
+            map.column,
+            rel.schema.arity()
+        )));
+    }
+    let mut parts: Vec<Vec<Tuple>> = (0..map.shards).map(|_| Vec::new()).collect();
+    for row in &rel.rows {
+        let shard = map.shard_of(row.value(map.column)) as usize;
+        parts[shard].push(row.clone());
+    }
+    ctx.ledger.tuple_ops(rel.rows.len() as u64);
+    Ok(parts
+        .into_iter()
+        .map(|rows| Rel::new(rel.schema.clone(), rows))
+        .collect())
+}
+
+/// Merges gathered partitions back into one relation ordered by the
+/// integer ordinal column at index `ord_col` (the coordinator's hidden
+/// row-ordinal), dropping duplicates of the same ordinal — a replica
+/// re-gather after failover must not double rows. Charges one tuple op
+/// per input row. The ordinal column is *kept*; callers strip it when
+/// rebuilding the base table.
+pub fn merge_by_ordinal(
+    ctx: &ExecCtx,
+    schema: fj_storage::SchemaRef,
+    parts: Vec<Vec<Tuple>>,
+    ord_col: usize,
+) -> Result<Rel, ExecError> {
+    ctx.check_interrupt()?;
+    let mut merged: std::collections::BTreeMap<Tuple, Tuple> = std::collections::BTreeMap::new();
+    let mut n = 0u64;
+    for part in parts {
+        for row in part {
+            if ord_col >= row.arity() {
+                return Err(ExecError::InvalidPhysicalPlan(format!(
+                    "ordinal column {} out of range for arity {}",
+                    ord_col,
+                    row.arity()
+                )));
+            }
+            n += 1;
+            let key = Tuple::new(vec![row.value(ord_col).clone()]);
+            merged.entry(key).or_insert(row);
+        }
+    }
+    ctx.ledger.tuple_ops(n);
+    Ok(Rel::new(schema, merged.into_values().collect()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj_algebra::Catalog;
+    use fj_storage::{tuple, DataType, Schema};
+    use std::sync::Arc;
+
+    fn rel() -> Rel {
+        Rel::new(
+            Schema::from_pairs(&[("k", DataType::Int), ("ord", DataType::Int)]).into_ref(),
+            (0..100).map(|i| tuple![i % 7, i]).collect(),
+        )
+    }
+
+    #[test]
+    fn partition_is_a_permutation_and_routes_by_hash() {
+        let ctx = ExecCtx::new(Arc::new(Catalog::new()));
+        let r = rel();
+        let map = PartitionMap::new(0, 3);
+        let parts = hash_partition(&ctx, &r, map).unwrap();
+        assert_eq!(parts.len(), 3);
+        let total: usize = parts.iter().map(|p| p.rows.len()).sum();
+        assert_eq!(total, r.rows.len());
+        for (i, p) in parts.iter().enumerate() {
+            for row in &p.rows {
+                assert_eq!(map.shard_of(row.value(0)) as usize, i);
+            }
+        }
+        assert_eq!(ctx.ledger.snapshot().tuple_ops, 100);
+    }
+
+    #[test]
+    fn merge_restores_ordinal_order_and_dedups_replicas() {
+        let ctx = ExecCtx::new(Arc::new(Catalog::new()));
+        let r = rel();
+        let parts = hash_partition(&ctx, &r, PartitionMap::new(0, 4)).unwrap();
+        let mut gathered: Vec<Vec<Tuple>> = parts.into_iter().map(|p| p.rows).collect();
+        // Simulate a replica double-gather of partition 0.
+        gathered.push(gathered[0].clone());
+        let merged = merge_by_ordinal(&ctx, r.schema.clone(), gathered, 1).unwrap();
+        assert_eq!(merged.rows, r.rows);
+    }
+
+    #[test]
+    fn partition_column_out_of_range_is_typed() {
+        let ctx = ExecCtx::new(Arc::new(Catalog::new()));
+        assert!(hash_partition(&ctx, &rel(), PartitionMap::new(9, 2)).is_err());
+    }
+}

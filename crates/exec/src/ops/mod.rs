@@ -7,6 +7,7 @@
 
 pub mod agg;
 pub mod bloom;
+pub mod exchange;
 pub mod filter;
 pub mod joins;
 pub mod parallel;

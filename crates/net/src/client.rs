@@ -7,7 +7,10 @@
 //! [`NetError::is_retryable`] helper identifies shed/drain replies a
 //! caller should back off and retry.
 
-use crate::codec::{self, CodecError, HealthSnapshot, QueryReply, QueryRequest};
+use crate::codec::{
+    self, CodecError, FragmentRequest, GatherReply, HealthSnapshot, QueryReply, QueryRequest,
+    ScatterAck, ScatterRequest, SemijoinAck, SemijoinRequest,
+};
 use crate::wire::{self, ErrorCode, FrameReader, FrameType, WireError};
 use fj_algebra::JoinQuery;
 use fj_optimizer::OptimizerConfig;
@@ -273,6 +276,38 @@ impl RetryBudget {
     }
 }
 
+/// Exact wire bytes exchanged by one distributed request/reply pair,
+/// measured at the framing layer (header included). The `dist`
+/// reproduce experiment reconciles these against the optimizer's
+/// predicted network costs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireBytes {
+    /// Bytes put on the wire for the request frame.
+    pub sent: u64,
+    /// Bytes read off the wire for the reply frame.
+    pub received: u64,
+}
+
+impl WireBytes {
+    fn of(sent: usize, reply_payload: usize) -> WireBytes {
+        WireBytes {
+            sent: sent as u64,
+            received: (reply_payload + wire::FRAME_HEADER_BYTES) as u64,
+        }
+    }
+
+    /// Total bytes both directions.
+    pub fn total(&self) -> u64 {
+        self.sent + self.received
+    }
+
+    /// Accumulates another exchange into this tally.
+    pub fn add(&mut self, other: WireBytes) {
+        self.sent += other.sent;
+        self.received += other.received;
+    }
+}
+
 /// A handle that cancels the query in flight on its [`Client`]'s
 /// connection, from another thread (the client itself is blocked
 /// waiting for the reply). Obtained from [`Client::canceller`].
@@ -476,6 +511,78 @@ impl Client {
             FrameType::StatsReply => Ok(codec::decode_stats_reply(&frame.1)?),
             FrameType::Error => Err(self.remote_error(&frame.1)),
             _ => Err(NetError::Protocol("expected STATS_REPLY or ERROR frame")),
+        }
+    }
+
+    /// Ships one partition of a base table to this shard (deploy-time
+    /// only; shards never mutate after scatter). Returns the ack plus
+    /// the exact wire bytes exchanged, for predicted-vs-actual network
+    /// cost reconciliation.
+    pub fn scatter(
+        &mut self,
+        req: &ScatterRequest,
+        timeout: Duration,
+    ) -> Result<(ScatterAck, WireBytes), NetError> {
+        let payload = codec::encode_scatter(req)?;
+        self.stream.set_read_timeout(Some(timeout))?;
+        let sent = wire::write_frame(&mut self.stream, FrameType::Scatter, &payload)?;
+        let frame = self.recv()?;
+        self.stream.set_read_timeout(None)?;
+        let wire = WireBytes::of(sent, frame.1.len());
+        match frame.0 {
+            FrameType::ScatterAck => Ok((codec::decode_scatter_ack(&frame.1)?, wire)),
+            FrameType::Error => Err(self.remote_error(&frame.1)),
+            _ => Err(NetError::Protocol("expected SCATTER_ACK or ERROR frame")),
+        }
+    }
+
+    /// Runs one stateless semijoin step against this shard: filters the
+    /// named shard-resident table by the shipped key/Bloom sets and
+    /// returns surviving rows and/or distinct keys, plus the exact wire
+    /// bytes exchanged.
+    pub fn semijoin(
+        &mut self,
+        req: &SemijoinRequest,
+        timeout: Duration,
+    ) -> Result<(SemijoinAck, WireBytes), NetError> {
+        let payload = codec::encode_semijoin(req)?;
+        self.stream.set_read_timeout(Some(timeout))?;
+        let sent = wire::write_frame(&mut self.stream, FrameType::Semijoin, &payload)?;
+        let frame = self.recv()?;
+        self.stream.set_read_timeout(None)?;
+        let wire = WireBytes::of(sent, frame.1.len());
+        match frame.0 {
+            FrameType::SemijoinAck => Ok((codec::decode_semijoin_ack(&frame.1)?, wire)),
+            FrameType::Error => Err(self.remote_error(&frame.1)),
+            _ => Err(NetError::Protocol("expected SEMIJOIN_ACK or ERROR frame")),
+        }
+    }
+
+    /// Runs one query fragment on this shard through its admission
+    /// control and returns the partial result as a GATHER reply, plus
+    /// the exact wire bytes exchanged. The fragment's `deadline_millis`
+    /// bounds the shard-side run; use a [`Canceller`] from another
+    /// thread to tear an in-flight fragment down early.
+    pub fn fragment(
+        &mut self,
+        req: &FragmentRequest,
+    ) -> Result<(GatherReply, WireBytes), NetError> {
+        let payload = codec::encode_fragment(req)?;
+        // Bound our own wait a bit past the shard's deadline so a dead
+        // shard cannot hang a deadline-scoped fragment forever.
+        let read_timeout = match req.deadline_millis {
+            0 => None,
+            ms => Some(Duration::from_millis(ms) + Duration::from_secs(30)),
+        };
+        self.stream.set_read_timeout(read_timeout)?;
+        let sent = wire::write_frame(&mut self.stream, FrameType::Fragment, &payload)?;
+        let frame = self.recv()?;
+        self.stream.set_read_timeout(None)?;
+        let wire = WireBytes::of(sent, frame.1.len());
+        match frame.0 {
+            FrameType::Gather => Ok((codec::decode_gather(&frame.1)?, wire)),
+            FrameType::Error => Err(self.remote_error(&frame.1)),
+            _ => Err(NetError::Protocol("expected GATHER or ERROR frame")),
         }
     }
 

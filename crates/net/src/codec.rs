@@ -19,7 +19,7 @@ use fj_algebra::{FromItem, JoinQuery, NetworkModel};
 use fj_core::QueryResult;
 use fj_expr::{BinOp, Expr};
 use fj_optimizer::{CostParams, OptimizerConfig};
-use fj_storage::{Column, DataType, Schema, SchemaRef, Tuple, Value};
+use fj_storage::{BloomFilter, Column, DataType, Schema, SchemaRef, Tuple, Value};
 use std::fmt;
 use std::sync::Arc;
 
@@ -850,6 +850,15 @@ pub struct HealthSnapshot {
     pub pool_evictions: u64,
     /// WAL group fsyncs issued since start.
     pub wal_fsyncs: u64,
+    /// Distributed query fragments executed by this shard since start.
+    pub fragments_served: u64,
+    /// Semijoin filter sets (exact key sets or Bloom filters) this
+    /// shard has received and applied since start.
+    pub semijoin_sets_shipped: u64,
+    /// Payload bytes of table partitions scattered onto this shard.
+    pub bytes_scattered: u64,
+    /// Payload bytes of partial results gathered off this shard.
+    pub bytes_gathered: u64,
 }
 
 impl HealthSnapshot {
@@ -862,7 +871,9 @@ impl HealthSnapshot {
                 "\"queued\":{},\"in_flight\":{},\"queue_capacity\":{},",
                 "\"connections_active\":{},\"pool_hits\":{},",
                 "\"pool_misses\":{},\"pool_evictions\":{},",
-                "\"wal_fsyncs\":{}}}"
+                "\"wal_fsyncs\":{},\"fragments_served\":{},",
+                "\"semijoin_sets_shipped\":{},\"bytes_scattered\":{},",
+                "\"bytes_gathered\":{}}}"
             ),
             self.status,
             self.workers,
@@ -875,6 +886,10 @@ impl HealthSnapshot {
             self.pool_misses,
             self.pool_evictions,
             self.wal_fsyncs,
+            self.fragments_served,
+            self.semijoin_sets_shipped,
+            self.bytes_scattered,
+            self.bytes_gathered,
         )
     }
 
@@ -887,8 +902,8 @@ impl HealthSnapshot {
     pub fn from_json(json: &str) -> Result<HealthSnapshot, CodecError> {
         let fields = parse_flat_json(json)?;
         let mut status = None;
-        let mut counters = [None; 10];
-        const KEYS: [&str; 10] = [
+        let mut counters = [None; 14];
+        const KEYS: [&str; 14] = [
             "workers",
             "workers_replaced",
             "queued",
@@ -899,6 +914,10 @@ impl HealthSnapshot {
             "pool_misses",
             "pool_evictions",
             "wal_fsyncs",
+            "fragments_served",
+            "semijoin_sets_shipped",
+            "bytes_scattered",
+            "bytes_gathered",
         ];
         for (key, value) in fields {
             if key == "status" {
@@ -947,6 +966,10 @@ impl HealthSnapshot {
             pool_misses: counter(7)?,
             pool_evictions: counter(8)?,
             wal_fsyncs: counter(9)?,
+            fragments_served: counter(10)?,
+            semijoin_sets_shipped: counter(11)?,
+            bytes_scattered: counter(12)?,
+            bytes_gathered: counter(13)?,
         })
     }
 }
@@ -1093,4 +1116,455 @@ pub fn decode_health_reply(payload: &[u8]) -> Result<HealthSnapshot, CodecError>
     let json = r.string()?;
     r.finish()?;
     HealthSnapshot::from_json(&json)
+}
+
+// ------------------------------------------------- distributed execution
+
+/// Encodes a schema as (count, [name, type byte, nullable]...).
+fn encode_schema(w: &mut Writer, schema: &Schema) -> Result<(), CodecError> {
+    w.count("columns", schema.arity())?;
+    for col in schema.columns() {
+        w.string(&col.name)?;
+        w.u8(datatype_to_u8(col.data_type));
+        w.bool(col.nullable);
+    }
+    Ok(())
+}
+
+fn decode_schema(r: &mut Reader<'_>) -> Result<SchemaRef, CodecError> {
+    let ncols = r.u32()?;
+    let mut columns = Vec::new();
+    for _ in 0..ncols {
+        let name = r.string()?;
+        let ty_byte = r.u8()?;
+        let data_type = datatype_from_u8(ty_byte).ok_or(CodecError::BadTag {
+            what: "data type",
+            tag: ty_byte,
+        })?;
+        let nullable = r.bool()?;
+        columns.push(if nullable {
+            Column::nullable(name, data_type)
+        } else {
+            Column::new(name, data_type)
+        });
+    }
+    Ok(Schema::new(columns)
+        .map_err(|e| CodecError::Invalid(format!("bad schema: {e}")))?
+        .into_ref())
+}
+
+/// Encodes rows against `schema`, rejecting arity mismatches.
+fn encode_rows(w: &mut Writer, schema: &Schema, rows: &[Tuple]) -> Result<(), CodecError> {
+    w.count("rows", rows.len())?;
+    for row in rows {
+        if row.arity() != schema.arity() {
+            return Err(CodecError::Invalid(format!(
+                "row arity {} does not match schema arity {}",
+                row.arity(),
+                schema.arity()
+            )));
+        }
+        for v in row.values() {
+            encode_value(w, v)?;
+        }
+    }
+    Ok(())
+}
+
+fn decode_rows(r: &mut Reader<'_>, schema: &Schema) -> Result<Vec<Tuple>, CodecError> {
+    let nrows = r.u32()?;
+    let mut rows = Vec::new();
+    for _ in 0..nrows {
+        let mut values = Vec::with_capacity(schema.arity());
+        for _ in 0..schema.arity() {
+            values.push(decode_value(r)?);
+        }
+        rows.push(Tuple::new(values));
+    }
+    Ok(rows)
+}
+
+/// A SCATTER payload: one hash partition of a base table, to be
+/// installed into the receiving shard's catalog under `table`.
+#[derive(Debug, Clone)]
+pub struct ScatterRequest {
+    /// Shard-local name for the partition table (e.g. `orders__p2`).
+    pub table: String,
+    /// The partition's schema (the base schema plus the coordinator's
+    /// hidden row-ordinal column).
+    pub schema: SchemaRef,
+    /// The partition's rows.
+    pub rows: Vec<Tuple>,
+}
+
+/// A SCATTER_ACK payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScatterAck {
+    /// Rows installed on the shard.
+    pub rows_stored: u64,
+    /// Their total wire width in bytes.
+    pub bytes_stored: u64,
+}
+
+/// Encodes a SCATTER payload.
+pub fn encode_scatter(req: &ScatterRequest) -> Result<Vec<u8>, CodecError> {
+    let mut w = Writer::new();
+    w.string(&req.table)?;
+    encode_schema(&mut w, &req.schema)?;
+    encode_rows(&mut w, &req.schema, &req.rows)?;
+    Ok(w.into_bytes())
+}
+
+/// Decodes a SCATTER payload (consuming it fully).
+pub fn decode_scatter(payload: &[u8]) -> Result<ScatterRequest, CodecError> {
+    let mut r = Reader::new(payload);
+    let table = r.string()?;
+    let schema = decode_schema(&mut r)?;
+    let rows = decode_rows(&mut r, &schema)?;
+    r.finish()?;
+    Ok(ScatterRequest {
+        table,
+        schema,
+        rows,
+    })
+}
+
+/// Encodes a SCATTER_ACK payload.
+pub fn encode_scatter_ack(ack: &ScatterAck) -> Result<Vec<u8>, CodecError> {
+    let mut w = Writer::new();
+    w.u64(ack.rows_stored);
+    w.u64(ack.bytes_stored);
+    Ok(w.into_bytes())
+}
+
+/// Decodes a SCATTER_ACK payload (consuming it fully).
+pub fn decode_scatter_ack(payload: &[u8]) -> Result<ScatterAck, CodecError> {
+    let mut r = Reader::new(payload);
+    let rows_stored = r.u64()?;
+    let bytes_stored = r.u64()?;
+    r.finish()?;
+    Ok(ScatterAck {
+        rows_stored,
+        bytes_stored,
+    })
+}
+
+/// A filter set shipped to a shard — the paper's exact vs lossy
+/// representations (§3.2): an exact key list, or a Bloom filter whose
+/// false positives cost shipped bytes but never correctness.
+#[derive(Debug, Clone)]
+pub enum KeyFilter {
+    /// The exact distinct key set.
+    Exact(Vec<Value>),
+    /// A lossy Bloom representation of the key set.
+    Bloom(BloomFilter),
+}
+
+impl KeyFilter {
+    /// Membership test; `Bloom` may return false positives, never
+    /// false negatives.
+    pub fn contains(&self, v: &Value) -> bool {
+        match self {
+            KeyFilter::Exact(keys) => keys.contains(v),
+            KeyFilter::Bloom(f) => f.contains(v),
+        }
+    }
+}
+
+impl PartialEq for KeyFilter {
+    fn eq(&self, other: &KeyFilter) -> bool {
+        match (self, other) {
+            (KeyFilter::Exact(a), KeyFilter::Exact(b)) => a == b,
+            (KeyFilter::Bloom(a), KeyFilter::Bloom(b)) => {
+                a.words() == b.words()
+                    && a.n_bits() == b.n_bits()
+                    && a.n_hashes() == b.n_hashes()
+                    && a.inserted() == b.inserted()
+            }
+            _ => false,
+        }
+    }
+}
+
+fn encode_key_filter(w: &mut Writer, f: &KeyFilter) -> Result<(), CodecError> {
+    match f {
+        KeyFilter::Exact(keys) => {
+            w.u8(0);
+            w.count("filter keys", keys.len())?;
+            for k in keys {
+                encode_value(w, k)?;
+            }
+        }
+        KeyFilter::Bloom(bloom) => {
+            w.u8(1);
+            w.u64(bloom.n_bits());
+            w.u8(bloom.n_hashes() as u8);
+            w.u64(bloom.inserted());
+            for word in bloom.words() {
+                w.u64(*word);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn decode_key_filter(r: &mut Reader<'_>) -> Result<KeyFilter, CodecError> {
+    match r.u8()? {
+        0 => {
+            let n = r.u32()?;
+            let mut keys = Vec::new();
+            for _ in 0..n {
+                keys.push(decode_value(r)?);
+            }
+            Ok(KeyFilter::Exact(keys))
+        }
+        1 => {
+            let n_bits = r.u64()?;
+            let n_hashes = u32::from(r.u8()?);
+            let inserted = r.u64()?;
+            // Validate geometry *before* allocating word storage, so a
+            // lying n_bits cannot demand 2^61 words.
+            if n_bits == 0 || n_bits % 64 != 0 || n_bits > fj_storage::bloom::MAX_BLOOM_BITS {
+                return Err(CodecError::TooLarge {
+                    what: "bloom bits",
+                    len: n_bits,
+                });
+            }
+            let n_words = (n_bits / 64) as usize;
+            if r.remaining() < n_words * 8 {
+                return Err(CodecError::UnexpectedEof);
+            }
+            let mut words = Vec::with_capacity(n_words);
+            for _ in 0..n_words {
+                words.push(r.u64()?);
+            }
+            let bloom = BloomFilter::from_parts(words, n_bits, n_hashes, inserted).ok_or(
+                CodecError::BadTag {
+                    what: "bloom hash count",
+                    tag: n_hashes as u8,
+                },
+            )?;
+            Ok(KeyFilter::Bloom(bloom))
+        }
+        tag => Err(CodecError::BadTag {
+            what: "key filter",
+            tag,
+        }),
+    }
+}
+
+/// A SEMIJOIN payload: reduce shard-resident `table` by the conjunction
+/// of the shipped per-column filters, then report what the coordinator
+/// asked for — surviving rows, distinct keys of one column, or both
+/// (the SDD-1 reducer building block).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SemijoinRequest {
+    /// Shard-local table to reduce.
+    pub table: String,
+    /// `(column name, filter)` pairs; a row survives if every filter
+    /// accepts its value in that column. Empty = no reduction.
+    pub filters: Vec<(String, KeyFilter)>,
+    /// Return the surviving rows.
+    pub want_rows: bool,
+    /// Return the distinct values of this column among survivors.
+    pub keys_of: Option<String>,
+}
+
+/// A SEMIJOIN_ACK payload.
+#[derive(Debug, Clone)]
+pub struct SemijoinAck {
+    /// Partition rows before reduction.
+    pub rows_before: u64,
+    /// Rows surviving all filters.
+    pub rows_after: u64,
+    /// Surviving rows, when requested.
+    pub rows: Option<(SchemaRef, Vec<Tuple>)>,
+    /// Distinct surviving keys, when requested.
+    pub keys: Option<Vec<Value>>,
+}
+
+/// Encodes a SEMIJOIN payload.
+pub fn encode_semijoin(req: &SemijoinRequest) -> Result<Vec<u8>, CodecError> {
+    let mut w = Writer::new();
+    w.string(&req.table)?;
+    w.count("filters", req.filters.len())?;
+    for (column, filter) in &req.filters {
+        w.string(column)?;
+        encode_key_filter(&mut w, filter)?;
+    }
+    w.bool(req.want_rows);
+    match &req.keys_of {
+        None => w.u8(0),
+        Some(col) => {
+            w.u8(1);
+            w.string(col)?;
+        }
+    }
+    Ok(w.into_bytes())
+}
+
+/// Decodes a SEMIJOIN payload (consuming it fully).
+pub fn decode_semijoin(payload: &[u8]) -> Result<SemijoinRequest, CodecError> {
+    let mut r = Reader::new(payload);
+    let table = r.string()?;
+    let nfilters = r.u32()?;
+    let mut filters = Vec::new();
+    for _ in 0..nfilters {
+        let column = r.string()?;
+        let filter = decode_key_filter(&mut r)?;
+        filters.push((column, filter));
+    }
+    let want_rows = r.bool()?;
+    let keys_of = match r.u8()? {
+        0 => None,
+        1 => Some(r.string()?),
+        tag => {
+            return Err(CodecError::BadTag {
+                what: "keys_of option",
+                tag,
+            })
+        }
+    };
+    r.finish()?;
+    Ok(SemijoinRequest {
+        table,
+        filters,
+        want_rows,
+        keys_of,
+    })
+}
+
+/// Encodes a SEMIJOIN_ACK payload.
+pub fn encode_semijoin_ack(ack: &SemijoinAck) -> Result<Vec<u8>, CodecError> {
+    let mut w = Writer::new();
+    w.u64(ack.rows_before);
+    w.u64(ack.rows_after);
+    match &ack.rows {
+        None => w.u8(0),
+        Some((schema, rows)) => {
+            w.u8(1);
+            encode_schema(&mut w, schema)?;
+            encode_rows(&mut w, schema, rows)?;
+        }
+    }
+    match &ack.keys {
+        None => w.u8(0),
+        Some(keys) => {
+            w.u8(1);
+            w.count("keys", keys.len())?;
+            for k in keys {
+                encode_value(&mut w, k)?;
+            }
+        }
+    }
+    Ok(w.into_bytes())
+}
+
+/// Decodes a SEMIJOIN_ACK payload (consuming it fully).
+pub fn decode_semijoin_ack(payload: &[u8]) -> Result<SemijoinAck, CodecError> {
+    let mut r = Reader::new(payload);
+    let rows_before = r.u64()?;
+    let rows_after = r.u64()?;
+    let rows = match r.u8()? {
+        0 => None,
+        1 => {
+            let schema = decode_schema(&mut r)?;
+            let rows = decode_rows(&mut r, &schema)?;
+            Some((schema, rows))
+        }
+        tag => {
+            return Err(CodecError::BadTag {
+                what: "rows option",
+                tag,
+            })
+        }
+    };
+    let keys = match r.u8()? {
+        0 => None,
+        1 => {
+            let n = r.u32()?;
+            let mut keys = Vec::new();
+            for _ in 0..n {
+                keys.push(decode_value(&mut r)?);
+            }
+            Some(keys)
+        }
+        tag => {
+            return Err(CodecError::BadTag {
+                what: "keys option",
+                tag,
+            })
+        }
+    };
+    r.finish()?;
+    Ok(SemijoinAck {
+        rows_before,
+        rows_after,
+        rows,
+        keys,
+    })
+}
+
+/// A FRAGMENT payload: one query fragment to run through the shard's
+/// query service, with the same deadline semantics as a QUERY frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FragmentRequest {
+    /// Milliseconds the coordinator will wait; 0 = no deadline.
+    pub deadline_millis: u64,
+    /// The fragment, phrased over shard-local partition tables.
+    pub query: JoinQuery,
+}
+
+/// Encodes a FRAGMENT payload.
+pub fn encode_fragment(req: &FragmentRequest) -> Result<Vec<u8>, CodecError> {
+    let mut w = Writer::new();
+    w.u64(req.deadline_millis);
+    encode_query(&mut w, &req.query)?;
+    Ok(w.into_bytes())
+}
+
+/// Decodes a FRAGMENT payload (consuming it fully).
+pub fn decode_fragment(payload: &[u8]) -> Result<FragmentRequest, CodecError> {
+    let mut r = Reader::new(payload);
+    let deadline_millis = r.u64()?;
+    let query = decode_query(&mut r)?;
+    r.finish()?;
+    Ok(FragmentRequest {
+        deadline_millis,
+        query,
+    })
+}
+
+/// A GATHER payload: one fragment's partial result.
+#[derive(Debug, Clone)]
+pub struct GatherReply {
+    /// Fragment result schema.
+    pub schema: SchemaRef,
+    /// Fragment result rows.
+    pub rows: Vec<Tuple>,
+    /// Shard-side fragment latency in microseconds.
+    pub latency_micros: u64,
+}
+
+/// Encodes a GATHER payload.
+pub fn encode_gather(reply: &GatherReply) -> Result<Vec<u8>, CodecError> {
+    let mut w = Writer::new();
+    encode_schema(&mut w, &reply.schema)?;
+    encode_rows(&mut w, &reply.schema, &reply.rows)?;
+    w.u64(reply.latency_micros);
+    Ok(w.into_bytes())
+}
+
+/// Decodes a GATHER payload (consuming it fully).
+pub fn decode_gather(payload: &[u8]) -> Result<GatherReply, CodecError> {
+    let mut r = Reader::new(payload);
+    let schema = decode_schema(&mut r)?;
+    let rows = decode_rows(&mut r, &schema)?;
+    let latency_micros = r.u64()?;
+    r.finish()?;
+    Ok(GatherReply {
+        schema,
+        rows,
+        latency_micros,
+    })
 }

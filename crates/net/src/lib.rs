@@ -38,8 +38,11 @@ pub mod codec;
 pub mod server;
 pub mod wire;
 
-pub use client::{Canceller, Client, NetError, QueryOptions, RetryBudget, RetryPolicy};
-pub use codec::{CodecError, HealthSnapshot, HealthStatus, QueryReply, QueryRequest};
+pub use client::{Canceller, Client, NetError, QueryOptions, RetryBudget, RetryPolicy, WireBytes};
+pub use codec::{
+    CodecError, FragmentRequest, GatherReply, HealthSnapshot, HealthStatus, KeyFilter, QueryReply,
+    QueryRequest, ScatterAck, ScatterRequest, SemijoinAck, SemijoinRequest,
+};
 pub use fj_trace::QueryTrace;
 pub use server::{Server, ServerConfig, ServerStats};
 pub use wire::{ErrorCode, FrameType, WireError, VERSION};

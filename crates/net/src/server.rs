@@ -172,6 +172,10 @@ impl Shared {
             pool_misses: h.pool_misses,
             pool_evictions: h.pool_evictions,
             wal_fsyncs: h.wal_fsyncs,
+            fragments_served: h.fragments_served,
+            semijoin_sets_shipped: h.semijoin_sets_shipped,
+            bytes_scattered: h.bytes_scattered,
+            bytes_gathered: h.bytes_gathered,
         }
     }
 
@@ -576,10 +580,28 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared, over_cap: bool) {
                     return;
                 }
             }
+            FrameType::Scatter => {
+                if !handle_scatter(&mut stream, shared, &frame) {
+                    return;
+                }
+            }
+            FrameType::Semijoin => {
+                if !handle_semijoin(&mut stream, shared, &frame) {
+                    return;
+                }
+            }
+            FrameType::Fragment => {
+                if !handle_fragment(&mut stream, shared, &frame, &mut reader) {
+                    return;
+                }
+            }
             FrameType::Result
             | FrameType::StatsReply
             | FrameType::HealthReply
             | FrameType::TraceReply
+            | FrameType::ScatterAck
+            | FrameType::SemijoinAck
+            | FrameType::Gather
             | FrameType::Error => {
                 send_error(
                     &mut stream,
@@ -764,6 +786,277 @@ fn handle_query(
             shared,
             ErrorCode::QueryFailed,
             &format!("query interrupted: {reason}"),
+        ),
+        Err(RuntimeError::Query(e)) => {
+            send_error(stream, shared, ErrorCode::QueryFailed, &e.to_string())
+        }
+        Err(RuntimeError::WorkerPanicked(msg)) => send_error(
+            stream,
+            shared,
+            ErrorCode::Internal,
+            &format!("worker panicked: {msg}"),
+        ),
+        Err(RuntimeError::ShuttingDown) => {
+            send_error(stream, shared, ErrorCode::ShuttingDown, "server draining")
+        }
+        Err(e) => send_error(stream, shared, ErrorCode::Internal, &e.to_string()),
+    }
+}
+
+/// Serves one SCATTER frame: installs a partition table into the
+/// shard's catalog (epoch bump invalidates the plan cache). Refused
+/// with a retryable SHUTTING_DOWN while draining, so a coordinator
+/// fails over to the partition's replica shard. Returns false when the
+/// connection should close.
+fn handle_scatter(stream: &mut TcpStream, shared: &Shared, frame: &Frame) -> bool {
+    shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+    if shared.refusing_queries() {
+        return send_error(stream, shared, ErrorCode::ShuttingDown, "server draining");
+    }
+    let req = match codec::decode_scatter(&frame.payload) {
+        Ok(r) => r,
+        Err(e) => return send_error(stream, shared, ErrorCode::Malformed, &e.to_string()),
+    };
+    let bytes_stored: u64 = req.rows.iter().map(|t| t.wire_width() as u64).sum();
+    let rows_stored = req.rows.len() as u64;
+    let table = match fj_storage::Table::new(&req.table, (*req.schema).clone(), req.rows) {
+        Ok(t) => t,
+        Err(e) => {
+            return send_error(
+                stream,
+                shared,
+                ErrorCode::QueryFailed,
+                &format!("scatter rejected: {e}"),
+            )
+        }
+    };
+    let mut catalog = (*shared.service.catalog()).clone();
+    catalog.add_table(table.into_ref());
+    if let Err(e) = shared.service.try_install_catalog(catalog) {
+        return send_error(stream, shared, ErrorCode::Internal, &e.to_string());
+    }
+    shared
+        .service
+        .metrics_recorder()
+        .record_bytes_scattered(frame.payload.len() as u64);
+    let ack = codec::ScatterAck {
+        rows_stored,
+        bytes_stored,
+    };
+    match codec::encode_scatter_ack(&ack) {
+        Ok(payload) => send_frame(stream, shared, FrameType::ScatterAck, &payload),
+        Err(e) => send_error(stream, shared, ErrorCode::Internal, &e.to_string()),
+    }
+}
+
+/// Serves one SEMIJOIN frame: filters a shard-resident table by the
+/// shipped key / Bloom sets and returns surviving rows and/or distinct
+/// keys. Stateless — the shard's stored partition is never mutated, so
+/// a coordinator can replay any step against a replica after failover.
+/// Returns false when the connection should close.
+fn handle_semijoin(stream: &mut TcpStream, shared: &Shared, frame: &Frame) -> bool {
+    shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+    if shared.refusing_queries() {
+        return send_error(stream, shared, ErrorCode::ShuttingDown, "server draining");
+    }
+    let req = match codec::decode_semijoin(&frame.payload) {
+        Ok(r) => r,
+        Err(e) => return send_error(stream, shared, ErrorCode::Malformed, &e.to_string()),
+    };
+    let catalog = shared.service.catalog();
+    let table = match catalog.table(&req.table) {
+        Ok(t) => t,
+        Err(e) => return send_error(stream, shared, ErrorCode::QueryFailed, &e.to_string()),
+    };
+    let schema = table.schema();
+    let mut filter_cols = Vec::with_capacity(req.filters.len());
+    for (name, filter) in &req.filters {
+        match schema.resolve(name) {
+            Ok(i) => filter_cols.push((i, filter)),
+            Err(e) => return send_error(stream, shared, ErrorCode::QueryFailed, &e.to_string()),
+        }
+    }
+    let keys_col = match &req.keys_of {
+        None => None,
+        Some(name) => match schema.resolve(name) {
+            Ok(i) => Some(i),
+            Err(e) => return send_error(stream, shared, ErrorCode::QueryFailed, &e.to_string()),
+        },
+    };
+    let rows_before = table.rows().len() as u64;
+    let survivors: Vec<fj_storage::Tuple> = table
+        .rows()
+        .iter()
+        .filter(|row| filter_cols.iter().all(|(i, f)| f.contains(row.value(*i))))
+        .cloned()
+        .collect();
+    let rows_after = survivors.len() as u64;
+    let keys = keys_col.map(|i| {
+        let distinct: std::collections::BTreeSet<fj_storage::Value> =
+            survivors.iter().map(|r| r.value(i).clone()).collect();
+        distinct.into_iter().collect::<Vec<_>>()
+    });
+    let ack = codec::SemijoinAck {
+        rows_before,
+        rows_after,
+        rows: req.want_rows.then(|| (schema.clone(), survivors)),
+        keys,
+    };
+    let recorder = shared.service.metrics_recorder();
+    recorder.record_semijoin_sets(req.filters.len() as u64);
+    match codec::encode_semijoin_ack(&ack) {
+        Ok(payload) => {
+            recorder.record_bytes_gathered(payload.len() as u64);
+            send_frame(stream, shared, FrameType::SemijoinAck, &payload)
+        }
+        Err(e) => send_error(stream, shared, ErrorCode::Internal, &e.to_string()),
+    }
+}
+
+/// Serves one FRAGMENT frame: the fragment query runs through the
+/// shard's query service — admission control, the governor, worker
+/// panics, and mid-flight CANCEL behave exactly as for QUERY frames —
+/// and the partial result returns as a GATHER frame. Returns false
+/// when the connection should close.
+fn handle_fragment(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    frame: &Frame,
+    reader: &mut FrameReader,
+) -> bool {
+    let received = Instant::now();
+    shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+    if shared.refusing_queries() {
+        return send_error(stream, shared, ErrorCode::ShuttingDown, "server draining");
+    }
+    let req = match codec::decode_fragment(&frame.payload) {
+        Ok(r) => r,
+        Err(e) => return send_error(stream, shared, ErrorCode::Malformed, &e.to_string()),
+    };
+    let deadline = match req.deadline_millis {
+        0 => None,
+        ms => Some(Duration::from_millis(ms)),
+    };
+    let ticket =
+        match shared
+            .service
+            .try_submit_with_options(req.query, shared.default_config, false)
+        {
+            Ok(t) => t,
+            Err(RuntimeError::QueueFull) => {
+                return send_error(
+                    stream,
+                    shared,
+                    ErrorCode::Shed,
+                    "submission queue full; retry with backoff",
+                );
+            }
+            Err(RuntimeError::ShuttingDown) => {
+                return send_error(stream, shared, ErrorCode::ShuttingDown, "server draining");
+            }
+            Err(e) => {
+                return send_error(stream, shared, ErrorCode::Internal, &e.to_string());
+            }
+        };
+
+    let interrupt = ticket.interrupt_handle();
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(2)));
+    enum Waited {
+        Reply(Box<Result<fj_core::QueryResult, RuntimeError>>),
+        DeadlineExpired,
+        ProtocolViolation,
+        PeerGone,
+    }
+    let waited = loop {
+        if shared.aborting.load(Ordering::SeqCst) {
+            interrupt.trip(InterruptReason::Cancelled);
+            return false;
+        }
+        if let Some(reply) = ticket.poll(Duration::from_millis(2)) {
+            break Waited::Reply(Box::new(reply));
+        }
+        if let Some(d) = deadline {
+            if received.elapsed() >= d {
+                break Waited::DeadlineExpired;
+            }
+        }
+        let mut passes = 0;
+        match reader.read_frame(stream, |_| {
+            passes += 1;
+            passes > 1
+        }) {
+            Ok(Some(f)) if f.ty == FrameType::Cancel => {
+                shared
+                    .counters
+                    .bytes_in
+                    .fetch_add(f.wire_bytes as u64, Ordering::Relaxed);
+                interrupt.trip(InterruptReason::Cancelled);
+            }
+            Ok(Some(_)) => break Waited::ProtocolViolation,
+            Ok(None) => {}
+            Err(_) => break Waited::PeerGone,
+        }
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let outcome = match waited {
+        Waited::Reply(reply) => *reply,
+        Waited::DeadlineExpired => {
+            interrupt.trip(InterruptReason::Deadline);
+            return send_error(
+                stream,
+                shared,
+                ErrorCode::DeadlineExceeded,
+                "deadline expired; fragment cancelled",
+            );
+        }
+        Waited::ProtocolViolation => {
+            interrupt.trip(InterruptReason::Cancelled);
+            send_error(
+                stream,
+                shared,
+                ErrorCode::Malformed,
+                "only CANCEL may be sent while a fragment is in flight",
+            );
+            return false;
+        }
+        Waited::PeerGone => {
+            interrupt.trip(InterruptReason::Cancelled);
+            return false;
+        }
+    };
+    match outcome {
+        Ok(result) => {
+            let reply = codec::GatherReply {
+                schema: result.schema,
+                rows: result.rows,
+                latency_micros: result.latency_micros,
+            };
+            match codec::encode_gather(&reply) {
+                Ok(payload) => {
+                    shared.counters.results.fetch_add(1, Ordering::Relaxed);
+                    let recorder = shared.service.metrics_recorder();
+                    recorder.record_fragment_served();
+                    recorder.record_bytes_gathered(payload.len() as u64);
+                    send_frame(stream, shared, FrameType::Gather, &payload)
+                }
+                Err(e) => send_error(stream, shared, ErrorCode::Internal, &e.to_string()),
+            }
+        }
+        Err(RuntimeError::Interrupted(InterruptReason::Cancelled)) => {
+            send_error(stream, shared, ErrorCode::Cancelled, "fragment cancelled")
+        }
+        Err(RuntimeError::Interrupted(InterruptReason::Deadline))
+        | Err(RuntimeError::DeadlineExceeded) => send_error(
+            stream,
+            shared,
+            ErrorCode::DeadlineExceeded,
+            "deadline expired; fragment cancelled",
+        ),
+        Err(RuntimeError::Interrupted(reason)) => send_error(
+            stream,
+            shared,
+            ErrorCode::QueryFailed,
+            &format!("fragment interrupted: {reason}"),
         ),
         Err(RuntimeError::Query(e)) => {
             send_error(stream, shared, ErrorCode::QueryFailed, &e.to_string())

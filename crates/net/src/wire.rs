@@ -51,6 +51,20 @@ pub enum FrameType {
     /// even while the server drains, so a replica router can tell
     /// "draining" from "dead".
     Health = 0x04,
+    /// Coordinator → shard: install one hash partition of a base table
+    /// into the shard's catalog (payload: table name + schema + rows).
+    /// Refused with a retryable error while the shard drains.
+    Scatter = 0x05,
+    /// Coordinator → shard: semijoin-filter a shard-resident table by
+    /// shipped key / Bloom filter sets, optionally returning surviving
+    /// rows and/or the distinct keys of one column (the SDD-1 reducer
+    /// step, §5.1).
+    Semijoin = 0x06,
+    /// Coordinator → shard: run one query fragment (a [`fj_algebra::JoinQuery`]
+    /// over shard-local partition tables) through the shard's query
+    /// service — admission, governor and CANCEL apply exactly as for
+    /// [`FrameType::Query`].
+    Fragment = 0x07,
     /// Server → client: query result (payload: reply encoding).
     Result = 0x81,
     /// Server → client: stats reply (payload: one JSON string).
@@ -65,6 +79,17 @@ pub enum FrameType {
     /// frame, so the reply encoding itself stays byte-comparable
     /// across replicas.
     TraceReply = 0x84,
+    /// Shard → coordinator: acknowledgement of a [`FrameType::Scatter`]
+    /// (payload: rows stored + bytes stored).
+    ScatterAck = 0x85,
+    /// Shard → coordinator: reply to a [`FrameType::Semijoin`] (payload:
+    /// row counts before/after reduction, optional surviving rows,
+    /// optional distinct key set).
+    SemijoinAck = 0x86,
+    /// Shard → coordinator: the rows of one executed fragment (payload:
+    /// schema + rows + latency), the partial-result half of the
+    /// scatter/gather exchange.
+    Gather = 0x87,
     /// Server → client: typed error (payload: code + message).
     Error = 0x7F,
 }
@@ -77,10 +102,16 @@ impl FrameType {
             0x02 => Some(FrameType::Stats),
             0x03 => Some(FrameType::Cancel),
             0x04 => Some(FrameType::Health),
+            0x05 => Some(FrameType::Scatter),
+            0x06 => Some(FrameType::Semijoin),
+            0x07 => Some(FrameType::Fragment),
             0x81 => Some(FrameType::Result),
             0x82 => Some(FrameType::StatsReply),
             0x83 => Some(FrameType::HealthReply),
             0x84 => Some(FrameType::TraceReply),
+            0x85 => Some(FrameType::ScatterAck),
+            0x86 => Some(FrameType::SemijoinAck),
+            0x87 => Some(FrameType::Gather),
             0x7F => Some(FrameType::Error),
             _ => None,
         }
@@ -411,6 +442,29 @@ mod tests {
         assert_eq!(second.ty, FrameType::Error);
         assert_eq!(second.payload, vec![2]);
         assert!(fr.read_frame_blocking(&mut cur).unwrap().is_none());
+    }
+
+    #[test]
+    fn dist_frame_types_round_trip() {
+        for ty in [
+            FrameType::Scatter,
+            FrameType::Semijoin,
+            FrameType::Fragment,
+            FrameType::ScatterAck,
+            FrameType::SemijoinAck,
+            FrameType::Gather,
+        ] {
+            assert_eq!(FrameType::from_u8(ty as u8), Some(ty));
+            let mut wire = Vec::new();
+            write_frame(&mut wire, ty, b"x").unwrap();
+            let mut fr = FrameReader::new(DEFAULT_MAX_FRAME_BYTES);
+            let frame = fr
+                .read_frame_blocking(&mut Cursor::new(wire))
+                .unwrap()
+                .unwrap();
+            assert_eq!(frame.ty, ty);
+            assert_eq!(frame.payload, b"x");
+        }
     }
 
     #[test]

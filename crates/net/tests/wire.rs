@@ -7,13 +7,16 @@
 use fj_algebra::{FromItem, JoinQuery, NetworkModel};
 use fj_expr::{col, lit, Expr};
 use fj_net::codec::{
-    decode_expr, decode_health_reply, decode_reply, decode_request, decode_trace_reply,
-    decode_value, encode_expr, encode_health_reply, encode_reply_parts, encode_request,
-    encode_trace_reply, encode_value, CodecError, HealthSnapshot, HealthStatus, QueryRequest,
-    Reader, Writer, MAX_EXPR_DEPTH,
+    decode_expr, decode_fragment, decode_gather, decode_health_reply, decode_reply, decode_request,
+    decode_scatter, decode_scatter_ack, decode_semijoin, decode_semijoin_ack, decode_trace_reply,
+    decode_value, encode_expr, encode_fragment, encode_gather, encode_health_reply,
+    encode_reply_parts, encode_request, encode_scatter, encode_scatter_ack, encode_semijoin,
+    encode_semijoin_ack, encode_trace_reply, encode_value, CodecError, FragmentRequest,
+    GatherReply, HealthSnapshot, HealthStatus, KeyFilter, QueryRequest, Reader, ScatterAck,
+    ScatterRequest, SemijoinAck, SemijoinRequest, Writer, MAX_EXPR_DEPTH,
 };
 use fj_optimizer::{CostParams, OptimizerConfig};
-use fj_storage::{Column, DataType, Schema, Tuple, Value};
+use fj_storage::{BloomFilter, Column, DataType, Schema, Tuple, Value};
 use proptest::prelude::*;
 
 /// Deterministic value from two generated words.
@@ -279,6 +282,12 @@ proptest! {
         let _ = fj_net::codec::decode_stats_reply(&payload);
         let _ = decode_health_reply(&payload);
         let _ = decode_trace_reply(&payload);
+        let _ = decode_scatter(&payload);
+        let _ = decode_scatter_ack(&payload);
+        let _ = decode_semijoin(&payload);
+        let _ = decode_semijoin_ack(&payload);
+        let _ = decode_fragment(&payload);
+        let _ = decode_gather(&payload);
     }
 
     /// Every health snapshot survives the encode → decode round trip —
@@ -296,6 +305,7 @@ proptest! {
         pool_misses in 0u64..u64::MAX,
         pool_evictions in 0u64..u64::MAX,
         wal_fsyncs in 0u64..u64::MAX,
+        dist in (0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
     ) {
         let health = HealthSnapshot {
             status: [HealthStatus::Ready, HealthStatus::Degraded, HealthStatus::Draining]
@@ -310,6 +320,10 @@ proptest! {
             pool_misses,
             pool_evictions,
             wal_fsyncs,
+            fragments_served: dist.0,
+            semijoin_sets_shipped: dist.1,
+            bytes_scattered: dist.2,
+            bytes_gathered: dist.3,
         };
         let payload = encode_health_reply(&health).unwrap();
         prop_assert_eq!(decode_health_reply(&payload).unwrap(), health);
@@ -319,7 +333,7 @@ proptest! {
     /// The health JSON parser accepts any key order (it is a wire
     /// format other tooling may re-serialize).
     #[test]
-    fn health_json_accepts_any_key_order(shift in 0usize..11, ws in 0u64..2) {
+    fn health_json_accepts_any_key_order(shift in 0usize..15, ws in 0u64..2) {
         let health = HealthSnapshot {
             status: HealthStatus::Degraded,
             workers: 4,
@@ -332,6 +346,10 @@ proptest! {
             pool_misses: 5,
             pool_evictions: 2,
             wal_fsyncs: 11,
+            fragments_served: 6,
+            semijoin_sets_shipped: 8,
+            bytes_scattered: 4096,
+            bytes_gathered: 2048,
         };
         let pairs = [
             ("status", "\"degraded\"".to_string()),
@@ -345,6 +363,10 @@ proptest! {
             ("pool_misses", "5".to_string()),
             ("pool_evictions", "2".to_string()),
             ("wal_fsyncs", "11".to_string()),
+            ("fragments_served", "6".to_string()),
+            ("semijoin_sets_shipped", "8".to_string()),
+            ("bytes_scattered", "4096".to_string()),
+            ("bytes_gathered", "2048".to_string()),
         ];
         let sep = if ws == 1 { " " } else { "" };
         let body = (0..pairs.len())
@@ -378,6 +400,10 @@ proptest! {
             pool_misses: 0,
             pool_evictions: 0,
             wal_fsyncs: 0,
+            fragments_served: 0,
+            semijoin_sets_shipped: 0,
+            bytes_scattered: 0,
+            bytes_gathered: 0,
         };
         let mut payload = encode_health_reply(&health).unwrap();
         for cut in 0..payload.len() {
@@ -563,7 +589,9 @@ fn adversarial_health_json_is_typed_not_panic() {
         "{\"status\":\"ready\",\"workers\":4,\"workers_replaced\":0,",
         "\"queued\":0,\"in_flight\":0,\"queue_capacity\":64,",
         "\"connections_active\":1,\"pool_hits\":0,\"pool_misses\":0,",
-        "\"pool_evictions\":0,\"wal_fsyncs\":0}"
+        "\"pool_evictions\":0,\"wal_fsyncs\":0,\"fragments_served\":0,",
+        "\"semijoin_sets_shipped\":0,\"bytes_scattered\":0,",
+        "\"bytes_gathered\":0}"
     );
     HealthSnapshot::from_json(valid).unwrap();
     let cases: &[&str] = &[
@@ -698,5 +726,328 @@ fn duplicate_reply_columns_are_invalid_not_panic() {
     assert!(matches!(
         decode_reply(&payload),
         Err(CodecError::Invalid(_))
+    ));
+}
+
+// ---------------------------------------------- distributed frames
+
+/// Deterministic schema from generated (type, nullable) words.
+fn schema_from(col_words: &[(u64, u64)]) -> Schema {
+    let types = [
+        DataType::Int,
+        DataType::Double,
+        DataType::Str,
+        DataType::Bool,
+    ];
+    Schema::new(
+        col_words
+            .iter()
+            .enumerate()
+            .map(|(i, (t, n))| {
+                let ty = types[*t as usize % types.len()];
+                if *n == 1 {
+                    Column::nullable(format!("T.c{i}"), ty)
+                } else {
+                    Column::new(format!("T.c{i}"), ty)
+                }
+            })
+            .collect(),
+    )
+    .unwrap()
+}
+
+/// Deterministic rows from a word stream, two words per value.
+fn rows_from(row_words: &[u64], arity: usize) -> Vec<Tuple> {
+    row_words
+        .chunks(arity * 2)
+        .filter(|c| c.len() == arity * 2)
+        .map(|c| {
+            Tuple::new(
+                (0..arity)
+                    .map(|i| value_from(c[2 * i], c[2 * i + 1]))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Deterministic key filter: exact key list or a Bloom filter over the
+/// same keys, chosen by `tag`.
+fn key_filter_from(tag: u64, key_words: &[(u64, u64)]) -> KeyFilter {
+    let keys: Vec<Value> = key_words.iter().map(|(t, p)| value_from(*t, *p)).collect();
+    if tag == 0 {
+        KeyFilter::Exact(keys)
+    } else {
+        let mut bloom = BloomFilter::with_capacity(keys.len().max(1) as u64, 0.01);
+        for k in &keys {
+            bloom.insert(k);
+        }
+        KeyFilter::Bloom(bloom)
+    }
+}
+
+fn semijoin_from(
+    filter_words: &[(u64, u64, u64)],
+    want_rows: bool,
+    keys_of: Option<u64>,
+) -> SemijoinRequest {
+    SemijoinRequest {
+        table: "Emp__p1".to_string(),
+        filters: filter_words
+            .iter()
+            .enumerate()
+            .map(|(i, (tag, a, b))| {
+                (
+                    format!("c{i}"),
+                    key_filter_from(*tag % 2, &[(*a % 5, *b), (*b % 5, *a)]),
+                )
+            })
+            .collect(),
+        want_rows,
+        keys_of: keys_of.map(|w| format!("c{}", w % 4)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every SCATTER payload survives the encode → decode round trip.
+    #[test]
+    fn scatter_round_trip(
+        col_words in prop::collection::vec((0u64..4, 0u64..2), 1..5),
+        row_words in prop::collection::vec(0u64..u64::MAX, 0..40),
+    ) {
+        let schema = schema_from(&col_words).into_ref();
+        let rows = rows_from(&row_words, schema.arity());
+        let req = ScatterRequest {
+            table: "orders__p2".to_string(),
+            schema: schema.clone(),
+            rows,
+        };
+        let bytes = encode_scatter(&req).unwrap();
+        let back = decode_scatter(&bytes).unwrap();
+        prop_assert_eq!(&back.table, &req.table);
+        prop_assert_eq!(back.schema.as_ref(), schema.as_ref());
+        prop_assert_eq!(format!("{:?}", back.rows), format!("{:?}", req.rows));
+    }
+
+    /// SCATTER_ACK round-trips exactly.
+    #[test]
+    fn scatter_ack_round_trip(rows_stored in 0u64..u64::MAX, bytes_stored in 0u64..u64::MAX) {
+        let ack = ScatterAck { rows_stored, bytes_stored };
+        let bytes = encode_scatter_ack(&ack).unwrap();
+        prop_assert_eq!(decode_scatter_ack(&bytes).unwrap(), ack);
+    }
+
+    /// Every SEMIJOIN payload — exact and Bloom filters, row/key reply
+    /// selectors — survives the round trip, including Bloom geometry.
+    #[test]
+    fn semijoin_round_trip(
+        filter_words in prop::collection::vec((0u64..2, 0u64..u64::MAX, 0u64..u64::MAX), 0..4),
+        want_rows_word in 0u64..2,
+        keys_of in prop::option::of(0u64..u64::MAX),
+    ) {
+        let req = semijoin_from(&filter_words, want_rows_word == 1, keys_of);
+        let bytes = encode_semijoin(&req).unwrap();
+        let back = decode_semijoin(&bytes).unwrap();
+        prop_assert_eq!(&back.table, &req.table);
+        prop_assert_eq!(back.want_rows, req.want_rows);
+        prop_assert_eq!(&back.keys_of, &req.keys_of);
+        prop_assert_eq!(back.filters.len(), req.filters.len());
+        for ((na, fa), (nb, fb)) in back.filters.iter().zip(req.filters.iter()) {
+            prop_assert_eq!(na, nb);
+            prop_assert!(fa == fb);
+        }
+    }
+
+    /// Every SEMIJOIN_ACK payload survives the round trip.
+    #[test]
+    fn semijoin_ack_round_trip(
+        rows_before in 0u64..u64::MAX,
+        rows_after in 0u64..u64::MAX,
+        col_words in prop::collection::vec((0u64..4, 0u64..2), 1..4),
+        row_words in prop::collection::vec(0u64..u64::MAX, 0..24),
+        with_rows_word in 0u64..2,
+        key_words in prop::option::of(prop::collection::vec((0u64..5, 0u64..u64::MAX), 0..12)),
+    ) {
+        let schema = schema_from(&col_words).into_ref();
+        let rows = rows_from(&row_words, schema.arity());
+        let ack = SemijoinAck {
+            rows_before,
+            rows_after,
+            rows: (with_rows_word == 1).then(|| (schema.clone(), rows)),
+            keys: key_words
+                .map(|ks| ks.iter().map(|(t, p)| value_from(*t, *p)).collect()),
+        };
+        let bytes = encode_semijoin_ack(&ack).unwrap();
+        let back = decode_semijoin_ack(&bytes).unwrap();
+        prop_assert_eq!(back.rows_before, ack.rows_before);
+        prop_assert_eq!(back.rows_after, ack.rows_after);
+        prop_assert_eq!(format!("{:?}", back.rows), format!("{:?}", ack.rows));
+        prop_assert_eq!(format!("{:?}", back.keys), format!("{:?}", ack.keys));
+    }
+
+    /// Every FRAGMENT payload (a deadline plus a full join query)
+    /// survives the round trip.
+    #[test]
+    fn fragment_round_trip(
+        deadline in 0u64..u64::MAX,
+        from_words in prop::collection::vec(0u64..u64::MAX, 1..5),
+        pred_words in prop::option::of(prop::collection::vec(0u64..u64::MAX, 1..24)),
+        proj_words in prop::option::of(prop::collection::vec(0u64..u64::MAX, 1..9)),
+    ) {
+        let req = FragmentRequest {
+            deadline_millis: deadline,
+            query: query_from(&from_words, pred_words, proj_words),
+        };
+        let bytes = encode_fragment(&req).unwrap();
+        let back = decode_fragment(&bytes).unwrap();
+        prop_assert_eq!(back.deadline_millis, req.deadline_millis);
+        prop_assert_eq!(back.query, req.query);
+    }
+
+    /// Every GATHER payload survives the round trip.
+    #[test]
+    fn gather_round_trip(
+        col_words in prop::collection::vec((0u64..4, 0u64..2), 1..5),
+        row_words in prop::collection::vec(0u64..u64::MAX, 0..40),
+        latency in 0u64..u64::MAX,
+    ) {
+        let schema = schema_from(&col_words).into_ref();
+        let rows = rows_from(&row_words, schema.arity());
+        let reply = GatherReply {
+            schema: schema.clone(),
+            rows,
+            latency_micros: latency,
+        };
+        let bytes = encode_gather(&reply).unwrap();
+        let back = decode_gather(&bytes).unwrap();
+        prop_assert_eq!(back.schema.as_ref(), schema.as_ref());
+        prop_assert_eq!(format!("{:?}", back.rows), format!("{:?}", reply.rows));
+        prop_assert_eq!(back.latency_micros, latency);
+    }
+
+    /// Every truncation of a valid dist payload is a typed error, and
+    /// single-byte mutations never panic — the same adversarial
+    /// discipline the QUERY/HEALTH/TRACE codecs keep.
+    #[test]
+    fn dist_truncations_and_mutations_are_typed(
+        which in 0u64..4,
+        filter_words in prop::collection::vec((0u64..2, 0u64..u64::MAX, 0u64..u64::MAX), 0..3),
+        col_words in prop::collection::vec((0u64..4, 0u64..2), 1..4),
+        row_words in prop::collection::vec(0u64..u64::MAX, 0..16),
+        pos_word in 0u64..u64::MAX,
+        new_byte in 0u64..256,
+    ) {
+        let schema = schema_from(&col_words).into_ref();
+        let rows = rows_from(&row_words, schema.arity());
+        let mut bytes = match which {
+            0 => encode_scatter(&ScatterRequest {
+                table: "t__p0".to_string(),
+                schema: schema.clone(),
+                rows,
+            })
+            .unwrap(),
+            1 => encode_semijoin(&semijoin_from(&filter_words, true, Some(pos_word))).unwrap(),
+            2 => encode_fragment(&FragmentRequest {
+                deadline_millis: 9,
+                query: query_from(&[1, 2], None, None),
+            })
+            .unwrap(),
+            _ => encode_gather(&GatherReply {
+                schema: schema.clone(),
+                rows,
+                latency_micros: 5,
+            })
+            .unwrap(),
+        };
+        let decode = |b: &[u8]| -> bool {
+            match which {
+                0 => decode_scatter(b).is_err(),
+                1 => decode_semijoin(b).is_err(),
+                2 => decode_fragment(b).is_err(),
+                _ => decode_gather(b).is_err(),
+            }
+        };
+        for cut in 0..bytes.len() {
+            prop_assert!(decode(&bytes[..cut]), "truncation decoded at cut {}", cut);
+        }
+        let pos = (pos_word as usize) % bytes.len();
+        bytes[pos] = new_byte as u8;
+        let ok = !decode(&bytes);
+        // Mutations may still decode (to a different valid payload) —
+        // the only requirement is no panic, checked by getting here.
+        let _ = ok;
+    }
+}
+
+#[test]
+fn bloom_geometry_bomb_is_rejected_before_allocation() {
+    // A SEMIJOIN filter claiming 2^60 Bloom bits must be refused by
+    // geometry validation, not by attempting the allocation.
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&1u32.to_be_bytes()); // table name len
+    payload.push(b'T');
+    // One filter: column name, tag 1 = Bloom, absurd n_bits.
+    payload.extend_from_slice(&1u32.to_be_bytes()); // one filter
+    payload.extend_from_slice(&1u32.to_be_bytes()); // name len
+    payload.push(b'k');
+    payload.push(1); // Bloom tag
+    payload.extend_from_slice(&(1u64 << 60).to_be_bytes()); // n_bits
+    payload.push(4); // n_hashes
+    payload.extend_from_slice(&0u64.to_be_bytes()); // inserted
+    assert!(matches!(
+        decode_semijoin(&payload),
+        Err(CodecError::TooLarge { .. })
+    ));
+}
+
+#[test]
+fn bloom_word_count_is_bounded_by_remaining_bytes() {
+    // Valid-looking geometry (1 MiB of bits) but a payload that ends
+    // immediately: the decoder must notice the words cannot be present
+    // instead of allocating and reading off the end.
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&1u32.to_be_bytes());
+    payload.push(b'T');
+    payload.extend_from_slice(&1u32.to_be_bytes());
+    payload.extend_from_slice(&1u32.to_be_bytes());
+    payload.push(b'k');
+    payload.push(1);
+    payload.extend_from_slice(&(1u64 << 23).to_be_bytes()); // 8 Mbit = 1 MiB
+    payload.push(4);
+    payload.extend_from_slice(&0u64.to_be_bytes());
+    // No words follow.
+    assert!(decode_semijoin(&payload).is_err());
+}
+
+#[test]
+fn dist_trailing_bytes_are_rejected() {
+    let ack = ScatterAck {
+        rows_stored: 1,
+        bytes_stored: 2,
+    };
+    let mut bytes = encode_scatter_ack(&ack).unwrap();
+    bytes.push(0x55);
+    assert!(matches!(
+        decode_scatter_ack(&bytes),
+        Err(CodecError::TrailingBytes(1))
+    ));
+}
+
+#[test]
+fn semijoin_bad_option_tag_is_typed() {
+    let req = SemijoinRequest {
+        table: "T".to_string(),
+        filters: vec![],
+        want_rows: false,
+        keys_of: None,
+    };
+    let mut bytes = encode_semijoin(&req).unwrap();
+    // The trailing byte is the keys_of option tag (0 = absent).
+    *bytes.last_mut().unwrap() = 7;
+    assert!(matches!(
+        decode_semijoin(&bytes),
+        Err(CodecError::BadTag { .. })
     ));
 }

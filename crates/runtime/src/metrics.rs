@@ -26,6 +26,10 @@ pub struct MetricsRecorder {
     cancelled: AtomicU64,
     interrupted_by_budget: AtomicU64,
     workers_replaced: AtomicU64,
+    fragments_served: AtomicU64,
+    semijoin_sets_shipped: AtomicU64,
+    bytes_scattered: AtomicU64,
+    bytes_gathered: AtomicU64,
     latency_sum_micros: AtomicU64,
     latency_max_micros: AtomicU64,
     buckets: [AtomicU64; LATENCY_BUCKETS],
@@ -39,6 +43,10 @@ impl Default for MetricsRecorder {
             cancelled: AtomicU64::new(0),
             interrupted_by_budget: AtomicU64::new(0),
             workers_replaced: AtomicU64::new(0),
+            fragments_served: AtomicU64::new(0),
+            semijoin_sets_shipped: AtomicU64::new(0),
+            bytes_scattered: AtomicU64::new(0),
+            bytes_gathered: AtomicU64::new(0),
             latency_sum_micros: AtomicU64::new(0),
             latency_max_micros: AtomicU64::new(0),
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -114,6 +122,46 @@ impl MetricsRecorder {
     /// Workers respawned after a caught panic.
     pub fn workers_replaced(&self) -> u64 {
         self.workers_replaced.load(Ordering::Relaxed)
+    }
+
+    /// Records one distributed query fragment executed to completion.
+    pub fn record_fragment_served(&self) {
+        self.fragments_served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` semijoin filter sets received and applied.
+    pub fn record_semijoin_sets(&self, n: u64) {
+        self.semijoin_sets_shipped.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `bytes` of partition payload scattered onto this node.
+    pub fn record_bytes_scattered(&self, bytes: u64) {
+        self.bytes_scattered.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records `bytes` of partial-result payload gathered off this node.
+    pub fn record_bytes_gathered(&self, bytes: u64) {
+        self.bytes_gathered.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Distributed fragments executed.
+    pub fn fragments_served(&self) -> u64 {
+        self.fragments_served.load(Ordering::Relaxed)
+    }
+
+    /// Semijoin filter sets received and applied.
+    pub fn semijoin_sets_shipped(&self) -> u64 {
+        self.semijoin_sets_shipped.load(Ordering::Relaxed)
+    }
+
+    /// Partition payload bytes scattered onto this node.
+    pub fn bytes_scattered(&self) -> u64 {
+        self.bytes_scattered.load(Ordering::Relaxed)
+    }
+
+    /// Partial-result payload bytes gathered off this node.
+    pub fn bytes_gathered(&self) -> u64 {
+        self.bytes_gathered.load(Ordering::Relaxed)
     }
 }
 
@@ -194,6 +242,14 @@ pub struct RuntimeMetrics {
     pub pool_evictions: u64,
     /// WAL group fsyncs issued since start.
     pub wal_fsyncs: u64,
+    /// Distributed query fragments executed since start.
+    pub fragments_served: u64,
+    /// Semijoin filter sets received and applied since start.
+    pub semijoin_sets_shipped: u64,
+    /// Partition payload bytes scattered onto this node since start.
+    pub bytes_scattered: u64,
+    /// Partial-result payload bytes gathered off this node since start.
+    pub bytes_gathered: u64,
     /// Plan-cache hits.
     pub cache_hits: u64,
     /// Plan-cache misses.
@@ -226,6 +282,8 @@ impl RuntimeMetrics {
                 "\"traces_recorded\":{},",
                 "\"pool_hits\":{},\"pool_misses\":{},",
                 "\"pool_evictions\":{},\"wal_fsyncs\":{},",
+                "\"fragments_served\":{},\"semijoin_sets_shipped\":{},",
+                "\"bytes_scattered\":{},\"bytes_gathered\":{},",
                 "\"cache_hits\":{},",
                 "\"cache_misses\":{},\"cache_hit_rate\":{:.6},",
                 "\"cache_entries\":{},\"queue_depth\":{},",
@@ -245,6 +303,10 @@ impl RuntimeMetrics {
             self.pool_misses,
             self.pool_evictions,
             self.wal_fsyncs,
+            self.fragments_served,
+            self.semijoin_sets_shipped,
+            self.bytes_scattered,
+            self.bytes_gathered,
             self.cache_hits,
             self.cache_misses,
             self.cache_hit_rate,
@@ -307,6 +369,10 @@ mod tests {
             pool_misses: 3,
             pool_evictions: 1,
             wal_fsyncs: 2,
+            fragments_served: 7,
+            semijoin_sets_shipped: 4,
+            bytes_scattered: 640,
+            bytes_gathered: 320,
             cache_hits: 2,
             cache_misses: 2,
             cache_hit_rate: 0.5,
@@ -331,6 +397,10 @@ mod tests {
         assert!(j.contains("\"pool_misses\":3"));
         assert!(j.contains("\"pool_evictions\":1"));
         assert!(j.contains("\"wal_fsyncs\":2"));
+        assert!(j.contains("\"fragments_served\":7"));
+        assert!(j.contains("\"semijoin_sets_shipped\":4"));
+        assert!(j.contains("\"bytes_scattered\":640"));
+        assert!(j.contains("\"bytes_gathered\":320"));
         // Stable key order: completed always precedes errors precedes
         // cache_hits.
         let (a, b, c) = (
@@ -361,6 +431,10 @@ mod tests {
             pool_misses: 0,
             pool_evictions: 0,
             wal_fsyncs: 0,
+            fragments_served: 0,
+            semijoin_sets_shipped: 0,
+            bytes_scattered: 0,
+            bytes_gathered: 0,
             cache_hits: 0,
             cache_misses: 0,
             cache_hit_rate: 0.0,
@@ -387,6 +461,10 @@ mod tests {
                 "pool_misses",
                 "pool_evictions",
                 "wal_fsyncs",
+                "fragments_served",
+                "semijoin_sets_shipped",
+                "bytes_scattered",
+                "bytes_gathered",
                 "cache_hits",
                 "cache_misses",
                 "cache_hit_rate",

@@ -370,6 +370,14 @@ pub struct ServiceHealth {
     pub pool_evictions: u64,
     /// WAL group fsyncs issued since start.
     pub wal_fsyncs: u64,
+    /// Distributed query fragments executed since start.
+    pub fragments_served: u64,
+    /// Semijoin filter sets received and applied since start.
+    pub semijoin_sets_shipped: u64,
+    /// Partition payload bytes scattered onto this node since start.
+    pub bytes_scattered: u64,
+    /// Partial-result payload bytes gathered off this node since start.
+    pub bytes_gathered: u64,
 }
 
 impl ServiceHealth {
@@ -588,7 +596,19 @@ impl QueryService {
             pool_misses: store.pool_misses,
             pool_evictions: store.pool_evictions,
             wal_fsyncs: store.wal_fsyncs,
+            fragments_served: self.shared.metrics.fragments_served(),
+            semijoin_sets_shipped: self.shared.metrics.semijoin_sets_shipped(),
+            bytes_scattered: self.shared.metrics.bytes_scattered(),
+            bytes_gathered: self.shared.metrics.bytes_gathered(),
         }
+    }
+
+    /// The live metrics recorder, for layers above the service (e.g.
+    /// the network server) that observe events the service itself
+    /// cannot see — scattered partitions, shipped semijoin sets,
+    /// gathered fragment bytes.
+    pub fn metrics_recorder(&self) -> &crate::metrics::MetricsRecorder {
+        &self.shared.metrics
     }
 
     /// The disk store's counter snapshot — all zeros in in-memory mode,
@@ -659,6 +679,10 @@ impl QueryService {
             pool_misses: store.pool_misses,
             pool_evictions: store.pool_evictions,
             wal_fsyncs: store.wal_fsyncs,
+            fragments_served: self.shared.metrics.fragments_served(),
+            semijoin_sets_shipped: self.shared.metrics.semijoin_sets_shipped(),
+            bytes_scattered: self.shared.metrics.bytes_scattered(),
+            bytes_gathered: self.shared.metrics.bytes_gathered(),
             queue_depth: self.shared.queue.len() + self.shared.in_flight.load(Ordering::Relaxed),
             uptime_secs: uptime,
             throughput_qps: if uptime > 0.0 {

@@ -95,6 +95,43 @@ impl BloomFilter {
         self.n_bits
     }
 
+    /// Hash function count.
+    pub fn n_hashes(&self) -> u32 {
+        self.n_hashes
+    }
+
+    /// The raw bit words, for shipping the filter across the wire.
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Rebuilds a filter from shipped parts. Returns `None` unless the
+    /// geometry is coherent: `n_bits` a positive multiple of 64 equal to
+    /// `words.len() * 64`, at most [`MAX_BLOOM_BITS`], and `n_hashes`
+    /// in `1..=16` — so a lying peer cannot make membership tests index
+    /// out of bounds.
+    pub fn from_parts(
+        words: Vec<u64>,
+        n_bits: u64,
+        n_hashes: u32,
+        inserted: u64,
+    ) -> Option<BloomFilter> {
+        if n_bits == 0
+            || !n_bits.is_multiple_of(64)
+            || n_bits > MAX_BLOOM_BITS
+            || words.len() as u64 != n_bits / 64
+            || !(1..=16).contains(&n_hashes)
+        {
+            return None;
+        }
+        Some(BloomFilter {
+            bits: words,
+            n_bits,
+            n_hashes,
+            inserted,
+        })
+    }
+
     /// Size in bytes — the fixed wire size when a lossy filter set is
     /// shipped to a remote site.
     pub fn byte_size(&self) -> u64 {

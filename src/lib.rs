@@ -45,5 +45,15 @@ pub use fj_net::{
 pub use fj_cluster;
 pub use fj_cluster::{
     BreakerConfig, CancelToken, CircuitBreaker, ClusterClient, ClusterConfig, ClusterError,
-    ClusterStats, HedgeConfig, ReplicaHealth,
+    ClusterStats, HedgeConfig, ReplicaHealth, ShardMap,
+};
+
+/// Partitioned distributed execution: a coordinator that
+/// hash-partitions base tables over `fj-net` shards, reduces them per
+/// query with costed shipping strategies (fetch-matches, semijoin
+/// programs, Bloom filters, a Yannakakis full reducer), and gathers a
+/// result byte-identical to the serial oracle. See [`fj_dist`].
+pub use fj_dist;
+pub use fj_dist::{
+    CostPrediction, DistConfig, DistCoordinator, DistError, DistResult, DistStats, ShipStrategy,
 };
