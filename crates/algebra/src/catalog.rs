@@ -219,10 +219,14 @@ pub fn partition_hash(v: &Value) -> u64 {
 
 /// The catalog: name → relation, plus the network model.
 ///
-/// Every mutation bumps a monotonically increasing [`epoch`](Catalog::epoch),
-/// which plan caches fold into their fingerprints so that cached plans are
-/// invalidated whenever the schema, statistics (tables are re-registered to
-/// change stats), or network model changes.
+/// Structural mutations (`add_*`/`set_*`) bump a monotonically
+/// increasing [`epoch`](Catalog::epoch); data mutations that swap a
+/// single table in place ([`replace_table`](Catalog::replace_table))
+/// instead bump that relation's
+/// [`relation_version`](Catalog::relation_version). Plan caches fold
+/// both into their fingerprints, so a cached plan is invalidated when
+/// the schema or network model changes, or when a table *it actually
+/// reads* is mutated — while plans over untouched tables stay warm.
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
     tables: HashMap<String, TableRef>,
@@ -230,6 +234,7 @@ pub struct Catalog {
     views: HashMap<String, Arc<ViewDef>>,
     udfs: HashMap<String, Arc<dyn UdfRelation>>,
     partitions: HashMap<String, PartitionMap>,
+    relation_versions: HashMap<String, u64>,
     network: Option<NetworkModel>,
     epoch: u64,
 }
@@ -251,6 +256,23 @@ impl Catalog {
     pub fn add_table(&mut self, table: TableRef) {
         self.tables.insert(table.name().to_string(), table);
         self.epoch += 1;
+    }
+
+    /// Swaps a registered table's contents in place after a data
+    /// mutation: the relation's version bumps (invalidating cached
+    /// plans that read it) but the catalog epoch does *not* — plans
+    /// over other tables stay warm. Registers the table if the name is
+    /// new.
+    pub fn replace_table(&mut self, table: TableRef) {
+        let name = table.name().to_string();
+        *self.relation_versions.entry(name.clone()).or_insert(0) += 1;
+        self.tables.insert(name, table);
+    }
+
+    /// The data version of `name`: 0 until its first
+    /// [`replace_table`](Catalog::replace_table), bumped by each one.
+    pub fn relation_version(&self, name: &str) -> u64 {
+        self.relation_versions.get(name).copied().unwrap_or(0)
     }
 
     /// Registers a base table stored at `site`.
@@ -407,6 +429,25 @@ mod tests {
     #[test]
     fn lan_cheaper_than_wan() {
         assert!(NetworkModel::lan().ship_cost(4096) < NetworkModel::wan().ship_cost(4096));
+    }
+
+    #[test]
+    fn replace_table_bumps_relation_version_not_epoch() {
+        let mut cat = Catalog::new();
+        cat.add_table(table("t"));
+        cat.add_table(table("u"));
+        let epoch = cat.epoch();
+        assert_eq!(cat.relation_version("t"), 0);
+        cat.replace_table(table("t"));
+        assert_eq!(cat.epoch(), epoch, "data mutation must not bump the epoch");
+        assert_eq!(cat.relation_version("t"), 1);
+        assert_eq!(cat.relation_version("u"), 0, "other relations untouched");
+        cat.replace_table(table("t"));
+        assert_eq!(cat.relation_version("t"), 2);
+        // A brand-new name registers and starts at version 1.
+        cat.replace_table(table("fresh"));
+        assert!(cat.table("fresh").is_ok());
+        assert_eq!(cat.relation_version("fresh"), 1);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Prints every reproduced figure/table as a paper-style text table.
 //!
 //! ```text
-//! reproduce [all|fig1|fig3|table1|fig4|fig5|fig6|complexity|crossover|dist|dist-wire|udf|local|bloom|throughput|trace-overhead|soak|chaos|cluster-chaos|recovery-chaos]
+//! reproduce [all|fig1|fig3|table1|fig4|fig5|fig6|complexity|crossover|dist|dist-wire|udf|local|bloom|throughput|trace-overhead|soak|chaos|cluster-chaos|recovery-chaos|mutation-chaos]
 //!           [--small] [--threads N]
 //! ```
 //!
@@ -65,6 +65,7 @@ fn main() {
             "chaos",
             "cluster-chaos",
             "recovery-chaos",
+            "mutation-chaos",
         ]
     } else {
         which
@@ -158,6 +159,13 @@ fn main() {
                     repro::recovery_chaos::run(1_000, 100, 4, 12)
                 } else {
                     repro::recovery_chaos::run(5_000, 500, 12, 25)
+                }
+            }
+            "mutation-chaos" => {
+                if small {
+                    repro::mutation_chaos::run(1_000, 100, 4, 12)
+                } else {
+                    repro::mutation_chaos::run(5_000, 500, 12, 25)
                 }
             }
             other => {

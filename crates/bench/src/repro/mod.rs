@@ -13,7 +13,9 @@ pub mod fig3_orders;
 pub mod fig4_cardinality;
 pub mod fig5_classes;
 pub mod fig6_taxonomy;
+pub(crate) mod forwarder;
 pub mod local_semijoin;
+pub mod mutation_chaos;
 pub mod recovery_chaos;
 pub mod soak;
 pub mod table1_components;

@@ -18,6 +18,7 @@
 //! restarted server comes back — the same stable-endpoint model a
 //! service VIP gives a real cluster.
 
+use super::forwarder::Forwarder;
 use crate::report::Report;
 use crate::workloads::{emp_dept, paper_query, EmpDeptConfig};
 use fj_cluster::{CancelToken, ClusterClient, ClusterConfig, ClusterError, HedgeConfig};
@@ -25,12 +26,10 @@ use fj_core::{Database, OptimizerConfig, Tuple};
 use fj_net::{Client, ErrorCode, QueryOptions, Server, ServerConfig};
 use fj_runtime::{FaultPlan, RecoveryReport, ServiceConfig, StorageMode};
 use fj_store::{Store, TempDir};
-use std::io::{ErrorKind, Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::thread::{self, JoinHandle};
+use std::thread;
 use std::time::Duration;
 
 fn sorted(mut rows: Vec<Tuple>) -> Vec<Tuple> {
@@ -47,131 +46,6 @@ struct Tally {
     injected_faults: AtomicU64,
     reroutes: AtomicU64,
     budget_stalls: AtomicU64,
-}
-
-/// A stable TCP endpoint fronting a restartable backend: accepted
-/// connections are relayed byte-for-byte to the current backend
-/// address, and refused (accept + drop) while no backend is up. This
-/// lets the replica "process" die and come back without changing the
-/// address the cluster prober watches.
-struct Forwarder {
-    addr: SocketAddr,
-    backend: Arc<Mutex<Option<SocketAddr>>>,
-    stop: Arc<AtomicBool>,
-    accept: Option<JoinHandle<()>>,
-}
-
-impl Forwarder {
-    fn start() -> Forwarder {
-        let listener = TcpListener::bind("127.0.0.1:0").expect("forwarder bind");
-        listener
-            .set_nonblocking(true)
-            .expect("forwarder nonblocking");
-        let addr = listener.local_addr().expect("forwarder addr");
-        let backend: Arc<Mutex<Option<SocketAddr>>> = Arc::new(Mutex::new(None));
-        let stop = Arc::new(AtomicBool::new(false));
-        let accept = {
-            let backend = Arc::clone(&backend);
-            let stop = Arc::clone(&stop);
-            thread::Builder::new()
-                .name("fj-recovery-fwd".into())
-                .spawn(move || {
-                    let mut relays: Vec<JoinHandle<()>> = Vec::new();
-                    while !stop.load(Ordering::SeqCst) {
-                        match listener.accept() {
-                            Ok((client, _)) => {
-                                let target = *backend.lock().unwrap();
-                                let upstream = target.and_then(|t| {
-                                    TcpStream::connect_timeout(&t, Duration::from_millis(500)).ok()
-                                });
-                                match upstream {
-                                    // A dead backend is a dead replica:
-                                    // drop the connection so the prober
-                                    // sees a transport error.
-                                    None => drop(client),
-                                    Some(upstream) => {
-                                        relays.push(spawn_relay(client, upstream, &stop));
-                                    }
-                                }
-                            }
-                            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                                thread::sleep(Duration::from_millis(1));
-                            }
-                            Err(_) => break,
-                        }
-                    }
-                    for r in relays {
-                        let _ = r.join();
-                    }
-                })
-                .expect("spawn forwarder")
-        };
-        Forwarder {
-            addr,
-            backend,
-            stop,
-            accept: Some(accept),
-        }
-    }
-
-    fn set_backend(&self, addr: Option<SocketAddr>) {
-        *self.backend.lock().unwrap() = addr;
-    }
-
-    fn stop(mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        if let Some(t) = self.accept.take() {
-            let _ = t.join();
-        }
-    }
-}
-
-/// One half-duplex pump: bytes from `from` to `to` until EOF, error, or
-/// the stop flag. Read timeouts keep the thread responsive to `stop`
-/// without killing live-but-idle connections.
-fn pump(from: &TcpStream, to: &TcpStream, stop: &AtomicBool) {
-    let mut from = from.try_clone().expect("clone relay stream");
-    let mut to = to.try_clone().expect("clone relay stream");
-    from.set_read_timeout(Some(Duration::from_millis(50)))
-        .expect("relay read timeout");
-    let mut buf = [0u8; 16 * 1024];
-    loop {
-        match from.read(&mut buf) {
-            Ok(0) => break,
-            Ok(n) => {
-                if to.write_all(&buf[..n]).is_err() {
-                    break;
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                if stop.load(Ordering::SeqCst) {
-                    break;
-                }
-            }
-            Err(_) => break,
-        }
-    }
-    let _ = to.shutdown(Shutdown::Both);
-    let _ = from.shutdown(Shutdown::Both);
-}
-
-/// Full-duplex relay between `client` and `upstream`: one thread per
-/// direction, both torn down when either side closes.
-fn spawn_relay(client: TcpStream, upstream: TcpStream, stop: &Arc<AtomicBool>) -> JoinHandle<()> {
-    let stop = Arc::clone(stop);
-    thread::Builder::new()
-        .name("fj-recovery-relay".into())
-        .spawn(move || {
-            let back = {
-                let client = client.try_clone().expect("clone relay stream");
-                let upstream = upstream.try_clone().expect("clone relay stream");
-                let stop = Arc::clone(&stop);
-                thread::spawn(move || pump(&upstream, &client, &stop))
-            };
-            pump(&client, &upstream, &stop);
-            let _ = back.join();
-        })
-        .expect("spawn relay")
 }
 
 /// The disk replica's config: small pool pressure is *not* the point of

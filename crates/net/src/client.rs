@@ -8,12 +8,13 @@
 //! caller should back off and retry.
 
 use crate::codec::{
-    self, CodecError, FragmentRequest, GatherReply, HealthSnapshot, QueryReply, QueryRequest,
-    ScatterAck, ScatterRequest, SemijoinAck, SemijoinRequest,
+    self, CodecError, FragmentRequest, GatherReply, HealthSnapshot, MutationReply, MutationRequest,
+    QueryReply, QueryRequest, ScatterAck, ScatterRequest, SemijoinAck, SemijoinRequest,
 };
 use crate::wire::{self, ErrorCode, FrameReader, FrameType, WireError};
 use fj_algebra::JoinQuery;
 use fj_optimizer::OptimizerConfig;
+use fj_storage::Mutation;
 use std::fmt;
 use std::io;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -583,6 +584,43 @@ impl Client {
             FrameType::Gather => Ok((codec::decode_gather(&frame.1)?, wire)),
             FrameType::Error => Err(self.remote_error(&frame.1)),
             _ => Err(NetError::Protocol("expected GATHER or ERROR frame")),
+        }
+    }
+
+    /// Executes one mutation (INSERT/UPDATE/DELETE) on the server, with
+    /// no deadline. The reply reports rows affected, the table's new
+    /// row count, and its new data version.
+    pub fn mutate(&mut self, mutation: &Mutation) -> Result<MutationReply, NetError> {
+        self.mutate_with(mutation, None)
+    }
+
+    /// Like [`Client::mutate`], with a server-side deadline. A deadline
+    /// that trips before the server's WAL commit aborts the mutation
+    /// with no state change ([`ErrorCode::DeadlineExceeded`]); one that
+    /// trips after it loses the race and the committed reply arrives.
+    /// Use a [`Canceller`] from another thread to abort mid-flight.
+    pub fn mutate_with(
+        &mut self,
+        mutation: &Mutation,
+        deadline: Option<Duration>,
+    ) -> Result<MutationReply, NetError> {
+        let deadline_millis = deadline.map(|d| (d.as_millis() as u64).max(1)).unwrap_or(0);
+        let request = MutationRequest {
+            deadline_millis,
+            mutation: mutation.clone(),
+        };
+        let payload = codec::encode_mutation_request(&request)?;
+        // Bound our own wait a bit past the server's deadline so a dead
+        // server cannot hang a deadline-scoped call forever.
+        let read_timeout = deadline.map(|d| d + Duration::from_secs(30));
+        self.stream.set_read_timeout(read_timeout)?;
+        wire::write_frame(&mut self.stream, FrameType::Mutate, &payload)?;
+        let frame = self.recv()?;
+        self.stream.set_read_timeout(None)?;
+        match frame.0 {
+            FrameType::MutateReply => Ok(codec::decode_mutation_reply(&frame.1)?),
+            FrameType::Error => Err(self.remote_error(&frame.1)),
+            _ => Err(NetError::Protocol("expected MUTATE_REPLY or ERROR frame")),
         }
     }
 

@@ -19,7 +19,7 @@ use fj_algebra::{FromItem, JoinQuery, NetworkModel};
 use fj_core::QueryResult;
 use fj_expr::{BinOp, Expr};
 use fj_optimizer::{CostParams, OptimizerConfig};
-use fj_storage::{BloomFilter, Column, DataType, Schema, SchemaRef, Tuple, Value};
+use fj_storage::{BloomFilter, Column, DataType, Mutation, Schema, SchemaRef, Tuple, Value};
 use std::fmt;
 use std::sync::Arc;
 
@@ -572,6 +572,174 @@ pub fn decode_request(payload: &[u8]) -> Result<QueryRequest, CodecError> {
     })
 }
 
+// -------------------------------------------------------------- mutations
+
+const MUTATION_INSERT: u8 = 0;
+const MUTATION_UPDATE: u8 = 1;
+const MUTATION_DELETE: u8 = 2;
+
+/// Encodes one [`Mutation`].
+pub fn encode_mutation(w: &mut Writer, m: &Mutation) -> Result<(), CodecError> {
+    match m {
+        Mutation::Insert { table, rows } => {
+            w.u8(MUTATION_INSERT);
+            w.string(table)?;
+            w.count("insert rows", rows.len())?;
+            for row in rows {
+                w.count("insert row values", row.len())?;
+                for v in row {
+                    encode_value(w, v)?;
+                }
+            }
+        }
+        Mutation::Update {
+            table,
+            set,
+            where_col,
+            where_value,
+        } => {
+            w.u8(MUTATION_UPDATE);
+            w.string(table)?;
+            w.count("set clauses", set.len())?;
+            for (col, v) in set {
+                w.string(col)?;
+                encode_value(w, v)?;
+            }
+            w.string(where_col)?;
+            encode_value(w, where_value)?;
+        }
+        Mutation::Delete {
+            table,
+            where_col,
+            where_value,
+        } => {
+            w.u8(MUTATION_DELETE);
+            w.string(table)?;
+            w.string(where_col)?;
+            encode_value(w, where_value)?;
+        }
+    }
+    Ok(())
+}
+
+/// Decodes one [`Mutation`].
+pub fn decode_mutation(r: &mut Reader<'_>) -> Result<Mutation, CodecError> {
+    match r.u8()? {
+        MUTATION_INSERT => {
+            let table = r.string()?;
+            let nrows = r.u32()?;
+            let mut rows = Vec::new();
+            for _ in 0..nrows {
+                let nvals = r.u32()?;
+                let mut row = Vec::new();
+                for _ in 0..nvals {
+                    row.push(decode_value(r)?);
+                }
+                rows.push(row);
+            }
+            Ok(Mutation::Insert { table, rows })
+        }
+        MUTATION_UPDATE => {
+            let table = r.string()?;
+            let nset = r.u32()?;
+            let mut set = Vec::new();
+            for _ in 0..nset {
+                let col = r.string()?;
+                let v = decode_value(r)?;
+                set.push((col, v));
+            }
+            let where_col = r.string()?;
+            let where_value = decode_value(r)?;
+            Ok(Mutation::Update {
+                table,
+                set,
+                where_col,
+                where_value,
+            })
+        }
+        MUTATION_DELETE => {
+            let table = r.string()?;
+            let where_col = r.string()?;
+            let where_value = decode_value(r)?;
+            Ok(Mutation::Delete {
+                table,
+                where_col,
+                where_value,
+            })
+        }
+        tag => Err(CodecError::BadTag {
+            what: "mutation",
+            tag,
+        }),
+    }
+}
+
+/// A decoded MUTATE request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MutationRequest {
+    /// Wall-clock budget in milliseconds measured from server receipt;
+    /// 0 = no deadline. A deadline that trips before the WAL commit
+    /// cancels the mutation with no state change.
+    pub deadline_millis: u64,
+    /// The mutation itself.
+    pub mutation: Mutation,
+}
+
+/// Encodes a MUTATE request payload.
+pub fn encode_mutation_request(req: &MutationRequest) -> Result<Vec<u8>, CodecError> {
+    let mut w = Writer::new();
+    w.u64(req.deadline_millis);
+    encode_mutation(&mut w, &req.mutation)?;
+    Ok(w.into_bytes())
+}
+
+/// Decodes a MUTATE request payload (consuming it fully).
+pub fn decode_mutation_request(payload: &[u8]) -> Result<MutationRequest, CodecError> {
+    let mut r = Reader::new(payload);
+    let deadline_millis = r.u64()?;
+    let mutation = decode_mutation(&mut r)?;
+    r.finish()?;
+    Ok(MutationRequest {
+        deadline_millis,
+        mutation,
+    })
+}
+
+/// A MUTATE_REPLY payload: the committed mutation's effect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MutationReply {
+    /// Rows inserted, updated, or deleted.
+    pub rows_affected: u64,
+    /// The table's row count after the mutation.
+    pub row_count: u64,
+    /// The table's data version after the mutation (monotone per
+    /// relation; plan fingerprints fold it in).
+    pub version: u64,
+}
+
+/// Encodes a MUTATE_REPLY payload.
+pub fn encode_mutation_reply(reply: &MutationReply) -> Result<Vec<u8>, CodecError> {
+    let mut w = Writer::new();
+    w.u64(reply.rows_affected);
+    w.u64(reply.row_count);
+    w.u64(reply.version);
+    Ok(w.into_bytes())
+}
+
+/// Decodes a MUTATE_REPLY payload (consuming it fully).
+pub fn decode_mutation_reply(payload: &[u8]) -> Result<MutationReply, CodecError> {
+    let mut r = Reader::new(payload);
+    let rows_affected = r.u64()?;
+    let row_count = r.u64()?;
+    let version = r.u64()?;
+    r.finish()?;
+    Ok(MutationReply {
+        rows_affected,
+        row_count,
+        version,
+    })
+}
+
 // ---------------------------------------------------------------- replies
 
 /// The client-side view of a query result: rows plus the per-query
@@ -859,6 +1027,15 @@ pub struct HealthSnapshot {
     pub bytes_scattered: u64,
     /// Payload bytes of partial results gathered off this shard.
     pub bytes_gathered: u64,
+    /// Mutations committed (WAL fsync reached) since start.
+    pub mutations_applied: u64,
+    /// WAL page-delta records appended by mutations since start.
+    pub wal_deltas: u64,
+    /// Dirty pages currently held in the buffer pool (awaiting
+    /// write-back or the next checkpoint).
+    pub dirty_pages: u64,
+    /// Fuzzy checkpoints completed since start.
+    pub checkpoints: u64,
 }
 
 impl HealthSnapshot {
@@ -873,7 +1050,9 @@ impl HealthSnapshot {
                 "\"pool_misses\":{},\"pool_evictions\":{},",
                 "\"wal_fsyncs\":{},\"fragments_served\":{},",
                 "\"semijoin_sets_shipped\":{},\"bytes_scattered\":{},",
-                "\"bytes_gathered\":{}}}"
+                "\"bytes_gathered\":{},\"mutations_applied\":{},",
+                "\"wal_deltas\":{},\"dirty_pages\":{},",
+                "\"checkpoints\":{}}}"
             ),
             self.status,
             self.workers,
@@ -890,6 +1069,10 @@ impl HealthSnapshot {
             self.semijoin_sets_shipped,
             self.bytes_scattered,
             self.bytes_gathered,
+            self.mutations_applied,
+            self.wal_deltas,
+            self.dirty_pages,
+            self.checkpoints,
         )
     }
 
@@ -902,8 +1085,8 @@ impl HealthSnapshot {
     pub fn from_json(json: &str) -> Result<HealthSnapshot, CodecError> {
         let fields = parse_flat_json(json)?;
         let mut status = None;
-        let mut counters = [None; 14];
-        const KEYS: [&str; 14] = [
+        let mut counters = [None; 18];
+        const KEYS: [&str; 18] = [
             "workers",
             "workers_replaced",
             "queued",
@@ -918,6 +1101,10 @@ impl HealthSnapshot {
             "semijoin_sets_shipped",
             "bytes_scattered",
             "bytes_gathered",
+            "mutations_applied",
+            "wal_deltas",
+            "dirty_pages",
+            "checkpoints",
         ];
         for (key, value) in fields {
             if key == "status" {
@@ -970,6 +1157,10 @@ impl HealthSnapshot {
             semijoin_sets_shipped: counter(11)?,
             bytes_scattered: counter(12)?,
             bytes_gathered: counter(13)?,
+            mutations_applied: counter(14)?,
+            wal_deltas: counter(15)?,
+            dirty_pages: counter(16)?,
+            checkpoints: counter(17)?,
         })
     }
 }

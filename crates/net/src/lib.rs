@@ -40,9 +40,11 @@ pub mod wire;
 
 pub use client::{Canceller, Client, NetError, QueryOptions, RetryBudget, RetryPolicy, WireBytes};
 pub use codec::{
-    CodecError, FragmentRequest, GatherReply, HealthSnapshot, HealthStatus, KeyFilter, QueryReply,
-    QueryRequest, ScatterAck, ScatterRequest, SemijoinAck, SemijoinRequest,
+    CodecError, FragmentRequest, GatherReply, HealthSnapshot, HealthStatus, KeyFilter,
+    MutationReply, MutationRequest, QueryReply, QueryRequest, ScatterAck, ScatterRequest,
+    SemijoinAck, SemijoinRequest,
 };
+pub use fj_storage::Mutation;
 pub use fj_trace::QueryTrace;
 pub use server::{Server, ServerConfig, ServerStats};
 pub use wire::{ErrorCode, FrameType, WireError, VERSION};

@@ -176,6 +176,10 @@ impl Shared {
             semijoin_sets_shipped: h.semijoin_sets_shipped,
             bytes_scattered: h.bytes_scattered,
             bytes_gathered: h.bytes_gathered,
+            mutations_applied: h.mutations_applied,
+            wal_deltas: h.wal_deltas,
+            dirty_pages: h.dirty_pages,
+            checkpoints: h.checkpoints,
         }
     }
 
@@ -326,6 +330,14 @@ impl Server {
     /// Store counters of the fronted service (all zero in memory mode).
     pub fn store_stats(&self) -> fj_runtime::StoreStats {
         self.shared.service.store_stats()
+    }
+
+    /// Runs one fuzzy checkpoint on the fronted store (a no-op in
+    /// memory mode): dirty pages flush, the manifest is published, and
+    /// the WAL prefix is truncated — all without blocking concurrent
+    /// queries, loads, or mutations.
+    pub fn checkpoint(&self) -> Result<(), fj_runtime::RuntimeError> {
+        self.shared.service.checkpoint()
     }
 
     /// Begins a **soft drain**: new QUERY frames are refused with a
@@ -595,6 +607,11 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared, over_cap: bool) {
                     return;
                 }
             }
+            FrameType::Mutate => {
+                if !handle_mutate(&mut stream, shared, &frame, &mut reader) {
+                    return;
+                }
+            }
             FrameType::Result
             | FrameType::StatsReply
             | FrameType::HealthReply
@@ -602,6 +619,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared, over_cap: bool) {
             | FrameType::ScatterAck
             | FrameType::SemijoinAck
             | FrameType::Gather
+            | FrameType::MutateReply
             | FrameType::Error => {
                 send_error(
                     &mut stream,
@@ -1061,6 +1079,174 @@ fn handle_fragment(
         Err(RuntimeError::Query(e)) => {
             send_error(stream, shared, ErrorCode::QueryFailed, &e.to_string())
         }
+        Err(RuntimeError::WorkerPanicked(msg)) => send_error(
+            stream,
+            shared,
+            ErrorCode::Internal,
+            &format!("worker panicked: {msg}"),
+        ),
+        Err(RuntimeError::ShuttingDown) => {
+            send_error(stream, shared, ErrorCode::ShuttingDown, "server draining")
+        }
+        Err(e) => send_error(stream, shared, ErrorCode::Internal, &e.to_string()),
+    }
+}
+
+/// Serves one MUTATE frame: the mutation runs through the service's
+/// mutation path — admission control, the governor, and mid-flight
+/// CANCEL behave exactly as for QUERY frames. A deadline expiry or
+/// CANCEL that wins the race against the WAL commit aborts the
+/// mutation with **no state change**; one that loses it gets the
+/// committed result. Returns false when the connection should close.
+fn handle_mutate(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    frame: &Frame,
+    reader: &mut FrameReader,
+) -> bool {
+    let received = Instant::now();
+    shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+    if shared.refusing_queries() {
+        return send_error(stream, shared, ErrorCode::ShuttingDown, "server draining");
+    }
+    let req = match codec::decode_mutation_request(&frame.payload) {
+        Ok(r) => r,
+        Err(e) => return send_error(stream, shared, ErrorCode::Malformed, &e.to_string()),
+    };
+    let deadline = match req.deadline_millis {
+        0 => None,
+        ms => Some(Duration::from_millis(ms)),
+    };
+    let ticket = match shared.service.try_submit_mutation(req.mutation) {
+        Ok(t) => t,
+        Err(RuntimeError::QueueFull) => {
+            return send_error(
+                stream,
+                shared,
+                ErrorCode::Shed,
+                "submission queue full; retry with backoff",
+            );
+        }
+        Err(RuntimeError::ShuttingDown) => {
+            return send_error(stream, shared, ErrorCode::ShuttingDown, "server draining");
+        }
+        Err(e) => {
+            return send_error(stream, shared, ErrorCode::Internal, &e.to_string());
+        }
+    };
+
+    let interrupt = ticket.interrupt_handle();
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(2)));
+    enum Waited {
+        Reply(Box<Result<fj_runtime::MutationStats, RuntimeError>>),
+        DeadlineExpired,
+        ProtocolViolation,
+        PeerGone,
+    }
+    let waited = loop {
+        if shared.aborting.load(Ordering::SeqCst) {
+            // Hard kill mid-mutation: trip the interrupt and vanish.
+            // Crash safety does the rest — either the commit fsync
+            // already happened (the mutation survives restart) or it
+            // did not (no trace of it survives).
+            interrupt.trip(InterruptReason::Cancelled);
+            return false;
+        }
+        if let Some(reply) = ticket.poll(Duration::from_millis(2)) {
+            break Waited::Reply(Box::new(reply));
+        }
+        if let Some(d) = deadline {
+            if received.elapsed() >= d {
+                break Waited::DeadlineExpired;
+            }
+        }
+        let mut passes = 0;
+        match reader.read_frame(stream, |_| {
+            passes += 1;
+            passes > 1
+        }) {
+            Ok(Some(f)) if f.ty == FrameType::Cancel => {
+                shared
+                    .counters
+                    .bytes_in
+                    .fetch_add(f.wire_bytes as u64, Ordering::Relaxed);
+                interrupt.trip(InterruptReason::Cancelled);
+            }
+            Ok(Some(_)) => break Waited::ProtocolViolation,
+            Ok(None) => {}
+            Err(_) => break Waited::PeerGone,
+        }
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let outcome = match waited {
+        Waited::Reply(reply) => *reply,
+        Waited::DeadlineExpired => {
+            interrupt.trip(InterruptReason::Deadline);
+            return send_error(
+                stream,
+                shared,
+                ErrorCode::DeadlineExceeded,
+                "deadline expired; mutation aborted without state change",
+            );
+        }
+        Waited::ProtocolViolation => {
+            interrupt.trip(InterruptReason::Cancelled);
+            send_error(
+                stream,
+                shared,
+                ErrorCode::Malformed,
+                "only CANCEL may be sent while a mutation is in flight",
+            );
+            return false;
+        }
+        Waited::PeerGone => {
+            interrupt.trip(InterruptReason::Cancelled);
+            return false;
+        }
+    };
+    match outcome {
+        Ok(stats) => {
+            let reply = codec::MutationReply {
+                rows_affected: stats.rows_affected,
+                row_count: stats.row_count,
+                version: stats.version,
+            };
+            match codec::encode_mutation_reply(&reply) {
+                Ok(payload) => {
+                    shared.counters.results.fetch_add(1, Ordering::Relaxed);
+                    send_frame(stream, shared, FrameType::MutateReply, &payload)
+                }
+                Err(e) => send_error(stream, shared, ErrorCode::Internal, &e.to_string()),
+            }
+        }
+        Err(RuntimeError::Interrupted(InterruptReason::Cancelled)) => send_error(
+            stream,
+            shared,
+            ErrorCode::Cancelled,
+            "mutation cancelled; no state change",
+        ),
+        Err(RuntimeError::Interrupted(InterruptReason::Deadline))
+        | Err(RuntimeError::DeadlineExceeded) => send_error(
+            stream,
+            shared,
+            ErrorCode::DeadlineExceeded,
+            "deadline expired; mutation aborted without state change",
+        ),
+        Err(RuntimeError::Interrupted(reason)) => send_error(
+            stream,
+            shared,
+            ErrorCode::QueryFailed,
+            &format!("mutation interrupted: {reason}"),
+        ),
+        Err(RuntimeError::Query(e)) => {
+            send_error(stream, shared, ErrorCode::QueryFailed, &e.to_string())
+        }
+        Err(RuntimeError::Storage(msg)) => send_error(
+            stream,
+            shared,
+            ErrorCode::QueryFailed,
+            &format!("mutation rejected: {msg}"),
+        ),
         Err(RuntimeError::WorkerPanicked(msg)) => send_error(
             stream,
             shared,

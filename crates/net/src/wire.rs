@@ -65,6 +65,12 @@ pub enum FrameType {
     /// service — admission, governor and CANCEL apply exactly as for
     /// [`FrameType::Query`].
     Fragment = 0x07,
+    /// Client → server: execute a mutation (INSERT/UPDATE/DELETE;
+    /// payload: [`crate::codec::MutationRequest`] encoding). Admission
+    /// control, deadlines, and CANCEL apply exactly as for
+    /// [`FrameType::Query`]; a cancellation observed before the WAL
+    /// commit leaves no state.
+    Mutate = 0x08,
     /// Server → client: query result (payload: reply encoding).
     Result = 0x81,
     /// Server → client: stats reply (payload: one JSON string).
@@ -90,6 +96,9 @@ pub enum FrameType {
     /// schema + rows + latency), the partial-result half of the
     /// scatter/gather exchange.
     Gather = 0x87,
+    /// Server → client: reply to a [`FrameType::Mutate`] (payload:
+    /// rows affected + new row count + new table version).
+    MutateReply = 0x88,
     /// Server → client: typed error (payload: code + message).
     Error = 0x7F,
 }
@@ -105,6 +114,7 @@ impl FrameType {
             0x05 => Some(FrameType::Scatter),
             0x06 => Some(FrameType::Semijoin),
             0x07 => Some(FrameType::Fragment),
+            0x08 => Some(FrameType::Mutate),
             0x81 => Some(FrameType::Result),
             0x82 => Some(FrameType::StatsReply),
             0x83 => Some(FrameType::HealthReply),
@@ -112,6 +122,7 @@ impl FrameType {
             0x85 => Some(FrameType::ScatterAck),
             0x86 => Some(FrameType::SemijoinAck),
             0x87 => Some(FrameType::Gather),
+            0x88 => Some(FrameType::MutateReply),
             0x7F => Some(FrameType::Error),
             _ => None,
         }
@@ -453,6 +464,8 @@ mod tests {
             FrameType::ScatterAck,
             FrameType::SemijoinAck,
             FrameType::Gather,
+            FrameType::Mutate,
+            FrameType::MutateReply,
         ] {
             assert_eq!(FrameType::from_u8(ty as u8), Some(ty));
             let mut wire = Vec::new();

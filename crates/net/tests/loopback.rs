@@ -761,3 +761,61 @@ fn traced_query_carries_the_operator_trace_over_the_wire() {
     assert_eq!(sorted(again.rows), sorted(traced.rows));
     server.shutdown();
 }
+
+#[test]
+fn mutate_over_the_wire_changes_results_and_counts_in_health() {
+    let (catalog, query) = big_catalog_and_query(50);
+    let server = Server::bind("127.0.0.1:0", catalog, ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let before = client.query(&query).unwrap().rows.len();
+
+    // L gains one row with k=3; R (50 rows, keys i % 89) holds k=3
+    // exactly once, so the join gains exactly one pair.
+    let reply = client
+        .mutate(&fj_net::Mutation::Insert {
+            table: "L".to_string(),
+            rows: vec![vec![3i64.into(), 999i64.into()]],
+        })
+        .unwrap();
+    assert_eq!(reply.rows_affected, 1);
+    assert_eq!(reply.row_count, 51);
+    assert_eq!(reply.version, 1, "first mutation of L bumps it to v1");
+
+    let after = client.query(&query).unwrap().rows.len();
+    assert_eq!(after, before + 1, "the inserted row joins exactly once");
+
+    // DELETE it again; results return to the baseline.
+    let undone = client
+        .mutate(&fj_net::Mutation::Delete {
+            table: "L".to_string(),
+            where_col: "v".to_string(),
+            where_value: 999i64.into(),
+        })
+        .unwrap();
+    assert_eq!(undone.rows_affected, 1);
+    assert_eq!(undone.row_count, 50);
+    assert_eq!(undone.version, 2);
+    assert_eq!(client.query(&query).unwrap().rows.len(), before);
+
+    let health = client.health(Duration::from_secs(5)).unwrap();
+    assert_eq!(health.mutations_applied, 2);
+    server.shutdown();
+}
+
+#[test]
+fn mutate_on_an_unknown_table_is_a_typed_error_not_a_panic() {
+    let server = Server::bind("127.0.0.1:0", paper_catalog(), ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let err = client
+        .mutate(&fj_net::Mutation::Delete {
+            table: "NoSuchTable".to_string(),
+            where_col: "k".to_string(),
+            where_value: 1i64.into(),
+        })
+        .unwrap_err();
+    assert_eq!(err.error_code(), Some(ErrorCode::QueryFailed));
+    // The connection survives the refusal.
+    assert!(!client.query(&paper_query()).unwrap().rows.is_empty());
+    server.shutdown();
+}

@@ -7,16 +7,18 @@
 use fj_algebra::{FromItem, JoinQuery, NetworkModel};
 use fj_expr::{col, lit, Expr};
 use fj_net::codec::{
-    decode_expr, decode_fragment, decode_gather, decode_health_reply, decode_reply, decode_request,
-    decode_scatter, decode_scatter_ack, decode_semijoin, decode_semijoin_ack, decode_trace_reply,
-    decode_value, encode_expr, encode_fragment, encode_gather, encode_health_reply,
-    encode_reply_parts, encode_request, encode_scatter, encode_scatter_ack, encode_semijoin,
-    encode_semijoin_ack, encode_trace_reply, encode_value, CodecError, FragmentRequest,
-    GatherReply, HealthSnapshot, HealthStatus, KeyFilter, QueryRequest, Reader, ScatterAck,
-    ScatterRequest, SemijoinAck, SemijoinRequest, Writer, MAX_EXPR_DEPTH,
+    decode_expr, decode_fragment, decode_gather, decode_health_reply, decode_mutation_reply,
+    decode_mutation_request, decode_reply, decode_request, decode_scatter, decode_scatter_ack,
+    decode_semijoin, decode_semijoin_ack, decode_trace_reply, decode_value, encode_expr,
+    encode_fragment, encode_gather, encode_health_reply, encode_mutation_reply,
+    encode_mutation_request, encode_reply_parts, encode_request, encode_scatter,
+    encode_scatter_ack, encode_semijoin, encode_semijoin_ack, encode_trace_reply, encode_value,
+    CodecError, FragmentRequest, GatherReply, HealthSnapshot, HealthStatus, KeyFilter,
+    MutationReply, MutationRequest, QueryRequest, Reader, ScatterAck, ScatterRequest, SemijoinAck,
+    SemijoinRequest, Writer, MAX_EXPR_DEPTH,
 };
 use fj_optimizer::{CostParams, OptimizerConfig};
-use fj_storage::{BloomFilter, Column, DataType, Schema, Tuple, Value};
+use fj_storage::{BloomFilter, Column, DataType, Mutation, Schema, Tuple, Value};
 use proptest::prelude::*;
 
 /// Deterministic value from two generated words.
@@ -288,6 +290,8 @@ proptest! {
         let _ = decode_semijoin_ack(&payload);
         let _ = decode_fragment(&payload);
         let _ = decode_gather(&payload);
+        let _ = decode_mutation_request(&payload);
+        let _ = decode_mutation_reply(&payload);
     }
 
     /// Every health snapshot survives the encode → decode round trip —
@@ -306,6 +310,7 @@ proptest! {
         pool_evictions in 0u64..u64::MAX,
         wal_fsyncs in 0u64..u64::MAX,
         dist in (0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
+        muts in (0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
     ) {
         let health = HealthSnapshot {
             status: [HealthStatus::Ready, HealthStatus::Degraded, HealthStatus::Draining]
@@ -324,6 +329,10 @@ proptest! {
             semijoin_sets_shipped: dist.1,
             bytes_scattered: dist.2,
             bytes_gathered: dist.3,
+            mutations_applied: muts.0,
+            wal_deltas: muts.1,
+            dirty_pages: muts.2,
+            checkpoints: muts.3,
         };
         let payload = encode_health_reply(&health).unwrap();
         prop_assert_eq!(decode_health_reply(&payload).unwrap(), health);
@@ -333,7 +342,7 @@ proptest! {
     /// The health JSON parser accepts any key order (it is a wire
     /// format other tooling may re-serialize).
     #[test]
-    fn health_json_accepts_any_key_order(shift in 0usize..15, ws in 0u64..2) {
+    fn health_json_accepts_any_key_order(shift in 0usize..19, ws in 0u64..2) {
         let health = HealthSnapshot {
             status: HealthStatus::Degraded,
             workers: 4,
@@ -350,6 +359,10 @@ proptest! {
             semijoin_sets_shipped: 8,
             bytes_scattered: 4096,
             bytes_gathered: 2048,
+            mutations_applied: 12,
+            wal_deltas: 31,
+            dirty_pages: 5,
+            checkpoints: 2,
         };
         let pairs = [
             ("status", "\"degraded\"".to_string()),
@@ -367,6 +380,10 @@ proptest! {
             ("semijoin_sets_shipped", "8".to_string()),
             ("bytes_scattered", "4096".to_string()),
             ("bytes_gathered", "2048".to_string()),
+            ("mutations_applied", "12".to_string()),
+            ("wal_deltas", "31".to_string()),
+            ("dirty_pages", "5".to_string()),
+            ("checkpoints", "2".to_string()),
         ];
         let sep = if ws == 1 { " " } else { "" };
         let body = (0..pairs.len())
@@ -404,6 +421,10 @@ proptest! {
             semijoin_sets_shipped: 0,
             bytes_scattered: 0,
             bytes_gathered: 0,
+            mutations_applied: 0,
+            wal_deltas: 0,
+            dirty_pages: 0,
+            checkpoints: 0,
         };
         let mut payload = encode_health_reply(&health).unwrap();
         for cut in 0..payload.len() {
@@ -591,7 +612,8 @@ fn adversarial_health_json_is_typed_not_panic() {
         "\"connections_active\":1,\"pool_hits\":0,\"pool_misses\":0,",
         "\"pool_evictions\":0,\"wal_fsyncs\":0,\"fragments_served\":0,",
         "\"semijoin_sets_shipped\":0,\"bytes_scattered\":0,",
-        "\"bytes_gathered\":0}"
+        "\"bytes_gathered\":0,\"mutations_applied\":0,",
+        "\"wal_deltas\":0,\"dirty_pages\":0,\"checkpoints\":0}"
     );
     HealthSnapshot::from_json(valid).unwrap();
     let cases: &[&str] = &[
@@ -1031,6 +1053,145 @@ fn dist_trailing_bytes_are_rejected() {
     bytes.push(0x55);
     assert!(matches!(
         decode_scatter_ack(&bytes),
+        Err(CodecError::TrailingBytes(1))
+    ));
+}
+
+// ------------------------------------------------- mutation frames
+
+/// Deterministic mutation from generated words, covering all three
+/// verbs and all value shapes.
+fn mutation_from(verb: u64, table_word: u64, words: &[u64]) -> Mutation {
+    let table = format!("Tab{}", table_word % 7);
+    match verb % 3 {
+        0 => Mutation::Insert {
+            table,
+            rows: words
+                .chunks(4)
+                .map(|c| {
+                    c.chunks(2)
+                        .map(|p| value_from(p[0], p.get(1).copied().unwrap_or(0)))
+                        .collect()
+                })
+                .collect(),
+        },
+        1 => Mutation::Update {
+            table,
+            set: words
+                .chunks(2)
+                .enumerate()
+                .map(|(i, c)| {
+                    (
+                        format!("c{i}"),
+                        value_from(c[0], c.get(1).copied().unwrap_or(0)),
+                    )
+                })
+                .collect(),
+            where_col: "key".to_string(),
+            where_value: value_from(table_word, table_word.rotate_left(17)),
+        },
+        _ => Mutation::Delete {
+            table,
+            where_col: "key".to_string(),
+            where_value: value_from(table_word, table_word.rotate_left(29)),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every MUTATE request — all three verbs, all value shapes —
+    /// survives the encode → decode round trip.
+    #[test]
+    fn mutation_request_round_trip(
+        verb in 0u64..3,
+        table_word in 0u64..u64::MAX,
+        words in prop::collection::vec(0u64..u64::MAX, 0..24),
+        deadline in 0u64..100_000,
+    ) {
+        let req = MutationRequest {
+            deadline_millis: deadline,
+            mutation: mutation_from(verb, table_word, &words),
+        };
+        let bytes = encode_mutation_request(&req).unwrap();
+        // Compare through Debug so Int(1) / Double(1.0) cannot blur.
+        prop_assert_eq!(
+            format!("{:?}", decode_mutation_request(&bytes).unwrap()),
+            format!("{:?}", req)
+        );
+    }
+
+    /// MUTATE_REPLY round-trips exactly.
+    #[test]
+    fn mutation_reply_round_trip(
+        rows_affected in 0u64..u64::MAX,
+        row_count in 0u64..u64::MAX,
+        version in 0u64..u64::MAX,
+    ) {
+        let reply = MutationReply { rows_affected, row_count, version };
+        let bytes = encode_mutation_reply(&reply).unwrap();
+        prop_assert_eq!(decode_mutation_reply(&bytes).unwrap(), reply);
+    }
+
+    /// Every truncation of a valid MUTATE request is a typed error, and
+    /// single-byte mutations never panic.
+    #[test]
+    fn mutation_request_truncations_and_mutations_are_typed(
+        verb in 0u64..3,
+        table_word in 0u64..u64::MAX,
+        words in prop::collection::vec(0u64..u64::MAX, 0..12),
+        pos_word in 0u64..u64::MAX,
+        new_byte in 0u64..256,
+    ) {
+        let req = MutationRequest {
+            deadline_millis: 5,
+            mutation: mutation_from(verb, table_word, &words),
+        };
+        let mut bytes = encode_mutation_request(&req).unwrap();
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                decode_mutation_request(&bytes[..cut]).is_err(),
+                "truncated MUTATE payload decoded at cut {}",
+                cut
+            );
+        }
+        let pos = (pos_word as usize) % bytes.len();
+        bytes[pos] = new_byte as u8;
+        // May decode to a different valid request; must never panic.
+        let _ = decode_mutation_request(&bytes);
+    }
+}
+
+#[test]
+fn mutation_bad_verb_tag_is_typed() {
+    let req = MutationRequest {
+        deadline_millis: 0,
+        mutation: Mutation::Delete {
+            table: "T".to_string(),
+            where_col: "k".to_string(),
+            where_value: Value::Int(1),
+        },
+    };
+    let mut bytes = encode_mutation_request(&req).unwrap();
+    bytes[8] = 9; // the verb tag right after the deadline
+    assert!(matches!(
+        decode_mutation_request(&bytes),
+        Err(CodecError::BadTag { .. })
+    ));
+}
+
+#[test]
+fn mutation_trailing_bytes_are_rejected() {
+    let reply = MutationReply {
+        rows_affected: 1,
+        row_count: 5,
+        version: 2,
+    };
+    let mut bytes = encode_mutation_reply(&reply).unwrap();
+    bytes.push(0x7E);
+    assert!(matches!(
+        decode_mutation_reply(&bytes),
         Err(CodecError::TrailingBytes(1))
     ));
 }

@@ -3,8 +3,14 @@
 //! A fingerprint digests **everything plan choice depends on**:
 //!
 //! * the catalog [`epoch`](fj_algebra::Catalog::epoch) — bumped by every
-//!   schema, statistics, or network-model mutation, so cached plans go
-//!   stale the moment their inputs do;
+//!   schema or network-model mutation, so cached plans go stale the
+//!   moment their inputs do;
+//! * the [`relation_version`](fj_algebra::Catalog::relation_version) of
+//!   every relation the query's FROM clause names — a data mutation
+//!   (INSERT/UPDATE/DELETE swaps the table via
+//!   [`Catalog::replace_table`](fj_algebra::Catalog::replace_table))
+//!   invalidates exactly the plans that read the mutated table; plans
+//!   over other tables stay warm;
 //! * the logical [`JoinQuery`] down to predicate and projection
 //!   *constants* (expressions are folded in via their `Display`
 //!   rendering, which prints literal values — `age > 30` and `age > 40`
@@ -18,7 +24,7 @@
 //! concatenation ambiguity between adjacent string fields.
 
 use crate::enumerate::OptimizerConfig;
-use fj_algebra::JoinQuery;
+use fj_algebra::{Catalog, JoinQuery};
 
 /// Incremental FNV-1a 64-bit digest with length-prefixed field writes.
 #[derive(Debug, Clone)]
@@ -72,15 +78,18 @@ impl Default for Digest {
     }
 }
 
-/// The canonical plan-cache key for optimizing `query` against the
-/// catalog state identified by `catalog_epoch` under `config`.
-pub fn fingerprint(catalog_epoch: u64, query: &JoinQuery, config: &OptimizerConfig) -> u64 {
+/// The canonical plan-cache key for optimizing `query` against
+/// `catalog` under `config`: the catalog epoch, the data version of
+/// every relation the query reads, the query shape down to its
+/// constants, and every config knob.
+pub fn fingerprint(catalog: &Catalog, query: &JoinQuery, config: &OptimizerConfig) -> u64 {
     let mut d = Digest::new();
-    d.u64(catalog_epoch);
+    d.u64(catalog.epoch());
 
     d.u64(query.from.len() as u64);
     for item in &query.from {
         d.str(&item.relation).str(&item.alias);
+        d.u64(catalog.relation_version(&item.relation));
     }
     match &query.predicate {
         None => d.bool(false),
@@ -117,6 +126,7 @@ mod tests {
     use super::*;
     use fj_algebra::{FromItem, JoinQuery};
     use fj_expr::{col, lit};
+    use fj_storage::{DataType, TableBuilder, Value};
 
     fn q(threshold: i64) -> JoinQuery {
         JoinQuery::new(vec![FromItem::new("emp", "E"), FromItem::new("dept", "D")]).with_predicate(
@@ -126,22 +136,76 @@ mod tests {
         )
     }
 
+    fn table(name: &str) -> fj_storage::TableRef {
+        TableBuilder::new(name)
+            .column("id", DataType::Int)
+            .row(vec![Value::Int(1)])
+            .build()
+            .unwrap()
+            .into_ref()
+    }
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add_table(table("emp"));
+        cat.add_table(table("dept"));
+        cat.add_table(table("proj"));
+        cat
+    }
+
     #[test]
     fn identical_inputs_agree() {
         let cfg = OptimizerConfig::default();
-        assert_eq!(fingerprint(3, &q(30), &cfg), fingerprint(3, &q(30), &cfg));
+        let cat = catalog();
+        assert_eq!(
+            fingerprint(&cat, &q(30), &cfg),
+            fingerprint(&cat, &q(30), &cfg)
+        );
     }
 
     #[test]
     fn predicate_constant_changes_key() {
         let cfg = OptimizerConfig::default();
-        assert_ne!(fingerprint(3, &q(30), &cfg), fingerprint(3, &q(40), &cfg));
+        let cat = catalog();
+        assert_ne!(
+            fingerprint(&cat, &q(30), &cfg),
+            fingerprint(&cat, &q(40), &cfg)
+        );
     }
 
     #[test]
     fn epoch_changes_key() {
         let cfg = OptimizerConfig::default();
-        assert_ne!(fingerprint(3, &q(30), &cfg), fingerprint(4, &q(30), &cfg));
+        let mut cat = catalog();
+        let before = fingerprint(&cat, &q(30), &cfg);
+        cat.add_table(table("extra")); // structural change → epoch bump
+        assert_ne!(before, fingerprint(&cat, &q(30), &cfg));
+    }
+
+    #[test]
+    fn mutating_a_read_relation_changes_key() {
+        let cfg = OptimizerConfig::default();
+        let mut cat = catalog();
+        let before = fingerprint(&cat, &q(30), &cfg);
+        cat.replace_table(table("emp"));
+        assert_ne!(
+            before,
+            fingerprint(&cat, &q(30), &cfg),
+            "q reads emp: its cached plan must go stale"
+        );
+    }
+
+    #[test]
+    fn mutating_an_unrelated_relation_keeps_key_warm() {
+        let cfg = OptimizerConfig::default();
+        let mut cat = catalog();
+        let before = fingerprint(&cat, &q(30), &cfg);
+        cat.replace_table(table("proj"));
+        assert_eq!(
+            before,
+            fingerprint(&cat, &q(30), &cfg),
+            "q never reads proj: its cached plan stays valid"
+        );
     }
 
     #[test]
@@ -150,8 +214,9 @@ mod tests {
         let b = OptimizerConfig::without_filter_join();
         let mut c = OptimizerConfig::default();
         c.params.cpu_weight *= 2.0;
-        assert_ne!(fingerprint(3, &q(30), &a), fingerprint(3, &q(30), &b));
-        assert_ne!(fingerprint(3, &q(30), &a), fingerprint(3, &q(30), &c));
+        let cat = catalog();
+        assert_ne!(fingerprint(&cat, &q(30), &a), fingerprint(&cat, &q(30), &b));
+        assert_ne!(fingerprint(&cat, &q(30), &a), fingerprint(&cat, &q(30), &c));
     }
 
     #[test]
@@ -159,6 +224,10 @@ mod tests {
         let ab_c = JoinQuery::new(vec![FromItem::new("ab", "c")]);
         let a_bc = JoinQuery::new(vec![FromItem::new("a", "bc")]);
         let cfg = OptimizerConfig::default();
-        assert_ne!(fingerprint(0, &ab_c, &cfg), fingerprint(0, &a_bc, &cfg));
+        let cat = Catalog::new();
+        assert_ne!(
+            fingerprint(&cat, &ab_c, &cfg),
+            fingerprint(&cat, &a_bc, &cfg)
+        );
     }
 }

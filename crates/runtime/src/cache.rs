@@ -2,10 +2,13 @@
 //! accounting and insertion-order eviction.
 //!
 //! Keys come from [`fj_optimizer::fingerprint`], which folds in the
-//! catalog epoch — so after any catalog mutation every old key is
-//! unreachable and stale plans can never be served. The service still
-//! calls [`PlanCache::clear`] on catalog installation to release the
-//! memory the dead entries hold.
+//! catalog epoch *and* the data version of every relation the query
+//! reads — a structural catalog change strands every old key, while a
+//! data mutation (INSERT/UPDATE/DELETE) strands only the keys of plans
+//! that read the mutated table; plans over other tables stay warm
+//! across mutations. The service still calls [`PlanCache::clear`] on
+//! full catalog installation to release the memory the dead entries
+//! hold; mutations skip the clear on purpose.
 
 use fj_optimizer::OptimizedPlan;
 use std::collections::{HashMap, VecDeque};

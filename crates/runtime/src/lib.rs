@@ -58,8 +58,12 @@ pub mod service;
 pub use cache::{CacheStats, PlanCache};
 pub use fj_exec::{Interrupt, InterruptReason};
 pub use fj_storage::FaultPlan;
-pub use fj_store::{RecoveryReport, Store, StoreStats};
+pub use fj_storage::Mutation;
+pub use fj_store::{CheckpointPhase, RecoveryReport, Store, StoreStats};
 pub use fj_trace::{QueryTrace, TraceRing, TracedQuery};
 pub use metrics::{LatencyHistogram, MetricsRecorder, RuntimeMetrics, LATENCY_BUCKETS};
 pub use queue::{BoundedQueue, PushError};
-pub use service::{QueryService, RuntimeError, ServiceConfig, ServiceHealth, StorageMode, Ticket};
+pub use service::{
+    MutationStats, MutationTicket, QueryService, RuntimeError, ServiceConfig, ServiceHealth,
+    StorageMode, Ticket,
+};

@@ -250,6 +250,18 @@ pub struct RuntimeMetrics {
     pub bytes_scattered: u64,
     /// Partial-result payload bytes gathered off this node since start.
     pub bytes_gathered: u64,
+    /// Mutations committed since start (both storage modes).
+    pub mutations_applied: u64,
+    /// WAL page-delta records appended since start (0 in in-memory
+    /// mode).
+    pub wal_deltas: u64,
+    /// Dirty pages currently resident in the buffer pool (gauge; 0 in
+    /// in-memory mode).
+    pub dirty_pages: u64,
+    /// Dirty pool victims persisted by eviction write-back since start.
+    pub dirty_writebacks: u64,
+    /// Fuzzy checkpoints completed since start (0 in in-memory mode).
+    pub checkpoints: u64,
     /// Plan-cache hits.
     pub cache_hits: u64,
     /// Plan-cache misses.
@@ -284,6 +296,9 @@ impl RuntimeMetrics {
                 "\"pool_evictions\":{},\"wal_fsyncs\":{},",
                 "\"fragments_served\":{},\"semijoin_sets_shipped\":{},",
                 "\"bytes_scattered\":{},\"bytes_gathered\":{},",
+                "\"mutations_applied\":{},\"wal_deltas\":{},",
+                "\"dirty_pages\":{},\"dirty_writebacks\":{},",
+                "\"checkpoints\":{},",
                 "\"cache_hits\":{},",
                 "\"cache_misses\":{},\"cache_hit_rate\":{:.6},",
                 "\"cache_entries\":{},\"queue_depth\":{},",
@@ -307,6 +322,11 @@ impl RuntimeMetrics {
             self.semijoin_sets_shipped,
             self.bytes_scattered,
             self.bytes_gathered,
+            self.mutations_applied,
+            self.wal_deltas,
+            self.dirty_pages,
+            self.dirty_writebacks,
+            self.checkpoints,
             self.cache_hits,
             self.cache_misses,
             self.cache_hit_rate,
@@ -373,6 +393,11 @@ mod tests {
             semijoin_sets_shipped: 4,
             bytes_scattered: 640,
             bytes_gathered: 320,
+            mutations_applied: 6,
+            wal_deltas: 8,
+            dirty_pages: 5,
+            dirty_writebacks: 3,
+            checkpoints: 2,
             cache_hits: 2,
             cache_misses: 2,
             cache_hit_rate: 0.5,
@@ -401,6 +426,11 @@ mod tests {
         assert!(j.contains("\"semijoin_sets_shipped\":4"));
         assert!(j.contains("\"bytes_scattered\":640"));
         assert!(j.contains("\"bytes_gathered\":320"));
+        assert!(j.contains("\"mutations_applied\":6"));
+        assert!(j.contains("\"wal_deltas\":8"));
+        assert!(j.contains("\"dirty_pages\":5"));
+        assert!(j.contains("\"dirty_writebacks\":3"));
+        assert!(j.contains("\"checkpoints\":2"));
         // Stable key order: completed always precedes errors precedes
         // cache_hits.
         let (a, b, c) = (
@@ -435,6 +465,11 @@ mod tests {
             semijoin_sets_shipped: 0,
             bytes_scattered: 0,
             bytes_gathered: 0,
+            mutations_applied: 0,
+            wal_deltas: 0,
+            dirty_pages: 0,
+            dirty_writebacks: 0,
+            checkpoints: 0,
             cache_hits: 0,
             cache_misses: 0,
             cache_hit_rate: 0.0,
@@ -465,6 +500,11 @@ mod tests {
                 "semijoin_sets_shipped",
                 "bytes_scattered",
                 "bytes_gathered",
+                "mutations_applied",
+                "wal_deltas",
+                "dirty_pages",
+                "dirty_writebacks",
+                "checkpoints",
                 "cache_hits",
                 "cache_misses",
                 "cache_hit_rate",

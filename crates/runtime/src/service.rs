@@ -23,12 +23,12 @@ use fj_algebra::{Catalog, JoinQuery, RelationKind, SiteId};
 use fj_core::QueryResult;
 use fj_exec::{ExecCtx, ExecError, Interrupt, InterruptReason, PoolProbe};
 use fj_optimizer::{fingerprint, OptError, Optimizer, OptimizerConfig};
-use fj_storage::{FaultPlan, Table, TableRef};
-use fj_store::{RecoveryReport, Store, StoreStats};
+use fj_storage::{FaultPlan, Mutation, Table, TableRef};
+use fj_store::{RecoveryReport, Store, StoreError, StoreStats};
 use fj_trace::{TraceCollector, TraceRing, TracedQuery};
 use std::fmt;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -240,12 +240,40 @@ impl ServiceConfig {
     }
 }
 
-struct Job {
+/// One unit of work in the submission queue: a query or a mutation.
+/// Both kinds share the worker pool, the interrupt machinery, and the
+/// queue's admission control.
+enum Job {
+    Query(QueryJob),
+    Mutation(MutationJob),
+}
+
+struct QueryJob {
     query: JoinQuery,
     config: OptimizerConfig,
     collect_trace: bool,
     interrupt: Interrupt,
     reply: mpsc::Sender<Result<QueryResult, RuntimeError>>,
+}
+
+struct MutationJob {
+    mutation: Mutation,
+    interrupt: Interrupt,
+    reply: mpsc::Sender<Result<MutationStats, RuntimeError>>,
+}
+
+/// What a committed mutation changed, as reported on its
+/// [`MutationTicket`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MutationStats {
+    /// Rows inserted, updated, or deleted.
+    pub rows_affected: u64,
+    /// The table's post-mutation row count.
+    pub row_count: u64,
+    /// The table's post-mutation data version (the store's
+    /// log-structured version in disk mode, the catalog's
+    /// [`relation_version`](Catalog::relation_version) in memory).
+    pub version: u64,
 }
 
 struct Shared {
@@ -261,6 +289,12 @@ struct Shared {
     worker_handles: Mutex<Vec<JoinHandle<()>>>,
     /// Monotonic id source for replacement-worker thread names.
     worker_seq: AtomicUsize,
+    /// Serializes mutations against each other across both storage
+    /// modes (the read-apply-install window must not interleave);
+    /// queries and checkpoints are unaffected.
+    mutation_lock: Mutex<()>,
+    /// Mutations committed by this service since start (both modes).
+    mutations_applied: AtomicU64,
     /// The disk store behind the catalog's page backings
     /// (`None` = in-memory mode).
     store: Option<Arc<Store>>,
@@ -344,6 +378,62 @@ impl Ticket {
     }
 }
 
+/// A pending mutation: redeem with [`MutationTicket::wait`], abort
+/// with [`MutationTicket::cancel`]. The same interrupt machinery as
+/// query [`Ticket`]s: a cancellation observed before the WAL commit
+/// fsync aborts the mutation with **zero** persistent or in-memory
+/// effects; one observed after commits normally.
+#[derive(Debug)]
+pub struct MutationTicket {
+    rx: mpsc::Receiver<Result<MutationStats, RuntimeError>>,
+    interrupt: Interrupt,
+}
+
+impl MutationTicket {
+    /// Trips the mutation's interrupt with
+    /// [`InterruptReason::Cancelled`]. If the commit fsync has not
+    /// happened yet the mutation aborts and leaves no partial state;
+    /// otherwise it completes and `wait` returns the result.
+    pub fn cancel(&self) -> bool {
+        self.interrupt.trip(InterruptReason::Cancelled)
+    }
+
+    /// A clone of the mutation's interrupt handle (the `fj-net` server
+    /// trips [`InterruptReason::Deadline`] from its connection
+    /// handler).
+    pub fn interrupt_handle(&self) -> Interrupt {
+        self.interrupt.clone()
+    }
+
+    /// Blocks until the worker finishes this mutation.
+    pub fn wait(self) -> Result<MutationStats, RuntimeError> {
+        self.rx.recv().unwrap_or(Err(RuntimeError::WorkerLost))
+    }
+
+    /// Blocks at most `timeout`; expiry trips
+    /// [`InterruptReason::Deadline`], so an abandoned uncommitted
+    /// mutation aborts cleanly instead of leaking.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<MutationStats, RuntimeError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(reply) => reply,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                self.interrupt.trip(InterruptReason::Deadline);
+                Err(RuntimeError::DeadlineExceeded)
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(RuntimeError::WorkerLost),
+        }
+    }
+
+    /// Non-consuming poll; `None` means still running.
+    pub fn poll(&self, timeout: Duration) -> Option<Result<MutationStats, RuntimeError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(reply) => Some(reply),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(RuntimeError::WorkerLost)),
+        }
+    }
+}
+
 /// A point-in-time health view of one [`QueryService`]: the snapshot a
 /// replica-aware router needs to tell a healthy pool from a degraded
 /// one. Cheaper than [`QueryService::metrics`] (no histogram copy) and
@@ -378,6 +468,16 @@ pub struct ServiceHealth {
     pub bytes_scattered: u64,
     /// Partial-result payload bytes gathered off this node since start.
     pub bytes_gathered: u64,
+    /// Mutations committed since start (both storage modes).
+    pub mutations_applied: u64,
+    /// WAL page-delta records appended since start (0 in in-memory
+    /// mode).
+    pub wal_deltas: u64,
+    /// Dirty pages currently resident in the buffer pool (gauge; 0 in
+    /// in-memory mode).
+    pub dirty_pages: u64,
+    /// Fuzzy checkpoints completed since start (0 in in-memory mode).
+    pub checkpoints: u64,
 }
 
 impl ServiceHealth {
@@ -449,6 +549,8 @@ impl QueryService {
             in_flight: AtomicUsize::new(0),
             worker_handles: Mutex::new(Vec::new()),
             worker_seq: AtomicUsize::new(config.workers),
+            mutation_lock: Mutex::new(()),
+            mutations_applied: AtomicU64::new(0),
             store,
             recovery,
             cfg: config.clone(),
@@ -487,13 +589,13 @@ impl QueryService {
     ) -> Result<Ticket, RuntimeError> {
         let (tx, rx) = mpsc::channel();
         let interrupt = Interrupt::new();
-        let job = Job {
+        let job = Job::Query(QueryJob {
             query,
             config,
             collect_trace,
             interrupt: interrupt.clone(),
             reply: tx,
-        };
+        });
         match self.shared.queue.push(job) {
             Ok(()) => Ok(Ticket { rx, interrupt }),
             Err(_) => Err(RuntimeError::ShuttingDown),
@@ -528,13 +630,13 @@ impl QueryService {
     ) -> Result<Ticket, RuntimeError> {
         let (tx, rx) = mpsc::channel();
         let interrupt = Interrupt::new();
-        let job = Job {
+        let job = Job::Query(QueryJob {
             query,
             config,
             collect_trace,
             interrupt: interrupt.clone(),
             reply: tx,
-        };
+        });
         match self.shared.queue.try_push(job) {
             Ok(()) => Ok(Ticket { rx, interrupt }),
             Err(PushError::Full) => Err(RuntimeError::QueueFull),
@@ -545,6 +647,50 @@ impl QueryService {
     /// Submit + wait: the synchronous convenience path.
     pub fn execute(&self, query: JoinQuery) -> Result<QueryResult, RuntimeError> {
         self.submit(query)?.wait()
+    }
+
+    /// Enqueues a mutation (INSERT/UPDATE/DELETE). Blocks while the
+    /// queue is full, like [`submit`](QueryService::submit). In disk
+    /// mode the mutation commits through the store's WAL before it
+    /// becomes visible; in memory it swaps the catalog table in place.
+    /// Either way the mutated table's plans go stale via its
+    /// [`relation_version`](Catalog::relation_version) while every
+    /// other cached plan stays warm.
+    pub fn submit_mutation(&self, mutation: Mutation) -> Result<MutationTicket, RuntimeError> {
+        let (tx, rx) = mpsc::channel();
+        let interrupt = Interrupt::new();
+        let job = Job::Mutation(MutationJob {
+            mutation,
+            interrupt: interrupt.clone(),
+            reply: tx,
+        });
+        match self.shared.queue.push(job) {
+            Ok(()) => Ok(MutationTicket { rx, interrupt }),
+            Err(_) => Err(RuntimeError::ShuttingDown),
+        }
+    }
+
+    /// Non-blocking mutation submit: fails with
+    /// [`RuntimeError::QueueFull`] instead of applying backpressure —
+    /// the admission-control path the network front end uses.
+    pub fn try_submit_mutation(&self, mutation: Mutation) -> Result<MutationTicket, RuntimeError> {
+        let (tx, rx) = mpsc::channel();
+        let interrupt = Interrupt::new();
+        let job = Job::Mutation(MutationJob {
+            mutation,
+            interrupt: interrupt.clone(),
+            reply: tx,
+        });
+        match self.shared.queue.try_push(job) {
+            Ok(()) => Ok(MutationTicket { rx, interrupt }),
+            Err(PushError::Full) => Err(RuntimeError::QueueFull),
+            Err(PushError::Closed) => Err(RuntimeError::ShuttingDown),
+        }
+    }
+
+    /// Submit + wait for a mutation: the synchronous convenience path.
+    pub fn execute_mutation(&self, mutation: Mutation) -> Result<MutationStats, RuntimeError> {
+        self.submit_mutation(mutation)?.wait()
     }
 
     /// Atomically installs a new catalog snapshot. Queries already
@@ -600,6 +746,10 @@ impl QueryService {
             semijoin_sets_shipped: self.shared.metrics.semijoin_sets_shipped(),
             bytes_scattered: self.shared.metrics.bytes_scattered(),
             bytes_gathered: self.shared.metrics.bytes_gathered(),
+            mutations_applied: self.shared.mutations_applied.load(Ordering::Relaxed),
+            wal_deltas: store.wal_deltas,
+            dirty_pages: store.dirty_pages,
+            checkpoints: store.checkpoints,
         }
     }
 
@@ -683,6 +833,11 @@ impl QueryService {
             semijoin_sets_shipped: self.shared.metrics.semijoin_sets_shipped(),
             bytes_scattered: self.shared.metrics.bytes_scattered(),
             bytes_gathered: self.shared.metrics.bytes_gathered(),
+            mutations_applied: self.shared.mutations_applied.load(Ordering::Relaxed),
+            wal_deltas: store.wal_deltas,
+            dirty_pages: store.dirty_pages,
+            dirty_writebacks: store.dirty_writebacks,
+            checkpoints: store.checkpoints,
             queue_depth: self.shared.queue.len() + self.shared.in_flight.load(Ordering::Relaxed),
             uptime_secs: uptime,
             throughput_qps: if uptime > 0.0 {
@@ -745,49 +900,99 @@ fn spawn_worker(shared: &Arc<Shared>, name: String) {
 
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
-        // Cancelled while still queued: report without ever executing.
-        if let Some(reason) = job.interrupt.tripped() {
-            shared.metrics.record_interrupt(reason);
-            shared.metrics.record(Duration::ZERO, false);
-            let _ = job.reply.send(Err(RuntimeError::Interrupted(reason)));
-            continue;
+        let keep_going = match job {
+            Job::Query(job) => run_query_job(shared, job),
+            Job::Mutation(job) => run_mutation_job(shared, job),
+        };
+        if !keep_going {
+            // This worker's stack may be poisoned by whatever
+            // panicked; the fresh replacement takes over.
+            return;
         }
-        shared.in_flight.fetch_add(1, Ordering::Relaxed);
-        let t0 = Instant::now();
-        // Self-healing: a panic inside the engine is caught, reported
-        // on this query's ticket, and answered by respawning a
-        // replacement worker so pool capacity never degrades.
-        let outcome =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute_job(shared, &job)));
-        let latency = t0.elapsed();
-        shared.in_flight.fetch_sub(1, Ordering::Relaxed);
-        match outcome {
-            Ok(result) => {
-                shared.metrics.record(latency, result.is_ok());
-                if let Err(RuntimeError::Interrupted(reason)) = &result {
-                    shared.metrics.record_interrupt(*reason);
-                }
-                let result = result.map(|mut r| {
-                    r.latency_micros = latency.as_micros() as u64;
-                    r
-                });
-                // A dropped ticket just means the submitter stopped caring.
-                let _ = job.reply.send(result);
+    }
+}
+
+fn run_query_job(shared: &Arc<Shared>, job: QueryJob) -> bool {
+    // Cancelled while still queued: report without ever executing.
+    if let Some(reason) = job.interrupt.tripped() {
+        shared.metrics.record_interrupt(reason);
+        shared.metrics.record(Duration::ZERO, false);
+        let _ = job.reply.send(Err(RuntimeError::Interrupted(reason)));
+        return true;
+    }
+    shared.in_flight.fetch_add(1, Ordering::Relaxed);
+    let t0 = Instant::now();
+    // Self-healing: a panic inside the engine is caught, reported
+    // on this query's ticket, and answered by respawning a
+    // replacement worker so pool capacity never degrades.
+    let outcome =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute_job(shared, &job)));
+    let latency = t0.elapsed();
+    shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+    match outcome {
+        Ok(result) => {
+            shared.metrics.record(latency, result.is_ok());
+            if let Err(RuntimeError::Interrupted(reason)) = &result {
+                shared.metrics.record_interrupt(*reason);
             }
-            Err(payload) => {
-                shared.metrics.record(latency, false);
-                let msg = panic_message(payload.as_ref());
-                // Replace first, answer second: by the time the caller
-                // observes WorkerPanicked on its ticket, the pool is
-                // back at strength and `workers_replaced` reflects it.
-                shared.metrics.record_worker_replaced();
-                let id = shared.worker_seq.fetch_add(1, Ordering::Relaxed);
-                spawn_worker(shared, format!("fj-worker-{id}"));
-                let _ = job.reply.send(Err(RuntimeError::WorkerPanicked(msg)));
-                // This worker's stack may be poisoned by whatever
-                // panicked; the fresh replacement takes over.
-                return;
+            let result = result.map(|mut r| {
+                r.latency_micros = latency.as_micros() as u64;
+                r
+            });
+            // A dropped ticket just means the submitter stopped caring.
+            let _ = job.reply.send(result);
+            true
+        }
+        Err(payload) => {
+            shared.metrics.record(latency, false);
+            let msg = panic_message(payload.as_ref());
+            // Replace first, answer second: by the time the caller
+            // observes WorkerPanicked on its ticket, the pool is
+            // back at strength and `workers_replaced` reflects it.
+            shared.metrics.record_worker_replaced();
+            let id = shared.worker_seq.fetch_add(1, Ordering::Relaxed);
+            spawn_worker(shared, format!("fj-worker-{id}"));
+            let _ = job.reply.send(Err(RuntimeError::WorkerPanicked(msg)));
+            false
+        }
+    }
+}
+
+fn run_mutation_job(shared: &Arc<Shared>, job: MutationJob) -> bool {
+    // Cancelled while still queued: never touches any state.
+    if let Some(reason) = job.interrupt.tripped() {
+        shared.metrics.record_interrupt(reason);
+        shared.metrics.record(Duration::ZERO, false);
+        let _ = job.reply.send(Err(RuntimeError::Interrupted(reason)));
+        return true;
+    }
+    shared.in_flight.fetch_add(1, Ordering::Relaxed);
+    let t0 = Instant::now();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        apply_mutation(shared, &job)
+    }));
+    let latency = t0.elapsed();
+    shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+    match outcome {
+        Ok(result) => {
+            shared.metrics.record(latency, result.is_ok());
+            if result.is_ok() {
+                shared.mutations_applied.fetch_add(1, Ordering::Relaxed);
             }
+            if let Err(RuntimeError::Interrupted(reason)) = &result {
+                shared.metrics.record_interrupt(*reason);
+            }
+            let _ = job.reply.send(result);
+            true
+        }
+        Err(payload) => {
+            shared.metrics.record(latency, false);
+            let msg = panic_message(payload.as_ref());
+            shared.metrics.record_worker_replaced();
+            let id = shared.worker_seq.fetch_add(1, Ordering::Relaxed);
+            spawn_worker(shared, format!("fj-worker-{id}"));
+            let _ = job.reply.send(Err(RuntimeError::WorkerPanicked(msg)));
+            false
         }
     }
 }
@@ -806,11 +1011,11 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// Optimize (through the cache) + execute one query against the current
 /// snapshot. Mirrors `Database::execute_with_config`, with the catalog
 /// shared instead of cloned per call.
-fn execute_job(shared: &Shared, job: &Job) -> Result<QueryResult, RuntimeError> {
+fn execute_job(shared: &Shared, job: &QueryJob) -> Result<QueryResult, RuntimeError> {
     let query = &job.query;
     let config = job.config;
     let catalog = shared.snapshot();
-    let key = fingerprint(catalog.epoch(), query, &config);
+    let key = fingerprint(&catalog, query, &config);
     let (plan, cache_hit) = match shared.cache.get(key) {
         Some(plan) => (plan, true),
         None => {
@@ -875,15 +1080,125 @@ fn execute_job(shared: &Shared, job: &Job) -> Result<QueryResult, RuntimeError> 
     })
 }
 
+/// Applies one mutation end to end: commit it to the storage layer
+/// (WAL-durable in disk mode, pure apply in memory), rebuild the
+/// mutated table fresh — statistics re-analyzed from the new rows,
+/// indexes recreated, the store's buffer pool reattached — and swap it
+/// into the live catalog via [`Catalog::replace_table`]. The plan
+/// cache is *not* cleared: the mutated relation's bumped version
+/// already invalidates exactly the plans that read it.
+fn apply_mutation(shared: &Shared, job: &MutationJob) -> Result<MutationStats, RuntimeError> {
+    // Serialize mutations: the read→apply→install window must not
+    // interleave with another mutation's (lost-update hazard).
+    let _serialize = shared
+        .mutation_lock
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    let mutation = &job.mutation;
+    let name = mutation.table();
+    let interrupt = job.interrupt.clone();
+    let cancelled = move || interrupt.tripped().is_some();
+    let interrupted = |job: &MutationJob| {
+        RuntimeError::Interrupted(
+            job.interrupt
+                .tripped()
+                .unwrap_or(InterruptReason::Cancelled),
+        )
+    };
+
+    match &shared.store {
+        Some(store) => {
+            // Disk mode: the store's WAL commit is the atomic point. A
+            // cancellation before it leaves zero state anywhere.
+            let result = store.mutate(mutation, &cancelled).map_err(|e| match e {
+                StoreError::Cancelled => interrupted(job),
+                other => RuntimeError::Storage(other.to_string()),
+            })?;
+            let (schema, rows) = store
+                .recovered_rows(name)
+                .map_err(|e| RuntimeError::Storage(e.to_string()))?;
+            debug_assert_eq!(rows.len() as u64, result.row_count);
+            install_mutated_table(shared, name, schema, rows, Some(store))?;
+            Ok(MutationStats {
+                rows_affected: result.rows_affected,
+                row_count: result.row_count,
+                version: result.version,
+            })
+        }
+        None => {
+            // In-memory mode: pure apply against the current snapshot,
+            // then swap. The final cancel poll sits right before the
+            // install — the in-memory "commit point".
+            let catalog = shared.snapshot();
+            let old = catalog
+                .table(name)
+                .map_err(|e| RuntimeError::Storage(e.to_string()))?;
+            let (rows, rows_affected) = mutation.apply(old.schema(), old.rows()).map_err(|e| {
+                RuntimeError::Storage(format!("{} on '{name}': {e}", mutation.verb()))
+            })?;
+            if cancelled() {
+                return Err(interrupted(job));
+            }
+            let row_count = rows.len() as u64;
+            let version =
+                install_mutated_table(shared, name, (**old.schema()).clone(), rows, None)?;
+            Ok(MutationStats {
+                rows_affected,
+                row_count,
+                version,
+            })
+        }
+    }
+}
+
+/// Swaps a freshly mutated table into the live catalog: rebuilds it
+/// from `rows` (statistics re-analyzed on construction), recreates the
+/// old table's hash/B-tree indexes, reattaches the disk store's buffer
+/// pool when there is one, and installs it with
+/// [`Catalog::replace_table`] under the catalog write lock. Returns
+/// the relation's new catalog data version.
+fn install_mutated_table(
+    shared: &Shared,
+    name: &str,
+    schema: fj_storage::Schema,
+    rows: Vec<fj_storage::Tuple>,
+    store: Option<&Arc<Store>>,
+) -> Result<u64, RuntimeError> {
+    let storage_err = |e: fj_storage::StorageError| RuntimeError::Storage(e.to_string());
+    let mut guard = shared.catalog.write().unwrap_or_else(|e| e.into_inner());
+    let old = guard.table(name).ok();
+    let mut table = Table::new(name, schema, rows).map_err(storage_err)?;
+    if let Some(old) = &old {
+        for col in old.hash_indexed_columns() {
+            table.create_hash_index(col).map_err(storage_err)?;
+        }
+        for col in old.btree_indexed_columns() {
+            table.create_btree_index(col).map_err(storage_err)?;
+        }
+    }
+    if let Some(backing) = store.and_then(|s| s.backing_for(name)) {
+        table.attach_backing(backing);
+    }
+    let mut catalog = (**guard).clone();
+    catalog.replace_table(table.into_ref());
+    let version = catalog.relation_version(name);
+    *guard = Arc::new(catalog);
+    Ok(version)
+}
+
 /// Reconciles a catalog template with a disk store and returns the
 /// disk-backed catalog a service executes against.
 ///
 /// For every base table (local or remote) in the template:
 ///
-/// * already committed in the store → the *recovered* rows are
-///   authoritative (they survived the crash; the template's copy is
-///   discarded). The recovered schema must equal the template's —
-///   a mismatch is a configuration error, not something to paper over.
+/// * already committed in the store with the same schema → the
+///   *recovered* rows are authoritative (they survived the crash; the
+///   template's copy is discarded).
+/// * committed but with a *different* schema → the template wins: the
+///   table is reloaded as a log-structured replacement (fresh
+///   `table_id`, bumped version), exactly like reloading a name in the
+///   store itself. Installing a reshaped catalog over an old data
+///   directory is a redeploy, not an error.
 /// * unknown to the store → the template's rows are loaded (WAL +
 ///   page file + commit marker) so the next restart recovers them.
 ///
@@ -910,19 +1225,20 @@ fn build_disk_catalog(template: Catalog, store: &Store) -> Result<Catalog, Runti
         .collect();
     for (tmpl, site) in &template_tables {
         let name = tmpl.name().to_string();
-        let rows = if store.has_table(&name) {
+        let recovered = if store.has_table(&name) {
             let (schema, rows) = store.recovered_rows(&name).map_err(storage_err)?;
-            if schema != **tmpl.schema() {
-                return Err(RuntimeError::Storage(format!(
-                    "table '{name}' in the data directory has schema {schema}, \
-                     but the catalog template declares {}",
-                    tmpl.schema()
-                )));
-            }
-            rows
+            (schema == **tmpl.schema()).then_some(rows)
         } else {
-            store.load_table(tmpl).map_err(storage_err)?;
-            tmpl.rows().to_vec()
+            None
+        };
+        let rows = match recovered {
+            Some(rows) => rows,
+            None => {
+                // Unknown name, or a schema change: (re)load the
+                // template's copy as a log-structured replacement.
+                store.load_table(tmpl).map_err(storage_err)?;
+                tmpl.rows().to_vec()
+            }
         };
         let mut table = Table::new(&name, (**tmpl.schema()).clone(), rows)
             .map_err(|e| RuntimeError::Storage(e.to_string()))?;
@@ -1045,6 +1361,162 @@ mod tests {
         let h = service.health();
         assert_eq!(h.in_flight, 0);
         assert_eq!(h.queued, 0);
+        service.shutdown();
+    }
+
+    use fj_algebra::FromItem;
+    use fj_storage::{DataType, TableBuilder, Value};
+
+    fn labeled_table(name: &str, rows: usize) -> TableRef {
+        TableBuilder::new(name)
+            .column("id", DataType::Int)
+            .column("label", DataType::Str)
+            .rows((0..rows).map(|i| vec![Value::Int(i as i64), Value::Str(format!("r{i}"))]))
+            .build()
+            .unwrap()
+            .into_ref()
+    }
+
+    fn two_table_catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add_table(labeled_table("A", 4));
+        cat.add_table(labeled_table("B", 4));
+        cat
+    }
+
+    fn scan(name: &str) -> JoinQuery {
+        JoinQuery::new(vec![FromItem::new(name, name)])
+    }
+
+    fn insert_one(table: &str, id: i64) -> Mutation {
+        Mutation::Insert {
+            table: table.into(),
+            rows: vec![vec![Value::Int(id), Value::Str(format!("new-{id}"))]],
+        }
+    }
+
+    #[test]
+    fn mutation_swaps_table_and_keeps_unrelated_plans_warm() {
+        let service = QueryService::start(two_table_catalog(), ServiceConfig::default());
+        service.execute(scan("A")).unwrap(); // cold: optimize + cache
+        assert!(service.execute(scan("A")).unwrap().cache_hit);
+
+        // Mutating B must not evict A's cached plan.
+        let stats = service.execute_mutation(insert_one("B", 100)).unwrap();
+        assert_eq!((stats.rows_affected, stats.row_count), (1, 5));
+        assert_eq!(stats.version, 1);
+        assert!(
+            service.execute(scan("A")).unwrap().cache_hit,
+            "plan over A stays warm across a mutation of B"
+        );
+        assert_eq!(service.execute(scan("B")).unwrap().rows.len(), 5);
+
+        // Mutating A invalidates exactly A's plan — and the re-optimized
+        // query sees the new rows.
+        service.execute_mutation(insert_one("A", 200)).unwrap();
+        let r = service.execute(scan("A")).unwrap();
+        assert!(!r.cache_hit, "mutated relation's plan must go stale");
+        assert_eq!(r.rows.len(), 5);
+
+        let h = service.health();
+        assert_eq!(h.mutations_applied, 2);
+        assert_eq!(service.metrics().mutations_applied, 2);
+        service.shutdown();
+    }
+
+    #[test]
+    fn mutation_on_unknown_table_is_an_error_not_a_panic() {
+        let service = QueryService::start(two_table_catalog(), ServiceConfig::default());
+        let err = service
+            .execute_mutation(insert_one("Ghost", 1))
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::Storage(_)));
+        assert_eq!(service.metrics().workers_replaced, 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn cancelled_mutation_never_leaves_partial_state() {
+        // The cancel races the worker; whichever side wins, the visible
+        // state must exactly match the reported outcome — a cancelled
+        // mutation leaves no trace, a committed one is fully visible.
+        let service = QueryService::start(two_table_catalog(), ServiceConfig::default());
+        let mut expected = 4u64;
+        for i in 0..20 {
+            let ticket = service.submit_mutation(insert_one("A", 1000 + i)).unwrap();
+            ticket.cancel();
+            match ticket.wait() {
+                Ok(stats) => {
+                    expected += 1;
+                    assert_eq!(stats.row_count, expected);
+                }
+                Err(RuntimeError::Interrupted(_)) => {}
+                Err(other) => panic!("unexpected mutation outcome: {other}"),
+            }
+            let rows = service.execute(scan("A")).unwrap().rows.len() as u64;
+            assert_eq!(rows, expected, "state must match the reported outcome");
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn disk_mutations_survive_restart() {
+        let dir = fj_store::TempDir::new("svc-mut-restart");
+        let cfg = || ServiceConfig {
+            workers: 2,
+            storage: StorageMode::Disk {
+                dir: dir.path().to_path_buf(),
+                pool_pages: 64,
+            },
+            ..ServiceConfig::default()
+        };
+        {
+            let service = QueryService::try_start(two_table_catalog(), cfg()).unwrap();
+            let stats = service.execute_mutation(insert_one("A", 500)).unwrap();
+            assert_eq!(stats.row_count, 5);
+            assert!(stats.version >= 2, "store version bumps past the load");
+            let m = service.metrics();
+            assert_eq!(m.mutations_applied, 1);
+            assert!(m.wal_deltas > 0, "the mutation logged page deltas");
+            service.shutdown();
+        }
+        // Restart from the data directory with the *pre-mutation*
+        // template: the recovered (mutated) rows are authoritative.
+        let service = QueryService::try_start(two_table_catalog(), cfg()).unwrap();
+        assert!(service.recovery_report().unwrap().replayed_mutations >= 1);
+        assert_eq!(service.execute(scan("A")).unwrap().rows.len(), 5);
+        assert_eq!(service.execute(scan("B")).unwrap().rows.len(), 4);
+        service.shutdown();
+    }
+
+    #[test]
+    fn disk_template_schema_change_reloads_instead_of_rejecting() {
+        let dir = fj_store::TempDir::new("svc-reshape");
+        let cfg = || ServiceConfig {
+            storage: StorageMode::Disk {
+                dir: dir.path().to_path_buf(),
+                pool_pages: 64,
+            },
+            ..ServiceConfig::default()
+        };
+        {
+            let service = QueryService::try_start(two_table_catalog(), cfg()).unwrap();
+            service.shutdown();
+        }
+        // Same name, different shape: the reshaped template must win as
+        // a log-structured replacement, not error out.
+        let mut cat = Catalog::new();
+        let reshaped = TableBuilder::new("A")
+            .column("only", DataType::Int)
+            .rows((0..7).map(|i| vec![Value::Int(i)]))
+            .build()
+            .unwrap()
+            .into_ref();
+        cat.add_table(reshaped);
+        let service = QueryService::try_start(cat, cfg()).unwrap();
+        let r = service.execute(scan("A")).unwrap();
+        assert_eq!(r.rows.len(), 7);
+        assert_eq!(r.schema.arity(), 1);
         service.shutdown();
     }
 

@@ -8,7 +8,7 @@ use fj_algebra::{Catalog, FromItem, JoinQuery};
 use fj_core::Database;
 use fj_expr::{col, lit};
 use fj_runtime::{InterruptReason, QueryService, RuntimeError, ServiceConfig};
-use fj_storage::{DataType, TableBuilder, Tuple};
+use fj_storage::{DataType, TableBuilder, Tuple, Value};
 
 fn sorted(mut rows: Vec<Tuple>) -> Vec<Tuple> {
     rows.sort();
@@ -713,30 +713,41 @@ fn restart_with_bare_template_serves_recovered_tables() {
     service.shutdown();
 }
 
-/// A data directory whose committed table contradicts the template's
-/// schema is a startup error, not a silent divergence.
+/// A template whose schema contradicts the committed table is a
+/// redeploy: the template's copy wins as a log-structured replacement
+/// (fresh table_id, bumped version) and persists across the *next*
+/// restart too.
 #[test]
-fn schema_mismatch_on_recovery_is_a_storage_error() {
+fn schema_change_on_recovery_reloads_the_template_copy() {
     let dir = fj_store::TempDir::new("runtime-disk-mismatch");
     {
         let service = QueryService::start(paper_catalog(), disk_config(dir.path(), 64));
         service.shutdown();
     }
-    let mut template = Catalog::new();
-    template.add_table(
-        TableBuilder::new("Emp")
-            .column("eid", DataType::Int)
-            .column("did", DataType::Str) // was Int on disk
-            .build()
-            .unwrap()
-            .into_ref(),
-    );
-    match QueryService::try_start(template, disk_config(dir.path(), 64)) {
-        Err(RuntimeError::Storage(msg)) => {
-            assert!(msg.contains("Emp"), "error should name the table: {msg}")
-        }
-        other => panic!("expected a storage error, got {other:?}"),
+    let reshaped = || {
+        let mut template = Catalog::new();
+        template.add_table(
+            TableBuilder::new("Emp")
+                .column("eid", DataType::Int)
+                .column("did", DataType::Str) // was Int on disk
+                .row(vec![Value::Int(1), Value::Str("one".into())])
+                .build()
+                .unwrap()
+                .into_ref(),
+        );
+        template
+    };
+    {
+        let service = QueryService::try_start(reshaped(), disk_config(dir.path(), 64)).unwrap();
+        let emp = service.catalog().table("Emp").unwrap();
+        assert_eq!(emp.row_count(), 1, "reshaped template replaced the table");
+        service.shutdown();
     }
+    // The replacement is durable: a bare restart recovers the new shape.
+    let service = QueryService::try_start(reshaped(), disk_config(dir.path(), 64)).unwrap();
+    let emp = service.catalog().table("Emp").unwrap();
+    assert_eq!(emp.row_count(), 1);
+    service.shutdown();
 }
 
 /// In-memory services report all-zero store counters, and their

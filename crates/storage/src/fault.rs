@@ -47,10 +47,14 @@ pub struct FaultPlan {
     stall: Duration,
     panic_at: Option<u64>,
     torn_write_one_in: u64,
+    torn_delta_one_in: u64,
+    torn_scrub_one_in: u64,
     slow_fsync_one_in: u64,
     slow_fsync: Duration,
     ordinal: AtomicU64,
     write_ordinal: AtomicU64,
+    delta_ordinal: AtomicU64,
+    scrub_ordinal: AtomicU64,
     fsync_ordinal: AtomicU64,
 }
 
@@ -75,10 +79,14 @@ impl FaultPlan {
             stall: Duration::ZERO,
             panic_at: None,
             torn_write_one_in: 0,
+            torn_delta_one_in: 0,
+            torn_scrub_one_in: 0,
             slow_fsync_one_in: 0,
             slow_fsync: Duration::ZERO,
             ordinal: AtomicU64::new(0),
             write_ordinal: AtomicU64::new(0),
+            delta_ordinal: AtomicU64::new(0),
+            scrub_ordinal: AtomicU64::new(0),
             fsync_ordinal: AtomicU64::new(0),
         }
     }
@@ -115,6 +123,23 @@ impl FaultPlan {
         self
     }
 
+    /// Arms torn *delta* writes at a rate of one in `one_in` dirty-page
+    /// write-backs (`0` disables). Mutation write-backs and checkpoint
+    /// flushes draw from this class — on its own ordinal counter, so
+    /// arming it never shifts the load-path torn-write schedule.
+    pub fn with_torn_delta_writes(mut self, one_in: u64) -> FaultPlan {
+        self.torn_delta_one_in = one_in;
+        self
+    }
+
+    /// Arms torn *scrub* writes at a rate of one in `one_in` checkpoint
+    /// scrub rewrites (`0` disables). The checkpoint's heal-from-WAL
+    /// pass draws from this class on its own ordinal counter.
+    pub fn with_torn_scrub_writes(mut self, one_in: u64) -> FaultPlan {
+        self.torn_scrub_one_in = one_in;
+        self
+    }
+
     /// Arms slow fsyncs: one in `one_in` fsync calls stalls for
     /// `stall` before completing (`0` disables). Models a device whose
     /// write cache periodically drains under group commit.
@@ -132,6 +157,16 @@ impl FaultPlan {
     /// Page-write events drawn so far.
     pub fn write_events(&self) -> u64 {
         self.write_ordinal.load(Ordering::Relaxed)
+    }
+
+    /// Delta-write events drawn so far.
+    pub fn delta_events(&self) -> u64 {
+        self.delta_ordinal.load(Ordering::Relaxed)
+    }
+
+    /// Scrub-write events drawn so far.
+    pub fn scrub_events(&self) -> u64 {
+        self.scrub_ordinal.load(Ordering::Relaxed)
     }
 
     /// Fsync events drawn so far.
@@ -177,6 +212,42 @@ impl FaultPlan {
         let draw =
             splitmix64(self.seed ^ 0x7f4a_7c15_9e37_79b9 ^ n.wrapping_mul(0x9e37_79b9_7f4a_7c15));
         if draw.is_multiple_of(self.torn_write_one_in) {
+            PageWriteFault::Torn
+        } else {
+            PageWriteFault::None
+        }
+    }
+
+    /// Draws the next *delta*-write fault decision. Called once per
+    /// dirty-page write-back (mutation flush, eviction write-back, and
+    /// checkpoint dirty flush) by the disk-backed page store. Its own
+    /// ordinal counter and domain constant keep the schedule independent
+    /// of load-path writes, reads, scrubs, and fsyncs.
+    pub fn on_delta_write(&self) -> PageWriteFault {
+        let n = self.delta_ordinal.fetch_add(1, Ordering::Relaxed);
+        if self.torn_delta_one_in == 0 {
+            return PageWriteFault::None;
+        }
+        let draw =
+            splitmix64(self.seed ^ 0xbf58_476d_1ce4_e5b9 ^ n.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        if draw.is_multiple_of(self.torn_delta_one_in) {
+            PageWriteFault::Torn
+        } else {
+            PageWriteFault::None
+        }
+    }
+
+    /// Draws the next *scrub*-write fault decision. Called once per
+    /// checkpoint scrub rewrite (healing a torn on-disk record from its
+    /// logged WAL bytes). Independent ordinal stream, as above.
+    pub fn on_scrub_write(&self) -> PageWriteFault {
+        let n = self.scrub_ordinal.fetch_add(1, Ordering::Relaxed);
+        if self.torn_scrub_one_in == 0 {
+            return PageWriteFault::None;
+        }
+        let draw =
+            splitmix64(self.seed ^ 0x94d0_49bb_e5b9_1ce4 ^ n.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        if draw.is_multiple_of(self.torn_scrub_one_in) {
             PageWriteFault::Torn
         } else {
             PageWriteFault::None
@@ -294,18 +365,22 @@ mod tests {
 
     #[test]
     fn write_draws_do_not_shift_read_schedule() {
-        // Same seed, same read rate; one plan also draws 1000 write
-        // and fsync decisions interleaved. Read fault ordinals must be
-        // identical: the classes live on independent counters.
+        // Same seed, same read rate; one plan also draws write, delta,
+        // scrub, and fsync decisions interleaved. Read fault ordinals
+        // must be identical: the classes live on independent counters.
         let quiet = FaultPlan::new(21).with_read_errors(30);
         let noisy = FaultPlan::new(21)
             .with_read_errors(30)
             .with_torn_page_writes(5)
+            .with_torn_delta_writes(3)
+            .with_torn_scrub_writes(4)
             .with_slow_fsync(0, Duration::ZERO);
         let expected = fault_ordinals(&quiet, 2_000);
         let got: Vec<u64> = (0..2_000u64)
             .filter_map(|_| {
                 noisy.on_page_write();
+                noisy.on_delta_write();
+                noisy.on_scrub_write();
                 let r = match noisy.on_page_read() {
                     Ok(()) => None,
                     Err(StorageError::InjectedFault { ordinal }) => Some(ordinal),
@@ -316,6 +391,62 @@ mod tests {
             })
             .collect();
         assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn delta_draws_do_not_shift_load_write_schedule() {
+        // Arming the new delta and scrub classes must leave the
+        // load-path torn-write schedule untouched, and vice versa: the
+        // delta schedule is identical whether or not load writes are
+        // interleaved and armed.
+        let quiet = FaultPlan::new(33).with_torn_page_writes(7);
+        let noisy = FaultPlan::new(33)
+            .with_torn_page_writes(7)
+            .with_torn_delta_writes(3)
+            .with_torn_scrub_writes(5);
+        let expected = torn_ordinals(&quiet, 3_000);
+        let got: Vec<u64> = (0..3_000u64)
+            .filter(|_| {
+                noisy.on_delta_write();
+                noisy.on_scrub_write();
+                noisy.on_page_write() == PageWriteFault::Torn
+            })
+            .collect();
+        assert_eq!(expected, got);
+
+        let solo = FaultPlan::new(33).with_torn_delta_writes(3);
+        let mixed = FaultPlan::new(33)
+            .with_torn_delta_writes(3)
+            .with_torn_page_writes(2)
+            .with_torn_scrub_writes(2);
+        let solo_deltas: Vec<bool> = (0..3_000)
+            .map(|_| solo.on_delta_write() == PageWriteFault::Torn)
+            .collect();
+        let mixed_deltas: Vec<bool> = (0..3_000)
+            .map(|_| {
+                mixed.on_page_write();
+                mixed.on_scrub_write();
+                mixed.on_delta_write() == PageWriteFault::Torn
+            })
+            .collect();
+        assert_eq!(solo_deltas, mixed_deltas);
+        assert!(solo_deltas.iter().any(|&t| t), "1-in-3 must fire");
+    }
+
+    #[test]
+    fn delta_and_scrub_schedules_differ_from_each_other() {
+        // Same seed, same rate: the domain constants must still
+        // separate the two streams.
+        let plan = FaultPlan::new(55)
+            .with_torn_delta_writes(4)
+            .with_torn_scrub_writes(4);
+        let deltas: Vec<bool> = (0..2_000)
+            .map(|_| plan.on_delta_write() == PageWriteFault::Torn)
+            .collect();
+        let scrubs: Vec<bool> = (0..2_000)
+            .map(|_| plan.on_scrub_write() == PageWriteFault::Torn)
+            .collect();
+        assert_ne!(deltas, scrubs);
     }
 
     #[test]
@@ -350,6 +481,8 @@ mod tests {
                 seed in 0u64..u64::MAX,
                 read_one_in in 0u64..64,
                 torn_one_in in 0u64..64,
+                delta_one_in in 0u64..64,
+                scrub_one_in in 0u64..64,
                 fsync_one_in in 0u64..64,
                 draws in 1u64..512,
             ) {
@@ -357,6 +490,8 @@ mod tests {
                     FaultPlan::new(seed)
                         .with_read_errors(read_one_in)
                         .with_torn_page_writes(torn_one_in)
+                        .with_torn_delta_writes(delta_one_in)
+                        .with_torn_scrub_writes(scrub_one_in)
                         .with_slow_fsync(fsync_one_in, Duration::ZERO)
                 };
                 let (a, b) = (build(), build());
@@ -366,11 +501,42 @@ mod tests {
                         b.on_page_read().is_err()
                     );
                     prop_assert_eq!(a.on_page_write(), b.on_page_write());
+                    prop_assert_eq!(a.on_delta_write(), b.on_delta_write());
+                    prop_assert_eq!(a.on_scrub_write(), b.on_scrub_write());
                     prop_assert_eq!(a.on_fsync(), b.on_fsync());
                 }
                 prop_assert_eq!(a.events(), draws);
                 prop_assert_eq!(a.write_events(), draws);
+                prop_assert_eq!(a.delta_events(), draws);
+                prop_assert_eq!(a.scrub_events(), draws);
                 prop_assert_eq!(a.fsync_events(), draws);
+            }
+
+            /// Arming any subset of the five fault classes never shifts
+            /// the schedule of a class outside the subset: each class is
+            /// a pure function of (seed, own ordinal).
+            #[test]
+            fn arming_one_class_never_shifts_another(
+                seed in 0u64..u64::MAX,
+                torn_one_in in 1u64..32,
+                delta_one_in in 1u64..32,
+                scrub_one_in in 1u64..32,
+                draws in 1u64..256,
+            ) {
+                let solo = FaultPlan::new(seed).with_torn_delta_writes(delta_one_in);
+                let all = FaultPlan::new(seed)
+                    .with_read_errors(11)
+                    .with_torn_page_writes(torn_one_in)
+                    .with_torn_delta_writes(delta_one_in)
+                    .with_torn_scrub_writes(scrub_one_in)
+                    .with_slow_fsync(13, Duration::ZERO);
+                for _ in 0..draws {
+                    let _ = all.on_page_read();
+                    all.on_page_write();
+                    all.on_scrub_write();
+                    all.on_fsync();
+                    prop_assert_eq!(solo.on_delta_write(), all.on_delta_write());
+                }
             }
         }
     }

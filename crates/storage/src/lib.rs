@@ -30,6 +30,7 @@ pub mod error;
 pub mod fault;
 pub mod index;
 pub mod ledger;
+pub mod mutation;
 pub mod page;
 pub mod schema;
 pub mod stats;
@@ -44,6 +45,7 @@ pub use error::StorageError;
 pub use fault::{FaultPlan, PageWriteFault};
 pub use index::{BTreeIndex, HashIndex, Index};
 pub use ledger::{CostLedger, LedgerSnapshot, CPU_WEIGHT_DEFAULT, TUPLE_OPS_PER_PAGE};
+pub use mutation::Mutation;
 pub use page::{page_count, PageLayout, PAGE_SIZE};
 pub use schema::{Column, Schema, SchemaRef};
 pub use stats::yao_distinct;

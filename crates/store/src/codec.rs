@@ -164,11 +164,21 @@ pub struct TableMeta {
     pub columns: Vec<(String, DataType, bool)>,
     /// Total rows across all pages.
     pub row_count: u64,
+    /// Log-structured version of this table *name*: each reload of the
+    /// same name and each committed mutation bumps it. Replay in log
+    /// order makes the highest committed version authoritative.
+    pub version: u64,
 }
 
 impl TableMeta {
     /// Captures a table's identity for the WAL/manifest.
-    pub fn describe(table_id: u32, name: &str, schema: &Schema, row_count: u64) -> TableMeta {
+    pub fn describe(
+        table_id: u32,
+        name: &str,
+        schema: &Schema,
+        row_count: u64,
+        version: u64,
+    ) -> TableMeta {
         TableMeta {
             table_id,
             name: name.to_string(),
@@ -178,6 +188,7 @@ impl TableMeta {
                 .map(|c| (c.name.clone(), c.data_type, c.nullable))
                 .collect(),
             row_count,
+            version,
         }
     }
 
@@ -205,6 +216,7 @@ impl TableMeta {
         put_u32(&mut out, self.table_id);
         put_str(&mut out, &self.name);
         put_u64(&mut out, self.row_count);
+        put_u64(&mut out, self.version);
         put_u16(&mut out, self.columns.len() as u16);
         for (name, ty, nullable) in &self.columns {
             put_str(&mut out, name);
@@ -219,6 +231,7 @@ impl TableMeta {
         let table_id = get_u32(buf, pos)?;
         let name = get_str(buf, pos)?;
         let row_count = get_u64(buf, pos)?;
+        let version = get_u64(buf, pos)?;
         let n_cols = get_u16(buf, pos)? as usize;
         let mut columns = Vec::with_capacity(n_cols);
         for _ in 0..n_cols {
@@ -233,6 +246,7 @@ impl TableMeta {
             name,
             columns,
             row_count,
+            version,
         })
     }
 }
@@ -310,7 +324,7 @@ mod tests {
             ("name", DataType::Str),
             ("active", DataType::Bool),
         ]);
-        let meta = TableMeta::describe(3, "Emp", &schema, 1234);
+        let meta = TableMeta::describe(3, "Emp", &schema, 1234, 7);
         let bytes = meta.encode();
         let mut pos = 0;
         let back = TableMeta::decode(&bytes, &mut pos).unwrap();

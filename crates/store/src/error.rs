@@ -30,6 +30,9 @@ pub enum StoreError {
         /// Configured pool capacity in pages.
         capacity: usize,
     },
+    /// A mutation was cancelled before its commit point. Nothing
+    /// reached the WAL or the pool: restart-invisible by construction.
+    Cancelled,
 }
 
 impl StoreError {
@@ -50,6 +53,9 @@ impl fmt::Display for StoreError {
             StoreError::Meta { detail } => write!(f, "store metadata error: {detail}"),
             StoreError::PoolExhausted { capacity } => {
                 write!(f, "buffer pool exhausted: all {capacity} frames pinned")
+            }
+            StoreError::Cancelled => {
+                write!(f, "mutation cancelled before commit; no state changed")
             }
         }
     }

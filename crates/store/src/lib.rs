@@ -16,8 +16,17 @@
 //! directory ([`Store::recover`]) and rejoin a cluster with
 //! byte-identical answers.
 //!
-//! See DESIGN.md §"Persistence & recovery" for the page format, WAL
-//! record layout, checkpoint/recovery protocol, and eviction policy.
+//! The write path mirrors the read path's discipline: mutations
+//! ([`Store::mutate`]) commit through redo-only WAL page deltas (one
+//! group fsync per mutation, the atomic commit point), dirty pages live
+//! in the pool until an eviction write-back or a fuzzy checkpoint
+//! ([`Store::checkpoint`]) flushes them, and recovery replays exactly
+//! the committed mutation prefix — uncommitted deltas are dropped,
+//! torn page writes heal from the log.
+//!
+//! See DESIGN.md §"Persistence & recovery" and §"Mutation & crash
+//! recovery" for the page format, WAL record layout,
+//! checkpoint/recovery protocol, and eviction policy.
 
 pub mod checksum;
 pub mod codec;
@@ -32,7 +41,7 @@ pub use checksum::{crc64, Crc64};
 pub use codec::TableMeta;
 pub use error::StoreError;
 pub use page_file::{PageFile, FRAME_SIZE, RECORD_HEADER};
-pub use pool::{BufferPool, PoolStats};
-pub use store::{RecoveryReport, Store, StoreStats};
+pub use pool::{BufferPool, PageKey, PoolStats, WritebackFn};
+pub use store::{CheckpointPhase, MutationResult, RecoveryReport, Store, StoreStats};
 pub use testutil::TempDir;
 pub use wal::{Wal, WalRecord, WalScan};

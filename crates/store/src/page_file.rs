@@ -211,6 +211,24 @@ impl PageFile {
         payload: &[u8],
         faults: Option<&FaultPlan>,
     ) -> Result<(), StoreError> {
+        let fault = faults
+            .map(|f| f.on_page_write())
+            .unwrap_or(PageWriteFault::None);
+        self.write_page_with(table_id, page_no, payload, fault)
+    }
+
+    /// [`PageFile::write_page`] with the fault decision drawn by the
+    /// caller — the dirty-page write-back and checkpoint-scrub paths
+    /// draw from their own fault classes
+    /// ([`FaultPlan::on_delta_write`] / [`FaultPlan::on_scrub_write`])
+    /// so arming them never shifts the load-write schedule.
+    pub fn write_page_with(
+        &self,
+        table_id: u32,
+        page_no: u32,
+        payload: &[u8],
+        fault: PageWriteFault,
+    ) -> Result<(), StoreError> {
         let record = encode_record(table_id, page_no, payload);
         let frame_count = frames_for(payload.len());
         let mut dir = self.dir.lock().unwrap();
@@ -222,10 +240,7 @@ impl PageFile {
                 f
             }
         };
-        let torn = matches!(
-            faults.map(|f| f.on_page_write()),
-            Some(PageWriteFault::Torn)
-        );
+        let torn = fault == PageWriteFault::Torn;
         // A torn write persists only the first disk sector; the file is
         // still extended over the record's whole frame span (the
         // allocation lands, the data doesn't — the classic power-cut

@@ -15,11 +15,17 @@
 
 use crate::error::StoreError;
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Key of one cached page: `(table_id, page_no)`.
 pub type PageKey = (u32, u32);
+
+/// Callback evictions use to persist a dirty victim before the frame is
+/// reused. Installed by the store (it closes over the page file); the
+/// pool itself stays I/O-free.
+pub type WritebackFn = Arc<dyn Fn(PageKey, &[u8]) -> Result<(), StoreError> + Send + Sync>;
 
 #[derive(Debug)]
 struct Frame {
@@ -27,6 +33,7 @@ struct Frame {
     payload: Vec<u8>,
     pins: u32,
     referenced: bool,
+    dirty: bool,
 }
 
 #[derive(Debug)]
@@ -36,14 +43,26 @@ struct PoolInner {
     hand: usize,
 }
 
-/// A fixed-capacity page cache with clock eviction.
-#[derive(Debug)]
+/// A fixed-capacity page cache with clock eviction and dirty-page
+/// tracking (no-force: mutations dirty frames in memory; a background
+/// checkpoint or eviction pressure writes them back).
 pub struct BufferPool {
     capacity: usize,
     inner: Mutex<PoolInner>,
+    writeback: Mutex<Option<WritebackFn>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    dirty_writebacks: AtomicU64,
+}
+
+impl fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
 }
 
 /// Counter snapshot for metrics and tests.
@@ -55,6 +74,8 @@ pub struct PoolStats {
     pub misses: u64,
     /// Resident pages displaced to make room.
     pub evictions: u64,
+    /// Dirty victims persisted by eviction write-back.
+    pub dirty_writebacks: u64,
 }
 
 impl BufferPool {
@@ -68,9 +89,11 @@ impl BufferPool {
                 map: HashMap::new(),
                 hand: 0,
             }),
+            writeback: Mutex::new(None),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            dirty_writebacks: AtomicU64::new(0),
         }
     }
 
@@ -84,12 +107,32 @@ impl BufferPool {
         self.inner.lock().unwrap().map.len()
     }
 
+    /// Dirty pages currently resident (awaiting checkpoint flush or
+    /// eviction write-back).
+    pub fn dirty_pages(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap()
+            .frames
+            .iter()
+            .filter(|f| f.key.is_some() && f.dirty)
+            .count()
+    }
+
+    /// Installs the eviction write-back callback. Without one, evicting
+    /// a dirty frame is an error (the read-only regime of PR 6 never
+    /// dirties frames, so it never trips this).
+    pub fn set_writeback(&self, f: WritebackFn) {
+        *self.writeback.lock().unwrap() = Some(f);
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> PoolStats {
         PoolStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            dirty_writebacks: self.dirty_writebacks.load(Ordering::Relaxed),
         }
     }
 
@@ -115,16 +158,13 @@ impl BufferPool {
         // at this engine's scale.
         let payload = fetch()?;
         let slot = self.free_slot(&mut inner)?;
-        let evicted = inner.frames[slot].key.take();
-        if let Some(old) = evicted {
-            inner.map.remove(&old);
-            self.evictions.fetch_add(1, Ordering::Relaxed);
-        }
+        self.evict_slot(&mut inner, slot)?;
         inner.frames[slot] = Frame {
             key: Some(key),
             payload,
             pins: 1,
             referenced: true,
+            dirty: false,
         };
         inner.map.insert(key, slot);
         Ok(PoolGuard { pool: self, slot })
@@ -134,35 +174,106 @@ impl BufferPool {
     /// write-through, so freshly loaded pages are warm exactly like a
     /// real engine's dirty pages.
     pub fn put(&self, key: PageKey, payload: Vec<u8>) -> Result<(), StoreError> {
+        self.put_inner(key, payload, false)
+    }
+
+    /// Inserts `key` and marks the frame dirty: the new payload exists
+    /// in the WAL (already committed) and in this frame, but not yet in
+    /// the page file. A checkpoint flush or eviction write-back makes
+    /// it physical. Only call *after* the WAL commit fsync — the
+    /// steal-committed-only rule that keeps every page the pool ever
+    /// writes back durable-committed data.
+    pub fn put_dirty(&self, key: PageKey, payload: Vec<u8>) -> Result<(), StoreError> {
+        self.put_inner(key, payload, true)
+    }
+
+    fn put_inner(&self, key: PageKey, payload: Vec<u8>, dirty: bool) -> Result<(), StoreError> {
         let mut inner = self.inner.lock().unwrap();
         if let Some(&slot) = inner.map.get(&key) {
             inner.frames[slot].payload = payload;
             inner.frames[slot].referenced = true;
+            inner.frames[slot].dirty = dirty || inner.frames[slot].dirty;
             return Ok(());
         }
         let slot = self.free_slot(&mut inner)?;
-        let evicted = inner.frames[slot].key.take();
-        if let Some(old) = evicted {
-            inner.map.remove(&old);
-            self.evictions.fetch_add(1, Ordering::Relaxed);
-        }
+        self.evict_slot(&mut inner, slot)?;
         inner.frames[slot] = Frame {
             key: Some(key),
             payload,
             pins: 0,
             referenced: true,
+            dirty,
         };
         inner.map.insert(key, slot);
         Ok(())
     }
 
-    /// Drops every unpinned resident page (a cold-start lever for
-    /// cost-parity experiments). Returns how many pages were dropped.
+    /// Returns a copy of `key`'s payload if resident, without pinning
+    /// or touching hit/miss counters or the referenced bit. The store's
+    /// committed-read path uses this so a dirty (not-yet-flushed) page
+    /// is served from memory instead of the stale page file.
+    pub fn peek(&self, key: PageKey) -> Option<Vec<u8>> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .map
+            .get(&key)
+            .map(|&slot| inner.frames[slot].payload.clone())
+    }
+
+    /// Snapshots and clears every dirty frame: returns `(key, payload)`
+    /// pairs and marks the frames clean. The checkpoint's flush source.
+    /// Fuzzy by construction — a mutation that re-dirties a page after
+    /// the snapshot is protected by the WAL suffix the checkpoint
+    /// keeps.
+    pub fn take_dirty(&self) -> Vec<(PageKey, Vec<u8>)> {
+        let mut inner = self.inner.lock().unwrap();
+        let mut out = Vec::new();
+        for frame in &mut inner.frames {
+            if frame.dirty {
+                if let Some(key) = frame.key {
+                    out.push((key, frame.payload.clone()));
+                    frame.dirty = false;
+                }
+            }
+        }
+        out
+    }
+
+    /// Evacuates whatever currently occupies `slot`, writing a dirty
+    /// victim back through the installed callback first.
+    fn evict_slot(&self, inner: &mut PoolInner, slot: usize) -> Result<(), StoreError> {
+        let Some(old) = inner.frames[slot].key.take() else {
+            return Ok(());
+        };
+        if inner.frames[slot].dirty {
+            let writeback = self.writeback.lock().unwrap().clone();
+            let Some(writeback) = writeback else {
+                // Losing a dirty frame silently would make the page
+                // file stale forever (its WAL protection is dropped at
+                // the next checkpoint). Refuse instead.
+                inner.frames[slot].key = Some(old);
+                return Err(StoreError::Meta {
+                    detail: format!("evicting dirty page {old:?} with no write-back installed"),
+                });
+            };
+            writeback(old, &inner.frames[slot].payload)?;
+            inner.frames[slot].dirty = false;
+            self.dirty_writebacks.fetch_add(1, Ordering::Relaxed);
+        }
+        inner.map.remove(&old);
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Drops every unpinned, *clean* resident page (a cold-start lever
+    /// for cost-parity experiments). Dirty frames are kept: their
+    /// payloads may not be in the page file yet. Returns how many pages
+    /// were dropped.
     pub fn clear(&self) -> usize {
         let mut inner = self.inner.lock().unwrap();
         let mut dropped = 0;
         for slot in 0..inner.frames.len() {
-            if inner.frames[slot].pins == 0 {
+            if inner.frames[slot].pins == 0 && !inner.frames[slot].dirty {
                 if let Some(key) = inner.frames[slot].key.take() {
                     inner.map.remove(&key);
                     inner.frames[slot].payload = Vec::new();
@@ -182,6 +293,7 @@ impl BufferPool {
                 payload: Vec::new(),
                 pins: 0,
                 referenced: false,
+                dirty: false,
             });
             return Ok(inner.frames.len() - 1);
         }
@@ -261,7 +373,8 @@ mod tests {
             PoolStats {
                 hits: 1,
                 misses: 1,
-                evictions: 0
+                evictions: 0,
+                dirty_writebacks: 0,
             }
         );
     }
@@ -330,6 +443,72 @@ mod tests {
         assert_eq!(pool.resident(), 0);
         drop(pool.get((1, 0), fetch(1)).unwrap());
         assert_eq!(pool.stats().misses, 1);
+    }
+
+    #[test]
+    fn put_dirty_tracks_and_take_dirty_cleans() {
+        let pool = BufferPool::new(4);
+        pool.put((1, 0), vec![1; 4]).unwrap();
+        pool.put_dirty((1, 1), vec![2; 4]).unwrap();
+        pool.put_dirty((1, 2), vec![3; 4]).unwrap();
+        assert_eq!(pool.dirty_pages(), 2);
+        let mut taken = pool.take_dirty();
+        taken.sort();
+        assert_eq!(taken, vec![((1, 1), vec![2; 4]), ((1, 2), vec![3; 4])]);
+        assert_eq!(pool.dirty_pages(), 0);
+        assert!(pool.take_dirty().is_empty());
+        // Pages stay resident (warm) after the flush snapshot.
+        assert_eq!(pool.resident(), 3);
+    }
+
+    #[test]
+    fn overwriting_a_dirty_page_with_put_keeps_it_dirty() {
+        let pool = BufferPool::new(4);
+        pool.put_dirty((1, 0), vec![1; 4]).unwrap();
+        pool.put((1, 0), vec![2; 4]).unwrap();
+        assert_eq!(pool.dirty_pages(), 1, "clean put must not launder dirt");
+    }
+
+    #[test]
+    fn evicting_dirty_frame_writes_back() {
+        let pool = BufferPool::new(2);
+        let written: Arc<Mutex<Vec<(PageKey, Vec<u8>)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&written);
+        pool.set_writeback(Arc::new(move |key, payload| {
+            sink.lock().unwrap().push((key, payload.to_vec()));
+            Ok(())
+        }));
+        pool.put_dirty((1, 0), vec![7; 4]).unwrap();
+        drop(pool.get((1, 1), fetch(1)).unwrap());
+        // Third page forces the clock to evict; the dirty (1,0) must be
+        // written back before its frame is reused.
+        drop(pool.get((1, 2), fetch(2)).unwrap());
+        assert_eq!(written.lock().unwrap().as_slice(), &[((1, 0), vec![7; 4])]);
+        assert_eq!(pool.stats().dirty_writebacks, 1);
+        assert_eq!(pool.dirty_pages(), 0);
+    }
+
+    #[test]
+    fn evicting_dirty_frame_without_writeback_is_refused() {
+        let pool = BufferPool::new(1);
+        pool.put_dirty((1, 0), vec![7; 4]).unwrap();
+        let err = pool.get((1, 1), fetch(1)).unwrap_err();
+        assert!(matches!(err, StoreError::Meta { .. }), "got {err:?}");
+        // The dirty page is still intact and resident.
+        assert_eq!(pool.dirty_pages(), 1);
+        let g = pool.get((1, 0), fail).unwrap();
+        g.with_payload(|p| assert_eq!(p, vec![7u8; 4]));
+        drop(g);
+    }
+
+    #[test]
+    fn clear_keeps_dirty_pages() {
+        let pool = BufferPool::new(4);
+        pool.put((1, 0), vec![1; 4]).unwrap();
+        pool.put_dirty((1, 1), vec![2; 4]).unwrap();
+        assert_eq!(pool.clear(), 1);
+        assert_eq!(pool.resident(), 1);
+        assert_eq!(pool.dirty_pages(), 1);
     }
 
     #[test]

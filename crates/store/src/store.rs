@@ -2,36 +2,62 @@
 //!
 //! ## Protocol
 //!
-//! **Load** (the only write path — tables are immutable once loaded):
-//! append the table's meta and every page image to the WAL, write each
-//! page to the page file (through the fault plan: this is where torn
-//! writes land) and warm it into the pool, append a commit marker, then
-//! group-fsync the WAL once. The page file is *not* synced on load.
+//! **Load**: append the table's meta and every page image to the WAL,
+//! write each page to the page file (through the fault plan: this is
+//! where torn writes land) and warm it into the pool, append a commit
+//! marker, then group-fsync the WAL once. The page file is *not*
+//! synced on load. Reloading an existing name is allowed: the new
+//! incarnation gets a fresh `table_id` and `version + 1` — the
+//! log-structured versioning that lets disk-mode catalog installs
+//! replace tables instead of rejecting reuse.
+//!
+//! **Mutate** ([`Store::mutate`]): read the committed rows through the
+//! pool (dirty frames are the freshest committed bytes), apply the
+//! [`Mutation`] purely, diff old/new page payloads, then append one
+//! [`WalRecord::PageDelta`] per changed page plus a
+//! [`WalRecord::MutationCommit`] carrying the bumped meta, and
+//! group-fsync — the atomic commit point. Only *after* that fsync do
+//! the new payloads enter the pool as dirty frames
+//! (steal-committed-only: nothing uncommitted can ever be written
+//! back), and only then does the committed map advance. A cancellation
+//! observed at any poll before the fsync returns
+//! [`StoreError::Cancelled`] with zero WAL/pool/meta effects.
 //!
 //! **Recovery** ([`Store::open`] ≡ [`Store::recover`]): read the
 //! manifest (tables durable as of the last checkpoint), scan the page
 //! file (checksum-verifying every record), then replay the WAL —
-//! committed loads only — writing page images back into the page file
-//! *in place*. Replay is idempotent: same images, same offsets, so
-//! replaying twice is byte-identical. A torn WAL tail is truncated at
-//! scan time, never replayed; a torn page-file record is healed by its
-//! WAL image.
+//! committed loads and mutations only, in log order — writing page
+//! images and deltas back into the page file *in place*. Replay is
+//! idempotent: same images, same offsets, so replaying twice is
+//! byte-identical. A torn WAL tail is truncated at scan time, never
+//! replayed; a torn page-file record is healed by its WAL image;
+//! deltas without their commit marker are dropped.
 //!
-//! **Checkpoint** ([`Store::checkpoint`]): scrub (re-verify every page
-//! the WAL still protects, rewriting any torn record from its logged
-//! image), fsync the page file, atomically publish the manifest
-//! (tmp + rename + dir fsync), then truncate the WAL. After a
-//! checkpoint the page file alone is authoritative.
+//! **Fuzzy checkpoint** ([`Store::checkpoint`]): capture the WAL cut
+//! (its durable length), flush dirty pool pages (verified writes:
+//! a torn write-back is detected and retried fault-free before the
+//! checkpoint may proceed), scrub every record the WAL still protects
+//! (healing torn records from the *last* logged payload per page),
+//! fsync the page file, atomically publish the manifest (tmp, rename,
+//! dir fsync — under a brief metadata lock, the only lock the
+//! checkpoint ever takes), then truncate exactly the WAL prefix
+//! `[0, cut)`. Loads, mutations, and queries proceed concurrently:
+//! anything committed after the cut stays in the kept suffix and
+//! replays idempotently on recovery.
 
 use crate::checksum::crc64;
 use crate::codec::{decode_rows, encode_rows, get_u32, TableMeta};
 use crate::error::StoreError;
 use crate::page_file::PageFile;
-use crate::pool::{BufferPool, PoolStats};
+use crate::pool::{BufferPool, PageKey, PoolStats};
 use crate::wal::{Wal, WalRecord};
-use fj_storage::{FaultPlan, PageBacking, PageLayout, Schema, StorageError, Table, Tuple};
+use fj_storage::{
+    FaultPlan, Mutation, PageBacking, PageLayout, PageWriteFault, Schema, StorageError, Table,
+    Tuple,
+};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 const MANIFEST: &str = "manifest.fj";
@@ -53,6 +79,46 @@ pub struct StoreStats {
     pub physical_reads: u64,
     /// Physical page-file record writes.
     pub physical_writes: u64,
+    /// Mutations committed since open.
+    pub mutations_applied: u64,
+    /// WAL page-delta records appended since open.
+    pub wal_deltas: u64,
+    /// Dirty pages currently resident in the pool (gauge).
+    pub dirty_pages: u64,
+    /// Dirty victims persisted by eviction write-back.
+    pub dirty_writebacks: u64,
+    /// Fuzzy checkpoints completed since open.
+    pub checkpoints: u64,
+}
+
+/// What a committed [`Store::mutate`] changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MutationResult {
+    /// Rows inserted, updated, or deleted.
+    pub rows_affected: u64,
+    /// The table's post-mutation row count.
+    pub row_count: u64,
+    /// The table's post-mutation version.
+    pub version: u64,
+}
+
+/// How far [`Store::checkpoint_until`] runs before returning — the
+/// chaos harness's deterministic mid-checkpoint crash points. A real
+/// checkpoint is `Done`; stopping earlier models a crash between
+/// checkpoint steps (the caller then drops the store, exactly as a
+/// kill would).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointPhase {
+    /// Stop after flushing dirty pool pages (WAL intact).
+    Flush,
+    /// Stop after the scrub pass (WAL intact, page file healed).
+    Scrub,
+    /// Stop after the page-file fsync.
+    Sync,
+    /// Stop after publishing the manifest (WAL not yet truncated).
+    Manifest,
+    /// Run the whole checkpoint, ending with the WAL prefix truncate.
+    Done,
 }
 
 #[derive(Debug)]
@@ -70,6 +136,12 @@ pub struct Store {
     pool: Arc<BufferPool>,
     faults: Option<Arc<FaultPlan>>,
     inner: Mutex<StoreInner>,
+    /// Serializes mutations against each other (not against loads,
+    /// queries, or checkpoints).
+    mutation_lock: Mutex<()>,
+    mutations_applied: AtomicU64,
+    wal_deltas: AtomicU64,
+    checkpoints: AtomicU64,
 }
 
 /// What [`Store::open`] found and did.
@@ -79,7 +151,9 @@ pub struct RecoveryReport {
     pub manifest_tables: usize,
     /// Committed loads replayed from the WAL.
     pub replayed_tables: usize,
-    /// Page images written back during replay.
+    /// Committed mutations replayed from the WAL.
+    pub replayed_mutations: usize,
+    /// Page images and deltas written back during replay.
     pub replayed_pages: usize,
     /// True iff a torn WAL tail was detected and truncated.
     pub torn_wal_tail: bool,
@@ -102,11 +176,15 @@ impl Store {
         let manifest_tables = committed.len();
         let (wal, scan) = Wal::open(dir.join(WAL))?;
 
-        // Replay committed loads, in log order, page images in place.
-        // Per table: the logged metadata (if seen) plus (page_no, payload) images.
+        // Replay committed loads and mutations, in log order, page
+        // images and deltas in place. Per table: the logged metadata
+        // (if seen) plus (page_no, payload) images; mutations
+        // accumulate deltas keyed by table_id until their commit.
         type PendingLoad = (Option<TableMeta>, Vec<(u32, Vec<u8>)>);
         let mut pending: BTreeMap<u32, PendingLoad> = BTreeMap::new();
+        let mut pending_deltas: BTreeMap<u32, Vec<(u32, Vec<u8>)>> = BTreeMap::new();
         let mut replayed_tables = 0usize;
+        let mut replayed_mutations = 0usize;
         let mut replayed_pages = 0usize;
         for record in &scan.records {
             match record {
@@ -139,8 +217,31 @@ impl Store {
                     committed.insert(meta.name.clone(), meta);
                     replayed_tables += 1;
                 }
+                WalRecord::PageDelta {
+                    table_id,
+                    page_no,
+                    payload,
+                } => {
+                    pending_deltas
+                        .entry(*table_id)
+                        .or_default()
+                        .push((*page_no, payload.clone()));
+                }
+                WalRecord::MutationCommit { meta, .. } => {
+                    for (page_no, payload) in
+                        pending_deltas.remove(&meta.table_id).unwrap_or_default()
+                    {
+                        page_file.write_page(meta.table_id, page_no, &payload, None)?;
+                        replayed_pages += 1;
+                    }
+                    committed.insert(meta.name.clone(), meta.clone());
+                    replayed_mutations += 1;
+                }
             }
         }
+        // Deltas whose MutationCommit never reached the log are the
+        // uncommitted suffix of an in-flight mutation: dropped, never
+        // applied.
         if replayed_pages > 0 {
             page_file.sync()?;
         }
@@ -153,20 +254,44 @@ impl Store {
         let report = RecoveryReport {
             manifest_tables,
             replayed_tables,
+            replayed_mutations,
             replayed_pages,
             torn_wal_tail: scan.torn_tail_truncated,
         };
+        let pool = Arc::new(BufferPool::new(pool_pages));
+        // Eviction write-back: a dirty victim is persisted (verified,
+        // with a delta-class fault draw) before its frame is reused.
+        {
+            let page_file = Arc::clone(&page_file);
+            let faults = faults.clone();
+            pool.set_writeback(Arc::new(move |key: PageKey, payload: &[u8]| {
+                write_page_verified(
+                    &page_file,
+                    key.0,
+                    key.1,
+                    payload,
+                    faults
+                        .as_deref()
+                        .map(|f| f.on_delta_write())
+                        .unwrap_or(PageWriteFault::None),
+                )
+            }));
+        }
         Ok((
             Store {
                 dir,
                 page_file,
                 wal,
-                pool: Arc::new(BufferPool::new(pool_pages)),
+                pool,
                 faults,
                 inner: Mutex::new(StoreInner {
                     committed,
                     next_table_id,
                 }),
+                mutation_lock: Mutex::new(()),
+                mutations_applied: AtomicU64::new(0),
+                wal_deltas: AtomicU64::new(0),
+                checkpoints: AtomicU64::new(0),
             },
             report,
         ))
@@ -209,18 +334,25 @@ impl Store {
 
     /// Loads an in-memory table into the store: WAL images + commit
     /// (one group fsync), page-file writes (fault-injected), pool
-    /// warm-up. Errors on a duplicate name — the store's tables are
-    /// immutable once committed.
-    pub fn load_table(&self, table: &Table) -> Result<(), StoreError> {
+    /// warm-up. Reloading an existing name is a log-structured
+    /// replacement: the new incarnation gets a fresh `table_id` and
+    /// the name's `version + 1`, and replay order makes it
+    /// authoritative.
+    pub fn load_table(&self, table: &Table) -> Result<u64, StoreError> {
         let mut inner = self.inner.lock().unwrap();
-        if inner.committed.contains_key(table.name()) {
-            return Err(StoreError::Meta {
-                detail: format!("table '{}' is already loaded", table.name()),
-            });
-        }
+        let version = inner
+            .committed
+            .get(table.name())
+            .map_or(1, |old| old.version + 1);
         let table_id = inner.next_table_id;
         inner.next_table_id += 1;
-        let meta = TableMeta::describe(table_id, table.name(), table.schema(), table.row_count());
+        let meta = TableMeta::describe(
+            table_id,
+            table.name(),
+            table.schema(),
+            table.row_count(),
+            version,
+        );
         self.wal.append(&WalRecord::TableMeta(meta.clone()));
         let per_page = table.layout().tuples_per_page as usize;
         let faults = self.faults.as_deref();
@@ -238,12 +370,24 @@ impl Store {
         self.wal.append(&WalRecord::LoadCommit { table_id });
         self.wal.commit(faults)?;
         inner.committed.insert(meta.name.clone(), meta);
-        Ok(())
+        Ok(version)
     }
 
-    /// Reads a committed table back from the page file: schema from the
-    /// meta, rows decoded page by page. This is the restart path that
-    /// proves the data really lives on disk.
+    /// One committed page's freshest bytes: a resident pool frame if
+    /// any (dirty frames hold post-mutation payloads the page file may
+    /// not have yet), else the page file.
+    fn committed_page(&self, table_id: u32, page_no: u32) -> Result<Vec<u8>, StoreError> {
+        if let Some(payload) = self.pool.peek((table_id, page_no)) {
+            return Ok(payload);
+        }
+        self.page_file.read_page(table_id, page_no)
+    }
+
+    /// Reads a committed table back: schema from the meta, rows decoded
+    /// page by page — dirty pool frames first (the freshest committed
+    /// bytes on a live store), the page file otherwise. On a fresh open
+    /// the pool is empty, so this is the restart path that proves the
+    /// data really lives on disk.
     pub fn recovered_rows(&self, name: &str) -> Result<(Schema, Vec<Tuple>), StoreError> {
         let meta = self.meta(name).ok_or_else(|| StoreError::Meta {
             detail: format!("no committed table '{name}'"),
@@ -253,7 +397,7 @@ impl Store {
         let page_count = layout.pages(meta.row_count);
         let mut rows = Vec::with_capacity(meta.row_count as usize);
         for page_no in 0..page_count {
-            let payload = self.page_file.read_page(meta.table_id, page_no as u32)?;
+            let payload = self.committed_page(meta.table_id, page_no as u32)?;
             rows.extend(decode_rows(&payload, schema.arity())?);
         }
         if rows.len() as u64 != meta.row_count {
@@ -280,34 +424,210 @@ impl Store {
         }))
     }
 
-    /// Checkpoints: scrub WAL-protected pages (healing torn records
-    /// from their logged images), fsync the page file, atomically
-    /// publish the manifest, truncate the WAL.
-    pub fn checkpoint(&self) -> Result<(), StoreError> {
-        let inner = self.inner.lock().unwrap();
-        // Scrub from the log: every image the WAL still protects must
-        // verify on disk before the log may be dropped. Scrub rewrites
-        // bypass fault injection — they model the verified retry a real
-        // checkpointer performs, not a fresh chance to tear.
-        for record in self.wal.disk_records()? {
-            if let WalRecord::PageImage {
-                table_id,
-                page_no,
-                payload,
-            } = record
-            {
-                if !self.page_file.record_is_valid(table_id, page_no) {
-                    self.page_file
-                        .write_page(table_id, page_no, &payload, None)?;
-                }
+    /// Applies a [`Mutation`] to a committed table, crash-safely.
+    /// `cancelled` is polled at every stage boundary before the commit
+    /// fsync; once it returns `true` the mutation aborts with
+    /// [`StoreError::Cancelled`] and *nothing* — WAL, pool, committed
+    /// map — has changed. After the fsync the mutation always
+    /// completes. Mutations serialize against each other but run
+    /// concurrently with loads, queries, and checkpoints.
+    pub fn mutate(
+        &self,
+        mutation: &Mutation,
+        cancelled: &dyn Fn() -> bool,
+    ) -> Result<MutationResult, StoreError> {
+        let _serialize = self.mutation_lock.lock().unwrap();
+        if cancelled() {
+            return Err(StoreError::Cancelled);
+        }
+        let name = mutation.table();
+        let meta = self.meta(name).ok_or_else(|| StoreError::Meta {
+            detail: format!("no committed table '{name}' to mutate"),
+        })?;
+        let schema = meta.schema()?;
+        let layout = PageLayout::for_schema(&schema);
+        let per_page = (layout.tuples_per_page as usize).max(1);
+
+        // Old state, page by page through the pool (dirty frames are
+        // fresher than the page file), keeping the payloads for the
+        // diff below.
+        let old_page_count = layout.pages(meta.row_count);
+        let mut old_payloads = Vec::with_capacity(old_page_count as usize);
+        let mut old_rows = Vec::with_capacity(meta.row_count as usize);
+        for page_no in 0..old_page_count {
+            if cancelled() {
+                return Err(StoreError::Cancelled);
+            }
+            let payload = self.committed_page(meta.table_id, page_no as u32)?;
+            old_rows.extend(decode_rows(&payload, schema.arity())?);
+            old_payloads.push(payload);
+        }
+
+        let (new_rows, rows_affected) =
+            mutation
+                .apply(&schema, &old_rows)
+                .map_err(|e| StoreError::Meta {
+                    detail: format!("{} on '{name}': {e}", mutation.verb()),
+                })?;
+
+        // Diff old vs new page payloads: only changed pages become
+        // deltas. A shrink leaves stale trailing records in the page
+        // file; readers never touch them (reads are bounded by the
+        // committed row count).
+        let mut dirty: Vec<(u32, Vec<u8>)> = Vec::new();
+        let mut chunks = new_rows.chunks(per_page);
+        let new_page_count = layout.pages(new_rows.len() as u64);
+        for page_no in 0..new_page_count {
+            let payload = encode_rows(chunks.next().unwrap_or(&[]));
+            let unchanged = old_payloads
+                .get(page_no as usize)
+                .is_some_and(|old| *old == payload);
+            if !unchanged {
+                dirty.push((page_no as u32, payload));
             }
         }
+
+        let new_meta = TableMeta::describe(
+            meta.table_id,
+            name,
+            &schema,
+            new_rows.len() as u64,
+            meta.version + 1,
+        );
+
+        // Last cancellation point: past here the records are appended
+        // and will be fsynced. (The WAL's pending buffer is shared, so
+        // an abort after appending could leak records into a concurrent
+        // load's commit — hence poll *before* touching the log.)
+        if cancelled() {
+            return Err(StoreError::Cancelled);
+        }
+        for (page_no, payload) in &dirty {
+            self.wal.append(&WalRecord::PageDelta {
+                table_id: meta.table_id,
+                page_no: *page_no,
+                payload: payload.clone(),
+            });
+        }
+        self.wal.append(&WalRecord::MutationCommit {
+            meta: new_meta.clone(),
+            rows_affected,
+        });
+        self.wal.commit(self.faults.as_deref())?; // ← the commit point
+        self.wal_deltas
+            .fetch_add(dirty.len() as u64, Ordering::Relaxed);
+
+        // Steal-committed-only: dirty payloads enter the pool only
+        // after the commit fsync, so eviction write-back and checkpoint
+        // flush can never persist uncommitted bytes.
+        for (page_no, payload) in dirty {
+            self.pool.put_dirty((meta.table_id, page_no), payload)?;
+        }
+        self.inner
+            .lock()
+            .unwrap()
+            .committed
+            .insert(name.to_string(), new_meta.clone());
+        self.mutations_applied.fetch_add(1, Ordering::Relaxed);
+        Ok(MutationResult {
+            rows_affected,
+            row_count: new_meta.row_count,
+            version: new_meta.version,
+        })
+    }
+
+    /// Fuzzy checkpoint: flush dirty pages, scrub, fsync, publish the
+    /// manifest, truncate the WAL prefix captured at entry. Runs
+    /// concurrently with loads, mutations, and queries — the only lock
+    /// it takes is a brief metadata snapshot for the manifest.
+    pub fn checkpoint(&self) -> Result<(), StoreError> {
+        self.checkpoint_until(CheckpointPhase::Done)
+    }
+
+    /// [`Store::checkpoint`] that stops after `phase` — the chaos
+    /// harness's deterministic mid-checkpoint crash injection. Every
+    /// prefix of the checkpoint must leave a recoverable store: the WAL
+    /// is only truncated in the final step, after everything it
+    /// protected is durable elsewhere.
+    pub fn checkpoint_until(&self, phase: CheckpointPhase) -> Result<(), StoreError> {
+        // 1. Capture the cut. Anything committed after this lands at
+        //    offsets >= cut and survives the truncate.
+        let cut = self.wal.durable_len()?;
+
+        // 2. Flush dirty pool pages, verified: a torn write-back
+        //    (delta fault class) is detected by checksum and retried
+        //    fault-free — the WAL must never be dropped while a flushed
+        //    page is secretly torn.
+        for ((table_id, page_no), payload) in self.pool.take_dirty() {
+            let fault = self
+                .faults
+                .as_deref()
+                .map(|f| f.on_delta_write())
+                .unwrap_or(PageWriteFault::None);
+            write_page_verified(&self.page_file, table_id, page_no, &payload, fault)?;
+        }
+        if phase == CheckpointPhase::Flush {
+            return Ok(());
+        }
+
+        // 3. Scrub from the log: the *last* logged payload per page
+        //    (images and deltas; log order = commit order) must verify
+        //    on disk before the log may be dropped. Scrub rewrites draw
+        //    from their own fault class and are verified the same way.
+        let mut protected: BTreeMap<(u32, u32), Vec<u8>> = BTreeMap::new();
+        for record in self.wal.disk_records()? {
+            match record {
+                WalRecord::PageImage {
+                    table_id,
+                    page_no,
+                    payload,
+                }
+                | WalRecord::PageDelta {
+                    table_id,
+                    page_no,
+                    payload,
+                } => {
+                    protected.insert((table_id, page_no), payload);
+                }
+                _ => {}
+            }
+        }
+        for ((table_id, page_no), payload) in protected {
+            if !self.page_file.record_is_valid(table_id, page_no) {
+                let fault = self
+                    .faults
+                    .as_deref()
+                    .map(|f| f.on_scrub_write())
+                    .unwrap_or(PageWriteFault::None);
+                write_page_verified(&self.page_file, table_id, page_no, &payload, fault)?;
+            }
+        }
+        if phase == CheckpointPhase::Scrub {
+            return Ok(());
+        }
+
+        // 4. Make the page file durable.
         if let Some(plan) = &self.faults {
             plan.on_fsync();
         }
         self.page_file.sync()?;
-        write_manifest(&self.dir, &inner.committed)?;
-        self.wal.truncate()?;
+        if phase == CheckpointPhase::Sync {
+            return Ok(());
+        }
+
+        // 5. Publish the manifest. The snapshot is taken *after* the
+        //    cut, so every commit the truncate will drop is in it;
+        //    commits newer than the cut may also be in it, which is
+        //    fine — their WAL records replay idempotently.
+        let snapshot = self.inner.lock().unwrap().committed.clone();
+        write_manifest(&self.dir, &snapshot)?;
+        if phase == CheckpointPhase::Manifest {
+            return Ok(());
+        }
+
+        // 6. Drop exactly what was protected at entry.
+        self.wal.truncate_prefix(cut)?;
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -322,6 +642,7 @@ impl Store {
             hits,
             misses,
             evictions,
+            dirty_writebacks,
         } = self.pool.stats();
         StoreStats {
             pool_hits: hits,
@@ -330,6 +651,11 @@ impl Store {
             wal_fsyncs: self.wal.fsyncs(),
             physical_reads: self.page_file.physical_reads(),
             physical_writes: self.page_file.physical_writes(),
+            mutations_applied: self.mutations_applied.load(Ordering::Relaxed),
+            wal_deltas: self.wal_deltas.load(Ordering::Relaxed),
+            dirty_pages: self.pool.dirty_pages() as u64,
+            dirty_writebacks,
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
         }
     }
 
@@ -359,6 +685,26 @@ impl PageBacking for TableBacking {
                 detail: format!("table '{}' page {page_no}: {e}", self.table_name),
             })
     }
+}
+
+/// A page-file write that must not silently tear: perform the write
+/// with the drawn `fault`, verify the record's checksum, and if the
+/// fault took the write down retry once fault-free. Used by eviction
+/// write-back and both checkpoint write paths — the WAL is the only
+/// place allowed to hold a page's sole intact copy, and only until the
+/// checkpoint that drops it has proven the disk copy valid.
+fn write_page_verified(
+    page_file: &PageFile,
+    table_id: u32,
+    page_no: u32,
+    payload: &[u8],
+    fault: PageWriteFault,
+) -> Result<(), StoreError> {
+    page_file.write_page_with(table_id, page_no, payload, fault)?;
+    if !page_file.record_is_valid(table_id, page_no) {
+        page_file.write_page_with(table_id, page_no, payload, PageWriteFault::None)?;
+    }
+    Ok(())
 }
 
 fn read_manifest(path: &Path) -> Result<BTreeMap<String, TableMeta>, StoreError> {
@@ -475,12 +821,20 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_load_rejected() {
+    fn reloading_a_name_bumps_its_version_and_replaces_rows() {
         let dir = TempDir::new("store-dup");
-        let (store, _) = Store::open(dir.path(), 16, None).unwrap();
-        store.load_table(&sample_table("T", 10)).unwrap();
-        let err = store.load_table(&sample_table("T", 10)).unwrap_err();
-        assert!(matches!(err, StoreError::Meta { .. }));
+        {
+            let (store, _) = Store::open(dir.path(), 16, None).unwrap();
+            assert_eq!(store.load_table(&sample_table("T", 10)).unwrap(), 1);
+            assert_eq!(store.load_table(&sample_table("T", 25)).unwrap(), 2);
+            let meta = store.meta("T").unwrap();
+            assert_eq!((meta.version, meta.row_count), (2, 25));
+        }
+        // Replay in log order makes the later incarnation authoritative.
+        let (store, report) = Store::open(dir.path(), 16, None).unwrap();
+        assert_eq!(report.replayed_tables, 2);
+        let (_, rows) = store.recovered_rows("T").unwrap();
+        assert_eq!(rows, sample_table("T", 25).rows());
     }
 
     #[test]
@@ -573,7 +927,7 @@ mod tests {
             // Simulate a crash mid-load of B: append meta + images to
             // the WAL but no commit, and never fsync.
             let b = sample_table("B", 50);
-            let meta = TableMeta::describe(99, "B", b.schema(), b.row_count());
+            let meta = TableMeta::describe(99, "B", b.schema(), b.row_count(), 1);
             store.wal.append(&WalRecord::TableMeta(meta));
             store.wal.append(&WalRecord::PageImage {
                 table_id: 99,
@@ -585,5 +939,225 @@ mod tests {
         let (store, _) = Store::open(dir.path(), 16, None).unwrap();
         assert!(store.has_table("A"));
         assert!(!store.has_table("B"), "no LoadCommit → not recovered");
+    }
+
+    const NEVER: fn() -> bool = || false;
+
+    fn delete_even(table: &str) -> Mutation {
+        Mutation::Delete {
+            table: table.into(),
+            where_col: "label".into(),
+            where_value: Value::Str("row-2".into()),
+        }
+    }
+
+    #[test]
+    fn mutations_round_trip_live_and_after_restart() {
+        let dir = TempDir::new("store-mut");
+        let table = sample_table("T", 300);
+        let oracle_schema = table.schema().as_ref().clone();
+        let mut oracle_rows = table.rows().to_vec();
+        let muts = [
+            Mutation::Insert {
+                table: "T".into(),
+                rows: vec![vec![Value::Int(900), Value::Str("extra".into())]],
+            },
+            Mutation::Update {
+                table: "T".into(),
+                set: vec![("label".into(), Value::Str("patched".into()))],
+                where_col: "k".into(),
+                where_value: Value::Int(7),
+            },
+            delete_even("T"),
+        ];
+        {
+            let (store, _) = Store::open(dir.path(), 64, None).unwrap();
+            store.load_table(&table).unwrap();
+            for (i, m) in muts.iter().enumerate() {
+                let result = store.mutate(m, &NEVER).unwrap();
+                assert_eq!(result.version, 2 + i as u64, "each mutation bumps version");
+                let (rows, affected) = m.apply(&oracle_schema, &oracle_rows).unwrap();
+                assert_eq!(result.rows_affected, affected);
+                assert_eq!(result.row_count, rows.len() as u64);
+                oracle_rows = rows;
+            }
+            // Live reads see the mutated state through dirty frames.
+            let (_, rows) = store.recovered_rows("T").unwrap();
+            assert_eq!(rows, oracle_rows);
+            let stats = store.stats();
+            assert_eq!(stats.mutations_applied, 3);
+            assert!(stats.wal_deltas > 0);
+            assert!(
+                stats.dirty_pages > 0,
+                "no checkpoint yet: frames stay dirty"
+            );
+        }
+        // Restart (no checkpoint ran): the WAL alone must rebuild the
+        // mutated state, byte-identically, twice over.
+        for _ in 0..2 {
+            let (store, report) = Store::open(dir.path(), 64, None).unwrap();
+            assert_eq!(report.replayed_mutations, 3);
+            let (_, rows) = store.recovered_rows("T").unwrap();
+            assert_eq!(rows, oracle_rows);
+        }
+    }
+
+    #[test]
+    fn cancelled_mutation_leaves_no_state() {
+        let dir = TempDir::new("store-cancel");
+        let table = sample_table("T", 60);
+        let (store, _) = Store::open(dir.path(), 16, None).unwrap();
+        store.load_table(&table).unwrap();
+        let before_wal = store.wal_bytes();
+        let err = store.mutate(&delete_even("T"), &|| true).unwrap_err();
+        assert_eq!(err, StoreError::Cancelled);
+        assert_eq!(store.wal_bytes(), before_wal, "nothing reached the WAL");
+        assert_eq!(store.meta("T").unwrap().version, 1);
+        assert_eq!(store.stats().mutations_applied, 0);
+        let (_, rows) = store.recovered_rows("T").unwrap();
+        assert_eq!(rows, table.rows());
+    }
+
+    #[test]
+    fn uncommitted_deltas_dropped_on_recovery() {
+        let dir = TempDir::new("store-orphan-delta");
+        let table = sample_table("T", 40);
+        {
+            let (store, _) = Store::open(dir.path(), 16, None).unwrap();
+            store.load_table(&table).unwrap();
+            // A mutation that crashed after its delta but before its
+            // commit marker: the delta must never be applied.
+            let meta = store.meta("T").unwrap();
+            store.wal.append(&WalRecord::PageDelta {
+                table_id: meta.table_id,
+                page_no: 0,
+                payload: encode_rows(&table.rows()[..1]),
+            });
+            store.wal.commit(None).unwrap(); // durable, but no MutationCommit
+        }
+        let (store, report) = Store::open(dir.path(), 16, None).unwrap();
+        assert_eq!(report.replayed_mutations, 0);
+        let (_, rows) = store.recovered_rows("T").unwrap();
+        assert_eq!(rows, table.rows(), "orphan delta must not surface");
+    }
+
+    #[test]
+    fn mutating_a_missing_table_is_a_meta_error() {
+        let dir = TempDir::new("store-mut-missing");
+        let (store, _) = Store::open(dir.path(), 16, None).unwrap();
+        let err = store.mutate(&delete_even("Ghost"), &NEVER).unwrap_err();
+        assert!(matches!(err, StoreError::Meta { .. }));
+    }
+
+    #[test]
+    fn fuzzy_checkpoint_flushes_dirty_pages_and_truncates_wal() {
+        let dir = TempDir::new("store-fuzzy");
+        let table = sample_table("T", 200);
+        let oracle = {
+            let (rows, _) = delete_even("T")
+                .apply(table.schema(), table.rows())
+                .unwrap();
+            rows
+        };
+        {
+            let (store, _) = Store::open(dir.path(), 64, None).unwrap();
+            store.load_table(&table).unwrap();
+            store.mutate(&delete_even("T"), &NEVER).unwrap();
+            assert!(store.stats().dirty_pages > 0);
+            store.checkpoint().unwrap();
+            let stats = store.stats();
+            assert_eq!(stats.dirty_pages, 0, "checkpoint flushed every frame");
+            assert_eq!(stats.checkpoints, 1);
+            assert_eq!(store.wal_bytes(), 0);
+        }
+        let (store, report) = Store::open(dir.path(), 64, None).unwrap();
+        assert_eq!(report.replayed_mutations, 0, "WAL fully truncated");
+        assert_eq!(report.manifest_tables, 1);
+        let (_, rows) = store.recovered_rows("T").unwrap();
+        assert_eq!(rows, oracle);
+    }
+
+    #[test]
+    fn commits_after_the_cut_survive_checkpoint_truncation() {
+        let dir = TempDir::new("store-cut");
+        let table = sample_table("T", 120);
+        let (store, _) = Store::open(dir.path(), 64, None).unwrap();
+        store.load_table(&table).unwrap();
+        // Run the checkpoint up to (but not including) the truncate,
+        // then commit a mutation — it lands after the captured cut and
+        // must survive the truncate that a resumed checkpoint performs.
+        store.checkpoint_until(CheckpointPhase::Manifest).unwrap();
+        store.mutate(&delete_even("T"), &NEVER).unwrap();
+        store.checkpoint().unwrap();
+        drop(store);
+        let (store, _) = Store::open(dir.path(), 64, None).unwrap();
+        let (_, rows) = store.recovered_rows("T").unwrap();
+        let (oracle, _) = delete_even("T")
+            .apply(table.schema(), table.rows())
+            .unwrap();
+        assert_eq!(rows, oracle);
+    }
+
+    #[test]
+    fn every_checkpoint_phase_recovers_the_committed_prefix() {
+        use CheckpointPhase::*;
+        let table = sample_table("T", 250);
+        let (oracle, _) = delete_even("T")
+            .apply(table.schema(), table.rows())
+            .unwrap();
+        for (i, phase) in [Flush, Scrub, Sync, Manifest, Done].into_iter().enumerate() {
+            let dir = TempDir::new(&format!("store-phase-{i}"));
+            {
+                // Torn delta + scrub writes armed: the checkpoint's own
+                // writes tear and must self-verify.
+                let faults = Arc::new(
+                    FaultPlan::new(0xD15C)
+                        .with_torn_delta_writes(2)
+                        .with_torn_scrub_writes(2),
+                );
+                let (store, _) = Store::open(dir.path(), 64, Some(faults)).unwrap();
+                store.load_table(&table).unwrap();
+                store.mutate(&delete_even("T"), &NEVER).unwrap();
+                store.checkpoint_until(phase).unwrap();
+                // Hard stop here: the store is dropped mid-checkpoint.
+            }
+            for round in 0..2 {
+                let (store, _) = Store::open(dir.path(), 64, None).unwrap();
+                let (_, rows) = store.recovered_rows("T").unwrap();
+                assert_eq!(
+                    rows, oracle,
+                    "phase {phase:?}, re-open {round}: committed prefix must recover"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_pages() {
+        let dir = TempDir::new("store-evict-wb");
+        // Pool of 4 frames, table of many pages: mutation dirties
+        // frames, reloading another table evicts them through the
+        // write-back path.
+        let (store, _) = Store::open(dir.path(), 4, None).unwrap();
+        let table = sample_table("T", 400);
+        store.load_table(&table).unwrap();
+        store
+            .mutate(
+                &Mutation::Update {
+                    table: "T".into(),
+                    set: vec![("label".into(), Value::Str("x".into()))],
+                    where_col: "k".into(),
+                    where_value: Value::Int(1),
+                },
+                &NEVER,
+            )
+            .unwrap();
+        store.load_table(&sample_table("U", 400)).unwrap();
+        assert!(store.stats().dirty_writebacks > 0, "eviction wrote back");
+        drop(store);
+        let (store, _) = Store::open(dir.path(), 64, None).unwrap();
+        let (_, rows) = store.recovered_rows("T").unwrap();
+        assert_eq!(rows.len(), 400);
+        assert_eq!(rows[1].value(1), &Value::Str("x".into()));
     }
 }

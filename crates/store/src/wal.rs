@@ -17,10 +17,15 @@
 //!
 //! Body kinds: `1` table meta ([`TableMeta::encode`]), `2` page image
 //! (`table_id u32, page_no u32, payload`), `3` load commit
-//! (`table_id u32`). A record whose length overruns the file or whose
-//! CRC fails is a torn tail: replay stops there and the file is
-//! truncated to the last valid boundary — detected and discarded, never
-//! replayed.
+//! (`table_id u32`), `4` page delta (`table_id u32, page_no u32,
+//! payload` — the full new payload of one page dirtied by a mutation),
+//! `5` mutation commit (the post-mutation [`TableMeta`] ++
+//! `rows_affected u64` — carrying the meta inside the commit marker is
+//! what keeps a crash *between* a mutation's records from ever being
+//! mistaken for a half-loaded table). A record whose length overruns
+//! the file or whose CRC fails is a torn tail: replay stops there and
+//! the file is truncated to the last valid boundary — detected and
+//! discarded, never replayed.
 
 use crate::checksum::crc64;
 use crate::codec::{get_u32, TableMeta};
@@ -51,6 +56,26 @@ pub enum WalRecord {
         /// The committed table.
         table_id: u32,
     },
+    /// New payload of one page dirtied by an in-flight mutation.
+    /// Redo-only: replay applies it iff a matching
+    /// [`WalRecord::MutationCommit`] follows in the log.
+    PageDelta {
+        /// Owning table.
+        table_id: u32,
+        /// Logical page number within the table.
+        page_no: u32,
+        /// Full encoded post-mutation payload of the page.
+        payload: Vec<u8>,
+    },
+    /// The mutation that produced the preceding deltas committed.
+    /// Carries the complete post-mutation meta (new row count, bumped
+    /// version) so replay needs no other record to apply it.
+    MutationCommit {
+        /// Post-mutation description of the table.
+        meta: TableMeta,
+        /// Rows inserted/updated/deleted by this mutation.
+        rows_affected: u64,
+    },
 }
 
 fn encode_body(record: &WalRecord) -> Vec<u8> {
@@ -73,6 +98,24 @@ fn encode_body(record: &WalRecord) -> Vec<u8> {
         WalRecord::LoadCommit { table_id } => {
             body.push(3);
             body.extend_from_slice(&table_id.to_le_bytes());
+        }
+        WalRecord::PageDelta {
+            table_id,
+            page_no,
+            payload,
+        } => {
+            body.push(4);
+            body.extend_from_slice(&table_id.to_le_bytes());
+            body.extend_from_slice(&page_no.to_le_bytes());
+            body.extend_from_slice(payload);
+        }
+        WalRecord::MutationCommit {
+            meta,
+            rows_affected,
+        } => {
+            body.push(5);
+            body.extend_from_slice(&rows_affected.to_le_bytes());
+            body.extend_from_slice(&meta.encode());
         }
     }
     body
@@ -100,6 +143,28 @@ fn decode_body(body: &[u8]) -> Result<WalRecord, StoreError> {
         3 => {
             let table_id = get_u32(body, &mut pos)?;
             Ok(WalRecord::LoadCommit { table_id })
+        }
+        4 => {
+            let table_id = get_u32(body, &mut pos)?;
+            let page_no = get_u32(body, &mut pos)?;
+            Ok(WalRecord::PageDelta {
+                table_id,
+                page_no,
+                payload: body[pos..].to_vec(),
+            })
+        }
+        5 => {
+            let rows_affected = crate::codec::get_u64(body, &mut pos)?;
+            let meta = TableMeta::decode(body, &mut pos)?;
+            if pos != body.len() {
+                return Err(StoreError::Corrupt {
+                    detail: format!("mutation commit has {} trailing bytes", body.len() - pos),
+                });
+            }
+            Ok(WalRecord::MutationCommit {
+                meta,
+                rows_affected,
+            })
         }
         other => Err(StoreError::Corrupt {
             detail: format!("unknown WAL record kind {other}"),
@@ -255,6 +320,51 @@ impl Wal {
         Ok(())
     }
 
+    /// Durable log length in bytes, observed under the file lock so it
+    /// is a consistent *cut*: every byte committed after this call
+    /// lands at an offset `>= ` the returned value. The fuzzy
+    /// checkpoint captures this before flushing and later truncates
+    /// exactly `[0, cut)`.
+    pub fn durable_len(&self) -> Result<u64, StoreError> {
+        let file = self.file.lock().unwrap();
+        file.metadata()
+            .map(|m| m.len())
+            .map_err(|e| StoreError::io(format!("stat {}", self.path.display()), e))
+    }
+
+    /// Drops the first `cut` bytes of the log, keeping any records
+    /// committed after the cut was captured — the fuzzy checkpoint's
+    /// final step. The suffix is written to a temp file and renamed
+    /// over the log (atomic on POSIX), then the append handle is
+    /// reopened on the new file. Concurrent commits are excluded by
+    /// the file lock for the duration.
+    pub fn truncate_prefix(&self, cut: u64) -> Result<(), StoreError> {
+        let mut file = self.file.lock().unwrap();
+        let bytes = std::fs::read(&self.path)
+            .map_err(|e| StoreError::io(format!("scan {}", self.path.display()), e))?;
+        let cut = (cut as usize).min(bytes.len());
+        let tmp = self.path.with_extension("fj.tmp");
+        std::fs::write(&tmp, &bytes[cut..])
+            .map_err(|e| StoreError::io(format!("write {}", tmp.display()), e))?;
+        {
+            let t = File::open(&tmp).map_err(|e| StoreError::io("open wal tmp", e))?;
+            t.sync_all()
+                .map_err(|e| StoreError::io("fsync wal tmp", e))?;
+        }
+        std::fs::rename(&tmp, &self.path)
+            .map_err(|e| StoreError::io(format!("rename over {}", self.path.display()), e))?;
+        let reopened = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| StoreError::io(format!("reopen {}", self.path.display()), e))?;
+        reopened
+            .sync_all()
+            .map_err(|e| StoreError::io(format!("fsync {}", self.path.display()), e))?;
+        *file = reopened;
+        Ok(())
+    }
+
     /// Current log size in bytes.
     pub fn size_bytes(&self) -> u64 {
         std::fs::metadata(&self.path).map(|m| m.len()).unwrap_or(0)
@@ -283,13 +393,28 @@ mod tests {
     fn sample_records() -> Vec<WalRecord> {
         let schema = Schema::from_pairs(&[("k", DataType::Int)]);
         vec![
-            WalRecord::TableMeta(TableMeta::describe(1, "T", &schema, 2)),
+            WalRecord::TableMeta(TableMeta::describe(1, "T", &schema, 2, 1)),
             WalRecord::PageImage {
                 table_id: 1,
                 page_no: 0,
                 payload: vec![1, 2, 3, 4],
             },
             WalRecord::LoadCommit { table_id: 1 },
+        ]
+    }
+
+    fn mutation_records() -> Vec<WalRecord> {
+        let schema = Schema::from_pairs(&[("k", DataType::Int)]);
+        vec![
+            WalRecord::PageDelta {
+                table_id: 1,
+                page_no: 3,
+                payload: vec![9, 8, 7],
+            },
+            WalRecord::MutationCommit {
+                meta: TableMeta::describe(1, "T", &schema, 5, 2),
+                rows_affected: 3,
+            },
         ]
     }
 
@@ -377,6 +502,84 @@ mod tests {
         let (_, scan) = Wal::open(&path).unwrap();
         assert!(scan.torn_tail_truncated);
         assert!(scan.records.len() < sample_records().len());
+    }
+
+    #[test]
+    fn mutation_records_round_trip() {
+        let dir = TempDir::new("wal-mut-rt");
+        let path = dir.path().join("wal.fj");
+        {
+            let (wal, _) = Wal::open(&path).unwrap();
+            for r in sample_records().iter().chain(mutation_records().iter()) {
+                wal.append(r);
+            }
+            wal.commit(None).unwrap();
+        }
+        let (_, scan) = Wal::open(&path).unwrap();
+        let mut want = sample_records();
+        want.extend(mutation_records());
+        assert_eq!(scan.records, want);
+        assert!(!scan.torn_tail_truncated);
+    }
+
+    #[test]
+    fn mutation_commit_trailing_bytes_rejected() {
+        let schema = Schema::from_pairs(&[("k", DataType::Int)]);
+        let mut body = encode_body(&WalRecord::MutationCommit {
+            meta: TableMeta::describe(1, "T", &schema, 5, 2),
+            rows_affected: 3,
+        });
+        body.push(0xAB);
+        assert!(matches!(
+            decode_body(&body),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn truncate_prefix_keeps_records_after_the_cut() {
+        let dir = TempDir::new("wal-cut");
+        let path = dir.path().join("wal.fj");
+        let (wal, _) = Wal::open(&path).unwrap();
+        for r in sample_records() {
+            wal.append(&r);
+        }
+        wal.commit(None).unwrap();
+        let cut = wal.durable_len().unwrap();
+        // Records committed after the cut was captured must survive.
+        for r in mutation_records() {
+            wal.append(&r);
+        }
+        wal.commit(None).unwrap();
+        wal.truncate_prefix(cut).unwrap();
+        assert_eq!(wal.disk_records().unwrap(), mutation_records());
+        // The reopened append handle keeps working.
+        wal.append(&WalRecord::LoadCommit { table_id: 4 });
+        wal.commit(None).unwrap();
+        let mut want = mutation_records();
+        want.push(WalRecord::LoadCommit { table_id: 4 });
+        assert_eq!(wal.disk_records().unwrap(), want);
+        // And a fresh open agrees byte-for-byte.
+        drop(wal);
+        let (_, scan) = Wal::open(&path).unwrap();
+        assert_eq!(scan.records, want);
+    }
+
+    #[test]
+    fn truncate_prefix_of_whole_log_empties_it() {
+        let dir = TempDir::new("wal-cut-all");
+        let path = dir.path().join("wal.fj");
+        let (wal, _) = Wal::open(&path).unwrap();
+        for r in sample_records() {
+            wal.append(&r);
+        }
+        wal.commit(None).unwrap();
+        let cut = wal.durable_len().unwrap();
+        wal.truncate_prefix(cut).unwrap();
+        assert_eq!(wal.size_bytes(), 0);
+        // Cuts past EOF clamp rather than error.
+        wal.truncate_prefix(u64::MAX).unwrap();
+        assert_eq!(wal.size_bytes(), 0);
     }
 
     #[test]

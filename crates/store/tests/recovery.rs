@@ -7,7 +7,7 @@
 //! rows.
 
 use fj_storage::{DataType, Table, TableBuilder, Value};
-use fj_store::{Store, TempDir, WalRecord};
+use fj_store::{crc64, Store, TableMeta, TempDir, Wal, WalRecord};
 use proptest::prelude::*;
 use std::path::Path;
 
@@ -216,4 +216,201 @@ proptest! {
         let (_store, _) = Store::open(dir.path(), 16, None).unwrap();
         prop_assert_eq!(pages_bytes(dir.path()), first);
     }
+}
+
+// ---------------------------------------------------------------------
+// WAL record fuzzing: round-trips, torn tails at every byte, and
+// adversarial bytes. These drive the record codec through the public
+// `Wal` API — the same path recovery takes — so every property here is
+// a property of real replay, not of a test-only decoder. Records are
+// built deterministically from drawn words, mixing load-path kinds
+// (TableMeta, PageImage, LoadCommit) with mutation-path kinds
+// (PageDelta, MutationCommit) in one sequence.
+// ---------------------------------------------------------------------
+
+fn meta_from(seed: u64) -> TableMeta {
+    let n_cols = (seed % 4) as usize;
+    TableMeta {
+        table_id: (seed >> 8) as u32,
+        name: format!("t{}", seed % 97),
+        columns: (0..n_cols)
+            .map(|i| {
+                let w = seed.rotate_left(7 * (i as u32 + 1));
+                let ty = [DataType::Int, DataType::Double, DataType::Str][(w % 3) as usize];
+                (format!("c{i}"), ty, w % 2 == 0)
+            })
+            .collect(),
+        row_count: seed.wrapping_mul(0x9E37),
+        version: seed % 1000,
+    }
+}
+
+/// One record of any of the five kinds, chosen by `kind_word % 5` and
+/// filled deterministically from `seed`.
+fn record_from(kind_word: u64, seed: u64) -> WalRecord {
+    let payload: Vec<u8> = (0..(seed % 48))
+        .map(|i| (seed.rotate_left(i as u32) ^ i) as u8)
+        .collect();
+    match kind_word % 5 {
+        0 => WalRecord::TableMeta(meta_from(seed)),
+        1 => WalRecord::PageImage {
+            table_id: seed as u32,
+            page_no: (seed >> 32) as u32,
+            payload,
+        },
+        2 => WalRecord::LoadCommit {
+            table_id: seed as u32,
+        },
+        3 => WalRecord::PageDelta {
+            table_id: seed as u32,
+            page_no: (seed >> 32) as u32,
+            payload,
+        },
+        _ => WalRecord::MutationCommit {
+            meta: meta_from(seed),
+            rows_affected: seed >> 16,
+        },
+    }
+}
+
+fn records_from(specs: &[(u64, u64)]) -> Vec<WalRecord> {
+    specs.iter().map(|&(k, s)| record_from(k, s)).collect()
+}
+
+/// Frames `body` exactly as the WAL does: `[len u32][crc64 u64][body]`.
+fn frame(body: &[u8]) -> Vec<u8> {
+    let mut rec = Vec::with_capacity(12 + body.len());
+    rec.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    rec.extend_from_slice(&crc64(body).to_le_bytes());
+    rec.extend_from_slice(body);
+    rec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every record kind, in any mix and order, survives a commit and a
+    /// reopen bit-for-bit.
+    #[test]
+    fn wal_record_sequences_round_trip(
+        specs in prop::collection::vec((0u64..5, 0u64..u64::MAX), 1..10),
+    ) {
+        let records = records_from(&specs);
+        let dir = TempDir::new("wal-prop-rt");
+        let path = dir.path().join("wal.fj");
+        {
+            let (wal, scan) = Wal::open(&path).unwrap();
+            prop_assert!(scan.records.is_empty());
+            for r in &records {
+                wal.append(r);
+            }
+            wal.commit(None).unwrap();
+        }
+        let (_, scan) = Wal::open(&path).unwrap();
+        prop_assert_eq!(scan.records, records);
+        prop_assert!(!scan.torn_tail_truncated);
+    }
+
+    /// Cutting a committed log at *any* byte offset — mid-header,
+    /// mid-crc, mid-body, or at a boundary — recovers a prefix of the
+    /// original sequence, and a second open converges (idempotent).
+    #[test]
+    fn wal_torn_at_any_byte_recovers_a_committed_prefix(
+        specs in prop::collection::vec((0u64..5, 0u64..u64::MAX), 1..8),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let records = records_from(&specs);
+        let dir = TempDir::new("wal-prop-torn");
+        let path = dir.path().join("wal.fj");
+        {
+            let (wal, _) = Wal::open(&path).unwrap();
+            for r in &records {
+                wal.append(r);
+            }
+            wal.commit(None).unwrap();
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+
+        let (_, scan) = Wal::open(&path).unwrap();
+        let n = scan.records.len();
+        prop_assert!(n <= records.len());
+        prop_assert_eq!(&scan.records[..], &records[..n], "replay is a prefix");
+        // The truncated file is exactly the framed bytes of that prefix.
+        let boundary = std::fs::metadata(&path).unwrap().len() as usize;
+        prop_assert_eq!(&std::fs::read(&path).unwrap()[..], &bytes[..boundary]);
+        // Second open: clean log, same prefix, nothing more to cut.
+        let (_, again) = Wal::open(&path).unwrap();
+        prop_assert!(!again.torn_tail_truncated);
+        prop_assert_eq!(again.records, scan.records);
+    }
+
+    /// A log file of arbitrary bytes never panics the scanner: it
+    /// decodes whatever valid prefix exists and truncates the rest.
+    #[test]
+    fn wal_arbitrary_bytes_never_panic(
+        junk in prop::collection::vec(0u64..256, 0..256),
+    ) {
+        let junk: Vec<u8> = junk.into_iter().map(|b| b as u8).collect();
+        let dir = TempDir::new("wal-prop-junk");
+        let path = dir.path().join("wal.fj");
+        std::fs::write(&path, &junk).unwrap();
+        let (_, scan) = Wal::open(&path).unwrap();
+        let (_, again) = Wal::open(&path).unwrap();
+        prop_assert!(!again.torn_tail_truncated, "open is idempotent");
+        prop_assert_eq!(again.records, scan.records);
+    }
+
+    /// A correctly framed record whose *body* is garbage (CRC passes,
+    /// decode fails) is a torn tail, not a panic — and records before
+    /// it still replay. This reaches the per-kind decoders directly.
+    #[test]
+    fn wal_valid_frame_with_garbage_body_is_typed(
+        body in prop::collection::vec(0u64..256, 0..48),
+        kind_word in 0u64..5,
+        seed in 0u64..u64::MAX,
+    ) {
+        let body: Vec<u8> = body.into_iter().map(|b| b as u8).collect();
+        let good = record_from(kind_word, seed);
+        let dir = TempDir::new("wal-prop-body");
+        let path = dir.path().join("wal.fj");
+        {
+            let (wal, _) = Wal::open(&path).unwrap();
+            wal.append(&good);
+            wal.commit(None).unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let good_len = bytes.len();
+        bytes.extend_from_slice(&frame(&body));
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (_, scan) = Wal::open(&path).unwrap();
+        // The garbage body either happens to decode as a real record
+        // (possible: e.g. a PageImage body is any bytes after kind 2)
+        // or is cut; the good record always survives either way.
+        prop_assert!(!scan.records.is_empty());
+        prop_assert_eq!(&scan.records[0], &good);
+        if scan.records.len() == 1 {
+            prop_assert!(scan.torn_tail_truncated);
+            prop_assert_eq!(
+                std::fs::metadata(&path).unwrap().len() as usize,
+                good_len,
+                "cut back to the last valid record"
+            );
+        }
+    }
+}
+
+/// An unknown record kind (6) behind a valid CRC is detected by the
+/// body decoder, not the checksum — the log stops replay there.
+#[test]
+fn wal_unknown_record_kind_is_a_torn_tail() {
+    let dir = TempDir::new("wal-unknown-kind");
+    let path = dir.path().join("wal.fj");
+    std::fs::write(&path, frame(&[6u8, 1, 2, 3])).unwrap();
+    let (_, scan) = Wal::open(&path).unwrap();
+    assert!(scan.records.is_empty());
+    assert!(scan.torn_tail_truncated);
+    assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
 }

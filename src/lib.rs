@@ -22,12 +22,14 @@ pub use fj_core::*;
 
 /// The concurrent query-service runtime: worker pool, plan cache,
 /// intra-query parallelism, cooperative cancellation, worker
-/// self-healing, metrics, and the disk-backed storage mode. See
+/// self-healing, metrics, the disk-backed storage mode, and the
+/// crash-safe mutation path (WAL page deltas + fuzzy checkpoints). See
 /// [`fj_runtime`].
 pub use fj_runtime;
 pub use fj_runtime::{
-    FaultPlan, Interrupt, InterruptReason, QueryService, RecoveryReport, RuntimeMetrics,
-    ServiceConfig, StorageMode, Store, StoreStats,
+    CheckpointPhase, FaultPlan, Interrupt, InterruptReason, Mutation, MutationStats,
+    MutationTicket, QueryService, RecoveryReport, RuntimeMetrics, ServiceConfig, StorageMode,
+    Store, StoreStats,
 };
 
 /// The network boundary: TCP query server + blocking client over a

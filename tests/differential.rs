@@ -8,8 +8,9 @@
 //! same oracle.
 
 use filterjoin::{
-    col, fixtures, lit, Catalog, DataType, Database, FromItem, JoinQuery, OptimizerConfig,
-    QueryService, ServiceConfig, StorageMode, TableBuilder, Tuple, Value,
+    col, fixtures, lit, Catalog, CheckpointPhase, DataType, Database, FaultPlan, FromItem,
+    JoinQuery, Mutation, OptimizerConfig, QueryService, ServiceConfig, StorageMode, Store,
+    TableBuilder, Tuple, Value,
 };
 use proptest::prelude::*;
 use std::path::PathBuf;
@@ -414,6 +415,250 @@ fn cold_disk_scan_charges_equal_physical_reads() {
         "the warm scan hits exactly the pages the cold scan faulted in"
     );
     assert_eq!(sorted(warm.rows), sorted(cold.rows));
+    service.shutdown();
+}
+
+/// Applies `mutations` to the named tables of `cat` in order and
+/// returns the mutated row vectors, keyed by insertion order of
+/// `names`. Pure [`Mutation::apply`] — the same oracle the crash
+/// harness uses, never the storage engine under test.
+fn mutated_rows(cat: &Catalog, names: &[&str], mutations: &[Mutation]) -> Vec<Vec<Tuple>> {
+    let mut rows: Vec<Vec<Tuple>> = names
+        .iter()
+        .map(|n| cat.table(n).expect("template table").rows().to_vec())
+        .collect();
+    for m in mutations {
+        let i = names
+            .iter()
+            .position(|n| *n == m.table())
+            .expect("mutation targets a known table");
+        let schema = cat.table(names[i]).unwrap().schema().as_ref().clone();
+        let (next, _) = m.apply(&schema, &rows[i]).expect("oracle mutation applies");
+        rows[i] = next;
+    }
+    rows
+}
+
+/// The write-path differential: a disk-backed service absorbs a stream
+/// of mutations (deletes, salary updates, inserts — against both join
+/// sides), and then every optimizer configuration of the matrix must
+/// agree row-for-row with a fresh in-memory oracle built from the
+/// *post-mutation* catalog. The view over the mutated base table is
+/// recomputed on both sides, so a stale snapshot anywhere in the
+/// service's catalog, plan cache, or buffer pool shows up as a diff.
+#[test]
+fn disk_mode_after_mutations_matches_post_mutation_oracle() {
+    let (cat, q) = disk_instance();
+    let dir = ScratchDir::new("mutated");
+    let service = QueryService::start(cat.clone(), disk_config(&dir, 2));
+
+    let mutations = vec![
+        Mutation::Delete {
+            table: "Emp".into(),
+            where_col: "age".into(),
+            where_value: Value::Int(18),
+        },
+        Mutation::Update {
+            table: "Emp".into(),
+            set: vec![("sal".into(), Value::Double(12_000.0))],
+            where_col: "did".into(),
+            where_value: Value::Int(3),
+        },
+        Mutation::Insert {
+            table: "Emp".into(),
+            rows: (0..5)
+                .map(|i| {
+                    vec![
+                        Value::Int(900 + i),
+                        Value::Int(i % 8),
+                        Value::Double(4_000.0 + i as f64),
+                        Value::Int(25),
+                    ]
+                })
+                .collect(),
+        },
+        Mutation::Update {
+            table: "Dept".into(),
+            set: vec![("budget".into(), Value::Double(5e5))],
+            where_col: "did".into(),
+            where_value: Value::Int(2),
+        },
+    ];
+    for m in &mutations {
+        let stats = service
+            .execute_mutation(m.clone())
+            .expect("mutation commits");
+        assert!(stats.version >= 2, "every commit bumps the table version");
+    }
+
+    // Post-mutation oracle: the same mutations applied purely, then a
+    // fresh in-memory catalog (view re-derived from the mutated rows).
+    let rows = mutated_rows(&cat, &["Emp", "Dept"], &mutations);
+    let mut post = Catalog::new();
+    post.add_table(
+        TableBuilder::new("Emp")
+            .column("eid", DataType::Int)
+            .column("did", DataType::Int)
+            .column("sal", DataType::Double)
+            .column("age", DataType::Int)
+            .rows(rows[0].iter().map(|t| t.values().to_vec()))
+            .build()
+            .expect("mutated Emp conforms")
+            .into_ref(),
+    );
+    post.add_table(
+        TableBuilder::new("Dept")
+            .column("did", DataType::Int)
+            .column("budget", DataType::Double)
+            .rows(rows[1].iter().map(|t| t.values().to_vec()))
+            .build()
+            .expect("mutated Dept conforms")
+            .into_ref(),
+    );
+    fixtures::add_dep_avg_sal_view(&mut post);
+    let oracle = sorted(
+        Database::with_catalog(post)
+            .run_logical(&q.to_plan())
+            .expect("post-mutation oracle runs")
+            .rows,
+    );
+    // The mutations must actually change the answer, or the matrix
+    // below would pass against a service that ignored them.
+    let pre_oracle = sorted(
+        Database::with_catalog(cat)
+            .run_logical(&q.to_plan())
+            .expect("pre-mutation oracle runs")
+            .rows,
+    );
+    assert_ne!(oracle, pre_oracle, "mutations must be answer-changing");
+
+    for config in config_matrix() {
+        let got = sorted(
+            service
+                .submit_with_config(q.clone(), config)
+                .expect("submit")
+                .wait()
+                .expect("disk-mode query runs")
+                .rows,
+        );
+        assert_eq!(
+            oracle, got,
+            "post-mutation disk-mode optimizer config diverged: {config:?}"
+        );
+    }
+    service.shutdown();
+}
+
+/// Pinned regression seed: mutations committed around a checkpoint that
+/// dies *after publishing the manifest but before truncating the WAL*
+/// (the nastiest window — every mutation gets replayed over
+/// already-checkpointed state). Recovery must be idempotent, and a
+/// service started on the crashed directory must serve the
+/// post-mutation rows across the whole config matrix.
+#[test]
+fn crash_mid_checkpoint_regression_seed() {
+    let left: Vec<(i64, i64)> = (0..40).map(|i| (i % 11, i)).collect();
+    let right: Vec<i64> = (0..30).map(|i| i % 13).collect();
+    let cat = two_table_catalog(&left, &right);
+    let mutations = vec![
+        Mutation::Insert {
+            table: "L".into(),
+            rows: vec![
+                vec![Value::Int(100), Value::Int(5)],
+                vec![Value::Int(3), Value::Int(77)],
+            ],
+        },
+        Mutation::Delete {
+            table: "L".into(),
+            where_col: "k".into(),
+            where_value: Value::Int(7),
+        },
+        Mutation::Update {
+            table: "L".into(),
+            set: vec![("v".into(), Value::Int(9))],
+            where_col: "k".into(),
+            where_value: Value::Int(4),
+        },
+    ];
+    let l_rows = mutated_rows(&cat, &["L"], &mutations).remove(0);
+
+    let dir = ScratchDir::new("ckpt-crash");
+    {
+        let faults = std::sync::Arc::new(
+            FaultPlan::new(0xBADC_0FFE)
+                .with_torn_delta_writes(1)
+                .with_torn_scrub_writes(2),
+        );
+        let (store, _) = Store::open(&dir.0, 8, Some(faults)).expect("open store");
+        store
+            .load_table(&cat.table("L").expect("template L"))
+            .expect("load L");
+        store
+            .mutate(&mutations[0], &|| false)
+            .expect("insert commits");
+        store
+            .mutate(&mutations[1], &|| false)
+            .expect("delete commits");
+        // The checkpoint dies after the manifest publish, before the
+        // WAL truncate — then one more mutation lands, then the kill.
+        store
+            .checkpoint_until(CheckpointPhase::Manifest)
+            .expect("partial checkpoint");
+        store
+            .mutate(&mutations[2], &|| false)
+            .expect("update commits");
+    }
+
+    // Recovery replays all three commits over the checkpointed state
+    // (the WAL was never truncated) — idempotently, twice.
+    let first = {
+        let (store, report) = Store::open(&dir.0, 8, None).expect("recover");
+        assert_eq!(report.replayed_mutations, 3, "untruncated WAL replays all");
+        let (_, rows) = store.recovered_rows("L").expect("recovered L");
+        assert_eq!(rows, l_rows, "recovered rows must equal the oracle");
+        std::fs::read(dir.0.join("pages.fj")).expect("page file exists")
+    };
+    {
+        let (_store, _) = Store::open(&dir.0, 8, None).expect("second recover");
+        assert_eq!(
+            std::fs::read(dir.0.join("pages.fj")).expect("page file exists"),
+            first,
+            "second recovery must be byte-identical"
+        );
+    }
+
+    // A service on the crashed directory serves the mutated table (R
+    // loads fresh from the template) — matrix-agreeing with the oracle.
+    let mut post = two_table_catalog(&[], &right);
+    post.add_table(
+        TableBuilder::new("L")
+            .column("k", DataType::Int)
+            .column("v", DataType::Int)
+            .rows(l_rows.iter().map(|t| t.values().to_vec()))
+            .build()
+            .expect("mutated L conforms")
+            .into_ref(),
+    );
+    let q = JoinQuery::new(vec![FromItem::new("L", "l"), FromItem::new("R", "r")])
+        .with_predicate(col("l.k").eq(col("r.k")).and(col("l.v").ge(lit(4))));
+    let oracle = sorted(
+        Database::with_catalog(post)
+            .run_logical(&q.to_plan())
+            .expect("post-crash oracle runs")
+            .rows,
+    );
+    let service = QueryService::start(cat, disk_config(&dir, 4));
+    for config in config_matrix() {
+        let got = sorted(
+            service
+                .submit_with_config(q.clone(), config)
+                .expect("submit")
+                .wait()
+                .expect("post-crash query runs")
+                .rows,
+        );
+        assert_eq!(oracle, got, "post-crash config diverged: {config:?}");
+    }
     service.shutdown();
 }
 
