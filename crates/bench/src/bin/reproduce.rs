@@ -1,7 +1,7 @@
 //! Prints every reproduced figure/table as a paper-style text table.
 //!
 //! ```text
-//! reproduce [all|fig1|fig3|table1|fig4|fig5|fig6|complexity|crossover|dist|dist-wire|udf|local|bloom|throughput|trace-overhead|soak|chaos|cluster-chaos|recovery-chaos|mutation-chaos]
+//! reproduce [all|fig1|fig3|table1|fig4|fig5|fig6|complexity|crossover|dist|dist-wire|udf|local|bloom|throughput|trace-overhead|soak|chaos|cluster-chaos|recovery-chaos|mutation-chaos|memory-chaos]
 //!           [--small] [--threads N]
 //! ```
 //!
@@ -66,6 +66,7 @@ fn main() {
             "cluster-chaos",
             "recovery-chaos",
             "mutation-chaos",
+            "memory-chaos",
         ]
     } else {
         which
@@ -166,6 +167,13 @@ fn main() {
                     repro::mutation_chaos::run(1_000, 100, 4, 12)
                 } else {
                     repro::mutation_chaos::run(5_000, 500, 12, 25)
+                }
+            }
+            "memory-chaos" => {
+                if small {
+                    repro::memory_chaos::run(2_000, 4, 12)
+                } else {
+                    repro::memory_chaos::run(8_000, 8, 25)
                 }
             }
             other => {

@@ -15,6 +15,7 @@ pub mod fig5_classes;
 pub mod fig6_taxonomy;
 pub(crate) mod forwarder;
 pub mod local_semijoin;
+pub mod memory_chaos;
 pub mod mutation_chaos;
 pub mod recovery_chaos;
 pub mod soak;

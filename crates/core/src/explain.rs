@@ -102,6 +102,13 @@ fn analyze_node(
             if factor > ratio {
                 let _ = write!(out, "  <-- misestimate x{factor:.1}");
             }
+            if t.stats.spills > 0 {
+                let _ = write!(
+                    out,
+                    "  <-- spilled x{} ({} temp pages)",
+                    t.stats.spills, t.stats.spill_pages
+                );
+            }
         }
         (Some(e), None) => {
             let _ = write!(
@@ -116,6 +123,13 @@ fn analyze_node(
                 "  [actual {} rows / {} pages, {} us]",
                 t.stats.rows_out, t.stats.pages_read, t.stats.wall_micros
             );
+            if t.stats.spills > 0 {
+                let _ = write!(
+                    out,
+                    "  <-- spilled x{} ({} temp pages)",
+                    t.stats.spills, t.stats.spill_pages
+                );
+            }
         }
         (None, None) => {}
     }

@@ -334,7 +334,6 @@ mod tests {
             for c in &cols {
                 b = b.column(*c, DataType::Int);
             }
-            let mut b = b;
             for i in 0..4i64 {
                 b = b.row(cols.iter().map(|_| Value::Int(i)).collect());
             }

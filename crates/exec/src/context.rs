@@ -1,10 +1,11 @@
 //! Execution context: catalog, ledger, buffer memory, and the runtime
 //! registries for temp tables and Bloom filters.
 
+use crate::broker::{MemoryBroker, MemoryGrant};
 use crate::error::ExecError;
 use crate::interrupt::{Interrupt, InterruptReason};
 use fj_algebra::Catalog;
-use fj_storage::{BloomFilter, CostLedger, FaultPlan, PageLayout, SchemaRef, Tuple};
+use fj_storage::{BloomFilter, CostLedger, FaultPlan, PageLayout, SchemaRef, TempStore, Tuple};
 use fj_trace::TraceCollector;
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -75,6 +76,69 @@ impl fmt::Debug for PoolProbe {
     }
 }
 
+/// Default bound on grace-hash recursive re-partitioning depth.
+pub const DEFAULT_SPILL_MAX_DEPTH: usize = 4;
+
+/// The spilling runtime attached to a context when memory governance is
+/// enabled: where to put temp partitions, who arbitrates memory grants,
+/// and how deep grace-hash recursion may go on skewed partitions.
+#[derive(Debug, Clone)]
+pub struct SpillCtx {
+    /// The fault-injectable temp partition store.
+    pub temp: Arc<TempStore>,
+    /// The service-wide soft-watermark broker.
+    pub broker: Arc<MemoryBroker>,
+    /// Bound on grace-hash recursive re-partitioning depth.
+    pub max_depth: usize,
+}
+
+impl SpillCtx {
+    /// A spill context over `temp` and `broker` with the default
+    /// recursion bound.
+    pub fn new(temp: Arc<TempStore>, broker: Arc<MemoryBroker>) -> SpillCtx {
+        SpillCtx {
+            temp,
+            broker,
+            max_depth: DEFAULT_SPILL_MAX_DEPTH,
+        }
+    }
+
+    /// Overrides the recursion bound (clamped to ≥1).
+    pub fn with_max_depth(mut self, depth: usize) -> SpillCtx {
+        self.max_depth = depth.max(1);
+        self
+    }
+}
+
+/// Per-query spill activity counters, shared by all operators of one
+/// execution (and its intra-query worker threads).
+#[derive(Debug, Default)]
+pub struct SpillStats {
+    /// Operator invocations that spilled (one per spilling operator,
+    /// including each grace-hash recursion level).
+    pub spills: AtomicU64,
+    /// Temp partition/run files written.
+    pub partitions: AtomicU64,
+    /// Pages written to temp files (by [`PageLayout`] accounting — the
+    /// same accounting the ledger and the cost model use).
+    pub pages_written: AtomicU64,
+    /// Pages read back from temp files.
+    pub pages_read: AtomicU64,
+}
+
+/// A plain-value snapshot of [`SpillStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillSnapshot {
+    /// See [`SpillStats::spills`].
+    pub spills: u64,
+    /// See [`SpillStats::partitions`].
+    pub partitions: u64,
+    /// See [`SpillStats::pages_written`].
+    pub pages_written: u64,
+    /// See [`SpillStats::pages_read`].
+    pub pages_read: u64,
+}
+
 /// Everything a physical plan needs at runtime.
 #[derive(Debug, Clone)]
 pub struct ExecCtx {
@@ -111,6 +175,10 @@ pub struct ExecCtx {
     /// Governor: maximum pages the query may materialize (temp tables,
     /// sort runs, grace-hash partitions; `u64::MAX` = unlimited).
     memory_budget_pages: u64,
+    /// Spilling runtime; `None` (the default) keeps every operator on
+    /// its seed in-memory code path with simulated spill charges.
+    spill: Option<SpillCtx>,
+    spill_stats: Arc<SpillStats>,
     rows_emitted: Arc<AtomicU64>,
     pages_materialized: Arc<AtomicU64>,
     temps: Arc<RwLock<HashMap<String, TempTable>>>,
@@ -131,6 +199,8 @@ impl ExecCtx {
             pool_probe: None,
             row_budget: u64::MAX,
             memory_budget_pages: u64::MAX,
+            spill: None,
+            spill_stats: Arc::new(SpillStats::default()),
             rows_emitted: Arc::new(AtomicU64::new(0)),
             pages_materialized: Arc::new(AtomicU64::new(0)),
             temps: Arc::new(RwLock::new(HashMap::new())),
@@ -198,6 +268,55 @@ impl ExecCtx {
     pub fn with_memory_budget_pages(mut self, pages: u64) -> ExecCtx {
         self.memory_budget_pages = pages;
         self
+    }
+
+    /// Enables spilling: operators consult the broker before pinning
+    /// memory-sized state and degrade to temp-file partitioning when
+    /// denied (or when the build side exceeds buffer memory outright).
+    pub fn with_spill(mut self, spill: SpillCtx) -> ExecCtx {
+        self.spill = Some(spill);
+        self
+    }
+
+    /// The spilling runtime, when enabled.
+    pub fn spill_ctx(&self) -> Option<&SpillCtx> {
+        self.spill.as_ref()
+    }
+
+    /// Decides whether an operator about to pin `pages` of state should
+    /// spill. `None` when spilling is disabled (seed behaviour: run in
+    /// memory with simulated charges). Otherwise:
+    ///
+    /// * `Err(())`-like `(true, None)` — spill: either the state
+    ///   exceeds buffer memory (`M`, the same trigger the cost model's
+    ///   simulated grace/sort charges key on) or the broker denied the
+    ///   grant (service-wide soft watermark).
+    /// * `(false, Some(grant))` — run in memory, holding the grant for
+    ///   the operator's lifetime.
+    pub fn spill_decision(&self, pages: u64) -> Option<(bool, Option<MemoryGrant>)> {
+        let spill = self.spill.as_ref()?;
+        if pages > self.memory_pages {
+            return Some((true, None));
+        }
+        match spill.broker.try_reserve(pages) {
+            Some(grant) => Some((false, Some(grant))),
+            None => Some((true, None)),
+        }
+    }
+
+    /// Per-query spill counters.
+    pub fn spill_stats(&self) -> &SpillStats {
+        &self.spill_stats
+    }
+
+    /// Snapshot of the per-query spill counters.
+    pub fn spill_snapshot(&self) -> SpillSnapshot {
+        SpillSnapshot {
+            spills: self.spill_stats.spills.load(Ordering::Relaxed),
+            partitions: self.spill_stats.partitions.load(Ordering::Relaxed),
+            pages_written: self.spill_stats.pages_written.load(Ordering::Relaxed),
+            pages_read: self.spill_stats.pages_read.load(Ordering::Relaxed),
+        }
     }
 
     /// Polls the interrupt flag: `Err(Interrupted)` once any holder has

@@ -25,6 +25,7 @@
 //! `P_outer + ⌈P_outer/(M−2)⌉·P_inner`), so measured ledger costs are
 //! directly comparable with the optimizer's predictions.
 
+pub mod broker;
 pub mod context;
 pub mod error;
 pub mod interrupt;
@@ -32,7 +33,10 @@ pub mod lower;
 pub mod ops;
 pub mod physical;
 
-pub use context::{ExecCtx, PoolProbe, TempTable};
+pub use broker::{MemoryBroker, MemoryGrant};
+pub use context::{
+    ExecCtx, PoolProbe, SpillCtx, SpillSnapshot, SpillStats, TempTable, DEFAULT_SPILL_MAX_DEPTH,
+};
 pub use error::ExecError;
 pub use interrupt::{Interrupt, InterruptReason, INTERRUPT_CHECK_INTERVAL};
 pub use physical::{PhysPlan, TempStep};

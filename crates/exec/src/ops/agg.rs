@@ -6,9 +6,10 @@ use crate::interrupt::INTERRUPT_CHECK_INTERVAL;
 use crate::ops::sort::charge_external_sort;
 use crate::physical::Rel;
 use fj_expr::{Accumulator, AggCall};
-use fj_storage::{Column, Schema, Tuple, Value};
+use fj_storage::{Column, PageLayout, Schema, Tuple, Value};
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Hash-based DISTINCT — the paper's `ProjCost_F` workhorse (the filter
@@ -17,8 +18,43 @@ use std::sync::Arc;
 /// Charges one tuple op per input row, plus external partitioning I/O
 /// when the *output* (the hash table of distinct values) exceeds
 /// memory — a streaming hash distinct only spills when its table does.
+///
+/// With memory governance enabled and an over-memory (or broker-denied)
+/// input, degrades to hash partitioning on the whole row: each distinct
+/// value lands in exactly one temp partition, so per-partition
+/// deduplication yields the same distinct multiset, emitted
+/// partition-major (duplicate elimination is order-agnostic).
 pub fn distinct(ctx: &ExecCtx, input: Rel) -> Result<Rel, ExecError> {
     ctx.ledger.tuple_ops(input.rows.len() as u64);
+    let _grant = match ctx.spill_decision(input.page_count()) {
+        Some((true, _)) => {
+            let spill = ctx.spill_ctx().expect("spill decision implies ctx").clone();
+            ctx.spill_stats().spills.fetch_add(1, Ordering::Relaxed);
+            let layout = PageLayout::for_schema(&input.schema);
+            let fanout = super::spill::spill_fanout(ctx);
+            let all_idx: Vec<usize> = (0..input.schema.arity()).collect();
+            let files =
+                super::spill::partition_to_files(ctx, &spill, input.rows, layout, fanout, |t| {
+                    Some(super::spill::route_salted(&t.key(&all_idx), 0, fanout))
+                })?;
+            let mut rows = Vec::new();
+            for f in &files {
+                let part = super::spill::read_spill(ctx, f, layout)?;
+                let mut seen = HashSet::with_capacity(part.len());
+                for (n, t) in part.into_iter().enumerate() {
+                    if n % INTERRUPT_CHECK_INTERVAL == 0 {
+                        ctx.check_interrupt()?;
+                    }
+                    if seen.insert(t.clone()) {
+                        rows.push(t);
+                    }
+                }
+            }
+            return Ok(Rel::new(input.schema, rows));
+        }
+        Some((false, grant)) => grant,
+        None => None,
+    };
     let mut seen = HashSet::with_capacity(input.rows.len());
     let mut rows = Vec::new();
     for (n, t) in input.rows.into_iter().enumerate() {
@@ -34,6 +70,49 @@ pub fn distinct(ctx: &ExecCtx, input: Rel) -> Result<Rel, ExecError> {
     Ok(out)
 }
 
+/// The in-memory grouping kernel shared by the one-shot aggregate and
+/// each spilled partition: accumulates `rows` into per-group
+/// accumulator rows, emitted in first-seen group order. Per-row tuple
+/// ops are charged by the caller, once, over the full input.
+fn accumulate_groups(
+    ctx: &ExecCtx,
+    rows: &[Tuple],
+    group_idx: &[usize],
+    agg_idx: &[Option<usize>],
+    aggs: &[AggCall],
+) -> Result<Vec<Tuple>, ExecError> {
+    let mut groups: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
+    let mut order: Vec<Vec<Value>> = Vec::new(); // deterministic output order
+    for (n, t) in rows.iter().enumerate() {
+        if n % INTERRUPT_CHECK_INTERVAL == 0 {
+            ctx.check_interrupt()?;
+        }
+        let key = t.key(group_idx);
+        let accs = match groups.entry(key.clone()) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => {
+                order.push(key);
+                e.insert(aggs.iter().map(|a| Accumulator::new(a.func)).collect())
+            }
+        };
+        for (acc, idx) in accs.iter_mut().zip(agg_idx) {
+            let v = match idx {
+                Some(i) => t.value(*i).clone(),
+                None => Value::Bool(true), // COUNT(*)
+            };
+            acc.update(&v)?;
+        }
+    }
+    let mut out = Vec::with_capacity(groups.len());
+    for key in order {
+        let accs = &groups[&key];
+        let mut vals = key;
+        vals.extend(accs.iter().map(Accumulator::finish));
+        out.push(Tuple::new(vals));
+    }
+    Ok(out)
+}
+
 /// Hash aggregation over `group_by` columns.
 ///
 /// Output schema: the grouping columns (names preserved) followed by one
@@ -44,6 +123,13 @@ pub fn distinct(ctx: &ExecCtx, input: Rel) -> Result<Rel, ExecError> {
 /// Charges `1 + #aggregates` tuple ops per input row (group-key hash
 /// plus accumulator updates), plus external partitioning I/O when the
 /// *output* (the group hash table) exceeds memory.
+///
+/// With memory governance enabled, a grouped aggregate whose input
+/// exceeds buffer memory (or whose grant is denied) hash-partitions the
+/// input on the group key to temp files; each group is then fully
+/// contained in one partition, so partitionwise accumulation produces
+/// the exact group multiset, emitted partition-major. Scalar aggregates
+/// (one output row) never spill.
 pub fn hash_aggregate(
     ctx: &ExecCtx,
     input: Rel,
@@ -81,31 +167,40 @@ pub fn hash_aggregate(
     ctx.ledger
         .tuple_ops(input.rows.len() as u64 * (1 + aggs.len()) as u64);
 
-    let mut groups: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
-    let mut order: Vec<Vec<Value>> = Vec::new(); // deterministic output order
-    for (n, t) in input.rows.iter().enumerate() {
-        if n % INTERRUPT_CHECK_INTERVAL == 0 {
-            ctx.check_interrupt()?;
-        }
-        let key = t.key(&group_idx);
-        let accs = match groups.entry(key.clone()) {
-            Entry::Occupied(e) => e.into_mut(),
-            Entry::Vacant(e) => {
-                order.push(key);
-                e.insert(aggs.iter().map(|a| Accumulator::new(a.func)).collect())
+    let _grant = if group_idx.is_empty() {
+        None
+    } else {
+        match ctx.spill_decision(input.page_count()) {
+            Some((true, _)) => {
+                let spill = ctx.spill_ctx().expect("spill decision implies ctx").clone();
+                ctx.spill_stats().spills.fetch_add(1, Ordering::Relaxed);
+                let layout = PageLayout::for_schema(&input.schema);
+                let fanout = super::spill::spill_fanout(ctx);
+                let gidx = group_idx.clone();
+                let files = super::spill::partition_to_files(
+                    ctx,
+                    &spill,
+                    input.rows,
+                    layout,
+                    fanout,
+                    |t| Some(super::spill::route_salted(&t.key(&gidx), 0, fanout)),
+                )?;
+                let mut rows = Vec::new();
+                for f in &files {
+                    let part = super::spill::read_spill(ctx, f, layout)?;
+                    rows.extend(accumulate_groups(ctx, &part, &group_idx, &agg_idx, aggs)?);
+                }
+                return Ok(Rel::new(schema, rows));
             }
-        };
-        for (acc, idx) in accs.iter_mut().zip(&agg_idx) {
-            let v = match idx {
-                Some(i) => t.value(*i).clone(),
-                None => Value::Bool(true), // COUNT(*)
-            };
-            acc.update(&v)?;
+            Some((false, grant)) => grant,
+            None => None,
         }
-    }
+    };
+
+    let rows = accumulate_groups(ctx, &input.rows, &group_idx, &agg_idx, aggs)?;
 
     // Scalar aggregate over empty input: one row of empty-group values.
-    if group_idx.is_empty() && groups.is_empty() {
+    if group_idx.is_empty() && rows.is_empty() {
         let vals: Vec<Value> = aggs
             .iter()
             .map(|a| Accumulator::new(a.func).finish())
@@ -113,13 +208,6 @@ pub fn hash_aggregate(
         return Ok(Rel::new(schema, vec![Tuple::new(vals)]));
     }
 
-    let mut rows = Vec::with_capacity(groups.len());
-    for key in order {
-        let accs = &groups[&key];
-        let mut vals = key;
-        vals.extend(accs.iter().map(Accumulator::finish));
-        rows.push(Tuple::new(vals));
-    }
     let out = Rel::new(schema, rows);
     charge_external_sort(ctx, out.page_count());
     Ok(out)

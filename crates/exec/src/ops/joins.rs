@@ -210,14 +210,33 @@ pub fn hash_join(
     };
     let pred = bind_residual(residual, &full_schema)?;
 
-    // Grace partitioning charge when the build side spills. The spilled
-    // partitions count against the governor's memory budget.
-    if inner.page_count() > ctx.memory_pages {
-        let p = inner.page_count() + outer.page_count();
-        ctx.ledger.write_pages(p);
-        ctx.ledger.read_pages(p);
-        ctx.charge_materialized_pages(p);
-    }
+    // Grace partitioning when the build side exceeds buffer memory (or
+    // the broker denies the grant). With spilling enabled the partition
+    // pass is *physical* — temp files, charged page by page as written
+    // and read back — and the partitions live on disk, not against the
+    // governor's memory budget. Without it (seed behaviour), the same
+    // pass is simulated: charged up front and counted as materialized.
+    let _grant = match ctx.spill_decision(inner.page_count()) {
+        Some((true, _)) => {
+            ctx.ledger
+                .tuple_ops(inner.rows.len() as u64 + outer.rows.len() as u64);
+            let spill = ctx.spill_ctx().expect("spill decision implies ctx").clone();
+            let rows = super::spill::grace_hash_join(
+                ctx, &spill, outer, inner, &okeys, &ikeys, &pred, kind,
+            )?;
+            return Ok(Rel::new(out_schema, rows));
+        }
+        Some((false, grant)) => grant,
+        None => {
+            if inner.page_count() > ctx.memory_pages {
+                let p = inner.page_count() + outer.page_count();
+                ctx.ledger.write_pages(p);
+                ctx.ledger.read_pages(p);
+                ctx.charge_materialized_pages(p);
+            }
+            None
+        }
+    };
 
     ctx.ledger
         .tuple_ops(inner.rows.len() as u64 + outer.rows.len() as u64);
@@ -236,7 +255,7 @@ pub fn hash_join(
 /// join and each partition of the parallel one. Charges one tuple op
 /// per emitted row (the build/probe per-row ops are charged by the
 /// caller, once, over the full inputs).
-fn hash_probe<I: std::borrow::Borrow<Tuple> + Sync>(
+pub(crate) fn hash_probe<I: std::borrow::Borrow<Tuple> + Sync>(
     ctx: &ExecCtx,
     outer_rows: &[I],
     inner_rows: &[I],
@@ -363,6 +382,35 @@ fn partitioned_hash_probe(
     Ok(rows)
 }
 
+/// Sorts one merge-join input that did not arrive in its join-key
+/// order, degrading to the external merge sort when memory governance
+/// says to (same decision rule as the standalone sort operator). The
+/// in-memory path keeps the seed's simulated external-sort charge.
+fn sort_unsorted_side(
+    ctx: &ExecCtx,
+    mut rows: Vec<Tuple>,
+    keys: &[usize],
+    layout: fj_storage::PageLayout,
+) -> Result<Vec<Tuple>, ExecError> {
+    let n = rows.len() as u64;
+    if n > 1 {
+        ctx.ledger
+            .tuple_ops(n * (64 - (n - 1).leading_zeros() as u64));
+    }
+    let pages = layout.pages(n);
+    let _grant = match ctx.spill_decision(pages) {
+        Some((true, _)) => {
+            let spill = ctx.spill_ctx().expect("spill decision implies ctx").clone();
+            return super::spill::external_sort_rows(ctx, &spill, layout, rows, keys);
+        }
+        Some((false, grant)) => grant,
+        None => None,
+    };
+    charge_external_sort_pages(ctx, pages);
+    rows.sort_by_key(|a| a.key(keys));
+    Ok(rows)
+}
+
 /// True iff `rows` is already sorted by the key positions. Charges one
 /// tuple op per comparison (the detection pass a real engine's sort
 /// operator performs before deciding to spill).
@@ -398,24 +446,14 @@ pub fn merge_join(
     let no = outer.rows.len() as u64;
     let ni = inner.rows.len() as u64;
     let mut left = outer.rows;
-    let outer_pages = fj_storage::PageLayout::for_schema(&outer.schema).pages(no);
+    let outer_layout = fj_storage::PageLayout::for_schema(&outer.schema);
     if !is_sorted_by(ctx, &left, &okeys) {
-        if no > 1 {
-            ctx.ledger
-                .tuple_ops(no * (64 - (no - 1).leading_zeros() as u64));
-        }
-        charge_external_sort_pages(ctx, outer_pages);
-        left.sort_by_key(|a| a.key(&okeys));
+        left = sort_unsorted_side(ctx, left, &okeys, outer_layout)?;
     }
     let mut right = inner.rows;
-    let inner_pages = fj_storage::PageLayout::for_schema(&inner.schema).pages(ni);
+    let inner_layout = fj_storage::PageLayout::for_schema(&inner.schema);
     if !is_sorted_by(ctx, &right, &ikeys) {
-        if ni > 1 {
-            ctx.ledger
-                .tuple_ops(ni * (64 - (ni - 1).leading_zeros() as u64));
-        }
-        charge_external_sort_pages(ctx, inner_pages);
-        right.sort_by_key(|a| a.key(&ikeys));
+        right = sort_unsorted_side(ctx, right, &ikeys, inner_layout)?;
     }
 
     ctx.ledger.tuple_ops(no + ni);

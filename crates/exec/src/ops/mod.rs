@@ -14,4 +14,5 @@ pub mod parallel;
 pub mod scan;
 pub mod ship;
 pub mod sort;
+pub mod spill;
 pub mod temp;

@@ -26,6 +26,18 @@ pub fn sort(ctx: &ExecCtx, input: Rel, keys: &[String]) -> Result<Rel, ExecError
         ctx.ledger
             .tuple_ops(n * (64 - (n - 1).leading_zeros() as u64));
     }
+    // Memory governance: a physical external merge sort when the input
+    // exceeds buffer memory or the broker denies the grant; otherwise
+    // hold the grant (if any) for the in-memory sort below, which keeps
+    // the seed's simulated external-sort charge.
+    let _grant = match ctx.spill_decision(input.page_count()) {
+        Some((true, _)) => {
+            let spill = ctx.spill_ctx().expect("spill decision implies ctx").clone();
+            return super::spill::external_sort(ctx, &spill, input, &key_idx);
+        }
+        Some((false, grant)) => grant,
+        None => None,
+    };
     charge_external_sort(ctx, input.page_count());
     let mut rows = input.rows;
     rows.sort_by_key(|a| a.key(&key_idx));

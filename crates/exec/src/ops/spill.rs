@@ -1,0 +1,670 @@
+//! Spilling execution paths: grace hash join, external merge sort, and
+//! the partition/read-back helpers shared with the spillable aggregate
+//! and distinct.
+//!
+//! These paths run when a [`crate::context::SpillCtx`] is attached and
+//! [`crate::ExecCtx::spill_decision`] says to degrade: either the state
+//! to pin exceeds buffer memory `M` (the same trigger the cost model's
+//! simulated grace/sort charges key on), or the service-wide
+//! [`crate::broker::MemoryBroker`] denied the grant. They write
+//! checksummed temp partition files through [`fj_storage::TempStore`],
+//! poll the interrupt on every partition flush, and charge the ledger
+//! the *physical* page I/O they perform — by the same
+//! [`PageLayout`] accounting the optimizer's formulas use, so spill
+//! charges reconcile with the simulated grace charges up to
+//! per-partition ceiling fragmentation (asserted by the cost-parity
+//! tests, documented in `DESIGN.md`).
+//!
+//! Frames are written one logical page at a time (`tuples_per_page`
+//! rows per frame), which makes the ledger charge, the spill-stats
+//! counters, and the temp store's byte counters all derive from the
+//! same flush events.
+
+use crate::context::{ExecCtx, SpillCtx};
+use crate::error::ExecError;
+use crate::interrupt::INTERRUPT_CHECK_INTERVAL;
+use crate::ops::joins::hash_probe;
+use crate::physical::Rel;
+use fj_algebra::JoinKind;
+use fj_expr::BoundExpr;
+use fj_storage::{PageLayout, SpillFile, SpillReader, TempWriter, Tuple, Value};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::Ordering;
+
+/// Cap on partition fanout, bounding open temp files per operator.
+const MAX_FANOUT: usize = 32;
+
+/// Partition fanout for the context's buffer memory: one buffer page
+/// per output partition, one reserved for input — the classic grace
+/// layout — bounded to keep file handles sane.
+pub(crate) fn spill_fanout(ctx: &ExecCtx) -> usize {
+    (ctx.memory_pages.saturating_sub(1) as usize).clamp(2, MAX_FANOUT)
+}
+
+/// Routes a key to a partition, salted by recursion depth so a skewed
+/// partition re-splits on different boundaries at the next level.
+pub(crate) fn route_salted(key: &[Value], depth: usize, fanout: usize) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    (depth as u64)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .hash(&mut h);
+    key.hash(&mut h);
+    (h.finish() % fanout.max(1) as u64) as usize
+}
+
+fn flush_frame(
+    ctx: &ExecCtx,
+    writer: &mut TempWriter,
+    pending: &mut Vec<Tuple>,
+) -> Result<(), ExecError> {
+    // The poll on every partition flush: a cancelled query stops
+    // spilling within one page's worth of rows.
+    ctx.check_interrupt()?;
+    writer.write_rows(pending).map_err(ExecError::Storage)?;
+    pending.clear();
+    ctx.ledger.write_pages(1);
+    ctx.spill_stats()
+        .pages_written
+        .fetch_add(1, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Hash-partitions `rows` into `fanout` sealed temp files. `route`
+/// returns `None` to drop a row (NULL join keys never match, so
+/// spilling them is pointless). Charges one page write per flushed
+/// frame.
+pub(crate) fn partition_to_files(
+    ctx: &ExecCtx,
+    spill: &SpillCtx,
+    rows: Vec<Tuple>,
+    layout: PageLayout,
+    fanout: usize,
+    route: impl Fn(&Tuple) -> Option<usize>,
+) -> Result<Vec<SpillFile>, ExecError> {
+    let batch = layout.tuples_per_page.max(1) as usize;
+    let mut writers = Vec::with_capacity(fanout);
+    let mut pending: Vec<Vec<Tuple>> = Vec::with_capacity(fanout);
+    for _ in 0..fanout {
+        writers.push(spill.temp.create_file().map_err(ExecError::Storage)?);
+        pending.push(Vec::with_capacity(batch));
+    }
+    for t in rows {
+        let Some(p) = route(&t) else { continue };
+        pending[p].push(t);
+        if pending[p].len() >= batch {
+            flush_frame(ctx, &mut writers[p], &mut pending[p])?;
+        }
+    }
+    let mut files = Vec::with_capacity(fanout);
+    for (mut w, mut pend) in writers.into_iter().zip(pending) {
+        if !pend.is_empty() {
+            flush_frame(ctx, &mut w, &mut pend)?;
+        }
+        files.push(w.seal().map_err(ExecError::Storage)?);
+    }
+    ctx.spill_stats()
+        .partitions
+        .fetch_add(fanout as u64, Ordering::Relaxed);
+    Ok(files)
+}
+
+/// Reads a sealed partition back into memory, charging one page read
+/// per page it occupies.
+pub(crate) fn read_spill(
+    ctx: &ExecCtx,
+    file: &SpillFile,
+    layout: PageLayout,
+) -> Result<Vec<Tuple>, ExecError> {
+    ctx.check_interrupt()?;
+    let rows = file.read_all().map_err(ExecError::Storage)?;
+    let pages = layout.pages(rows.len() as u64);
+    ctx.ledger.read_pages(pages);
+    ctx.spill_stats()
+        .pages_read
+        .fetch_add(pages, Ordering::Relaxed);
+    Ok(rows)
+}
+
+/// Physical grace hash join: partitions both inputs to temp files on
+/// the join key, then probes partitionwise in memory, recursing (with a
+/// re-salted hash) on partitions whose build side still exceeds buffer
+/// memory, down to the configured depth bound. The output multiset is
+/// identical to the in-memory join: partitions are disjoint by key
+/// hash, and NULL keys (dropped at partitioning) never match anyway.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn grace_hash_join(
+    ctx: &ExecCtx,
+    spill: &SpillCtx,
+    outer: Rel,
+    inner: Rel,
+    okeys: &[usize],
+    ikeys: &[usize],
+    pred: &Option<BoundExpr>,
+    kind: JoinKind,
+) -> Result<Vec<Tuple>, ExecError> {
+    let olayout = PageLayout::for_schema(&outer.schema);
+    let ilayout = PageLayout::for_schema(&inner.schema);
+    grace_recurse(
+        ctx, spill, outer.rows, inner.rows, olayout, ilayout, okeys, ikeys, pred, kind, 0,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn grace_recurse(
+    ctx: &ExecCtx,
+    spill: &SpillCtx,
+    outer_rows: Vec<Tuple>,
+    inner_rows: Vec<Tuple>,
+    olayout: PageLayout,
+    ilayout: PageLayout,
+    okeys: &[usize],
+    ikeys: &[usize],
+    pred: &Option<BoundExpr>,
+    kind: JoinKind,
+    depth: usize,
+) -> Result<Vec<Tuple>, ExecError> {
+    ctx.spill_stats().spills.fetch_add(1, Ordering::Relaxed);
+    let fanout = spill_fanout(ctx);
+    let inner_files = partition_to_files(ctx, spill, inner_rows, ilayout, fanout, |t| {
+        let key = t.key(ikeys);
+        if key.iter().any(Value::is_null) {
+            None
+        } else {
+            Some(route_salted(&key, depth, fanout))
+        }
+    })?;
+    let outer_files = partition_to_files(ctx, spill, outer_rows, olayout, fanout, |t| {
+        let key = t.key(okeys);
+        if key.iter().any(Value::is_null) {
+            None
+        } else {
+            Some(route_salted(&key, depth, fanout))
+        }
+    })?;
+
+    let mut out = Vec::new();
+    for (of, inf) in outer_files.iter().zip(&inner_files) {
+        let ip = read_spill(ctx, inf, ilayout)?;
+        let op = read_spill(ctx, of, olayout)?;
+        let build_pages = ilayout.pages(ip.len() as u64);
+        if build_pages > ctx.memory_pages && depth + 1 < spill.max_depth {
+            // Skewed partition: re-split with a different salt. A
+            // single-key partition can never split further — the depth
+            // bound stops the recursion and the probe below absorbs it.
+            out.extend(grace_recurse(
+                ctx,
+                spill,
+                op,
+                ip,
+                olayout,
+                ilayout,
+                okeys,
+                ikeys,
+                pred,
+                kind,
+                depth + 1,
+            )?);
+        } else {
+            // Best-effort grant for the in-memory probe of this
+            // partition; a denial no longer changes the plan — the
+            // inputs are already on disk and partition-sized.
+            let _grant = spill.broker.try_reserve(build_pages);
+            out.extend(hash_probe(ctx, &op, &ip, okeys, ikeys, pred, kind)?);
+        }
+    }
+    Ok(out)
+}
+
+/// External merge sort over a whole relation.
+pub(crate) fn external_sort(
+    ctx: &ExecCtx,
+    spill: &SpillCtx,
+    input: Rel,
+    key_idx: &[usize],
+) -> Result<Rel, ExecError> {
+    let layout = PageLayout::for_schema(&input.schema);
+    let rows = external_sort_rows(ctx, spill, layout, input.rows, key_idx)?;
+    Ok(Rel::new(input.schema, rows))
+}
+
+/// External merge sort: memory-sized sorted runs spilled to temp files,
+/// merged `M−1` ways per pass, with the final pass streaming straight
+/// into the output vector. Runs are formed from consecutive input
+/// chunks and ties merge lowest-run-first, which reproduces the stable
+/// in-memory `sort_by_key` order byte-for-byte — so interesting orders
+/// (and secondary orderings under equal keys) are preserved exactly.
+pub(crate) fn external_sort_rows(
+    ctx: &ExecCtx,
+    spill: &SpillCtx,
+    layout: PageLayout,
+    rows: Vec<Tuple>,
+    key_idx: &[usize],
+) -> Result<Vec<Tuple>, ExecError> {
+    if rows.is_empty() {
+        return Ok(rows);
+    }
+    ctx.spill_stats().spills.fetch_add(1, Ordering::Relaxed);
+    let run_rows = (ctx.memory_pages * layout.tuples_per_page).max(1) as usize;
+
+    let mut runs: Vec<SpillFile> = Vec::new();
+    for chunk in rows.chunks(run_rows) {
+        let mut run = chunk.to_vec();
+        run.sort_by_key(|a| a.key(key_idx));
+        runs.push(write_run(ctx, spill, layout, &run)?);
+    }
+    drop(rows);
+
+    let fan_in = (ctx.memory_pages.saturating_sub(1) as usize).max(2);
+    while runs.len() > fan_in {
+        let mut next = Vec::with_capacity(runs.len().div_ceil(fan_in));
+        let mut iter = runs.into_iter().peekable();
+        while iter.peek().is_some() {
+            let group: Vec<SpillFile> = iter.by_ref().take(fan_in).collect();
+            next.push(merge_to_file(ctx, spill, layout, &group, key_idx)?);
+        }
+        runs = next;
+    }
+
+    let mut out = Vec::new();
+    merge_runs(ctx, &runs, key_idx, |t| {
+        out.push(t);
+        Ok(())
+    })?;
+    Ok(out)
+}
+
+/// Writes one sorted run, a page-sized frame at a time.
+fn write_run(
+    ctx: &ExecCtx,
+    spill: &SpillCtx,
+    layout: PageLayout,
+    run: &[Tuple],
+) -> Result<SpillFile, ExecError> {
+    let batch = layout.tuples_per_page.max(1) as usize;
+    let mut w = spill.temp.create_file().map_err(ExecError::Storage)?;
+    for chunk in run.chunks(batch) {
+        let mut pending = chunk.to_vec();
+        flush_frame(ctx, &mut w, &mut pending)?;
+    }
+    ctx.spill_stats().partitions.fetch_add(1, Ordering::Relaxed);
+    w.seal().map_err(ExecError::Storage)
+}
+
+/// One merge pass over a group of runs, spilling the merged run back.
+fn merge_to_file(
+    ctx: &ExecCtx,
+    spill: &SpillCtx,
+    layout: PageLayout,
+    group: &[SpillFile],
+    key_idx: &[usize],
+) -> Result<SpillFile, ExecError> {
+    let batch = layout.tuples_per_page.max(1) as usize;
+    let mut w = spill.temp.create_file().map_err(ExecError::Storage)?;
+    let mut pending: Vec<Tuple> = Vec::with_capacity(batch);
+    merge_runs(ctx, group, key_idx, |t| {
+        pending.push(t);
+        if pending.len() >= batch {
+            flush_frame(ctx, &mut w, &mut pending)?;
+        }
+        Ok(())
+    })?;
+    if !pending.is_empty() {
+        flush_frame(ctx, &mut w, &mut pending)?;
+    }
+    ctx.spill_stats().partitions.fetch_add(1, Ordering::Relaxed);
+    w.seal().map_err(ExecError::Storage)
+}
+
+/// A streaming cursor over one run's frames (one page per frame).
+struct RunCursor {
+    reader: SpillReader,
+    batch: std::vec::IntoIter<Tuple>,
+}
+
+impl RunCursor {
+    fn next(&mut self, ctx: &ExecCtx) -> Result<Option<Tuple>, ExecError> {
+        loop {
+            if let Some(t) = self.batch.next() {
+                return Ok(Some(t));
+            }
+            ctx.check_interrupt()?;
+            match self.reader.next_batch().map_err(ExecError::Storage)? {
+                Some(b) => {
+                    ctx.ledger.read_pages(1);
+                    ctx.spill_stats().pages_read.fetch_add(1, Ordering::Relaxed);
+                    self.batch = b.into_iter();
+                }
+                None => return Ok(None),
+            }
+        }
+    }
+}
+
+/// K-way merge of sorted runs into `emit`, stable across runs: ties
+/// surface lowest run index first.
+fn merge_runs(
+    ctx: &ExecCtx,
+    runs: &[SpillFile],
+    key_idx: &[usize],
+    mut emit: impl FnMut(Tuple) -> Result<(), ExecError>,
+) -> Result<(), ExecError> {
+    let mut cursors = Vec::with_capacity(runs.len());
+    for f in runs {
+        cursors.push(RunCursor {
+            reader: f.reader().map_err(ExecError::Storage)?,
+            batch: Vec::new().into_iter(),
+        });
+    }
+    let mut heads: Vec<Option<Tuple>> = Vec::with_capacity(cursors.len());
+    let mut heap: BinaryHeap<Reverse<(Vec<Value>, usize)>> = BinaryHeap::new();
+    for (i, c) in cursors.iter_mut().enumerate() {
+        let head = c.next(ctx)?;
+        if let Some(t) = &head {
+            heap.push(Reverse((t.key(key_idx), i)));
+        }
+        heads.push(head);
+    }
+    let mut since_check = 0usize;
+    while let Some(Reverse((_, i))) = heap.pop() {
+        since_check += 1;
+        if since_check >= INTERRUPT_CHECK_INTERVAL {
+            since_check = 0;
+            ctx.check_interrupt()?;
+        }
+        let t = heads[i].take().expect("heap entry implies a live head");
+        emit(t)?;
+        let head = cursors[i].next(ctx)?;
+        if let Some(t) = &head {
+            heap.push(Reverse((t.key(key_idx), i)));
+        }
+        heads[i] = head;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::MemoryBroker;
+    use crate::context::SpillCtx;
+    use crate::interrupt::InterruptReason;
+    use crate::ops::sort::merge_passes;
+    use crate::ops::{agg, joins, sort as sort_op};
+    use fj_algebra::Catalog;
+    use fj_expr::{AggCall, AggFunc};
+    use fj_storage::{tuple, DataType, Schema, TempStore};
+    use std::sync::Arc;
+
+    fn base_ctx(m: u64) -> ExecCtx {
+        ExecCtx::new(Arc::new(Catalog::new())).with_memory_pages(m)
+    }
+
+    fn spilling_ctx(m: u64, watermark: u64) -> (ExecCtx, Arc<TempStore>) {
+        let temp = Arc::new(TempStore::open_scratch().unwrap());
+        let broker = MemoryBroker::new(watermark);
+        let c = base_ctx(m).with_spill(SpillCtx::new(Arc::clone(&temp), broker));
+        (c, temp)
+    }
+
+    fn left(n: i64) -> Rel {
+        Rel::new(
+            Schema::from_pairs(&[("L.k", DataType::Int), ("L.v", DataType::Int)]).into_ref(),
+            (0..n).map(|i| tuple![i % 50, i]).collect(),
+        )
+    }
+
+    fn right(n: i64) -> Rel {
+        Rel::new(
+            Schema::from_pairs(&[("R.k", DataType::Int), ("R.w", DataType::Int)]).into_ref(),
+            (0..n).map(|i| tuple![i % 50, -i]).collect(),
+        )
+    }
+
+    fn join_keys() -> Vec<(String, String)> {
+        vec![("L.k".to_string(), "R.k".to_string())]
+    }
+
+    fn sorted(mut rows: Vec<Tuple>) -> Vec<Tuple> {
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn grace_join_matches_oracle_and_reconciles_charges() {
+        let oracle = joins::hash_join(
+            &base_ctx(128),
+            left(1200),
+            right(1200),
+            &join_keys(),
+            None,
+            JoinKind::Inner,
+        )
+        .unwrap();
+
+        let (c, temp) = spilling_ctx(5, 1 << 20);
+        let (l, r) = (left(1200), right(1200));
+        let p_sim = l.page_count() + r.page_count();
+        assert!(r.page_count() > 5, "test needs an over-memory build side");
+        let before = c.ledger.snapshot();
+        let spilled = joins::hash_join(&c, l, r, &join_keys(), None, JoinKind::Inner).unwrap();
+        assert_eq!(sorted(spilled.rows), sorted(oracle.rows));
+
+        // Cost parity: the ledger was charged exactly the physical temp
+        // I/O, everything written was read back, and the physical total
+        // exceeds the simulated grace pass only by per-partition
+        // ceiling fragmentation (< 2 sides × fanout partial pages).
+        let d = c.ledger.snapshot().delta(&before);
+        let snap = c.spill_snapshot();
+        assert!(snap.spills >= 1);
+        assert_eq!(d.page_writes, snap.pages_written);
+        assert_eq!(d.page_reads, snap.pages_read);
+        assert_eq!(snap.pages_read, snap.pages_written);
+        let fanout = spill_fanout(&c) as u64;
+        assert!(snap.pages_written >= p_sim);
+        assert!(snap.pages_written < p_sim + 2 * fanout);
+
+        // RAII: every partition file was deleted as its SpillFile dropped.
+        let stats = temp.stats();
+        assert!(stats.files_created > 0);
+        assert_eq!(stats.files_deleted, stats.files_created);
+        assert_eq!(temp.live_files_on_disk().unwrap(), 0);
+    }
+
+    #[test]
+    fn grace_join_recurses_on_tiny_memory_and_still_agrees() {
+        let oracle = joins::hash_join(
+            &base_ctx(128),
+            left(2000),
+            right(2000),
+            &join_keys(),
+            None,
+            JoinKind::Inner,
+        )
+        .unwrap();
+        let (c, temp) = spilling_ctx(3, 1 << 20);
+        let spilled = joins::hash_join(
+            &c,
+            left(2000),
+            right(2000),
+            &join_keys(),
+            None,
+            JoinKind::Inner,
+        )
+        .unwrap();
+        assert_eq!(sorted(spilled.rows), sorted(oracle.rows));
+        // Fanout 2 over >3-page partitions forces recursive re-partitioning.
+        assert!(c.spill_snapshot().spills > 1, "expected recursion");
+        assert_eq!(temp.live_files_on_disk().unwrap(), 0);
+    }
+
+    #[test]
+    fn semi_join_spills_too() {
+        let oracle = joins::hash_join(
+            &base_ctx(128),
+            left(1200),
+            right(1200),
+            &join_keys(),
+            None,
+            JoinKind::Semi,
+        )
+        .unwrap();
+        let (c, _temp) = spilling_ctx(4, 1 << 20);
+        let spilled = joins::hash_join(
+            &c,
+            left(1200),
+            right(1200),
+            &join_keys(),
+            None,
+            JoinKind::Semi,
+        )
+        .unwrap();
+        assert_eq!(sorted(spilled.rows), sorted(oracle.rows));
+        assert!(c.spill_snapshot().spills >= 1);
+    }
+
+    fn sort_input(n: i64) -> Rel {
+        Rel::new(
+            Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int)]).into_ref(),
+            (0..n).map(|i| tuple![(n - i) % 53, i]).collect(),
+        )
+    }
+
+    #[test]
+    fn external_sort_is_byte_identical_to_stable_in_memory_sort() {
+        let oracle = sort_op::sort(&base_ctx(128), sort_input(9600), &["a".into()]).unwrap();
+        let (c, temp) = spilling_ctx(4, 1 << 20);
+        let input = sort_input(9600);
+        let pages = input.page_count();
+        assert!(pages > 4);
+        let before = c.ledger.snapshot();
+        let spilled = sort_op::sort(&c, input, &["a".into()]).unwrap();
+        // Exact row-vector equality: equal keys keep their input order,
+        // so the merge reproduces the stable in-memory sort exactly.
+        assert_eq!(spilled.rows, oracle.rows);
+
+        // Cost parity with the simulated formula 2P·(1+passes): the
+        // physical sort writes P pages per pass (run formation plus
+        // each intermediate merge) and reads back everything written —
+        // P·passes each way. The missing P per direction is real: run
+        // formation sorts rows already in memory, and the final merge
+        // streams to the output without writing.
+        let d = c.ledger.snapshot().delta(&before);
+        let snap = c.spill_snapshot();
+        let passes = merge_passes(pages, 4);
+        assert!(passes > 1, "want at least one intermediate merge pass");
+        assert_eq!(d.page_writes, pages * passes);
+        assert_eq!(d.page_reads, pages * passes);
+        assert_eq!(snap.pages_written, pages * passes);
+        assert_eq!(snap.pages_read, pages * passes);
+        assert_eq!(temp.live_files_on_disk().unwrap(), 0);
+    }
+
+    #[test]
+    fn broker_denial_forces_spill_even_when_input_fits_memory() {
+        let oracle = sort_op::sort(&base_ctx(128), sort_input(4800), &["a".into()]).unwrap();
+        // Plenty of buffer memory, but a 1-page service watermark: the
+        // broker denies the grant and the sort degrades to disk.
+        let (c, temp) = spilling_ctx(128, 1);
+        let input = sort_input(4800);
+        let pages = input.page_count();
+        let spilled = sort_op::sort(&c, input, &["a".into()]).unwrap();
+        assert_eq!(spilled.rows, oracle.rows);
+        let snap = c.spill_snapshot();
+        assert_eq!(snap.spills, 1);
+        // One memory-sized run (it fit), written and read back once.
+        assert_eq!(snap.pages_written, pages);
+        assert_eq!(snap.pages_read, pages);
+        assert_eq!(c.spill_ctx().unwrap().broker.denials(), 1);
+        assert_eq!(temp.live_files_on_disk().unwrap(), 0);
+    }
+
+    #[test]
+    fn spilled_aggregate_and_distinct_match_oracle() {
+        let aggs = [
+            AggCall::count_star("n"),
+            AggCall::new(AggFunc::Sum, "b", "s"),
+        ];
+        let oracle_agg =
+            agg::hash_aggregate(&base_ctx(128), sort_input(9600), &["a".into()], &aggs).unwrap();
+        let (c, temp) = spilling_ctx(4, 1 << 20);
+        let spilled_agg = agg::hash_aggregate(&c, sort_input(9600), &["a".into()], &aggs).unwrap();
+        assert_eq!(sorted(spilled_agg.rows), sorted(oracle_agg.rows));
+        assert!(c.spill_snapshot().spills >= 1);
+
+        let dup = |n: i64| {
+            Rel::new(
+                Schema::from_pairs(&[("a", DataType::Int)]).into_ref(),
+                (0..n).map(|i| tuple![i % 500]).collect(),
+            )
+        };
+        let oracle_d = agg::distinct(&base_ctx(128), dup(9600)).unwrap();
+        let (c2, temp2) = spilling_ctx(4, 1 << 20);
+        let spilled_d = agg::distinct(&c2, dup(9600)).unwrap();
+        assert_eq!(sorted(spilled_d.rows), sorted(oracle_d.rows));
+        assert!(c2.spill_snapshot().spills >= 1);
+        assert_eq!(temp.live_files_on_disk().unwrap(), 0);
+        assert_eq!(temp2.live_files_on_disk().unwrap(), 0);
+    }
+
+    #[test]
+    fn scalar_aggregate_never_spills() {
+        let (c, _temp) = spilling_ctx(4, 1 << 20);
+        let r =
+            agg::hash_aggregate(&c, sort_input(9600), &[], &[AggCall::count_star("n")]).unwrap();
+        assert_eq!(r.rows, vec![tuple![9600]]);
+        assert_eq!(c.spill_snapshot().spills, 0);
+    }
+
+    #[test]
+    fn query_dying_on_memory_budget_at_seed_succeeds_with_spilling() {
+        // Seed behaviour: the simulated external sort materializes P
+        // pages against the governor's budget and the query dies.
+        let seed = base_ctx(4).with_memory_budget_pages(10);
+        let err = sort_op::sort(&seed, sort_input(9600), &["a".into()]).unwrap_err();
+        assert_eq!(err, ExecError::Interrupted(InterruptReason::MemoryBudget));
+
+        // Same budget, spilling on: runs live on disk, not in the
+        // memory budget, and the query completes with the oracle rows.
+        let oracle = sort_op::sort(&base_ctx(128), sort_input(9600), &["a".into()]).unwrap();
+        let temp = Arc::new(TempStore::open_scratch().unwrap());
+        let c = base_ctx(4)
+            .with_memory_budget_pages(10)
+            .with_spill(SpillCtx::new(Arc::clone(&temp), MemoryBroker::new(1 << 20)));
+        let r = sort_op::sort(&c, sort_input(9600), &["a".into()]).unwrap();
+        assert_eq!(r.rows, oracle.rows);
+    }
+
+    #[test]
+    fn cancellation_mid_spill_leaves_no_temp_files() {
+        let (c, temp) = spilling_ctx(4, 1 << 20);
+        c.interrupt.trip(InterruptReason::Cancelled);
+        let err = sort_op::sort(&c, sort_input(9600), &["a".into()]).unwrap_err();
+        assert_eq!(err, ExecError::Interrupted(InterruptReason::Cancelled));
+        assert_eq!(temp.live_files_on_disk().unwrap(), 0);
+
+        let err = joins::hash_join(
+            &c,
+            left(1200),
+            right(1200),
+            &join_keys(),
+            None,
+            JoinKind::Inner,
+        )
+        .unwrap_err();
+        assert_eq!(err, ExecError::Interrupted(InterruptReason::Cancelled));
+        assert_eq!(temp.live_files_on_disk().unwrap(), 0);
+    }
+
+    #[test]
+    fn merge_join_sorts_spill_when_governed() {
+        let oracle =
+            joins::merge_join(&base_ctx(128), left(1200), right(1200), &join_keys(), None).unwrap();
+        let (c, temp) = spilling_ctx(4, 1 << 20);
+        let spilled = joins::merge_join(&c, left(1200), right(1200), &join_keys(), None).unwrap();
+        assert_eq!(sorted(spilled.rows), sorted(oracle.rows));
+        assert!(c.spill_snapshot().spills >= 2, "both sides sort externally");
+        assert_eq!(temp.live_files_on_disk().unwrap(), 0);
+    }
+}

@@ -277,6 +277,7 @@ impl PhysPlan {
         let tracer = Arc::clone(tracer);
         let pages_before = ctx.ledger.snapshot().page_reads;
         let pool_before = ctx.pool_probe().map(|p| p.read());
+        let spill_before = ctx.spill_snapshot();
         tracer.enter(self.node_label());
         // Everything between enter and exit — the entry poll included —
         // is attributed to this node's subtree; exit runs on the error
@@ -297,6 +298,10 @@ impl PhysPlan {
             io.pool_hits = hits.saturating_sub(hits0);
             io.pool_misses = misses.saturating_sub(misses0);
         }
+        let spill_now = ctx.spill_snapshot();
+        io.spills = spill_now.spills.saturating_sub(spill_before.spills);
+        io.spill_pages = (spill_now.pages_written + spill_now.pages_read)
+            .saturating_sub(spill_before.pages_written + spill_before.pages_read);
         let rows_out = result.as_ref().map(|r| r.rows.len() as u64).unwrap_or(0);
         tracer.exit(rows_out, io);
         result

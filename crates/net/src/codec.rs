@@ -1036,6 +1036,17 @@ pub struct HealthSnapshot {
     pub dirty_pages: u64,
     /// Fuzzy checkpoints completed since start.
     pub checkpoints: u64,
+    /// Operator spill events since start (0 when spilling is off).
+    pub spills: u64,
+    /// Temp partitions created by spilling operators since start.
+    pub spill_partitions: u64,
+    /// Bytes appended to spill temp files since start.
+    pub spill_bytes_written: u64,
+    /// Bytes read back from spill temp files since start.
+    pub spill_bytes_read: u64,
+    /// High-water mark of bytes simultaneously held in live spill temp
+    /// files.
+    pub peak_temp_bytes: u64,
 }
 
 impl HealthSnapshot {
@@ -1052,7 +1063,9 @@ impl HealthSnapshot {
                 "\"semijoin_sets_shipped\":{},\"bytes_scattered\":{},",
                 "\"bytes_gathered\":{},\"mutations_applied\":{},",
                 "\"wal_deltas\":{},\"dirty_pages\":{},",
-                "\"checkpoints\":{}}}"
+                "\"checkpoints\":{},\"spills\":{},",
+                "\"spill_partitions\":{},\"spill_bytes_written\":{},",
+                "\"spill_bytes_read\":{},\"peak_temp_bytes\":{}}}"
             ),
             self.status,
             self.workers,
@@ -1073,6 +1086,11 @@ impl HealthSnapshot {
             self.wal_deltas,
             self.dirty_pages,
             self.checkpoints,
+            self.spills,
+            self.spill_partitions,
+            self.spill_bytes_written,
+            self.spill_bytes_read,
+            self.peak_temp_bytes,
         )
     }
 
@@ -1085,8 +1103,8 @@ impl HealthSnapshot {
     pub fn from_json(json: &str) -> Result<HealthSnapshot, CodecError> {
         let fields = parse_flat_json(json)?;
         let mut status = None;
-        let mut counters = [None; 18];
-        const KEYS: [&str; 18] = [
+        let mut counters = [None; 23];
+        const KEYS: [&str; 23] = [
             "workers",
             "workers_replaced",
             "queued",
@@ -1105,6 +1123,11 @@ impl HealthSnapshot {
             "wal_deltas",
             "dirty_pages",
             "checkpoints",
+            "spills",
+            "spill_partitions",
+            "spill_bytes_written",
+            "spill_bytes_read",
+            "peak_temp_bytes",
         ];
         for (key, value) in fields {
             if key == "status" {
@@ -1161,6 +1184,11 @@ impl HealthSnapshot {
             wal_deltas: counter(15)?,
             dirty_pages: counter(16)?,
             checkpoints: counter(17)?,
+            spills: counter(18)?,
+            spill_partitions: counter(19)?,
+            spill_bytes_written: counter(20)?,
+            spill_bytes_read: counter(21)?,
+            peak_temp_bytes: counter(22)?,
         })
     }
 }

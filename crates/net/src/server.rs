@@ -180,6 +180,11 @@ impl Shared {
             wal_deltas: h.wal_deltas,
             dirty_pages: h.dirty_pages,
             checkpoints: h.checkpoints,
+            spills: h.spills,
+            spill_partitions: h.spill_partitions,
+            spill_bytes_written: h.spill_bytes_written,
+            spill_bytes_read: h.spill_bytes_read,
+            peak_temp_bytes: h.peak_temp_bytes,
         }
     }
 

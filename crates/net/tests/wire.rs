@@ -144,6 +144,8 @@ fn trace_node_from(words: &mut dyn Iterator<Item = u64>, depth: usize) -> fj_tra
             pool_misses: w % 129,
             wall_micros: w % 1_000_000,
             interrupt_polls: w % 64,
+            spills: w % 17,
+            spill_pages: w % 9_999,
         },
         children: (0..fan_out)
             .map(|_| trace_node_from(words, depth + 1))
@@ -311,6 +313,7 @@ proptest! {
         wal_fsyncs in 0u64..u64::MAX,
         dist in (0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
         muts in (0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
+        spill in (0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
     ) {
         let health = HealthSnapshot {
             status: [HealthStatus::Ready, HealthStatus::Degraded, HealthStatus::Draining]
@@ -333,6 +336,11 @@ proptest! {
             wal_deltas: muts.1,
             dirty_pages: muts.2,
             checkpoints: muts.3,
+            spills: spill.0,
+            spill_partitions: spill.1,
+            spill_bytes_written: spill.2,
+            spill_bytes_read: spill.3,
+            peak_temp_bytes: spill.4,
         };
         let payload = encode_health_reply(&health).unwrap();
         prop_assert_eq!(decode_health_reply(&payload).unwrap(), health);
@@ -342,7 +350,7 @@ proptest! {
     /// The health JSON parser accepts any key order (it is a wire
     /// format other tooling may re-serialize).
     #[test]
-    fn health_json_accepts_any_key_order(shift in 0usize..19, ws in 0u64..2) {
+    fn health_json_accepts_any_key_order(shift in 0usize..24, ws in 0u64..2) {
         let health = HealthSnapshot {
             status: HealthStatus::Degraded,
             workers: 4,
@@ -363,6 +371,11 @@ proptest! {
             wal_deltas: 31,
             dirty_pages: 5,
             checkpoints: 2,
+            spills: 3,
+            spill_partitions: 24,
+            spill_bytes_written: 8192,
+            spill_bytes_read: 8192,
+            peak_temp_bytes: 4096,
         };
         let pairs = [
             ("status", "\"degraded\"".to_string()),
@@ -384,6 +397,11 @@ proptest! {
             ("wal_deltas", "31".to_string()),
             ("dirty_pages", "5".to_string()),
             ("checkpoints", "2".to_string()),
+            ("spills", "3".to_string()),
+            ("spill_partitions", "24".to_string()),
+            ("spill_bytes_written", "8192".to_string()),
+            ("spill_bytes_read", "8192".to_string()),
+            ("peak_temp_bytes", "4096".to_string()),
         ];
         let sep = if ws == 1 { " " } else { "" };
         let body = (0..pairs.len())
@@ -425,6 +443,11 @@ proptest! {
             wal_deltas: 0,
             dirty_pages: 0,
             checkpoints: 0,
+            spills: 0,
+            spill_partitions: 0,
+            spill_bytes_written: 0,
+            spill_bytes_read: 0,
+            peak_temp_bytes: 0,
         };
         let mut payload = encode_health_reply(&health).unwrap();
         for cut in 0..payload.len() {
@@ -613,7 +636,9 @@ fn adversarial_health_json_is_typed_not_panic() {
         "\"pool_evictions\":0,\"wal_fsyncs\":0,\"fragments_served\":0,",
         "\"semijoin_sets_shipped\":0,\"bytes_scattered\":0,",
         "\"bytes_gathered\":0,\"mutations_applied\":0,",
-        "\"wal_deltas\":0,\"dirty_pages\":0,\"checkpoints\":0}"
+        "\"wal_deltas\":0,\"dirty_pages\":0,\"checkpoints\":0,",
+        "\"spills\":0,\"spill_partitions\":0,\"spill_bytes_written\":0,",
+        "\"spill_bytes_read\":0,\"peak_temp_bytes\":0}"
     );
     HealthSnapshot::from_json(valid).unwrap();
     let cases: &[&str] = &[
@@ -658,6 +683,7 @@ fn adversarial_trace_json_is_typed_not_panic() {
         "\"rows_in\":0,\"rows_out\":3,\"build_rows\":0,\"probe_rows\":0,",
         "\"pages_read\":1,\"pool_hits\":1,\"pool_misses\":1,",
         "\"wall_micros\":4,\"interrupt_polls\":2,",
+        "\"spills\":1,\"spill_pages\":6,",
         "\"children\":[]}}"
     );
     fj_trace::QueryTrace::from_json(valid).unwrap();

@@ -29,6 +29,12 @@
 //! * **Fault injection** — [`ServiceConfig::fault_plan`] installs a
 //!   seeded [`fj_storage::FaultPlan`] on the page-read path for
 //!   deterministic chaos testing.
+//! * **Memory governance & spilling** —
+//!   [`ServiceConfig::spill_soft_watermark_pages`] arms a
+//!   [`MemoryBroker`] and a [`TempStore`]: operators whose working set
+//!   would breach the watermark spill to temp files (grace hash join,
+//!   external merge sort, spillable aggregation) instead of dying on
+//!   the memory budget, and the budget stays armed as a kill switch.
 //!
 //! ```
 //! use fj_algebra::fixtures::{paper_catalog, paper_query};
@@ -56,9 +62,10 @@ pub mod queue;
 pub mod service;
 
 pub use cache::{CacheStats, PlanCache};
-pub use fj_exec::{Interrupt, InterruptReason};
+pub use fj_exec::{Interrupt, InterruptReason, MemoryBroker, MemoryGrant, SpillSnapshot};
 pub use fj_storage::FaultPlan;
 pub use fj_storage::Mutation;
+pub use fj_storage::{TempStore, TempStoreStats};
 pub use fj_store::{CheckpointPhase, RecoveryReport, Store, StoreStats};
 pub use fj_trace::{QueryTrace, TraceRing, TracedQuery};
 pub use metrics::{LatencyHistogram, MetricsRecorder, RuntimeMetrics, LATENCY_BUCKETS};

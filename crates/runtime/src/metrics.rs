@@ -30,6 +30,8 @@ pub struct MetricsRecorder {
     semijoin_sets_shipped: AtomicU64,
     bytes_scattered: AtomicU64,
     bytes_gathered: AtomicU64,
+    spills: AtomicU64,
+    spill_partitions: AtomicU64,
     latency_sum_micros: AtomicU64,
     latency_max_micros: AtomicU64,
     buckets: [AtomicU64; LATENCY_BUCKETS],
@@ -47,6 +49,8 @@ impl Default for MetricsRecorder {
             semijoin_sets_shipped: AtomicU64::new(0),
             bytes_scattered: AtomicU64::new(0),
             bytes_gathered: AtomicU64::new(0),
+            spills: AtomicU64::new(0),
+            spill_partitions: AtomicU64::new(0),
             latency_sum_micros: AtomicU64::new(0),
             latency_max_micros: AtomicU64::new(0),
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -163,6 +167,27 @@ impl MetricsRecorder {
     pub fn bytes_gathered(&self) -> u64 {
         self.bytes_gathered.load(Ordering::Relaxed)
     }
+
+    /// Records one query's spill activity (operator spill events and
+    /// temp partitions created). A no-op for the common in-memory case.
+    pub fn record_spill_activity(&self, spills: u64, partitions: u64) {
+        if spills == 0 && partitions == 0 {
+            return;
+        }
+        self.spills.fetch_add(spills, Ordering::Relaxed);
+        self.spill_partitions
+            .fetch_add(partitions, Ordering::Relaxed);
+    }
+
+    /// Operator spill events (each grace recursion level counts once).
+    pub fn spills(&self) -> u64 {
+        self.spills.load(Ordering::Relaxed)
+    }
+
+    /// Temp partitions created by spilling operators.
+    pub fn spill_partitions(&self) -> u64 {
+        self.spill_partitions.load(Ordering::Relaxed)
+    }
 }
 
 /// Power-of-two latency histogram snapshot.
@@ -262,6 +287,18 @@ pub struct RuntimeMetrics {
     pub dirty_writebacks: u64,
     /// Fuzzy checkpoints completed since start (0 in in-memory mode).
     pub checkpoints: u64,
+    /// Operator spill events since start (each grace recursion level
+    /// counts once; 0 when spilling is off).
+    pub spills: u64,
+    /// Temp partitions created by spilling operators since start.
+    pub spill_partitions: u64,
+    /// Bytes appended to spill temp files since start.
+    pub spill_bytes_written: u64,
+    /// Bytes read back from spill temp files since start.
+    pub spill_bytes_read: u64,
+    /// High-water mark of bytes simultaneously held in live spill temp
+    /// files.
+    pub peak_temp_bytes: u64,
     /// Plan-cache hits.
     pub cache_hits: u64,
     /// Plan-cache misses.
@@ -299,6 +336,9 @@ impl RuntimeMetrics {
                 "\"mutations_applied\":{},\"wal_deltas\":{},",
                 "\"dirty_pages\":{},\"dirty_writebacks\":{},",
                 "\"checkpoints\":{},",
+                "\"spills\":{},\"spill_partitions\":{},",
+                "\"spill_bytes_written\":{},\"spill_bytes_read\":{},",
+                "\"peak_temp_bytes\":{},",
                 "\"cache_hits\":{},",
                 "\"cache_misses\":{},\"cache_hit_rate\":{:.6},",
                 "\"cache_entries\":{},\"queue_depth\":{},",
@@ -327,6 +367,11 @@ impl RuntimeMetrics {
             self.dirty_pages,
             self.dirty_writebacks,
             self.checkpoints,
+            self.spills,
+            self.spill_partitions,
+            self.spill_bytes_written,
+            self.spill_bytes_read,
+            self.peak_temp_bytes,
             self.cache_hits,
             self.cache_misses,
             self.cache_hit_rate,
@@ -398,6 +443,11 @@ mod tests {
             dirty_pages: 5,
             dirty_writebacks: 3,
             checkpoints: 2,
+            spills: 4,
+            spill_partitions: 16,
+            spill_bytes_written: 4096,
+            spill_bytes_read: 4096,
+            peak_temp_bytes: 2048,
             cache_hits: 2,
             cache_misses: 2,
             cache_hit_rate: 0.5,
@@ -431,6 +481,11 @@ mod tests {
         assert!(j.contains("\"dirty_pages\":5"));
         assert!(j.contains("\"dirty_writebacks\":3"));
         assert!(j.contains("\"checkpoints\":2"));
+        assert!(j.contains("\"spills\":4"));
+        assert!(j.contains("\"spill_partitions\":16"));
+        assert!(j.contains("\"spill_bytes_written\":4096"));
+        assert!(j.contains("\"spill_bytes_read\":4096"));
+        assert!(j.contains("\"peak_temp_bytes\":2048"));
         // Stable key order: completed always precedes errors precedes
         // cache_hits.
         let (a, b, c) = (
@@ -470,6 +525,11 @@ mod tests {
             dirty_pages: 0,
             dirty_writebacks: 0,
             checkpoints: 0,
+            spills: 0,
+            spill_partitions: 0,
+            spill_bytes_written: 0,
+            spill_bytes_read: 0,
+            peak_temp_bytes: 0,
             cache_hits: 0,
             cache_misses: 0,
             cache_hit_rate: 0.0,
@@ -505,6 +565,11 @@ mod tests {
                 "dirty_pages",
                 "dirty_writebacks",
                 "checkpoints",
+                "spills",
+                "spill_partitions",
+                "spill_bytes_written",
+                "spill_bytes_read",
+                "peak_temp_bytes",
                 "cache_hits",
                 "cache_misses",
                 "cache_hit_rate",

@@ -21,9 +21,9 @@ use crate::metrics::{MetricsRecorder, RuntimeMetrics};
 use crate::queue::{BoundedQueue, PushError};
 use fj_algebra::{Catalog, JoinQuery, RelationKind, SiteId};
 use fj_core::QueryResult;
-use fj_exec::{ExecCtx, ExecError, Interrupt, InterruptReason, PoolProbe};
+use fj_exec::{ExecCtx, ExecError, Interrupt, InterruptReason, MemoryBroker, PoolProbe, SpillCtx};
 use fj_optimizer::{fingerprint, OptError, Optimizer, OptimizerConfig};
-use fj_storage::{FaultPlan, Mutation, Table, TableRef};
+use fj_storage::{FaultPlan, Mutation, Table, TableRef, TempStore, TempStoreStats};
 use fj_store::{RecoveryReport, Store, StoreError, StoreStats};
 use fj_trace::{TraceCollector, TraceRing, TracedQuery};
 use std::fmt;
@@ -168,6 +168,21 @@ pub struct ServiceConfig {
     /// Physical storage mode: in-memory (the default) or disk-backed
     /// with a data directory and buffer pool (see [`StorageMode`]).
     pub storage: StorageMode,
+    /// Memory-broker soft watermark in pages — the switch that turns
+    /// spilling on. `Some(w)`: operators whose inputs exceed
+    /// `memory_pages` (or whose broker reservation is denied because
+    /// concurrent queries already hold `w` pages) partition to temp
+    /// files instead of tripping [`InterruptReason::MemoryBudget`].
+    /// `None` (the default): the pre-spilling behavior, byte-identical
+    /// charges and all.
+    pub spill_soft_watermark_pages: Option<u64>,
+    /// Directory for spill temp files (`None` = a fresh scratch
+    /// directory, removed when the service stops). Only meaningful
+    /// when spilling is on.
+    pub spill_dir: Option<PathBuf>,
+    /// Bound on recursive grace-join repartitioning depth. Clamped to
+    /// ≥ 1. Only meaningful when spilling is on.
+    pub spill_max_recursion_depth: usize,
 }
 
 impl Default for ServiceConfig {
@@ -185,6 +200,9 @@ impl Default for ServiceConfig {
             collect_trace: false,
             trace_ring_capacity: 16,
             storage: StorageMode::InMemory,
+            spill_soft_watermark_pages: None,
+            spill_dir: None,
+            spill_max_recursion_depth: fj_exec::DEFAULT_SPILL_MAX_DEPTH,
         }
     }
 }
@@ -218,6 +236,12 @@ impl ServiceConfig {
                 return reject("storage pool_pages");
             }
         }
+        if self.spill_soft_watermark_pages == Some(0) {
+            return reject("spill_soft_watermark_pages");
+        }
+        if self.spill_max_recursion_depth == 0 {
+            return reject("spill_max_recursion_depth");
+        }
         Ok(())
     }
 
@@ -236,6 +260,10 @@ impl ServiceConfig {
         if let StorageMode::Disk { pool_pages, .. } = &mut self.storage {
             *pool_pages = (*pool_pages).max(1);
         }
+        if let Some(w) = &mut self.spill_soft_watermark_pages {
+            *w = (*w).max(1);
+        }
+        self.spill_max_recursion_depth = self.spill_max_recursion_depth.max(1);
         self
     }
 }
@@ -298,6 +326,11 @@ struct Shared {
     /// The disk store behind the catalog's page backings
     /// (`None` = in-memory mode).
     store: Option<Arc<Store>>,
+    /// Spilling infrastructure shared by every query: one temp store
+    /// (RAII — deleting the scratch directory on shutdown) and one
+    /// memory broker arbitrating the soft watermark across concurrent
+    /// queries. `None` = spilling off.
+    spill: Option<SpillShared>,
     /// What [`Store::open`] found at startup (disk mode only).
     recovery: Option<RecoveryReport>,
     cfg: ServiceConfig,
@@ -308,6 +341,13 @@ impl Shared {
     fn snapshot(&self) -> Arc<Catalog> {
         Arc::clone(&self.catalog.read().unwrap_or_else(|e| e.into_inner()))
     }
+}
+
+/// The service-wide spilling state (see [`ServiceConfig`]'s spill
+/// knobs).
+struct SpillShared {
+    temp: Arc<TempStore>,
+    broker: Arc<MemoryBroker>,
 }
 
 /// A pending query: redeem with [`Ticket::wait`], abort with
@@ -478,6 +518,17 @@ pub struct ServiceHealth {
     pub dirty_pages: u64,
     /// Fuzzy checkpoints completed since start (0 in in-memory mode).
     pub checkpoints: u64,
+    /// Operator spill events since start (0 when spilling is off).
+    pub spills: u64,
+    /// Temp partitions created by spilling operators since start.
+    pub spill_partitions: u64,
+    /// Bytes appended to spill temp files since start.
+    pub spill_bytes_written: u64,
+    /// Bytes read back from spill temp files since start.
+    pub spill_bytes_read: u64,
+    /// High-water mark of bytes simultaneously held in live spill temp
+    /// files.
+    pub peak_temp_bytes: u64,
 }
 
 impl ServiceHealth {
@@ -540,6 +591,24 @@ impl QueryService {
                 (catalog, Some(store), Some(report))
             }
         };
+        let spill = match config.spill_soft_watermark_pages {
+            Some(watermark) => {
+                let temp = match &config.spill_dir {
+                    Some(dir) => TempStore::open(dir),
+                    None => TempStore::open_scratch(),
+                }
+                .map_err(|e| RuntimeError::Storage(e.to_string()))?;
+                let temp = match &config.fault_plan {
+                    Some(faults) => temp.with_faults(Arc::clone(faults)),
+                    None => temp,
+                };
+                Some(SpillShared {
+                    temp: Arc::new(temp),
+                    broker: MemoryBroker::new(watermark),
+                })
+            }
+            None => None,
+        };
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_capacity),
             catalog: RwLock::new(Arc::new(catalog)),
@@ -552,6 +621,7 @@ impl QueryService {
             mutation_lock: Mutex::new(()),
             mutations_applied: AtomicU64::new(0),
             store,
+            spill,
             recovery,
             cfg: config.clone(),
             started: Instant::now(),
@@ -732,6 +802,7 @@ impl QueryService {
     /// full [`QueryService::metrics`] snapshot carries.
     pub fn health(&self) -> ServiceHealth {
         let store = self.store_stats();
+        let temp = self.spill_stats();
         ServiceHealth {
             workers: self.shared.cfg.workers,
             workers_replaced: self.shared.metrics.workers_replaced(),
@@ -750,6 +821,11 @@ impl QueryService {
             wal_deltas: store.wal_deltas,
             dirty_pages: store.dirty_pages,
             checkpoints: store.checkpoints,
+            spills: self.shared.metrics.spills(),
+            spill_partitions: self.shared.metrics.spill_partitions(),
+            spill_bytes_written: temp.bytes_written,
+            spill_bytes_read: temp.bytes_read,
+            peak_temp_bytes: temp.peak_bytes,
         }
     }
 
@@ -769,6 +845,28 @@ impl QueryService {
             .as_deref()
             .map(Store::stats)
             .unwrap_or_default()
+    }
+
+    /// The spill temp store's counter snapshot — all zeros when
+    /// spilling is off, so callers can difference without caring.
+    pub fn spill_stats(&self) -> TempStoreStats {
+        self.shared
+            .spill
+            .as_ref()
+            .map(|s| s.temp.stats())
+            .unwrap_or_default()
+    }
+
+    /// The spill temp store itself (chaos harnesses verify its
+    /// directory drains); `None` when spilling is off.
+    pub fn spill_temp_store(&self) -> Option<&Arc<TempStore>> {
+        self.shared.spill.as_ref().map(|s| &s.temp)
+    }
+
+    /// The memory broker arbitrating the soft watermark; `None` when
+    /// spilling is off.
+    pub fn memory_broker(&self) -> Option<&Arc<MemoryBroker>> {
+        self.shared.spill.as_ref().map(|s| &s.broker)
     }
 
     /// The disk store itself (checkpointing, cold-start pool clears in
@@ -812,6 +910,7 @@ impl QueryService {
         let uptime = self.shared.started.elapsed().as_secs_f64();
         let completed = self.shared.metrics.completed();
         let store = self.store_stats();
+        let temp = self.spill_stats();
         RuntimeMetrics {
             completed,
             errors: self.shared.metrics.errors(),
@@ -838,6 +937,11 @@ impl QueryService {
             dirty_pages: store.dirty_pages,
             dirty_writebacks: store.dirty_writebacks,
             checkpoints: store.checkpoints,
+            spills: self.shared.metrics.spills(),
+            spill_partitions: self.shared.metrics.spill_partitions(),
+            spill_bytes_written: temp.bytes_written,
+            spill_bytes_read: temp.bytes_read,
+            peak_temp_bytes: temp.peak_bytes,
             queue_depth: self.shared.queue.len() + self.shared.in_flight.load(Ordering::Relaxed),
             uptime_secs: uptime,
             throughput_qps: if uptime > 0.0 {
@@ -1038,6 +1142,12 @@ fn execute_job(shared: &Shared, job: &QueryJob) -> Result<QueryResult, RuntimeEr
     if let Some(faults) = &shared.cfg.fault_plan {
         ctx = ctx.with_faults(Arc::clone(faults));
     }
+    if let Some(spill) = &shared.spill {
+        ctx = ctx.with_spill(
+            SpillCtx::new(Arc::clone(&spill.temp), Arc::clone(&spill.broker))
+                .with_max_depth(shared.cfg.spill_max_recursion_depth),
+        );
+    }
     if let Some(store) = &shared.store {
         let store = Arc::clone(store);
         ctx = ctx.with_pool_probe(PoolProbe::new(move || {
@@ -1050,7 +1160,14 @@ fn execute_job(shared: &Shared, job: &QueryJob) -> Result<QueryResult, RuntimeEr
         ctx = ctx.with_tracer(Arc::clone(c));
     }
     let before = ctx.ledger.snapshot();
-    let rel = plan.phys.execute(&ctx).map_err(OptError::from)?;
+    let result = plan.phys.execute(&ctx);
+    // Spill activity counts even for queries that end up interrupted
+    // mid-spill — the temp I/O happened either way.
+    let spilled = ctx.spill_snapshot();
+    shared
+        .metrics
+        .record_spill_activity(spilled.spills, spilled.partitions);
+    let rel = result.map_err(OptError::from)?;
     let charges = ctx.ledger.snapshot().delta(&before);
     let trace = collector.and_then(|c| c.finish());
     if let Some(t) = &trace {
@@ -1307,6 +1424,8 @@ mod tests {
             |c| c.plan_cache_capacity = 0,
             |c| c.memory_pages = 0,
             |c| c.trace_ring_capacity = 0,
+            |c| c.spill_soft_watermark_pages = Some(0),
+            |c| c.spill_max_recursion_depth = 0,
         ] {
             let mut cfg = ServiceConfig::default();
             mutate(&mut cfg);
@@ -1326,6 +1445,8 @@ mod tests {
             memory_pages: 0,
             plan_cache_capacity: 0,
             trace_ring_capacity: 0,
+            spill_soft_watermark_pages: Some(0),
+            spill_max_recursion_depth: 0,
             ..ServiceConfig::default()
         }
         .normalized();
@@ -1335,7 +1456,22 @@ mod tests {
         assert_eq!(cfg.plan_cache_capacity, 1);
         assert_eq!(cfg.memory_pages, 1);
         assert_eq!(cfg.trace_ring_capacity, 1);
+        assert_eq!(cfg.spill_soft_watermark_pages, Some(1));
+        assert_eq!(cfg.spill_max_recursion_depth, 1);
         cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn spilling_off_is_the_default_and_validates() {
+        let cfg = ServiceConfig::default();
+        assert_eq!(cfg.spill_soft_watermark_pages, None);
+        assert_eq!(
+            cfg.spill_max_recursion_depth,
+            fj_exec::DEFAULT_SPILL_MAX_DEPTH
+        );
+        // `None` watermark stays `None` through normalization: spilling
+        // never turns itself on.
+        assert_eq!(cfg.normalized().spill_soft_watermark_pages, None);
     }
 
     #[test]
@@ -1517,6 +1653,74 @@ mod tests {
         let r = service.execute(scan("A")).unwrap();
         assert_eq!(r.rows.len(), 7);
         assert_eq!(r.schema.arity(), 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn spilling_service_completes_queries_the_governor_would_kill() {
+        let catalog = || {
+            let mut cat = Catalog::new();
+            cat.add_table(labeled_table("Big", 600));
+            cat.add_table(labeled_table("Wide", 600));
+            cat
+        };
+        let join = || {
+            JoinQuery::new(vec![FromItem::new("Big", "b"), FromItem::new("Wide", "w")])
+                .with_predicate(fj_expr::col("b.id").eq(fj_expr::col("w.id")))
+        };
+        let tight = ServiceConfig {
+            memory_pages: 4,
+            memory_budget_pages: Some(5),
+            ..ServiceConfig::default()
+        };
+
+        // Seed behavior: the materialization governor kills the join.
+        let service = QueryService::start(catalog(), tight.clone());
+        let err = service.execute(join()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                RuntimeError::Interrupted(InterruptReason::MemoryBudget)
+            ),
+            "expected a MemoryBudget kill, got: {err}"
+        );
+        service.shutdown();
+
+        // Same budget with spilling on: the join completes, the spill
+        // counters surface through metrics *and* health, and the temp
+        // directory drains behind the query.
+        let service = QueryService::start(
+            catalog(),
+            ServiceConfig {
+                spill_soft_watermark_pages: Some(8),
+                ..tight
+            },
+        );
+        let rows = service.execute(join()).unwrap().rows;
+        assert_eq!(rows.len(), 600);
+        let m = service.metrics();
+        assert!(m.spills > 0, "the join must actually have spilled");
+        assert!(m.spill_partitions > 0);
+        assert!(m.spill_bytes_written > 0);
+        assert!(m.spill_bytes_read > 0);
+        assert!(m.peak_temp_bytes > 0);
+        let h = service.health();
+        assert_eq!(h.spills, m.spills);
+        assert_eq!(h.spill_partitions, m.spill_partitions);
+        assert_eq!(h.spill_bytes_written, m.spill_bytes_written);
+        assert_eq!(h.spill_bytes_read, m.spill_bytes_read);
+        assert_eq!(h.peak_temp_bytes, m.peak_temp_bytes);
+        assert_eq!(
+            service
+                .spill_temp_store()
+                .unwrap()
+                .live_files_on_disk()
+                .unwrap(),
+            0,
+            "spill temp files are RAII-deleted once the query finishes"
+        );
+        let broker = service.memory_broker().unwrap();
+        assert_eq!(broker.in_use_pages(), 0, "all grants released");
         service.shutdown();
     }
 

@@ -46,6 +46,12 @@ pub enum StorageError {
         /// Human-readable description of the failure.
         detail: String,
     },
+    /// A temp spill file (see [`crate::TempStore`]) failed: I/O error,
+    /// truncated frame, or checksum mismatch.
+    TempFile {
+        /// Human-readable description of the failure.
+        detail: String,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -72,6 +78,9 @@ impl fmt::Display for StorageError {
             }
             StorageError::Backing { detail } => {
                 write!(f, "page backing failure: {detail}")
+            }
+            StorageError::TempFile { detail } => {
+                write!(f, "temp spill file failure: {detail}")
             }
         }
     }

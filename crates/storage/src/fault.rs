@@ -51,11 +51,16 @@ pub struct FaultPlan {
     torn_scrub_one_in: u64,
     slow_fsync_one_in: u64,
     slow_fsync: Duration,
+    torn_temp_one_in: u64,
+    slow_temp_fsync_one_in: u64,
+    slow_temp_fsync: Duration,
     ordinal: AtomicU64,
     write_ordinal: AtomicU64,
     delta_ordinal: AtomicU64,
     scrub_ordinal: AtomicU64,
     fsync_ordinal: AtomicU64,
+    temp_write_ordinal: AtomicU64,
+    temp_fsync_ordinal: AtomicU64,
 }
 
 /// The decision [`FaultPlan::on_page_write`] draws for one page write.
@@ -83,11 +88,16 @@ impl FaultPlan {
             torn_scrub_one_in: 0,
             slow_fsync_one_in: 0,
             slow_fsync: Duration::ZERO,
+            torn_temp_one_in: 0,
+            slow_temp_fsync_one_in: 0,
+            slow_temp_fsync: Duration::ZERO,
             ordinal: AtomicU64::new(0),
             write_ordinal: AtomicU64::new(0),
             delta_ordinal: AtomicU64::new(0),
             scrub_ordinal: AtomicU64::new(0),
             fsync_ordinal: AtomicU64::new(0),
+            temp_write_ordinal: AtomicU64::new(0),
+            temp_fsync_ordinal: AtomicU64::new(0),
         }
     }
 
@@ -149,6 +159,27 @@ impl FaultPlan {
         self
     }
 
+    /// Arms torn *temp* writes at a rate of one in `one_in` spill-frame
+    /// writes (`0` disables). Spilling operators (grace hash join,
+    /// external sort, spillable aggregate) draw from this class when
+    /// flushing partition frames through [`crate::TempStore`] — on its
+    /// own ordinal counter, so arming it never shifts the page, delta,
+    /// or scrub write schedules.
+    pub fn with_torn_temp_writes(mut self, one_in: u64) -> FaultPlan {
+        self.torn_temp_one_in = one_in;
+        self
+    }
+
+    /// Arms slow temp fsyncs: one in `one_in` spill-file seals stalls
+    /// for `stall` before completing (`0` disables). Models a device
+    /// whose write cache drains while a spill run is sealed; drawn on
+    /// its own ordinal counter, independent of the WAL fsync schedule.
+    pub fn with_slow_temp_fsync(mut self, one_in: u64, stall: Duration) -> FaultPlan {
+        self.slow_temp_fsync_one_in = one_in;
+        self.slow_temp_fsync = stall;
+        self
+    }
+
     /// Page-read events drawn so far.
     pub fn events(&self) -> u64 {
         self.ordinal.load(Ordering::Relaxed)
@@ -172,6 +203,16 @@ impl FaultPlan {
     /// Fsync events drawn so far.
     pub fn fsync_events(&self) -> u64 {
         self.fsync_ordinal.load(Ordering::Relaxed)
+    }
+
+    /// Temp-write events drawn so far.
+    pub fn temp_write_events(&self) -> u64 {
+        self.temp_write_ordinal.load(Ordering::Relaxed)
+    }
+
+    /// Temp-fsync events drawn so far.
+    pub fn temp_fsync_events(&self) -> u64 {
+        self.temp_fsync_ordinal.load(Ordering::Relaxed)
     }
 
     /// Draws the next fault decision. Called once per accounted page
@@ -267,6 +308,40 @@ impl FaultPlan {
             splitmix64(self.seed ^ 0x1331_11eb_94d0_49bb ^ n.wrapping_mul(0x9e37_79b9_7f4a_7c15));
         if draw.is_multiple_of(self.slow_fsync_one_in) {
             std::thread::sleep(self.slow_fsync);
+            return true;
+        }
+        false
+    }
+
+    /// Draws the next *temp*-write fault decision. Called once per
+    /// spill frame flushed by [`crate::TempStore`]. Independent ordinal
+    /// stream and domain constant, as with the other write classes.
+    pub fn on_temp_write(&self) -> PageWriteFault {
+        let n = self.temp_write_ordinal.fetch_add(1, Ordering::Relaxed);
+        if self.torn_temp_one_in == 0 {
+            return PageWriteFault::None;
+        }
+        let draw =
+            splitmix64(self.seed ^ 0x1ce4_e5b9_bf58_476d ^ n.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        if draw.is_multiple_of(self.torn_temp_one_in) {
+            PageWriteFault::Torn
+        } else {
+            PageWriteFault::None
+        }
+    }
+
+    /// Draws the next temp-fsync fault decision, sleeping for the
+    /// configured stall when it fires. Called once per spill-file seal
+    /// by [`crate::TempStore`]. Returns `true` iff this seal stalled.
+    pub fn on_temp_fsync(&self) -> bool {
+        let n = self.temp_fsync_ordinal.fetch_add(1, Ordering::Relaxed);
+        if self.slow_temp_fsync_one_in == 0 {
+            return false;
+        }
+        let draw =
+            splitmix64(self.seed ^ 0x49bb_94d0_11eb_1331 ^ n.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        if draw.is_multiple_of(self.slow_temp_fsync_one_in) {
+            std::thread::sleep(self.slow_temp_fsync);
             return true;
         }
         false
@@ -450,6 +525,54 @@ mod tests {
     }
 
     #[test]
+    fn temp_write_schedule_independent_and_distinct() {
+        // Arming the temp classes must leave every existing schedule
+        // untouched, and the temp stream must not mirror the load-path
+        // write stream at the same seed and rate.
+        let solo = FaultPlan::new(91).with_torn_temp_writes(6);
+        let mixed = FaultPlan::new(91)
+            .with_torn_temp_writes(6)
+            .with_torn_page_writes(2)
+            .with_torn_delta_writes(2)
+            .with_torn_scrub_writes(2)
+            .with_slow_fsync(2, Duration::ZERO);
+        let solo_temps: Vec<bool> = (0..3_000)
+            .map(|_| solo.on_temp_write() == PageWriteFault::Torn)
+            .collect();
+        let mixed_temps: Vec<bool> = (0..3_000)
+            .map(|_| {
+                mixed.on_page_write();
+                mixed.on_delta_write();
+                mixed.on_scrub_write();
+                mixed.on_fsync();
+                mixed.on_temp_write() == PageWriteFault::Torn
+            })
+            .collect();
+        assert_eq!(solo_temps, mixed_temps);
+        assert!(solo_temps.iter().any(|&t| t), "1-in-6 must fire");
+
+        let both = FaultPlan::new(91)
+            .with_torn_temp_writes(6)
+            .with_torn_page_writes(6);
+        let temps: Vec<bool> = (0..2_000)
+            .map(|_| both.on_temp_write() == PageWriteFault::Torn)
+            .collect();
+        let pages: Vec<bool> = (0..2_000)
+            .map(|_| both.on_page_write() == PageWriteFault::Torn)
+            .collect();
+        assert_ne!(temps, pages);
+    }
+
+    #[test]
+    fn slow_temp_fsync_stalls_when_drawn() {
+        let plan = FaultPlan::new(5).with_slow_temp_fsync(1, Duration::from_millis(5));
+        let t0 = std::time::Instant::now();
+        assert!(plan.on_temp_fsync());
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+        assert_eq!(plan.temp_fsync_events(), 1);
+    }
+
+    #[test]
     fn slow_fsync_stalls_when_drawn() {
         let plan = FaultPlan::new(5).with_slow_fsync(1, Duration::from_millis(5));
         let t0 = std::time::Instant::now();
@@ -484,6 +607,8 @@ mod tests {
                 delta_one_in in 0u64..64,
                 scrub_one_in in 0u64..64,
                 fsync_one_in in 0u64..64,
+                temp_one_in in 0u64..64,
+                temp_fsync_one_in in 0u64..64,
                 draws in 1u64..512,
             ) {
                 let build = || {
@@ -493,6 +618,8 @@ mod tests {
                         .with_torn_delta_writes(delta_one_in)
                         .with_torn_scrub_writes(scrub_one_in)
                         .with_slow_fsync(fsync_one_in, Duration::ZERO)
+                        .with_torn_temp_writes(temp_one_in)
+                        .with_slow_temp_fsync(temp_fsync_one_in, Duration::ZERO)
                 };
                 let (a, b) = (build(), build());
                 for _ in 0..draws {
@@ -504,12 +631,16 @@ mod tests {
                     prop_assert_eq!(a.on_delta_write(), b.on_delta_write());
                     prop_assert_eq!(a.on_scrub_write(), b.on_scrub_write());
                     prop_assert_eq!(a.on_fsync(), b.on_fsync());
+                    prop_assert_eq!(a.on_temp_write(), b.on_temp_write());
+                    prop_assert_eq!(a.on_temp_fsync(), b.on_temp_fsync());
                 }
                 prop_assert_eq!(a.events(), draws);
                 prop_assert_eq!(a.write_events(), draws);
                 prop_assert_eq!(a.delta_events(), draws);
                 prop_assert_eq!(a.scrub_events(), draws);
                 prop_assert_eq!(a.fsync_events(), draws);
+                prop_assert_eq!(a.temp_write_events(), draws);
+                prop_assert_eq!(a.temp_fsync_events(), draws);
             }
 
             /// Arming any subset of the five fault classes never shifts
@@ -529,13 +660,38 @@ mod tests {
                     .with_torn_page_writes(torn_one_in)
                     .with_torn_delta_writes(delta_one_in)
                     .with_torn_scrub_writes(scrub_one_in)
-                    .with_slow_fsync(13, Duration::ZERO);
+                    .with_slow_fsync(13, Duration::ZERO)
+                    .with_torn_temp_writes(torn_one_in)
+                    .with_slow_temp_fsync(17, Duration::ZERO);
                 for _ in 0..draws {
                     let _ = all.on_page_read();
                     all.on_page_write();
                     all.on_scrub_write();
                     all.on_fsync();
+                    all.on_temp_write();
+                    all.on_temp_fsync();
                     prop_assert_eq!(solo.on_delta_write(), all.on_delta_write());
+                }
+
+                // And the temp stream itself is unshifted by every
+                // other class drawing around it.
+                let solo_temp = FaultPlan::new(seed).with_torn_temp_writes(torn_one_in);
+                let noisy = FaultPlan::new(seed)
+                    .with_read_errors(7)
+                    .with_torn_page_writes(torn_one_in)
+                    .with_torn_delta_writes(delta_one_in)
+                    .with_torn_scrub_writes(scrub_one_in)
+                    .with_slow_fsync(9, Duration::ZERO)
+                    .with_torn_temp_writes(torn_one_in)
+                    .with_slow_temp_fsync(11, Duration::ZERO);
+                for _ in 0..draws {
+                    let _ = noisy.on_page_read();
+                    noisy.on_page_write();
+                    noisy.on_delta_write();
+                    noisy.on_scrub_write();
+                    noisy.on_fsync();
+                    noisy.on_temp_fsync();
+                    prop_assert_eq!(solo_temp.on_temp_write(), noisy.on_temp_write());
                 }
             }
         }

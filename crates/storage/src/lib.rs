@@ -35,6 +35,7 @@ pub mod page;
 pub mod schema;
 pub mod stats;
 pub mod table;
+pub mod tempstore;
 pub mod tuple;
 pub mod value;
 
@@ -51,5 +52,6 @@ pub use schema::{Column, Schema, SchemaRef};
 pub use stats::yao_distinct;
 pub use stats::{ColumnStats, Histogram, TableStats};
 pub use table::{Table, TableRef};
+pub use tempstore::{SpillFile, SpillReader, TempStore, TempStoreStats, TempWriter};
 pub use tuple::Tuple;
 pub use value::{DataType, Value};

@@ -472,7 +472,8 @@ mod tests {
     #[test]
     fn evicting_dirty_frame_writes_back() {
         let pool = BufferPool::new(2);
-        let written: Arc<Mutex<Vec<(PageKey, Vec<u8>)>>> = Arc::new(Mutex::new(Vec::new()));
+        type WriteLog = Arc<Mutex<Vec<(PageKey, Vec<u8>)>>>;
+        let written: WriteLog = Arc::new(Mutex::new(Vec::new()));
         let sink = Arc::clone(&written);
         pool.set_writeback(Arc::new(move |key, payload| {
             sink.lock().unwrap().push((key, payload.to_vec()));

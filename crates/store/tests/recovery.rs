@@ -237,7 +237,7 @@ fn meta_from(seed: u64) -> TableMeta {
             .map(|i| {
                 let w = seed.rotate_left(7 * (i as u32 + 1));
                 let ty = [DataType::Int, DataType::Double, DataType::Str][(w % 3) as usize];
-                (format!("c{i}"), ty, w % 2 == 0)
+                (format!("c{i}"), ty, w.is_multiple_of(2))
             })
             .collect(),
         row_count: seed.wrapping_mul(0x9E37),

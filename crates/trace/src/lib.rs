@@ -64,6 +64,13 @@ pub struct OpStats {
     /// Interrupt polls made by this node itself (global poll-counter
     /// delta minus the children's).
     pub interrupt_polls: u64,
+    /// Spill events in this node itself (operator invocations that
+    /// degraded to temp-file partitioning, grace recursion levels
+    /// included; 0 when memory governance is off or never triggered).
+    pub spills: u64,
+    /// Temp-file pages this node itself wrote plus read back while
+    /// spilling.
+    pub spill_pages: u64,
 }
 
 /// One node of a query trace; children mirror the plan's execution
@@ -119,7 +126,8 @@ impl QueryTrace {
     /// One-line JSON with a stable key order (nested `children` arrays
     /// mirror the tree). Keys per node: `op`, `rows_in`, `rows_out`,
     /// `build_rows`, `probe_rows`, `pages_read`, `pool_hits`,
-    /// `pool_misses`, `wall_micros`, `interrupt_polls`, `children`.
+    /// `pool_misses`, `wall_micros`, `interrupt_polls`, `spills`,
+    /// `spill_pages`, `children`.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\"total_wall_micros\":");
@@ -191,8 +199,8 @@ fn write_node_json(node: &TraceNode, out: &mut String) {
         }
     }
     out.push_str(&format!(
-        "\",\"rows_in\":{},\"rows_out\":{},\"build_rows\":{},\"probe_rows\":{},\"pages_read\":{},\"pool_hits\":{},\"pool_misses\":{},\"wall_micros\":{},\"interrupt_polls\":{},\"children\":[",
-        s.rows_in, s.rows_out, s.build_rows, s.probe_rows, s.pages_read, s.pool_hits, s.pool_misses, s.wall_micros, s.interrupt_polls
+        "\",\"rows_in\":{},\"rows_out\":{},\"build_rows\":{},\"probe_rows\":{},\"pages_read\":{},\"pool_hits\":{},\"pool_misses\":{},\"wall_micros\":{},\"interrupt_polls\":{},\"spills\":{},\"spill_pages\":{},\"children\":[",
+        s.rows_in, s.rows_out, s.build_rows, s.probe_rows, s.pages_read, s.pool_hits, s.pool_misses, s.wall_micros, s.interrupt_polls, s.spills, s.spill_pages
     ));
     for (i, c) in node.children.iter().enumerate() {
         if i > 0 {
@@ -340,8 +348,8 @@ impl<'a> Parser<'a> {
         }
         self.expect(b'{')?;
         let mut label: Option<String> = None;
-        let mut fields: [Option<u64>; 9] = [None; 9];
-        const KEYS: [&str; 9] = [
+        let mut fields: [Option<u64>; 11] = [None; 11];
+        const KEYS: [&str; 11] = [
             "rows_in",
             "rows_out",
             "build_rows",
@@ -351,6 +359,8 @@ impl<'a> Parser<'a> {
             "pool_misses",
             "wall_micros",
             "interrupt_polls",
+            "spills",
+            "spill_pages",
         ];
         let mut children: Option<Vec<TraceNode>> = None;
         loop {
@@ -395,6 +405,8 @@ impl<'a> Parser<'a> {
                 pool_misses: take(6)?,
                 wall_micros: take(7)?,
                 interrupt_polls: take(8)?,
+                spills: take(9)?,
+                spill_pages: take(10)?,
             },
             children: children.ok_or(TraceError::MissingKey("children"))?,
         })
@@ -434,6 +446,11 @@ pub struct SubtreeIo {
     pub pool_hits: u64,
     /// Buffer-pool miss delta across the subtree (0 when in memory).
     pub pool_misses: u64,
+    /// Spill-event delta across the subtree (0 when memory governance
+    /// is off).
+    pub spills: u64,
+    /// Temp-file pages written plus read back across the subtree.
+    pub spill_pages: u64,
 }
 
 impl SubtreeIo {
@@ -451,6 +468,8 @@ impl SubtreeIo {
             pages_read: self.pages_read.saturating_sub(other.pages_read),
             pool_hits: self.pool_hits.saturating_sub(other.pool_hits),
             pool_misses: self.pool_misses.saturating_sub(other.pool_misses),
+            spills: self.spills.saturating_sub(other.spills),
+            spill_pages: self.spill_pages.saturating_sub(other.spill_pages),
         }
     }
 
@@ -458,6 +477,8 @@ impl SubtreeIo {
         self.pages_read += other.pages_read;
         self.pool_hits += other.pool_hits;
         self.pool_misses += other.pool_misses;
+        self.spills += other.spills;
+        self.spill_pages += other.spill_pages;
     }
 }
 
@@ -566,6 +587,8 @@ impl TraceCollector {
                 pool_misses: own_io.pool_misses,
                 wall_micros: frame.start.elapsed().as_micros() as u64,
                 interrupt_polls: subtree_polls.saturating_sub(frame.child_polls),
+                spills: own_io.spills,
+                spill_pages: own_io.spill_pages,
             },
             children: frame.children,
         };
@@ -717,6 +740,7 @@ mod tests {
                     pages_read: 10,
                     pool_hits: 7,
                     pool_misses: 3,
+                    ..SubtreeIo::default()
                 },
             );
             c.enter("scan B".into());
@@ -730,6 +754,8 @@ mod tests {
                 pages_read: 20,
                 pool_hits: 8,
                 pool_misses: 3,
+                spills: 2,
+                spill_pages: 90,
             },
         );
         let trace = c.finish().expect("root exited");
@@ -744,6 +770,8 @@ mod tests {
         assert_eq!(root.stats.pool_hits, 1, "8 subtree - 7 from scan A");
         assert_eq!(root.stats.pool_misses, 0, "3 subtree - 3 from scan A");
         assert_eq!(root.stats.interrupt_polls, 1);
+        assert_eq!(root.stats.spills, 2, "no child spilled; all its own");
+        assert_eq!(root.stats.spill_pages, 90);
         assert_eq!(root.children.len(), 2);
         assert_eq!(root.children[0].stats.interrupt_polls, 2);
         assert_eq!(root.children[0].stats.pool_hits, 7);
@@ -789,6 +817,8 @@ mod tests {
                     pool_misses: 1,
                     wall_micros: 1234,
                     interrupt_polls: 1,
+                    spills: 1,
+                    spill_pages: 44,
                 },
                 children: vec![leaf("SeqScan Emp AS E", 100), leaf("SeqScan Dept AS D", 40)],
             },
@@ -800,7 +830,8 @@ mod tests {
     #[test]
     fn from_json_accepts_any_key_order() {
         let json = concat!(
-            "{\"root\":{\"children\":[],\"op\":\"x\",\"interrupt_polls\":7,",
+            "{\"root\":{\"children\":[],\"spill_pages\":11,\"spills\":10,",
+            "\"op\":\"x\",\"interrupt_polls\":7,",
             "\"wall_micros\":6,\"pool_misses\":9,\"pool_hits\":8,",
             "\"pages_read\":5,\"probe_rows\":4,\"build_rows\":3,",
             "\"rows_out\":2,\"rows_in\":1},\"total_wall_micros\":6}"
@@ -810,6 +841,8 @@ mod tests {
         assert_eq!(t.root.stats.pool_hits, 8);
         assert_eq!(t.root.stats.pool_misses, 9);
         assert_eq!(t.root.stats.interrupt_polls, 7);
+        assert_eq!(t.root.stats.spills, 10);
+        assert_eq!(t.root.stats.spill_pages, 11);
     }
 
     #[test]

@@ -22,14 +22,16 @@ pub use fj_core::*;
 
 /// The concurrent query-service runtime: worker pool, plan cache,
 /// intra-query parallelism, cooperative cancellation, worker
-/// self-healing, metrics, the disk-backed storage mode, and the
-/// crash-safe mutation path (WAL page deltas + fuzzy checkpoints). See
+/// self-healing, metrics, the disk-backed storage mode, the crash-safe
+/// mutation path (WAL page deltas + fuzzy checkpoints), and graceful
+/// degradation under memory pressure (memory broker + spilling
+/// operators through a fault-injectable temp store). See
 /// [`fj_runtime`].
 pub use fj_runtime;
 pub use fj_runtime::{
-    CheckpointPhase, FaultPlan, Interrupt, InterruptReason, Mutation, MutationStats,
-    MutationTicket, QueryService, RecoveryReport, RuntimeMetrics, ServiceConfig, StorageMode,
-    Store, StoreStats,
+    CheckpointPhase, FaultPlan, Interrupt, InterruptReason, MemoryBroker, MemoryGrant, Mutation,
+    MutationStats, MutationTicket, QueryService, RecoveryReport, RuntimeError, RuntimeMetrics,
+    ServiceConfig, StorageMode, Store, StoreStats, TempStore, TempStoreStats,
 };
 
 /// The network boundary: TCP query server + blocking client over a

@@ -9,8 +9,8 @@
 
 use filterjoin::{
     col, fixtures, lit, Catalog, CheckpointPhase, DataType, Database, FaultPlan, FromItem,
-    JoinQuery, Mutation, OptimizerConfig, QueryService, ServiceConfig, StorageMode, Store,
-    TableBuilder, Tuple, Value,
+    InterruptReason, JoinQuery, Mutation, OptimizerConfig, QueryService, RuntimeError,
+    ServiceConfig, StorageMode, Store, TableBuilder, Tuple, Value,
 };
 use proptest::prelude::*;
 use std::path::PathBuf;
@@ -869,4 +869,171 @@ fn distributed_drain_regression_seed() {
     assert_eq!(sorted(got.result.rows), oracle);
     assert!(drained.load(Ordering::SeqCst), "the hook must have fired");
     assert!(got.stats.failovers > 0, "failover must actually happen");
+}
+
+// -------------------- tight-memory spilling differential ------------
+
+/// Two string-padded join sides, each several times a 4-page executor's
+/// memory, with duplicated keys on the probe side so the multiset
+/// contract is load-bearing through partitioned spill files.
+fn spill_catalog(n_rows: usize) -> Catalog {
+    let table = |name: &str, key_mod: i64| {
+        TableBuilder::new(name)
+            .column("id", DataType::Int)
+            .column("pad", DataType::Str)
+            .rows((0..n_rows).map(move |i| {
+                vec![
+                    Value::Int(i as i64 % key_mod),
+                    Value::Str(format!("{name}-pad-{i}")),
+                ]
+            }))
+            .build()
+            .expect("spill rows conform")
+            .into_ref()
+    };
+    let mut cat = Catalog::new();
+    // Every Fact key appears twice; Dim keys are unique.
+    cat.add_table(table("Fact", (n_rows as i64 / 2).max(1)));
+    cat.add_table(table("Dim", n_rows as i64));
+    cat
+}
+
+fn spill_query() -> JoinQuery {
+    JoinQuery::new(vec![FromItem::new("Fact", "f"), FromItem::new("Dim", "d")])
+        .with_predicate(col("f.id").eq(col("d.id")))
+}
+
+/// Executor memory and materialization budget far below the working
+/// set: the seed configuration (spilling off) provably kills the query.
+fn tight_config() -> ServiceConfig {
+    ServiceConfig {
+        workers: 2,
+        memory_pages: 4,
+        memory_budget_pages: Some(5),
+        ..ServiceConfig::default()
+    }
+}
+
+/// Runs `q` through a tight-memory *spilling* service under every
+/// optimizer configuration of the matrix and asserts each agrees with
+/// the in-memory oracle; afterwards the spill directory must be empty
+/// and the broker quiescent.
+fn check_spilling_matrix(cat: Catalog, q: &JoinQuery, config: ServiceConfig) {
+    let oracle = sorted(
+        Database::with_catalog(cat.clone())
+            .run_logical(&q.to_plan())
+            .expect("oracle runs")
+            .rows,
+    );
+    let service = QueryService::start(cat, config);
+    for config in config_matrix() {
+        let got = sorted(
+            service
+                .submit_with_config(q.clone(), config)
+                .expect("submit")
+                .wait()
+                .expect("tight-memory spilling query runs")
+                .rows,
+        );
+        assert_eq!(
+            oracle, got,
+            "tight-memory optimizer config diverged: {config:?}"
+        );
+    }
+    assert!(
+        service.metrics().spills > 0,
+        "the tight-memory matrix must actually spill"
+    );
+    assert_eq!(
+        service
+            .spill_temp_store()
+            .expect("spilling is on")
+            .live_files_on_disk()
+            .expect("spill dir readable"),
+        0,
+        "no spill file may outlive its query"
+    );
+    assert_eq!(
+        service
+            .memory_broker()
+            .expect("spilling is on")
+            .in_use_pages(),
+        0,
+        "every broker grant released"
+    );
+    service.shutdown();
+}
+
+/// The memory-pressure differential: at the seed configuration the
+/// governor kills the workload join (the pressure is real); the same
+/// configuration with spilling on must then agree with the in-memory
+/// oracle across the whole optimizer config matrix.
+#[test]
+fn spilling_mode_matches_oracle_across_config_matrix() {
+    let cat = spill_catalog(600);
+    let q = spill_query();
+
+    let control = QueryService::start(cat.clone(), tight_config());
+    let err = control.execute(q.clone()).expect_err("control join");
+    assert!(
+        matches!(
+            err,
+            RuntimeError::Interrupted(InterruptReason::MemoryBudget)
+        ),
+        "control must die on MemoryBudget, got: {err}"
+    );
+    control.shutdown();
+
+    check_spilling_matrix(
+        cat,
+        &q,
+        ServiceConfig {
+            spill_soft_watermark_pages: Some(8),
+            ..tight_config()
+        },
+    );
+}
+
+/// Pinned regression seed: knob extremes at heavy key skew. One hot key
+/// owns a block of rows on both sides — a grace partition that
+/// repartitioning can never shrink — exercised once with the recursion
+/// bound floored at 1 (immediate fallback for oversized partitions) and
+/// once with a 1-page watermark (the broker denies everything, so every
+/// operator spills). Both must agree with the oracle across the matrix.
+#[test]
+fn spill_skew_and_knob_extremes_regression_seed() {
+    let skewed = |name: &str, hot: usize, base: i64| {
+        TableBuilder::new(name)
+            .column("id", DataType::Int)
+            .column("pad", DataType::Str)
+            .rows((0..600).map(move |i| {
+                let id = if i < hot { 7 } else { base + i as i64 };
+                vec![Value::Int(id), Value::Str(format!("{name}-pad-{i}"))]
+            }))
+            .build()
+            .expect("skewed rows conform")
+            .into_ref()
+    };
+    let mut cat = Catalog::new();
+    cat.add_table(skewed("Fact", 80, 1_000));
+    cat.add_table(skewed("Dim", 40, 5_000));
+    let q = spill_query();
+
+    check_spilling_matrix(
+        cat.clone(),
+        &q,
+        ServiceConfig {
+            spill_soft_watermark_pages: Some(8),
+            spill_max_recursion_depth: 1,
+            ..tight_config()
+        },
+    );
+    check_spilling_matrix(
+        cat,
+        &q,
+        ServiceConfig {
+            spill_soft_watermark_pages: Some(1),
+            ..tight_config()
+        },
+    );
 }
