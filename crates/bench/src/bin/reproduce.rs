@@ -1,7 +1,7 @@
 //! Prints every reproduced figure/table as a paper-style text table.
 //!
 //! ```text
-//! reproduce [all|fig1|fig3|table1|fig4|fig5|fig6|complexity|crossover|dist|dist-wire|udf|local|bloom|throughput|trace-overhead|soak|chaos|cluster-chaos|recovery-chaos|mutation-chaos|memory-chaos]
+//! reproduce [all|fig1|fig3|table1|fig4|fig5|fig6|complexity|crossover|bushy|dist|dist-wire|udf|local|bloom|throughput|trace-overhead|soak|chaos|cluster-chaos|recovery-chaos|mutation-chaos|memory-chaos]
 //!           [--small] [--threads N]
 //! ```
 //!
@@ -54,6 +54,7 @@ fn main() {
             "fig6",
             "complexity",
             "crossover",
+            "bushy",
             "dist",
             "dist-wire",
             "udf",
@@ -85,6 +86,13 @@ fn main() {
             "fig6" => repro::fig6_taxonomy::run(),
             "complexity" => repro::complexity::run(if small { 7 } else { 10 }),
             "crossover" => repro::crossover::run(e, d),
+            "bushy" => {
+                if small {
+                    repro::bushy::run(20_000, 400, 60)
+                } else {
+                    repro::bushy::run(120_000, 1_000, 150)
+                }
+            }
             "dist" => {
                 if small {
                     repro::dist::run(500, 5_000, 25)

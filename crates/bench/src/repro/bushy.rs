@@ -1,0 +1,178 @@
+//! E1 — bushy vs left-deep join enumeration on star and snowflake
+//! catalogs.
+//!
+//! The ROADMAP's enumeration item predicts that on star/snowflake
+//! schemas, pre-joining small (filtered) dimensions into one build side
+//! beats any left-deep chain: the fact table is probed exactly once
+//! instead of once per dimension, and nothing fact-sized is ever used
+//! as a hash build (which would Grace-partition). This experiment
+//! optimizes the same query on the same catalog under
+//! [`PlanShape::LeftDeep`] and [`PlanShape::Bushy`] and reports the
+//! *predicted* cost of each winner, the *measured* ledger cost of
+//! executing both plans, and the enumeration work spent — then asserts
+//! the invariants CI relies on:
+//!
+//! * answers are byte-identical between shapes;
+//! * bushy predicted cost is never worse than left-deep (the bushy
+//!   space is a strict superset);
+//! * on the star catalog the bushy winner is *strictly* cheaper.
+
+use crate::report::Report;
+use crate::workloads::{snowflake, star_selective};
+use fj_core::{Catalog, Database, JoinQuery, Optimizer, OptimizerConfig, PlanShape};
+use std::sync::Arc;
+
+/// One catalog arm, measured under both plan shapes.
+pub struct ShapePoint {
+    /// Arm label.
+    pub name: &'static str,
+    /// Predicted cost of the best left-deep plan (page units).
+    pub left_deep_predicted: f64,
+    /// Predicted cost of the best bushy plan (page units).
+    pub bushy_predicted: f64,
+    /// Measured ledger cost executing the left-deep winner.
+    pub left_deep_measured: f64,
+    /// Measured ledger cost executing the bushy winner.
+    pub bushy_measured: f64,
+    /// Join alternatives costed by each enumerator.
+    pub left_deep_considered: u64,
+    /// Join alternatives costed by the bushy enumerator.
+    pub bushy_considered: u64,
+    /// Result cardinality (identical under both shapes).
+    pub rows: usize,
+}
+
+/// Optimizes and executes `q` over `cat` under both plan shapes.
+pub fn measure(name: &'static str, cat: Catalog, q: &JoinQuery) -> ShapePoint {
+    let shared = Arc::new(cat.clone());
+    let db = Database::with_catalog(cat);
+    let mut predicted = [0.0f64; 2];
+    let mut measured = [0.0f64; 2];
+    let mut considered = [0u64; 2];
+    let mut rows: [Vec<fj_core::Tuple>; 2] = [Vec::new(), Vec::new()];
+    for (i, shape) in [PlanShape::LeftDeep, PlanShape::Bushy]
+        .into_iter()
+        .enumerate()
+    {
+        let cfg = OptimizerConfig::default().with_shape(shape);
+        let plan = Optimizer::new(Arc::clone(&shared), cfg)
+            .optimize(q)
+            .expect("workload optimizes");
+        predicted[i] = plan.cost;
+        considered[i] = plan.plans_considered;
+        let result = db.execute_with_config(q, cfg).expect("workload executes");
+        measured[i] = result.measured_cost;
+        rows[i] = result.rows;
+        rows[i].sort();
+    }
+    assert_eq!(
+        rows[0], rows[1],
+        "{name}: bushy and left-deep answers must be byte-identical"
+    );
+    ShapePoint {
+        name,
+        left_deep_predicted: predicted[0],
+        bushy_predicted: predicted[1],
+        left_deep_measured: measured[0],
+        bushy_measured: measured[1],
+        left_deep_considered: considered[0],
+        bushy_considered: considered[1],
+        rows: rows[0].len(),
+    }
+}
+
+/// Both arms at the given scale: a star with three selective
+/// dimensions, and a snowflake with two dimension arms.
+pub fn sweep(fact_rows: usize, dim_rows: usize, sub_rows: usize) -> Vec<ShapePoint> {
+    let (star_cat, star_q) = star_selective(4, fact_rows, dim_rows.min(100), 15, 11);
+    let (snow_cat, snow_q) = snowflake(2, fact_rows, dim_rows, sub_rows, 15, 13);
+    vec![
+        measure("star (3 selective dims)", star_cat, &star_q),
+        measure("snowflake (2 arms)", snow_cat, &snow_q),
+    ]
+}
+
+/// The printable report, with the CI assertions applied.
+pub fn run(fact_rows: usize, dim_rows: usize, sub_rows: usize) -> Report {
+    let points = sweep(fact_rows, dim_rows, sub_rows);
+    let mut r = Report::new(
+        format!("E1: bushy vs left-deep enumeration ({fact_rows} fact rows, {dim_rows} dim rows)"),
+        &[
+            "catalog",
+            "shape",
+            "predicted",
+            "measured",
+            "plans considered",
+            "rows",
+        ],
+    );
+    for p in &points {
+        r.row(vec![
+            p.name.to_string(),
+            "left-deep".to_string(),
+            Report::num(p.left_deep_predicted),
+            Report::num(p.left_deep_measured),
+            p.left_deep_considered.to_string(),
+            p.rows.to_string(),
+        ]);
+        r.row(vec![
+            p.name.to_string(),
+            "bushy".to_string(),
+            Report::num(p.bushy_predicted),
+            Report::num(p.bushy_measured),
+            p.bushy_considered.to_string(),
+            p.rows.to_string(),
+        ]);
+        r.note(format!(
+            "{}: left-deep/bushy predicted cost ratio {:.2}x (measured {:.2}x)",
+            p.name,
+            p.left_deep_predicted / p.bushy_predicted,
+            p.left_deep_measured / p.bushy_measured.max(1e-9),
+        ));
+        // The bushy space is a strict superset of the left-deep space,
+        // so the bushy winner can never be predicted worse.
+        assert!(
+            p.bushy_predicted <= p.left_deep_predicted * 1.01 + 1e-6,
+            "{}: bushy predicted {} worse than left-deep {}",
+            p.name,
+            p.bushy_predicted,
+            p.left_deep_predicted
+        );
+        assert!(
+            p.bushy_considered >= p.left_deep_considered,
+            "{}: bushy enumerated fewer alternatives ({} vs {})",
+            p.name,
+            p.bushy_considered,
+            p.left_deep_considered
+        );
+    }
+    // The acceptance bar: on the star catalog the bushy winner is
+    // *strictly* cheaper than the best left-deep plan.
+    let star = &points[0];
+    assert!(
+        star.bushy_predicted < star.left_deep_predicted,
+        "star: bushy {} must be strictly cheaper than left-deep {}",
+        star.bushy_predicted,
+        star.left_deep_predicted
+    );
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bushy_strictly_cheaper_on_star_and_snowflake() {
+        let points = sweep(20_000, 400, 60);
+        for p in &points {
+            assert!(
+                p.bushy_predicted < p.left_deep_predicted,
+                "{}: bushy {} vs left-deep {}",
+                p.name,
+                p.bushy_predicted,
+                p.left_deep_predicted
+            );
+        }
+    }
+}

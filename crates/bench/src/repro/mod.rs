@@ -3,6 +3,7 @@
 //! [`crate::report::Report`] that prints like the paper's artifact.
 
 pub mod bloom;
+pub mod bushy;
 pub mod chaos;
 pub mod cluster_chaos;
 pub mod complexity;

@@ -1,6 +1,6 @@
 //! Deterministic workload generators for the reproduction experiments.
 
-use fj_core::{col, fixtures, Catalog, DataType, FromItem, JoinQuery, TableBuilder, Value};
+use fj_core::{col, fixtures, lit, Catalog, DataType, FromItem, JoinQuery, TableBuilder, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -175,6 +175,113 @@ pub fn star(n: usize, fact_rows: usize, dim_rows: usize, seed: u64) -> (Catalog,
     from.extend((0..dims).map(|d| FromItem::new(format!("Dim{d}"), format!("d{d}"))));
     let pred = (0..dims)
         .map(|d| col(format!("f.d{d}")).eq(col(format!("d{d}.id"))))
+        .reduce(|a, b| a.and(b))
+        .expect("dims >= 1");
+    (cat, JoinQuery::new(from).with_predicate(pred))
+}
+
+/// The [`star`] workload with a selective local predicate
+/// `dK.attr < attr_lt` on every dimension (`attr` is uniform over
+/// `0..50`, so `attr_lt = 15` keeps ~30% of each dimension). Selective
+/// dimensions are what make join-tree *shape* matter: pre-joining the
+/// filtered dimensions into one small build side lets a bushy plan
+/// probe the fact exactly once, where a left-deep chain either probes
+/// it once per dimension or Grace-partitions a fact-sized build.
+pub fn star_selective(
+    n: usize,
+    fact_rows: usize,
+    dim_rows: usize,
+    attr_lt: i64,
+    seed: u64,
+) -> (Catalog, JoinQuery) {
+    let (cat, mut q) = star(n, fact_rows, dim_rows, seed);
+    let extra = (0..n - 1)
+        .map(|d| col(format!("d{d}.attr")).lt(lit(attr_lt)))
+        .reduce(|a, b| a.and(b))
+        .expect("dims >= 1");
+    let pred = match q.predicate.take() {
+        Some(p) => p.and(extra),
+        None => extra,
+    };
+    (cat, q.with_predicate(pred))
+}
+
+/// A snowflake query: one fact table joined to `dims` dimensions, each
+/// of which is joined onward to its own sub-dimension carrying a
+/// selective predicate `sK.attr < attr_lt` (`attr` uniform over
+/// `0..50`). The `DimK ⋈ σ(SubK)` arms are connected subgraphs that do
+/// not contain the fact — the canonical shape where only a bushy
+/// enumerator can reduce each dimension before it ever touches the
+/// fact table.
+pub fn snowflake(
+    dims: usize,
+    fact_rows: usize,
+    dim_rows: usize,
+    sub_rows: usize,
+    attr_lt: i64,
+    seed: u64,
+) -> (Catalog, JoinQuery) {
+    assert!(dims >= 1, "a snowflake needs at least one dimension arm");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cat = Catalog::new();
+    let fact = (0..fact_rows).map(|i| {
+        let mut row = vec![Value::Int(i as i64)];
+        for _ in 0..dims {
+            row.push(Value::Int(rng.gen_range(0..dim_rows) as i64));
+        }
+        row
+    });
+    let mut fb = TableBuilder::new("Fact").column("fid", DataType::Int);
+    for d in 0..dims {
+        fb = fb.column(format!("d{d}"), DataType::Int);
+    }
+    cat.add_table(
+        fb.rows(fact)
+            .build()
+            .expect("generated fact conforms")
+            .into_ref(),
+    );
+    for d in 0..dims {
+        let dim_table = (0..dim_rows).map(|i| {
+            vec![
+                Value::Int(i as i64),
+                Value::Int(rng.gen_range(0..sub_rows) as i64),
+            ]
+        });
+        cat.add_table(
+            TableBuilder::new(format!("Dim{d}"))
+                .column("id", DataType::Int)
+                .column("sub", DataType::Int)
+                .rows(dim_table)
+                .build()
+                .expect("generated dim conforms")
+                .into_ref(),
+        );
+        let sub_table =
+            (0..sub_rows).map(|i| vec![Value::Int(i as i64), Value::Int(rng.gen_range(0..50))]);
+        cat.add_table(
+            TableBuilder::new(format!("Sub{d}"))
+                .column("id", DataType::Int)
+                .column("attr", DataType::Int)
+                .rows(sub_table)
+                .build()
+                .expect("generated sub-dim conforms")
+                .into_ref(),
+        );
+    }
+    let mut from = vec![FromItem::new("Fact", "f")];
+    for d in 0..dims {
+        from.push(FromItem::new(format!("Dim{d}"), format!("d{d}")));
+        from.push(FromItem::new(format!("Sub{d}"), format!("s{d}")));
+    }
+    let pred = (0..dims)
+        .flat_map(|d| {
+            [
+                col(format!("f.d{d}")).eq(col(format!("d{d}.id"))),
+                col(format!("d{d}.sub")).eq(col(format!("s{d}.id"))),
+                col(format!("s{d}.attr")).lt(lit(attr_lt)),
+            ]
+        })
         .reduce(|a, b| a.and(b))
         .expect("dims >= 1");
     (cat, JoinQuery::new(from).with_predicate(pred))

@@ -36,7 +36,9 @@ pub use fj_exec::{ExecCtx, PhysPlan};
 pub use fj_expr as expr;
 pub use fj_expr::{col, lit, AggCall, AggFunc, Expr};
 pub use fj_optimizer as optimizer;
-pub use fj_optimizer::{CostParams, FilterJoinCost, OptimizedPlan, Optimizer, OptimizerConfig};
+pub use fj_optimizer::{
+    CostParams, FilterJoinCost, OptimizedPlan, Optimizer, OptimizerConfig, PlanShape,
+};
 pub use fj_storage as storage;
 pub use fj_storage::{
     BloomFilter, CostLedger, DataType, LedgerSnapshot, Schema, Table, TableBuilder, Tuple, Value,

@@ -18,7 +18,7 @@
 use fj_algebra::{FromItem, JoinQuery, NetworkModel};
 use fj_core::QueryResult;
 use fj_expr::{BinOp, Expr};
-use fj_optimizer::{CostParams, OptimizerConfig};
+use fj_optimizer::{CostParams, OptimizerConfig, PlanShape};
 use fj_storage::{BloomFilter, Column, DataType, Mutation, Schema, SchemaRef, Tuple, Value};
 use std::fmt;
 use std::sync::Arc;
@@ -460,6 +460,7 @@ pub fn encode_config(w: &mut Writer, c: &OptimizerConfig) -> Result<(), CodecErr
         c.enable_merge_join,
         c.filter_join_on_base,
         c.allow_prefix_production,
+        c.plan_shape == PlanShape::Bushy,
     ]
     .into_iter()
     .enumerate()
@@ -484,7 +485,7 @@ pub fn encode_config(w: &mut Writer, c: &OptimizerConfig) -> Result<(), CodecErr
 /// Decodes an [`OptimizerConfig`] override.
 pub fn decode_config(r: &mut Reader<'_>) -> Result<OptimizerConfig, CodecError> {
     let flags = r.u8()?;
-    if flags >= 1 << 6 {
+    if flags >= 1 << 7 {
         return Err(CodecError::BadTag {
             what: "config flags",
             tag: flags,
@@ -502,6 +503,11 @@ pub fn decode_config(r: &mut Reader<'_>) -> Result<OptimizerConfig, CodecError> 
         enable_merge_join: flags & (1 << 3) != 0,
         filter_join_on_base: flags & (1 << 4) != 0,
         allow_prefix_production: flags & (1 << 5) != 0,
+        plan_shape: if flags & (1 << 6) != 0 {
+            PlanShape::Bushy
+        } else {
+            PlanShape::LeftDeep
+        },
         eq_classes,
         params: CostParams {
             cpu_weight,

@@ -17,7 +17,7 @@ use fj_net::codec::{
     MutationReply, MutationRequest, QueryRequest, Reader, ScatterAck, ScatterRequest, SemijoinAck,
     SemijoinRequest, Writer, MAX_EXPR_DEPTH,
 };
-use fj_optimizer::{CostParams, OptimizerConfig};
+use fj_optimizer::{CostParams, OptimizerConfig, PlanShape};
 use fj_storage::{BloomFilter, Column, DataType, Mutation, Schema, Tuple, Value};
 use proptest::prelude::*;
 
@@ -161,6 +161,11 @@ fn config_from(flags: u64, eq_classes: usize, cpu: f64, pages: u64) -> Optimizer
         enable_merge_join: flags & 8 != 0,
         filter_join_on_base: flags & 16 != 0,
         allow_prefix_production: flags & 32 != 0,
+        plan_shape: if flags & 64 != 0 {
+            PlanShape::Bushy
+        } else {
+            PlanShape::LeftDeep
+        },
         eq_classes,
         params: CostParams {
             cpu_weight: cpu,
@@ -208,7 +213,7 @@ proptest! {
         pred_words in prop::option::of(prop::collection::vec(0u64..u64::MAX, 1..30)),
         proj_words in prop::option::of(prop::collection::vec(0u64..u64::MAX, 1..12)),
         deadline in 0u64..100_000,
-        flags in 0u64..64,
+        flags in 0u64..128,
         eq_classes in 0usize..16,
         cpu in 0.0f64..10.0,
         pages in 1u64..1_000_000,

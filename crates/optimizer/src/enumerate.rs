@@ -1,17 +1,38 @@
 //! The System-R bottom-up dynamic-programming enumerator (§3.1),
 //! extended with the Filter Join as a join method (§3.2–3.3).
 //!
-//! The enumerator explores left-deep join orders: `best[S]` holds the
-//! cheapest plan joining the alias subset `S`, built by extending
-//! `best[S∖{j}]` with leaf `j` under every applicable join method —
-//! block nested loops, hash join, sort-merge, index nested loops, UDF
-//! probing, and the Filter Join (exact and Bloom variants; that is
-//! Limitation 3's "small constant number of filter sets"). Because each
-//! join considers O(1) methods and Filter Join costing is O(1) after the
-//! parametric fits (Assumption 1), enabling the Filter Join multiplies
-//! the per-join work by a constant and leaves the `O(N·2^(N−1))`
-//! asymptotic complexity of optimization unchanged — the property the
-//! complexity benchmark measures.
+//! Two plan shapes are supported, selected by
+//! [`OptimizerConfig::plan_shape`]:
+//!
+//! * [`PlanShape::LeftDeep`] (the default, and the shape of every
+//!   pinned paper experiment) explores left-deep join orders: `best[S]`
+//!   holds the cheapest plans joining the alias subset `S`, built by
+//!   extending `best[S∖{j}]` with leaf `j` under every applicable join
+//!   method — block nested loops, hash join, sort-merge, index nested
+//!   loops, UDF probing, and the Filter Join (exact and Bloom variants;
+//!   that is Limitation 3's "small constant number of filter sets").
+//!   Because each join considers O(1) methods and Filter Join costing
+//!   is O(1) after the parametric fits (Assumption 1), enabling the
+//!   Filter Join multiplies the per-join work by a constant and leaves
+//!   the `O(N·2^(N−1))` asymptotic complexity of optimization unchanged
+//!   — the property the complexity benchmark measures.
+//!
+//! * [`PlanShape::Bushy`] enumerates the bushy space DPccp-style: for
+//!   every subset `S` it splits `S` into connected
+//!   subgraph–complement pairs (`s1`, `s2`) of the join graph (built
+//!   from `conjunct_masks` plus the equality-class transitive closure)
+//!   and joins `best[s1]` with `best[s2]` in both orientations. Splits
+//!   whose inner side is a single leaf are *always* admitted, even
+//!   without a connecting edge — that keeps the bushy space a strict
+//!   superset of the left-deep space (which freely builds
+//!   cross-product intermediates), so the best bushy plan is never
+//!   costed worse than the best left-deep plan. Join methods that
+//!   intrinsically need a base/UDF leaf on the inner (index nested
+//!   loops, UDF probes, and the Filter Join, whose filter restricts a
+//!   named inner relation) are offered exactly when the inner side is
+//!   a singleton; the symmetric methods (BNL, hash, sort-merge) accept
+//!   any subtree on either side. Interesting-orders pruning and SIPS
+//!   extraction are shape-agnostic and shared between both modes.
 
 use crate::cost::CostParams;
 use crate::error::OptError;
@@ -26,6 +47,19 @@ use fj_expr::{columns_of, conjoin, split_conjuncts, EquiJoinKey, Expr};
 use fj_storage::Index as _;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Which join-tree shapes the enumerator explores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PlanShape {
+    /// Left-deep chains only (System-R; every pinned paper experiment
+    /// and the `optimize_with_order` forced-order path use this shape).
+    #[default]
+    LeftDeep,
+    /// The full bushy space: connected subgraph–complement pairs of
+    /// the join graph plus every single-leaf extension, a strict
+    /// superset of the left-deep space.
+    Bushy,
+}
 
 /// Optimizer knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,6 +80,10 @@ pub struct OptimizerConfig {
     /// The paper predicts — and the complexity bench confirms — an
     /// extra O(N) factor in enumeration work.
     pub allow_prefix_production: bool,
+    /// Join-tree shapes to enumerate. `LeftDeep` (the default) keeps
+    /// every pinned result reproducible; `Bushy` explores the full
+    /// DPccp-style space.
+    pub plan_shape: PlanShape,
     /// Equivalence classes per parametric fit (Figure 5's knob).
     pub eq_classes: usize,
     /// Cost parameters.
@@ -61,6 +99,7 @@ impl Default for OptimizerConfig {
             enable_merge_join: true,
             filter_join_on_base: true,
             allow_prefix_production: false,
+            plan_shape: PlanShape::LeftDeep,
             eq_classes: 4,
             params: CostParams::default(),
         }
@@ -76,6 +115,22 @@ impl OptimizerConfig {
             enable_bloom: false,
             filter_join_on_base: false,
             ..OptimizerConfig::default()
+        }
+    }
+
+    /// The default configuration with bushy enumeration enabled.
+    pub fn bushy() -> OptimizerConfig {
+        OptimizerConfig {
+            plan_shape: PlanShape::Bushy,
+            ..OptimizerConfig::default()
+        }
+    }
+
+    /// This configuration with `shape` selected.
+    pub fn with_shape(self, shape: PlanShape) -> OptimizerConfig {
+        OptimizerConfig {
+            plan_shape: shape,
+            ..self
         }
     }
 }
@@ -128,25 +183,59 @@ const MAX_ENTRIES_PER_SUBSET: usize = 4;
 
 /// Inserts `e` into a Pareto frontier over (cost, sort order): an entry
 /// is dominated when another is no more expensive and provides at least
-/// its ordering.
+/// its ordering. This is the left-deep frontier, kept byte-identical to
+/// the pinned paper experiments.
 fn insert_pruned(entries: &mut Vec<Entry>, e: Entry) {
-    if entries
-        .iter()
-        .any(|k| k.cost <= e.cost + 1e-12 && order_satisfies(&k.order_by, &e.order_by))
-    {
+    insert_pruned_shaped(entries, e, false)
+}
+
+/// Frontier insertion for both shapes. Under `rows_aware` (the bushy
+/// enumerator) dominance additionally requires the dominator's
+/// estimated cardinality to be no larger: cardinality estimates are
+/// path-dependent, and the bushy space produces many more association
+/// orders for the same subset, so pruning on cost alone would let a
+/// cheaper-but-fatter bushy entry evict the lean entry a left-deep
+/// winner extends — making the "bushy never worse than left-deep"
+/// superset guarantee false in practice. The rows-aware frontier keeps
+/// both, at twice the entry cap.
+fn insert_pruned_shaped(entries: &mut Vec<Entry>, e: Entry, rows_aware: bool) {
+    let dominates = |k: &Entry, e: &Entry| {
+        k.cost <= e.cost + 1e-12
+            && (!rows_aware || k.stats.rows <= e.stats.rows + 1e-9)
+            && order_satisfies(&k.order_by, &e.order_by)
+    };
+    if entries.iter().any(|k| dominates(k, &e)) {
         return;
     }
-    entries.retain(|k| !(e.cost <= k.cost + 1e-12 && order_satisfies(&e.order_by, &k.order_by)));
+    entries.retain(|k| !dominates(&e, k));
     entries.push(e);
-    if entries.len() > MAX_ENTRIES_PER_SUBSET {
-        // Never drop the cheapest; drop the most expensive of the rest.
+    let cap = if rows_aware {
+        2 * MAX_ENTRIES_PER_SUBSET
+    } else {
+        MAX_ENTRIES_PER_SUBSET
+    };
+    if entries.len() > cap {
+        // Never drop the cheapest (nor, rows-aware, the leanest); drop
+        // the most expensive of the rest.
         let min_cost = entries.iter().map(|k| k.cost).fold(f64::INFINITY, f64::min);
-        if let Some((idx, _)) = entries
+        let min_rows = entries
+            .iter()
+            .map(|k| k.stats.rows)
+            .fold(f64::INFINITY, f64::min);
+        let evict = entries
             .iter()
             .enumerate()
-            .filter(|(_, k)| k.cost > min_cost)
+            .filter(|(_, k)| k.cost > min_cost && (!rows_aware || k.stats.rows > min_rows))
             .max_by(|a, b| a.1.cost.total_cmp(&b.1.cost))
-        {
+            .or_else(|| {
+                entries
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, k)| k.cost > min_cost)
+                    .max_by(|a, b| a.1.cost.total_cmp(&b.1.cost))
+            })
+            .map(|(idx, _)| idx);
+        if let Some(idx) = evict {
             entries.remove(idx);
         }
     }
@@ -170,9 +259,16 @@ impl Optimizer {
     pub fn optimize(&self, query: &JoinQuery) -> Result<OptimizedPlan, OptError> {
         query.validate(&self.catalog)?;
         let n = query.from.len();
-        if n > 20 {
+        // Left-deep extension is O(N·2^(N−1)); bushy split enumeration
+        // is O(3^N), so its cap is tighter.
+        let limit = match self.config.plan_shape {
+            PlanShape::LeftDeep => 20,
+            PlanShape::Bushy => 14,
+        };
+        if n > limit {
             return Err(OptError::NoPlan(format!(
-                "{n} relations exceed the enumerator's subset limit"
+                "{n} relations exceed the {:?} enumerator's subset limit of {limit}",
+                self.config.plan_shape
             )));
         }
         let mut memo = ParametricEstimator::new(self.config.eq_classes);
@@ -196,67 +292,124 @@ impl Optimizer {
             best.insert(1u64 << i, seeds);
         }
         let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let adj = match self.config.plan_shape {
+            PlanShape::Bushy => self.join_graph(query, &conjuncts, &classes),
+            PlanShape::LeftDeep => Vec::new(),
+        };
         for mask in 1..=full {
             if mask.count_ones() < 2 {
                 continue;
             }
             let mut frontier: Vec<Entry> = Vec::new();
-            for (j, leaf) in leaves.iter().enumerate() {
-                let bit = 1u64 << j;
-                if mask & bit == 0 {
-                    continue;
-                }
-                let outer_mask = mask & !bit;
-                let Some(outers) = best.get(&outer_mask) else {
-                    continue;
-                };
-                let leaf_alts = best
-                    .get(&bit)
-                    .cloned()
-                    .unwrap_or_else(|| vec![leaf.clone()]);
-                // Conjuncts first fully bound at this join.
-                let applicable: Vec<Expr> = conjuncts
-                    .iter()
-                    .filter(|(_, m)| *m & !mask == 0 && *m & bit != 0 && *m != bit)
-                    .map(|(c, _)| c.clone())
-                    .collect();
-                for outer in outers {
-                    if !outer.cost.is_finite() {
-                        continue;
-                    }
-                    // Prefix productions for the Limitation-2 ablation:
-                    // the DP table still holds every prefix of the
-                    // outer's own join order (cheapest entry each).
-                    let prefixes: Vec<(usize, &Entry)> = if self.config.allow_prefix_production {
-                        (1..outer.order.len())
-                            .filter_map(|k| {
-                                let m =
-                                    outer.order[..k].iter().fold(0u64, |acc, &i| acc | (1 << i));
-                                best.get(&m)
-                                    .and_then(|v| v.iter().min_by(|a, b| a.cost.total_cmp(&b.cost)))
-                                    .map(|e| (k, e))
-                            })
-                            .collect()
-                    } else {
-                        Vec::new()
-                    };
-                    for leaf_alt in &leaf_alts {
-                        let candidates = self.join_candidates(
-                            query,
-                            &estimator,
-                            &mut memo,
-                            &mut plans_considered,
-                            outer,
-                            j,
-                            leaf_alt,
-                            mask,
-                            &applicable,
-                            &classes,
-                            &prefixes,
-                        )?;
-                        for c in candidates {
-                            insert_pruned(&mut frontier, c);
+            match self.config.plan_shape {
+                PlanShape::LeftDeep => {
+                    for (j, leaf) in leaves.iter().enumerate() {
+                        let bit = 1u64 << j;
+                        if mask & bit == 0 {
+                            continue;
                         }
+                        let outer_mask = mask & !bit;
+                        let Some(outers) = best.get(&outer_mask) else {
+                            continue;
+                        };
+                        let leaf_alts = best
+                            .get(&bit)
+                            .cloned()
+                            .unwrap_or_else(|| vec![leaf.clone()]);
+                        // Conjuncts first fully bound at this join.
+                        let applicable: Vec<Expr> = conjuncts
+                            .iter()
+                            .filter(|(_, m)| *m & !mask == 0 && *m & bit != 0 && *m != bit)
+                            .map(|(c, _)| c.clone())
+                            .collect();
+                        for outer in outers {
+                            if !outer.cost.is_finite() {
+                                continue;
+                            }
+                            let prefixes = self.prefix_entries(&best, outer);
+                            for leaf_alt in &leaf_alts {
+                                let candidates = self.join_candidates(
+                                    query,
+                                    &estimator,
+                                    &mut memo,
+                                    &mut plans_considered,
+                                    outer,
+                                    leaf_alt,
+                                    Some(j),
+                                    mask,
+                                    &applicable,
+                                    &classes,
+                                    &prefixes,
+                                )?;
+                                for c in candidates {
+                                    insert_pruned(&mut frontier, c);
+                                }
+                            }
+                        }
+                    }
+                }
+                PlanShape::Bushy => {
+                    // DPccp-style: split `mask` into subgraph–complement
+                    // pairs, canonicalized on the side holding the
+                    // lowest set bit so each unordered split is visited
+                    // once; both orientations are then tried.
+                    let low = mask & mask.wrapping_neg();
+                    let mut s1 = (mask - 1) & mask;
+                    while s1 != 0 {
+                        if s1 & low == 0 {
+                            s1 = (s1 - 1) & mask;
+                            continue;
+                        }
+                        let s2 = mask & !s1;
+                        let linked = masks_connected(&adj, s1, s2);
+                        // Conjuncts first fully bound at this join:
+                        // bound by `mask` and crossing the split.
+                        let applicable: Vec<Expr> = conjuncts
+                            .iter()
+                            .filter(|(_, m)| *m & !mask == 0 && *m & s1 != 0 && *m & s2 != 0)
+                            .map(|(c, _)| c.clone())
+                            .collect();
+                        for (om, im) in [(s1, s2), (s2, s1)] {
+                            let inner_leaf =
+                                (im.count_ones() == 1).then(|| im.trailing_zeros() as usize);
+                            // Composite inners require a join-graph edge
+                            // (a csg–cmp pair); single-leaf inners are
+                            // always admitted, keeping the space a
+                            // strict superset of left-deep (which
+                            // freely forms cross-product intermediates).
+                            if inner_leaf.is_none() && !linked {
+                                continue;
+                            }
+                            let (Some(outers), Some(inners)) = (best.get(&om), best.get(&im))
+                            else {
+                                continue;
+                            };
+                            for outer in outers {
+                                if !outer.cost.is_finite() {
+                                    continue;
+                                }
+                                let prefixes = self.prefix_entries(&best, outer);
+                                for inner in inners {
+                                    let candidates = self.join_candidates(
+                                        query,
+                                        &estimator,
+                                        &mut memo,
+                                        &mut plans_considered,
+                                        outer,
+                                        inner,
+                                        inner_leaf,
+                                        mask,
+                                        &applicable,
+                                        &classes,
+                                        &prefixes,
+                                    )?;
+                                    for c in candidates {
+                                        insert_pruned(&mut frontier, c);
+                                    }
+                                }
+                            }
+                        }
+                        s1 = (s1 - 1) & mask;
                     }
                 }
             }
@@ -308,11 +461,24 @@ impl Optimizer {
         })
     }
 
-    /// Optimizes a query under a *forced* left-deep join order (the
-    /// aliases, outermost first) — still choosing the cheapest join
-    /// method (including the Filter Join) at every position. This is
-    /// how the Figure 3 experiment prices each of the six orders of the
+    /// Optimizes a query under a *forced* join order (the aliases,
+    /// outermost first) — still choosing the cheapest join method
+    /// (including the Filter Join) at every position. This is how the
+    /// Figure 3 experiment prices each of the six orders of the
     /// motivating query.
+    ///
+    /// A forced order always denotes a forced **left-deep** chain:
+    /// `["A", "B", "C"]` means `(A ⋈ B) ⋈ C`, never `A ⋈ (B ⋈ C)`.
+    /// The [`OptimizerConfig::plan_shape`] knob is deliberately ignored
+    /// here — there is no order-list syntax for a bushy tree, and
+    /// silently reinterpreting the list under `Bushy` would price a
+    /// different plan than the caller asked for. An order that is not a
+    /// permutation of the query's aliases (wrong length, unknown alias,
+    /// or duplicate alias — the inputs a bushy caller might plausibly
+    /// construct) is rejected with
+    /// [`OptError::InvalidForcedOrder`] rather than planned wrongly:
+    /// before this check, a duplicated alias would silently drop the
+    /// relations it displaced from the chain.
     pub fn optimize_with_order(
         &self,
         query: &JoinQuery,
@@ -321,7 +487,7 @@ impl Optimizer {
         query.validate(&self.catalog)?;
         let n = query.from.len();
         if order.len() != n {
-            return Err(OptError::NoPlan(format!(
+            return Err(OptError::InvalidForcedOrder(format!(
                 "order lists {} aliases, query has {n}",
                 order.len()
             )));
@@ -333,9 +499,23 @@ impl Optimizer {
                     .from
                     .iter()
                     .position(|i| &i.alias == a)
-                    .ok_or_else(|| OptError::NoPlan(format!("unknown alias '{a}' in order")))
+                    .ok_or_else(|| {
+                        OptError::InvalidForcedOrder(format!("unknown alias '{a}' in order"))
+                    })
             })
             .collect::<Result<_, _>>()?;
+        let seen = perm.iter().fold(0u64, |m, &i| m | (1u64 << i));
+        if seen.count_ones() as usize != n {
+            let dup = order
+                .iter()
+                .enumerate()
+                .find(|(i, a)| order[..*i].contains(a))
+                .map(|(_, a)| a.as_str())
+                .unwrap_or("?");
+            return Err(OptError::InvalidForcedOrder(format!(
+                "alias '{dup}' appears more than once in order"
+            )));
+        }
 
         let mut memo = ParametricEstimator::new(self.config.eq_classes);
         let mut plans_considered: u64 = 0;
@@ -368,8 +548,8 @@ impl Optimizer {
                     &mut memo,
                     &mut plans_considered,
                     outer,
-                    j,
                     &leaves[j],
+                    Some(j),
                     mask,
                     &applicable,
                     &classes,
@@ -435,16 +615,18 @@ impl Optimizer {
         }
         Ok(out)
     }
+    /// The FROM position of the alias whose schema provides `col`.
+    fn alias_of(&self, query: &JoinQuery, col: &str) -> Option<usize> {
+        query.from.iter().position(|item| {
+            query
+                .alias_schema(&self.catalog, &item.alias)
+                .is_ok_and(|s| s.contains(col))
+        })
+    }
+
     /// Conjuncts of the query predicate, each with the bitmask of
     /// aliases it references.
     fn conjunct_masks(&self, query: &JoinQuery) -> Vec<(Expr, u64)> {
-        let alias_of = |col: &str| -> Option<usize> {
-            query.from.iter().position(|item| {
-                query
-                    .alias_schema(&self.catalog, &item.alias)
-                    .is_ok_and(|s| s.contains(col))
-            })
-        };
         query
             .predicate
             .as_ref()
@@ -454,13 +636,72 @@ impl Optimizer {
                     .map(|c| {
                         let mask = columns_of(&c)
                             .iter()
-                            .filter_map(|col| alias_of(col))
+                            .filter_map(|col| self.alias_of(query, col))
                             .fold(0u64, |m, i| m | (1 << i));
                         (c, mask)
                     })
                     .collect()
             })
             .unwrap_or_default()
+    }
+
+    /// Per-alias neighbor bitmasks of the join graph. Alias `i` is
+    /// adjacent to every alias it shares a multi-relation conjunct or an
+    /// equality class with — the transitive closure is what lets the
+    /// bushy enumerator treat `D ⋈ V` as connected under
+    /// `E.did = D.did AND E.did = V.did` even though no conjunct names
+    /// the pair directly (the same derivation Figure 3's order 3 uses).
+    fn join_graph(
+        &self,
+        query: &JoinQuery,
+        conjuncts: &[(Expr, u64)],
+        classes: &[std::collections::BTreeSet<String>],
+    ) -> Vec<u64> {
+        let n = query.from.len();
+        let mut adj = vec![0u64; n];
+        fn connect(adj: &mut [u64], m: u64) {
+            if m.count_ones() < 2 {
+                return;
+            }
+            let mut bits = m;
+            while bits != 0 {
+                let i = bits.trailing_zeros() as usize;
+                adj[i] |= m & !(1u64 << i);
+                bits &= bits - 1;
+            }
+        }
+        for (_, m) in conjuncts {
+            connect(&mut adj, *m);
+        }
+        for class in classes {
+            let m = class
+                .iter()
+                .filter_map(|c| self.alias_of(query, c))
+                .fold(0u64, |acc, i| acc | (1u64 << i));
+            connect(&mut adj, m);
+        }
+        adj
+    }
+
+    /// Prefix productions for the Limitation-2 ablation: the DP table
+    /// holds the cheapest entry for every prefix of the outer's own
+    /// left-to-right leaf order.
+    fn prefix_entries<'a>(
+        &self,
+        best: &'a HashMap<u64, Vec<Entry>>,
+        outer: &Entry,
+    ) -> Vec<(usize, &'a Entry)> {
+        if !self.config.allow_prefix_production {
+            return Vec::new();
+        }
+        (1..outer.order.len())
+            .filter_map(|k| {
+                let m = outer.order[..k].iter().fold(0u64, |acc, &i| acc | (1 << i));
+                best.get(&m)
+                    .and_then(|v| v.iter().min_by(|a, b| a.cost.total_cmp(&b.cost)))
+                    .map(|e| (k, e))
+            })
+            .collect()
     }
 
     /// Builds the per-alias leaf entries (access paths with local
@@ -587,7 +828,12 @@ impl Optimizer {
         Ok(out)
     }
 
-    /// All join-method candidates for extending `outer` with leaf `j`.
+    /// All join-method candidates for joining `outer` with `inner`.
+    /// `inner_leaf` is `Some(j)` when the inner side is the single FROM
+    /// item `j` — the precondition for the methods that restrict a
+    /// *named* relation (index nested loops, UDF probes, and the Filter
+    /// Join). With a composite inner (a bushy subtree) only the
+    /// symmetric methods — BNL, hash join, sort-merge — apply.
     #[allow(clippy::too_many_arguments)]
     fn join_candidates(
         &self,
@@ -596,16 +842,15 @@ impl Optimizer {
         memo: &mut ParametricEstimator,
         plans_considered: &mut u64,
         outer: &Entry,
-        j: usize,
-        leaf: &Entry,
+        inner: &Entry,
+        inner_leaf: Option<usize>,
         mask: u64,
         applicable: &[Expr],
         classes: &[std::collections::BTreeSet<String>],
         prefixes: &[(usize, &Entry)],
     ) -> Result<Vec<Entry>, OptError> {
         let params = self.config.params;
-        let item = &query.from[j];
-        let kind = query.alias_kind(&self.catalog, &item.alias)?;
+        let leaf = inner;
         let pred = conjoin(applicable.to_vec());
         let mut keys: Vec<(String, String)> = pred
             .as_ref()
@@ -665,10 +910,15 @@ impl Optimizer {
                     out: &mut Vec<Entry>,
                     base_cost: f64,
                     order_by: Vec<String>| {
+            // The left-to-right leaf order of the combined tree; for a
+            // leaf inner this appends exactly `j`, as the left-deep DP
+            // always did.
             let mut order = outer.order.clone();
-            order.push(j);
+            order.extend_from_slice(&inner.order);
             let mut all_sips = outer.sips.clone();
+            all_sips.extend(inner.sips.iter().cloned());
             let mut all_fj = outer.fj_costs.clone();
+            all_fj.extend(inner.fj_costs.iter().cloned());
             if let Some(s) = sips {
                 all_sips.push(s);
             }
@@ -762,6 +1012,16 @@ impl Optimizer {
                 );
             }
         }
+
+        // Methods 4–6 restrict a *named* inner relation (an index
+        // probe, a UDF invocation, or a filter applied to the inner's
+        // access path), so they require the inner side to be a single
+        // FROM item; a composite (bushy) inner stops here.
+        let Some(j) = inner_leaf else {
+            return Ok(out);
+        };
+        let item = &query.from[j];
+        let kind = query.alias_kind(&self.catalog, &item.alias)?;
 
         // 4. Index nested loops: local base table with an index on the
         // join column.
@@ -1144,6 +1404,20 @@ pub fn equality_classes(conjuncts: &[(Expr, u64)]) -> Vec<std::collections::BTre
         }
     }
     classes
+}
+
+/// True when some join-graph edge crosses from `s1` into `s2` — the
+/// connectedness test that admits a csg–cmp split.
+fn masks_connected(adj: &[u64], s1: u64, s2: u64) -> bool {
+    let mut bits = s1;
+    while bits != 0 {
+        let i = bits.trailing_zeros() as usize;
+        if adj.get(i).copied().unwrap_or(0) & s2 != 0 {
+            return true;
+        }
+        bits &= bits - 1;
+    }
+    false
 }
 
 fn is_key_conjunct(c: &Expr, keys: &[(String, String)]) -> bool {

@@ -14,6 +14,14 @@ pub enum OptError {
     /// The query has no executable plan (e.g. a UDF relation with no
     /// finite domain and no join key to probe it through).
     NoPlan(String),
+    /// A forced join order passed to
+    /// [`Optimizer::optimize_with_order`](crate::Optimizer::optimize_with_order)
+    /// is not a permutation of the query's aliases (wrong length,
+    /// unknown alias, or duplicate alias). Forced orders always denote
+    /// *left-deep* chains; there is no order-list syntax for a bushy
+    /// tree, so bushy-shaped intent must go through
+    /// [`PlanShape::Bushy`](crate::PlanShape::Bushy) instead.
+    InvalidForcedOrder(String),
 }
 
 impl fmt::Display for OptError {
@@ -22,6 +30,9 @@ impl fmt::Display for OptError {
             OptError::Algebra(e) => write!(f, "{e}"),
             OptError::Exec(e) => write!(f, "{e}"),
             OptError::NoPlan(d) => write!(f, "no executable plan: {d}"),
+            OptError::InvalidForcedOrder(d) => {
+                write!(f, "invalid forced join order (orders are left-deep): {d}")
+            }
         }
     }
 }

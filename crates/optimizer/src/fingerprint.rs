@@ -112,6 +112,7 @@ pub fn fingerprint(catalog: &Catalog, query: &JoinQuery, config: &OptimizerConfi
         .bool(config.enable_merge_join)
         .bool(config.filter_join_on_base)
         .bool(config.allow_prefix_production)
+        .bool(config.plan_shape == crate::enumerate::PlanShape::Bushy)
         .u64(config.eq_classes as u64)
         .f64(config.params.cpu_weight)
         .u64(config.params.memory_pages)
@@ -217,6 +218,16 @@ mod tests {
         let cat = catalog();
         assert_ne!(fingerprint(&cat, &q(30), &a), fingerprint(&cat, &q(30), &b));
         assert_ne!(fingerprint(&cat, &q(30), &a), fingerprint(&cat, &q(30), &c));
+    }
+
+    #[test]
+    fn plan_shape_changes_key() {
+        let cat = catalog();
+        assert_ne!(
+            fingerprint(&cat, &q(30), &OptimizerConfig::default()),
+            fingerprint(&cat, &q(30), &OptimizerConfig::bushy()),
+            "a cached left-deep plan must not satisfy a bushy request"
+        );
     }
 
     #[test]

@@ -3,10 +3,12 @@
 //! The cost-based query optimizer — the paper's primary contribution,
 //! reproduced in full:
 //!
-//! * a **System-R bottom-up dynamic-programming enumerator** over
-//!   left-deep join orders ([`enumerate`], §3.1), choosing among block
-//!   nested loops, index nested loops, hash join, sort-merge join — and
-//!   the **Filter Join**;
+//! * a **System-R bottom-up dynamic-programming enumerator**
+//!   ([`enumerate`], §3.1) over left-deep join orders by default, or —
+//!   under [`PlanShape::Bushy`] — the full bushy space via DPccp-style
+//!   connected subgraph–complement splits of the join graph, choosing
+//!   among block nested loops, index nested loops, hash join,
+//!   sort-merge join — and the **Filter Join**;
 //! * the **seven-component Filter Join cost formula** of Table 1
 //!   ([`filter_join`], §4): `JoinCost_P + ProductionCost_P + ProjCost_F +
 //!   AvailCost_F + FilterCost_Rk + AvailCost_Rk' + FinalJoinCost`, with
@@ -38,7 +40,7 @@ pub mod parametric;
 pub mod phys_estimate;
 
 pub use cost::CostParams;
-pub use enumerate::{OptimizedPlan, Optimizer, OptimizerConfig};
+pub use enumerate::{OptimizedPlan, Optimizer, OptimizerConfig, PlanShape};
 pub use error::OptError;
 pub use estimate::{EstStats, PlanEstimator};
 pub use filter_join::FilterJoinCost;

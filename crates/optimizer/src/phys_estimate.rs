@@ -444,6 +444,112 @@ mod tests {
         }
     }
 
+    /// Does any join in the tree carry a composite (join) inner — the
+    /// defining property of a bushy plan?
+    fn join_with_composite_inner(p: &PhysPlan) -> bool {
+        let here = match p {
+            PhysPlan::HashJoin { inner, .. }
+            | PhysPlan::MergeJoin { inner, .. }
+            | PhysPlan::NestedLoops { inner, .. } => subtree_has_join(inner),
+            _ => false,
+        };
+        here || p.children().iter().any(|c| join_with_composite_inner(c))
+    }
+
+    fn subtree_has_join(p: &PhysPlan) -> bool {
+        matches!(
+            p,
+            PhysPlan::HashJoin { .. } | PhysPlan::MergeJoin { .. } | PhysPlan::NestedLoops { .. }
+        ) || p.children().iter().any(|c| subtree_has_join(c))
+    }
+
+    /// A deterministic two-arm snowflake: `Fact(fid, d0, d1)` joined to
+    /// `DimK(id, sub) ⋈ σ(SubK.attr < 15)` on each arm. The selective
+    /// sub-dimensions make pre-joining each arm strictly cheaper than
+    /// any left-deep chain, so the bushy enumerator picks a plan with a
+    /// composite inner.
+    fn snowflake_catalog() -> (Catalog, fj_algebra::JoinQuery) {
+        use fj_algebra::FromItem;
+        use fj_expr::lit;
+        use fj_storage::{DataType, TableBuilder, Value};
+        let mut cat = Catalog::new();
+        let fact = (0..500i64).map(|i| {
+            vec![
+                Value::Int(i),
+                Value::Int((i * 7 + 3) % 50),
+                Value::Int((i * 13 + 5) % 50),
+            ]
+        });
+        cat.add_table(
+            TableBuilder::new("Fact")
+                .column("fid", DataType::Int)
+                .column("d0", DataType::Int)
+                .column("d1", DataType::Int)
+                .rows(fact)
+                .build()
+                .unwrap()
+                .into_ref(),
+        );
+        for d in 0..2i64 {
+            let dim = (0..50i64).map(|i| vec![Value::Int(i), Value::Int((i * 3 + d) % 25)]);
+            cat.add_table(
+                TableBuilder::new(format!("Dim{d}"))
+                    .column("id", DataType::Int)
+                    .column("sub", DataType::Int)
+                    .rows(dim)
+                    .build()
+                    .unwrap()
+                    .into_ref(),
+            );
+            let sub = (0..25i64).map(|i| vec![Value::Int(i), Value::Int((i * 11 + 7 * d) % 50)]);
+            cat.add_table(
+                TableBuilder::new(format!("Sub{d}"))
+                    .column("id", DataType::Int)
+                    .column("attr", DataType::Int)
+                    .rows(sub)
+                    .build()
+                    .unwrap()
+                    .into_ref(),
+            );
+        }
+        let from = vec![
+            FromItem::new("Fact", "f"),
+            FromItem::new("Dim0", "d0"),
+            FromItem::new("Sub0", "s0"),
+            FromItem::new("Dim1", "d1"),
+            FromItem::new("Sub1", "s1"),
+        ];
+        let pred = col("f.d0".to_string())
+            .eq(col("d0.id".to_string()))
+            .and(col("d0.sub".to_string()).eq(col("s0.id".to_string())))
+            .and(col("s0.attr".to_string()).lt(lit(15i64)))
+            .and(col("f.d1".to_string()).eq(col("d1.id".to_string())))
+            .and(col("d1.sub".to_string()).eq(col("s1.id".to_string())))
+            .and(col("s1.attr".to_string()).lt(lit(15i64)));
+        (cat, fj_algebra::JoinQuery::new(from).with_predicate(pred))
+    }
+
+    /// Under [`crate::PlanShape::Bushy`] the snowflake winner carries a
+    /// composite inner, and the estimate tree must mirror that shape
+    /// node for node — that's what lets EXPLAIN ANALYZE zip a bushy
+    /// plan with its trace.
+    #[test]
+    fn estimate_tree_mirrors_a_bushy_snowflake_plan() {
+        let (cat, q) = snowflake_catalog();
+        let cat = Arc::new(cat);
+        let plan = Optimizer::new(Arc::clone(&cat), OptimizerConfig::bushy())
+            .optimize(&q)
+            .unwrap();
+        assert!(
+            join_with_composite_inner(&plan.phys),
+            "expected a bushy winner (some join's inner is itself a join):\n{}",
+            plan.phys.display()
+        );
+        let est = estimate_phys_plan(&cat, CostParams::default(), &plan.phys);
+        assert_mirrors(&est, &plan.phys);
+        assert!(est.est_rows >= 0.0);
+    }
+
     #[test]
     fn estimate_tree_mirrors_the_optimized_paper_plan() {
         let cat = Arc::new(paper_catalog());

@@ -9,7 +9,7 @@
 
 use filterjoin::{
     col, fixtures, lit, Catalog, CheckpointPhase, DataType, Database, FaultPlan, FromItem,
-    InterruptReason, JoinQuery, Mutation, OptimizerConfig, QueryService, RuntimeError,
+    InterruptReason, JoinQuery, Mutation, OptimizerConfig, PlanShape, QueryService, RuntimeError,
     ServiceConfig, StorageMode, Store, TableBuilder, Tuple, Value,
 };
 use proptest::prelude::*;
@@ -44,6 +44,22 @@ fn config_matrix() -> Vec<OptimizerConfig> {
     off.enable_merge_join = false;
     configs.push(off);
     configs
+}
+
+/// The feature matrix crossed with both enumerator shapes: every
+/// config runs once exploring left-deep chains and once exploring the
+/// full bushy space, so a bushy-only lowering or execution bug cannot
+/// hide behind the default shape.
+fn shaped_matrix() -> Vec<OptimizerConfig> {
+    config_matrix()
+        .into_iter()
+        .flat_map(|c| {
+            [
+                c.with_shape(PlanShape::LeftDeep),
+                c.with_shape(PlanShape::Bushy),
+            ]
+        })
+        .collect()
 }
 
 /// Randomized Emp/Dept/DepAvgSal catalog (the paper's schema).
@@ -85,7 +101,7 @@ fn paper_catalog_from(emps: &[(i64, f64, i64)], n_depts: i64) -> Catalog {
 /// cardinality equal to the oracle count.
 fn check_differential(db: &Database, q: &JoinQuery) {
     let oracle = sorted(db.run_logical(&q.to_plan()).expect("oracle runs").rows);
-    for config in config_matrix() {
+    for config in shaped_matrix() {
         let got = sorted(
             db.execute_with_config(q, config)
                 .expect("optimized plan runs")
@@ -703,7 +719,7 @@ fn check_dist_differential(cat: Catalog, q: &JoinQuery) {
             .rows,
     );
     let (_servers, coord) = dist_fixture(cat, 1);
-    for config in config_matrix() {
+    for config in shaped_matrix() {
         let got = coord
             .execute_with_config(q, config, filterjoin::ShipStrategy::Auto)
             .expect("distributed run succeeds");
@@ -1036,4 +1052,168 @@ fn spill_skew_and_knob_extremes_regression_seed() {
             ..tight_config()
         },
     );
+}
+
+// -------------------- star/snowflake shape differential -------------
+//
+// The bushy enumerator exists for these schemas: a fact table joined
+// to K (filtered) dimensions, optionally snowflaked one level deeper.
+// Every shape below runs the full feature matrix under BOTH
+// enumerators against the untouched `run_logical` oracle, so a bushy
+// plan that executes, lowers, or traces wrongly diverges immediately.
+
+/// A star instance sized for differential testing (hundreds of fact
+/// rows, tens of dimension rows) — `fj_bench`'s generator, which is
+/// also what `reproduce bushy` measures at scale.
+fn star_instance(
+    dims: usize,
+    fact_rows: usize,
+    dim_rows: usize,
+    seed: u64,
+) -> (Catalog, JoinQuery) {
+    fj_bench::workloads::star_selective(dims + 1, fact_rows, dim_rows, 15, seed)
+}
+
+/// A snowflake instance: `arms` dimension arms, each `Dim ⋈ σ(Sub)` —
+/// connected subgraphs that exclude the fact, the canonical
+/// bushy-only reduction shape.
+fn snowflake_instance(
+    arms: usize,
+    fact_rows: usize,
+    dim_rows: usize,
+    seed: u64,
+) -> (Catalog, JoinQuery) {
+    fj_bench::workloads::snowflake(arms, fact_rows, dim_rows, (dim_rows / 2).max(4), 15, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Star queries (fact + K selective dimensions) over randomized
+    /// sizes: the oracle and every (config, shape) pair agree.
+    #[test]
+    fn star_shape_differential(
+        dims in 2usize..4,
+        fact_rows in 50usize..300,
+        dim_rows in 8usize..48,
+        seed in 0u64..1_000,
+    ) {
+        let (cat, q) = star_instance(dims, fact_rows, dim_rows, seed);
+        check_differential(&Database::with_catalog(cat), &q);
+    }
+
+    /// Snowflake queries (fact + arms of Dim ⋈ σ(Sub)) over randomized
+    /// sizes: the oracle and every (config, shape) pair agree.
+    #[test]
+    fn snowflake_shape_differential(
+        arms in 1usize..3,
+        fact_rows in 50usize..300,
+        dim_rows in 8usize..48,
+        seed in 0u64..1_000,
+    ) {
+        let (cat, q) = snowflake_instance(arms, fact_rows, dim_rows, seed);
+        check_differential(&Database::with_catalog(cat), &q);
+    }
+}
+
+/// The star matrix through a disk-backed service with a 2-page buffer
+/// pool: bushy plans must execute byte-identically when every page is
+/// faulted in through the store, in both enumerator modes.
+#[test]
+fn star_disk_mode_matches_oracle_in_both_shapes() {
+    let (cat, q) = star_instance(3, 240, 32, 7);
+    let oracle = sorted(
+        Database::with_catalog(cat.clone())
+            .run_logical(&q.to_plan())
+            .expect("oracle runs")
+            .rows,
+    );
+    let dir = ScratchDir::new("star");
+    let service = QueryService::start(cat, disk_config(&dir, 2));
+    for config in shaped_matrix() {
+        let got = sorted(
+            service
+                .submit_with_config(q.clone(), config)
+                .expect("submit")
+                .wait()
+                .expect("disk-mode star query runs")
+                .rows,
+        );
+        assert_eq!(oracle, got, "disk-mode star diverged: {config:?}");
+    }
+    service.shutdown();
+}
+
+/// The star and snowflake shapes through the 3-shard coordinator:
+/// every (config, shape) pair and every shipping strategy must match
+/// the oracle — the distributed path consumes bushy plans too.
+#[test]
+fn distributed_star_and_snowflake_match_oracle_in_both_shapes() {
+    let (cat, q) = star_instance(2, 150, 24, 5);
+    check_dist_differential(cat, &q);
+    let (cat, q) = snowflake_instance(1, 150, 24, 5);
+    check_dist_differential(cat, &q);
+}
+
+/// Pinned regression seed: a snowflake where the bushy winner is
+/// *strictly* cheaper than the best left-deep plan (each arm's
+/// `Dim ⋈ σ(Sub)` reduction pays for itself before the fact join).
+/// The plans must still agree with the oracle across the matrix.
+#[test]
+fn bushy_strictly_cheaper_regression_seed() {
+    let (cat, q) = fj_bench::workloads::snowflake(2, 500, 50, 25, 15, 13);
+    let shared = std::sync::Arc::new(cat.clone());
+    let ld = filterjoin::Optimizer::new(
+        std::sync::Arc::clone(&shared),
+        OptimizerConfig::default().with_shape(PlanShape::LeftDeep),
+    )
+    .optimize(&q)
+    .expect("left-deep optimizes");
+    let bushy = filterjoin::Optimizer::new(
+        shared,
+        OptimizerConfig::default().with_shape(PlanShape::Bushy),
+    )
+    .optimize(&q)
+    .expect("bushy optimizes");
+    assert!(
+        bushy.cost < ld.cost,
+        "bushy {} must be strictly cheaper than left-deep {}",
+        bushy.cost,
+        ld.cost
+    );
+    check_differential(&Database::with_catalog(cat), &q);
+}
+
+/// Pinned regression seed: a star where the shapes *tie* — the best
+/// bushy plan is exactly the best left-deep chain, so enabling the
+/// bushy enumerator must change neither the predicted cost nor the
+/// answer. (Guards against the bushy frontier pruning the left-deep
+/// optimum out of its own superset space.)
+#[test]
+fn shapes_tie_regression_seed() {
+    for (cat, q) in [
+        fj_bench::workloads::star_selective(4, 500, 50, 15, 11),
+        (fixtures::paper_catalog(), fixtures::paper_query()),
+    ] {
+        let shared = std::sync::Arc::new(cat.clone());
+        let ld = filterjoin::Optimizer::new(
+            std::sync::Arc::clone(&shared),
+            OptimizerConfig::default().with_shape(PlanShape::LeftDeep),
+        )
+        .optimize(&q)
+        .expect("left-deep optimizes");
+        let bushy = filterjoin::Optimizer::new(
+            shared,
+            OptimizerConfig::default().with_shape(PlanShape::Bushy),
+        )
+        .optimize(&q)
+        .expect("bushy optimizes");
+        assert!(
+            (bushy.cost - ld.cost).abs() < 1e-9,
+            "shapes must tie: bushy {} vs left-deep {}",
+            bushy.cost,
+            ld.cost
+        );
+        check_differential(&Database::with_catalog(cat), &q);
+    }
 }

@@ -141,3 +141,310 @@ fn explain_round_trips_the_decision() {
         assert!(explain.contains("JoinCost_P"), "Table 1 breakdown shown");
     }
 }
+
+// -------------------- bushy enumeration quality battery -------------
+//
+// The bushy space is a strict superset of the left-deep space, which
+// yields a total order the tests below enforce on every generated
+// shape:  bushy best  ≤  left-deep best  ≤  every forced order.
+// (Small multiplicative tolerance throughout: cardinality estimates
+// are path-dependent, so entry-cost ties can break either way — the
+// same tolerance `dp_is_optimal_over_forced_orders` uses.)
+
+use filterjoin::optimizer::OptError;
+use filterjoin::{col, Catalog, DataType, FromItem, JoinQuery, PlanShape, TableBuilder, Value};
+use proptest::prelude::*;
+
+/// An `n`-relation chain `t0.b = t1.a AND t1.b = t2.a AND …` with
+/// per-table row counts drawn from `sizes` (cycled), so join order
+/// genuinely matters.
+fn chain_instance(n: usize, sizes: &[usize], fan: i64) -> (Catalog, JoinQuery) {
+    let mut cat = Catalog::new();
+    for i in 0..n {
+        let rows = sizes[i % sizes.len()].max(1);
+        cat.add_table(
+            TableBuilder::new(format!("T{i}"))
+                .column("a", DataType::Int)
+                .column("b", DataType::Int)
+                .rows((0..rows).map(|r| {
+                    vec![
+                        Value::Int(r as i64 % fan.max(1)),
+                        Value::Int((r as i64 * 7 + i as i64) % fan.max(1)),
+                    ]
+                }))
+                .build()
+                .expect("chain table conforms")
+                .into_ref(),
+        );
+    }
+    let from: Vec<FromItem> = (0..n)
+        .map(|i| FromItem::new(format!("T{i}"), format!("t{i}")))
+        .collect();
+    let mut q = JoinQuery::new(from);
+    if n > 1 {
+        let pred = (0..n - 1)
+            .map(|i| col(format!("t{i}.b")).eq(col(format!("t{}.a", i + 1))))
+            .reduce(|a, b| a.and(b))
+            .expect("n > 1");
+        q = q.with_predicate(pred);
+    }
+    (cat, q)
+}
+
+/// An `n`-relation cross product (no predicate at all): the shape that
+/// exercises the edgeless-split paths of both enumerators.
+fn cross_instance(n: usize, sizes: &[usize]) -> (Catalog, JoinQuery) {
+    let mut cat = Catalog::new();
+    for i in 0..n {
+        let rows = sizes[i % sizes.len()].max(1);
+        cat.add_table(
+            TableBuilder::new(format!("X{i}"))
+                .column("v", DataType::Int)
+                .rows((0..rows).map(|r| vec![Value::Int(r as i64)]))
+                .build()
+                .expect("cross table conforms")
+                .into_ref(),
+        );
+    }
+    let from: Vec<FromItem> = (0..n)
+        .map(|i| FromItem::new(format!("X{i}"), format!("x{i}")))
+        .collect();
+    (cat, JoinQuery::new(from))
+}
+
+/// Optimizes `q` under `shape`.
+fn best(cat: &Arc<Catalog>, q: &JoinQuery, shape: PlanShape) -> filterjoin::OptimizedPlan {
+    Optimizer::new(
+        Arc::clone(cat),
+        OptimizerConfig::default().with_shape(shape),
+    )
+    .optimize(q)
+    .expect("shape optimizes")
+}
+
+/// The superset order on one instance: bushy ≤ left-deep ≤ every
+/// forced order (both shapes beat every forced left-deep chain), and
+/// the bushy enumerator never costs fewer alternatives.
+fn check_superset_order(cat: Catalog, q: &JoinQuery) {
+    let cat = Arc::new(cat);
+    let ld = best(&cat, q, PlanShape::LeftDeep);
+    let bushy = best(&cat, q, PlanShape::Bushy);
+    assert!(
+        bushy.cost <= ld.cost * 1.01 + 1e-6,
+        "bushy {} worse than left-deep {}",
+        bushy.cost,
+        ld.cost
+    );
+    assert!(
+        bushy.plans_considered >= ld.plans_considered,
+        "bushy considered {} < left-deep {}",
+        bushy.plans_considered,
+        ld.plans_considered
+    );
+    let opt = Optimizer::new(Arc::clone(&cat), OptimizerConfig::default());
+    let aliases: Vec<String> = q.from.iter().map(|f| f.alias.clone()).collect();
+    for order in permutations(&aliases) {
+        let forced = opt
+            .optimize_with_order(q, &order)
+            .expect("forced order plans");
+        assert!(
+            ld.cost <= forced.cost * 1.01 + 1e-6,
+            "left-deep {} beaten by forced {:?} at {}",
+            ld.cost,
+            order,
+            forced.cost
+        );
+        assert!(
+            bushy.cost <= forced.cost * 1.01 + 1e-6,
+            "bushy {} beaten by forced {:?} at {}",
+            bushy.cost,
+            order,
+            forced.cost
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Chains: bushy ≤ left-deep ≤ every forced order.
+    #[test]
+    fn bushy_superset_order_on_chains(
+        n in 2usize..5,
+        sizes in prop::collection::vec(5usize..120, 1..4),
+        fan in 2i64..12,
+    ) {
+        let (cat, q) = chain_instance(n, &sizes, fan);
+        check_superset_order(cat, &q);
+    }
+
+    /// Stars (fact + selective dimensions): bushy ≤ left-deep ≤ every
+    /// forced order.
+    #[test]
+    fn bushy_superset_order_on_stars(
+        n in 3usize..5,
+        fact_rows in 40usize..250,
+        dim_rows in 6usize..40,
+        seed in 0u64..1_000,
+    ) {
+        let (cat, q) = fj_bench::workloads::star_selective(n, fact_rows, dim_rows, 15, seed);
+        check_superset_order(cat, &q);
+    }
+
+    /// Cross products (no join graph at all): bushy ≤ left-deep ≤
+    /// every forced order.
+    #[test]
+    fn bushy_superset_order_on_cross_products(
+        n in 2usize..4,
+        sizes in prop::collection::vec(3usize..40, 1..4),
+    ) {
+        let (cat, q) = cross_instance(n, &sizes);
+        check_superset_order(cat, &q);
+    }
+}
+
+/// Exhaustive ≤6-relation cross-check: the left-deep DP (with its
+/// bounded interesting-orders frontier) must match the true left-deep
+/// optimum — the minimum over all N! forced orders — and the bushy DP
+/// must do at least as well. Pruning never drops the optimum.
+#[test]
+fn exhaustive_six_relation_cross_check() {
+    let instances = vec![
+        chain_instance(6, &[150, 8, 90, 12, 60, 25], 7),
+        fj_bench::workloads::star_selective(6, 300, 20, 15, 42),
+    ];
+    for (cat, q) in instances {
+        let cat = Arc::new(cat);
+        let ld = best(&cat, &q, PlanShape::LeftDeep);
+        let bushy = best(&cat, &q, PlanShape::Bushy);
+        let opt = Optimizer::new(Arc::clone(&cat), OptimizerConfig::default());
+        let aliases: Vec<String> = q.from.iter().map(|f| f.alias.clone()).collect();
+        let exhaustive = permutations(&aliases)
+            .into_iter()
+            .map(|order| {
+                opt.optimize_with_order(&q, &order)
+                    .expect("forced order plans")
+                    .cost
+            })
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            ld.cost <= exhaustive * 1.01 + 1e-6,
+            "left-deep DP {} dropped the exhaustive optimum {}",
+            ld.cost,
+            exhaustive
+        );
+        assert!(
+            bushy.cost <= exhaustive * 1.01 + 1e-6,
+            "bushy DP {} dropped the exhaustive optimum {}",
+            bushy.cost,
+            exhaustive
+        );
+    }
+}
+
+/// Enumeration work grows with relation count for both shapes, and the
+/// bushy enumerator always explores at least the left-deep space.
+#[test]
+fn enumeration_counts_grow_as_expected() {
+    let mut prev = (0u64, 0u64);
+    for n in 3..=6 {
+        let (cat, q) = chain_instance(n, &[40, 15, 80], 6);
+        let cat = Arc::new(cat);
+        let ld = best(&cat, &q, PlanShape::LeftDeep);
+        let bushy = best(&cat, &q, PlanShape::Bushy);
+        assert!(
+            ld.plans_considered > prev.0 && bushy.plans_considered > prev.1,
+            "n={n}: counts must grow ({} vs {}, {} vs {})",
+            ld.plans_considered,
+            prev.0,
+            bushy.plans_considered,
+            prev.1
+        );
+        assert!(bushy.plans_considered >= ld.plans_considered);
+        prev = (ld.plans_considered, bushy.plans_considered);
+    }
+}
+
+/// A forced order means forced *left-deep*: the `plan_shape` knob is
+/// ignored by `optimize_with_order`, so a bushy-configured optimizer
+/// prices exactly the same chain as a left-deep one.
+#[test]
+fn forced_order_is_left_deep_even_under_bushy_config() {
+    let cat = Arc::new(fixtures::paper_catalog());
+    let q = fixtures::paper_query();
+    let order = vec!["E".to_string(), "D".to_string(), "V".to_string()];
+    let ld = Optimizer::new(Arc::clone(&cat), OptimizerConfig::default())
+        .optimize_with_order(&q, &order)
+        .expect("left-deep forced order");
+    let bushy_cfg = Optimizer::new(Arc::clone(&cat), OptimizerConfig::bushy())
+        .optimize_with_order(&q, &order)
+        .expect("bushy-configured forced order");
+    assert_eq!(ld.order, bushy_cfg.order);
+    assert!(
+        (ld.cost - bushy_cfg.cost).abs() < 1e-9,
+        "the knob must not change a forced order: {} vs {}",
+        ld.cost,
+        bushy_cfg.cost
+    );
+}
+
+/// Orders that are not a permutation of the query's aliases are
+/// rejected with the typed error, never planned wrongly — under both
+/// enumerator configurations.
+#[test]
+fn invalid_forced_orders_rejected_with_typed_error() {
+    let cat = Arc::new(fixtures::paper_catalog());
+    let q = fixtures::paper_query();
+    for config in [OptimizerConfig::default(), OptimizerConfig::bushy()] {
+        let opt = Optimizer::new(Arc::clone(&cat), config);
+        let s = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        // Wrong length.
+        assert!(matches!(
+            opt.optimize_with_order(&q, &s(&["E", "D"])),
+            Err(OptError::InvalidForcedOrder(_))
+        ));
+        // Unknown alias.
+        assert!(matches!(
+            opt.optimize_with_order(&q, &s(&["E", "D", "Z"])),
+            Err(OptError::InvalidForcedOrder(_))
+        ));
+        // Duplicate alias (same length as the query): before the
+        // permutation check this silently dropped a relation.
+        assert!(matches!(
+            opt.optimize_with_order(&q, &s(&["E", "D", "D"])),
+            Err(OptError::InvalidForcedOrder(_))
+        ));
+    }
+}
+
+/// EXPLAIN ANALYZE must zip a bushy plan's estimate tree and trace with
+/// its physical plan: on the pinned snowflake (where the bushy winner
+/// is strictly cheaper than any left-deep chain, so its shape has a
+/// composite inner), every operator line must carry both an estimate
+/// and an actual.
+#[test]
+fn explain_analyze_annotates_every_operator_of_a_bushy_plan() {
+    let (cat, q) = fj_bench::workloads::snowflake(2, 500, 50, 25, 15, 13);
+    let shared = Arc::new(cat.clone());
+    let ld = best(&shared, &q, PlanShape::LeftDeep);
+    let bushy = best(&shared, &q, PlanShape::Bushy);
+    assert!(
+        bushy.cost < ld.cost,
+        "pinned seed must stay a strict bushy win"
+    );
+
+    let mut db = Database::with_catalog(cat);
+    db.config_mut().plan_shape = PlanShape::Bushy;
+    let s = db.explain_analyze(&q).unwrap();
+    let op_lines: Vec<&str> = s
+        .lines()
+        .skip_while(|l| !l.starts_with("operators"))
+        .skip(1)
+        .collect();
+    // 9 relations-and-operators minimum: 5 scans + 4 joins.
+    assert!(op_lines.len() >= 9, "unexpectedly small plan:\n{s}");
+    for line in &op_lines {
+        assert!(line.contains("[est "), "missing estimate: {line}");
+        assert!(line.contains("| actual "), "missing actual: {line}");
+    }
+}
